@@ -1,0 +1,33 @@
+//! # baselines — the comparison indexes of the G-Grid paper
+//!
+//! Three competitors, implemented from scratch against the same
+//! [`ggrid::api::MovingObjectIndex`] interface:
+//!
+//! * [`vtree::VTree`] — the state-of-the-art road-network kNN index of
+//!   Shen et al. (ICDE 2017): a balanced partition tree whose leaves carry
+//!   precomputed all-pairs distance matrices, with *eager* per-message
+//!   object-index maintenance. Queries run a best-first border expansion
+//!   over the precomputed matrices.
+//! * [`vtree_gpu::VTreeGpu`] — the paper's "V-Tree (G)" variant: the same
+//!   index resident in (simulated) GPU memory, messages batched to the
+//!   32-lane warp size and applied by an update kernel, distance evaluation
+//!   offloaded to the device. Construction fails when the index exceeds
+//!   device memory — which is why the paper omits it on the USA dataset.
+//! * [`road::Road`] — ROAD (Lee, Lee, Zheng; EDBT 2009) extended to moving
+//!   objects following the V-tree paper: a route overlay of region border
+//!   shortcuts lets the search skip object-empty regions, and an
+//!   association directory maps edges to objects, maintained eagerly across
+//!   every hierarchy level on every message.
+//!
+//! All three share the [`region::RegionIndex`] substrate: a balanced
+//! partition of the road network with per-region border sets and induced
+//! all-pairs distance matrices.
+
+pub mod region;
+pub mod road;
+pub mod vtree;
+pub mod vtree_gpu;
+
+pub use road::Road;
+pub use vtree::VTree;
+pub use vtree_gpu::VTreeGpu;

@@ -1,0 +1,343 @@
+//! Balanced graph regions with precomputed border distance matrices.
+//!
+//! Both V-Tree and ROAD are built on a balanced partition of the road
+//! network into small regions: V-Tree's leaf nodes and ROAD's lowest-level
+//! Rnets are the same object. For each region this substrate precomputes
+//! the all-pairs shortest distances of the region's *induced* subgraph —
+//! the expensive, memory-hungry precomputation that gives both baselines
+//! their large index footprints (paper Fig 6) — and identifies the region's
+//! *border* vertices (vertices with an edge crossing the region boundary).
+//!
+//! Exactness rests on the decomposition property: any shortest path splits
+//! into maximal within-region segments joined by crossing edges, and each
+//! within-region segment is a path of that region's induced subgraph.
+//! Hence a search over [border vertices + crossing edges + induced
+//! border-to-border distances] reproduces exact network distances.
+
+use std::sync::Arc;
+
+use roadnet::graph::{Distance, EdgeId, Graph, VertexId, INFINITY};
+use roadnet::partition::partition_with_capacity;
+
+/// Identifier of a region (a V-Tree leaf / lowest-level Rnet).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(pub u32);
+
+impl RegionId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One region: its vertices, borders, and induced all-pairs matrix.
+pub struct Region {
+    pub vertices: Vec<VertexId>,
+    /// Vertices with at least one in- or out-edge crossing the boundary.
+    pub borders: Vec<VertexId>,
+    /// Row-major `n×n` induced shortest distances between `vertices`.
+    matrix: Vec<Distance>,
+}
+
+impl Region {
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    pub fn matrix_bytes(&self) -> u64 {
+        (self.matrix.len() * std::mem::size_of::<Distance>()) as u64
+    }
+}
+
+/// The region substrate shared by the baseline indexes.
+pub struct RegionIndex {
+    graph: Arc<Graph>,
+    regions: Vec<Region>,
+    region_of_vertex: Vec<u32>,
+    /// Local index of each vertex inside its region.
+    local_of_vertex: Vec<u32>,
+}
+
+impl RegionIndex {
+    /// Partition `graph` into regions of at most `capacity` vertices and
+    /// precompute the induced matrices.
+    pub fn build(graph: Arc<Graph>, capacity: usize) -> Self {
+        assert!(capacity >= 1);
+        let partition = partition_with_capacity(&graph, capacity);
+        let num_regions = partition.num_parts as usize;
+        let region_of_vertex = partition.assignment;
+
+        let mut members: Vec<Vec<VertexId>> = vec![Vec::new(); num_regions];
+        for v in graph.vertices() {
+            members[region_of_vertex[v.index()] as usize].push(v);
+        }
+
+        let mut local_of_vertex = vec![0u32; graph.num_vertices()];
+        for mem in &members {
+            for (i, &v) in mem.iter().enumerate() {
+                local_of_vertex[v.index()] = i as u32;
+            }
+        }
+
+        let regions = members
+            .into_iter()
+            .map(|vertices| {
+                let borders = vertices
+                    .iter()
+                    .copied()
+                    .filter(|&v| {
+                        let rv = region_of_vertex[v.index()];
+                        graph
+                            .out_edges(v)
+                            .map(|e| graph.edge(e).dest)
+                            .chain(graph.in_edges(v).map(|e| graph.edge(e).source))
+                            .any(|u| region_of_vertex[u.index()] != rv)
+                    })
+                    .collect();
+                let matrix = induced_all_pairs(&graph, &vertices, &local_of_vertex, &region_of_vertex);
+                Region {
+                    vertices,
+                    borders,
+                    matrix,
+                }
+            })
+            .collect();
+
+        Self {
+            graph,
+            regions,
+            region_of_vertex,
+            local_of_vertex,
+        }
+    }
+
+    pub fn graph(&self) -> &Arc<Graph> {
+        &self.graph
+    }
+
+    pub fn num_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    pub fn region(&self, r: RegionId) -> &Region {
+        &self.regions[r.index()]
+    }
+
+    pub fn region_ids(&self) -> impl Iterator<Item = RegionId> {
+        (0..self.regions.len() as u32).map(RegionId)
+    }
+
+    pub fn region_of_vertex(&self, v: VertexId) -> RegionId {
+        RegionId(self.region_of_vertex[v.index()])
+    }
+
+    /// Region an object on `e` belongs to: the region of `e`'s source.
+    pub fn region_of_edge(&self, e: EdgeId) -> RegionId {
+        self.region_of_vertex(self.graph.edge(e).source)
+    }
+
+    /// Induced shortest distance between two vertices of the same region.
+    ///
+    /// # Panics
+    /// Panics (debug) if the vertices are in different regions.
+    pub fn induced_dist(&self, a: VertexId, b: VertexId) -> Distance {
+        debug_assert_eq!(
+            self.region_of_vertex[a.index()],
+            self.region_of_vertex[b.index()],
+            "induced_dist requires same-region vertices"
+        );
+        let r = &self.regions[self.region_of_vertex[a.index()] as usize];
+        let n = r.len();
+        r.matrix[self.local_of_vertex[a.index()] as usize * n
+            + self.local_of_vertex[b.index()] as usize]
+    }
+
+    /// Total bytes of all precomputed matrices (the dominant index cost).
+    pub fn matrices_bytes(&self) -> u64 {
+        self.regions.iter().map(|r| r.matrix_bytes()).sum()
+    }
+
+    /// Edges whose source and destination lie in different regions.
+    pub fn crossing_edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.graph.edge_ids().filter(move |&e| {
+            let edge = self.graph.edge(e);
+            self.region_of_vertex[edge.source.index()]
+                != self.region_of_vertex[edge.dest.index()]
+        })
+    }
+}
+
+/// All-pairs shortest distances of the subgraph induced by `vertices`
+/// (Dijkstra from each vertex, restricted to in-region edges).
+fn induced_all_pairs(
+    graph: &Graph,
+    vertices: &[VertexId],
+    local_of_vertex: &[u32],
+    region_of_vertex: &[u32],
+) -> Vec<Distance> {
+    let n = vertices.len();
+    let mut matrix = vec![INFINITY; n * n];
+    if n == 0 {
+        return matrix;
+    }
+    let region = region_of_vertex[vertices[0].index()];
+    let mut heap = std::collections::BinaryHeap::new();
+    let mut dist = vec![INFINITY; n];
+    for (si, _) in vertices.iter().enumerate() {
+        dist.iter_mut().for_each(|d| *d = INFINITY);
+        dist[si] = 0;
+        heap.clear();
+        heap.push(std::cmp::Reverse((0u64, si as u32)));
+        while let Some(std::cmp::Reverse((d, li))) = heap.pop() {
+            if d > dist[li as usize] {
+                continue;
+            }
+            let v = vertices[li as usize];
+            for e in graph.out_edges(v) {
+                let edge = graph.edge(e);
+                if region_of_vertex[edge.dest.index()] != region {
+                    continue;
+                }
+                let lj = local_of_vertex[edge.dest.index()] as usize;
+                let nd = d + edge.weight as Distance;
+                if nd < dist[lj] {
+                    dist[lj] = nd;
+                    heap.push(std::cmp::Reverse((nd, lj as u32)));
+                }
+            }
+        }
+        matrix[si * n..(si + 1) * n].copy_from_slice(&dist);
+    }
+    matrix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadnet::dijkstra::DijkstraEngine;
+    use roadnet::gen;
+
+    fn build() -> RegionIndex {
+        RegionIndex::build(Arc::new(gen::toy(42)), 8)
+    }
+
+    #[test]
+    fn regions_partition_vertices() {
+        let idx = build();
+        let mut seen = vec![false; idx.graph().num_vertices()];
+        for r in idx.region_ids() {
+            for &v in &idx.region(r).vertices {
+                assert!(!seen[v.index()]);
+                seen[v.index()] = true;
+                assert_eq!(idx.region_of_vertex(v), r);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let idx = build();
+        for r in idx.region_ids() {
+            assert!(idx.region(r).len() <= 8);
+        }
+    }
+
+    #[test]
+    fn borders_have_crossing_edges() {
+        let idx = build();
+        let g = idx.graph().clone();
+        for r in idx.region_ids() {
+            for &b in &idx.region(r).borders {
+                let crosses = g
+                    .out_edges(b)
+                    .map(|e| g.edge(e).dest)
+                    .chain(g.in_edges(b).map(|e| g.edge(e).source))
+                    .any(|u| idx.region_of_vertex(u) != r);
+                assert!(crosses, "{b:?} listed as border without crossing edge");
+            }
+        }
+    }
+
+    #[test]
+    fn induced_dist_diagonal_zero() {
+        let idx = build();
+        for v in idx.graph().vertices() {
+            assert_eq!(idx.induced_dist(v, v), 0);
+        }
+    }
+
+    #[test]
+    fn induced_dist_upper_bounds_true_dist() {
+        let idx = build();
+        let g = idx.graph().clone();
+        let mut engine = DijkstraEngine::new(&g);
+        for r in idx.region_ids().take(6) {
+            let region = idx.region(r);
+            for &a in region.vertices.iter().take(3) {
+                engine.run_from_vertex(a);
+                for &b in &region.vertices {
+                    let induced = idx.induced_dist(a, b);
+                    let exact = engine.distance(b);
+                    assert!(induced >= exact, "induced shorter than exact?!");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn induced_dist_exact_when_path_stays_inside() {
+        // For an edge inside a region, the induced distance source→dest is
+        // at most the edge weight.
+        let idx = build();
+        let g = idx.graph().clone();
+        for e in g.edge_ids() {
+            let edge = g.edge(e);
+            if idx.region_of_vertex(edge.source) == idx.region_of_vertex(edge.dest) {
+                assert!(idx.induced_dist(edge.source, edge.dest) <= edge.weight as Distance);
+            }
+        }
+    }
+
+    #[test]
+    fn crossing_edges_cross() {
+        let idx = build();
+        let g = idx.graph().clone();
+        let crossing: Vec<EdgeId> = idx.crossing_edges().collect();
+        assert!(!crossing.is_empty());
+        for e in crossing {
+            let edge = g.edge(e);
+            assert_ne!(
+                idx.region_of_vertex(edge.source),
+                idx.region_of_vertex(edge.dest)
+            );
+        }
+    }
+
+    #[test]
+    fn region_of_edge_is_source_region() {
+        let idx = build();
+        let g = idx.graph().clone();
+        for e in g.edge_ids().take(40) {
+            assert_eq!(
+                idx.region_of_edge(e),
+                idx.region_of_vertex(g.edge(e).source)
+            );
+        }
+    }
+
+    #[test]
+    fn matrices_bytes_positive() {
+        let idx = build();
+        assert!(idx.matrices_bytes() > 0);
+        // Matrices are quadratic in region size: a bigger capacity grows
+        // bytes-per-vertex.
+        let big = RegionIndex::build(Arc::new(gen::toy(42)), 32);
+        let small_ratio = idx.matrices_bytes() as f64 / idx.num_regions() as f64;
+        let big_ratio = big.matrices_bytes() as f64 / big.num_regions() as f64;
+        assert!(big_ratio > small_ratio);
+    }
+}

@@ -1,0 +1,480 @@
+//! ROAD (Lee, Lee, Zheng — EDBT 2009), extended to moving objects.
+//!
+//! ROAD organises the road network as a hierarchy of regions ("Rnets") with
+//! precomputed *shortcuts* between each region's border vertices (the
+//! "route overlay"), and keeps an *association directory* mapping edges to
+//! the objects currently on them. A kNN search is a network expansion that
+//! skips over object-empty regions by taking the shortcuts instead of
+//! walking their interior.
+//!
+//! Following the V-Tree paper's methodology, the extension to moving
+//! objects maintains the association directory **eagerly**: every location
+//! update rewrites the edge→objects entry and the occupancy counters of
+//! every hierarchy level — the per-message cost that dominates ROAD's
+//! running time in the paper's experiments (its query cost barely moves
+//! with k, Fig 7, because updates dwarf it).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+
+use ggrid::api::{IndexSize, MovingObjectIndex, SimCosts};
+use ggrid::message::{ObjectId, Timestamp};
+use roadnet::graph::{Distance, EdgeId, Graph, VertexId, INFINITY};
+use roadnet::EdgePosition;
+
+use crate::region::{RegionId, RegionIndex};
+
+/// Default Rnet capacity (vertices per lowest-level region).
+pub const DEFAULT_RNET_CAPACITY: usize = 32;
+
+pub struct Road {
+    regions: Arc<RegionIndex>,
+    graph: Arc<Graph>,
+    /// Shortcuts of the route overlay: for each region, its border vertices
+    /// and the induced border→border distances.
+    shortcuts: Vec<Vec<(VertexId, VertexId, Distance)>>,
+    /// Association directory: objects currently on each edge.
+    edge_objects: HashMap<EdgeId, Vec<ObjectId>>,
+    objects: HashMap<ObjectId, (EdgePosition, Timestamp)>,
+    /// Occupancy per region per hierarchy level; `level_counts[l]` has
+    /// `2^l` Rnets (region ids share the bisection bit-prefix structure).
+    level_counts: Vec<Vec<u32>>,
+    /// The association directory proper: at every hierarchy level, each
+    /// Rnet keeps the set of objects currently inside it, and **every**
+    /// message rewrites the object's entry at every level (remove from the
+    /// old Rnet's set, insert into the new one, or refresh in place). This
+    /// per-update maintenance across all levels is what dominates ROAD's
+    /// running time in the paper's moving-object extension.
+    level_members: Vec<HashMap<u32, HashMap<ObjectId, EdgeId>>>,
+    /// Materialised per-leaf-Rnet object directory, *rebuilt in full*
+    /// whenever any member object updates — the behaviour of the paper's
+    /// ROAD extension (ROAD's directory was designed for static objects;
+    /// keeping it current costs O(objects in the Rnet) per message, which
+    /// is why ROAD degrades fastest as the fleet grows, Figs 8/9).
+    rnet_directory: HashMap<u32, Vec<(ObjectId, EdgeId)>>,
+    /// Route-overlay activation state per Rnet: shortcuts are only taken
+    /// across *empty* Rnets, so whenever an Rnet's occupancy flips between
+    /// zero and non-zero the overlay entries for that Rnet are rewritten —
+    /// O(|borders|²) work per flip, and with sparse fleets objects flip
+    /// Rnets constantly. This is the structural churn behind ROAD's poor
+    /// update scaling in the paper.
+    shortcut_active: Vec<Vec<bool>>,
+    depth: u32,
+    t_delta_ms: u64,
+    update_ops: u64,
+}
+
+impl Road {
+    pub fn new(graph: Graph, rnet_capacity: usize, t_delta_ms: u64) -> Self {
+        let graph = Arc::new(graph);
+        let regions = Arc::new(RegionIndex::build(graph.clone(), rnet_capacity));
+        Self::from_regions(graph, regions, t_delta_ms)
+    }
+
+    pub fn with_defaults(graph: Graph) -> Self {
+        Self::new(graph, DEFAULT_RNET_CAPACITY, 10_000)
+    }
+
+    /// Build over a pre-built (shared) region substrate — lets harnesses
+    /// partition and precompute matrices once per dataset.
+    pub fn from_regions(
+        graph: Arc<Graph>,
+        regions: Arc<RegionIndex>,
+        t_delta_ms: u64,
+    ) -> Self {
+        let n_regions = regions.num_regions();
+        assert!(n_regions.is_power_of_two());
+        let depth = n_regions.trailing_zeros();
+
+        let shortcuts: Vec<Vec<(VertexId, VertexId, Distance)>> = regions
+            .region_ids()
+            .map(|r| {
+                let bs = &regions.region(r).borders;
+                let mut sc = Vec::new();
+                for &a in bs {
+                    for &b in bs {
+                        if a == b {
+                            continue;
+                        }
+                        let d = regions.induced_dist(a, b);
+                        if d < INFINITY {
+                            sc.push((a, b, d));
+                        }
+                    }
+                }
+                sc
+            })
+            .collect();
+
+        let level_counts = (0..=depth).map(|l| vec![0u32; 1usize << l]).collect();
+        let level_members = (0..=depth).map(|_| HashMap::new()).collect();
+        let rnet_directory = HashMap::new();
+        let shortcut_active = shortcuts.iter().map(|sc| vec![true; sc.len()]).collect();
+
+        Self {
+            graph,
+            shortcuts,
+            edge_objects: HashMap::new(),
+            objects: HashMap::new(),
+            level_counts,
+            level_members,
+            rnet_directory,
+            shortcut_active,
+            depth,
+            t_delta_ms,
+            update_ops: 0,
+            regions,
+        }
+    }
+
+    pub fn regions(&self) -> &RegionIndex {
+        &self.regions
+    }
+
+    pub fn update_ops(&self) -> u64 {
+        self.update_ops
+    }
+
+    pub fn num_objects(&self) -> usize {
+        self.objects.len()
+    }
+
+    fn bump_levels(&mut self, region: RegionId, delta: i64) {
+        let was_empty = self.region_empty(region);
+        for l in 0..=self.depth {
+            let idx = (region.0 >> (self.depth - l)) as usize;
+            let c = &mut self.level_counts[l as usize][idx];
+            *c = (*c as i64 + delta).max(0) as u32;
+            self.update_ops += 1;
+        }
+        let is_empty = self.region_empty(region);
+        if was_empty != is_empty {
+            // Occupancy flipped: (de)activate the Rnet's overlay shortcuts.
+            for flag in self.shortcut_active[region.index()].iter_mut() {
+                *flag = is_empty;
+                self.update_ops += 1;
+            }
+        }
+    }
+
+    fn region_empty(&self, r: RegionId) -> bool {
+        self.level_counts[self.depth as usize][r.index()] == 0
+    }
+
+    fn knn_impl(&self, q: EdgePosition, k: usize, now: Timestamp) -> Vec<(ObjectId, Distance)> {
+        assert!(k >= 1);
+        let graph = &self.graph;
+        debug_assert!(q.is_valid(graph));
+        let horizon = now.saturating_sub_ms(self.t_delta_ms);
+        let mut best: HashMap<ObjectId, Distance> = HashMap::new();
+
+        // Same-edge candidates ahead of q.
+        if let Some(objs) = self.edge_objects.get(&q.edge) {
+            for &o in objs {
+                let (p, t) = self.objects[&o];
+                if t < horizon || p.edge != q.edge || p.offset < q.offset {
+                    continue;
+                }
+                let d = (p.offset - q.offset) as Distance;
+                best.entry(o).and_modify(|b| *b = (*b).min(d)).or_insert(d);
+            }
+        }
+
+        // Network expansion with empty-Rnet skipping.
+        let q_dest = graph.edge(q.edge).dest;
+        // The seed's region is force-expanded even when empty: the search
+        // must be able to walk out of it from a non-border vertex.
+        let force_region = self.regions.region_of_vertex(q_dest);
+
+        let mut dist: HashMap<VertexId, Distance> = HashMap::new();
+        let mut heap: BinaryHeap<Reverse<(Distance, u32)>> = BinaryHeap::new();
+        dist.insert(q_dest, q.to_dest(graph));
+        heap.push(Reverse((q.to_dest(graph), q_dest.0)));
+
+        let mut kth_cache = INFINITY;
+        let mut dirty = true;
+        while let Some(Reverse((d, v))) = heap.pop() {
+            let v = VertexId(v);
+            if d > dist.get(&v).copied().unwrap_or(INFINITY) {
+                continue;
+            }
+            if dirty {
+                kth_cache = kth_smallest(&best, k);
+                dirty = false;
+            }
+            if d >= kth_cache {
+                break;
+            }
+            let rv = self.regions.region_of_vertex(v);
+            let rv_empty = self.region_empty(rv) && rv != force_region;
+
+            // Discover objects on v's out-edges via the association
+            // directory.
+            for e in graph.out_edges(v) {
+                if let Some(objs) = self.edge_objects.get(&e) {
+                    for &o in objs {
+                        let (p, t) = self.objects[&o];
+                        if t < horizon || p.edge != e {
+                            continue;
+                        }
+                        let cand = d.saturating_add(p.from_source());
+                        let slot = best.entry(o).or_insert(INFINITY);
+                        if cand < *slot {
+                            *slot = cand;
+                            dirty = true;
+                        }
+                    }
+                }
+            }
+
+            // Relaxation: interior edges of empty Rnets are skipped — the
+            // shortcuts below carry the search across them.
+            for e in graph.out_edges(v) {
+                let edge = graph.edge(e);
+                let rd = self.regions.region_of_vertex(edge.dest);
+                if rv_empty && rd == rv {
+                    continue; // interior edge of an empty Rnet
+                }
+                let nd = d + edge.weight as Distance;
+                let slot = dist.entry(edge.dest).or_insert(INFINITY);
+                if nd < *slot {
+                    *slot = nd;
+                    heap.push(Reverse((nd, edge.dest.0)));
+                }
+            }
+            if rv_empty {
+                for (si, &(a, b, w)) in self.shortcuts[rv.index()].iter().enumerate() {
+                    if a != v || !self.shortcut_active[rv.index()][si] {
+                        continue;
+                    }
+                    let nd = d + w;
+                    let slot = dist.entry(b).or_insert(INFINITY);
+                    if nd < *slot {
+                        *slot = nd;
+                        heap.push(Reverse((nd, b.0)));
+                    }
+                }
+            }
+        }
+
+        let mut items: Vec<(ObjectId, Distance)> =
+            best.into_iter().filter(|&(_, d)| d < INFINITY).collect();
+        items.sort_by_key(|&(o, d)| (d, o));
+        items.truncate(k);
+        items
+    }
+
+    /// Bytes of the route overlay.
+    pub fn overlay_bytes(&self) -> u64 {
+        let sc: u64 = self.shortcuts.iter().map(|s| (s.len() * 20) as u64).sum();
+        self.regions.matrices_bytes() + sc
+    }
+}
+
+impl MovingObjectIndex for Road {
+    fn name(&self) -> &'static str {
+        "ROAD"
+    }
+
+    /// Eager update: rewrite the association directory entry and the
+    /// occupancy counters of every hierarchy level.
+    fn handle_update(&mut self, object: ObjectId, position: EdgePosition, time: Timestamp) {
+        let old = self.objects.insert(object, (position, time));
+        self.update_ops += 1;
+        if let Some((old_pos, _)) = old {
+            if let Some(list) = self.edge_objects.get_mut(&old_pos.edge) {
+                list.retain(|&o| o != object);
+                if list.is_empty() {
+                    self.edge_objects.remove(&old_pos.edge);
+                }
+                self.update_ops += 1;
+            }
+            let old_region = self.regions.region_of_edge(old_pos.edge);
+            let new_region = self.regions.region_of_edge(position.edge);
+            if old_region != new_region {
+                self.bump_levels(old_region, -1);
+                self.bump_levels(new_region, 1);
+            }
+        } else {
+            self.bump_levels(self.regions.region_of_edge(position.edge), 1);
+        }
+        self.edge_objects.entry(position.edge).or_default().push(object);
+        self.update_ops += 1;
+        // Rewrite the object's association at every Rnet level: remove it
+        // from the Rnet it previously occupied at that level and insert it
+        // into the new one (a refresh when they coincide).
+        let new_region = self.regions.region_of_edge(position.edge);
+        let old_region = old.map(|(p, _)| self.regions.region_of_edge(p.edge));
+        for l in 0..=self.depth {
+            if let Some(old_r) = old_region {
+                let old_idx = old_r.0 >> (self.depth - l);
+                if let Some(set) = self.level_members[l as usize].get_mut(&old_idx) {
+                    set.remove(&object);
+                    if set.is_empty() {
+                        self.level_members[l as usize].remove(&old_idx);
+                    }
+                }
+                self.update_ops += 1;
+            }
+            let new_idx = new_region.0 >> (self.depth - l);
+            self.level_members[l as usize]
+                .entry(new_idx)
+                .or_default()
+                .insert(object, position.edge);
+            self.update_ops += 1;
+        }
+        // Rebuild the leaf Rnet's materialised directory entry from its
+        // membership set — O(|Rnet|) per message.
+        let leaf_idx = new_region.0;
+        let rebuilt: Vec<(ObjectId, EdgeId)> = self.level_members[self.depth as usize]
+            .get(&leaf_idx)
+            .map(|set| set.iter().map(|(&o, &e)| (o, e)).collect())
+            .unwrap_or_default();
+        self.update_ops += rebuilt.len() as u64;
+        self.rnet_directory.insert(leaf_idx, rebuilt);
+        if let Some(old_r) = old_region {
+            if old_r != new_region {
+                let rebuilt_old: Vec<(ObjectId, EdgeId)> = self.level_members
+                    [self.depth as usize]
+                    .get(&old_r.0)
+                    .map(|set| set.iter().map(|(&o, &e)| (o, e)).collect())
+                    .unwrap_or_default();
+                self.update_ops += rebuilt_old.len() as u64;
+                if rebuilt_old.is_empty() {
+                    self.rnet_directory.remove(&old_r.0);
+                } else {
+                    self.rnet_directory.insert(old_r.0, rebuilt_old);
+                }
+            }
+        }
+    }
+
+    fn knn(&mut self, q: EdgePosition, k: usize, now: Timestamp) -> Vec<(ObjectId, Distance)> {
+        self.knn_impl(q, k, now)
+    }
+
+    fn sim_costs(&self) -> SimCosts {
+        SimCosts::default() // CPU-only baseline
+    }
+
+    fn index_size(&self) -> IndexSize {
+        let assoc: u64 = self
+            .edge_objects.values().map(|v| 16 + v.len() as u64 * 8)
+            .sum::<u64>()
+            + (self.objects.len() * 48) as u64;
+        let counts: u64 = self.level_counts.iter().map(|l| (l.len() * 4) as u64).sum();
+        let directory: u64 = self
+            .rnet_directory
+            .values()
+            .map(|v| 16 + v.len() as u64 * 12)
+            .sum();
+        let assoc_levels: u64 = self
+            .level_members
+            .iter()
+            .flat_map(|m| m.values())
+            .map(|set| 16 + (set.capacity() * 20) as u64)
+            .sum();
+        IndexSize {
+            cpu_bytes: self.overlay_bytes() + assoc + counts + assoc_levels + directory,
+            gpu_bytes: 0,
+        }
+    }
+}
+
+fn kth_smallest(best: &HashMap<ObjectId, Distance>, k: usize) -> Distance {
+    if best.len() < k {
+        return INFINITY;
+    }
+    let mut ds: Vec<Distance> = best.values().copied().collect();
+    let (_, kth, _) = ds.select_nth_unstable(k - 1);
+    *kth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadnet::dijkstra::reference_knn;
+    use roadnet::gen;
+
+    fn scatter(g: &Graph, n: u64) -> Vec<(u64, EdgePosition)> {
+        (0..n)
+            .map(|i| {
+                let e = EdgeId(((i * 29 + 1) % g.num_edges() as u64) as u32);
+                let off = (i % (g.edge(e).weight as u64 + 1)) as u32;
+                (i, EdgePosition::new(e, off))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_reference() {
+        let g = gen::toy(23);
+        let mut r = Road::new(g.clone(), 8, 100_000);
+        let objs = scatter(&g, 14);
+        for &(i, p) in &objs {
+            r.handle_update(ObjectId(i), p, Timestamp(100 + i));
+        }
+        for (qi, k) in [(0u32, 1usize), (11, 4), (40, 9), (70, 14)] {
+            let q = EdgePosition::at_source(EdgeId(qi % g.num_edges() as u32));
+            let got = r.knn(q, k, Timestamp(500));
+            let want = reference_knn(&g, q, &objs, k);
+            let got_d: Vec<_> = got.iter().map(|x| x.1).collect();
+            let want_d: Vec<_> = want.iter().map(|x| x.1).collect();
+            assert_eq!(got_d, want_d, "k={k} qi={qi}");
+        }
+    }
+
+    #[test]
+    fn sparse_objects_exercise_skipping() {
+        // One object far away: most Rnets are empty and must be skipped
+        // without breaking exactness.
+        let g = gen::toy(23);
+        let mut r = Road::new(g.clone(), 4, 100_000);
+        let p = EdgePosition::at_source(EdgeId((g.num_edges() - 1) as u32));
+        r.handle_update(ObjectId(1), p, Timestamp(10));
+        let q = EdgePosition::at_source(EdgeId(0));
+        let got = r.knn(q, 1, Timestamp(20));
+        let want = reference_knn(&g, q, &[(1, p)], 1);
+        assert_eq!(got[0].1, want[0].1);
+    }
+
+    #[test]
+    fn association_directory_rewritten_on_update() {
+        let g = gen::toy(23);
+        let mut r = Road::new(g, 8, 100_000);
+        r.handle_update(ObjectId(1), EdgePosition::at_source(EdgeId(0)), Timestamp(1));
+        assert_eq!(r.edge_objects[&EdgeId(0)], vec![ObjectId(1)]);
+        r.handle_update(ObjectId(1), EdgePosition::at_source(EdgeId(5)), Timestamp(2));
+        assert!(!r.edge_objects.contains_key(&EdgeId(0)));
+        assert_eq!(r.edge_objects[&EdgeId(5)], vec![ObjectId(1)]);
+    }
+
+    #[test]
+    fn level_counters_maintained() {
+        let g = gen::toy(23);
+        let mut r = Road::new(g.clone(), 8, 100_000);
+        let ops0 = r.update_ops();
+        r.handle_update(ObjectId(1), EdgePosition::at_source(EdgeId(0)), Timestamp(1));
+        // A first sighting touches every level of the hierarchy.
+        assert!(r.update_ops() - ops0 >= r.depth as u64);
+        // Root count equals total objects.
+        assert_eq!(r.level_counts[0][0], 1);
+    }
+
+    #[test]
+    fn stale_objects_filtered() {
+        let g = gen::toy(23);
+        let mut r = Road::new(g, 8, 100);
+        r.handle_update(ObjectId(1), EdgePosition::at_source(EdgeId(0)), Timestamp(10));
+        assert!(r.knn(EdgePosition::at_source(EdgeId(0)), 1, Timestamp(50_000)).is_empty());
+    }
+
+    #[test]
+    fn overlay_dominates_size() {
+        let g = gen::toy(23);
+        let r = Road::new(g, 16, 100_000);
+        assert!(r.index_size().cpu_bytes >= r.regions().matrices_bytes());
+        assert_eq!(r.index_size().gpu_bytes, 0);
+    }
+}

@@ -1,0 +1,521 @@
+//! V-Tree (Shen et al., ICDE 2017): eager-update kNN baseline.
+//!
+//! The V-Tree partitions the road network into a balanced tree whose leaves
+//! hold small subgraphs with precomputed distance matrices; moving objects
+//! are attached to the leaf of the edge they travel on, and **every**
+//! location update is applied to the index immediately — the "eager"
+//! strategy whose cost the G-Grid paper's lazy cleaning removes. Queries
+//! run a best-first expansion over leaf borders, using the precomputed
+//! matrices for inside-leaf distances.
+//!
+//! This implementation keeps the V-Tree's externally observable behaviour:
+//!
+//! * per-message index maintenance (leaf object lists plus O(tree depth)
+//!   occupancy counters along the root-to-leaf path),
+//! * a large precomputed-distance footprint (all-pairs matrices per leaf),
+//! * exact kNN answers via monotone best-first expansion with the same
+//!   termination rule.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::sync::Arc;
+
+use ggrid::api::{IndexSize, MovingObjectIndex, SimCosts};
+use ggrid::message::{ObjectId, Timestamp};
+use roadnet::graph::{Distance, Graph, VertexId, INFINITY};
+use roadnet::EdgePosition;
+
+use crate::region::{RegionId, RegionIndex};
+
+/// Default leaf capacity (vertices per leaf).
+pub const DEFAULT_LEAF_CAPACITY: usize = 64;
+
+pub struct VTree {
+    regions: Arc<RegionIndex>,
+    graph: Arc<Graph>,
+    /// Skeleton node id per vertex (u32::MAX when not a border).
+    #[allow(dead_code)] // kept: the real V-Tree indexes borders globally
+    border_node: Vec<u32>,
+    /// Skeleton node → vertex.
+    border_vertex: Vec<VertexId>,
+    /// Borders of each region, as skeleton node ids.
+    region_borders: Vec<Vec<u32>>,
+    /// Skeleton adjacency: induced border→border within a region plus
+    /// original crossing edges.
+    skel_adj: Vec<Vec<(u32, Distance)>>,
+    /// Latest position per object (the V-Tree object index).
+    objects: HashMap<ObjectId, (EdgePosition, Timestamp)>,
+    /// Objects attached to each leaf, with their precomputed distances
+    /// from every border of the leaf (aligned with `region_borders`). The
+    /// V-Tree maintains these border→object distance lists **on every
+    /// update** — the eager per-message work that queries then exploit and
+    /// that the G-Grid paper's lazy strategy eliminates.
+    region_objects: Vec<HashMap<ObjectId, Vec<Distance>>>,
+    /// For each skeleton node, its position within its region's border
+    /// list (to index the per-object distance vectors).
+    border_pos_in_region: Vec<u32>,
+    /// Per (region, border): objects of the region sorted by their distance
+    /// from that border — the V-Tree's nearest-object lists. Maintained on
+    /// every update (the expensive eager work), consumed in distance order
+    /// by queries.
+    border_lists: Vec<Vec<BTreeMap<(Distance, ObjectId), ()>>>,
+    /// Occupancy counters over an implicit binary tree of leaves — the
+    /// root-to-leaf path every eager update maintains.
+    path_counts: Vec<u32>,
+    t_delta_ms: u64,
+    update_ops: u64,
+}
+
+impl VTree {
+    pub fn new(graph: Graph, leaf_capacity: usize, t_delta_ms: u64) -> Self {
+        let graph = Arc::new(graph);
+        let regions = Arc::new(RegionIndex::build(graph.clone(), leaf_capacity));
+        Self::from_regions(graph, regions, t_delta_ms)
+    }
+
+    pub fn with_defaults(graph: Graph) -> Self {
+        Self::new(graph, DEFAULT_LEAF_CAPACITY, 10_000)
+    }
+
+    /// Build over a pre-built (shared) region substrate — lets harnesses
+    /// partition and precompute matrices once per dataset.
+    pub fn from_regions(
+        graph: Arc<Graph>,
+        regions: Arc<RegionIndex>,
+        t_delta_ms: u64,
+    ) -> Self {
+        // Skeleton nodes: every border vertex of every region.
+        let mut border_node = vec![u32::MAX; graph.num_vertices()];
+        let mut border_vertex = Vec::new();
+        let mut region_borders = vec![Vec::new(); regions.num_regions()];
+        let mut border_pos_in_region = Vec::new();
+        for r in regions.region_ids() {
+            for (pos, &b) in regions.region(r).borders.iter().enumerate() {
+                let id = border_vertex.len() as u32;
+                border_node[b.index()] = id;
+                border_vertex.push(b);
+                region_borders[r.index()].push(id);
+                border_pos_in_region.push(pos as u32);
+            }
+        }
+
+        // Skeleton edges: induced border→border distances within each
+        // region, plus the original crossing edges.
+        let mut skel_adj: Vec<Vec<(u32, Distance)>> = vec![Vec::new(); border_vertex.len()];
+        for r in regions.region_ids() {
+            let bs = &region_borders[r.index()];
+            for &a in bs {
+                for &b in bs {
+                    if a == b {
+                        continue;
+                    }
+                    let d = regions.induced_dist(border_vertex[a as usize], border_vertex[b as usize]);
+                    if d < INFINITY {
+                        skel_adj[a as usize].push((b, d));
+                    }
+                }
+            }
+        }
+        for e in regions.crossing_edges() {
+            let edge = graph.edge(e);
+            let (a, b) = (
+                border_node[edge.source.index()],
+                border_node[edge.dest.index()],
+            );
+            debug_assert!(a != u32::MAX && b != u32::MAX);
+            skel_adj[a as usize].push((b, edge.weight as Distance));
+        }
+
+        let n_regions = regions.num_regions();
+        let border_lists = (0..n_regions)
+            .map(|r| vec![BTreeMap::new(); region_borders[r].len()])
+            .collect();
+        Self {
+            graph,
+            border_node,
+            border_vertex,
+            region_borders,
+            skel_adj,
+            objects: HashMap::new(),
+            region_objects: vec![HashMap::new(); n_regions],
+            border_pos_in_region,
+            border_lists,
+            path_counts: vec![0; 2 * n_regions.next_power_of_two()],
+            t_delta_ms,
+            update_ops: 0,
+            regions,
+        }
+    }
+
+    pub fn regions(&self) -> &RegionIndex {
+        &self.regions
+    }
+
+    pub fn num_objects(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Total index-maintenance operations performed by updates (each
+    /// counter touch / map mutation counts one) — proportional to the
+    /// eager update cost.
+    pub fn update_ops(&self) -> u64 {
+        self.update_ops
+    }
+
+    /// Distances from every border of `region` to an object at `p`
+    /// (induced border→source matrix lookups plus the on-edge offset) —
+    /// the per-message maintenance work of the eager V-Tree.
+    fn border_distances(&self, region: RegionId, p: EdgePosition) -> Vec<Distance> {
+        let src = self.graph.edge(p.edge).source;
+        self.region_borders[region.index()]
+            .iter()
+            .map(|&b| {
+                self.regions
+                    .induced_dist(self.border_vertex[b as usize], src)
+                    .saturating_add(p.from_source())
+            })
+            .collect()
+    }
+
+    fn leaf_count_update(&mut self, region: RegionId, delta: i64) {
+        // Implicit segment tree over leaves: walk leaf→root.
+        let len = self.path_counts.len();
+        let mut i = len / 2 + region.index();
+        while i >= 1 {
+            let idx = i.min(len - 1);
+            let c = &mut self.path_counts[idx];
+            *c = (*c as i64 + delta).max(0) as u32;
+            self.update_ops += 1;
+            i /= 2;
+        }
+    }
+
+    /// Exact kNN via best-first skeleton expansion.
+    fn knn_impl(
+        &mut self,
+        q: EdgePosition,
+        k: usize,
+        now: Timestamp,
+    ) -> Vec<(ObjectId, Distance)> {
+        assert!(k >= 1);
+        let graph = self.graph.clone();
+        debug_assert!(q.is_valid(&graph));
+        let horizon = now.saturating_sub_ms(self.t_delta_ms);
+
+        // Best candidate distance per object.
+        let mut best: HashMap<ObjectId, Distance> = HashMap::new();
+
+        let fresh = |entry: &(EdgePosition, Timestamp)| entry.1 >= horizon;
+
+        let q_dest = graph.edge(q.edge).dest;
+        let r_dest = self.regions.region_of_vertex(q_dest);
+        let seed = q.to_dest(&graph);
+
+        // Direct candidates. Same-edge objects live in the query edge's
+        // leaf; objects reachable without leaving q_dest's region live in
+        // that leaf. Only those two object lists are scanned.
+        let r_edge = self.regions.region_of_edge(q.edge);
+        for &o in self.region_objects[r_edge.index()].keys() {
+            let entry = &self.objects[&o];
+            if !fresh(entry) {
+                continue;
+            }
+            let p = entry.0;
+            if p.edge == q.edge && p.offset >= q.offset {
+                let d = (p.offset - q.offset) as Distance;
+                best.entry(o).and_modify(|b| *b = (*b).min(d)).or_insert(d);
+            }
+        }
+        for &o in self.region_objects[r_dest.index()].keys() {
+            let entry = &self.objects[&o];
+            if !fresh(entry) {
+                continue;
+            }
+            let p = entry.0;
+            let src = graph.edge(p.edge).source;
+            debug_assert_eq!(self.regions.region_of_vertex(src), r_dest);
+            let d = seed
+                .saturating_add(self.regions.induced_dist(q_dest, src))
+                .saturating_add(p.from_source());
+            if d < INFINITY {
+                best.entry(o).and_modify(|b| *b = (*b).min(d)).or_insert(d);
+            }
+        }
+
+        // Best-first skeleton expansion.
+        let mut dist = vec![INFINITY; self.border_vertex.len()];
+        let mut heap: BinaryHeap<Reverse<(Distance, u32)>> = BinaryHeap::new();
+        for &b in &self.region_borders[r_dest.index()] {
+            let d = seed.saturating_add(
+                self.regions
+                    .induced_dist(q_dest, self.border_vertex[b as usize]),
+            );
+            if d < dist[b as usize] {
+                dist[b as usize] = d;
+                heap.push(Reverse((d, b)));
+            }
+        }
+
+        let mut kth_cache = INFINITY;
+        let mut dirty = true;
+        while let Some(Reverse((d, b))) = heap.pop() {
+            if d > dist[b as usize] {
+                continue;
+            }
+            // Termination: no future candidate can beat the k-th best.
+            if dirty {
+                kth_cache = kth_smallest(&best, k);
+                dirty = false;
+            }
+            if d >= kth_cache {
+                break;
+            }
+            // Candidates in this border's region, consumed in distance
+            // order from the precomputed nearest-object list: stop as soon
+            // as no remaining entry can beat the current k-th best.
+            let bv = self.border_vertex[b as usize];
+            let r = self.regions.region_of_vertex(bv);
+            let bpos = self.border_pos_in_region[b as usize] as usize;
+            for &(od, o) in self.border_lists[r.index()][bpos].keys() {
+                if od >= INFINITY {
+                    break; // rest of the sorted list is unreachable
+                }
+                let cand = d.saturating_add(od);
+                if dirty {
+                    kth_cache = kth_smallest(&best, k);
+                    dirty = false;
+                }
+                if cand >= kth_cache {
+                    break;
+                }
+                let entry = &self.objects[&o];
+                if !fresh(entry) {
+                    continue;
+                }
+                let slot = best.entry(o).or_insert(INFINITY);
+                if cand < *slot {
+                    *slot = cand;
+                    dirty = true;
+                }
+            }
+            // Relax skeleton edges.
+            for &(nb, w) in &self.skel_adj[b as usize] {
+                let nd = d + w;
+                if nd < dist[nb as usize] {
+                    dist[nb as usize] = nd;
+                    heap.push(Reverse((nd, nb)));
+                }
+            }
+        }
+
+        let mut items: Vec<(ObjectId, Distance)> = best
+            .into_iter()
+            .filter(|&(_, d)| d < INFINITY)
+            .collect();
+        items.sort_by_key(|&(o, d)| (d, o));
+        items.truncate(k);
+        items
+    }
+
+    /// Bytes of the precomputed structures (matrices + skeleton).
+    pub fn precomputed_bytes(&self) -> u64 {
+        let skel: u64 = self
+            .skel_adj
+            .iter()
+            .map(|a| (a.len() * 12) as u64)
+            .sum();
+        self.regions.matrices_bytes() + skel + self.border_vertex.len() as u64 * 4
+    }
+}
+
+impl MovingObjectIndex for VTree {
+    fn name(&self) -> &'static str {
+        "V-Tree"
+    }
+
+    /// Eager update: every message touches the object index, the leaf
+    /// object list, and the occupancy counters on the root-to-leaf path.
+    fn handle_update(&mut self, object: ObjectId, position: EdgePosition, time: Timestamp) {
+        let new_region = self.regions.region_of_edge(position.edge);
+        let old = self.objects.insert(object, (position, time));
+        self.update_ops += 1;
+        // Every message recomputes the object's border distance list —
+        // |borders| induced-matrix lookups. This is the V-Tree's eager
+        // maintenance: the structure queries rely on is kept current at
+        // update time, message by message.
+        let dists = self.border_distances(new_region, position);
+        self.update_ops += dists.len() as u64;
+        // Maintain the per-border nearest-object lists: remove the object's
+        // previous entries, insert the new ones — 2·|borders| ordered-map
+        // operations per message.
+        if let Some((old_pos, _)) = old {
+            let old_region = self.regions.region_of_edge(old_pos.edge);
+            if let Some(old_dists) = self.region_objects[old_region.index()].get(&object) {
+                let old_dists = old_dists.clone();
+                for (bpos, &od) in old_dists.iter().enumerate() {
+                    self.border_lists[old_region.index()][bpos].remove(&(od, object));
+                    self.update_ops += 1;
+                }
+            }
+        }
+        for (bpos, &nd) in dists.iter().enumerate() {
+            self.border_lists[new_region.index()][bpos].insert((nd, object), ());
+            self.update_ops += 1;
+        }
+        match old {
+            Some((old_pos, _)) => {
+                let old_region = self.regions.region_of_edge(old_pos.edge);
+                if old_region != new_region {
+                    self.region_objects[old_region.index()].remove(&object);
+                    self.update_ops += 2;
+                    self.leaf_count_update(old_region, -1);
+                    self.leaf_count_update(new_region, 1);
+                } else {
+                    self.update_ops += 1;
+                    self.leaf_count_update(new_region, 0);
+                }
+            }
+            None => {
+                self.update_ops += 1;
+                self.leaf_count_update(new_region, 1);
+            }
+        }
+        self.region_objects[new_region.index()].insert(object, dists);
+    }
+
+    fn knn(&mut self, q: EdgePosition, k: usize, now: Timestamp) -> Vec<(ObjectId, Distance)> {
+        self.knn_impl(q, k, now)
+    }
+
+    fn sim_costs(&self) -> SimCosts {
+        SimCosts::default() // CPU-only baseline
+    }
+
+    fn index_size(&self) -> IndexSize {
+        let lists: u64 = self
+            .border_lists
+            .iter()
+            .flatten()
+            .map(|l| l.len() as u64 * 24)
+            .sum();
+        let objects = (self.objects.len() * 48) as u64
+            + lists
+            + self
+                .region_objects
+                .iter()
+                .flat_map(|m| m.values())
+                .map(|d| 24 + d.len() as u64 * 8)
+                .sum::<u64>();
+        IndexSize {
+            cpu_bytes: self.precomputed_bytes() + objects + (self.path_counts.len() * 4) as u64,
+            gpu_bytes: 0,
+        }
+    }
+}
+
+fn kth_smallest(best: &HashMap<ObjectId, Distance>, k: usize) -> Distance {
+    if best.len() < k {
+        return INFINITY;
+    }
+    let mut ds: Vec<Distance> = best.values().copied().collect();
+    let (_, kth, _) = ds.select_nth_unstable(k - 1);
+    *kth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadnet::dijkstra::reference_knn;
+    use roadnet::gen;
+    use roadnet::EdgeId;
+
+    fn scatter(g: &Graph, n: u64) -> Vec<(u64, EdgePosition)> {
+        (0..n)
+            .map(|i| {
+                let e = EdgeId(((i * 17 + 3) % g.num_edges() as u64) as u32);
+                let off = (i % (g.edge(e).weight as u64 + 1)) as u32;
+                (i, EdgePosition::new(e, off))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_reference() {
+        let g = gen::toy(11);
+        let mut t = VTree::new(g.clone(), 8, 100_000);
+        let objs = scatter(&g, 15);
+        for &(i, p) in &objs {
+            t.handle_update(ObjectId(i), p, Timestamp(100 + i));
+        }
+        for (qi, k) in [(0u32, 1usize), (7, 4), (33, 8), (50, 15)] {
+            let q = EdgePosition::at_source(EdgeId(qi % g.num_edges() as u32));
+            let got = t.knn(q, k, Timestamp(500));
+            let want = reference_knn(&g, q, &objs, k);
+            let got_d: Vec<_> = got.iter().map(|x| x.1).collect();
+            let want_d: Vec<_> = want.iter().map(|x| x.1).collect();
+            assert_eq!(got_d, want_d, "k={k} qi={qi}");
+        }
+    }
+
+    #[test]
+    fn eager_updates_tracked() {
+        let g = gen::toy(11);
+        let mut t = VTree::new(g, 8, 100_000);
+        let before = t.update_ops();
+        t.handle_update(ObjectId(1), EdgePosition::at_source(EdgeId(0)), Timestamp(1));
+        assert!(t.update_ops() > before, "every message must touch the index");
+    }
+
+    #[test]
+    fn move_between_leaves_updates_lists() {
+        let g = gen::toy(11);
+        let mut t = VTree::new(g.clone(), 4, 100_000);
+        let r0 = t.regions().region_of_edge(EdgeId(0));
+        let other = g
+            .edge_ids()
+            .find(|&e| t.regions().region_of_edge(e) != r0)
+            .unwrap();
+        t.handle_update(ObjectId(1), EdgePosition::at_source(EdgeId(0)), Timestamp(1));
+        assert_eq!(t.region_objects[r0.index()].len(), 1);
+        t.handle_update(ObjectId(1), EdgePosition::at_source(other), Timestamp(2));
+        assert_eq!(t.region_objects[r0.index()].len(), 0);
+    }
+
+    #[test]
+    fn stale_objects_filtered() {
+        let g = gen::toy(11);
+        let mut t = VTree::new(g, 8, 100);
+        t.handle_update(ObjectId(1), EdgePosition::at_source(EdgeId(0)), Timestamp(10));
+        assert!(t.knn(EdgePosition::at_source(EdgeId(0)), 1, Timestamp(10_000)).is_empty());
+    }
+
+    #[test]
+    fn same_edge_ahead() {
+        let g = gen::toy(11);
+        let w = g.edge(EdgeId(0)).weight;
+        let mut t = VTree::new(g, 8, 100_000);
+        t.handle_update(ObjectId(1), EdgePosition::new(EdgeId(0), w), Timestamp(10));
+        let got = t.knn(EdgePosition::new(EdgeId(0), 0), 1, Timestamp(20));
+        assert_eq!(got[0].1, w as Distance);
+    }
+
+    #[test]
+    fn index_size_dominated_by_matrices() {
+        let g = gen::toy(11);
+        let t = VTree::new(g, 16, 100_000);
+        let size = t.index_size();
+        assert!(size.cpu_bytes >= t.regions().matrices_bytes());
+        assert_eq!(size.gpu_bytes, 0);
+    }
+
+    #[test]
+    fn k_exceeds_population() {
+        let g = gen::toy(11);
+        let mut t = VTree::new(g.clone(), 8, 100_000);
+        let objs = scatter(&g, 3);
+        for &(i, p) in &objs {
+            t.handle_update(ObjectId(i), p, Timestamp(1));
+        }
+        assert_eq!(t.knn(EdgePosition::at_source(EdgeId(0)), 10, Timestamp(2)).len(), 3);
+    }
+}

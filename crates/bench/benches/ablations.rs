@@ -1,0 +1,62 @@
+//! Criterion bench for the DESIGN.md ablations: lazy vs eager cleaning,
+//! pipelined vs synchronous transfer, warp-wide vs degenerate bundles.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ggrid::{GGridConfig, GGridServer};
+use ggrid_bench::experiments::ablation::EagerGGrid;
+use roadnet::gen::Dataset;
+use workload::scenario::run_scenario;
+
+fn bench_ablations(c: &mut Criterion) {
+    let graph = common::bench_graph(Dataset::NY);
+    let scenario = common::bench_scenario(400, 16, 3);
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+
+    group.bench_function("lazy (paper)", |b| {
+        b.iter(|| {
+            let mut s = GGridServer::new((*graph).clone(), GGridConfig::default());
+            run_scenario(&graph, &mut s, &scenario, 10_000, false).total_ns()
+        })
+    });
+
+    group.bench_function("eager (clean per message)", |b| {
+        b.iter(|| {
+            let mut s = EagerGGrid::new((*graph).clone(), GGridConfig::default());
+            run_scenario(&graph, &mut s, &scenario, 10_000, false).total_ns()
+        })
+    });
+
+    group.bench_function("synchronous transfer", |b| {
+        b.iter(|| {
+            let mut s = GGridServer::new(
+                (*graph).clone(),
+                GGridConfig {
+                    transfer_chunks: 1,
+                    ..Default::default()
+                },
+            );
+            run_scenario(&graph, &mut s, &scenario, 10_000, false).total_ns()
+        })
+    });
+
+    group.bench_function("2-lane bundles", |b| {
+        b.iter(|| {
+            let mut s = GGridServer::new(
+                (*graph).clone(),
+                GGridConfig {
+                    eta: 1,
+                    ..Default::default()
+                },
+            );
+            run_scenario(&graph, &mut s, &scenario, 10_000, false).total_ns()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

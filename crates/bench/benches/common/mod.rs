@@ -1,0 +1,40 @@
+#![allow(dead_code)] // each bench binary uses a subset of these helpers
+
+//! Shared setup for the criterion benches: a small but non-trivial
+//! benchmark world so each figure's bench finishes in seconds.
+
+use std::sync::Arc;
+
+use ggrid_bench::datasets::{build_dataset, DatasetSpec};
+use ggrid_bench::runner::IndexParams;
+use roadnet::gen::Dataset;
+use roadnet::graph::Graph;
+use workload::moto::MotoConfig;
+use workload::scenario::ScenarioConfig;
+
+/// Scale divisor for bench datasets (NY → ~330 vertices).
+pub const BENCH_SCALE: u32 = 800;
+
+pub fn bench_graph(ds: Dataset) -> Arc<Graph> {
+    build_dataset(&DatasetSpec::new(ds, BENCH_SCALE))
+}
+
+pub fn bench_params() -> IndexParams {
+    IndexParams::default()
+}
+
+pub fn bench_scenario(objects: usize, k: usize, queries: usize) -> ScenarioConfig {
+    ScenarioConfig {
+        moto: MotoConfig {
+            num_objects: objects,
+            update_period_ms: 500,
+            seed: 12,
+            ..Default::default()
+        },
+        k,
+        query_interval_ms: 500,
+        num_queries: queries,
+        warmup_ms: 600,
+        query_seed: 34,
+    }
+}

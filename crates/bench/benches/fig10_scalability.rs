@@ -1,0 +1,24 @@
+//! Criterion bench for Fig 10: G-Grid vs network size.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ggrid_bench::runner::{run_one, IndexKind};
+use roadnet::gen::Dataset;
+
+fn bench_scalability(c: &mut Criterion) {
+    let params = common::bench_params();
+    let scenario = common::bench_scenario(400, 16, 3);
+    let mut group = c.benchmark_group("fig10_network_size");
+    group.sample_size(10);
+    for ds in [Dataset::NY, Dataset::FLA, Dataset::CAL] {
+        let graph = common::bench_graph(ds);
+        group.bench_with_input(BenchmarkId::from_parameter(ds.name()), &ds, |b, _| {
+            b.iter(|| run_one(IndexKind::GGrid, &graph, &params, &scenario))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

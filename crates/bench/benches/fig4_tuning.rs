@@ -1,0 +1,65 @@
+//! Criterion bench for Fig 4: G-Grid parameter tuning (δᵇ, 2^η, ρ).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ggrid::GGridConfig;
+use ggrid_bench::runner::{run_one, IndexKind};
+use roadnet::gen::Dataset;
+
+fn bench_delta_b(c: &mut Criterion) {
+    let graph = common::bench_graph(Dataset::NY);
+    let scenario = common::bench_scenario(400, 16, 3);
+    let mut group = c.benchmark_group("fig4a_delta_b");
+    group.sample_size(10);
+    for db in [8usize, 32, 128] {
+        let mut params = common::bench_params();
+        params.ggrid = GGridConfig {
+            bucket_capacity: db,
+            ..GGridConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(db), &db, |b, _| {
+            b.iter(|| run_one(IndexKind::GGrid, &graph, &params, &scenario))
+        });
+    }
+    group.finish();
+}
+
+fn bench_eta(c: &mut Criterion) {
+    let graph = common::bench_graph(Dataset::NY);
+    let scenario = common::bench_scenario(400, 16, 3);
+    let mut group = c.benchmark_group("fig4b_bundle_width");
+    group.sample_size(10);
+    for eta in [4u32, 5, 6] {
+        let mut params = common::bench_params();
+        params.ggrid = GGridConfig {
+            eta,
+            ..GGridConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(1u32 << eta), &eta, |b, _| {
+            b.iter(|| run_one(IndexKind::GGrid, &graph, &params, &scenario))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rho(c: &mut Criterion) {
+    let graph = common::bench_graph(Dataset::NY);
+    let scenario = common::bench_scenario(400, 16, 3);
+    let mut group = c.benchmark_group("fig4c_rho");
+    group.sample_size(10);
+    for rho in [1.4f64, 1.8, 3.0] {
+        let mut params = common::bench_params();
+        params.ggrid = GGridConfig {
+            rho,
+            ..GGridConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(rho), &rho, |b, _| {
+            b.iter(|| run_one(IndexKind::GGrid, &graph, &params, &scenario))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_delta_b, bench_eta, bench_rho);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench for Fig 5: all four indexes across datasets (k = 16).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ggrid_bench::runner::{run_one, IndexKind};
+use roadnet::gen::Dataset;
+
+fn bench_fig5(c: &mut Criterion) {
+    let scenario = common::bench_scenario(400, 16, 3);
+    let params = common::bench_params();
+    for ds in [Dataset::NY, Dataset::FLA] {
+        let graph = common::bench_graph(ds);
+        let mut group = c.benchmark_group(format!("fig5_{}", ds.name()));
+        group.sample_size(10);
+        for kind in IndexKind::ALL {
+            group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &k| {
+                b.iter(|| run_one(k, &graph, &params, &scenario))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench for Fig 6: index construction cost and size (the size
+//! itself is reported by the `experiments` binary; here we bench builds).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ggrid_bench::runner::{build_index, IndexKind};
+use roadnet::gen::Dataset;
+
+fn bench_builds(c: &mut Criterion) {
+    let graph = common::bench_graph(Dataset::NY);
+    let params = common::bench_params();
+    let mut group = c.benchmark_group("fig6_index_build");
+    group.sample_size(10);
+    for kind in [IndexKind::GGrid, IndexKind::VTree, IndexKind::Road] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &k| {
+            b.iter(|| build_index(k, &graph, &params).map(|i| i.index_size().total()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_builds);
+criterion_main!(benches);

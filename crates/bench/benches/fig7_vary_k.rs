@@ -1,0 +1,26 @@
+//! Criterion bench for Fig 7: query time vs k.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ggrid_bench::runner::{run_one, IndexKind};
+use roadnet::gen::Dataset;
+
+fn bench_vary_k(c: &mut Criterion) {
+    let graph = common::bench_graph(Dataset::NY);
+    let params = common::bench_params();
+    for kind in [IndexKind::GGrid, IndexKind::VTree] {
+        let mut group = c.benchmark_group(format!("fig7_{}", kind.name()));
+        group.sample_size(10);
+        for k in [8usize, 32, 128] {
+            let scenario = common::bench_scenario(400, k, 3);
+            group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+                b.iter(|| run_one(kind, &graph, &params, &scenario))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_vary_k);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench for Fig 8: query time vs |𝒪|.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ggrid_bench::runner::{run_one, IndexKind};
+use roadnet::gen::Dataset;
+
+fn bench_vary_objects(c: &mut Criterion) {
+    let graph = common::bench_graph(Dataset::NY);
+    let params = common::bench_params();
+    for kind in [IndexKind::GGrid, IndexKind::VTree] {
+        let mut group = c.benchmark_group(format!("fig8_{}", kind.name()));
+        group.sample_size(10);
+        for n in [100usize, 1_000, 5_000] {
+            let scenario = common::bench_scenario(n, 16, 3);
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+                b.iter(|| run_one(kind, &graph, &params, &scenario))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_vary_objects);
+criterion_main!(benches);

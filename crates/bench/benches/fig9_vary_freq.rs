@@ -1,0 +1,28 @@
+//! Criterion bench for Fig 9: query time vs update frequency f — the
+//! lazy-update headline.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ggrid_bench::runner::{run_one, IndexKind};
+use roadnet::gen::Dataset;
+
+fn bench_vary_freq(c: &mut Criterion) {
+    let graph = common::bench_graph(Dataset::NY);
+    let params = common::bench_params();
+    for kind in [IndexKind::GGrid, IndexKind::VTree, IndexKind::Road] {
+        let mut group = c.benchmark_group(format!("fig9_{}", kind.name()));
+        group.sample_size(10);
+        for f in [1u64, 4, 8] {
+            let mut scenario = common::bench_scenario(400, 16, 3);
+            scenario.moto.update_period_ms = 1000 / f;
+            group.bench_with_input(BenchmarkId::from_parameter(f), &f, |b, _| {
+                b.iter(|| run_one(kind, &graph, &params, &scenario))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_vary_freq);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Micro-benchmarks of the building blocks: Z-curve encoding, graph
+//! partitioning, Dijkstra, the X-shuffle kernel, message caching, and the
+//! object table.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ggrid::grid::CellId;
+use ggrid::message::{CachedMessage, ObjectId, Timestamp};
+use ggrid::xshuffle::{xshuffle_clean, WireMessage};
+use gpu_sim::{Device, DeviceSpec};
+use roadnet::dijkstra::DijkstraEngine;
+use roadnet::graph::VertexId;
+use roadnet::{gen, partition, zorder, EdgeId, EdgePosition};
+
+fn bench_zorder(c: &mut Criterion) {
+    c.bench_function("zorder_encode_4096", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for x in 0..64u32 {
+                for y in 0..64u32 {
+                    acc = acc.wrapping_add(zorder::encode(x, y));
+                }
+            }
+            acc
+        })
+    });
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let g = gen::grid_city(&gen::GridCityParams {
+        rows: 24,
+        cols: 24,
+        ..Default::default()
+    });
+    c.bench_function("partition_576v_cap8", |b| {
+        b.iter(|| partition::partition_with_capacity(&g, 8).num_parts)
+    });
+}
+
+fn bench_dijkstra(c: &mut Criterion) {
+    let g = gen::grid_city(&gen::GridCityParams {
+        rows: 32,
+        cols: 32,
+        ..Default::default()
+    });
+    let mut engine = DijkstraEngine::new(&g);
+    c.bench_function("dijkstra_full_1024v", |b| {
+        b.iter(|| engine.run_from_vertex(VertexId(0)))
+    });
+}
+
+fn bench_xshuffle(c: &mut Criterion) {
+    // 64 buckets of 8 messages over 12 objects: two 32-lane bundles.
+    let buckets: Vec<Vec<WireMessage>> = (0..64u64)
+        .map(|i| {
+            (0..8u64)
+                .map(|j| WireMessage {
+                    msg: CachedMessage::update(
+                        ObjectId((i * 8 + j) % 12),
+                        EdgePosition::new(EdgeId(0), 0),
+                        Timestamp(1000 + i * 8 + j),
+                    ),
+                    cell: CellId((i % 4) as u32),
+                })
+                .collect()
+        })
+        .collect();
+    let mut group = c.benchmark_group("xshuffle_clean_512msgs");
+    for eta in [4u32, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(1 << eta), &eta, |b, &eta| {
+            b.iter(|| {
+                let mut dev = Device::new(DeviceSpec::test_tiny());
+                let (out, _) =
+                    dev.launch(buckets.len(), |ctx| xshuffle_clean(ctx, &buckets, eta, Timestamp(0)));
+                out.objects_seen
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_update_path(c: &mut Criterion) {
+    use ggrid::{GGridConfig, GGridServer};
+    let g = gen::grid_city(&gen::GridCityParams {
+        rows: 16,
+        cols: 16,
+        ..Default::default()
+    });
+    c.bench_function("ggrid_handle_update_x1000", |b| {
+        let mut server = GGridServer::new(g.clone(), GGridConfig::default());
+        let mut t = 0u64;
+        b.iter(|| {
+            for o in 0..1000u64 {
+                t += 1;
+                let e = EdgeId(((o * 13) % g.num_edges() as u64) as u32);
+                server.handle_update(ObjectId(o), EdgePosition::at_source(e), Timestamp(t));
+            }
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_zorder,
+    bench_partition,
+    bench_dijkstra,
+    bench_xshuffle,
+    bench_update_path
+);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Fig 10: scalability of G-Grid over network size.
+//!
+//! (a) running time grows with network size; (b) throughput
+//! (queries/second) falls; (c)/(d) DRAM↔GPU transfer volume and time grow
+//! with k and with network size, plateauing on huge networks where most
+//! touched cells have empty message lists.
+
+use crate::csvout::{fmt_bytes, fmt_ns, ResultTable};
+use crate::datasets::{build_dataset, DatasetSpec};
+use crate::experiments::ExpConfig;
+use crate::runner::{run_one_in, BenchWorld, IndexKind};
+
+const TRANSFER_KS: [usize; 3] = [8, 32, 128];
+
+/// Fig 10 (a)+(b): running time and throughput per dataset.
+pub fn run_time_throughput(cfg: &ExpConfig) -> ResultTable {
+    let mut t = ResultTable::new(
+        "Fig 10a/b: G-Grid running time & throughput vs network size (k=16)",
+        &["Dataset", "|V|", "time/query", "throughput (q/s)"],
+    );
+    for ds in cfg.datasets() {
+        let world = BenchWorld::new(build_dataset(&DatasetSpec::new(ds, cfg.scale)));
+        let outcome = run_one_in(&world, IndexKind::GGrid, &cfg.index_params(), &cfg.scenario());
+        let ns = outcome.serial_ns_per_query().unwrap();
+        let qps = 1e9 / ns.max(1) as f64;
+        t.row(vec![
+            ds.name().to_string(),
+            world.graph.num_vertices().to_string(),
+            fmt_ns(ns),
+            format!("{qps:.1}"),
+        ]);
+    }
+    t
+}
+
+/// Fig 10 (c)+(d): transfer volume and time per query vs network size, for
+/// k ∈ {8, 32, 128}.
+pub fn run_transfers(cfg: &ExpConfig) -> ResultTable {
+    let mut headers = vec!["Dataset".to_string(), "|V|".to_string()];
+    for k in TRANSFER_KS {
+        headers.push(format!("bytes/q (k={k})"));
+        headers.push(format!("xfer time/q (k={k})"));
+    }
+    let mut t = ResultTable {
+        title: "Fig 10c/d: DRAM-GPU transfer size and time per query".into(),
+        headers,
+        rows: Vec::new(),
+    };
+    for ds in cfg.datasets() {
+        let world = BenchWorld::new(build_dataset(&DatasetSpec::new(ds, cfg.scale)));
+        let mut row = vec![ds.name().to_string(), world.graph.num_vertices().to_string()];
+        for k in TRANSFER_KS {
+            let mut scenario = cfg.scenario();
+            scenario.k = k;
+            let outcome = run_one_in(&world, IndexKind::GGrid, &cfg.index_params(), &scenario);
+            let r = outcome.report.as_ref().unwrap();
+            let bytes = (r.sim.h2d_bytes + r.sim.d2h_bytes) / r.queries.max(1) as u64;
+            let xfer = r.sim.transfer_time.0 / r.queries.max(1) as u64;
+            row.push(fmt_bytes(bytes));
+            row.push(fmt_ns(xfer));
+        }
+        t.rows.push(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpConfig {
+        ExpConfig {
+            scale: 4000,
+            objects: 150,
+            queries: 2,
+            ..ExpConfig::quick()
+        }
+    }
+
+    #[test]
+    fn time_throughput_rows() {
+        let t = run_time_throughput(&tiny());
+        assert_eq!(t.rows.len(), tiny().datasets().len());
+    }
+
+    #[test]
+    fn transfer_rows_and_columns() {
+        let t = run_transfers(&tiny());
+        assert_eq!(t.rows.len(), tiny().datasets().len());
+        assert_eq!(t.headers.len(), 2 + 2 * TRANSFER_KS.len());
+    }
+}

@@ -1,0 +1,161 @@
+//! Fig 4: tuning the system parameters δᵇ, 2^η, and ρ.
+//!
+//! * (a) bucket capacity δᵇ from 4 to 256 — U-shaped running time: small
+//!   buckets mean many threads and a large intermediate table, huge buckets
+//!   under-occupy the device;
+//! * (b) bundle width 2^η — widths beyond the 32-lane warp must stage
+//!   shuffles through shared memory and lose;
+//! * (c) ρ — the GPU/CPU workload balance knob.
+
+use ggrid::GGridConfig;
+
+use crate::csvout::{fmt_ns, ResultTable};
+use crate::datasets::{build_dataset, DatasetSpec};
+use crate::experiments::ExpConfig;
+use crate::runner::{run_one_in, BenchWorld, IndexKind};
+
+const DELTA_B: [usize; 7] = [4, 8, 16, 32, 64, 128, 256];
+const ETA: [u32; 5] = [3, 4, 5, 6, 7]; // bundle widths 8..128
+const RHO: [f64; 6] = [1.4, 1.6, 1.8, 2.0, 2.4, 3.0];
+
+fn amortized_with(cfg: &ExpConfig, world: &BenchWorld, ggrid: GGridConfig) -> u64 {
+    let mut params = cfg.index_params();
+    params.ggrid = ggrid;
+    let outcome = run_one_in(world, IndexKind::GGrid, &params, &cfg.scenario());
+    outcome.serial_ns_per_query().expect("G-Grid always builds")
+}
+
+fn worlds_for(cfg: &ExpConfig) -> Vec<(roadnet::gen::Dataset, BenchWorld)> {
+    fig4_datasets(cfg)
+        .into_iter()
+        .map(|ds| {
+            let graph = build_dataset(&DatasetSpec::new(ds, cfg.scale));
+            (ds, BenchWorld::new(graph))
+        })
+        .collect()
+}
+
+/// Fig 4a: vary δᵇ on NY, FLA, USA.
+pub fn run_a(cfg: &ExpConfig) -> ResultTable {
+    let worlds = worlds_for(cfg);
+    let mut headers = vec!["delta_b".to_string()];
+    headers.extend(worlds.iter().map(|(d, _)| d.name().to_string()));
+    let mut t = ResultTable {
+        title: "Fig 4a: query time vs bucket capacity δ^b".into(),
+        headers,
+        rows: Vec::new(),
+    };
+    for &db in &DELTA_B {
+        let mut row = vec![db.to_string()];
+        for (_, world) in &worlds {
+            let ns = amortized_with(
+                cfg,
+                world,
+                GGridConfig {
+                    bucket_capacity: db,
+                    ..GGridConfig::default()
+                },
+            );
+            row.push(fmt_ns(ns));
+        }
+        t.rows.push(row);
+    }
+    t
+}
+
+/// Fig 4b: vary the bundle width 2^η.
+pub fn run_b(cfg: &ExpConfig) -> ResultTable {
+    let worlds = worlds_for(cfg);
+    let mut headers = vec!["bundle(2^eta)".to_string()];
+    headers.extend(worlds.iter().map(|(d, _)| d.name().to_string()));
+    let mut t = ResultTable {
+        title: "Fig 4b: query time vs bundle width 2^eta (warp = 32)".into(),
+        headers,
+        rows: Vec::new(),
+    };
+    for &eta in &ETA {
+        let mut row = vec![(1u32 << eta).to_string()];
+        for (_, world) in &worlds {
+            let ns = amortized_with(
+                cfg,
+                world,
+                GGridConfig {
+                    eta,
+                    ..GGridConfig::default()
+                },
+            );
+            row.push(fmt_ns(ns));
+        }
+        t.rows.push(row);
+    }
+    t
+}
+
+/// Fig 4c: vary ρ.
+pub fn run_c(cfg: &ExpConfig) -> ResultTable {
+    let worlds = worlds_for(cfg);
+    let mut headers = vec!["rho".to_string()];
+    headers.extend(worlds.iter().map(|(d, _)| d.name().to_string()));
+    let mut t = ResultTable {
+        title: "Fig 4c: query time vs rho (GPU/CPU balance)".into(),
+        headers,
+        rows: Vec::new(),
+    };
+    for &rho in &RHO {
+        let mut row = vec![format!("{rho:.1}")];
+        for (_, world) in &worlds {
+            let ns = amortized_with(
+                cfg,
+                world,
+                GGridConfig {
+                    rho,
+                    ..GGridConfig::default()
+                },
+            );
+            row.push(fmt_ns(ns));
+        }
+        t.rows.push(row);
+    }
+    t
+}
+
+fn fig4_datasets(cfg: &ExpConfig) -> Vec<roadnet::gen::Dataset> {
+    use roadnet::gen::Dataset;
+    if cfg.quick {
+        vec![Dataset::NY]
+    } else {
+        vec![Dataset::NY, Dataset::FLA, Dataset::USA]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpConfig {
+        ExpConfig {
+            scale: 4000,
+            objects: 100,
+            queries: 2,
+            ..ExpConfig::quick()
+        }
+    }
+
+    #[test]
+    fn fig4a_rows() {
+        let t = run_a(&tiny());
+        assert_eq!(t.rows.len(), DELTA_B.len());
+    }
+
+    #[test]
+    fn fig4b_rows() {
+        let t = run_b(&tiny());
+        assert_eq!(t.rows.len(), ETA.len());
+    }
+
+    #[test]
+    fn fig4c_rows() {
+        let t = run_c(&tiny());
+        assert_eq!(t.rows.len(), RHO.len());
+    }
+}

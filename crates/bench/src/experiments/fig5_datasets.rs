@@ -1,0 +1,59 @@
+//! Fig 5: query running time vs datasets (k = 16).
+//!
+//! Columns follow the paper: G-Grid (L) is the serial per-query latency
+//! clock, G-Grid the overlapped amortised clock, then the three baselines.
+//! V-Tree (G) reports `-` where its index exceeds device memory (USA).
+
+use crate::csvout::{fmt_ns, ResultTable};
+use crate::datasets::{build_dataset, DatasetSpec};
+use crate::experiments::ExpConfig;
+use crate::runner::{run_all_indexes, IndexKind};
+
+pub fn run(cfg: &ExpConfig) -> ResultTable {
+    let mut t = ResultTable::new(
+        "Fig 5: amortized query time vs datasets (k=16)",
+        &["Dataset", "G-Grid", "G-Grid (L)", "V-Tree", "V-Tree (G)", "ROAD"],
+    );
+    for ds in cfg.datasets() {
+        let graph = build_dataset(&DatasetSpec::new(ds, cfg.scale));
+        let outcomes = run_all_indexes(
+            &graph,
+            &cfg.index_params(),
+            &cfg.scenario(),
+            &IndexKind::ALL,
+        );
+        let find = |k: IndexKind| outcomes.iter().find(|o| o.kind == k).unwrap();
+        let ggrid = find(IndexKind::GGrid);
+        let fmt_opt = |ns: Option<u64>| ns.map(fmt_ns).unwrap_or_else(|| "-".into());
+        t.row(vec![
+            ds.name().to_string(),
+            fmt_opt(ggrid.overlapped_ns_per_query()),
+            fmt_opt(ggrid.serial_ns_per_query()),
+            fmt_opt(find(IndexKind::VTree).serial_ns_per_query()),
+            fmt_opt(find(IndexKind::VTreeGpu).serial_ns_per_query()),
+            fmt_opt(find(IndexKind::Road).serial_ns_per_query()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_row_per_dataset() {
+        let cfg = ExpConfig {
+            scale: 4000,
+            objects: 120,
+            queries: 2,
+            ..ExpConfig::quick()
+        };
+        let t = run(&cfg);
+        assert_eq!(t.rows.len(), cfg.datasets().len());
+        // Every cell filled (small graphs fit the device).
+        for row in &t.rows {
+            assert!(row.iter().all(|c| !c.is_empty()));
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Table II: statistics of the road networks.
+
+use crate::csvout::ResultTable;
+use crate::datasets::{build_dataset, DatasetSpec};
+use crate::experiments::ExpConfig;
+
+pub fn run(cfg: &ExpConfig) -> ResultTable {
+    let mut t = ResultTable::new(
+        &format!("Table II: road networks (scale 1/{})", cfg.scale),
+        &[
+            "Dataset",
+            "|V| (paper)",
+            "|E| (paper)",
+            "|V| (built)",
+            "|E| (built)",
+            "E/V (paper)",
+            "E/V (built)",
+        ],
+    );
+    for ds in cfg.datasets() {
+        let (v_full, e_full) = ds.full_stats();
+        let g = build_dataset(&DatasetSpec::new(ds, cfg.scale));
+        t.row(vec![
+            ds.name().to_string(),
+            v_full.to_string(),
+            e_full.to_string(),
+            g.num_vertices().to_string(),
+            g.num_edges().to_string(),
+            format!("{:.2}", e_full as f64 / v_full as f64),
+            format!("{:.2}", g.num_edges() as f64 / g.num_vertices() as f64),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_row_per_dataset() {
+        let cfg = ExpConfig {
+            scale: 4000,
+            ..ExpConfig::quick()
+        };
+        let t = run(&cfg);
+        assert_eq!(t.rows.len(), cfg.datasets().len());
+    }
+}

@@ -1,0 +1,267 @@
+//! Message cleaning (paper Algorithm 2).
+//!
+//! Given a set of cells, freeze their message lists, ship the surviving
+//! buckets to the device in pipelined groups (§V-A), run the X-shuffle
+//! kernel, copy the result table ℛ back, and write the consolidated
+//! per-object messages back into the cells' lists.
+
+use std::collections::HashMap;
+
+use gpu_sim::{pipelined_makespan, Device, SimNanos};
+
+use crate::grid::CellId;
+use crate::message::{CachedMessage, Timestamp};
+use crate::message_list::MessageList;
+use crate::object_table::FxBuildHasher;
+use crate::xshuffle::{xshuffle_clean, WireMessage};
+
+/// Cost report of one cleaning round.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CleaningReport {
+    /// End-to-end simulated time: pipelined upload+kernel, plus the result
+    /// copy back.
+    pub time: SimNanos,
+    pub kernel_time: SimNanos,
+    pub h2d_bytes: u64,
+    pub d2h_bytes: u64,
+    pub buckets: usize,
+    pub messages: usize,
+    /// Diagnostic surfaced from the kernel (Theorem 1 check).
+    pub max_duplicates_seen: u32,
+}
+
+/// Objects found alive in the cleaned cells: newest position per object,
+/// grouped by cell.
+pub type CleanedObjects = HashMap<CellId, Vec<CachedMessage>, FxBuildHasher>;
+
+/// Clean the message lists of `cells`.
+///
+/// `lists` is the per-cell message-list array (indexed by cell id). After
+/// the call, each cleaned cell's list holds one consolidated message per
+/// surviving object (plus anything that arrived during the simulated GPU
+/// processing — nothing, in the single-threaded simulation).
+pub fn clean_cells(
+    device: &mut Device,
+    lists: &mut [MessageList],
+    cells: &[CellId],
+    eta: u32,
+    transfer_chunks: usize,
+    now: Timestamp,
+    t_delta_ms: u64,
+) -> (CleanedObjects, CleaningReport) {
+    let horizon = now.saturating_sub_ms(t_delta_ms);
+
+    // Preprocessing (Algorithm 2 lines 1–5): freeze each list, drop expired
+    // buckets, and annotate messages with their cell id.
+    let mut buckets: Vec<Vec<WireMessage>> = Vec::new();
+    for &c in cells {
+        for bucket in lists[c.index()].take_for_cleaning(now, t_delta_ms) {
+            buckets.push(
+                bucket
+                    .messages
+                    .iter()
+                    .map(|&msg| WireMessage { msg, cell: c })
+                    .collect(),
+            );
+        }
+    }
+
+    let messages: usize = buckets.iter().map(|b| b.len()).sum();
+    if buckets.is_empty() {
+        return (CleanedObjects::default(), CleaningReport::default());
+    }
+
+    // Upload in pipelined groups: the device starts cleaning the first
+    // group while later groups are still on the wire (§V-A).
+    let chunks = transfer_chunks.clamp(1, buckets.len());
+    let per_chunk = buckets.len().div_ceil(chunks);
+    let mut chunk_bytes: Vec<u64> = Vec::with_capacity(chunks);
+    for group in buckets.chunks(per_chunk) {
+        let bytes: u64 = group
+            .iter()
+            .map(|b| b.len() as u64 * CachedMessage::WIRE_BYTES)
+            .sum();
+        chunk_bytes.push(bytes);
+    }
+
+    // Parallel processing (Algorithm 2 lines 6–9): one thread per bucket.
+    let (output, report) = device.launch(buckets.len(), |ctx| {
+        xshuffle_clean(ctx, &buckets, eta, horizon)
+    });
+
+    // Pipelined makespan: copy time per group against a proportional share
+    // of the kernel time.
+    let mut h2d_bytes = 0u64;
+    let mut schedule: Vec<(SimNanos, SimNanos)> = Vec::with_capacity(chunk_bytes.len());
+    for &bytes in &chunk_bytes {
+        let copy = device.h2d(bytes);
+        h2d_bytes += bytes;
+        let share = if messages == 0 {
+            SimNanos::ZERO
+        } else {
+            let frac = bytes as f64 / (messages as u64 * CachedMessage::WIRE_BYTES) as f64;
+            SimNanos((report.time.0 as f64 * frac) as u64)
+        };
+        schedule.push((copy, share));
+    }
+    let overlapped = pipelined_makespan(&schedule);
+
+    // Result computation + copy back (Algorithm 2 lines 10–11).
+    let live_objects: usize = output.per_cell.values().map(|v| v.len()).sum();
+    let d2h_bytes = live_objects as u64 * CachedMessage::WIRE_BYTES;
+    let copy_back = device.d2h(d2h_bytes);
+
+    // CPU side: install the consolidated lists.
+    for &c in cells {
+        if let Some(msgs) = output.per_cell.get(&c) {
+            lists[c.index()].restore_consolidated(msgs.clone());
+        }
+    }
+
+    let rep = CleaningReport {
+        time: overlapped + copy_back,
+        kernel_time: report.time,
+        h2d_bytes,
+        d2h_bytes,
+        buckets: buckets.len(),
+        messages,
+        max_duplicates_seen: output.max_duplicates_seen,
+    };
+    (output.per_cell, rep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::ObjectId;
+    use gpu_sim::DeviceSpec;
+    use roadnet::{EdgeId, EdgePosition};
+
+    fn msg(o: u64, t: u64) -> CachedMessage {
+        CachedMessage::update(ObjectId(o), EdgePosition::new(EdgeId(0), 0), Timestamp(t))
+    }
+
+    fn setup(n_cells: usize) -> (Device, Vec<MessageList>) {
+        (
+            Device::new(DeviceSpec::test_tiny()),
+            (0..n_cells).map(|_| MessageList::new(4)).collect(),
+        )
+    }
+
+    #[test]
+    fn cleans_only_requested_cells() {
+        let (mut dev, mut lists) = setup(3);
+        lists[0].append(msg(1, 100));
+        lists[1].append(msg(2, 100));
+        lists[2].append(msg(3, 100));
+        let (objs, rep) = clean_cells(
+            &mut dev,
+            &mut lists,
+            &[CellId(0), CellId(2)],
+            4,
+            2,
+            Timestamp(150),
+            1000,
+        );
+        assert!(objs.contains_key(&CellId(0)));
+        assert!(objs.contains_key(&CellId(2)));
+        assert!(!objs.contains_key(&CellId(1)));
+        assert_eq!(rep.messages, 2);
+        // Cell 1 untouched.
+        assert_eq!(lists[1].total_messages(), 1);
+    }
+
+    #[test]
+    fn consolidation_shrinks_lists() {
+        let (mut dev, mut lists) = setup(1);
+        for t in 0..20 {
+            lists[0].append(msg(1, 100 + t));
+            lists[0].append(msg(2, 100 + t));
+        }
+        assert_eq!(lists[0].total_messages(), 40);
+        let (objs, _) = clean_cells(
+            &mut dev,
+            &mut lists,
+            &[CellId(0)],
+            4,
+            2,
+            Timestamp(200),
+            1000,
+        );
+        assert_eq!(objs[&CellId(0)].len(), 2);
+        // List now holds exactly one message per live object.
+        assert_eq!(lists[0].total_messages(), 2);
+        // And they are the newest ones.
+        let newest: Vec<u64> = objs[&CellId(0)].iter().map(|m| m.time.0).collect();
+        assert!(newest.iter().all(|&t| t == 119));
+    }
+
+    #[test]
+    fn empty_cells_cost_nothing() {
+        let (mut dev, mut lists) = setup(2);
+        let (objs, rep) = clean_cells(
+            &mut dev,
+            &mut lists,
+            &[CellId(0), CellId(1)],
+            4,
+            2,
+            Timestamp(100),
+            1000,
+        );
+        assert!(objs.is_empty());
+        assert_eq!(rep.time, SimNanos::ZERO);
+        assert_eq!(dev.ledger().h2d_transfers, 0);
+    }
+
+    #[test]
+    fn transfers_metered_on_device() {
+        let (mut dev, mut lists) = setup(1);
+        for t in 0..10 {
+            lists[0].append(msg(t, 100 + t));
+        }
+        let (_, rep) = clean_cells(
+            &mut dev,
+            &mut lists,
+            &[CellId(0)],
+            4,
+            3,
+            Timestamp(200),
+            1000,
+        );
+        assert_eq!(rep.h2d_bytes, 10 * CachedMessage::WIRE_BYTES);
+        assert_eq!(dev.ledger().h2d_bytes, rep.h2d_bytes);
+        assert_eq!(dev.ledger().d2h_bytes, rep.d2h_bytes);
+        assert!(rep.time > SimNanos::ZERO);
+    }
+
+    #[test]
+    fn expired_buckets_not_shipped() {
+        let (mut dev, mut lists) = setup(1);
+        lists[0].append(msg(1, 10));
+        lists[0].append(msg(1, 11));
+        lists[0].append(msg(1, 12));
+        lists[0].append(msg(1, 13)); // bucket 0 full (cap 4), latest 13
+        lists[0].append(msg(2, 5000)); // bucket 1
+        let (objs, rep) = clean_cells(
+            &mut dev,
+            &mut lists,
+            &[CellId(0)],
+            4,
+            1,
+            Timestamp(5100),
+            500,
+        );
+        assert_eq!(rep.messages, 1, "stale bucket must be dropped on the CPU");
+        assert_eq!(objs[&CellId(0)].len(), 1);
+        assert_eq!(objs[&CellId(0)][0].object, ObjectId(2));
+    }
+
+    #[test]
+    fn repeated_cleaning_is_idempotent() {
+        let (mut dev, mut lists) = setup(1);
+        lists[0].append(msg(7, 100));
+        let (a, _) = clean_cells(&mut dev, &mut lists, &[CellId(0)], 4, 1, Timestamp(150), 1000);
+        let (b, _) = clean_cells(&mut dev, &mut lists, &[CellId(0)], 4, 1, Timestamp(160), 1000);
+        assert_eq!(a[&CellId(0)], b[&CellId(0)]);
+    }
+}

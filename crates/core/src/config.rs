@@ -1,0 +1,99 @@
+//! Tunable parameters of the G-Grid (paper Table I and §VII-C1).
+
+/// Configuration of a [`crate::server::GGridServer`].
+///
+/// Defaults are the values the paper tunes to in §VII-C1: δᶜ = 3, δᵛ = 2,
+/// δᵇ = 128, bundles of 2^η = 32 threads (the warp size), ρ = 1.8.
+#[derive(Clone, Debug)]
+pub struct GGridConfig {
+    /// δᶜ — maximum vertices per grid cell (sized so a cell fits an L1 line
+    /// in the paper's layout).
+    pub cell_capacity: usize,
+    /// δᵛ — edge slots per (possibly virtual) vertex record.
+    pub vertex_capacity: usize,
+    /// δᵇ — messages per message-list bucket.
+    pub bucket_capacity: usize,
+    /// η — bundles contain 2^η threads for the X-shuffle.
+    pub eta: u32,
+    /// ρ — candidate over-provisioning factor balancing GPU vs CPU work
+    /// (the query gathers at least ρ·k candidate objects before refining).
+    pub rho: f64,
+    /// t_Δ — maximum allowed interval between two location updates of the
+    /// same object, in milliseconds. Messages older than `now - t_delta_ms`
+    /// are obsolete by contract (§II) and are discarded during cleaning.
+    pub t_delta_ms: u64,
+    /// Number of message-list groups per cleaning round used to pipeline
+    /// host→device copies against kernel execution (§V-A).
+    pub transfer_chunks: usize,
+}
+
+impl Default for GGridConfig {
+    fn default() -> Self {
+        Self {
+            cell_capacity: 3,
+            vertex_capacity: 2,
+            bucket_capacity: 128,
+            eta: 5,
+            rho: 1.8,
+            t_delta_ms: 10_000,
+            transfer_chunks: 4,
+        }
+    }
+}
+
+impl GGridConfig {
+    /// Bundle width 2^η.
+    pub fn bundle_width(&self) -> usize {
+        1usize << self.eta
+    }
+
+    /// Validate invariants; called by the server constructor.
+    pub fn validate(&self) {
+        assert!(self.cell_capacity >= 1, "cell capacity must be >= 1");
+        assert!(self.vertex_capacity >= 1, "vertex capacity must be >= 1");
+        assert!(self.bucket_capacity >= 1, "bucket capacity must be >= 1");
+        assert!(
+            (1..=10).contains(&self.eta),
+            "eta must be in 1..=10 (bundles of 2..1024 threads)"
+        );
+        assert!(self.rho >= 1.0, "rho must be >= 1");
+        assert!(self.t_delta_ms > 0, "t_delta must be positive");
+        assert!(self.transfer_chunks >= 1, "need at least one transfer chunk");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_tuning() {
+        let c = GGridConfig::default();
+        assert_eq!(c.cell_capacity, 3);
+        assert_eq!(c.vertex_capacity, 2);
+        assert_eq!(c.bucket_capacity, 128);
+        assert_eq!(c.bundle_width(), 32);
+        assert!((c.rho - 1.8).abs() < 1e-9);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "rho must be >= 1")]
+    fn bad_rho_rejected() {
+        GGridConfig {
+            rho: 0.5,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "eta must be")]
+    fn bad_eta_rejected() {
+        GGridConfig {
+            eta: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+}

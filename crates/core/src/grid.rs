@@ -1,0 +1,420 @@
+//! The graph grid (paper §III-A).
+//!
+//! The road network is partitioned into `2^ψ × 2^ψ` cells of at most δᶜ
+//! vertices each, using the multilevel bisection partitioner; sibling parts
+//! of the recursion land in neighbouring cells. Cells are stored in one
+//! array ordered by Z-value so nearby cells co-locate in memory — the layout
+//! both the CPU and the (simulated) GPU copy of the grid share.
+//!
+//! Every vertex record stores the edges *entering* that vertex (destination
+//! layout), capped at δᵛ per record; vertices with more in-edges spill into
+//! *virtual vertices* — extra records in the same cell with the same vertex
+//! id. An inverted index maps every edge to the cell of its **source**
+//! vertex, which is the cell an object travelling on that edge belongs to.
+
+use std::sync::Arc;
+
+use roadnet::graph::{EdgeId, Graph, VertexId};
+use roadnet::partition::hierarchical_bisection;
+use roadnet::zorder;
+
+/// Identifier of a grid cell: its Z-value / position in the cell array.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct CellId(pub u32);
+
+impl CellId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An edge stored with its destination vertex: `e = ⟨id, v_s, w⟩`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GridEdge {
+    pub edge: EdgeId,
+    pub source: VertexId,
+    pub weight: u32,
+}
+
+/// One vertex record: `v = ⟨id, 𝒜_e, n⟩`. A vertex with more than δᵛ
+/// in-edges occupies several records (the extras are *virtual vertices*).
+#[derive(Clone, Debug)]
+pub struct VertexRecord {
+    pub vertex: VertexId,
+    pub edges: Vec<GridEdge>,
+    /// True for spill records of a vertex that exceeded δᵛ.
+    pub is_virtual: bool,
+}
+
+/// One grid cell: `c = ⟨𝒜_v, n_v, n_e⟩`.
+#[derive(Clone, Debug, Default)]
+pub struct Cell {
+    pub records: Vec<VertexRecord>,
+    /// Real (non-virtual) vertices in the cell.
+    pub num_vertices: u32,
+    /// Edges whose source vertex is in this cell.
+    pub num_out_edges: u32,
+}
+
+/// The graph grid.
+pub struct GraphGrid {
+    graph: Arc<Graph>,
+    psi: u32,
+    cells: Vec<Cell>,
+    cell_of_vertex: Vec<u32>,
+    /// Inverted index: edge → cell of its source vertex.
+    cell_of_edge: Vec<u32>,
+    /// Cell adjacency: cells connected by at least one edge in either
+    /// direction (`getNeighbors` in Algorithm 4).
+    neighbors: Vec<Vec<CellId>>,
+    cell_capacity: usize,
+    vertex_capacity: usize,
+}
+
+impl GraphGrid {
+    /// Build the grid: choose ψ from `⌈½·log₂(|V|/δᶜ)⌉`, partition, and
+    /// deepen if balance slack ever overflows a cell.
+    pub fn build(graph: Arc<Graph>, cell_capacity: usize, vertex_capacity: usize) -> Self {
+        assert!(cell_capacity >= 1 && vertex_capacity >= 1);
+        let n = graph.num_vertices().max(1);
+        let ratio = (n as f64 / cell_capacity as f64).max(1.0);
+        let mut psi = ((ratio.log2() / 2.0).ceil() as u32).min(15);
+        loop {
+            let partition = hierarchical_bisection(&graph, 2 * psi);
+            let sizes = partition.part_sizes();
+            if sizes.iter().all(|&s| s <= cell_capacity) || psi >= 15 {
+                return Self::assemble(graph, psi, partition.assignment, cell_capacity, vertex_capacity);
+            }
+            psi += 1;
+        }
+    }
+
+    fn assemble(
+        graph: Arc<Graph>,
+        psi: u32,
+        part_of_vertex: Vec<u32>,
+        cell_capacity: usize,
+        vertex_capacity: usize,
+    ) -> Self {
+        let side = 1u32 << psi;
+        let num_cells = (side as usize) * (side as usize);
+
+        // Map each part id (a 2ψ-bit string of bisection choices, MSB first)
+        // onto grid coordinates by de-interleaving: even splits refine x,
+        // odd splits refine y. Store the cell at the Z-value of (x, y).
+        let part_to_z = |part: u32| -> u32 {
+            let depth = 2 * psi;
+            let (mut x, mut y) = (0u32, 0u32);
+            for i in 0..depth {
+                let bit = (part >> (depth - 1 - i)) & 1;
+                if i % 2 == 0 {
+                    x = (x << 1) | bit;
+                } else {
+                    y = (y << 1) | bit;
+                }
+            }
+            zorder::encode(x, y)
+        };
+
+        let mut cell_of_vertex = vec![0u32; graph.num_vertices()];
+        let mut members: Vec<Vec<VertexId>> = vec![Vec::new(); num_cells];
+        for v in graph.vertices() {
+            let z = part_to_z(part_of_vertex[v.index()]);
+            cell_of_vertex[v.index()] = z;
+            members[z as usize].push(v);
+        }
+
+        // Vertex records with δᵛ-capped edge arrays and virtual spill.
+        let mut cells: Vec<Cell> = Vec::with_capacity(num_cells);
+        for mem in &members {
+            let mut cell = Cell::default();
+            for &v in mem {
+                let in_edges: Vec<GridEdge> = graph
+                    .in_edges(v)
+                    .map(|e| {
+                        let edge = graph.edge(e);
+                        GridEdge {
+                            edge: e,
+                            source: edge.source,
+                            weight: edge.weight,
+                        }
+                    })
+                    .collect();
+                cell.num_vertices += 1;
+                if in_edges.is_empty() {
+                    cell.records.push(VertexRecord {
+                        vertex: v,
+                        edges: Vec::new(),
+                        is_virtual: false,
+                    });
+                } else {
+                    for (i, chunk) in in_edges.chunks(vertex_capacity).enumerate() {
+                        cell.records.push(VertexRecord {
+                            vertex: v,
+                            edges: chunk.to_vec(),
+                            is_virtual: i > 0,
+                        });
+                    }
+                }
+            }
+            cells.push(cell);
+        }
+
+        // Inverted index and out-edge counts.
+        let mut cell_of_edge = vec![0u32; graph.num_edges()];
+        for e in graph.edge_ids() {
+            let src = graph.edge(e).source;
+            let z = cell_of_vertex[src.index()];
+            cell_of_edge[e.index()] = z;
+            cells[z as usize].num_out_edges += 1;
+        }
+
+        // Cell adjacency from edges crossing cells (either direction).
+        let mut neighbor_sets: Vec<Vec<u32>> = vec![Vec::new(); num_cells];
+        for e in graph.edge_ids() {
+            let edge = graph.edge(e);
+            let a = cell_of_vertex[edge.source.index()];
+            let b = cell_of_vertex[edge.dest.index()];
+            if a != b {
+                neighbor_sets[a as usize].push(b);
+                neighbor_sets[b as usize].push(a);
+            }
+        }
+        let neighbors = neighbor_sets
+            .into_iter()
+            .map(|mut v| {
+                v.sort_unstable();
+                v.dedup();
+                v.into_iter().map(CellId).collect()
+            })
+            .collect();
+
+        Self {
+            graph,
+            psi,
+            cells,
+            cell_of_vertex,
+            cell_of_edge,
+            neighbors,
+            cell_capacity,
+            vertex_capacity,
+        }
+    }
+
+    pub fn graph(&self) -> &Arc<Graph> {
+        &self.graph
+    }
+
+    pub fn psi(&self) -> u32 {
+        self.psi
+    }
+
+    /// δᶜ this grid was built with.
+    pub fn cell_capacity(&self) -> usize {
+        self.cell_capacity
+    }
+
+    /// δᵛ this grid was built with.
+    pub fn vertex_capacity(&self) -> usize {
+        self.vertex_capacity
+    }
+
+    /// Grid side length `2^ψ`.
+    pub fn side(&self) -> u32 {
+        1 << self.psi
+    }
+
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    pub fn cell(&self, c: CellId) -> &Cell {
+        &self.cells[c.index()]
+    }
+
+    pub fn cell_ids(&self) -> impl Iterator<Item = CellId> {
+        (0..self.cells.len() as u32).map(CellId)
+    }
+
+    /// Cell an object on `e` belongs to (cell of `e`'s source vertex) — the
+    /// `getCell` of Algorithms 1 and 4, backed by the inverted index.
+    pub fn cell_of_edge(&self, e: EdgeId) -> CellId {
+        CellId(self.cell_of_edge[e.index()])
+    }
+
+    pub fn cell_of_vertex(&self, v: VertexId) -> CellId {
+        CellId(self.cell_of_vertex[v.index()])
+    }
+
+    /// Cells connected to `c` by at least one edge.
+    pub fn neighbors(&self, c: CellId) -> &[CellId] {
+        &self.neighbors[c.index()]
+    }
+
+    /// Real vertices of a cell (virtual records deduplicated).
+    pub fn vertices_in(&self, c: CellId) -> impl Iterator<Item = VertexId> + '_ {
+        self.cell(c)
+            .records
+            .iter()
+            .filter(|r| !r.is_virtual)
+            .map(|r| r.vertex)
+    }
+
+    /// Total vertex records across all cells (one GPU thread each in the
+    /// shortest-distance kernel).
+    pub fn total_records(&self) -> usize {
+        self.cells.iter().map(|c| c.records.len()).sum()
+    }
+
+    /// Bytes of the grid in the paper's §VII-C1 layout: 32-byte vertex
+    /// records (δᵛ = 2 edges of 12 bytes plus header), cells padded to
+    /// 128-byte lines, plus the inverted index (8 bytes per edge) and the
+    /// vertex→cell map.
+    pub fn grid_bytes(&self) -> u64 {
+        let record_bytes = 8 + 12 * self.vertex_capacity as u64;
+        let cell_payload = 8 + record_bytes * self.cell_capacity as u64;
+        let cell_bytes = cell_payload.div_ceil(128) * 128;
+        let cells = self.cells.len() as u64 * cell_bytes;
+        let inverted = self.cell_of_edge.len() as u64 * 8;
+        let vmap = self.cell_of_vertex.len() as u64 * 4;
+        cells + inverted + vmap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadnet::gen;
+
+    fn build_toy() -> GraphGrid {
+        let g = Arc::new(gen::toy(42));
+        GraphGrid::build(g, 3, 2)
+    }
+
+    #[test]
+    fn every_vertex_lands_in_exactly_one_cell() {
+        let grid = build_toy();
+        let mut seen = vec![false; grid.graph().num_vertices()];
+        for c in grid.cell_ids() {
+            for v in grid.vertices_in(c) {
+                assert!(!seen[v.index()], "{v:?} appears twice");
+                seen[v.index()] = true;
+                assert_eq!(grid.cell_of_vertex(v), c);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn cell_capacity_respected() {
+        let grid = build_toy();
+        for c in grid.cell_ids() {
+            assert!(grid.cell(c).num_vertices as usize <= 3);
+        }
+    }
+
+    #[test]
+    fn vertex_capacity_spills_to_virtual() {
+        let grid = build_toy();
+        let mut any_virtual = false;
+        for c in grid.cell_ids() {
+            for r in &grid.cell(c).records {
+                assert!(r.edges.len() <= 2, "record over vertex capacity");
+                any_virtual |= r.is_virtual;
+            }
+        }
+        // toy graph has degree-3+ vertices, so spill must occur with δᵛ=2.
+        assert!(any_virtual);
+    }
+
+    #[test]
+    fn all_in_edges_stored_exactly_once() {
+        let grid = build_toy();
+        let g = grid.graph().clone();
+        let mut stored = vec![0u32; g.num_edges()];
+        for c in grid.cell_ids() {
+            for r in &grid.cell(c).records {
+                for ge in &r.edges {
+                    stored[ge.edge.index()] += 1;
+                    // The record's cell is the destination's cell.
+                    assert_eq!(grid.cell_of_vertex(r.vertex), c);
+                    assert_eq!(g.edge(ge.edge).dest, r.vertex);
+                    assert_eq!(g.edge(ge.edge).source, ge.source);
+                }
+            }
+        }
+        assert!(stored.iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn inverted_index_points_to_source_cell() {
+        let grid = build_toy();
+        let g = grid.graph().clone();
+        for e in g.edge_ids() {
+            let src = g.edge(e).source;
+            assert_eq!(grid.cell_of_edge(e), grid.cell_of_vertex(src));
+        }
+    }
+
+    #[test]
+    fn out_edge_counts_sum_to_total() {
+        let grid = build_toy();
+        let total: u32 = grid.cell_ids().map(|c| grid.cell(c).num_out_edges).sum();
+        assert_eq!(total as usize, grid.graph().num_edges());
+    }
+
+    #[test]
+    fn neighbors_symmetric_and_irreflexive() {
+        let grid = build_toy();
+        for c in grid.cell_ids() {
+            for &n in grid.neighbors(c) {
+                assert_ne!(n, c);
+                assert!(grid.neighbors(n).contains(&c), "{c:?} ↔ {n:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cross_cell_edges_imply_neighborhood() {
+        let grid = build_toy();
+        let g = grid.graph().clone();
+        for e in g.edge_ids() {
+            let edge = g.edge(e);
+            let a = grid.cell_of_vertex(edge.source);
+            let b = grid.cell_of_vertex(edge.dest);
+            if a != b {
+                assert!(grid.neighbors(a).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn psi_formula() {
+        // 64 vertices, δᶜ = 3 → |V|/δᶜ ≈ 21.3 → ψ = ⌈log₂(21.3)/2⌉ = 3 or
+        // deeper if balance required; grid must have ≥ ceil(64/3) cells.
+        let grid = build_toy();
+        assert!(grid.num_cells() >= 22);
+        assert_eq!(grid.num_cells(), (grid.side() * grid.side()) as usize);
+    }
+
+    #[test]
+    fn single_cell_degenerate_grid() {
+        let g = Arc::new(gen::toy(1));
+        let grid = GraphGrid::build(g.clone(), g.num_vertices(), 8);
+        assert_eq!(grid.num_cells(), 1);
+        assert!(grid.neighbors(CellId(0)).is_empty());
+        assert_eq!(grid.vertices_in(CellId(0)).count(), g.num_vertices());
+    }
+
+    #[test]
+    fn grid_bytes_positive_and_scales() {
+        let small = build_toy();
+        let big = GraphGrid::build(Arc::new(gen::grid_city(&gen::GridCityParams {
+            rows: 16,
+            cols: 16,
+            ..Default::default()
+        })), 3, 2);
+        assert!(small.grid_bytes() > 0);
+        assert!(big.grid_bytes() > small.grid_bytes());
+    }
+}

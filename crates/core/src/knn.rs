@@ -1,0 +1,682 @@
+//! kNN query processing (paper §V, Algorithms 4–6).
+//!
+//! The query runs as a CPU–GPU pipeline:
+//!
+//! 1. **Candidate cells** — starting from the query's cell, expand through
+//!    cell adjacency, cleaning each frontier on the device, until at least
+//!    ρ·k live objects are known (Algorithm 4 lines 1–4).
+//! 2. **Candidate distances** — a parallelised Bellman–Ford over the
+//!    subgraph induced by the candidate cells computes shortest distances
+//!    to every vertex (Algorithm 5, `GPU_SDist`); object distances follow
+//!    as `D[source(o.e)] + o.d`, and a parallel selection yields the k best
+//!    (`GPU_First_k`).
+//! 3. **Unresolved vertices** — boundary vertices of the candidate region
+//!    closer than the k-th candidate (`GPU_Unresolved`, Definition 3).
+//! 4. **Refinement** — the CPU runs a bounded Dijkstra from every
+//!    unresolved vertex over the *full* graph (Algorithm 6), lazily
+//!    cleaning any newly touched cells, and merges the improved distance
+//!    estimates into the final answer.
+//!
+//! Step 4 makes the answer exact: any true shortest path that leaves the
+//! candidate region must exit through an unresolved vertex `v` with
+//! `D[v] < l`, and the refinement search from `v` has radius `l − D[v]`,
+//! enough to reach every such answer object.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use gpu_sim::Device;
+use roadnet::dijkstra::{DijkstraEngine, SearchBounds};
+use roadnet::graph::{Distance, VertexId, INFINITY};
+use roadnet::EdgePosition;
+
+use crate::cleaning::clean_cells;
+use crate::config::GGridConfig;
+use crate::grid::{CellId, GraphGrid};
+use crate::message::{CachedMessage, ObjectId, Timestamp};
+use crate::message_list::MessageList;
+use crate::object_table::FxBuildHasher;
+use crate::stats::QueryBreakdown;
+
+/// Result of a kNN query.
+#[derive(Clone, Debug)]
+pub struct KnnResult {
+    /// Up to `k` `(object, network distance)` pairs, nearest first; ties
+    /// break on object id.
+    pub items: Vec<(ObjectId, Distance)>,
+    pub breakdown: QueryBreakdown,
+}
+
+/// Execute a kNN query against the G-Grid state.
+pub fn run_knn(
+    device: &mut Device,
+    grid: &GraphGrid,
+    lists: &mut [MessageList],
+    config: &GGridConfig,
+    q: EdgePosition,
+    k: usize,
+    now: Timestamp,
+) -> KnnResult {
+    assert!(k >= 1, "k must be at least 1");
+    let graph = grid.graph().clone();
+    assert!(q.is_valid(&graph), "query position invalid for this graph");
+    let mut breakdown = QueryBreakdown::default();
+    let cpu_start = Instant::now();
+    let mut cpu_excluded = std::time::Duration::ZERO; // host time spent emulating kernels
+
+    // ---- Step 1: candidate cells (Algorithm 4 lines 1-4) ----
+    let mut in_set = vec![false; grid.num_cells()];
+    let mut set: Vec<CellId> = Vec::new();
+    let c_q = grid.cell_of_edge(q.edge);
+    let mut first_round = vec![c_q];
+    first_round.extend_from_slice(grid.neighbors(c_q));
+
+    let mut objects: Vec<CachedMessage> = Vec::new();
+    let target = ((config.rho * k as f64).ceil() as usize).max(k);
+
+    let clean_round = |cells: &[CellId],
+                           in_set: &mut [bool],
+                           set: &mut Vec<CellId>,
+                           objects: &mut Vec<CachedMessage>,
+                           breakdown: &mut QueryBreakdown,
+                           device: &mut Device,
+                           lists: &mut [MessageList],
+                           cpu_excluded: &mut std::time::Duration| {
+        let fresh: Vec<CellId> = cells
+            .iter()
+            .copied()
+            .filter(|c| !in_set[c.index()])
+            .collect();
+        if fresh.is_empty() {
+            return;
+        }
+        let t0 = Instant::now();
+        let (cleaned, rep) = clean_cells(
+            device,
+            lists,
+            &fresh,
+            config.eta,
+            config.transfer_chunks,
+            now,
+            config.t_delta_ms,
+        );
+        *cpu_excluded += t0.elapsed();
+        breakdown.cleaning += rep.time;
+        breakdown.h2d_bytes += rep.h2d_bytes;
+        breakdown.d2h_bytes += rep.d2h_bytes;
+        breakdown.messages_cleaned += rep.messages;
+        breakdown.cells_cleaned += fresh.len();
+        for c in fresh {
+            in_set[c.index()] = true;
+            set.push(c);
+            if let Some(msgs) = cleaned.get(&c) {
+                objects.extend_from_slice(msgs);
+            }
+        }
+    };
+
+    clean_round(
+        &first_round,
+        &mut in_set,
+        &mut set,
+        &mut objects,
+        &mut breakdown,
+        device,
+        lists,
+        &mut cpu_excluded,
+    );
+
+    loop {
+        if objects.len() >= target {
+            break;
+        }
+        let frontier = frontier_of(grid, &in_set, &set);
+        if frontier.is_empty() {
+            break;
+        }
+        clean_round(
+            &frontier,
+            &mut in_set,
+            &mut set,
+            &mut objects,
+            &mut breakdown,
+            device,
+            lists,
+            &mut cpu_excluded,
+        );
+    }
+
+    // ---- Step 2: candidate distances, with a robustness loop: if fewer
+    // than k candidates are reachable inside the induced subgraph, keep
+    // expanding (degenerate topologies only; normally runs once). ----
+    let (dist, candidates) = loop {
+        let t0 = Instant::now();
+        let (dist, sdist_time) = gpu_sdist(device, grid, &in_set, &set, q, &graph);
+        let (candidates, firstk_time) = gpu_first_k(device, q, &dist, &objects, &graph);
+        cpu_excluded += t0.elapsed();
+        breakdown.candidate += sdist_time + firstk_time;
+
+        let finite = candidates.iter().filter(|c| c.1 < INFINITY).count();
+        if finite >= k.min(objects.len()) {
+            break (dist, candidates);
+        }
+        let frontier = frontier_of(grid, &in_set, &set);
+        if frontier.is_empty() {
+            break (dist, candidates);
+        }
+        clean_round(
+            &frontier,
+            &mut in_set,
+            &mut set,
+            &mut objects,
+            &mut breakdown,
+            device,
+            lists,
+            &mut cpu_excluded,
+        );
+    };
+    breakdown.candidates = candidates.len();
+
+    // Best estimate per object so far.
+    let mut estimates: HashMap<ObjectId, Distance, FxBuildHasher> =
+        HashMap::with_hasher(FxBuildHasher::default());
+    let mut positions: HashMap<ObjectId, EdgePosition, FxBuildHasher> =
+        HashMap::with_hasher(FxBuildHasher::default());
+    for &(o, d, p) in &candidates {
+        estimates.insert(o, d);
+        positions.insert(o, p);
+    }
+
+    // l = distance of the k-th candidate (Definition 3).
+    let l = kth_distance(&candidates, k);
+
+    // ---- Step 3: unresolved vertices ----
+    let all_covered = set.len() == grid.num_cells();
+    let unresolved: Vec<(VertexId, Distance)> = if all_covered || l >= INFINITY {
+        Vec::new()
+    } else {
+        let t0 = Instant::now();
+        let (u, t) = gpu_unresolved(device, grid, &in_set, &set, &dist, l);
+        cpu_excluded += t0.elapsed();
+        breakdown.candidate += t;
+        u
+    };
+    breakdown.unresolved = unresolved.len();
+
+    // Copy the candidate set and unresolved set back to the host
+    // (Algorithm 4 line 10 input).
+    let out_bytes = candidates.len() as u64 * 16 + unresolved.len() as u64 * 12;
+    if out_bytes > 0 {
+        breakdown.transfer_out += device.d2h(out_bytes);
+        breakdown.d2h_bytes += out_bytes;
+    }
+
+    // ---- Step 4: CPU refinement (Algorithm 6) ----
+    if !unresolved.is_empty() {
+        let mut engine = DijkstraEngine::new(&graph);
+        // best_outer[u] = min over unresolved v of D[v] + dist_v(u).
+        let mut best_outer: HashMap<VertexId, Distance, FxBuildHasher> =
+            HashMap::with_hasher(FxBuildHasher::default());
+        let mut touched_cells: Vec<CellId> = Vec::new();
+        for &(v, dv) in &unresolved {
+            let radius = l - dv; // l > dv by construction
+            engine.run_seeded(&[(v, 0)], SearchBounds::radius(radius));
+            for &u in engine.settled() {
+                let du = dv + engine.distance(u);
+                match best_outer.entry(u) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(du);
+                        let c = grid.cell_of_vertex(u);
+                        if !in_set[c.index()] {
+                            touched_cells.push(c);
+                        }
+                    }
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        if du < *e.get() {
+                            e.insert(du);
+                        }
+                    }
+                }
+            }
+        }
+        touched_cells.sort_unstable();
+        touched_cells.dedup();
+
+        // Lazily clean the cells the refinement wandered into and add their
+        // objects to the pool.
+        clean_round(
+            &touched_cells,
+            &mut in_set,
+            &mut set,
+            &mut objects,
+            &mut breakdown,
+            device,
+            lists,
+            &mut cpu_excluded,
+        );
+        for m in &objects {
+            if let Some(p) = m.position {
+                positions.entry(m.object).or_insert(p);
+            }
+        }
+
+        // Improve estimates through the unresolved vertices.
+        for (&o, &p) in positions.iter() {
+            let src = graph.edge(p.edge).source;
+            if let Some(&outer) = best_outer.get(&src) {
+                let est = outer.saturating_add(p.from_source());
+                estimates
+                    .entry(o)
+                    .and_modify(|d| *d = (*d).min(est))
+                    .or_insert(est);
+            }
+        }
+    }
+
+    // ---- Final selection ----
+    let mut final_items: Vec<(ObjectId, Distance)> = estimates
+        .into_iter()
+        .filter(|&(_, d)| d < INFINITY)
+        .collect();
+    final_items.sort_by_key(|&(o, d)| (d, o));
+    final_items.truncate(k);
+
+    let wall = cpu_start.elapsed();
+    breakdown.cpu_ns = wall.saturating_sub(cpu_excluded).as_nanos() as u64;
+    breakdown.emulation_ns = cpu_excluded.as_nanos() as u64;
+
+    KnnResult {
+        items: final_items,
+        breakdown,
+    }
+}
+
+/// Cells adjacent to the current set but not in it (`neighbors(L) \ L`).
+fn frontier_of(grid: &GraphGrid, in_set: &[bool], set: &[CellId]) -> Vec<CellId> {
+    let mut out: Vec<CellId> = set
+        .iter()
+        .flat_map(|&c| grid.neighbors(c).iter().copied())
+        .filter(|c| !in_set[c.index()])
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Distance of the k-th nearest candidate, or `INFINITY` when fewer than k
+/// candidates are reachable.
+fn kth_distance(candidates: &[(ObjectId, Distance, EdgePosition)], k: usize) -> Distance {
+    let mut ds: Vec<Distance> = candidates
+        .iter()
+        .map(|&(_, d, _)| d)
+        .filter(|&d| d < INFINITY)
+        .collect();
+    if ds.len() < k {
+        return INFINITY;
+    }
+    ds.sort_unstable();
+    ds[k - 1]
+}
+
+/// Algorithm 5 `GPU_SDist`: Bellman–Ford over the subgraph induced by the
+/// candidate cells, one thread per vertex record, relaxing each record's
+/// (≤ δᵛ) stored in-edges per round until fixpoint.
+fn gpu_sdist(
+    device: &mut Device,
+    grid: &GraphGrid,
+    in_set: &[bool],
+    set: &[CellId],
+    q: EdgePosition,
+    graph: &roadnet::Graph,
+) -> (HashMap<VertexId, Distance, FxBuildHasher>, gpu_sim::SimNanos) {
+    // Collect the records (threads) of the candidate cells.
+    let mut records: Vec<(&crate::grid::VertexRecord, ())> = Vec::new();
+    for &c in set {
+        for r in &grid.cell(c).records {
+            records.push((r, ()));
+        }
+    }
+    let threads = records.len().max(1);
+
+    let mut dist: HashMap<VertexId, Distance, FxBuildHasher> =
+        HashMap::with_hasher(FxBuildHasher::default());
+    for &c in set {
+        for v in grid.vertices_in(c) {
+            dist.insert(v, INFINITY);
+        }
+    }
+    // Seed: the only way off the query edge is its destination vertex.
+    let q_dest = graph.edge(q.edge).dest;
+    if let Some(d) = dist.get_mut(&q_dest) {
+        *d = q.to_dest(graph);
+    }
+
+    let (_, report) = device.launch(threads, |ctx| {
+        let max_rounds = records.len().max(1);
+        for _round in 0..max_rounds {
+            let mut changed = false;
+            // One round: every record relaxes its stored in-edges.
+            for (r, ()) in &records {
+                ctx.charge_alu_one(2 + 4 * r.edges.len() as u64);
+                ctx.charge_read(12 * r.edges.len() as u64 + 8);
+                let mut best = *dist.get(&r.vertex).unwrap_or(&INFINITY);
+                for e in &r.edges {
+                    if let Some(&ds) = dist.get(&e.source) {
+                        let nd = ds.saturating_add(e.weight as Distance);
+                        if nd < best {
+                            best = nd;
+                            changed = true;
+                        }
+                    }
+                }
+                if changed {
+                    ctx.charge_write(8);
+                }
+                dist.insert(r.vertex, best);
+            }
+            ctx.sync_threads();
+            if !changed {
+                break;
+            }
+        }
+        let _ = in_set;
+    });
+    (dist, report.time)
+}
+
+/// Distance from the query to an object position given the induced vertex
+/// distances, including the along-the-edge shortcut when both share an edge.
+fn object_distance(
+    q: EdgePosition,
+    p: EdgePosition,
+    dist: &HashMap<VertexId, Distance, FxBuildHasher>,
+    graph: &roadnet::Graph,
+) -> Distance {
+    let src = graph.edge(p.edge).source;
+    let via = dist
+        .get(&src)
+        .copied()
+        .unwrap_or(INFINITY)
+        .saturating_add(p.from_source());
+    if p.edge == q.edge && p.offset >= q.offset {
+        via.min((p.offset - q.offset) as Distance)
+    } else {
+        via
+    }
+}
+
+/// `GPU_First_k`: per-object distance computation and parallel selection.
+/// Returns every candidate `(object, distance, position)` sorted ascending
+/// by `(distance, object)`.
+fn gpu_first_k(
+    device: &mut Device,
+    q: EdgePosition,
+    dist: &HashMap<VertexId, Distance, FxBuildHasher>,
+    objects: &[CachedMessage],
+    graph: &roadnet::Graph,
+) -> (Vec<(ObjectId, Distance, EdgePosition)>, gpu_sim::SimNanos) {
+    let live: Vec<(ObjectId, EdgePosition)> = objects
+        .iter()
+        .filter_map(|m| m.position.map(|p| (m.object, p)))
+        .collect();
+    let n = live.len();
+    type SortKey = (Distance, u64, u32, u32);
+    const SENTINEL: SortKey = (u64::MAX, u64::MAX, u32::MAX, u32::MAX);
+    let (scored, report) = device.launch(n.max(1), |ctx| {
+        // One thread per object: distance = D[source(o.e)] + o.d.
+        ctx.charge_alu_all(6);
+        ctx.charge_read(32 * n as u64);
+        let keys: Vec<SortKey> = live
+            .iter()
+            .map(|&(o, p)| (object_distance(q, p, dist, graph), o.0, p.edge.0, p.offset))
+            .collect();
+        // Parallel bitonic sort on the device (the paper's O(log ρk)
+        // parallel selection); comparisons are charged by the network.
+        let sorted = gpu_sim::collective::bitonic_sort(ctx, keys, SENTINEL);
+        ctx.charge_write(16 * n as u64);
+        sorted
+            .into_iter()
+            .map(|(d, o, e, off)| {
+                (
+                    ObjectId(o),
+                    d,
+                    EdgePosition::new(roadnet::EdgeId(e), off),
+                )
+            })
+            .collect::<Vec<_>>()
+    });
+    (scored, report.time)
+}
+
+/// `GPU_Unresolved`: boundary vertices of the candidate region closer to
+/// the query than the k-th candidate (Definition 3). A vertex is on the
+/// boundary when one of its out-edges leaves the region; each thread
+/// performs the O(out-degree) boolean check.
+fn gpu_unresolved(
+    device: &mut Device,
+    grid: &GraphGrid,
+    in_set: &[bool],
+    set: &[CellId],
+    dist: &HashMap<VertexId, Distance, FxBuildHasher>,
+    l: Distance,
+) -> (Vec<(VertexId, Distance)>, gpu_sim::SimNanos) {
+    let graph = grid.graph().clone();
+    let vertices: Vec<VertexId> = set.iter().flat_map(|&c| grid.vertices_in(c)).collect();
+    let (out, report) = device.launch(vertices.len().max(1), |ctx| {
+        let mut found = Vec::new();
+        for &v in &vertices {
+            let dv = dist.get(&v).copied().unwrap_or(INFINITY);
+            ctx.charge_alu_one(1 + graph.out_degree(v) as u64);
+            ctx.charge_read(8 + 12 * graph.out_degree(v) as u64);
+            if dv >= l {
+                continue;
+            }
+            let on_boundary = graph.out_edges(v).any(|e| {
+                let dest = graph.edge(e).dest;
+                !in_set[grid.cell_of_vertex(dest).index()]
+            });
+            if on_boundary {
+                found.push((v, dv));
+            }
+        }
+        found
+    });
+    (out, report.time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message_list::MessageList;
+    use gpu_sim::DeviceSpec;
+    use roadnet::gen;
+    use roadnet::EdgeId;
+    use std::sync::Arc;
+
+    fn setup(seed: u64) -> (Arc<GraphGrid>, Vec<MessageList>, Device, GGridConfig) {
+        let graph = Arc::new(gen::toy(seed));
+        let config = GGridConfig {
+            eta: 4,
+            bucket_capacity: 8,
+            ..Default::default()
+        };
+        let grid = Arc::new(GraphGrid::build(
+            graph,
+            config.cell_capacity,
+            config.vertex_capacity,
+        ));
+        let lists = (0..grid.num_cells())
+            .map(|_| MessageList::new(config.bucket_capacity))
+            .collect();
+        (grid, lists, Device::new(DeviceSpec::test_tiny()), config)
+    }
+
+    fn place(
+        grid: &GraphGrid,
+        lists: &mut [MessageList],
+        objects: &[(u64, EdgePosition)],
+        t: u64,
+    ) {
+        for &(o, p) in objects {
+            let cell = grid.cell_of_edge(p.edge);
+            lists[cell.index()]
+                .append(CachedMessage::update(ObjectId(o), p, Timestamp(t)));
+        }
+    }
+
+    #[test]
+    fn frontier_expands_and_respects_set() {
+        let (grid, ..) = setup(3);
+        let start = grid.cell_of_edge(EdgeId(0));
+        let mut in_set = vec![false; grid.num_cells()];
+        in_set[start.index()] = true;
+        let set = vec![start];
+        let frontier = frontier_of(&grid, &in_set, &set);
+        assert!(!frontier.is_empty());
+        assert!(frontier.iter().all(|c| !in_set[c.index()]));
+        // Sorted and deduplicated.
+        let mut sorted = frontier.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(frontier, sorted);
+    }
+
+    #[test]
+    fn kth_distance_semantics() {
+        let p = EdgePosition::at_source(EdgeId(0));
+        let c = |d: u64| (ObjectId(d), d, p);
+        assert_eq!(kth_distance(&[c(5), c(2), c(9)], 2), 5);
+        assert_eq!(kth_distance(&[c(5), c(2)], 3), INFINITY);
+        assert_eq!(kth_distance(&[(ObjectId(1), INFINITY, p), c(2)], 2), INFINITY);
+        assert_eq!(kth_distance(&[], 1), INFINITY);
+    }
+
+    #[test]
+    fn sdist_matches_dijkstra_when_all_cells_included() {
+        let (grid, _, mut device, _) = setup(9);
+        let graph = grid.graph().clone();
+        let set: Vec<crate::grid::CellId> = grid.cell_ids().collect();
+        let in_set = vec![true; grid.num_cells()];
+        let q = EdgePosition::at_source(EdgeId(4));
+        let (dist, time) = gpu_sdist(&mut device, &grid, &in_set, &set, q, &graph);
+        assert!(time > gpu_sim::SimNanos::ZERO);
+        let mut engine = DijkstraEngine::new(&graph);
+        engine.run_from_position(q, SearchBounds::UNBOUNDED);
+        for v in graph.vertices() {
+            assert_eq!(
+                dist.get(&v).copied().unwrap_or(INFINITY),
+                engine.distance(v),
+                "{v:?} diverges"
+            );
+        }
+    }
+
+    #[test]
+    fn sdist_induced_overestimates_full_graph() {
+        // With only part of the grid included, induced distances can only
+        // be larger or equal — never smaller.
+        let (grid, _, mut device, _) = setup(9);
+        let graph = grid.graph().clone();
+        let q = EdgePosition::at_source(EdgeId(4));
+        let c_q = grid.cell_of_edge(q.edge);
+        let mut set = vec![c_q];
+        set.extend_from_slice(grid.neighbors(c_q));
+        set.sort_unstable();
+        set.dedup();
+        let mut in_set = vec![false; grid.num_cells()];
+        for c in &set {
+            in_set[c.index()] = true;
+        }
+        let (dist, _) = gpu_sdist(&mut device, &grid, &in_set, &set, q, &graph);
+        let mut engine = DijkstraEngine::new(&graph);
+        engine.run_from_position(q, SearchBounds::UNBOUNDED);
+        for (&v, &d) in &dist {
+            assert!(d >= engine.distance(v), "{v:?}: induced {d} < exact");
+        }
+    }
+
+    #[test]
+    fn first_k_orders_by_distance_then_id() {
+        let (grid, _, mut device, _) = setup(5);
+        let graph = grid.graph().clone();
+        let q = EdgePosition::at_source(EdgeId(0));
+        let set: Vec<crate::grid::CellId> = grid.cell_ids().collect();
+        let in_set = vec![true; grid.num_cells()];
+        let (dist, _) = gpu_sdist(&mut device, &grid, &in_set, &set, q, &graph);
+        let objects: Vec<CachedMessage> = (0..10u64)
+            .map(|o| {
+                CachedMessage::update(
+                    ObjectId(o),
+                    EdgePosition::at_source(EdgeId((o * 17 % graph.num_edges() as u64) as u32)),
+                    Timestamp(1),
+                )
+            })
+            .collect();
+        let (scored, _) = gpu_first_k(&mut device, q, &dist, &objects, &graph);
+        assert_eq!(scored.len(), 10);
+        for w in scored.windows(2) {
+            assert!((w[0].1, w[0].0) <= (w[1].1, w[1].0));
+        }
+    }
+
+    #[test]
+    fn unresolved_only_boundary_vertices_below_l() {
+        let (grid, _, mut device, _) = setup(7);
+        let graph = grid.graph().clone();
+        let q = EdgePosition::at_source(EdgeId(2));
+        let c_q = grid.cell_of_edge(q.edge);
+        let mut set = vec![c_q];
+        set.extend_from_slice(grid.neighbors(c_q));
+        set.sort_unstable();
+        set.dedup();
+        let mut in_set = vec![false; grid.num_cells()];
+        for c in &set {
+            in_set[c.index()] = true;
+        }
+        let (dist, _) = gpu_sdist(&mut device, &grid, &in_set, &set, q, &graph);
+        let l = 50;
+        let (unresolved, _) = gpu_unresolved(&mut device, &grid, &in_set, &set, &dist, l);
+        for &(v, d) in &unresolved {
+            assert!(d < l);
+            let boundary = graph.out_edges(v).any(|e| {
+                !in_set[grid.cell_of_vertex(graph.edge(e).dest).index()]
+            });
+            assert!(boundary, "{v:?} not on the boundary");
+        }
+    }
+
+    #[test]
+    fn run_knn_invalid_query_panics() {
+        let (grid, mut lists, mut device, config) = setup(3);
+        let bad = EdgePosition::new(EdgeId(0), 10_000);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_knn(
+                &mut device,
+                &grid,
+                &mut lists,
+                &config,
+                bad,
+                1,
+                Timestamp(1),
+            )
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn run_knn_direct() {
+        let (grid, mut lists, mut device, config) = setup(3);
+        let objects: Vec<(u64, EdgePosition)> = (0..8u64)
+            .map(|o| (o, EdgePosition::at_source(EdgeId((o * 19 % 160) as u32))))
+            .collect();
+        place(&grid, &mut lists, &objects, 100);
+        let q = EdgePosition::at_source(EdgeId(1));
+        let result = run_knn(&mut device, &grid, &mut lists, &config, q, 3, Timestamp(200));
+        assert_eq!(result.items.len(), 3);
+        let want = roadnet::dijkstra::reference_knn(grid.graph(), q, &objects, 3);
+        let got_d: Vec<u64> = result.items.iter().map(|&(_, d)| d).collect();
+        let want_d: Vec<u64> = want.iter().map(|&(_, d)| d).collect();
+        assert_eq!(got_d, want_d);
+        assert!(result.breakdown.cells_cleaned > 0);
+    }
+}

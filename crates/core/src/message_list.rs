@@ -1,0 +1,220 @@
+//! Per-cell message lists (paper §III-C).
+//!
+//! Each grid cell owns a list of δᵇ-message buckets holding the cached
+//! location updates that landed in the cell, in arrival order. Buckets whose
+//! newest message is older than `now − t_Δ` are discarded wholesale during
+//! cleaning: the update contract (§II) guarantees every object has sent a
+//! fresher message somewhere by then.
+//!
+//! The paper's list carries three pointers — head `p_h`, tail `p_t`, and a
+//! lock pointer `p_l` marking the prefix frozen while the GPU processes it,
+//! so new messages keep landing behind the lock. The simulation is
+//! single-threaded, so the freeze is expressed structurally:
+//! [`MessageList::take_for_cleaning`] removes the frozen prefix (appending
+//! the fresh tail bucket exactly like Algorithm 2's `ζ_new`), and
+//! [`MessageList::restore_consolidated`] pushes the cleaning result back in
+//! front of whatever arrived meanwhile.
+
+use std::collections::VecDeque;
+
+use crate::message::{CachedMessage, Timestamp};
+
+/// A bucket: `ζ = ⟨𝒜_m, n, t, p_n⟩` (the link is implicit in the deque).
+#[derive(Clone, Debug, Default)]
+pub struct Bucket {
+    pub messages: Vec<CachedMessage>,
+    /// Time of the latest message in the bucket (`ζ.t`).
+    pub latest: Timestamp,
+}
+
+impl Bucket {
+    fn with_capacity(cap: usize) -> Self {
+        Self {
+            messages: Vec::with_capacity(cap),
+            latest: Timestamp(0),
+        }
+    }
+}
+
+/// The message list of one cell.
+#[derive(Debug)]
+pub struct MessageList {
+    buckets: VecDeque<Bucket>,
+    bucket_capacity: usize,
+}
+
+impl MessageList {
+    pub fn new(bucket_capacity: usize) -> Self {
+        assert!(bucket_capacity >= 1);
+        Self {
+            buckets: VecDeque::new(),
+            bucket_capacity,
+        }
+    }
+
+    /// Append a message to the tail bucket, opening a new bucket when full
+    /// (the `append` of Algorithm 1).
+    pub fn append(&mut self, m: CachedMessage) {
+        let need_new = match self.buckets.back() {
+            Some(b) => b.messages.len() >= self.bucket_capacity,
+            None => true,
+        };
+        if need_new {
+            self.buckets.push_back(Bucket::with_capacity(self.bucket_capacity));
+        }
+        let b = self.buckets.back_mut().expect("just ensured a tail bucket");
+        b.latest = b.latest.max(m.time);
+        b.messages.push(m);
+    }
+
+    /// Freeze and remove every current bucket for cleaning, discarding
+    /// buckets whose newest message is older than `now − t_Δ` (Algorithm 2,
+    /// preprocessing). Returns the surviving buckets.
+    pub fn take_for_cleaning(&mut self, now: Timestamp, t_delta_ms: u64) -> Vec<Bucket> {
+        let horizon = now.saturating_sub_ms(t_delta_ms);
+        let taken = std::mem::take(&mut self.buckets);
+        taken.into_iter().filter(|b| b.latest >= horizon).collect()
+    }
+
+    /// Install the consolidated result of a cleaning pass (newest message
+    /// per surviving object) *before* any messages that arrived while the
+    /// GPU was busy.
+    pub fn restore_consolidated(&mut self, messages: Vec<CachedMessage>) {
+        if messages.is_empty() {
+            return;
+        }
+        for chunk in messages.chunks(self.bucket_capacity).rev() {
+            let mut b = Bucket::with_capacity(self.bucket_capacity);
+            b.messages.extend_from_slice(chunk);
+            b.latest = chunk.iter().map(|m| m.time).max().unwrap_or(Timestamp(0));
+            self.buckets.push_front(b);
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Read access to the buckets (diagnostics/validation).
+    pub fn buckets(&self) -> impl Iterator<Item = &Bucket> {
+        self.buckets.iter()
+    }
+
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    pub fn total_messages(&self) -> usize {
+        self.buckets.iter().map(|b| b.messages.len()).sum()
+    }
+
+    /// Resident bytes: full bucket arrays (buckets are fixed-size slabs).
+    pub fn size_bytes(&self) -> u64 {
+        self.buckets.len() as u64
+            * (self.bucket_capacity as u64 * CachedMessage::WIRE_BYTES + 24)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::ObjectId;
+    use roadnet::{EdgeId, EdgePosition};
+
+    fn msg(o: u64, t: u64) -> CachedMessage {
+        CachedMessage::update(ObjectId(o), EdgePosition::new(EdgeId(0), 0), Timestamp(t))
+    }
+
+    #[test]
+    fn append_fills_buckets_in_order() {
+        let mut l = MessageList::new(3);
+        for i in 0..7 {
+            l.append(msg(i, i));
+        }
+        assert_eq!(l.num_buckets(), 3);
+        assert_eq!(l.total_messages(), 7);
+    }
+
+    #[test]
+    fn bucket_latest_tracks_max() {
+        let mut l = MessageList::new(8);
+        l.append(msg(1, 5));
+        l.append(msg(2, 3));
+        let buckets = l.take_for_cleaning(Timestamp(6), 100);
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].latest, Timestamp(5));
+    }
+
+    #[test]
+    fn take_discards_expired_buckets() {
+        let mut l = MessageList::new(2);
+        l.append(msg(1, 10));
+        l.append(msg(2, 11)); // bucket 0, latest 11
+        l.append(msg(3, 500)); // bucket 1, latest 500
+        let kept = l.take_for_cleaning(Timestamp(600), 200);
+        // horizon = 400: bucket 0 (latest 11) dropped, bucket 1 kept.
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].messages[0].object, ObjectId(3));
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn take_keeps_bucket_with_one_fresh_message() {
+        // A bucket is kept if its *latest* message is fresh, even if earlier
+        // messages in it are stale — per-message filtering happens on GPU.
+        let mut l = MessageList::new(8);
+        l.append(msg(1, 10));
+        l.append(msg(2, 1000));
+        let kept = l.take_for_cleaning(Timestamp(1100), 200);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].messages.len(), 2);
+    }
+
+    #[test]
+    fn restore_goes_before_new_arrivals() {
+        let mut l = MessageList::new(4);
+        l.append(msg(1, 10));
+        let _frozen = l.take_for_cleaning(Timestamp(11), 100);
+        // A message arrives "while the GPU is busy".
+        l.append(msg(2, 12));
+        l.restore_consolidated(vec![msg(1, 10)]);
+        // Consolidated bucket first, arrival after.
+        let all = l.take_for_cleaning(Timestamp(13), 100);
+        assert_eq!(all[0].messages[0].object, ObjectId(1));
+        assert_eq!(all[1].messages[0].object, ObjectId(2));
+    }
+
+    #[test]
+    fn restore_chunks_by_capacity() {
+        let mut l = MessageList::new(2);
+        l.restore_consolidated((0..5).map(|i| msg(i, i)).collect());
+        assert_eq!(l.num_buckets(), 3);
+        assert_eq!(l.total_messages(), 5);
+        // Order preserved across chunks.
+        let taken = l.take_for_cleaning(Timestamp(10), 100);
+        let ids: Vec<u64> = taken
+            .iter()
+            .flat_map(|b| b.messages.iter().map(|m| m.object.0))
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn restore_empty_is_noop() {
+        let mut l = MessageList::new(2);
+        l.restore_consolidated(vec![]);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn size_bytes_counts_slabs() {
+        let mut l = MessageList::new(4);
+        assert_eq!(l.size_bytes(), 0);
+        l.append(msg(1, 1));
+        let one = l.size_bytes();
+        for i in 0..4 {
+            l.append(msg(i, 2));
+        }
+        assert!(l.size_bytes() > one);
+    }
+}

@@ -1,0 +1,183 @@
+//! The object table (paper §III-B): `o.id ↦ ⟨c.id, e.id, d⟩`.
+//!
+//! A CPU-resident hash table holding the latest reported location of every
+//! object. Algorithm 1 consults it on every incoming message to detect
+//! cell-to-cell moves (which require a departure tombstone in the old cell)
+//! and then overwrites the entry. Uses an Fx-style hasher: object ids are
+//! dense integers, and the default SipHash is needlessly slow for them.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use roadnet::EdgePosition;
+
+use crate::grid::CellId;
+use crate::message::{ObjectId, Timestamp};
+
+/// Latest known location of one object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ObjectEntry {
+    pub cell: CellId,
+    pub position: EdgePosition,
+    pub time: Timestamp,
+}
+
+/// FxHash (the rustc hasher): multiply-xor over 8-byte words. Quality is
+/// plenty for dense integer keys and it is far faster than SipHash.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Hasher for FxHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(buf));
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ n).wrapping_mul(SEED);
+    }
+
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// The object table.
+#[derive(Default)]
+pub struct ObjectTable {
+    map: HashMap<ObjectId, ObjectEntry, FxBuildHasher>,
+}
+
+impl ObjectTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            map: HashMap::with_capacity_and_hasher(n, FxBuildHasher::default()),
+        }
+    }
+
+    pub fn get(&self, o: ObjectId) -> Option<&ObjectEntry> {
+        self.map.get(&o)
+    }
+
+    /// `setOT` (Algorithm 1 line 6): overwrite the latest location. Returns
+    /// the previous entry, if any.
+    pub fn set(
+        &mut self,
+        o: ObjectId,
+        cell: CellId,
+        position: EdgePosition,
+        time: Timestamp,
+    ) -> Option<ObjectEntry> {
+        self.map.insert(
+            o,
+            ObjectEntry {
+                cell,
+                position,
+                time,
+            },
+        )
+    }
+
+    pub fn remove(&mut self, o: ObjectId) -> Option<ObjectEntry> {
+        self.map.remove(&o)
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, &ObjectEntry)> {
+        self.map.iter().map(|(&o, e)| (o, e))
+    }
+
+    /// Approximate resident bytes: entry payload plus hash-table slot
+    /// overhead (space cost O(|𝒪|), §VI-A).
+    pub fn size_bytes(&self) -> u64 {
+        let slot = (std::mem::size_of::<ObjectId>() + std::mem::size_of::<ObjectEntry>()) as u64;
+        self.map.capacity() as u64 * slot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadnet::EdgeId;
+
+    fn pos(e: u32, d: u32) -> EdgePosition {
+        EdgePosition::new(EdgeId(e), d)
+    }
+
+    #[test]
+    fn set_get_overwrite() {
+        let mut t = ObjectTable::new();
+        assert!(t.get(ObjectId(1)).is_none());
+        assert!(t.set(ObjectId(1), CellId(3), pos(5, 2), Timestamp(10)).is_none());
+        let prev = t.set(ObjectId(1), CellId(4), pos(6, 0), Timestamp(20)).unwrap();
+        assert_eq!(prev.cell, CellId(3));
+        let cur = t.get(ObjectId(1)).unwrap();
+        assert_eq!(cur.cell, CellId(4));
+        assert_eq!(cur.time, Timestamp(20));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn remove() {
+        let mut t = ObjectTable::new();
+        t.set(ObjectId(9), CellId(0), pos(0, 0), Timestamp(1));
+        assert!(t.remove(ObjectId(9)).is_some());
+        assert!(t.is_empty());
+        assert!(t.remove(ObjectId(9)).is_none());
+    }
+
+    #[test]
+    fn iteration_covers_all() {
+        let mut t = ObjectTable::new();
+        for i in 0..100 {
+            t.set(ObjectId(i), CellId(i as u32 % 7), pos(0, 0), Timestamp(i));
+        }
+        assert_eq!(t.iter().count(), 100);
+        let sum: u64 = t.iter().map(|(o, _)| o.0).sum();
+        assert_eq!(sum, (0..100).sum::<u64>());
+    }
+
+    #[test]
+    fn size_grows_with_entries() {
+        let mut t = ObjectTable::new();
+        let empty = t.size_bytes();
+        for i in 0..1000 {
+            t.set(ObjectId(i), CellId(0), pos(0, 0), Timestamp(0));
+        }
+        assert!(t.size_bytes() > empty);
+    }
+
+    #[test]
+    fn fx_hasher_distributes() {
+        // Dense keys should not all collide into few buckets: check that
+        // hashing 0..64 yields many distinct values.
+        use std::hash::Hash;
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64u64 {
+            let mut h = FxHasher::default();
+            ObjectId(i).hash(&mut h);
+            seen.insert(h.finish());
+        }
+        assert_eq!(seen.len(), 64);
+    }
+}

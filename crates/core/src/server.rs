@@ -1,0 +1,460 @@
+//! The query server: G-Grid state plus the update and query entry points.
+
+use std::sync::Arc;
+
+use gpu_sim::Device;
+use roadnet::graph::{Distance, Graph};
+use roadnet::EdgePosition;
+
+use crate::api::{IndexSize, MovingObjectIndex, SimCosts};
+use crate::config::GGridConfig;
+use crate::grid::GraphGrid;
+use crate::knn::{run_knn, KnnResult};
+use crate::message::{CachedMessage, ObjectId, Timestamp};
+use crate::message_list::MessageList;
+use crate::object_table::ObjectTable;
+use crate::stats::{QueryBreakdown, ServerCounters};
+
+/// A G-Grid query server (paper §III–§V).
+///
+/// Owns the graph grid (mirrored on the simulated GPU), the object table,
+/// the per-cell message lists, and the device. Updates are O(1) cache
+/// appends (Algorithm 1); queries run the CPU–GPU pipeline of Algorithm 4.
+pub struct GGridServer {
+    graph: Arc<Graph>,
+    grid: Arc<GraphGrid>,
+    config: GGridConfig,
+    object_table: ObjectTable,
+    lists: Vec<MessageList>,
+    device: Device,
+    counters: ServerCounters,
+    last_breakdown: QueryBreakdown,
+}
+
+impl GGridServer {
+    /// Build a server over `graph` with the paper's simulated evaluation
+    /// device (Quadro P2000).
+    pub fn new(graph: Graph, config: GGridConfig) -> Self {
+        Self::with_device(graph, config, Device::quadro_p2000())
+    }
+
+    /// Build with an explicit simulated device.
+    pub fn with_device(graph: Graph, config: GGridConfig, device: Device) -> Self {
+        let graph = Arc::new(graph);
+        let grid = Arc::new(GraphGrid::build(
+            graph.clone(),
+            config.cell_capacity,
+            config.vertex_capacity,
+        ));
+        Self::with_shared_grid(grid, config, device)
+    }
+
+    /// Build a server over a pre-built (shared) graph grid. The grid is
+    /// immutable after construction, so harnesses sweeping query-side
+    /// parameters can partition the network once and spin up fresh servers
+    /// cheaply.
+    pub fn with_shared_grid(grid: Arc<GraphGrid>, config: GGridConfig, mut device: Device) -> Self {
+        config.validate();
+        assert!(grid.graph().num_vertices() > 0, "grid over an empty graph");
+        // A shared grid must have been built with the same capacities the
+        // config declares, or validation and size accounting would lie.
+        assert_eq!(
+            (grid.cell_capacity(), grid.vertex_capacity()),
+            (config.cell_capacity, config.vertex_capacity),
+            "shared grid was built with different δc/δv than the config"
+        );
+        let graph = grid.graph().clone();
+        // The GPU holds a mirror of the graph grid (§III-A); reserve it.
+        device
+            .alloc(grid.grid_bytes())
+            .expect("graph grid does not fit in device memory");
+        let lists = (0..grid.num_cells())
+            .map(|_| MessageList::new(config.bucket_capacity))
+            .collect();
+        Self {
+            graph,
+            grid,
+            config,
+            object_table: ObjectTable::new(),
+            lists,
+            device,
+            counters: ServerCounters::default(),
+            last_breakdown: QueryBreakdown::default(),
+        }
+    }
+
+    pub fn graph(&self) -> &Arc<Graph> {
+        &self.graph
+    }
+
+    pub fn grid(&self) -> &GraphGrid {
+        &self.grid
+    }
+
+    pub fn config(&self) -> &GGridConfig {
+        &self.config
+    }
+
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    pub fn counters(&self) -> &ServerCounters {
+        &self.counters
+    }
+
+    /// Breakdown of the most recent query.
+    pub fn last_breakdown(&self) -> &QueryBreakdown {
+        &self.last_breakdown
+    }
+
+    /// Read access to the per-cell message lists (diagnostics/validation).
+    pub(crate) fn message_lists(&self) -> &[MessageList] {
+        &self.lists
+    }
+
+    /// Iterate the object table (diagnostics/validation).
+    pub(crate) fn object_table_iter(
+        &self,
+    ) -> impl Iterator<Item = (ObjectId, &crate::object_table::ObjectEntry)> {
+        self.object_table.iter()
+    }
+
+    /// Number of messages currently cached across all cells.
+    pub fn cached_messages(&self) -> usize {
+        self.lists.iter().map(|l| l.total_messages()).sum()
+    }
+
+    /// Latest known position of an object, if it ever reported.
+    pub fn object_position(&self, o: ObjectId) -> Option<(EdgePosition, Timestamp)> {
+        self.object_table.get(o).map(|e| (e.position, e.time))
+    }
+
+    pub fn num_objects(&self) -> usize {
+        self.object_table.len()
+    }
+
+    /// Algorithm 1: cache a location update.
+    pub fn handle_update(&mut self, object: ObjectId, position: EdgePosition, time: Timestamp) {
+        debug_assert!(position.is_valid(&self.graph), "invalid object position");
+        let cell = self.grid.cell_of_edge(position.edge);
+        self.lists[cell.index()].append(CachedMessage::update(object, position, time));
+        if let Some(prev) = self.object_table.get(object) {
+            if prev.cell != cell {
+                let prev_cell = prev.cell;
+                self.lists[prev_cell.index()].append(CachedMessage::tombstone(object, time));
+                self.counters.tombstones_written += 1;
+            }
+        }
+        self.object_table.set(object, cell, position, time);
+        self.counters.updates_ingested += 1;
+    }
+
+    /// Eagerly clean the message list of the cell containing `edge`
+    /// (ablation support: calling this after every update degenerates the
+    /// lazy strategy into the eager one the paper compares against).
+    pub fn clean_cell_of_edge(&mut self, edge: roadnet::EdgeId, now: Timestamp) {
+        let cell = self.grid.cell_of_edge(edge);
+        let (_, rep) = crate::cleaning::clean_cells(
+            &mut self.device,
+            &mut self.lists,
+            &[cell],
+            self.config.eta,
+            self.config.transfer_chunks,
+            now,
+            self.config.t_delta_ms,
+        );
+        self.counters.gpu_time += rep.time;
+        self.counters.h2d_bytes += rep.h2d_bytes;
+        self.counters.d2h_bytes += rep.d2h_bytes;
+        self.counters.messages_cleaned += rep.messages as u64;
+    }
+
+    /// Eagerly clean every cell (used by tests and ablations).
+    pub fn clean_all(&mut self, now: Timestamp) {
+        let cells: Vec<crate::grid::CellId> = self.grid.cell_ids().collect();
+        let (_, rep) = crate::cleaning::clean_cells(
+            &mut self.device,
+            &mut self.lists,
+            &cells,
+            self.config.eta,
+            self.config.transfer_chunks,
+            now,
+            self.config.t_delta_ms,
+        );
+        self.counters.gpu_time += rep.time;
+        self.counters.messages_cleaned += rep.messages as u64;
+    }
+
+    /// Answer a kNN query issued at `now`; returns up to `k`
+    /// `(object, distance)` pairs, nearest first.
+    pub fn knn(&mut self, q: EdgePosition, k: usize, now: Timestamp) -> Vec<(ObjectId, Distance)> {
+        self.knn_detailed(q, k, now).items
+    }
+
+    /// Process a batch of queries, sharing one device cleaning pass for
+    /// the union of their candidate regions (paper Fig 5's "G-Grid" vs
+    /// "G-Grid (L)" distinction).
+    pub fn knn_batch(
+        &mut self,
+        queries: &[(EdgePosition, usize)],
+        now: Timestamp,
+    ) -> crate::batch::BatchResult {
+        let result = crate::batch::run_knn_batch(
+            &mut self.device,
+            &self.grid,
+            &mut self.lists,
+            &self.config,
+            queries,
+            now,
+        );
+        self.counters.record_query(&result.shared);
+        self.counters.queries -= 1; // the shared pass is not a query
+        for b in &result.per_query {
+            self.counters.record_query(b);
+        }
+        self.counters.kernel_launches = self.device.launches();
+        result
+    }
+
+    /// As [`Self::knn`] but returning the full cost breakdown.
+    pub fn knn_detailed(&mut self, q: EdgePosition, k: usize, now: Timestamp) -> KnnResult {
+        let result = run_knn(
+            &mut self.device,
+            &self.grid,
+            &mut self.lists,
+            &self.config,
+            q,
+            k,
+            now,
+        );
+        self.last_breakdown = result.breakdown;
+        self.counters.record_query(&result.breakdown);
+        self.counters.kernel_launches = self.device.launches();
+        result
+    }
+}
+
+impl MovingObjectIndex for GGridServer {
+    fn name(&self) -> &'static str {
+        "G-Grid"
+    }
+
+    fn handle_update(&mut self, object: ObjectId, position: EdgePosition, time: Timestamp) {
+        GGridServer::handle_update(self, object, position, time)
+    }
+
+    fn knn(&mut self, q: EdgePosition, k: usize, now: Timestamp) -> Vec<(ObjectId, Distance)> {
+        GGridServer::knn(self, q, k, now)
+    }
+
+    fn sim_costs(&self) -> SimCosts {
+        let ledger = self.device.ledger();
+        SimCosts {
+            gpu_time: self.device.kernel_time(),
+            transfer_time: ledger.total_time(),
+            h2d_bytes: ledger.h2d_bytes,
+            d2h_bytes: ledger.d2h_bytes,
+        }
+    }
+
+    fn emulated_host_ns(&self) -> u64 {
+        self.counters.emulation_ns
+    }
+
+    fn index_size(&self) -> IndexSize {
+        let lists: u64 = self.lists.iter().map(|l| l.size_bytes()).sum();
+        IndexSize {
+            // Graph grid + object table + message lists live on the CPU.
+            cpu_bytes: self.grid.grid_bytes() + self.object_table.size_bytes() + lists,
+            // The GPU holds a mirror of the graph grid to streamline the
+            // computation (Fig 6's "G-Grid (GPU)").
+            gpu_bytes: self.grid.grid_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadnet::dijkstra::reference_knn;
+    use roadnet::gen;
+    use roadnet::EdgeId;
+
+    fn small_config() -> GGridConfig {
+        GGridConfig {
+            bucket_capacity: 8,
+            eta: 4,
+            ..Default::default()
+        }
+    }
+
+    fn pos(e: u32, d: u32) -> EdgePosition {
+        EdgePosition::new(EdgeId(e), d)
+    }
+
+    #[test]
+    fn single_object_found() {
+        let g = gen::toy(42);
+        let mut s = GGridServer::new(g, small_config());
+        s.handle_update(ObjectId(1), pos(0, 0), Timestamp(100));
+        let r = s.knn(pos(3, 0), 1, Timestamp(200));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].0, ObjectId(1));
+    }
+
+    #[test]
+    fn updates_are_cached_not_applied() {
+        let g = gen::toy(42);
+        let mut s = GGridServer::new(g, small_config());
+        for t in 0..50 {
+            s.handle_update(ObjectId(1), pos(0, 0), Timestamp(100 + t));
+        }
+        // All 50 messages cached; no cleaning happened yet.
+        assert_eq!(s.cached_messages() as u64, 50 + s.counters().tombstones_written);
+        // A query cleans the touched region.
+        s.knn(pos(0, 0), 1, Timestamp(200));
+        assert!(s.cached_messages() < 50);
+    }
+
+    #[test]
+    fn tombstone_written_on_cell_change() {
+        let g = gen::toy(42);
+        let grid_probe = {
+            let mut s = GGridServer::new(g.clone(), small_config());
+            // Find two edges in different cells.
+            let c0 = s.grid().cell_of_edge(EdgeId(0));
+            let mut other = None;
+            for e in g.edge_ids() {
+                if s.grid().cell_of_edge(e) != c0 {
+                    other = Some(e);
+                    break;
+                }
+            }
+            let other = other.expect("toy graph spans multiple cells");
+            s.handle_update(ObjectId(5), pos(0, 0), Timestamp(10));
+            assert_eq!(s.counters().tombstones_written, 0);
+            s.handle_update(ObjectId(5), EdgePosition::at_source(other), Timestamp(20));
+            assert_eq!(s.counters().tombstones_written, 1);
+            s
+        };
+        let _ = grid_probe;
+    }
+
+    #[test]
+    fn matches_reference_knn() {
+        let g = gen::toy(7);
+        let mut s = GGridServer::new(g.clone(), small_config());
+        // Scatter 12 objects deterministically.
+        let objects: Vec<(u64, EdgePosition)> = (0..12u64)
+            .map(|i| {
+                let e = EdgeId(((i * 13 + 5) % g.num_edges() as u64) as u32);
+                let off = (i % (g.edge(e).weight as u64 + 1)) as u32;
+                (i, EdgePosition::new(e, off))
+            })
+            .collect();
+        for &(i, p) in &objects {
+            s.handle_update(ObjectId(i), p, Timestamp(100 + i));
+        }
+        for (qi, k) in [(0u32, 1usize), (5, 3), (10, 5), (20, 12)] {
+            let q = EdgePosition::at_source(EdgeId(qi % g.num_edges() as u32));
+            let got = s.knn(q, k, Timestamp(500));
+            let want = reference_knn(&g, q, &objects, k);
+            let got_d: Vec<Distance> = got.iter().map(|&(_, d)| d).collect();
+            let want_d: Vec<Distance> = want.iter().map(|&(_, d)| d).collect();
+            assert_eq!(got_d, want_d, "distances diverge for k={k} q={q:?}");
+        }
+    }
+
+    #[test]
+    fn object_move_reflected_in_answers() {
+        let g = gen::toy(42);
+        let mut s = GGridServer::new(g.clone(), small_config());
+        s.handle_update(ObjectId(1), pos(0, 0), Timestamp(10));
+        // Move far away (edge in another cell).
+        let far = g
+            .edge_ids()
+            .find(|&e| {
+                GGridServer::new(g.clone(), small_config())
+                    .grid()
+                    .cell_of_edge(e)
+                    != s.grid().cell_of_edge(EdgeId(0))
+            })
+            .unwrap();
+        s.handle_update(ObjectId(1), EdgePosition::at_source(far), Timestamp(20));
+        let r = s.knn(EdgePosition::at_source(far), 1, Timestamp(30));
+        assert_eq!(r.len(), 1);
+        // The reported distance must be to the *new* location.
+        let want = reference_knn(
+            &g,
+            EdgePosition::at_source(far),
+            &[(1, EdgePosition::at_source(far))],
+            1,
+        );
+        assert_eq!(r[0].1, want[0].1);
+    }
+
+    #[test]
+    fn expired_objects_disappear() {
+        let g = gen::toy(42);
+        let cfg = GGridConfig {
+            t_delta_ms: 100,
+            ..small_config()
+        };
+        let mut s = GGridServer::new(g, cfg);
+        s.handle_update(ObjectId(1), pos(0, 0), Timestamp(10));
+        // Way past t_Δ: the object violated the contract; it is gone.
+        let r = s.knn(pos(0, 0), 1, Timestamp(10_000));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_population() {
+        let g = gen::toy(42);
+        let mut s = GGridServer::new(g, small_config());
+        s.handle_update(ObjectId(1), pos(0, 0), Timestamp(10));
+        s.handle_update(ObjectId(2), pos(1, 0), Timestamp(10));
+        let r = s.knn(pos(0, 0), 10, Timestamp(20));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn no_objects_empty_answer() {
+        let g = gen::toy(42);
+        let mut s = GGridServer::new(g, small_config());
+        let r = s.knn(pos(0, 0), 3, Timestamp(20));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn counters_and_sizes_populate() {
+        let g = gen::toy(42);
+        let mut s = GGridServer::new(g, small_config());
+        for i in 0..20 {
+            s.handle_update(ObjectId(i), pos((i % 10) as u32, 0), Timestamp(10 + i));
+        }
+        s.knn(pos(0, 0), 4, Timestamp(100));
+        assert_eq!(s.counters().updates_ingested, 20);
+        assert_eq!(s.counters().queries, 1);
+        assert!(s.counters().gpu_time > gpu_sim::SimNanos::ZERO);
+        let sz = s.index_size();
+        assert!(sz.cpu_bytes > 0 && sz.gpu_bytes > 0);
+        let costs = s.sim_costs();
+        assert!(costs.h2d_bytes > 0);
+        assert!(costs.total_time() > gpu_sim::SimNanos::ZERO);
+    }
+
+    #[test]
+    fn repeated_queries_stay_consistent() {
+        let g = gen::toy(3);
+        let mut s = GGridServer::new(g, small_config());
+        for i in 0..15 {
+            s.handle_update(ObjectId(i), pos((i % 8) as u32, 0), Timestamp(50 + i));
+        }
+        let q = pos(2, 0);
+        let first = s.knn(q, 5, Timestamp(100));
+        for _ in 0..3 {
+            assert_eq!(s.knn(q, 5, Timestamp(100)), first);
+        }
+    }
+}

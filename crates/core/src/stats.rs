@@ -1,0 +1,110 @@
+//! Instrumentation: per-query breakdowns and cumulative counters.
+//!
+//! The paper reports amortised times `(T_u + T_q)/n_q`, DRAM↔GPU transfer
+//! volumes and durations (Fig 10 c/d), and kernel-level effects (Fig 4).
+//! Everything needed to regenerate those plots is collected here.
+
+use gpu_sim::SimNanos;
+
+/// Simulated-device cost of one kNN query, by phase.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueryBreakdown {
+    /// Message cleaning: pipelined transfer + X-shuffle kernel (§IV).
+    pub cleaning: SimNanos,
+    /// Shortest-distance kernel (Algorithm 5) + candidate selection.
+    pub candidate: SimNanos,
+    /// Result copy back and bookkeeping transfers.
+    pub transfer_out: SimNanos,
+    /// Host→device bytes moved for this query.
+    pub h2d_bytes: u64,
+    /// Device→host bytes moved for this query.
+    pub d2h_bytes: u64,
+    /// Cells cleaned for this query (expansion rounds included).
+    pub cells_cleaned: usize,
+    /// Messages shipped to the device.
+    pub messages_cleaned: usize,
+    /// Candidate objects considered before refinement.
+    pub candidates: usize,
+    /// Unresolved boundary vertices refined on the CPU.
+    pub unresolved: usize,
+    /// Measured wall-clock nanoseconds of the CPU-side phases (expansion
+    /// control flow, candidate selection, Dijkstra refinement). Kernel
+    /// bodies execute on the host in this reproduction but their cost is
+    /// *simulated*, so they are deliberately excluded from this figure.
+    pub cpu_ns: u64,
+    /// Wall-clock nanoseconds spent emulating device-side work on the host
+    /// (the part excluded from `cpu_ns`).
+    pub emulation_ns: u64,
+}
+
+impl QueryBreakdown {
+    /// Total simulated device time attributable to the query.
+    pub fn gpu_total(&self) -> SimNanos {
+        self.cleaning + self.candidate + self.transfer_out
+    }
+
+    /// The hybrid query clock: measured CPU time + simulated device time.
+    pub fn total_ns(&self) -> u64 {
+        self.cpu_ns + self.gpu_total().0
+    }
+}
+
+/// Cumulative counters for a server's lifetime (drained by benchmarks).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerCounters {
+    pub updates_ingested: u64,
+    pub tombstones_written: u64,
+    pub queries: u64,
+    pub gpu_time: SimNanos,
+    pub h2d_bytes: u64,
+    pub d2h_bytes: u64,
+    pub transfer_time: SimNanos,
+    pub messages_cleaned: u64,
+    pub kernel_launches: u64,
+    /// Cumulative host nanoseconds spent emulating device work.
+    pub emulation_ns: u64,
+}
+
+impl ServerCounters {
+    pub fn record_query(&mut self, b: &QueryBreakdown) {
+        self.queries += 1;
+        self.gpu_time += b.gpu_total();
+        self.h2d_bytes += b.h2d_bytes;
+        self.d2h_bytes += b.d2h_bytes;
+        self.messages_cleaned += b.messages_cleaned as u64;
+        self.emulation_ns += b.emulation_ns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_totals() {
+        let b = QueryBreakdown {
+            cleaning: SimNanos(100),
+            candidate: SimNanos(50),
+            transfer_out: SimNanos(25),
+            ..Default::default()
+        };
+        assert_eq!(b.gpu_total(), SimNanos(175));
+    }
+
+    #[test]
+    fn counters_accumulate_queries() {
+        let mut c = ServerCounters::default();
+        let b = QueryBreakdown {
+            cleaning: SimNanos(10),
+            h2d_bytes: 5,
+            messages_cleaned: 3,
+            ..Default::default()
+        };
+        c.record_query(&b);
+        c.record_query(&b);
+        assert_eq!(c.queries, 2);
+        assert_eq!(c.gpu_time, SimNanos(20));
+        assert_eq!(c.h2d_bytes, 10);
+        assert_eq!(c.messages_cleaned, 6);
+    }
+}

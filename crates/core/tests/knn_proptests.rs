@@ -1,0 +1,118 @@
+//! Property-based end-to-end correctness: G-Grid answers equal the
+//! brute-force Dijkstra reference on arbitrary small road networks, object
+//! placements, parameters, and query positions.
+
+use ggrid::prelude::*;
+use proptest::prelude::*;
+use roadnet::dijkstra::reference_knn;
+use roadnet::gen::{self, GridCityParams};
+use roadnet::graph::Graph;
+use roadnet::EdgeId;
+
+#[derive(Debug, Clone)]
+struct Case {
+    graph: Graph,
+    objects: Vec<(u64, EdgePosition)>,
+    query: EdgePosition,
+    k: usize,
+    eta: u32,
+    bucket: usize,
+    rho_tenths: u64,
+}
+
+fn arb_case() -> impl Strategy<Value = Case> {
+    (
+        (3u32..8, 3u32..8, 0u64..500),
+        prop::collection::vec((0u64..30, 0u32..10_000, 0u32..100), 1..25),
+        (0u32..10_000, 0u32..100),
+        1usize..8,
+        2u32..6,
+        1usize..16,
+        11u64..30,
+    )
+        .prop_map(
+            |((rows, cols, seed), raw_objects, (qe, qoff), k, eta, bucket, rho_tenths)| {
+                let graph = gen::grid_city(&GridCityParams {
+                    rows,
+                    cols,
+                    edge_ratio: 2.5,
+                    weight_range: (1, 30),
+                    seed,
+                });
+                let ne = graph.num_edges() as u32;
+                let objects: Vec<(u64, EdgePosition)> = raw_objects
+                    .into_iter()
+                    .map(|(o, e, off)| {
+                        let e = EdgeId(e % ne);
+                        let off = off % (graph.edge(e).weight + 1);
+                        (o, EdgePosition::new(e, off))
+                    })
+                    .collect();
+                let qe = EdgeId(qe % ne);
+                let qoff = qoff % (graph.edge(qe).weight + 1);
+                Case {
+                    query: EdgePosition::new(qe, qoff),
+                    graph,
+                    objects,
+                    k,
+                    eta,
+                    bucket,
+                    rho_tenths,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn ggrid_knn_matches_reference(case in arb_case()) {
+        let mut server = GGridServer::new(
+            case.graph.clone(),
+            GGridConfig {
+                eta: case.eta,
+                bucket_capacity: case.bucket,
+                rho: case.rho_tenths as f64 / 10.0,
+                ..Default::default()
+            },
+        );
+        // Objects may repeat ids: later updates supersede earlier ones,
+        // exactly like a real message stream.
+        for (i, &(o, p)) in case.objects.iter().enumerate() {
+            server.handle_update(ObjectId(o), p, Timestamp(100 + i as u64));
+        }
+        // Ground truth uses the *latest* position per object.
+        let mut latest: std::collections::HashMap<u64, EdgePosition> = Default::default();
+        for &(o, p) in &case.objects {
+            latest.insert(o, p);
+        }
+        let objs: Vec<(u64, EdgePosition)> = latest.into_iter().collect();
+
+        let got = server.knn(case.query, case.k, Timestamp(10_000));
+        let want = reference_knn(&case.graph, case.query, &objs, case.k);
+        let got_d: Vec<u64> = got.iter().map(|&(_, d)| d).collect();
+        let want_d: Vec<u64> = want.iter().map(|&(_, d)| d).collect();
+        prop_assert_eq!(got_d, want_d);
+    }
+
+    /// Querying twice (the second time over consolidated lists) returns
+    /// the same answer.
+    #[test]
+    fn ggrid_knn_idempotent(case in arb_case()) {
+        let mut server = GGridServer::new(
+            case.graph.clone(),
+            GGridConfig {
+                eta: case.eta,
+                bucket_capacity: case.bucket,
+                ..Default::default()
+            },
+        );
+        for (i, &(o, p)) in case.objects.iter().enumerate() {
+            server.handle_update(ObjectId(o), p, Timestamp(100 + i as u64));
+        }
+        let first = server.knn(case.query, case.k, Timestamp(10_000));
+        let second = server.knn(case.query, case.k, Timestamp(10_000));
+        prop_assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,171 @@
+//! Device-wide collective algorithms built on the lane primitives:
+//! bitonic sort/top-k and tree reductions.
+//!
+//! The paper's `GPU_First_k` uses "a parallel sorting algorithm that runs
+//! in O(log ρk) time" (§VI-B2). This module implements the standard
+//! bitonic network over simulated lanes, so the selection actually executes
+//! as a data-parallel algorithm with its comparisons charged to the cost
+//! model, rather than being approximated host-side.
+
+use crate::device::KernelCtx;
+
+/// Sort `keys` ascending with a bitonic network executed as data-parallel
+/// compare-exchange stages. Returns the sorted vector.
+///
+/// The input is padded to the next power of two with `K::MAX`-like sentinel
+/// values provided by `max_sentinel`. Each stage charges one ALU op per
+/// element plus the exchange traffic.
+pub fn bitonic_sort<K: Copy + Ord>(
+    ctx: &mut KernelCtx,
+    mut keys: Vec<K>,
+    max_sentinel: K,
+) -> Vec<K> {
+    let n_real = keys.len();
+    if n_real <= 1 {
+        return keys;
+    }
+    let n = n_real.next_power_of_two();
+    keys.resize(n, max_sentinel);
+
+    // Classic bitonic network: log²(n) compare-exchange stages, each stage
+    // touching every element once — exactly the parallel work a device
+    // would issue (n/2 comparators per stage across the cores).
+    let mut k = 2;
+    while k <= n {
+        let mut j = k / 2;
+        while j > 0 {
+            ctx.charge_alu_all(2); // compare + select per thread
+            ctx.charge_read(8 * n as u64);
+            ctx.charge_write(8 * n as u64);
+            for i in 0..n {
+                let l = i ^ j;
+                if l > i {
+                    let ascending = (i & k) == 0;
+                    if (keys[i] > keys[l]) == ascending {
+                        keys.swap(i, l);
+                    }
+                }
+            }
+            j /= 2;
+        }
+        k *= 2;
+    }
+    keys.truncate(n_real);
+    keys
+}
+
+/// The k smallest keys, ascending — the paper's `GPU_First_k` selection.
+pub fn top_k_smallest<K: Copy + Ord>(
+    ctx: &mut KernelCtx,
+    keys: Vec<K>,
+    k: usize,
+    max_sentinel: K,
+) -> Vec<K> {
+    let mut sorted = bitonic_sort(ctx, keys, max_sentinel);
+    sorted.truncate(k);
+    sorted
+}
+
+/// Tree reduction: combine all values with `f` in log₂(n) data-parallel
+/// steps (e.g. min/max/sum across a kernel's threads).
+pub fn reduce<T: Copy>(ctx: &mut KernelCtx, mut vals: Vec<T>, f: impl Fn(T, T) -> T) -> Option<T> {
+    if vals.is_empty() {
+        return None;
+    }
+    while vals.len() > 1 {
+        ctx.charge_alu_all(1);
+        ctx.charge_read(8 * vals.len() as u64);
+        // One tree level: combine adjacent pairs in parallel.
+        vals = vals
+            .chunks(2)
+            .map(|pair| {
+                if pair.len() == 2 {
+                    f(pair[0], pair[1])
+                } else {
+                    pair[0]
+                }
+            })
+            .collect();
+    }
+    Some(vals[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+    use crate::spec::DeviceSpec;
+
+    fn with_ctx<R>(f: impl FnOnce(&mut KernelCtx) -> R) -> (R, crate::ops::OpCounts) {
+        let mut dev = Device::new(DeviceSpec::test_tiny());
+        let (r, report) = dev.launch(64, f);
+        (r, report.ops)
+    }
+
+    #[test]
+    fn sorts_arbitrary_input() {
+        let (out, ops) = with_ctx(|ctx| {
+            bitonic_sort(ctx, vec![5u64, 3, 9, 1, 1, 300, 42], u64::MAX)
+        });
+        assert_eq!(out, vec![1, 1, 3, 5, 9, 42, 300]);
+        assert!(ops.alu > 0, "sorting must be charged");
+    }
+
+    #[test]
+    fn sorts_empty_and_singleton() {
+        let (out, _) = with_ctx(|ctx| bitonic_sort(ctx, Vec::<u64>::new(), u64::MAX));
+        assert!(out.is_empty());
+        let (out, _) = with_ctx(|ctx| bitonic_sort(ctx, vec![7u64], u64::MAX));
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn sorts_non_power_of_two_lengths() {
+        for n in [2usize, 3, 5, 17, 33, 100] {
+            let input: Vec<u64> = (0..n as u64).map(|i| (i * 7919) % 101).collect();
+            let mut expect = input.clone();
+            expect.sort_unstable();
+            let (out, _) = with_ctx(|ctx| bitonic_sort(ctx, input, u64::MAX));
+            assert_eq!(out, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn top_k_selects_smallest() {
+        let (out, _) = with_ctx(|ctx| {
+            top_k_smallest(ctx, vec![9u64, 2, 7, 4, 4, 11], 3, u64::MAX)
+        });
+        assert_eq!(out, vec![2, 4, 4]);
+    }
+
+    #[test]
+    fn top_k_larger_than_input() {
+        let (out, _) = with_ctx(|ctx| top_k_smallest(ctx, vec![3u64, 1], 10, u64::MAX));
+        assert_eq!(out, vec![1, 3]);
+    }
+
+    #[test]
+    fn reduce_min_and_sum() {
+        let (min, _) = with_ctx(|ctx| reduce(ctx, vec![5u64, 2, 9, 3], |a, b| a.min(b)));
+        assert_eq!(min, Some(2));
+        let (sum, _) = with_ctx(|ctx| reduce(ctx, vec![1u64, 2, 3, 4, 5], |a, b| a + b));
+        assert_eq!(sum, Some(15));
+        let (none, _) = with_ctx(|ctx| reduce(ctx, Vec::<u64>::new(), |a, _| a));
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn stage_count_is_log_squared() {
+        // Cost grows ~n·log²n: doubling n should much less than quadruple
+        // per-element cost.
+        let cost = |n: usize| {
+            let input: Vec<u64> = (0..n as u64).rev().collect();
+            let (_, ops) = with_ctx(|ctx| bitonic_sort(ctx, input, u64::MAX));
+            ops.alu
+        };
+        let (c64, c128) = (cost(64), cost(128));
+        // stages(64)=21, stages(128)=28 → ratio 8/3 on the charged ALU.
+        assert!(c128 > c64);
+        assert!(c128 < c64 * 4);
+    }
+}

@@ -1,0 +1,43 @@
+//! # gpu-sim — a deterministic SIMT GPU simulator
+//!
+//! The G-Grid paper runs its message-cleaning and candidate-generation
+//! kernels on an NVIDIA Quadro P2000 under CUDA 9.0. This environment has no
+//! GPU, so this crate substitutes a *simulator* that preserves what the
+//! paper's algorithms actually depend on:
+//!
+//! * **SIMT semantics** — warps of 32 lanes executing collectives in
+//!   lock-step, including the `shuffle_xor` butterfly exchange that the
+//!   paper's X-shuffle (Algorithm 3) is built on, block-wide barriers, and
+//!   the cost cliff when a "bundle" spans multiple warps (paper Fig 4b).
+//! * **An explicit cost model** — simulated time is charged from a simple
+//!   analytic model (per-op cycles across the device's cores, memory
+//!   bandwidth, kernel-launch overhead) so kernels report a duration that
+//!   scales the way a real device's would.
+//! * **Device memory with capacity** — allocations fail beyond the card's
+//!   memory, which is how the paper's V-Tree (G) baseline drops out of the
+//!   USA experiment.
+//! * **Host↔device transfers** — every copy is metered (bytes and simulated
+//!   time over a PCIe-like link) and copies can be pipelined against compute
+//!   the way the paper overlaps message-list upload with cleaning (§V-A).
+//!
+//! Everything is deterministic: the simulator executes lane programs for
+//! real (the algorithms run and their results are used), and the clock is a
+//! pure function of the executed operations.
+
+pub mod collective;
+pub mod device;
+pub mod mem;
+pub mod ops;
+pub mod spec;
+pub mod time;
+pub mod warp;
+pub mod xfer;
+
+pub use collective::{bitonic_sort, reduce, top_k_smallest};
+pub use device::{Device, LaunchReport};
+pub use mem::OutOfDeviceMemory;
+pub use ops::{CostModel, OpCounts};
+pub use spec::DeviceSpec;
+pub use time::SimNanos;
+pub use warp::{Lanes, WarpExecutor};
+pub use xfer::{pipelined_makespan, TransferLedger};

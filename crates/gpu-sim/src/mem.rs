@@ -1,0 +1,138 @@
+//! Device memory accounting.
+//!
+//! The simulator does not copy real bytes around — kernels run on host data —
+//! but every index that claims residence on the device must *reserve* its
+//! footprint here. Capacity is enforced: the paper omits V-Tree (G) on the
+//! USA dataset precisely because its index exceeds the card's 5 GB, and the
+//! reproduction must fail the same way.
+
+use std::fmt;
+
+/// Error returned when a reservation would exceed device memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OutOfDeviceMemory {
+    pub requested: u64,
+    pub in_use: u64,
+    pub capacity: u64,
+}
+
+impl fmt::Display for OutOfDeviceMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "out of device memory: requested {} bytes with {}/{} in use",
+            self.requested, self.in_use, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for OutOfDeviceMemory {}
+
+/// Tracks reserved device memory against a capacity.
+#[derive(Clone, Debug)]
+pub struct DeviceMemory {
+    capacity: u64,
+    in_use: u64,
+    peak: u64,
+}
+
+impl DeviceMemory {
+    pub fn new(capacity: u64) -> Self {
+        Self {
+            capacity,
+            in_use: 0,
+            peak: 0,
+        }
+    }
+
+    /// Reserve `bytes`; fails if it would exceed capacity.
+    pub fn alloc(&mut self, bytes: u64) -> Result<(), OutOfDeviceMemory> {
+        if self.in_use + bytes > self.capacity {
+            return Err(OutOfDeviceMemory {
+                requested: bytes,
+                in_use: self.in_use,
+                capacity: self.capacity,
+            });
+        }
+        self.in_use += bytes;
+        self.peak = self.peak.max(self.in_use);
+        Ok(())
+    }
+
+    /// Release `bytes` previously reserved.
+    ///
+    /// # Panics
+    /// Panics if more is freed than is in use (an accounting bug upstream).
+    pub fn free(&mut self, bytes: u64) {
+        assert!(bytes <= self.in_use, "freeing more device memory than allocated");
+        self.in_use -= bytes;
+    }
+
+    pub fn in_use(&self) -> u64 {
+        self.in_use
+    }
+
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    pub fn available(&self) -> u64 {
+        self.capacity - self.in_use
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut m = DeviceMemory::new(1000);
+        m.alloc(400).unwrap();
+        m.alloc(500).unwrap();
+        assert_eq!(m.in_use(), 900);
+        assert_eq!(m.available(), 100);
+        m.free(500);
+        assert_eq!(m.in_use(), 400);
+        assert_eq!(m.peak(), 900);
+    }
+
+    #[test]
+    fn over_capacity_rejected() {
+        let mut m = DeviceMemory::new(100);
+        m.alloc(60).unwrap();
+        let err = m.alloc(50).unwrap_err();
+        assert_eq!(err.requested, 50);
+        assert_eq!(err.in_use, 60);
+        assert_eq!(m.in_use(), 60, "failed alloc must not reserve");
+    }
+
+    #[test]
+    fn exact_fit_allowed() {
+        let mut m = DeviceMemory::new(100);
+        m.alloc(100).unwrap();
+        assert_eq!(m.available(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "freeing more")]
+    fn over_free_panics() {
+        let mut m = DeviceMemory::new(100);
+        m.alloc(10).unwrap();
+        m.free(11);
+    }
+
+    #[test]
+    fn error_displays() {
+        let e = OutOfDeviceMemory {
+            requested: 5,
+            in_use: 1,
+            capacity: 4,
+        };
+        assert!(e.to_string().contains("out of device memory"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Operation counting and the analytic cost model.
+
+use crate::spec::DeviceSpec;
+use crate::time::SimNanos;
+
+/// Counts of simulated operations, accumulated per kernel launch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Scalar ALU / branch lane-operations.
+    pub alu: u64,
+    /// Warp `shuffle_xor` lane-operations (register exchange, cheap).
+    pub shuffle: u64,
+    /// `shuffle_xor` lane-operations that crossed a warp boundary and had to
+    /// be staged through shared memory with a barrier (expensive — this is
+    /// the paper's Fig 4b cliff at bundle sizes > 32).
+    pub cross_warp_shuffle: u64,
+    /// Block-wide `sync_threads` barriers.
+    pub syncs: u64,
+    /// Bytes read from global device memory.
+    pub global_read_bytes: u64,
+    /// Bytes written to global device memory.
+    pub global_write_bytes: u64,
+    /// Atomic read-modify-write operations on global memory.
+    pub atomics: u64,
+}
+
+impl OpCounts {
+    pub fn add(&mut self, other: &OpCounts) {
+        self.alu += other.alu;
+        self.shuffle += other.shuffle;
+        self.cross_warp_shuffle += other.cross_warp_shuffle;
+        self.syncs += other.syncs;
+        self.global_read_bytes += other.global_read_bytes;
+        self.global_write_bytes += other.global_write_bytes;
+        self.atomics += other.atomics;
+    }
+
+    pub fn total_mem_bytes(&self) -> u64 {
+        self.global_read_bytes + self.global_write_bytes
+    }
+}
+
+/// Cycle costs per operation class.
+///
+/// The absolute values are calibrated to typical Pascal-class figures; the
+/// experiments only rely on the *relative* costs (shuffle ≪ shared-memory
+/// staging ≪ global atomics, barriers costly when blocks span warps).
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    pub cycles_per_alu: f64,
+    pub cycles_per_shuffle: f64,
+    pub cycles_per_cross_warp_shuffle: f64,
+    pub cycles_per_sync: f64,
+    pub cycles_per_atomic: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            cycles_per_alu: 1.0,
+            cycles_per_shuffle: 2.0,
+            // Staging through shared memory + intra-block barrier.
+            cycles_per_cross_warp_shuffle: 24.0,
+            cycles_per_sync: 32.0,
+            cycles_per_atomic: 40.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Total lane-cycles implied by `ops`.
+    pub fn cycles(&self, ops: &OpCounts) -> f64 {
+        ops.alu as f64 * self.cycles_per_alu
+            + ops.shuffle as f64 * self.cycles_per_shuffle
+            + ops.cross_warp_shuffle as f64 * self.cycles_per_cross_warp_shuffle
+            + ops.syncs as f64 * self.cycles_per_sync
+            + ops.atomics as f64 * self.cycles_per_atomic
+    }
+
+    /// Simulated duration of a launch of `threads` threads performing `ops`
+    /// in total, on `spec`. Compute and memory time overlap (max), plus the
+    /// fixed launch overhead.
+    pub fn launch_time(&self, spec: &DeviceSpec, threads: usize, ops: &OpCounts) -> SimNanos {
+        // Threads are scheduled in whole warps; unused lanes still burn
+        // issue slots.
+        let warp = spec.warp_size as usize;
+        let occupied_lanes = threads.div_ceil(warp) * warp;
+        let parallel_lanes = occupied_lanes.min(spec.total_cores() as usize).max(1);
+        let compute_secs = self.cycles(ops) / (parallel_lanes as f64 * spec.clock_hz);
+        let mem_secs = ops.total_mem_bytes() as f64 / spec.mem_bandwidth_bytes_per_sec;
+        SimNanos(spec.launch_overhead_ns) + SimNanos::from_secs_f64(compute_secs.max(mem_secs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulation() {
+        let mut a = OpCounts {
+            alu: 10,
+            shuffle: 2,
+            ..Default::default()
+        };
+        a.add(&OpCounts {
+            alu: 5,
+            global_read_bytes: 64,
+            ..Default::default()
+        });
+        assert_eq!(a.alu, 15);
+        assert_eq!(a.total_mem_bytes(), 64);
+    }
+
+    #[test]
+    fn cross_warp_shuffle_costs_more() {
+        let m = CostModel::default();
+        let warp_only = OpCounts {
+            shuffle: 100,
+            ..Default::default()
+        };
+        let cross = OpCounts {
+            cross_warp_shuffle: 100,
+            ..Default::default()
+        };
+        assert!(m.cycles(&cross) > 5.0 * m.cycles(&warp_only));
+    }
+
+    #[test]
+    fn launch_time_includes_overhead() {
+        let m = CostModel::default();
+        let spec = DeviceSpec::test_tiny();
+        let t = m.launch_time(&spec, 1, &OpCounts::default());
+        assert_eq!(t, SimNanos(spec.launch_overhead_ns));
+    }
+
+    #[test]
+    fn more_threads_same_total_work_is_faster() {
+        let m = CostModel::default();
+        let spec = DeviceSpec::quadro_p2000();
+        let ops = OpCounts {
+            alu: 10_000_000,
+            ..Default::default()
+        };
+        let serial = m.launch_time(&spec, 1, &ops);
+        let parallel = m.launch_time(&spec, 1024, &ops);
+        assert!(parallel < serial);
+    }
+
+    #[test]
+    fn parallelism_saturates_at_core_count() {
+        let m = CostModel::default();
+        let spec = DeviceSpec::quadro_p2000();
+        let ops = OpCounts {
+            alu: 10_000_000,
+            ..Default::default()
+        };
+        let at_cores = m.launch_time(&spec, 1024, &ops);
+        let beyond = m.launch_time(&spec, 100_000, &ops);
+        assert_eq!(at_cores, beyond);
+    }
+
+    #[test]
+    fn memory_bound_launch_charged_by_bandwidth() {
+        let m = CostModel::default();
+        let spec = DeviceSpec::test_tiny(); // 10 GB/s
+        let ops = OpCounts {
+            global_read_bytes: 10_000_000_000,
+            ..Default::default()
+        };
+        let t = m.launch_time(&spec, 64, &ops);
+        // ~1 second of memory traffic dominates.
+        assert!((t.as_secs_f64() - 1.0).abs() < 0.01, "{t}");
+    }
+}

@@ -1,0 +1,85 @@
+//! Device specifications.
+
+/// Hardware parameters of a simulated device.
+///
+/// These feed the cost model: compute throughput is
+/// `num_sms * cores_per_sm * clock_hz` lane-ops per second, memory traffic is
+/// charged against `mem_bandwidth_bytes_per_sec`, and host↔device copies
+/// against the PCIe-like link.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceSpec {
+    pub name: &'static str,
+    pub num_sms: u32,
+    pub cores_per_sm: u32,
+    /// Lanes per warp; `shuffle_xor` is free of synchronisation only within
+    /// a warp.
+    pub warp_size: u32,
+    pub clock_hz: f64,
+    pub global_mem_bytes: u64,
+    pub mem_bandwidth_bytes_per_sec: f64,
+    pub pcie_bandwidth_bytes_per_sec: f64,
+    /// Fixed latency per host↔device transfer.
+    pub pcie_latency_ns: u64,
+    /// Fixed overhead per kernel launch.
+    pub launch_overhead_ns: u64,
+}
+
+impl DeviceSpec {
+    /// The paper's evaluation card: NVIDIA Quadro P2000 — 1024 CUDA cores
+    /// (8 SMs × 128), 5 GB GDDR5 at ~140 GB/s, ~1.37 GHz boost, PCIe 3.0 x16.
+    pub fn quadro_p2000() -> Self {
+        Self {
+            name: "Quadro P2000 (simulated)",
+            num_sms: 8,
+            cores_per_sm: 128,
+            warp_size: 32,
+            clock_hz: 1.37e9,
+            global_mem_bytes: 5 * 1024 * 1024 * 1024,
+            mem_bandwidth_bytes_per_sec: 140.0e9,
+            pcie_bandwidth_bytes_per_sec: 12.0e9,
+            pcie_latency_ns: 10_000,
+            launch_overhead_ns: 4_000,
+        }
+    }
+
+    /// A tiny device for tests: 2 SMs × 32 cores, 1 MB of memory. Small
+    /// enough that capacity and serialisation effects are easy to trigger.
+    pub fn test_tiny() -> Self {
+        Self {
+            name: "tiny test device",
+            num_sms: 2,
+            cores_per_sm: 32,
+            warp_size: 32,
+            clock_hz: 1.0e9,
+            global_mem_bytes: 1024 * 1024,
+            mem_bandwidth_bytes_per_sec: 10.0e9,
+            pcie_bandwidth_bytes_per_sec: 1.0e9,
+            pcie_latency_ns: 1_000,
+            launch_overhead_ns: 1_000,
+        }
+    }
+
+    pub fn total_cores(&self) -> u32 {
+        self.num_sms * self.cores_per_sm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p2000_matches_paper_hardware() {
+        let s = DeviceSpec::quadro_p2000();
+        assert_eq!(s.total_cores(), 1024);
+        assert_eq!(s.global_mem_bytes, 5 * 1024 * 1024 * 1024);
+        assert_eq!(s.warp_size, 32);
+    }
+
+    #[test]
+    fn tiny_is_small() {
+        let s = DeviceSpec::test_tiny();
+        assert_eq!(s.total_cores(), 64);
+        assert!(s.global_mem_bytes < DeviceSpec::quadro_p2000().global_mem_bytes);
+    }
+}

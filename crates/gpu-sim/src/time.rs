@@ -1,0 +1,124 @@
+//! Simulated time.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A simulated duration in nanoseconds.
+///
+/// Simulated time is a pure function of executed operations, so experiment
+/// output is bit-reproducible across runs and machines.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimNanos(pub u64);
+
+impl SimNanos {
+    pub const ZERO: SimNanos = SimNanos(0);
+
+    pub fn from_micros(us: u64) -> Self {
+        SimNanos(us * 1_000)
+    }
+
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimNanos((secs.max(0.0) * 1e9).round() as u64)
+    }
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    pub fn max(self, other: SimNanos) -> SimNanos {
+        SimNanos(self.0.max(other.0))
+    }
+
+    pub fn saturating_sub(self, other: SimNanos) -> SimNanos {
+        SimNanos(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for SimNanos {
+    type Output = SimNanos;
+    fn add(self, rhs: SimNanos) -> SimNanos {
+        SimNanos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimNanos {
+    fn add_assign(&mut self, rhs: SimNanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimNanos {
+    type Output = SimNanos;
+    fn sub(self, rhs: SimNanos) -> SimNanos {
+        SimNanos(self.0 - rhs.0)
+    }
+}
+
+impl Sum for SimNanos {
+    fn sum<I: Iterator<Item = SimNanos>>(iter: I) -> SimNanos {
+        SimNanos(iter.map(|t| t.0).sum())
+    }
+}
+
+impl fmt::Display for SimNanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = SimNanos(500) + SimNanos(700);
+        assert_eq!(a, SimNanos(1200));
+        assert_eq!(a - SimNanos(200), SimNanos(1000));
+        assert_eq!(a.max(SimNanos(5000)), SimNanos(5000));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimNanos::from_micros(3), SimNanos(3000));
+        assert_eq!(SimNanos::from_secs_f64(1.5), SimNanos(1_500_000_000));
+        assert!((SimNanos(2_000_000).as_millis_f64() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: SimNanos = [SimNanos(1), SimNanos(2), SimNanos(3)].into_iter().sum();
+        assert_eq!(total, SimNanos(6));
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(SimNanos(12).to_string(), "12ns");
+        assert_eq!(SimNanos(1_500).to_string(), "1.500us");
+        assert_eq!(SimNanos(2_500_000).to_string(), "2.500ms");
+        assert_eq!(SimNanos(3_000_000_000).to_string(), "3.000s");
+    }
+
+    #[test]
+    fn saturating_sub_floors_at_zero() {
+        assert_eq!(SimNanos(5).saturating_sub(SimNanos(9)), SimNanos::ZERO);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests of the SIMT simulator.
+
+use gpu_sim::ops::{CostModel, OpCounts};
+use gpu_sim::xfer::pipelined_makespan;
+use gpu_sim::{Device, DeviceSpec, Lanes, SimNanos, WarpExecutor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The bitonic network sorts exactly like the standard library.
+    #[test]
+    fn bitonic_sort_matches_std(mut input in prop::collection::vec(0u64..1000, 0..120)) {
+        let mut dev = Device::new(DeviceSpec::test_tiny());
+        let (out, _) = dev.launch(input.len().max(1), |ctx| {
+            gpu_sim::bitonic_sort(ctx, input.clone(), u64::MAX)
+        });
+        input.sort_unstable();
+        prop_assert_eq!(out, input);
+    }
+
+    /// Tree reduction agrees with a sequential fold for associative +
+    /// commutative operators.
+    #[test]
+    fn reduce_matches_fold(input in prop::collection::vec(0u64..10_000, 0..100)) {
+        let mut dev = Device::new(DeviceSpec::test_tiny());
+        let (min, _) = dev.launch(input.len().max(1), |ctx| {
+            gpu_sim::reduce(ctx, input.clone(), |a, b| a.min(b))
+        });
+        prop_assert_eq!(min, input.iter().copied().min());
+        let (sum, _) = dev.launch(input.len().max(1), |ctx| {
+            gpu_sim::reduce(ctx, input.clone(), |a, b| a + b)
+        });
+        prop_assert_eq!(sum, if input.is_empty() { None } else { Some(input.iter().sum::<u64>()) });
+    }
+
+    /// shuffle_xor is an involution and a permutation for every valid mask.
+    #[test]
+    fn shuffle_xor_permutes(eta in 1u32..7, mask in 1usize..64, seed in 0u64..1000) {
+        let width = 1usize << eta;
+        let mask = mask % width;
+        prop_assume!(mask > 0);
+        let mut ops = OpCounts::default();
+        let mut w = WarpExecutor::new(&mut ops, 32, width);
+        let lanes = Lanes::from_fn(width, |i| (i as u64).wrapping_mul(seed + 1));
+        let once = w.shuffle_xor(&lanes, mask);
+        // Permutation: same multiset of values.
+        let mut a: Vec<u64> = lanes.as_slice().to_vec();
+        let mut b: Vec<u64> = once.as_slice().to_vec();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+        // Involution.
+        let twice = w.shuffle_xor(&once, mask);
+        prop_assert_eq!(twice.as_slice(), lanes.as_slice());
+    }
+
+    /// Pipelined makespan lies between the two trivial bounds: it is at
+    /// least max(total copy, total compute) and at most their sum.
+    #[test]
+    fn pipeline_bounds(chunks in prop::collection::vec((0u64..10_000, 0u64..10_000), 0..20)) {
+        let chunks: Vec<(SimNanos, SimNanos)> = chunks
+            .into_iter()
+            .map(|(c, k)| (SimNanos(c), SimNanos(k)))
+            .collect();
+        let total_copy: u64 = chunks.iter().map(|&(c, _)| c.0).sum();
+        let total_compute: u64 = chunks.iter().map(|&(_, k)| k.0).sum();
+        let makespan = pipelined_makespan(&chunks).0;
+        prop_assert!(makespan >= total_copy.max(total_compute));
+        prop_assert!(makespan <= total_copy + total_compute);
+    }
+
+    /// Launch time is monotone in every op class.
+    #[test]
+    fn launch_time_monotone(alu in 0u64..1_000_000, extra in 1u64..1_000_000, threads in 1usize..4096) {
+        let m = CostModel::default();
+        let spec = DeviceSpec::quadro_p2000();
+        let base = OpCounts { alu, ..Default::default() };
+        let more = OpCounts { alu: alu + extra, ..Default::default() };
+        prop_assert!(m.launch_time(&spec, threads, &base) <= m.launch_time(&spec, threads, &more));
+    }
+
+    /// Device memory accounting never goes negative or exceeds capacity.
+    #[test]
+    fn memory_invariants(allocs in prop::collection::vec(1u64..100_000, 1..50)) {
+        let mut dev = Device::new(DeviceSpec::test_tiny());
+        let cap = dev.memory().capacity();
+        let mut live: Vec<u64> = Vec::new();
+        for a in allocs {
+            if dev.alloc(a).is_ok() {
+                live.push(a);
+            }
+            prop_assert!(dev.memory().in_use() <= cap);
+            // Free every other successful allocation as we go.
+            if live.len().is_multiple_of(2) {
+                if let Some(b) = live.pop() {
+                    dev.free(b);
+                }
+            }
+        }
+        prop_assert_eq!(dev.memory().in_use(), live.iter().sum::<u64>());
+    }
+
+    /// Transfer accounting: ledger totals equal the sum of the parts.
+    #[test]
+    fn ledger_sums(parts in prop::collection::vec(0u64..1_000_000, 0..30)) {
+        let mut dev = Device::new(DeviceSpec::test_tiny());
+        let mut h2d = 0u64;
+        for (i, p) in parts.iter().enumerate() {
+            if i % 2 == 0 {
+                dev.h2d(*p);
+                h2d += p;
+            } else {
+                dev.d2h(*p);
+            }
+        }
+        prop_assert_eq!(dev.ledger().h2d_bytes, h2d);
+        prop_assert_eq!(dev.ledger().total_bytes(), parts.iter().sum::<u64>());
+    }
+}

@@ -1,0 +1,328 @@
+//! Shortest-path searches.
+//!
+//! Three flavours are provided, all built on the same engine with reusable
+//! scratch memory (the "workhorse collection" idiom — a search allocates
+//! nothing after the first call):
+//!
+//! * full single-source Dijkstra,
+//! * bounded-radius Dijkstra from arbitrary seed costs (used by G-Grid's
+//!   unresolved-vertex refinement, Algorithm 6, and by the baselines),
+//! * an exact reference kNN over objects located on edges — the ground truth
+//!   every index in the workspace is tested against.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::graph::{Distance, Graph, VertexId, INFINITY};
+use crate::position::EdgePosition;
+
+/// Limits for a bounded search.
+#[derive(Clone, Copy, Debug)]
+pub struct SearchBounds {
+    /// Stop settling vertices farther than this.
+    pub max_dist: Distance,
+    /// Stop after settling this many vertices (safety valve).
+    pub max_settled: usize,
+}
+
+impl SearchBounds {
+    pub fn radius(max_dist: Distance) -> Self {
+        Self {
+            max_dist,
+            max_settled: usize::MAX,
+        }
+    }
+
+    pub const UNBOUNDED: SearchBounds = SearchBounds {
+        max_dist: INFINITY,
+        max_settled: usize::MAX,
+    };
+}
+
+/// Reusable Dijkstra engine over one graph.
+///
+/// Distances from the most recent search remain readable until the next
+/// search. Reuse is O(touched) thanks to an epoch-stamped distance array.
+pub struct DijkstraEngine<'g> {
+    graph: &'g Graph,
+    dist: Vec<Distance>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    heap: BinaryHeap<Reverse<(Distance, u32)>>,
+    settled: Vec<VertexId>,
+}
+
+impl<'g> DijkstraEngine<'g> {
+    pub fn new(graph: &'g Graph) -> Self {
+        let n = graph.num_vertices();
+        Self {
+            graph,
+            dist: vec![INFINITY; n],
+            stamp: vec![0; n],
+            epoch: 0,
+            heap: BinaryHeap::new(),
+            settled: Vec::new(),
+        }
+    }
+
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    #[inline]
+    fn reset(&mut self) {
+        self.epoch += 1;
+        self.heap.clear();
+        self.settled.clear();
+    }
+
+    #[inline]
+    fn get(&self, v: VertexId) -> Distance {
+        if self.stamp[v.index()] == self.epoch {
+            self.dist[v.index()]
+        } else {
+            INFINITY
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, v: VertexId, d: Distance) {
+        self.dist[v.index()] = d;
+        self.stamp[v.index()] = self.epoch;
+    }
+
+    /// Distance to `v` from the seeds of the most recent search.
+    pub fn distance(&self, v: VertexId) -> Distance {
+        self.get(v)
+    }
+
+    /// Vertices settled by the most recent search, in settling order.
+    pub fn settled(&self) -> &[VertexId] {
+        &self.settled
+    }
+
+    /// Run Dijkstra from arbitrary `(vertex, initial_cost)` seeds under
+    /// `bounds`. Returns the number of settled vertices.
+    pub fn run_seeded(&mut self, seeds: &[(VertexId, Distance)], bounds: SearchBounds) -> usize {
+        self.reset();
+        for &(v, d) in seeds {
+            if d < self.get(v) {
+                self.set(v, d);
+                self.heap.push(Reverse((d, v.0)));
+            }
+        }
+        while let Some(Reverse((d, v))) = self.heap.pop() {
+            let v = VertexId(v);
+            if d > self.get(v) {
+                continue; // stale entry
+            }
+            if d > bounds.max_dist {
+                break;
+            }
+            self.settled.push(v);
+            if self.settled.len() >= bounds.max_settled {
+                break;
+            }
+            for e in self.graph.out_edges(v) {
+                let edge = self.graph.edge(e);
+                let nd = d + edge.weight as Distance;
+                if nd < self.get(edge.dest) && nd <= bounds.max_dist {
+                    self.set(edge.dest, nd);
+                    self.heap.push(Reverse((nd, edge.dest.0)));
+                }
+            }
+        }
+        self.settled.len()
+    }
+
+    /// Full single-source Dijkstra from a vertex.
+    pub fn run_from_vertex(&mut self, src: VertexId) -> usize {
+        self.run_seeded(&[(src, 0)], SearchBounds::UNBOUNDED)
+    }
+
+    /// Dijkstra from a position on an edge: the only way off the edge is its
+    /// destination vertex, seeded with the residual edge cost.
+    pub fn run_from_position(&mut self, q: EdgePosition, bounds: SearchBounds) -> usize {
+        let dest = self.graph.edge(q.edge).dest;
+        let seed = q.to_dest(self.graph);
+        self.run_seeded(&[(dest, seed)], bounds)
+    }
+
+    /// Network distance from position `q` to position `p` using the most
+    /// recent `run_from_position(q, ..)` state.
+    ///
+    /// `dist(q, p) = dist(q, source(p.edge)) + p.offset`, with the shortcut
+    /// for two positions on the same edge where `p` lies ahead of `q`.
+    pub fn position_distance(&self, q: EdgePosition, p: EdgePosition) -> Distance {
+        let via_source = self
+            .get(self.graph.edge(p.edge).source)
+            .saturating_add(p.from_source());
+        if p.edge == q.edge && p.offset >= q.offset {
+            let along = (p.offset - q.offset) as Distance;
+            along.min(via_source)
+        } else {
+            via_source
+        }
+    }
+}
+
+/// Exact network distance between two edge positions (fresh search).
+pub fn position_to_position(graph: &Graph, q: EdgePosition, p: EdgePosition) -> Distance {
+    let mut engine = DijkstraEngine::new(graph);
+    engine.run_from_position(q, SearchBounds::UNBOUNDED);
+    engine.position_distance(q, p)
+}
+
+/// Reference exact kNN: the `k` objects nearest to `q`, `(object, distance)`
+/// sorted by distance then object id. Ground truth for every index.
+pub fn reference_knn(
+    graph: &Graph,
+    q: EdgePosition,
+    objects: &[(u64, EdgePosition)],
+    k: usize,
+) -> Vec<(u64, Distance)> {
+    let mut engine = DijkstraEngine::new(graph);
+    engine.run_from_position(q, SearchBounds::UNBOUNDED);
+    let mut scored: Vec<(u64, Distance)> = objects
+        .iter()
+        .map(|&(id, p)| (id, engine.position_distance(q, p)))
+        .filter(|&(_, d)| d < INFINITY)
+        .collect();
+    scored.sort_by_key(|&(id, d)| (d, id));
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{EdgeId, GraphBuilder};
+
+    /// 4-cycle with a chord: 0→1(1), 1→2(1), 2→3(1), 3→0(1), 0→2(5).
+    fn ring() -> Graph {
+        let mut b = GraphBuilder::with_vertices(4);
+        b.add_edge(VertexId(0), VertexId(1), 1);
+        b.add_edge(VertexId(1), VertexId(2), 1);
+        b.add_edge(VertexId(2), VertexId(3), 1);
+        b.add_edge(VertexId(3), VertexId(0), 1);
+        b.add_edge(VertexId(0), VertexId(2), 5);
+        b.build()
+    }
+
+    #[test]
+    fn single_source_distances() {
+        let g = ring();
+        let mut d = DijkstraEngine::new(&g);
+        d.run_from_vertex(VertexId(0));
+        assert_eq!(d.distance(VertexId(0)), 0);
+        assert_eq!(d.distance(VertexId(1)), 1);
+        assert_eq!(d.distance(VertexId(2)), 2); // via 1, not the chord
+        assert_eq!(d.distance(VertexId(3)), 3);
+    }
+
+    #[test]
+    fn engine_reuse_resets_state() {
+        let g = ring();
+        let mut d = DijkstraEngine::new(&g);
+        d.run_from_vertex(VertexId(0));
+        d.run_from_vertex(VertexId(2));
+        assert_eq!(d.distance(VertexId(2)), 0);
+        assert_eq!(d.distance(VertexId(0)), 2);
+        assert_eq!(d.distance(VertexId(1)), 3);
+    }
+
+    #[test]
+    fn bounded_radius_stops() {
+        let g = ring();
+        let mut d = DijkstraEngine::new(&g);
+        let settled = d.run_seeded(&[(VertexId(0), 0)], SearchBounds::radius(1));
+        assert_eq!(settled, 2); // vertex 0 and vertex 1
+        assert_eq!(d.distance(VertexId(3)), INFINITY);
+    }
+
+    #[test]
+    fn max_settled_stops() {
+        let g = ring();
+        let mut d = DijkstraEngine::new(&g);
+        let bounds = SearchBounds {
+            max_dist: INFINITY,
+            max_settled: 1,
+        };
+        assert_eq!(d.run_seeded(&[(VertexId(0), 0)], bounds), 1);
+    }
+
+    #[test]
+    fn disconnected_vertex_unreachable() {
+        let mut b = GraphBuilder::with_vertices(3);
+        b.add_edge(VertexId(0), VertexId(1), 1);
+        let g = b.build();
+        let mut d = DijkstraEngine::new(&g);
+        d.run_from_vertex(VertexId(0));
+        assert_eq!(d.distance(VertexId(2)), INFINITY);
+    }
+
+    #[test]
+    fn position_distance_same_edge_forward() {
+        let g = ring();
+        // Both on edge 0 (0→1, weight 1): q at offset 0, p at offset 1.
+        let q = EdgePosition::new(EdgeId(0), 0);
+        let p = EdgePosition::new(EdgeId(0), 1);
+        assert_eq!(position_to_position(&g, q, p), 1);
+    }
+
+    #[test]
+    fn position_distance_same_edge_behind_wraps() {
+        let g = ring();
+        // p behind q on the same edge: must loop the ring 1→2→3→0 then re-enter.
+        let q = EdgePosition::new(EdgeId(0), 1);
+        let p = EdgePosition::new(EdgeId(0), 0);
+        // q is at vertex 1 effectively; loop to 0 costs 3, re-enter edge 0 offset 0.
+        assert_eq!(position_to_position(&g, q, p), 3);
+    }
+
+    #[test]
+    fn position_distance_cross_edges() {
+        let g = ring();
+        let q = EdgePosition::new(EdgeId(0), 0); // on 0→1 at source
+        let p = EdgePosition::new(EdgeId(2), 1); // on 2→3 at dest side
+        // to vertex 1: 1, to vertex 2: 2, plus offset 1 = 3.
+        assert_eq!(position_to_position(&g, q, p), 3);
+    }
+
+    #[test]
+    fn reference_knn_orders_and_truncates() {
+        let g = ring();
+        let q = EdgePosition::new(EdgeId(0), 0);
+        let objects = vec![
+            (10, EdgePosition::new(EdgeId(2), 0)), // dist 2
+            (11, EdgePosition::new(EdgeId(0), 1)), // dist 1
+            (12, EdgePosition::new(EdgeId(3), 1)), // dist 4
+        ];
+        let knn = reference_knn(&g, q, &objects, 2);
+        assert_eq!(knn, vec![(11, 1), (10, 2)]);
+    }
+
+    #[test]
+    fn reference_knn_ties_break_by_id() {
+        let g = ring();
+        let q = EdgePosition::new(EdgeId(0), 0);
+        let objects = vec![
+            (7, EdgePosition::new(EdgeId(1), 0)),
+            (3, EdgePosition::new(EdgeId(1), 0)),
+        ];
+        let knn = reference_knn(&g, q, &objects, 2);
+        assert_eq!(knn[0].0, 3);
+        assert_eq!(knn[1].0, 7);
+    }
+
+    #[test]
+    fn reference_knn_skips_unreachable() {
+        let mut b = GraphBuilder::with_vertices(4);
+        b.add_edge(VertexId(0), VertexId(1), 1);
+        b.add_edge(VertexId(2), VertexId(3), 1); // island
+        let g = b.build();
+        let q = EdgePosition::new(EdgeId(0), 0);
+        let objects = vec![(1, EdgePosition::new(EdgeId(1), 0))];
+        assert!(reference_knn(&g, q, &objects, 1).is_empty());
+    }
+}

@@ -1,0 +1,342 @@
+//! Deterministic synthetic road-network generators.
+//!
+//! The paper evaluates on six DIMACS road networks (Table II). Those files
+//! are not available in this offline environment, so this module generates
+//! networks with the same *shape*: grid-like planar topology, the low average
+//! degree of road graphs (|E|/|V| ≈ 2.4–2.8 directed), strong connectivity,
+//! and positive integer weights. Each paper dataset has a preset that scales
+//! its vertex/edge counts down by a configurable factor while preserving the
+//! |E|/|V| ratio, so the cross-dataset experiments (Figs 5, 6, 10) keep the
+//! paper's relative ordering. Feed real `.gr` files through
+//! [`crate::dimacs::read_gr`] to reproduce on the original data.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::{Graph, GraphBuilder, VertexId};
+
+/// Parameters for [`grid_city`].
+#[derive(Clone, Debug)]
+pub struct GridCityParams {
+    pub rows: u32,
+    pub cols: u32,
+    /// Target directed |E| / |V| ratio. Road networks sit around 2.4–2.8.
+    /// Minimum achievable is just below 2 (a bidirectional spanning tree).
+    pub edge_ratio: f64,
+    /// Edge weights are drawn uniformly from this inclusive range.
+    pub weight_range: (u32, u32),
+    pub seed: u64,
+}
+
+impl Default for GridCityParams {
+    fn default() -> Self {
+        Self {
+            rows: 32,
+            cols: 32,
+            edge_ratio: 2.5,
+            weight_range: (100, 2000),
+            seed: 42,
+        }
+    }
+}
+
+/// Generate a road-network-shaped graph over a `rows × cols` lattice.
+///
+/// Construction guarantees strong connectivity: a random spanning tree of the
+/// lattice is added bidirectionally, then remaining lattice edges are added
+/// (also bidirectionally) in random order until the target edge count is
+/// reached. Weights are uniform in `weight_range`. Deterministic in `seed`.
+pub fn grid_city(params: &GridCityParams) -> Graph {
+    assert!(params.rows >= 2 && params.cols >= 2, "need at least a 2x2 lattice");
+    assert!(
+        params.weight_range.0 > 0 && params.weight_range.0 <= params.weight_range.1,
+        "invalid weight range"
+    );
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+    let (rows, cols) = (params.rows as usize, params.cols as usize);
+    let n = rows * cols;
+    let vid = |r: usize, c: usize| VertexId((r * cols + c) as u32);
+
+    let mut b = GraphBuilder::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            // Slight coordinate jitter so the layout is road-like, not exact.
+            let jx: f32 = rng.gen_range(-0.3..0.3);
+            let jy: f32 = rng.gen_range(-0.3..0.3);
+            b.add_vertex_at(c as f32 + jx, r as f32 + jy);
+        }
+    }
+
+    // All lattice (4-neighbour) edges, shuffled.
+    let mut lattice: Vec<(VertexId, VertexId)> = Vec::with_capacity(2 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                lattice.push((vid(r, c), vid(r, c + 1)));
+            }
+            if r + 1 < rows {
+                lattice.push((vid(r, c), vid(r + 1, c)));
+            }
+        }
+    }
+    lattice.shuffle(&mut rng);
+
+    // Kruskal-style spanning tree first (guarantees connectivity), leftovers
+    // form the pool of optional extras.
+    let mut dsu = DisjointSets::new(n);
+    let mut extras = Vec::new();
+    let w = |rng: &mut SmallRng| rng.gen_range(params.weight_range.0..=params.weight_range.1);
+    let mut edges_added = 0usize;
+    for (u, v) in lattice {
+        if dsu.union(u.index(), v.index()) {
+            b.add_bidirectional(u, v, w(&mut rng));
+            edges_added += 2;
+        } else {
+            extras.push((u, v));
+        }
+    }
+
+    let target_edges = ((n as f64) * params.edge_ratio).round() as usize;
+    for (u, v) in extras {
+        if edges_added + 2 > target_edges {
+            break;
+        }
+        b.add_bidirectional(u, v, w(&mut rng));
+        edges_added += 2;
+    }
+
+    b.build()
+}
+
+/// The six road networks of the paper's Table II.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Dataset {
+    /// New York City: 264,346 vertices, 733,846 edges.
+    NY,
+    /// Colorado: 435,666 vertices, 1,057,066 edges.
+    COL,
+    /// Florida: 1,070,376 vertices, 2,712,798 edges.
+    FLA,
+    /// California and Nevada: 1,890,815 vertices, 4,657,742 edges.
+    CAL,
+    /// Great Lakes: 2,758,119 vertices, 6,885,658 edges.
+    LKS,
+    /// Full USA: 23,974,347 vertices, 58,333,344 edges.
+    USA,
+}
+
+impl Dataset {
+    /// All datasets, smallest to largest (the order Figs 5/6/10 sweep).
+    pub const ALL: [Dataset; 6] = [
+        Dataset::NY,
+        Dataset::COL,
+        Dataset::FLA,
+        Dataset::CAL,
+        Dataset::LKS,
+        Dataset::USA,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::NY => "NY",
+            Dataset::COL => "COL",
+            Dataset::FLA => "FLA",
+            Dataset::CAL => "CAL",
+            Dataset::LKS => "LKS",
+            Dataset::USA => "USA",
+        }
+    }
+
+    /// `(|V|, |E|)` of the real dataset (paper Table II).
+    pub fn full_stats(self) -> (u64, u64) {
+        match self {
+            Dataset::NY => (264_346, 733_846),
+            Dataset::COL => (435_666, 1_057_066),
+            Dataset::FLA => (1_070_376, 2_712_798),
+            Dataset::CAL => (1_890_815, 4_657_742),
+            Dataset::LKS => (2_758_119, 6_885_658),
+            Dataset::USA => (23_974_347, 58_333_344),
+        }
+    }
+
+    /// Directed |E|/|V| ratio of the real dataset.
+    pub fn edge_ratio(self) -> f64 {
+        let (v, e) = self.full_stats();
+        e as f64 / v as f64
+    }
+}
+
+/// Build a scaled-down, shape-preserving instance of `ds`.
+///
+/// `scale` divides the real vertex count (e.g. `scale = 100` turns NY's 264k
+/// vertices into ~2.6k). The |E|/|V| ratio matches the real dataset, and the
+/// lattice aspect ratio is kept near-square. Deterministic in `seed`.
+pub fn dataset(ds: Dataset, scale: u32, seed: u64) -> Graph {
+    let (v_full, _) = ds.full_stats();
+    let target_v = ((v_full / scale.max(1) as u64).max(64)) as usize;
+    let side = (target_v as f64).sqrt().round().max(2.0) as u32;
+    grid_city(&GridCityParams {
+        rows: side,
+        cols: side,
+        edge_ratio: ds.edge_ratio(),
+        weight_range: (100, 2000),
+        seed: seed ^ (ds as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+    })
+}
+
+/// Small deterministic fixture graph used across the workspace's tests:
+/// an 8×8 grid city with ~160 edges.
+pub fn toy(seed: u64) -> Graph {
+    grid_city(&GridCityParams {
+        rows: 8,
+        cols: 8,
+        edge_ratio: 2.5,
+        weight_range: (1, 20),
+        seed,
+    })
+}
+
+struct DisjointSets {
+    parent: Vec<u32>,
+}
+
+impl DisjointSets {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] as usize != root {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    /// Returns true if the two sets were merged (were previously disjoint).
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.parent[ra] = rb as u32;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::DijkstraEngine;
+    use crate::graph::INFINITY;
+
+    #[test]
+    fn grid_city_is_strongly_connected() {
+        let g = toy(7);
+        let mut d = DijkstraEngine::new(&g);
+        d.run_from_vertex(VertexId(0));
+        for v in g.vertices() {
+            assert!(d.distance(v) < INFINITY, "{v:?} unreachable");
+        }
+    }
+
+    #[test]
+    fn grid_city_deterministic() {
+        let a = toy(123);
+        let b = toy(123);
+        assert_eq!(a.num_edges(), b.num_edges());
+        for e in a.edge_ids() {
+            assert_eq!(a.edge(e), b.edge(e));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = toy(1);
+        let b = toy(2);
+        let same = a
+            .edge_ids()
+            .take(50)
+            .filter(|&e| e.index() < b.num_edges() && a.edge(e) == b.edge(e))
+            .count();
+        assert!(same < 50, "seeds produced identical graphs");
+    }
+
+    #[test]
+    fn edge_ratio_respected() {
+        let g = grid_city(&GridCityParams {
+            rows: 40,
+            cols: 40,
+            edge_ratio: 2.5,
+            ..Default::default()
+        });
+        let ratio = g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!((ratio - 2.5).abs() < 0.1, "ratio was {ratio}");
+    }
+
+    #[test]
+    fn dataset_presets_scale() {
+        let g = dataset(Dataset::NY, 100, 1);
+        let v = g.num_vertices() as f64;
+        assert!((2000.0..3500.0).contains(&v), "|V| = {v}");
+        let ratio = g.num_edges() as f64 / v;
+        assert!((ratio - Dataset::NY.edge_ratio()).abs() < 0.2);
+    }
+
+    #[test]
+    fn dataset_order_preserved_under_scaling() {
+        let sizes: Vec<usize> = Dataset::ALL
+            .iter()
+            .map(|&ds| dataset(ds, 2000, 5).num_vertices())
+            .collect();
+        for w in sizes.windows(2) {
+            assert!(w[0] <= w[1], "dataset sizes out of order: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn table2_ratios_are_road_like() {
+        for ds in Dataset::ALL {
+            let r = ds.edge_ratio();
+            assert!((2.0..3.0).contains(&r), "{} ratio {r}", ds.name());
+        }
+    }
+
+    #[test]
+    fn weights_in_range() {
+        let g = grid_city(&GridCityParams {
+            weight_range: (5, 9),
+            ..Default::default()
+        });
+        for e in g.edge_ids() {
+            let w = g.edge(e).weight;
+            assert!((5..=9).contains(&w));
+        }
+    }
+
+    #[test]
+    fn coordinates_present() {
+        let g = toy(3);
+        assert!(g.has_coords());
+    }
+
+    #[test]
+    #[should_panic(expected = "2x2 lattice")]
+    fn degenerate_lattice_rejected() {
+        grid_city(&GridCityParams {
+            rows: 1,
+            cols: 5,
+            ..Default::default()
+        });
+    }
+}

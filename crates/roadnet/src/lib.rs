@@ -1,0 +1,37 @@
+//! # roadnet — road network substrate
+//!
+//! Directed road-network graphs and the supporting algorithms the G-Grid
+//! reproduction is built on:
+//!
+//! * [`Graph`] — an array-based (CSR) directed graph with integer weights,
+//!   out- and in-adjacency, and optional planar coordinates.
+//! * [`dimacs`] — reader/writer for the 9th DIMACS Implementation Challenge
+//!   `.gr` / `.co` formats used by the paper's six datasets.
+//! * [`gen`] — deterministic synthetic road-network generators shaped like the
+//!   paper's datasets (Table II), for environments without the real files.
+//! * [`partition`] — a multilevel recursive-bisection graph partitioner in the
+//!   style of Karypis–Kumar (METIS), used to build grid cells and V-Tree nodes.
+//! * [`zorder`] — Morton (Z-curve) encoding used to linearise grid cells.
+//! * [`dijkstra`] — shortest-path searches: single-source, bounded-radius, and
+//!   an exact reference kNN over objects located on edges (ground truth for
+//!   every index in the workspace).
+//! * [`position`] — positions of moving objects on edges and network distance
+//!   between such positions.
+//! * [`scc`] — strongly-connected-component analysis for validating and
+//!   trimming imported road networks.
+//!
+//! All generators and algorithms are deterministic given a seed so that every
+//! experiment in the repository is reproducible.
+
+pub mod dijkstra;
+pub mod dimacs;
+pub mod gen;
+pub mod graph;
+pub mod partition;
+pub mod position;
+pub mod scc;
+pub mod zorder;
+
+pub use dijkstra::{DijkstraEngine, SearchBounds};
+pub use graph::{Distance, EdgeId, Graph, GraphBuilder, VertexId, INFINITY};
+pub use position::EdgePosition;

@@ -1,0 +1,440 @@
+//! Multilevel graph partitioning (Karypis–Kumar style).
+//!
+//! The paper partitions the road network with the multilevel scheme of
+//! Karypis and Kumar \[5\]: recursively bisect the vertex set into equal-sized
+//! halves while minimising the edge cut; sibling halves become neighbouring
+//! cells (§III-A). This module implements that scheme:
+//!
+//! * **coarsening** via heavy-edge matching,
+//! * **initial bisection** via weighted BFS region growing,
+//! * **refinement** via a boundary Kernighan–Lin pass at every level,
+//! * **recursion** producing a bit-string part id per vertex, where bit `i`
+//!   records the side taken at bisection level `i` — exactly the shape the
+//!   G-Grid needs to lay parts onto a `2^ψ × 2^ψ` cell lattice, and the shape
+//!   V-Tree needs for its partition hierarchy.
+
+use crate::graph::{Graph, VertexId};
+
+/// Result of partitioning: `assignment[v]` is the part id of vertex `v`.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    pub assignment: Vec<u32>,
+    pub num_parts: u32,
+}
+
+impl Partition {
+    /// Number of directed edges crossing parts.
+    pub fn cut_edges(&self, graph: &Graph) -> usize {
+        graph
+            .edge_ids()
+            .filter(|&e| {
+                let edge = graph.edge(e);
+                self.assignment[edge.source.index()] != self.assignment[edge.dest.index()]
+            })
+            .count()
+    }
+
+    /// Sizes of each part.
+    pub fn part_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_parts as usize];
+        for &p in &self.assignment {
+            sizes[p as usize] += 1;
+        }
+        sizes
+    }
+}
+
+/// Undirected weighted working graph used during multilevel bisection.
+/// Vertices carry weights (number of original vertices they contain).
+struct WorkGraph {
+    vwt: Vec<u64>,
+    adj: Vec<Vec<(u32, u64)>>,
+}
+
+impl WorkGraph {
+    fn len(&self) -> usize {
+        self.vwt.len()
+    }
+
+    fn total_weight(&self) -> u64 {
+        self.vwt.iter().sum()
+    }
+
+    /// Build the level-0 working graph for a subset of `graph`'s vertices.
+    /// Edge directions are ignored and parallel edges merged.
+    fn from_subset(graph: &Graph, subset: &[VertexId]) -> (Self, Vec<VertexId>) {
+        let mut local = vec![u32::MAX; graph.num_vertices()];
+        for (i, &v) in subset.iter().enumerate() {
+            local[v.index()] = i as u32;
+        }
+        let mut adj: Vec<Vec<(u32, u64)>> = vec![Vec::new(); subset.len()];
+        for (i, &v) in subset.iter().enumerate() {
+            for e in graph.out_edges(v) {
+                let d = graph.edge(e).dest;
+                let j = local[d.index()];
+                if j != u32::MAX && j != i as u32 {
+                    adj[i].push((j, 1));
+                }
+            }
+            // In-edges too: the working graph is undirected.
+            for e in graph.in_edges(v) {
+                let s = graph.edge(e).source;
+                let j = local[s.index()];
+                if j != u32::MAX && j != i as u32 {
+                    adj[i].push((j, 1));
+                }
+            }
+        }
+        for list in &mut adj {
+            merge_parallel(list);
+        }
+        (
+            Self {
+                vwt: vec![1; subset.len()],
+                adj,
+            },
+            subset.to_vec(),
+        )
+    }
+}
+
+fn merge_parallel(list: &mut Vec<(u32, u64)>) {
+    list.sort_unstable_by_key(|&(j, _)| j);
+    let mut out = 0usize;
+    for i in 0..list.len() {
+        if out > 0 && list[out - 1].0 == list[i].0 {
+            list[out - 1].1 += list[i].1;
+        } else {
+            list[out] = list[i];
+            out += 1;
+        }
+    }
+    list.truncate(out);
+}
+
+/// Heavy-edge matching coarsening: returns (coarse graph, map fine→coarse).
+fn coarsen(g: &WorkGraph) -> (WorkGraph, Vec<u32>) {
+    let n = g.len();
+    let mut matched = vec![u32::MAX; n];
+    let mut next = 0u32;
+    // Visit in index order; deterministic. Match each unmatched vertex with
+    // its heaviest unmatched neighbour.
+    for v in 0..n {
+        if matched[v] != u32::MAX {
+            continue;
+        }
+        let mut best: Option<(u32, u64)> = None;
+        for &(u, w) in &g.adj[v] {
+            if matched[u as usize] == u32::MAX && best.is_none_or(|(_, bw)| w > bw) {
+                best = Some((u, w));
+            }
+        }
+        let id = next;
+        next += 1;
+        matched[v] = id;
+        if let Some((u, _)) = best {
+            matched[u as usize] = id;
+        }
+    }
+    let cn = next as usize;
+    let mut vwt = vec![0u64; cn];
+    let mut adj: Vec<Vec<(u32, u64)>> = vec![Vec::new(); cn];
+    for v in 0..n {
+        let cv = matched[v] as usize;
+        vwt[cv] += g.vwt[v];
+        for &(u, w) in &g.adj[v] {
+            let cu = matched[u as usize];
+            if cu as usize != cv {
+                adj[cv].push((cu, w));
+            }
+        }
+    }
+    for list in &mut adj {
+        merge_parallel(list);
+    }
+    (WorkGraph { vwt, adj }, matched)
+}
+
+/// Initial bisection by BFS region growing from vertex 0 until half of the
+/// total weight is collected. `side[v] = true` marks the grown region.
+fn initial_bisection(g: &WorkGraph) -> Vec<bool> {
+    let n = g.len();
+    let half = g.total_weight() / 2;
+    let mut side = vec![false; n];
+    let mut grown = 0u64;
+    let mut queue = std::collections::VecDeque::new();
+    let mut seen = vec![false; n];
+    let mut start = 0usize;
+    while grown < half {
+        // Handle disconnected working graphs by restarting BFS.
+        while start < n && seen[start] {
+            start += 1;
+        }
+        if start >= n {
+            break;
+        }
+        queue.push_back(start as u32);
+        seen[start] = true;
+        while let Some(v) = queue.pop_front() {
+            if grown >= half {
+                break;
+            }
+            side[v as usize] = true;
+            grown += g.vwt[v as usize];
+            for &(u, _) in &g.adj[v as usize] {
+                if !seen[u as usize] {
+                    seen[u as usize] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    side
+}
+
+/// One boundary Kernighan–Lin refinement pass: greedily move boundary
+/// vertices with positive cut gain while keeping both sides ≥ `min_frac`
+/// of the total weight. Runs a bounded number of sweeps.
+fn refine(g: &WorkGraph, side: &mut [bool]) {
+    let total = g.total_weight();
+    let min_side = total / 5; // keep sides within 20–80%; callers rebalance
+    let mut wa: u64 = (0..g.len()).filter(|&v| side[v]).map(|v| g.vwt[v]).sum();
+    for _sweep in 0..4 {
+        let mut moved_any = false;
+        for v in 0..g.len() {
+            let (mut internal, mut external) = (0u64, 0u64);
+            for &(u, w) in &g.adj[v] {
+                if side[u as usize] == side[v] {
+                    internal += w;
+                } else {
+                    external += w;
+                }
+            }
+            if external > internal {
+                // Check balance before moving v to the other side.
+                let wb = total - wa;
+                let (from, _to) = if side[v] { (wa, wb) } else { (wb, wa) };
+                if from - g.vwt[v].min(from) < min_side {
+                    continue;
+                }
+                if side[v] {
+                    wa -= g.vwt[v];
+                } else {
+                    wa += g.vwt[v];
+                }
+                side[v] = !side[v];
+                moved_any = true;
+            }
+        }
+        if !moved_any {
+            break;
+        }
+    }
+}
+
+/// Multilevel bisection of a working graph into two sides.
+fn bisect(g: &WorkGraph) -> Vec<bool> {
+    if g.len() <= 16 {
+        let mut side = initial_bisection(g);
+        refine(g, &mut side);
+        rebalance(g, &mut side);
+        return side;
+    }
+    let (coarse, map) = coarsen(g);
+    let mut side = if coarse.len() < g.len() {
+        let cside = bisect(&coarse);
+        map.iter().map(|&c| cside[c as usize]).collect()
+    } else {
+        initial_bisection(g) // coarsening stalled
+    };
+    refine(g, &mut side);
+    rebalance(g, &mut side);
+    side
+}
+
+/// Force the two sides within one (weighted) vertex of perfect balance by
+/// moving cheapest-to-move vertices. The paper's cells have a hard capacity
+/// δᶜ, so balance is a correctness requirement, not just a quality goal.
+fn rebalance(g: &WorkGraph, side: &mut [bool]) {
+    let total = g.total_weight();
+    loop {
+        let wa: u64 = (0..g.len()).filter(|&v| side[v]).map(|v| g.vwt[v]).sum();
+        let wb = total - wa;
+        let (heavy_is_a, diff) = if wa >= wb { (true, wa - wb) } else { (false, wb - wa) };
+        if diff <= 1 {
+            break;
+        }
+        // Move the boundary-most vertex (max external weight) from the heavy
+        // side whose weight does not overshoot.
+        let mut best: Option<(usize, i64)> = None;
+        for v in 0..g.len() {
+            if side[v] != heavy_is_a || g.vwt[v] * 2 > diff + 1 {
+                continue;
+            }
+            let mut gain = 0i64;
+            for &(u, w) in &g.adj[v] {
+                gain += if side[u as usize] == side[v] {
+                    -(w as i64)
+                } else {
+                    w as i64
+                };
+            }
+            if best.is_none_or(|(_, bg)| gain > bg) {
+                best = Some((v, gain));
+            }
+        }
+        match best {
+            Some((v, _)) => side[v] = !side[v],
+            None => break, // nothing movable without overshooting
+        }
+    }
+}
+
+/// Recursively bisect `graph` to `depth` levels.
+///
+/// Returns a part id per vertex in `0..2^depth`; bit `depth-1-i` of the id is
+/// the side chosen at recursion level `i` (most significant bit = first
+/// split), so sibling parts differ in their lowest bits — interleaving the
+/// bits of the id yields the neighbouring-cell layout of the paper.
+pub fn hierarchical_bisection(graph: &Graph, depth: u32) -> Partition {
+    let all: Vec<VertexId> = graph.vertices().collect();
+    let mut assignment = vec![0u32; graph.num_vertices()];
+    split_recursive(graph, &all, depth, 0, &mut assignment);
+    Partition {
+        assignment,
+        num_parts: 1 << depth,
+    }
+}
+
+fn split_recursive(
+    graph: &Graph,
+    subset: &[VertexId],
+    levels_left: u32,
+    prefix: u32,
+    assignment: &mut [u32],
+) {
+    if levels_left == 0 || subset.is_empty() {
+        for &v in subset {
+            assignment[v.index()] = prefix;
+        }
+        return;
+    }
+    let (wg, verts) = WorkGraph::from_subset(graph, subset);
+    let side = bisect(&wg);
+    let (mut left, mut right) = (Vec::new(), Vec::new());
+    for (i, &v) in verts.iter().enumerate() {
+        if side[i] {
+            left.push(v);
+        } else {
+            right.push(v);
+        }
+    }
+    split_recursive(graph, &left, levels_left - 1, prefix << 1, assignment);
+    split_recursive(graph, &right, levels_left - 1, (prefix << 1) | 1, assignment);
+}
+
+/// Partition into parts of at most `max_part_size` vertices by choosing the
+/// smallest bisection depth that guarantees the capacity.
+pub fn partition_with_capacity(graph: &Graph, max_part_size: usize) -> Partition {
+    assert!(max_part_size >= 1);
+    let n = graph.num_vertices().max(1);
+    // Start from the information-theoretic depth and deepen until the
+    // *actual* largest part fits; bisection balance keeps this loop to a
+    // couple of iterations. Depth is capped where every part is a single
+    // vertex (⌈log₂ n⌉ plus slack for odd-split drift).
+    let mut depth = (n as f64 / max_part_size as f64).log2().ceil().max(0.0) as u32;
+    let max_depth = (n as f64).log2().ceil() as u32 + 2;
+    loop {
+        let p = hierarchical_bisection(graph, depth);
+        if depth >= max_depth || p.part_sizes().iter().all(|&s| s <= max_part_size) {
+            return p;
+        }
+        depth += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn bisection_balances() {
+        let g = gen::toy(11);
+        let p = hierarchical_bisection(&g, 1);
+        let sizes = p.part_sizes();
+        assert_eq!(sizes.len(), 2);
+        assert_eq!(sizes[0] + sizes[1], g.num_vertices());
+        assert!((sizes[0] as i64 - sizes[1] as i64).abs() <= 1, "{sizes:?}");
+    }
+
+    #[test]
+    fn depth_two_gives_four_parts() {
+        let g = gen::toy(5);
+        let p = hierarchical_bisection(&g, 2);
+        assert_eq!(p.num_parts, 4);
+        let sizes = p.part_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), g.num_vertices());
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(max - min <= 3, "{sizes:?}");
+    }
+
+    #[test]
+    fn cut_is_better_than_random() {
+        let g = gen::grid_city(&gen::GridCityParams {
+            rows: 16,
+            cols: 16,
+            ..Default::default()
+        });
+        let p = hierarchical_bisection(&g, 1);
+        // A random balanced split of a 16x16 grid city cuts ~half the edges;
+        // a decent partitioner should cut far fewer.
+        let cut = p.cut_edges(&g);
+        assert!(
+            cut * 4 < g.num_edges(),
+            "cut {cut} of {} edges",
+            g.num_edges()
+        );
+    }
+
+    #[test]
+    fn capacity_partition_respects_capacity() {
+        let g = gen::toy(9);
+        for cap in [3usize, 5, 8, 17, 64] {
+            let p = partition_with_capacity(&g, cap);
+            for (i, s) in p.part_sizes().iter().enumerate() {
+                assert!(*s <= cap, "part {i} size {s} > cap {cap}");
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_one_vertex_per_part() {
+        let g = gen::toy(2);
+        let p = partition_with_capacity(&g, 1);
+        assert!(p.part_sizes().iter().all(|&s| s <= 1));
+    }
+
+    #[test]
+    fn zero_depth_single_part() {
+        let g = gen::toy(1);
+        let p = hierarchical_bisection(&g, 0);
+        assert_eq!(p.num_parts, 1);
+        assert!(p.assignment.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = gen::toy(77);
+        let a = hierarchical_bisection(&g, 3);
+        let b = hierarchical_bisection(&g, 3);
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn assignment_ids_in_range() {
+        let g = gen::toy(4);
+        let p = hierarchical_bisection(&g, 3);
+        assert!(p.assignment.iter().all(|&a| a < p.num_parts));
+    }
+}

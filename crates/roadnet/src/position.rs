@@ -1,0 +1,79 @@
+//! Positions of objects on edges.
+//!
+//! Moving objects and queries are not located *at* vertices but *on* edges:
+//! the paper's update message carries `⟨o, e, d, t⟩` where `d` is the distance
+//! from the source vertex of edge `e` to the object (§II).
+
+use crate::graph::{Distance, EdgeId, Graph};
+
+/// A location on a directed edge: `offset` units of weight past the edge's
+/// source vertex. Invariant: `offset <= weight(edge)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EdgePosition {
+    pub edge: EdgeId,
+    pub offset: u32,
+}
+
+impl EdgePosition {
+    pub fn new(edge: EdgeId, offset: u32) -> Self {
+        Self { edge, offset }
+    }
+
+    /// Position at the source endpoint of `edge`.
+    pub fn at_source(edge: EdgeId) -> Self {
+        Self { edge, offset: 0 }
+    }
+
+    /// Check the offset against the graph's edge weight.
+    pub fn is_valid(&self, graph: &Graph) -> bool {
+        self.edge.index() < graph.num_edges() && self.offset <= graph.edge(self.edge).weight
+    }
+
+    /// Cost remaining to reach the destination vertex of the edge.
+    pub fn to_dest(&self, graph: &Graph) -> Distance {
+        (graph.edge(self.edge).weight - self.offset) as Distance
+    }
+
+    /// Cost already travelled from the source vertex of the edge.
+    pub fn from_source(&self) -> Distance {
+        self.offset as Distance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{GraphBuilder, VertexId};
+
+    fn line() -> Graph {
+        let mut b = GraphBuilder::with_vertices(3);
+        b.add_edge(VertexId(0), VertexId(1), 10);
+        b.add_edge(VertexId(1), VertexId(2), 5);
+        b.build()
+    }
+
+    #[test]
+    fn validity() {
+        let g = line();
+        assert!(EdgePosition::new(EdgeId(0), 0).is_valid(&g));
+        assert!(EdgePosition::new(EdgeId(0), 10).is_valid(&g));
+        assert!(!EdgePosition::new(EdgeId(0), 11).is_valid(&g));
+        assert!(!EdgePosition::new(EdgeId(9), 0).is_valid(&g));
+    }
+
+    #[test]
+    fn residual_costs() {
+        let g = line();
+        let p = EdgePosition::new(EdgeId(0), 3);
+        assert_eq!(p.from_source(), 3);
+        assert_eq!(p.to_dest(&g), 7);
+    }
+
+    #[test]
+    fn at_source_has_zero_offset() {
+        let g = line();
+        let p = EdgePosition::at_source(EdgeId(1));
+        assert_eq!(p.from_source(), 0);
+        assert_eq!(p.to_dest(&g), 5);
+    }
+}

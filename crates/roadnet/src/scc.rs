@@ -1,0 +1,225 @@
+//! Strongly connected components (iterative Tarjan).
+//!
+//! Road networks must be strongly connected for kNN semantics to be total
+//! (every object reachable from every query). The generators guarantee it
+//! by construction; this module lets callers *verify* it for imported data
+//! (real DIMACS files sometimes have disconnected one-way stubs) and trim
+//! graphs down to their largest component.
+
+use crate::graph::{Graph, GraphBuilder, VertexId};
+
+/// Component id per vertex, `0..num_components`.
+pub struct SccResult {
+    pub component_of: Vec<u32>,
+    pub num_components: u32,
+}
+
+impl SccResult {
+    /// Sizes of each component.
+    pub fn component_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_components as usize];
+        for &c in &self.component_of {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Id of the largest component.
+    pub fn largest(&self) -> u32 {
+        self.component_sizes()
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, s)| s)
+            .map(|(i, _)| i as u32)
+            .unwrap_or(0)
+    }
+}
+
+/// Compute strongly connected components (iterative Tarjan — safe on large
+/// graphs, no recursion).
+pub fn strongly_connected_components(graph: &Graph) -> SccResult {
+    let n = graph.num_vertices();
+    const UNSET: u32 = u32::MAX;
+    let mut index = vec![UNSET; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut component_of = vec![0u32; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut num_components = 0u32;
+
+    // Explicit DFS frames: (vertex, iterator position over out-edges).
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+
+    // Out-neighbour snapshot, built once: resuming a DFS frame must not
+    // rebuild the adjacency list (that would cost O(deg²) per vertex).
+    let adjacency: Vec<Vec<u32>> = (0..n as u32)
+        .map(|v| {
+            graph
+                .out_edges(VertexId(v))
+                .map(|e| graph.edge(e).dest.0)
+                .collect()
+        })
+        .collect();
+
+    for start in 0..n as u32 {
+        if index[start as usize] != UNSET {
+            continue;
+        }
+        frames.push((start, 0));
+        index[start as usize] = next_index;
+        lowlink[start as usize] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start as usize] = true;
+
+        while let Some(&mut (v, ref mut ei)) = frames.last_mut() {
+            let out = &adjacency[v as usize];
+            if *ei < out.len() {
+                let w = out[*ei];
+                *ei += 1;
+                if index[w as usize] == UNSET {
+                    index[w as usize] = next_index;
+                    lowlink[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&mut (parent, _)) = frames.last_mut() {
+                    lowlink[parent as usize] =
+                        lowlink[parent as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    // v is a root: pop its component.
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        component_of[w as usize] = num_components;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    num_components += 1;
+                }
+            }
+        }
+    }
+
+    SccResult {
+        component_of,
+        num_components,
+    }
+}
+
+/// Whether the whole graph is one strongly connected component.
+pub fn is_strongly_connected(graph: &Graph) -> bool {
+    graph.num_vertices() <= 1 || strongly_connected_components(graph).num_components == 1
+}
+
+/// Restrict `graph` to its largest strongly connected component. Returns
+/// the new graph and, for each new vertex, its original id.
+pub fn largest_component(graph: &Graph) -> (Graph, Vec<VertexId>) {
+    let scc = strongly_connected_components(graph);
+    let keep = scc.largest();
+    let mut old_to_new = vec![u32::MAX; graph.num_vertices()];
+    let mut new_to_old = Vec::new();
+    for v in graph.vertices() {
+        if scc.component_of[v.index()] == keep {
+            old_to_new[v.index()] = new_to_old.len() as u32;
+            new_to_old.push(v);
+        }
+    }
+    let mut b = GraphBuilder::with_vertices(new_to_old.len());
+    for e in graph.edge_ids() {
+        let edge = graph.edge(e);
+        let (s, d) = (
+            old_to_new[edge.source.index()],
+            old_to_new[edge.dest.index()],
+        );
+        if s != u32::MAX && d != u32::MAX {
+            b.add_edge(VertexId(s), VertexId(d), edge.weight);
+        }
+    }
+    (b.build(), new_to_old)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::graph::GraphBuilder;
+
+    #[test]
+    fn single_cycle_is_one_component() {
+        let mut b = GraphBuilder::with_vertices(3);
+        b.add_edge(VertexId(0), VertexId(1), 1);
+        b.add_edge(VertexId(1), VertexId(2), 1);
+        b.add_edge(VertexId(2), VertexId(0), 1);
+        let g = b.build();
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn dag_splits_into_singletons() {
+        let mut b = GraphBuilder::with_vertices(3);
+        b.add_edge(VertexId(0), VertexId(1), 1);
+        b.add_edge(VertexId(1), VertexId(2), 1);
+        let g = b.build();
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.num_components, 3);
+        assert!(!is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn two_cycles_with_bridge() {
+        // Cycle {0,1} → bridge → cycle {2,3}.
+        let mut b = GraphBuilder::with_vertices(4);
+        b.add_bidirectional(VertexId(0), VertexId(1), 1);
+        b.add_edge(VertexId(1), VertexId(2), 1); // one-way bridge
+        b.add_bidirectional(VertexId(2), VertexId(3), 1);
+        let g = b.build();
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.num_components, 2);
+        assert_eq!(scc.component_sizes().iter().sum::<usize>(), 4);
+        assert_ne!(scc.component_of[0], scc.component_of[2]);
+        assert_eq!(scc.component_of[0], scc.component_of[1]);
+    }
+
+    #[test]
+    fn generated_cities_verify_connected() {
+        for seed in [1u64, 5, 9] {
+            assert!(is_strongly_connected(&gen::toy(seed)));
+        }
+    }
+
+    #[test]
+    fn largest_component_extraction() {
+        // Strong 3-cycle plus a dangling one-way tail.
+        let mut b = GraphBuilder::with_vertices(5);
+        b.add_edge(VertexId(0), VertexId(1), 1);
+        b.add_edge(VertexId(1), VertexId(2), 1);
+        b.add_edge(VertexId(2), VertexId(0), 1);
+        b.add_edge(VertexId(2), VertexId(3), 1);
+        b.add_edge(VertexId(3), VertexId(4), 1);
+        let g = b.build();
+        let (core, map) = largest_component(&g);
+        assert_eq!(core.num_vertices(), 3);
+        assert_eq!(core.num_edges(), 3);
+        assert!(is_strongly_connected(&core));
+        assert_eq!(map.len(), 3);
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let g = GraphBuilder::new().build();
+        assert!(is_strongly_connected(&g));
+        let mut b = GraphBuilder::with_vertices(1);
+        let _ = &mut b;
+        assert!(is_strongly_connected(&b.build()));
+    }
+}

@@ -1,0 +1,132 @@
+//! Morton (Z-curve) encoding.
+//!
+//! The G-Grid stores its `2^ψ × 2^ψ` cells in a one-dimensional array ordered
+//! by Z-value (paper §III-A): the Z-value of cell `(x, y)` interleaves the
+//! binary representations of `y` and `x`. Nearby cells get nearby array slots,
+//! which is what gives the GPU kernels their memory locality.
+
+/// Spread the low 16 bits of `v` so bit `i` moves to bit `2i`.
+#[inline]
+fn part1by1(v: u32) -> u32 {
+    let mut v = v & 0x0000_ffff;
+    v = (v | (v << 8)) & 0x00ff_00ff;
+    v = (v | (v << 4)) & 0x0f0f_0f0f;
+    v = (v | (v << 2)) & 0x3333_3333;
+    v = (v | (v << 1)) & 0x5555_5555;
+    v
+}
+
+/// Inverse of [`part1by1`]: compact every other bit.
+#[inline]
+fn compact1by1(v: u32) -> u32 {
+    let mut v = v & 0x5555_5555;
+    v = (v | (v >> 1)) & 0x3333_3333;
+    v = (v | (v >> 2)) & 0x0f0f_0f0f;
+    v = (v | (v >> 4)) & 0x00ff_00ff;
+    v = (v | (v >> 8)) & 0x0000_ffff;
+    v
+}
+
+/// Z-value of grid coordinate `(x, y)`.
+///
+/// Matches the paper's example: `(x, y) = (3, 4)` → `0b100101` = 37, obtained
+/// by interleaving `y = 100₂` (odd bit positions) with `x = 011₂` (even).
+#[inline]
+pub fn encode(x: u32, y: u32) -> u32 {
+    debug_assert!(x < (1 << 16) && y < (1 << 16), "coordinate out of range");
+    part1by1(x) | (part1by1(y) << 1)
+}
+
+/// Grid coordinate `(x, y)` for Z-value `z`.
+#[inline]
+pub fn decode(z: u32) -> (u32, u32) {
+    (compact1by1(z), compact1by1(z >> 1))
+}
+
+/// The four axis-neighbours of `(x, y)` inside a `side × side` grid.
+pub fn grid_neighbors(x: u32, y: u32, side: u32) -> impl Iterator<Item = (u32, u32)> {
+    let deltas = [(0i64, 1i64), (0, -1), (1, 0), (-1, 0)];
+    deltas.into_iter().filter_map(move |(dx, dy)| {
+        let nx = x as i64 + dx;
+        let ny = y as i64 + dy;
+        if nx >= 0 && ny >= 0 && (nx as u32) < side && (ny as u32) < side {
+            Some((nx as u32, ny as u32))
+        } else {
+            None
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example() {
+        // Paper §III-A: cell (3, 4) has Z-value 37.
+        assert_eq!(encode(3, 4), 37);
+    }
+
+    #[test]
+    fn origin_is_zero() {
+        assert_eq!(encode(0, 0), 0);
+    }
+
+    #[test]
+    fn unit_steps() {
+        assert_eq!(encode(1, 0), 1);
+        assert_eq!(encode(0, 1), 2);
+        assert_eq!(encode(1, 1), 3);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for x in 0..64 {
+            for y in 0..64 {
+                assert_eq!(decode(encode(x, y)), (x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn z_values_are_unique_and_dense() {
+        let side = 16u32;
+        let mut seen = vec![false; (side * side) as usize];
+        for x in 0..side {
+            for y in 0..side {
+                let z = encode(x, y) as usize;
+                assert!(z < seen.len());
+                assert!(!seen[z], "duplicate z-value");
+                seen[z] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn neighbors_interior() {
+        let n: Vec<_> = grid_neighbors(5, 5, 16).collect();
+        assert_eq!(n.len(), 4);
+        assert!(n.contains(&(4, 5)) && n.contains(&(6, 5)));
+        assert!(n.contains(&(5, 4)) && n.contains(&(5, 6)));
+    }
+
+    #[test]
+    fn neighbors_corner() {
+        let n: Vec<_> = grid_neighbors(0, 0, 16).collect();
+        assert_eq!(n.len(), 2);
+        assert!(n.contains(&(1, 0)) && n.contains(&(0, 1)));
+    }
+
+    #[test]
+    fn neighbors_degenerate_grid() {
+        let n: Vec<_> = grid_neighbors(0, 0, 1).collect();
+        assert!(n.is_empty());
+    }
+
+    #[test]
+    fn max_coordinate() {
+        let m = (1 << 16) - 1;
+        assert_eq!(decode(encode(m, m)), (m, m));
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests of the road-network substrate.
+
+use proptest::prelude::*;
+use roadnet::dijkstra::{position_to_position, DijkstraEngine, SearchBounds};
+use roadnet::gen::{self, GridCityParams};
+use roadnet::graph::{Graph, VertexId, INFINITY};
+use roadnet::partition::{hierarchical_bisection, partition_with_capacity};
+use roadnet::zorder;
+use roadnet::{EdgeId, EdgePosition};
+
+fn arb_city() -> impl Strategy<Value = Graph> {
+    (3u32..10, 3u32..10, 0u64..1000, 20u32..29).prop_map(|(rows, cols, seed, ratio10)| {
+        gen::grid_city(&GridCityParams {
+            rows,
+            cols,
+            edge_ratio: ratio10 as f64 / 10.0,
+            weight_range: (1, 50),
+            seed,
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn zorder_round_trips(x in 0u32..65536, y in 0u32..65536) {
+        prop_assert_eq!(zorder::decode(zorder::encode(x, y)), (x, y));
+    }
+
+    #[test]
+    fn generated_cities_strongly_connected(g in arb_city()) {
+        let mut d = DijkstraEngine::new(&g);
+        d.run_from_vertex(VertexId(0));
+        for v in g.vertices() {
+            prop_assert!(d.distance(v) < INFINITY);
+        }
+    }
+
+    #[test]
+    fn triangle_inequality(g in arb_city(), s in 0u32..64, m in 0u32..64, t in 0u32..64) {
+        let n = g.num_vertices() as u32;
+        let (s, m, t) = (VertexId(s % n), VertexId(m % n), VertexId(t % n));
+        let mut d = DijkstraEngine::new(&g);
+        d.run_from_vertex(s);
+        let st = d.distance(t);
+        let sm = d.distance(m);
+        d.run_from_vertex(m);
+        let mt = d.distance(t);
+        prop_assert!(st <= sm.saturating_add(mt), "dist({s:?},{t:?}) > via {m:?}");
+    }
+
+    #[test]
+    fn bounded_search_agrees_with_full(g in arb_city(), s in 0u32..64, radius in 1u64..100) {
+        let s = VertexId(s % g.num_vertices() as u32);
+        let mut full = DijkstraEngine::new(&g);
+        full.run_from_vertex(s);
+        let mut bounded = DijkstraEngine::new(&g);
+        bounded.run_seeded(&[(s, 0)], SearchBounds::radius(radius));
+        for &v in bounded.settled() {
+            prop_assert_eq!(bounded.distance(v), full.distance(v));
+        }
+        // Everything within the radius is settled.
+        for v in g.vertices() {
+            if full.distance(v) < radius {
+                prop_assert!(bounded.settled().contains(&v), "{v:?} missed");
+            }
+        }
+    }
+
+    #[test]
+    fn position_distance_non_negative_and_zero_to_self(
+        g in arb_city(), e in 0u32..200, off_frac in 0u32..100,
+    ) {
+        let e = EdgeId(e % g.num_edges() as u32);
+        let off = off_frac % (g.edge(e).weight + 1);
+        let p = EdgePosition::new(e, off);
+        prop_assert_eq!(position_to_position(&g, p, p), 0);
+    }
+
+    #[test]
+    fn partition_capacity_and_cover(g in arb_city(), cap in 1usize..20) {
+        let p = partition_with_capacity(&g, cap);
+        let sizes = p.part_sizes();
+        prop_assert_eq!(sizes.iter().sum::<usize>(), g.num_vertices());
+        for s in sizes {
+            prop_assert!(s <= cap);
+        }
+        for &a in &p.assignment {
+            prop_assert!(a < p.num_parts);
+        }
+    }
+
+    #[test]
+    fn bisection_deterministic_and_balanced(g in arb_city(), depth in 0u32..4) {
+        let a = hierarchical_bisection(&g, depth);
+        let b = hierarchical_bisection(&g, depth);
+        prop_assert_eq!(&a.assignment, &b.assignment);
+        let sizes = a.part_sizes();
+        let (min, max) = (
+            sizes.iter().min().copied().unwrap_or(0),
+            sizes.iter().max().copied().unwrap_or(0),
+        );
+        // Bisection drift stays small at shallow depths.
+        prop_assert!(max - min <= depth as usize * 2 + 1, "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn dimacs_round_trip(g in arb_city()) {
+        let mut buf = Vec::new();
+        roadnet::dimacs::write_gr(&g, &mut buf).unwrap();
+        let g2 = roadnet::dimacs::read_gr(buf.as_slice()).unwrap();
+        prop_assert_eq!(g.num_vertices(), g2.num_vertices());
+        prop_assert_eq!(g.num_edges(), g2.num_edges());
+        for e in g.edge_ids() {
+            prop_assert_eq!(g.edge(e), g2.edge(e));
+        }
+    }
+
+    #[test]
+    fn reference_knn_sorted_and_sized(g in arb_city(), k in 1usize..10, n in 1u64..20) {
+        let objects: Vec<(u64, EdgePosition)> = (0..n)
+            .map(|i| {
+                let e = EdgeId(((i * 37) % g.num_edges() as u64) as u32);
+                (i, EdgePosition::at_source(e))
+            })
+            .collect();
+        let q = EdgePosition::at_source(EdgeId(0));
+        let knn = roadnet::dijkstra::reference_knn(&g, q, &objects, k);
+        prop_assert!(knn.len() <= k);
+        for w in knn.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # workload — moving-object traces and query streams
+//!
+//! The paper generates its moving objects with MOTO \[10\], an open-source
+//! trace generator, and issues queries at random locations with a fixed
+//! inter-query interval (§VII-A). This crate provides deterministic
+//! equivalents:
+//!
+//! * [`moto`] — network-constrained object movement: each object walks the
+//!   road graph at an individual speed and reports `⟨o, e, d, t⟩` messages
+//!   with period `1/f`, staggered across objects like a real fleet.
+//! * [`queries`] — uniformly random query positions on edges, fixed
+//!   inter-query interval, configurable `k`.
+//! * [`scenario`] — the experiment driver: interleaves messages and queries
+//!   against any [`ggrid::api::MovingObjectIndex`], measures wall-clock
+//!   update/query time, folds in simulated device time, and reports the
+//!   paper's amortised `(T_u + T_q)/n_q` metric. Also computes reference
+//!   answers for exactness checks.
+
+pub mod moto;
+pub mod queries;
+pub mod scenario;
+
+pub use moto::{Moto, MotoConfig, UpdateMessage};
+pub use queries::{random_position, QueryStream};
+pub use scenario::{run_scenario, ScenarioConfig, ScenarioReport};

@@ -1,0 +1,392 @@
+//! MOTO-style network-constrained moving-object traces.
+//!
+//! Objects walk the road network: each travels at an individual speed
+//! (weight units per second) and, on reaching the end of an edge, continues
+//! on a random outgoing edge. Every object reports its position with period
+//! `1/f`; report times are staggered across the fleet so the server sees a
+//! smooth message stream, as with real vehicles. Deterministic in the seed.
+
+use std::sync::Arc;
+
+use ggrid::message::{ObjectId, Timestamp};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use roadnet::graph::{EdgeId, Graph};
+use roadnet::EdgePosition;
+
+/// One location-update message of the workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UpdateMessage {
+    pub object: ObjectId,
+    pub position: EdgePosition,
+    pub time: Timestamp,
+}
+
+/// Where objects start out.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Placement {
+    /// Uniform over edges (the paper's setting).
+    Uniform,
+    /// Clustered around `centers` random hotspots, within `radius_hops`
+    /// BFS hops — models rush-hour downtowns, where the lazy index shines
+    /// (queries hit dense, small regions).
+    Hotspot { centers: usize, radius_hops: u32 },
+}
+
+/// Configuration of a [`Moto`] fleet.
+#[derive(Clone, Debug)]
+pub struct MotoConfig {
+    pub num_objects: usize,
+    /// Travel speed range in weight units per second.
+    pub speed_range: (f64, f64),
+    /// Reporting period per object in ms (`1000 / f`).
+    pub update_period_ms: u64,
+    pub seed: u64,
+    pub placement: Placement,
+}
+
+impl Default for MotoConfig {
+    fn default() -> Self {
+        Self {
+            num_objects: 100,
+            speed_range: (20.0, 120.0),
+            update_period_ms: 1000,
+            seed: 7,
+            placement: Placement::Uniform,
+        }
+    }
+}
+
+struct MovingObject {
+    position: EdgePosition,
+    /// Precise sub-unit offset along the edge.
+    exact_offset: f64,
+    speed_per_ms: f64,
+    next_report: Timestamp,
+    last_moved: Timestamp,
+    /// Per-object RNG so traces are independent of interleaving.
+    rng: SmallRng,
+}
+
+/// A fleet of moving objects emitting timestamped update messages.
+pub struct Moto {
+    graph: Arc<Graph>,
+    objects: Vec<MovingObject>,
+    period_ms: u64,
+    now: Timestamp,
+}
+
+impl Moto {
+    pub fn new(graph: Arc<Graph>, config: &MotoConfig) -> Self {
+        assert!(config.num_objects >= 1);
+        assert!(config.update_period_ms >= 1);
+        assert!(
+            config.speed_range.0 > 0.0 && config.speed_range.0 <= config.speed_range.1,
+            "invalid speed range"
+        );
+        assert!(graph.num_edges() > 0, "graph has no edges to drive on");
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let spawn_edges: Vec<EdgeId> = match config.placement {
+            Placement::Uniform => Vec::new(),
+            Placement::Hotspot {
+                centers,
+                radius_hops,
+            } => hotspot_edges(&graph, centers.max(1), radius_hops, &mut rng),
+        };
+        let objects = (0..config.num_objects)
+            .map(|i| {
+                let edge = if spawn_edges.is_empty() {
+                    EdgeId(rng.gen_range(0..graph.num_edges() as u32))
+                } else {
+                    spawn_edges[rng.gen_range(0..spawn_edges.len())]
+                };
+                let w = graph.edge(edge).weight;
+                let offset = rng.gen_range(0..=w);
+                let speed = rng.gen_range(config.speed_range.0..=config.speed_range.1);
+                // Stagger first reports uniformly across one period.
+                let first =
+                    (i as u64 * config.update_period_ms) / config.num_objects as u64;
+                MovingObject {
+                    position: EdgePosition::new(edge, offset),
+                    exact_offset: offset as f64,
+                    speed_per_ms: speed / 1000.0,
+                    next_report: Timestamp(first),
+                    last_moved: Timestamp(0),
+                    rng: SmallRng::seed_from_u64(
+                        config.seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                    ),
+                }
+            })
+            .collect();
+        Self {
+            graph,
+            objects,
+            period_ms: config.update_period_ms,
+            now: Timestamp(0),
+        }
+    }
+
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    pub fn num_objects(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Advance simulated time to `t`, returning every message due in
+    /// `(now, t]` in chronological order. (The very first call also emits
+    /// the fleet's initial reports scheduled at time 0.)
+    pub fn advance_to(&mut self, t: Timestamp) -> Vec<UpdateMessage> {
+        assert!(t >= self.now, "time cannot go backwards");
+        let mut out = Vec::new();
+        for (i, _) in (0..self.objects.len()).enumerate() {
+            loop {
+                let due = self.objects[i].next_report;
+                if due > t {
+                    break;
+                }
+                self.move_object(i, due);
+                let obj = &mut self.objects[i];
+                out.push(UpdateMessage {
+                    object: ObjectId(i as u64),
+                    position: obj.position,
+                    time: due,
+                });
+                obj.next_report = Timestamp(due.0 + self.period_ms);
+            }
+        }
+        out.sort_by_key(|m| (m.time, m.object));
+        self.now = t;
+        out
+    }
+
+    /// Move object `i` along its walk up to time `t`.
+    fn move_object(&mut self, i: usize, t: Timestamp) {
+        let (mut edge, mut exact, speed, last) = {
+            let o = &self.objects[i];
+            (o.position.edge, o.exact_offset, o.speed_per_ms, o.last_moved)
+        };
+        let mut budget = speed * (t.0.saturating_sub(last.0)) as f64;
+        loop {
+            let w = self.graph.edge(edge).weight as f64;
+            let remaining = w - exact;
+            if budget < remaining {
+                exact += budget;
+                break;
+            }
+            budget -= remaining;
+            // Continue on a random outgoing edge of the destination.
+            let dest = self.graph.edge(edge).dest;
+            let degree = self.graph.out_degree(dest);
+            if degree == 0 {
+                exact = w; // dead end: park at the edge's end
+                break;
+            }
+            let pick = self.objects[i].rng.gen_range(0..degree);
+            edge = self
+                .graph
+                .out_edges(dest)
+                .nth(pick)
+                .expect("degree-checked pick");
+            exact = 0.0;
+        }
+        let o = &mut self.objects[i];
+        o.position = EdgePosition::new(edge, exact.floor() as u32);
+        o.exact_offset = exact;
+        o.last_moved = t;
+        debug_assert!(o.position.is_valid(&self.graph));
+    }
+}
+
+/// Edges within `radius_hops` BFS hops of `centers` random vertices.
+fn hotspot_edges(
+    graph: &Graph,
+    centers: usize,
+    radius_hops: u32,
+    rng: &mut SmallRng,
+) -> Vec<EdgeId> {
+    use std::collections::VecDeque;
+    let mut edges = Vec::new();
+    let mut seen = vec![false; graph.num_vertices()];
+    for _ in 0..centers {
+        let start = roadnet::VertexId(rng.gen_range(0..graph.num_vertices() as u32));
+        let mut queue = VecDeque::new();
+        queue.push_back((start, 0u32));
+        seen[start.index()] = true;
+        while let Some((v, hops)) = queue.pop_front() {
+            for e in graph.out_edges(v) {
+                edges.push(e);
+                let dest = graph.edge(e).dest;
+                if hops < radius_hops && !seen[dest.index()] {
+                    seen[dest.index()] = true;
+                    queue.push_back((dest, hops + 1));
+                }
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadnet::gen;
+
+    fn fleet(n: usize, period: u64, seed: u64) -> Moto {
+        Moto::new(
+            Arc::new(gen::toy(5)),
+            &MotoConfig {
+                num_objects: n,
+                update_period_ms: period,
+                seed,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn emits_messages_at_period() {
+        let mut m = fleet(10, 100, 1);
+        let msgs = m.advance_to(Timestamp(1000));
+        // Each object reports roughly every 100ms over 1s → ~10 each.
+        let per_object = msgs.len() as f64 / 10.0;
+        assert!((9.0..=11.0).contains(&per_object), "{per_object}");
+    }
+
+    #[test]
+    fn messages_are_chronological() {
+        let mut m = fleet(20, 70, 2);
+        let msgs = m.advance_to(Timestamp(2000));
+        for w in msgs.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+    }
+
+    #[test]
+    fn positions_valid_on_graph() {
+        let g = Arc::new(gen::toy(5));
+        let mut m = Moto::new(
+            g.clone(),
+            &MotoConfig {
+                num_objects: 25,
+                update_period_ms: 50,
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        for msg in m.advance_to(Timestamp(3000)) {
+            assert!(msg.position.is_valid(&g), "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = fleet(15, 100, 42).advance_to(Timestamp(1500));
+        let b = fleet(15, 100, 42).advance_to(Timestamp(1500));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = fleet(15, 100, 1).advance_to(Timestamp(1500));
+        let b = fleet(15, 100, 2).advance_to(Timestamp(1500));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn objects_actually_move() {
+        let mut m = fleet(5, 100, 9);
+        let early = m.advance_to(Timestamp(100));
+        let late = m.advance_to(Timestamp(5000));
+        let first: Vec<_> = early.iter().filter(|x| x.object == ObjectId(0)).collect();
+        let last: Vec<_> = late.iter().filter(|x| x.object == ObjectId(0)).collect();
+        assert!(!first.is_empty() && !last.is_empty());
+        assert_ne!(
+            first.first().unwrap().position,
+            last.last().unwrap().position,
+            "object 0 never moved"
+        );
+    }
+
+    #[test]
+    fn staggered_first_reports() {
+        let mut m = fleet(10, 1000, 4);
+        let msgs = m.advance_to(Timestamp(999));
+        // All 10 objects report within the first period, at distinct times.
+        let mut objects: Vec<u64> = msgs.iter().map(|x| x.object.0).collect();
+        objects.sort_unstable();
+        objects.dedup();
+        assert_eq!(objects.len(), 10);
+        let times: std::collections::HashSet<u64> = msgs.iter().map(|x| x.time.0).collect();
+        assert!(times.len() > 1, "reports must be staggered");
+    }
+
+    #[test]
+    fn incremental_advance_equals_single_advance() {
+        let mut a = fleet(8, 130, 6);
+        let mut one = a.advance_to(Timestamp(700));
+        one.extend(a.advance_to(Timestamp(1400)));
+        let mut b = fleet(8, 130, 6);
+        let all = b.advance_to(Timestamp(1400));
+        assert_eq!(one, all);
+    }
+
+    #[test]
+    fn hotspot_placement_clusters_objects() {
+        let g = Arc::new(gen::grid_city(&gen::GridCityParams {
+            rows: 16,
+            cols: 16,
+            seed: 2,
+            ..Default::default()
+        }));
+        let mut m = Moto::new(
+            g.clone(),
+            &MotoConfig {
+                num_objects: 100,
+                update_period_ms: 100,
+                seed: 5,
+                placement: Placement::Hotspot {
+                    centers: 2,
+                    radius_hops: 2,
+                },
+                ..Default::default()
+            },
+        );
+        let msgs = m.advance_to(Timestamp(99));
+        let edges: std::collections::HashSet<u32> = msgs.iter().map(|x| x.position.edge.0).collect();
+        // 100 objects on a 640-edge graph: uniform placement would touch
+        // ~90 distinct edges; two 2-hop hotspots confine them far more.
+        assert!(edges.len() < 60, "placement not clustered: {} edges", edges.len());
+    }
+
+    #[test]
+    fn hotspot_positions_valid() {
+        let g = Arc::new(gen::toy(9));
+        let mut m = Moto::new(
+            g.clone(),
+            &MotoConfig {
+                num_objects: 30,
+                update_period_ms: 50,
+                placement: Placement::Hotspot {
+                    centers: 1,
+                    radius_hops: 1,
+                },
+                ..Default::default()
+            },
+        );
+        for msg in m.advance_to(Timestamp(500)) {
+            assert!(msg.position.is_valid(&g));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "time cannot go backwards")]
+    fn rewind_rejected() {
+        let mut m = fleet(2, 100, 1);
+        m.advance_to(Timestamp(500));
+        m.advance_to(Timestamp(100));
+    }
+}

@@ -1,0 +1,93 @@
+//! Query-workload generation (§VII-A: random query locations, fixed
+//! inter-query interval).
+
+use ggrid::message::Timestamp;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use roadnet::graph::{EdgeId, Graph};
+use roadnet::EdgePosition;
+
+/// A uniformly random valid position on a random edge.
+pub fn random_position(graph: &Graph, rng: &mut impl Rng) -> EdgePosition {
+    assert!(graph.num_edges() > 0);
+    let edge = EdgeId(rng.gen_range(0..graph.num_edges() as u32));
+    let offset = rng.gen_range(0..=graph.edge(edge).weight);
+    EdgePosition::new(edge, offset)
+}
+
+/// A deterministic stream of kNN queries at a fixed interval.
+pub struct QueryStream {
+    rng: SmallRng,
+    interval_ms: u64,
+    next: Timestamp,
+    pub k: usize,
+}
+
+impl QueryStream {
+    pub fn new(k: usize, interval_ms: u64, start: Timestamp, seed: u64) -> Self {
+        assert!(k >= 1 && interval_ms >= 1);
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+            interval_ms,
+            next: Timestamp(start.0 + interval_ms),
+            k,
+        }
+    }
+
+    /// Time of the next query.
+    pub fn next_time(&self) -> Timestamp {
+        self.next
+    }
+
+    /// Draw the next query: `(issue time, position, k)`.
+    pub fn draw(&mut self, graph: &Graph) -> (Timestamp, EdgePosition, usize) {
+        let t = self.next;
+        self.next = Timestamp(t.0 + self.interval_ms);
+        (t, random_position(graph, &mut self.rng), self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadnet::gen;
+
+    #[test]
+    fn positions_valid() {
+        let g = gen::toy(8);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..200 {
+            assert!(random_position(&g, &mut rng).is_valid(&g));
+        }
+    }
+
+    #[test]
+    fn stream_advances_by_interval() {
+        let g = gen::toy(8);
+        let mut s = QueryStream::new(4, 250, Timestamp(1000), 5);
+        let (t1, _, k) = s.draw(&g);
+        let (t2, _, _) = s.draw(&g);
+        assert_eq!(t1, Timestamp(1250));
+        assert_eq!(t2, Timestamp(1500));
+        assert_eq!(k, 4);
+    }
+
+    #[test]
+    fn stream_deterministic() {
+        let g = gen::toy(8);
+        let mut a = QueryStream::new(2, 100, Timestamp(0), 9);
+        let mut b = QueryStream::new(2, 100, Timestamp(0), 9);
+        for _ in 0..10 {
+            assert_eq!(a.draw(&g), b.draw(&g));
+        }
+    }
+
+    #[test]
+    fn positions_spread_over_edges() {
+        let g = gen::toy(8);
+        let mut s = QueryStream::new(1, 1, Timestamp(0), 11);
+        let edges: std::collections::HashSet<u32> =
+            (0..100).map(|_| s.draw(&g).1.edge.0).collect();
+        assert!(edges.len() > 20, "queries should cover many edges");
+    }
+}

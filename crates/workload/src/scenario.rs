@@ -1,0 +1,232 @@
+//! The experiment driver: replay a message/query mix against an index.
+//!
+//! Implements the paper's measurement protocol (§VII-A): objects report at
+//! frequency `f`, queries arrive at a fixed interval, and the reported
+//! metric is the amortised time `(T_u + T_q)/n_q` — update handling plus
+//! query processing, divided by the number of queries. Wall-clock time is
+//! measured on the host; time the index spent merely *emulating* device
+//! work is subtracted and the simulated device time added in its place
+//! (the hybrid clock described in DESIGN.md).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use ggrid::api::{MovingObjectIndex, SimCosts};
+use ggrid::message::{ObjectId, Timestamp};
+use roadnet::graph::{Distance, Graph};
+use roadnet::EdgePosition;
+
+use crate::moto::{Moto, MotoConfig};
+use crate::queries::QueryStream;
+
+/// Configuration of one scenario run.
+#[derive(Clone, Debug)]
+pub struct ScenarioConfig {
+    pub moto: MotoConfig,
+    pub k: usize,
+    /// Interval between queries in ms.
+    pub query_interval_ms: u64,
+    pub num_queries: usize,
+    /// Warm-up horizon before the first query (lets every object report at
+    /// least once).
+    pub warmup_ms: u64,
+    pub query_seed: u64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        Self {
+            moto: MotoConfig::default(),
+            k: 16,
+            query_interval_ms: 1000,
+            num_queries: 10,
+            warmup_ms: 1100,
+            query_seed: 99,
+        }
+    }
+}
+
+/// Measured outcome of a scenario run.
+#[derive(Clone, Debug)]
+pub struct ScenarioReport {
+    pub index_name: &'static str,
+    pub messages: usize,
+    pub queries: usize,
+    /// Wall-clock spent in `handle_update` calls (ns).
+    pub update_wall_ns: u64,
+    /// Wall-clock spent in `knn` calls (ns).
+    pub query_wall_ns: u64,
+    /// Host time the index spent emulating device work (ns) — already
+    /// included in the wall figures above, to be replaced by `sim`.
+    pub emulated_ns: u64,
+    /// Simulated device costs accrued during the run.
+    pub sim: SimCosts,
+    /// Every query's answer, for exactness checks.
+    pub answers: Vec<Vec<(ObjectId, Distance)>>,
+    /// Reference (ground-truth) answers computed from reported positions.
+    pub reference: Vec<Vec<(ObjectId, Distance)>>,
+}
+
+impl ScenarioReport {
+    /// The hybrid clock total: wall time minus emulation, plus simulated
+    /// device time (ns).
+    pub fn total_ns(&self) -> u64 {
+        (self.update_wall_ns + self.query_wall_ns)
+            .saturating_sub(self.emulated_ns)
+            .saturating_add(self.sim.total_time().0)
+    }
+
+    /// The paper's amortised metric `(T_u + T_q)/n_q` in ns per query.
+    pub fn amortized_ns_per_query(&self) -> u64 {
+        self.total_ns() / self.queries.max(1) as u64
+    }
+
+    /// Fraction of queries whose answer distances match the reference.
+    pub fn accuracy(&self) -> f64 {
+        if self.answers.is_empty() {
+            return 1.0;
+        }
+        let good = self
+            .answers
+            .iter()
+            .zip(&self.reference)
+            .filter(|(a, r)| {
+                a.iter().map(|x| x.1).collect::<Vec<_>>()
+                    == r.iter().map(|x| x.1).collect::<Vec<_>>()
+            })
+            .count();
+        good as f64 / self.answers.len() as f64
+    }
+}
+
+/// Replay a scenario against `index`. `t_delta_ms` is the freshness horizon
+/// the index was configured with (used for the reference answers).
+pub fn run_scenario(
+    graph: &Arc<Graph>,
+    index: &mut dyn MovingObjectIndex,
+    config: &ScenarioConfig,
+    t_delta_ms: u64,
+    compute_reference: bool,
+) -> ScenarioReport {
+    let mut moto = Moto::new(graph.clone(), &config.moto);
+    let mut stream = QueryStream::new(
+        config.k,
+        config.query_interval_ms,
+        Timestamp(config.warmup_ms),
+        config.query_seed,
+    );
+
+    let sim_before = index.sim_costs();
+    let emu_before = index.emulated_host_ns();
+    let mut update_wall_ns = 0u64;
+    let mut query_wall_ns = 0u64;
+    let mut messages = 0usize;
+    let mut answers = Vec::with_capacity(config.num_queries);
+    let mut reference = Vec::with_capacity(config.num_queries);
+
+    // Latest reported position per object — the ground truth an exact
+    // snapshot index must answer from.
+    let mut reported: std::collections::HashMap<ObjectId, (EdgePosition, Timestamp)> =
+        std::collections::HashMap::new();
+
+    for _ in 0..config.num_queries {
+        let (qt, qpos, k) = stream.draw(graph);
+        let batch = moto.advance_to(qt);
+        let t0 = Instant::now();
+        for m in &batch {
+            index.handle_update(m.object, m.position, m.time);
+        }
+        update_wall_ns += t0.elapsed().as_nanos() as u64;
+        messages += batch.len();
+        if compute_reference {
+            for m in &batch {
+                reported.insert(m.object, (m.position, m.time));
+            }
+        }
+
+        let t0 = Instant::now();
+        let ans = index.knn(qpos, k, qt);
+        query_wall_ns += t0.elapsed().as_nanos() as u64;
+
+        if compute_reference {
+            let horizon = qt.saturating_sub_ms(t_delta_ms);
+            let objs: Vec<(u64, EdgePosition)> = reported
+                .iter()
+                .filter(|(_, &(_, t))| t >= horizon)
+                .map(|(&o, &(p, _))| (o.0, p))
+                .collect();
+            let want = roadnet::dijkstra::reference_knn(graph, qpos, &objs, k);
+            reference.push(want.into_iter().map(|(o, d)| (ObjectId(o), d)).collect());
+        }
+        answers.push(ans);
+    }
+
+    ScenarioReport {
+        index_name: index.name(),
+        messages,
+        queries: config.num_queries,
+        update_wall_ns,
+        query_wall_ns,
+        emulated_ns: index.emulated_host_ns() - emu_before,
+        sim: index.sim_costs().since(&sim_before),
+        answers,
+        reference,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ggrid::{GGridConfig, GGridServer};
+    use roadnet::gen;
+
+    fn small_scenario() -> ScenarioConfig {
+        ScenarioConfig {
+            moto: MotoConfig {
+                num_objects: 30,
+                update_period_ms: 200,
+                seed: 3,
+                ..Default::default()
+            },
+            k: 4,
+            query_interval_ms: 300,
+            num_queries: 6,
+            warmup_ms: 250,
+            query_seed: 17,
+        }
+    }
+
+    #[test]
+    fn ggrid_scenario_is_exact() {
+        let graph = Arc::new(gen::toy(13));
+        let mut server = GGridServer::new(
+            (*graph).clone(),
+            GGridConfig {
+                eta: 4,
+                bucket_capacity: 16,
+                ..Default::default()
+            },
+        );
+        let report = run_scenario(&graph, &mut server, &small_scenario(), 10_000, true);
+        assert_eq!(report.queries, 6);
+        assert!(report.messages > 0);
+        assert_eq!(report.accuracy(), 1.0, "G-Grid answers must be exact");
+        assert!(report.total_ns() > 0);
+    }
+
+    #[test]
+    fn report_math_consistent() {
+        let graph = Arc::new(gen::toy(13));
+        let mut server = GGridServer::new((*graph).clone(), GGridConfig {
+            eta: 4,
+            ..Default::default()
+        });
+        let report = run_scenario(&graph, &mut server, &small_scenario(), 10_000, false);
+        assert!(report.reference.is_empty());
+        assert_eq!(report.answers.len(), report.queries);
+        assert_eq!(
+            report.amortized_ns_per_query(),
+            report.total_ns() / report.queries as u64
+        );
+    }
+}

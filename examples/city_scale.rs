@@ -1,0 +1,73 @@
+//! City-scale comparison: run all four indexes side by side on one
+//! workload and print the paper's amortised metric for each.
+//!
+//! ```text
+//! cargo run --release --example city_scale
+//! ```
+
+use std::sync::Arc;
+
+use ggrid_bench::runner::{run_all_indexes, IndexKind, IndexParams};
+use roadnet::gen::{self, Dataset};
+use workload::moto::MotoConfig;
+use workload::scenario::ScenarioConfig;
+
+fn main() {
+    let graph = Arc::new(gen::dataset(Dataset::COL, 1000, 3));
+    println!(
+        "network: COL-shaped, {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    let scenario = ScenarioConfig {
+        moto: MotoConfig {
+            num_objects: 2_000,
+            update_period_ms: 1_000, // f = 1 update/s, the paper's default
+            seed: 5,
+            ..Default::default()
+        },
+        k: 16,
+        query_interval_ms: 1_000,
+        num_queries: 8,
+        warmup_ms: 1_100,
+        query_seed: 77,
+    };
+    println!(
+        "workload: {} objects @ 1 Hz, {} kNN queries (k = {})\n",
+        scenario.moto.num_objects, scenario.num_queries, scenario.k
+    );
+
+    let outcomes = run_all_indexes(&graph, &IndexParams::default(), &scenario, &IndexKind::ALL);
+    println!(
+        "{:<12} {:>14} {:>14} {:>12}",
+        "index", "time/query", "index size", "answers"
+    );
+    for o in &outcomes {
+        match &o.report {
+            Some(r) => println!(
+                "{:<12} {:>14} {:>13}B {:>12}",
+                o.kind.name(),
+                format!("{:.2}us", o.serial_ns_per_query().unwrap() as f64 / 1e3),
+                o.index_size.total(),
+                format!("{} queries", r.answers.len()),
+            ),
+            None => println!("{:<12} {:>14}", o.kind.name(), "did not fit on device"),
+        }
+    }
+
+    // Sanity: every index must return the same distances.
+    let dists: Vec<Vec<Vec<u64>>> = outcomes
+        .iter()
+        .filter_map(|o| o.report.as_ref())
+        .map(|r| {
+            r.answers
+                .iter()
+                .map(|a| a.iter().map(|&(_, d)| d).collect())
+                .collect()
+        })
+        .collect();
+    let agree = dists.windows(2).all(|w| w[0] == w[1]);
+    println!("\nall indexes agree on every answer: {agree}");
+    assert!(agree, "cross-index disagreement — this is a bug");
+}

@@ -1,0 +1,70 @@
+//! Update storm: the lazy-update headline in isolation.
+//!
+//! Drives G-Grid and the eager V-Tree through increasingly update-heavy
+//! workloads (the paper's Fig 9 axis) and prints how each one's amortised
+//! time reacts. G-Grid should barely move; V-Tree should degrade steeply.
+//!
+//! ```text
+//! cargo run --release --example update_storm
+//! ```
+
+use std::sync::Arc;
+
+use baselines::VTree;
+use ggrid::{GGridConfig, GGridServer};
+use roadnet::gen::{self, Dataset};
+use workload::moto::MotoConfig;
+use workload::scenario::{run_scenario, ScenarioConfig};
+
+fn main() {
+    let graph = Arc::new(gen::dataset(Dataset::NY, 1000, 11));
+    println!(
+        "network: NY-shaped, {} vertices; 1000 objects; k = 16\n",
+        graph.num_vertices()
+    );
+    println!(
+        "{:>8} {:>16} {:>16} {:>10}",
+        "f (1/s)", "G-Grid t/q", "V-Tree t/q", "ratio"
+    );
+
+    for f in [1u64, 2, 4, 8, 16] {
+        let period = 1000 / f;
+        let scenario = ScenarioConfig {
+            moto: MotoConfig {
+                num_objects: 1_000,
+                update_period_ms: period,
+                seed: 2,
+                ..Default::default()
+            },
+            k: 16,
+            query_interval_ms: 1_000,
+            num_queries: 6,
+            warmup_ms: period + 100,
+            query_seed: 31,
+        };
+        let t_delta = (4 * period).max(4_000);
+
+        let mut lazy = GGridServer::new(
+            (*graph).clone(),
+            GGridConfig {
+                t_delta_ms: t_delta,
+                ..Default::default()
+            },
+        );
+        let lazy_report = run_scenario(&graph, &mut lazy, &scenario, t_delta, false);
+
+        let mut eager = VTree::new((*graph).clone(), 64, t_delta);
+        let eager_report = run_scenario(&graph, &mut eager, &scenario, t_delta, false);
+
+        let l = lazy_report.amortized_ns_per_query();
+        let e = eager_report.amortized_ns_per_query();
+        println!(
+            "{:>8} {:>14.1}us {:>14.1}us {:>9.1}x",
+            f,
+            l as f64 / 1e3,
+            e as f64 / 1e3,
+            e as f64 / l.max(1) as f64
+        );
+    }
+    println!("\n(the lazy index amortises update cost into queried regions only)");
+}

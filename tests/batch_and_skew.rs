@@ -1,0 +1,119 @@
+//! Integration: multi-query batches and skewed fleets, spanning the
+//! workload generator, the G-Grid server, and the baselines.
+
+use std::sync::Arc;
+
+use baselines::VTree;
+use ggrid::api::MovingObjectIndex;
+use ggrid::prelude::*;
+use roadnet::gen;
+use workload::moto::{Moto, MotoConfig, Placement};
+
+fn hotspot_fleet(graph: &Arc<roadnet::Graph>, n: usize) -> Moto {
+    Moto::new(
+        graph.clone(),
+        &MotoConfig {
+            num_objects: n,
+            update_period_ms: 200,
+            seed: 21,
+            placement: Placement::Hotspot {
+                centers: 2,
+                radius_hops: 2,
+            },
+            ..Default::default()
+        },
+    )
+}
+
+#[test]
+fn batch_queries_agree_with_serial_on_live_workload() {
+    let graph = Arc::new(gen::grid_city(&gen::GridCityParams {
+        rows: 12,
+        cols: 12,
+        seed: 4,
+        ..Default::default()
+    }));
+    let mut batch_server = GGridServer::new((*graph).clone(), GGridConfig::default());
+    let mut serial_server = GGridServer::new((*graph).clone(), GGridConfig::default());
+
+    let mut fleet = hotspot_fleet(&graph, 60);
+    for m in fleet.advance_to(Timestamp(1000)) {
+        batch_server.handle_update(m.object, m.position, m.time);
+        serial_server.handle_update(m.object, m.position, m.time);
+    }
+
+    let queries: Vec<(EdgePosition, usize)> = (0..5u32)
+        .map(|i| {
+            (
+                EdgePosition::at_source(roadnet::EdgeId(i * 31 % graph.num_edges() as u32)),
+                3,
+            )
+        })
+        .collect();
+
+    let batch = batch_server.knn_batch(&queries, Timestamp(1100));
+    for (i, &(q, k)) in queries.iter().enumerate() {
+        let serial = serial_server.knn(q, k, Timestamp(1100));
+        assert_eq!(batch.answers[i], serial, "query {i} diverges");
+    }
+}
+
+#[test]
+fn hotspot_fleet_exact_against_vtree() {
+    let graph = Arc::new(gen::grid_city(&gen::GridCityParams {
+        rows: 10,
+        cols: 10,
+        seed: 9,
+        ..Default::default()
+    }));
+    let mut ggrid = GGridServer::new((*graph).clone(), GGridConfig::default());
+    let mut vtree = VTree::new((*graph).clone(), 16, 10_000);
+
+    let mut fleet = hotspot_fleet(&graph, 40);
+    for m in fleet.advance_to(Timestamp(2000)) {
+        ggrid.handle_update(m.object, m.position, m.time);
+        vtree.handle_update(m.object, m.position, m.time);
+    }
+
+    for i in 0..6u32 {
+        let q = EdgePosition::at_source(roadnet::EdgeId(i * 17 % graph.num_edges() as u32));
+        let a: Vec<u64> = GGridServer::knn(&mut ggrid, q, 5, Timestamp(2100))
+            .iter()
+            .map(|&(_, d)| d)
+            .collect();
+        let b: Vec<u64> = vtree
+            .knn(q, 5, Timestamp(2100))
+            .iter()
+            .map(|&(_, d)| d)
+            .collect();
+        assert_eq!(a, b, "hotspot query {i} diverges");
+    }
+}
+
+#[test]
+fn hotspot_queries_touch_fewer_cells_than_scattered_backlog() {
+    // The lazy index's sweet spot: a clustered fleet concentrates messages
+    // into few cells, so a query inside the hotspot cleans a small region
+    // densely rather than a wide region sparsely.
+    let graph = Arc::new(gen::grid_city(&gen::GridCityParams {
+        rows: 16,
+        cols: 16,
+        seed: 14,
+        ..Default::default()
+    }));
+    let mut server = GGridServer::new((*graph).clone(), GGridConfig::default());
+    let mut fleet = hotspot_fleet(&graph, 120);
+    let msgs = fleet.advance_to(Timestamp(1000));
+    let hot_edge = msgs[0].position.edge;
+    for m in msgs {
+        server.handle_update(m.object, m.position, m.time);
+    }
+    // Query inside the hotspot: plenty of candidates nearby.
+    server.knn(EdgePosition::at_source(hot_edge), 8, Timestamp(1100));
+    let hot_cells = server.last_breakdown().cells_cleaned;
+    assert!(
+        hot_cells < server.grid().num_cells() / 2,
+        "hotspot query cleaned {hot_cells} of {} cells",
+        server.grid().num_cells()
+    );
+}

@@ -1,0 +1,142 @@
+//! End-to-end integration: the full pipeline — generator → messages →
+//! lazy caching → GPU cleaning → kNN — answers exactly, across scenario
+//! shapes.
+
+use std::sync::Arc;
+
+use ggrid::prelude::*;
+use roadnet::gen;
+use workload::moto::MotoConfig;
+use workload::scenario::{run_scenario, ScenarioConfig};
+
+fn scenario(objects: usize, period_ms: u64, queries: usize, k: usize, seed: u64) -> ScenarioConfig {
+    ScenarioConfig {
+        moto: MotoConfig {
+            num_objects: objects,
+            update_period_ms: period_ms,
+            seed,
+            ..Default::default()
+        },
+        k,
+        query_interval_ms: 500,
+        num_queries: queries,
+        warmup_ms: period_ms + 50,
+        query_seed: seed ^ 0xFEED,
+    }
+}
+
+#[test]
+fn ggrid_exact_on_moving_workload() {
+    let graph = Arc::new(gen::grid_city(&gen::GridCityParams {
+        rows: 12,
+        cols: 12,
+        seed: 99,
+        ..Default::default()
+    }));
+    let mut server = GGridServer::new((*graph).clone(), GGridConfig::default());
+    let report = run_scenario(&graph, &mut server, &scenario(80, 250, 8, 5, 1), 10_000, true);
+    assert_eq!(report.accuracy(), 1.0, "G-Grid must answer exactly");
+    assert!(report.messages > 100);
+}
+
+#[test]
+fn ggrid_exact_across_k_values() {
+    let graph = Arc::new(gen::toy(55));
+    for k in [1usize, 2, 7, 20] {
+        let mut server = GGridServer::new(
+            (*graph).clone(),
+            GGridConfig {
+                eta: 4,
+                ..Default::default()
+            },
+        );
+        let report =
+            run_scenario(&graph, &mut server, &scenario(40, 200, 6, k, k as u64), 10_000, true);
+        assert_eq!(report.accuracy(), 1.0, "inexact at k={k}");
+    }
+}
+
+#[test]
+fn ggrid_exact_with_tiny_cells_and_buckets() {
+    // Degenerate tuning stresses virtual vertices, bucket chains, and
+    // multi-round expansion.
+    let graph = Arc::new(gen::toy(7));
+    let mut server = GGridServer::new(
+        (*graph).clone(),
+        GGridConfig {
+            cell_capacity: 1,
+            vertex_capacity: 1,
+            bucket_capacity: 2,
+            eta: 2,
+            rho: 1.1,
+            ..Default::default()
+        },
+    );
+    let report = run_scenario(&graph, &mut server, &scenario(25, 150, 6, 4, 9), 10_000, true);
+    assert_eq!(report.accuracy(), 1.0);
+}
+
+#[test]
+fn repeated_scenarios_are_deterministic_in_answers() {
+    let graph = Arc::new(gen::toy(31));
+    let run = || {
+        let mut server = GGridServer::new(
+            (*graph).clone(),
+            GGridConfig {
+                eta: 4,
+                ..Default::default()
+            },
+        );
+        run_scenario(&graph, &mut server, &scenario(30, 200, 5, 3, 4), 10_000, false).answers
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn backlog_shrinks_only_where_queried() {
+    // Lazy semantics: after a query, only cells near the query were
+    // consolidated; remote cells keep their full backlog.
+    let graph = Arc::new(gen::grid_city(&gen::GridCityParams {
+        rows: 16,
+        cols: 16,
+        seed: 3,
+        ..Default::default()
+    }));
+    let mut server = GGridServer::new((*graph).clone(), GGridConfig::default());
+    for round in 0..20u64 {
+        for o in 0..100u64 {
+            let e = roadnet::EdgeId(((o * 13) % graph.num_edges() as u64) as u32);
+            server.handle_update(ObjectId(o), EdgePosition::at_source(e), Timestamp(100 + round));
+        }
+    }
+    let before = server.cached_messages();
+    server.knn(EdgePosition::at_source(roadnet::EdgeId(0)), 2, Timestamp(200));
+    let after = server.cached_messages();
+    assert!(after < before, "query must consolidate touched cells");
+    assert!(
+        server.last_breakdown().cells_cleaned < server.grid().num_cells(),
+        "lazy cleaning must not touch every cell"
+    );
+}
+
+#[test]
+fn device_ledger_grows_with_queries() {
+    let graph = Arc::new(gen::toy(13));
+    let mut server = GGridServer::new(
+        (*graph).clone(),
+        GGridConfig {
+            eta: 4,
+            ..Default::default()
+        },
+    );
+    for o in 0..30u64 {
+        let e = roadnet::EdgeId((o % graph.num_edges() as u64) as u32);
+        server.handle_update(ObjectId(o), EdgePosition::at_source(e), Timestamp(100));
+    }
+    let c0 = ggrid::api::MovingObjectIndex::sim_costs(&server);
+    server.knn(EdgePosition::at_source(roadnet::EdgeId(1)), 4, Timestamp(150));
+    let c1 = ggrid::api::MovingObjectIndex::sim_costs(&server);
+    let delta = c1.since(&c0);
+    assert!(delta.h2d_bytes > 0, "query must ship messages to the device");
+    assert!(delta.gpu_time > gpu_sim::SimNanos::ZERO);
+}

@@ -1,0 +1,77 @@
+//! Smoke test: every experiment module runs end-to-end on a miniature
+//! configuration and produces well-formed tables and CSVs.
+
+use ggrid_bench::experiments::{
+    ablation, fig10_scalability, fig4_tuning, fig5_datasets, fig6_index_size, fig7_vary_k,
+    fig8_vary_objects, fig9_vary_freq, table2_datasets, ExpConfig,
+};
+
+fn mini() -> ExpConfig {
+    ExpConfig {
+        scale: 4000,
+        objects: 80,
+        queries: 2,
+        out_dir: std::env::temp_dir().join("ggrid_smoke_results"),
+        ..ExpConfig::quick()
+    }
+}
+
+#[test]
+fn table2_smoke() {
+    let t = table2_datasets::run(&mini());
+    assert!(!t.rows.is_empty());
+    assert!(t.render().contains("NY"));
+}
+
+#[test]
+fn fig5_smoke_and_csv() {
+    let cfg = mini();
+    let t = fig5_datasets::run(&cfg);
+    t.write_csv(&cfg.out_dir, "fig5_smoke").unwrap();
+    let text = std::fs::read_to_string(cfg.out_dir.join("fig5_smoke.csv")).unwrap();
+    assert!(text.lines().count() >= 2, "csv must have header + rows");
+}
+
+#[test]
+fn fig4c_smoke() {
+    let t = fig4_tuning::run_c(&mini());
+    assert_eq!(t.rows.len(), 6);
+}
+
+#[test]
+fn fig6_smoke() {
+    let t = fig6_index_size::run(&mini());
+    assert!(!t.rows.is_empty());
+}
+
+#[test]
+fn fig7_smoke() {
+    let ts = fig7_vary_k::run(&mini());
+    assert!(!ts.is_empty());
+}
+
+#[test]
+fn fig8_smoke() {
+    let t = fig8_vary_objects::run(&mini());
+    assert!(!t.rows.is_empty());
+}
+
+#[test]
+fn fig9_smoke() {
+    let t = fig9_vary_freq::run(&mini());
+    assert!(!t.rows.is_empty());
+}
+
+#[test]
+fn fig10_smoke() {
+    let a = fig10_scalability::run_time_throughput(&mini());
+    let b = fig10_scalability::run_transfers(&mini());
+    assert!(!a.rows.is_empty());
+    assert!(!b.rows.is_empty());
+}
+
+#[test]
+fn ablation_smoke() {
+    let t = ablation::run(&mini());
+    assert_eq!(t.rows.len(), 4);
+}
