@@ -97,7 +97,8 @@ impl RegionIndex {
                             .any(|u| region_of_vertex[u.index()] != rv)
                     })
                     .collect();
-                let matrix = induced_all_pairs(&graph, &vertices, &local_of_vertex, &region_of_vertex);
+                let matrix =
+                    induced_all_pairs(&graph, &vertices, &local_of_vertex, &region_of_vertex);
                 Region {
                     vertices,
                     borders,
@@ -164,8 +165,7 @@ impl RegionIndex {
     pub fn crossing_edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
         self.graph.edge_ids().filter(move |&e| {
             let edge = self.graph.edge(e);
-            self.region_of_vertex[edge.source.index()]
-                != self.region_of_vertex[edge.dest.index()]
+            self.region_of_vertex[edge.source.index()] != self.region_of_vertex[edge.dest.index()]
         })
     }
 }

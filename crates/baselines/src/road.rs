@@ -78,11 +78,7 @@ impl Road {
 
     /// Build over a pre-built (shared) region substrate — lets harnesses
     /// partition and precompute matrices once per dataset.
-    pub fn from_regions(
-        graph: Arc<Graph>,
-        regions: Arc<RegionIndex>,
-        t_delta_ms: u64,
-    ) -> Self {
+    pub fn from_regions(graph: Arc<Graph>, regions: Arc<RegionIndex>, t_delta_ms: u64) -> Self {
         let n_regions = regions.num_regions();
         assert!(n_regions.is_power_of_two());
         let depth = n_regions.trailing_zeros();
@@ -299,7 +295,10 @@ impl MovingObjectIndex for Road {
         } else {
             self.bump_levels(self.regions.region_of_edge(position.edge), 1);
         }
-        self.edge_objects.entry(position.edge).or_default().push(object);
+        self.edge_objects
+            .entry(position.edge)
+            .or_default()
+            .push(object);
         self.update_ops += 1;
         // Rewrite the object's association at every Rnet level: remove it
         // from the Rnet it previously occupied at that level and insert it
@@ -335,8 +334,7 @@ impl MovingObjectIndex for Road {
         self.rnet_directory.insert(leaf_idx, rebuilt);
         if let Some(old_r) = old_region {
             if old_r != new_region {
-                let rebuilt_old: Vec<(ObjectId, EdgeId)> = self.level_members
-                    [self.depth as usize]
+                let rebuilt_old: Vec<(ObjectId, EdgeId)> = self.level_members[self.depth as usize]
                     .get(&old_r.0)
                     .map(|set| set.iter().map(|(&o, &e)| (o, e)).collect())
                     .unwrap_or_default();
@@ -360,7 +358,9 @@ impl MovingObjectIndex for Road {
 
     fn index_size(&self) -> IndexSize {
         let assoc: u64 = self
-            .edge_objects.values().map(|v| 16 + v.len() as u64 * 8)
+            .edge_objects
+            .values()
+            .map(|v| 16 + v.len() as u64 * 8)
             .sum::<u64>()
             + (self.objects.len() * 48) as u64;
         let counts: u64 = self.level_counts.iter().map(|l| (l.len() * 4) as u64).sum();
@@ -443,9 +443,17 @@ mod tests {
     fn association_directory_rewritten_on_update() {
         let g = gen::toy(23);
         let mut r = Road::new(g, 8, 100_000);
-        r.handle_update(ObjectId(1), EdgePosition::at_source(EdgeId(0)), Timestamp(1));
+        r.handle_update(
+            ObjectId(1),
+            EdgePosition::at_source(EdgeId(0)),
+            Timestamp(1),
+        );
         assert_eq!(r.edge_objects[&EdgeId(0)], vec![ObjectId(1)]);
-        r.handle_update(ObjectId(1), EdgePosition::at_source(EdgeId(5)), Timestamp(2));
+        r.handle_update(
+            ObjectId(1),
+            EdgePosition::at_source(EdgeId(5)),
+            Timestamp(2),
+        );
         assert!(!r.edge_objects.contains_key(&EdgeId(0)));
         assert_eq!(r.edge_objects[&EdgeId(5)], vec![ObjectId(1)]);
     }
@@ -455,7 +463,11 @@ mod tests {
         let g = gen::toy(23);
         let mut r = Road::new(g.clone(), 8, 100_000);
         let ops0 = r.update_ops();
-        r.handle_update(ObjectId(1), EdgePosition::at_source(EdgeId(0)), Timestamp(1));
+        r.handle_update(
+            ObjectId(1),
+            EdgePosition::at_source(EdgeId(0)),
+            Timestamp(1),
+        );
         // A first sighting touches every level of the hierarchy.
         assert!(r.update_ops() - ops0 >= r.depth as u64);
         // Root count equals total objects.
@@ -466,8 +478,14 @@ mod tests {
     fn stale_objects_filtered() {
         let g = gen::toy(23);
         let mut r = Road::new(g, 8, 100);
-        r.handle_update(ObjectId(1), EdgePosition::at_source(EdgeId(0)), Timestamp(10));
-        assert!(r.knn(EdgePosition::at_source(EdgeId(0)), 1, Timestamp(50_000)).is_empty());
+        r.handle_update(
+            ObjectId(1),
+            EdgePosition::at_source(EdgeId(0)),
+            Timestamp(10),
+        );
+        assert!(r
+            .knn(EdgePosition::at_source(EdgeId(0)), 1, Timestamp(50_000))
+            .is_empty());
     }
 
     #[test]

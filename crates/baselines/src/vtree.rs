@@ -79,11 +79,7 @@ impl VTree {
 
     /// Build over a pre-built (shared) region substrate — lets harnesses
     /// partition and precompute matrices once per dataset.
-    pub fn from_regions(
-        graph: Arc<Graph>,
-        regions: Arc<RegionIndex>,
-        t_delta_ms: u64,
-    ) -> Self {
+    pub fn from_regions(graph: Arc<Graph>, regions: Arc<RegionIndex>, t_delta_ms: u64) -> Self {
         // Skeleton nodes: every border vertex of every region.
         let mut border_node = vec![u32::MAX; graph.num_vertices()];
         let mut border_vertex = Vec::new();
@@ -109,7 +105,8 @@ impl VTree {
                     if a == b {
                         continue;
                     }
-                    let d = regions.induced_dist(border_vertex[a as usize], border_vertex[b as usize]);
+                    let d =
+                        regions.induced_dist(border_vertex[a as usize], border_vertex[b as usize]);
                     if d < INFINITY {
                         skel_adj[a as usize].push((b, d));
                     }
@@ -191,12 +188,7 @@ impl VTree {
     }
 
     /// Exact kNN via best-first skeleton expansion.
-    fn knn_impl(
-        &mut self,
-        q: EdgePosition,
-        k: usize,
-        now: Timestamp,
-    ) -> Vec<(ObjectId, Distance)> {
+    fn knn_impl(&mut self, q: EdgePosition, k: usize, now: Timestamp) -> Vec<(ObjectId, Distance)> {
         assert!(k >= 1);
         let graph = self.graph.clone();
         debug_assert!(q.is_valid(&graph));
@@ -308,10 +300,8 @@ impl VTree {
             }
         }
 
-        let mut items: Vec<(ObjectId, Distance)> = best
-            .into_iter()
-            .filter(|&(_, d)| d < INFINITY)
-            .collect();
+        let mut items: Vec<(ObjectId, Distance)> =
+            best.into_iter().filter(|&(_, d)| d < INFINITY).collect();
         items.sort_by_key(|&(o, d)| (d, o));
         items.truncate(k);
         items
@@ -319,11 +309,7 @@ impl VTree {
 
     /// Bytes of the precomputed structures (matrices + skeleton).
     pub fn precomputed_bytes(&self) -> u64 {
-        let skel: u64 = self
-            .skel_adj
-            .iter()
-            .map(|a| (a.len() * 12) as u64)
-            .sum();
+        let skel: u64 = self.skel_adj.iter().map(|a| (a.len() * 12) as u64).sum();
         self.regions.matrices_bytes() + skel + self.border_vertex.len() as u64 * 4
     }
 }
@@ -462,8 +448,15 @@ mod tests {
         let g = gen::toy(11);
         let mut t = VTree::new(g, 8, 100_000);
         let before = t.update_ops();
-        t.handle_update(ObjectId(1), EdgePosition::at_source(EdgeId(0)), Timestamp(1));
-        assert!(t.update_ops() > before, "every message must touch the index");
+        t.handle_update(
+            ObjectId(1),
+            EdgePosition::at_source(EdgeId(0)),
+            Timestamp(1),
+        );
+        assert!(
+            t.update_ops() > before,
+            "every message must touch the index"
+        );
     }
 
     #[test]
@@ -475,7 +468,11 @@ mod tests {
             .edge_ids()
             .find(|&e| t.regions().region_of_edge(e) != r0)
             .unwrap();
-        t.handle_update(ObjectId(1), EdgePosition::at_source(EdgeId(0)), Timestamp(1));
+        t.handle_update(
+            ObjectId(1),
+            EdgePosition::at_source(EdgeId(0)),
+            Timestamp(1),
+        );
         assert_eq!(t.region_objects[r0.index()].len(), 1);
         t.handle_update(ObjectId(1), EdgePosition::at_source(other), Timestamp(2));
         assert_eq!(t.region_objects[r0.index()].len(), 0);
@@ -485,8 +482,14 @@ mod tests {
     fn stale_objects_filtered() {
         let g = gen::toy(11);
         let mut t = VTree::new(g, 8, 100);
-        t.handle_update(ObjectId(1), EdgePosition::at_source(EdgeId(0)), Timestamp(10));
-        assert!(t.knn(EdgePosition::at_source(EdgeId(0)), 1, Timestamp(10_000)).is_empty());
+        t.handle_update(
+            ObjectId(1),
+            EdgePosition::at_source(EdgeId(0)),
+            Timestamp(10),
+        );
+        assert!(t
+            .knn(EdgePosition::at_source(EdgeId(0)), 1, Timestamp(10_000))
+            .is_empty());
     }
 
     #[test]
@@ -516,6 +519,10 @@ mod tests {
         for &(i, p) in &objs {
             t.handle_update(ObjectId(i), p, Timestamp(1));
         }
-        assert_eq!(t.knn(EdgePosition::at_source(EdgeId(0)), 10, Timestamp(2)).len(), 3);
+        assert_eq!(
+            t.knn(EdgePosition::at_source(EdgeId(0)), 10, Timestamp(2))
+                .len(),
+            3
+        );
     }
 }

@@ -221,7 +221,11 @@ mod tests {
     fn batches_at_warp_size() {
         let mut t = build();
         for i in 0..UPDATE_BATCH as u64 {
-            t.handle_update(ObjectId(i), EdgePosition::at_source(EdgeId(0)), Timestamp(i));
+            t.handle_update(
+                ObjectId(i),
+                EdgePosition::at_source(EdgeId(0)),
+                Timestamp(i),
+            );
         }
         assert_eq!(t.pending_updates(), 0, "full warp must auto-flush");
         assert!(t.device.launches() >= 1);
@@ -231,7 +235,11 @@ mod tests {
     fn transfers_batched_per_flush() {
         let mut t = build();
         for i in 0..70u64 {
-            t.handle_update(ObjectId(i), EdgePosition::at_source(EdgeId(0)), Timestamp(i));
+            t.handle_update(
+                ObjectId(i),
+                EdgePosition::at_source(EdgeId(0)),
+                Timestamp(i),
+            );
         }
         // 70 messages → two full warp batches flushed, 6 pending.
         assert_eq!(t.device.ledger().h2d_transfers, 2);
@@ -262,7 +270,11 @@ mod tests {
     fn emulated_time_reported() {
         let mut t = build();
         for i in 0..40u64 {
-            t.handle_update(ObjectId(i), EdgePosition::at_source(EdgeId(1)), Timestamp(i));
+            t.handle_update(
+                ObjectId(i),
+                EdgePosition::at_source(EdgeId(1)),
+                Timestamp(i),
+            );
         }
         t.knn(EdgePosition::at_source(EdgeId(2)), 3, Timestamp(100));
         assert!(t.emulated_host_ns() > 0);

@@ -71,8 +71,9 @@ fn bench_xshuffle(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(1 << eta), &eta, |b, &eta| {
             b.iter(|| {
                 let mut dev = Device::new(DeviceSpec::test_tiny());
-                let (out, _) =
-                    dev.launch(buckets.len(), |ctx| xshuffle_clean(ctx, &buckets, eta, Timestamp(0)));
+                let (out, _) = dev.launch(buckets.len(), |ctx| {
+                    xshuffle_clean(ctx, &buckets, eta, Timestamp(0))
+                });
                 out.objects_seen
             })
         });

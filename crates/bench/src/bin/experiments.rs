@@ -5,7 +5,8 @@
 //!             [--queries N] [--out DIR]
 //!
 //! EXPERIMENT ∈ {table2, fig4a, fig4b, fig4c, fig5, fig6, fig7, fig8,
-//!               fig9, fig10, ablation, all}   (default: all)
+//!               fig9, fig10, ablation, skew, concurrency, all}
+//! (default: all)
 //! ```
 //!
 //! Each experiment prints an aligned table and writes `results/<name>.csv`.
@@ -16,8 +17,8 @@ use std::path::PathBuf;
 
 use ggrid_bench::csvout::ResultTable;
 use ggrid_bench::experiments::{
-    ablation, fig10_scalability, fig4_tuning, fig5_datasets, fig6_index_size, fig7_vary_k,
-    fig8_vary_objects, fig9_vary_freq, skew, table2_datasets, ExpConfig,
+    ablation, concurrency, fig10_scalability, fig4_tuning, fig5_datasets, fig6_index_size,
+    fig7_vary_k, fig8_vary_objects, fig9_vary_freq, skew, table2_datasets, ExpConfig,
 };
 
 fn main() {
@@ -58,8 +59,19 @@ fn main() {
     }
     if chosen.is_empty() || chosen.iter().any(|c| c == "all") {
         chosen = vec![
-            "table2", "fig4a", "fig4b", "fig4c", "fig5", "fig6", "fig7", "fig8", "fig9",
-            "fig10", "ablation", "skew",
+            "table2",
+            "fig4a",
+            "fig4b",
+            "fig4c",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "ablation",
+            "skew",
+            "concurrency",
         ]
         .into_iter()
         .map(String::from)
@@ -99,6 +111,7 @@ fn main() {
             ],
             "ablation" => vec![("ablation".into(), ablation::run(&cfg))],
             "skew" => vec![("skew".into(), skew::run(&cfg))],
+            "concurrency" => vec![("concurrency".into(), concurrency::run(&cfg))],
             other => {
                 eprintln!("unknown experiment `{other}`\n{HELP}");
                 std::process::exit(2);
@@ -125,7 +138,7 @@ fn expect_num(it: &mut std::iter::Peekable<std::slice::Iter<String>>, flag: &str
     }
 }
 
-const HELP: &str = "usage: experiments [table2|fig4a|fig4b|fig4c|fig5|fig6|fig7|fig8|fig9|fig10|ablation|skew|all]...
+const HELP: &str = "usage: experiments [table2|fig4a|fig4b|fig4c|fig5|fig6|fig7|fig8|fig9|fig10|ablation|skew|concurrency|all]...
   --quick           small datasets/fleets for a fast pass
   --scale N         divide real dataset sizes by N (default 500)
   --objects N       number of moving objects (default 10000)

@@ -110,13 +110,7 @@ pub fn run(cfg: &ExpConfig) -> ResultTable {
         fmt_ns(measure(&graph, &mut sync_xfer, cfg, &params)),
     ]);
 
-    let mut narrow = GGridServer::new(
-        (*graph).clone(),
-        GGridConfig {
-            eta: 1,
-            ..base_cfg
-        },
-    );
+    let mut narrow = GGridServer::new((*graph).clone(), GGridConfig { eta: 1, ..base_cfg });
     t.row(vec![
         "2-lane bundles (eta=1)".into(),
         fmt_ns(measure(&graph, &mut narrow, cfg, &params)),

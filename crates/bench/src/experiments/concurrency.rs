@@ -1,0 +1,111 @@
+//! Extension study (beyond the paper): the concurrent query engine.
+//!
+//! Sweeps the refinement worker count × the epoch-based clean-skip cache on
+//! the NY-shaped dataset and reports the amortised query time next to the
+//! engine's own instrumentation: the clean-skip hit rate (cells served from
+//! the host cache instead of a kernel launch) and the average refinement
+//! concurrency (summed worker-busy time over refinement wall time).
+//!
+//! Answers are identical across every row — the sweep isolates *where time
+//! goes*, not what is computed.
+//!
+//! The "Refine speedup" column is the modeled parallel speedup (summed
+//! worker-busy time over the busiest worker's time): it is host-core
+//! independent, so the worker sweep stays meaningful on single-core CI
+//! machines where wall time cannot shrink.
+
+use ggrid::{GGridConfig, GGridServer};
+use workload::scenario::run_scenario;
+
+use crate::csvout::{fmt_ns, ResultTable};
+use crate::datasets::{build_dataset, DatasetSpec};
+use crate::experiments::ExpConfig;
+use crate::runner::BenchWorld;
+
+/// Worker counts swept (the paper's host is a multi-core Xeon).
+pub const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+pub fn run(cfg: &ExpConfig) -> ResultTable {
+    let ds = roadnet::gen::Dataset::NY;
+    let world = BenchWorld::new(build_dataset(&DatasetSpec::new(ds, cfg.scale)));
+    let mut t = ResultTable::new(
+        &format!("Extension: concurrent query engine ({}, k=16)", ds.name()),
+        &[
+            "Workers",
+            "Clean-skip",
+            "ns/query",
+            "Skip hits",
+            "Skip misses",
+            "Hit rate",
+            "Refine conc.",
+            "Refine speedup",
+        ],
+    );
+    let params = cfg.index_params();
+    // Query *bursts*: the sweep measures query-stream throughput, so the
+    // queries arrive 1 ms apart — faster than any fleet update period, so
+    // no cell is re-dirtied mid-burst. This is the regime where the
+    // clean-skip cache and the worker pool matter; with queries 500 ms
+    // apart every cell is re-dirtied between them and the cache is
+    // honestly useless.
+    let mut scenario = cfg.scenario();
+    scenario.query_interval_ms = 1;
+    for clean_skip in [true, false] {
+        for workers in WORKER_SWEEP {
+            let config = GGridConfig {
+                refine_workers: workers,
+                clean_skip,
+                t_delta_ms: params.t_delta_ms,
+                ..params.ggrid.clone()
+            };
+            let grid = world.grid(config.cell_capacity, config.vertex_capacity);
+            let mut server =
+                GGridServer::with_shared_grid(grid, config, gpu_sim::Device::quadro_p2000());
+            let report = run_scenario(
+                &world.graph,
+                &mut server,
+                &scenario,
+                params.t_delta_ms,
+                false,
+            );
+            let c = server.counters();
+            t.row(vec![
+                workers.to_string(),
+                if clean_skip { "on" } else { "off" }.to_string(),
+                fmt_ns(report.amortized_ns_per_query()),
+                c.clean_skip_hits.to_string(),
+                c.clean_skip_misses.to_string(),
+                format!("{:.1}%", 100.0 * c.clean_skip_hit_rate()),
+                format!("{:.2}", c.refine_concurrency()),
+                format!("{:.2}", c.refine_parallel_speedup()),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concurrency_table_runs_and_skip_hits() {
+        let cfg = ExpConfig {
+            scale: 4000,
+            objects: 150,
+            queries: 4,
+            ..ExpConfig::quick()
+        };
+        let t = run(&cfg);
+        assert_eq!(t.rows.len(), 2 * WORKER_SWEEP.len());
+        // With the cache on, a repeated-query stream must hit the skip
+        // path; with it off, hits must be exactly zero.
+        for row in &t.rows {
+            let hits: u64 = row[3].parse().unwrap();
+            match row[1].as_str() {
+                "on" => assert!(hits > 0, "no skip hits in row {row:?}"),
+                _ => assert_eq!(hits, 0, "skip hits with cache off {row:?}"),
+            }
+        }
+    }
+}

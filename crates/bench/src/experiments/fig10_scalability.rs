@@ -20,7 +20,12 @@ pub fn run_time_throughput(cfg: &ExpConfig) -> ResultTable {
     );
     for ds in cfg.datasets() {
         let world = BenchWorld::new(build_dataset(&DatasetSpec::new(ds, cfg.scale)));
-        let outcome = run_one_in(&world, IndexKind::GGrid, &cfg.index_params(), &cfg.scenario());
+        let outcome = run_one_in(
+            &world,
+            IndexKind::GGrid,
+            &cfg.index_params(),
+            &cfg.scenario(),
+        );
         let ns = outcome.serial_ns_per_query().unwrap();
         let qps = 1e9 / ns.max(1) as f64;
         t.row(vec![
@@ -48,7 +53,10 @@ pub fn run_transfers(cfg: &ExpConfig) -> ResultTable {
     };
     for ds in cfg.datasets() {
         let world = BenchWorld::new(build_dataset(&DatasetSpec::new(ds, cfg.scale)));
-        let mut row = vec![ds.name().to_string(), world.graph.num_vertices().to_string()];
+        let mut row = vec![
+            ds.name().to_string(),
+            world.graph.num_vertices().to_string(),
+        ];
         for k in TRANSFER_KS {
             let mut scenario = cfg.scenario();
             scenario.k = k;

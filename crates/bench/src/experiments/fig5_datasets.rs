@@ -12,7 +12,14 @@ use crate::runner::{run_all_indexes, IndexKind};
 pub fn run(cfg: &ExpConfig) -> ResultTable {
     let mut t = ResultTable::new(
         "Fig 5: amortized query time vs datasets (k=16)",
-        &["Dataset", "G-Grid", "G-Grid (L)", "V-Tree", "V-Tree (G)", "ROAD"],
+        &[
+            "Dataset",
+            "G-Grid",
+            "G-Grid (L)",
+            "V-Tree",
+            "V-Tree (G)",
+            "ROAD",
+        ],
     );
     for ds in cfg.datasets() {
         let graph = build_dataset(&DatasetSpec::new(ds, cfg.scale));

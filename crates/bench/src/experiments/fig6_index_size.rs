@@ -14,7 +14,13 @@ use crate::runner::{build_index, IndexKind};
 pub fn run(cfg: &ExpConfig) -> ResultTable {
     let mut t = ResultTable::new(
         "Fig 6: index size vs datasets",
-        &["Dataset", "G-Grid (CPU)", "G-Grid (GPU)", "G-Grid (Total)", "V-Tree"],
+        &[
+            "Dataset",
+            "G-Grid (CPU)",
+            "G-Grid (GPU)",
+            "G-Grid (Total)",
+            "V-Tree",
+        ],
     );
     let params = cfg.index_params();
     for ds in cfg.datasets() {

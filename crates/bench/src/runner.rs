@@ -39,7 +39,11 @@ impl BenchWorld {
             .expect("grid cache poisoned")
             .entry((cell_capacity, vertex_capacity))
             .or_insert_with(|| {
-                Arc::new(GraphGrid::build(self.graph.clone(), cell_capacity, vertex_capacity))
+                Arc::new(GraphGrid::build(
+                    self.graph.clone(),
+                    cell_capacity,
+                    vertex_capacity,
+                ))
             })
             .clone()
     }

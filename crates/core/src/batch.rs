@@ -6,23 +6,41 @@
 //! cleaning shares one device pass, and host refinement of one query
 //! overlaps device work of another.
 //!
-//! [`run_knn_batch`] implements the sharing that is deterministic in a
-//! single-threaded simulation: the union of all queries' initial candidate
-//! cells is cleaned in one batched kernel launch (one pipelined upload, one
-//! dedup pass over all their messages), after which each query runs its
-//! remaining pipeline against the consolidated lists.
+//! [`run_knn_batch`] implements both effects:
+//!
+//! * **Shared cleaning** — the union of all queries' initial candidate
+//!   cells is cleaned in one batched kernel launch (one pipelined upload,
+//!   one dedup pass over all their messages). The epoch-based clean-skip
+//!   cache then lets every per-query pipeline serve those cells from the
+//!   host cache instead of re-launching the kernel.
+//! * **Overlapped refinement** — queries are staged through the
+//!   device-phase → refine → finalise pipeline of [`crate::knn`]: while
+//!   query *i*'s CPU refinement runs on a worker thread, the device
+//!   already executes query *i+1*'s phase. The overlap is accounted on a
+//!   two-stream [`StreamTimeline`] (device stream, host stream), yielding
+//!   the batch's pipelined makespan next to the serial sum of the same
+//!   operations.
+//!
+//! Answers are byte-identical to running [`crate::knn::run_knn`] per query
+//! in input order: cleaning is semantically idempotent (a query's view of
+//! a cell's live objects does not depend on when the cell was last
+//! consolidated), and the refinement merge is order-independent.
 
-use gpu_sim::Device;
+use gpu_sim::{Device, SimNanos, StreamTimeline};
 use roadnet::graph::Distance;
 use roadnet::EdgePosition;
 
 use crate::cleaning::clean_cells;
 use crate::config::GGridConfig;
 use crate::grid::{CellId, GraphGrid};
-use crate::knn::{run_knn, KnnResult};
+use crate::knn::{knn_device_phase, knn_finalize, refine_unresolved};
 use crate::message::{ObjectId, Timestamp};
-use crate::message_list::MessageList;
+use crate::message_list::CellLists;
 use crate::stats::QueryBreakdown;
+
+/// Stream indices of the batch timeline.
+const DEVICE_STREAM: usize = 0;
+const HOST_STREAM: usize = 1;
 
 /// Result of a query batch.
 #[derive(Debug)]
@@ -33,6 +51,12 @@ pub struct BatchResult {
     pub shared: QueryBreakdown,
     /// Per-query breakdowns for the residual work.
     pub per_query: Vec<QueryBreakdown>,
+    /// Makespan of the batch with host refinement overlapping device work
+    /// (device time is simulated, refinement time is measured host time).
+    pub pipelined_time: SimNanos,
+    /// The same operations executed back to back, for comparison; always
+    /// `>= pipelined_time`.
+    pub serial_time: SimNanos,
 }
 
 impl BatchResult {
@@ -44,11 +68,12 @@ impl BatchResult {
     }
 }
 
-/// Execute a batch of kNN queries sharing one initial cleaning pass.
+/// Execute a batch of kNN queries sharing one initial cleaning pass and
+/// overlapping host refinement with device work.
 pub fn run_knn_batch(
     device: &mut Device,
     grid: &GraphGrid,
-    lists: &mut [MessageList],
+    lists: &CellLists,
     config: &GGridConfig,
     queries: &[(EdgePosition, usize)],
     now: Timestamp,
@@ -63,41 +88,132 @@ pub fn run_knn_batch(
     union.sort_unstable();
     union.dedup();
 
+    let mut timeline = StreamTimeline::new(2);
+    let mut serial_time = SimNanos::ZERO;
+
     let mut shared = QueryBreakdown::default();
     if !union.is_empty() && !queries.is_empty() {
         let t0 = std::time::Instant::now();
-        let (_, rep) = clean_cells(
-            device,
-            lists,
-            &union,
-            config.eta,
-            config.transfer_chunks,
-            now,
-            config.t_delta_ms,
-        );
+        let (_, rep) = clean_cells(device, lists, &union, config, now);
         shared.emulation_ns = t0.elapsed().as_nanos() as u64;
         shared.cleaning = rep.time;
         shared.h2d_bytes = rep.h2d_bytes;
         shared.d2h_bytes = rep.d2h_bytes;
         shared.messages_cleaned = rep.messages;
-        shared.cells_cleaned = union.len();
+        shared.cells_cleaned = rep.cells_cleaned;
+        shared.cells_skipped = rep.cells_skipped;
+        timeline.push(DEVICE_STREAM, SimNanos::ZERO, shared.gpu_total());
+        serial_time += shared.gpu_total();
     }
 
-    // Residual per-query work: the shared cells are already consolidated,
-    // so each query re-ships at most one message per live object there.
-    let mut answers = Vec::with_capacity(queries.len());
-    let mut per_query = Vec::with_capacity(queries.len());
-    for &(q, k) in queries {
-        let result: KnnResult = run_knn(device, grid, lists, config, q, k, now);
-        answers.push(result.items);
-        per_query.push(result.breakdown);
-    }
+    // Stage the queries through the pipeline. The main thread owns the
+    // device and the lists; refinement — pure CPU — runs on a worker
+    // thread one query behind, so finalising query i happens after the
+    // device phase of query i+1 (exactly what the timeline records).
+    let n = queries.len();
+    let mut answers = Vec::with_capacity(n);
+    let mut per_query = Vec::with_capacity(n);
+
+    crossbeam::thread::scope(|s| {
+        // (pending state, refine handle, device-phase end time)
+        let mut in_flight = None;
+        for &(q, k) in queries {
+            let pending = knn_device_phase(device, grid, lists, config, q, k, now);
+            let device_end =
+                timeline.push(DEVICE_STREAM, SimNanos::ZERO, pending.breakdown.gpu_total());
+            serial_time += pending.breakdown.gpu_total();
+
+            if let Some((prev, handle, prev_device_end)) = in_flight.take() {
+                finalize_one(
+                    device,
+                    grid,
+                    lists,
+                    config,
+                    now,
+                    prev,
+                    handle,
+                    prev_device_end,
+                    &mut timeline,
+                    &mut serial_time,
+                    &mut answers,
+                    &mut per_query,
+                );
+            }
+
+            // Hand the refinement inputs to a worker; the next loop
+            // iteration drives the device while it runs.
+            let unresolved = pending.unresolved.clone();
+            let in_set = pending.in_set.clone();
+            let l = pending.l;
+            let workers = config.refine_workers;
+            let handle =
+                s.spawn(move |_| refine_unresolved(grid, &unresolved, l, &in_set, workers));
+            in_flight = Some((pending, handle, device_end));
+        }
+        if let Some((prev, handle, prev_device_end)) = in_flight.take() {
+            finalize_one(
+                device,
+                grid,
+                lists,
+                config,
+                now,
+                prev,
+                handle,
+                prev_device_end,
+                &mut timeline,
+                &mut serial_time,
+                &mut answers,
+                &mut per_query,
+            );
+        }
+    })
+    .expect("batch scope failed");
 
     BatchResult {
         answers,
         shared,
         per_query,
+        pipelined_time: timeline.makespan(),
+        serial_time,
     }
+}
+
+/// Join a query's refinement, finalise it, and record its host/device
+/// operations on the timeline.
+#[allow(clippy::too_many_arguments)]
+fn finalize_one<'scope>(
+    device: &mut Device,
+    grid: &GraphGrid,
+    lists: &CellLists,
+    config: &GGridConfig,
+    now: Timestamp,
+    pending: crate::knn::PendingKnn,
+    handle: crossbeam::thread::ScopedJoinHandle<'scope, crate::knn::RefineOutcome>,
+    device_end: SimNanos,
+    timeline: &mut StreamTimeline,
+    serial_time: &mut SimNanos,
+    answers: &mut Vec<Vec<(ObjectId, Distance)>>,
+    per_query: &mut Vec<QueryBreakdown>,
+) {
+    let refined = handle.join().expect("refinement worker panicked");
+
+    // Host stream: the refinement, eligible once its device phase ended.
+    // Charged at its critical path (busiest worker) — the modeled duration
+    // on a host with enough free cores, consistent with the simulated
+    // device clock on the other stream.
+    let refine_end = timeline.push(HOST_STREAM, device_end, SimNanos(refined.critical_ns));
+    *serial_time += SimNanos(refined.critical_ns);
+
+    let gpu_before = pending.breakdown.gpu_total();
+    let result = knn_finalize(device, grid, lists, config, now, pending, refined);
+
+    // Device stream: the finalisation's lazy cleaning, after the refine.
+    let finalize_gpu = SimNanos(result.breakdown.gpu_total().0 - gpu_before.0);
+    timeline.push(DEVICE_STREAM, refine_end, finalize_gpu);
+    *serial_time += finalize_gpu;
+
+    answers.push(result.items);
+    per_query.push(result.breakdown);
 }
 
 #[cfg(test)]
@@ -106,15 +222,9 @@ mod tests {
     use crate::server::GGridServer;
     use roadnet::{gen, EdgeId};
 
-    fn loaded_server() -> GGridServer {
+    fn loaded_server_with(config: GGridConfig) -> GGridServer {
         let g = gen::toy(77);
-        let mut s = GGridServer::new(
-            g.clone(),
-            GGridConfig {
-                eta: 4,
-                ..Default::default()
-            },
-        );
+        let mut s = GGridServer::new(g.clone(), config);
         for o in 0..40u64 {
             for t in 0..5u64 {
                 let e = EdgeId(((o * 11 + t) % g.num_edges() as u64) as u32);
@@ -124,13 +234,43 @@ mod tests {
         s
     }
 
+    fn loaded_server() -> GGridServer {
+        loaded_server_with(GGridConfig {
+            eta: 4,
+            ..Default::default()
+        })
+    }
+
+    fn queries() -> Vec<(EdgePosition, usize)> {
+        (0..6u32)
+            .map(|i| (EdgePosition::at_source(EdgeId(i * 13 % 160)), 4usize))
+            .collect()
+    }
+
     #[test]
     fn batch_matches_individual_queries() {
         let mut a = loaded_server();
         let mut b = loaded_server();
-        let queries: Vec<(EdgePosition, usize)> = (0..6u32)
-            .map(|i| (EdgePosition::at_source(EdgeId(i * 13 % 160)), 4usize))
+        let queries = queries();
+        let batch = a.knn_batch(&queries, Timestamp(500));
+        let individual: Vec<_> = queries
+            .iter()
+            .map(|&(q, k)| b.knn(q, k, Timestamp(500)))
             .collect();
+        assert_eq!(batch.answers, individual);
+    }
+
+    #[test]
+    fn batch_matches_individual_with_worker_pool() {
+        // Same identity under a multi-threaded refinement pool.
+        let config = GGridConfig {
+            eta: 4,
+            refine_workers: 4,
+            ..Default::default()
+        };
+        let mut a = loaded_server_with(config.clone());
+        let mut b = loaded_server();
+        let queries = queries();
         let batch = a.knn_batch(&queries, Timestamp(500));
         let individual: Vec<_> = queries
             .iter()
@@ -143,12 +283,11 @@ mod tests {
     fn batch_shares_cleaning() {
         let mut a = loaded_server();
         let mut b = loaded_server();
-        let queries: Vec<(EdgePosition, usize)> = (0..6u32)
-            .map(|i| (EdgePosition::at_source(EdgeId(i * 13 % 160)), 4usize))
-            .collect();
+        let queries = queries();
         let batch = a.knn_batch(&queries, Timestamp(500));
         // The batch's win is device time: one big pipelined pass replaces
-        // many small launches and transfers with per-call overheads.
+        // many small launches and transfers with per-call overheads, and
+        // the clean-skip cache spares the per-query re-cleans afterwards.
         let mut individual_gpu = gpu_sim::SimNanos::ZERO;
         for &(q, k) in &queries {
             b.knn(q, k, Timestamp(500));
@@ -160,6 +299,18 @@ mod tests {
             "batched device time must not exceed individual ({batch_gpu} vs {individual_gpu})"
         );
         assert!(batch.shared.messages_cleaned > 0);
+        // The shared pass consolidated the union; the per-query pipelines
+        // must have hit the skip cache.
+        let skips: usize = batch.per_query.iter().map(|b| b.cells_skipped).sum();
+        assert!(skips > 0, "per-query passes should skip shared cells");
+    }
+
+    #[test]
+    fn pipelined_makespan_bounded_by_serial() {
+        let mut s = loaded_server();
+        let batch = s.knn_batch(&queries(), Timestamp(500));
+        assert!(batch.pipelined_time <= batch.serial_time);
+        assert!(batch.serial_time > SimNanos::ZERO);
     }
 
     #[test]
@@ -168,5 +319,6 @@ mod tests {
         let batch = s.knn_batch(&[], Timestamp(500));
         assert!(batch.answers.is_empty());
         assert_eq!(batch.shared.messages_cleaned, 0);
+        assert_eq!(batch.pipelined_time, SimNanos::ZERO);
     }
 }

@@ -4,14 +4,23 @@
 //! buckets to the device in pipelined groups (§V-A), run the X-shuffle
 //! kernel, copy the result table ℛ back, and write the consolidated
 //! per-object messages back into the cells' lists.
+//!
+//! Cells whose lists are still exactly the result of their last cleaning
+//! pass (no append since — see the epoch tracking in
+//! [`crate::message_list`]) are **skipped**: their consolidated messages
+//! are served straight from the host cache, filtered by the caller's
+//! expiry horizon, with no kernel launch and no transfer. The skip is
+//! answer-preserving because cleaning a consolidated list is idempotent;
+//! it only removes simulated device time and bus traffic.
 
 use std::collections::HashMap;
 
 use gpu_sim::{pipelined_makespan, Device, SimNanos};
 
+use crate::config::GGridConfig;
 use crate::grid::CellId;
 use crate::message::{CachedMessage, Timestamp};
-use crate::message_list::MessageList;
+use crate::message_list::CellLists;
 use crate::object_table::FxBuildHasher;
 use crate::xshuffle::{xshuffle_clean, WireMessage};
 
@@ -26,6 +35,10 @@ pub struct CleaningReport {
     pub d2h_bytes: u64,
     pub buckets: usize,
     pub messages: usize,
+    /// Cells the kernel actually processed this round.
+    pub cells_cleaned: usize,
+    /// Cells served from the epoch-based clean-skip cache.
+    pub cells_skipped: usize,
     /// Diagnostic surfaced from the kernel (Theorem 1 check).
     pub max_duplicates_seen: u32,
 }
@@ -39,23 +52,37 @@ pub type CleanedObjects = HashMap<CellId, Vec<CachedMessage>, FxBuildHasher>;
 /// `lists` is the per-cell message-list array (indexed by cell id). After
 /// the call, each cleaned cell's list holds one consolidated message per
 /// surviving object (plus anything that arrived during the simulated GPU
-/// processing — nothing, in the single-threaded simulation).
+/// processing), and is stamped clean at its current epoch so repeat
+/// requests can skip the kernel while no new message lands in the cell.
 pub fn clean_cells(
     device: &mut Device,
-    lists: &mut [MessageList],
+    lists: &CellLists,
     cells: &[CellId],
-    eta: u32,
-    transfer_chunks: usize,
+    config: &GGridConfig,
     now: Timestamp,
-    t_delta_ms: u64,
 ) -> (CleanedObjects, CleaningReport) {
-    let horizon = now.saturating_sub_ms(t_delta_ms);
+    let horizon = now.saturating_sub_ms(config.t_delta_ms);
+    let mut out = CleanedObjects::default();
+    let mut rep = CleaningReport::default();
 
-    // Preprocessing (Algorithm 2 lines 1–5): freeze each list, drop expired
-    // buckets, and annotate messages with their cell id.
+    // Preprocessing (Algorithm 2 lines 1–5): split the request into cells
+    // served from the clean-skip cache and cells needing a kernel pass;
+    // freeze the latter's lists, drop expired buckets, and annotate
+    // messages with their cell id.
+    let mut work: Vec<CellId> = Vec::with_capacity(cells.len());
     let mut buckets: Vec<Vec<WireMessage>> = Vec::new();
     for &c in cells {
-        for bucket in lists[c.index()].take_for_cleaning(now, t_delta_ms) {
+        let mut list = lists.lock(c.index());
+        if config.clean_skip && list.is_clean() {
+            rep.cells_skipped += 1;
+            let cached = list.snapshot_clean(horizon);
+            if !cached.is_empty() {
+                out.insert(c, cached);
+            }
+            continue;
+        }
+        work.push(c);
+        for bucket in list.take_for_cleaning(now, config.t_delta_ms) {
             buckets.push(
                 bucket
                     .messages
@@ -65,15 +92,22 @@ pub fn clean_cells(
             );
         }
     }
+    rep.cells_cleaned = work.len();
 
     let messages: usize = buckets.iter().map(|b| b.len()).sum();
     if buckets.is_empty() {
-        return (CleanedObjects::default(), CleaningReport::default());
+        // Nothing survived the freeze: the worked cells are now empty,
+        // which is the (trivial) consolidated state — stamp them so the
+        // next request skips straight to the cache.
+        for &c in &work {
+            lists.lock(c.index()).mark_clean();
+        }
+        return (out, rep);
     }
 
     // Upload in pipelined groups: the device starts cleaning the first
     // group while later groups are still on the wire (§V-A).
-    let chunks = transfer_chunks.clamp(1, buckets.len());
+    let chunks = config.transfer_chunks.clamp(1, buckets.len());
     let per_chunk = buckets.len().div_ceil(chunks);
     let mut chunk_bytes: Vec<u64> = Vec::with_capacity(chunks);
     for group in buckets.chunks(per_chunk) {
@@ -86,7 +120,7 @@ pub fn clean_cells(
 
     // Parallel processing (Algorithm 2 lines 6–9): one thread per bucket.
     let (output, report) = device.launch(buckets.len(), |ctx| {
-        xshuffle_clean(ctx, &buckets, eta, horizon)
+        xshuffle_clean(ctx, &buckets, config.eta, horizon)
     });
 
     // Pipelined makespan: copy time per group against a proportional share
@@ -111,23 +145,24 @@ pub fn clean_cells(
     let d2h_bytes = live_objects as u64 * CachedMessage::WIRE_BYTES;
     let copy_back = device.d2h(d2h_bytes);
 
-    // CPU side: install the consolidated lists.
-    for &c in cells {
+    // CPU side: install the consolidated lists and stamp their epochs.
+    for &c in &work {
+        let mut list = lists.lock(c.index());
         if let Some(msgs) = output.per_cell.get(&c) {
-            lists[c.index()].restore_consolidated(msgs.clone());
+            list.restore_consolidated(msgs.clone());
         }
+        list.mark_clean();
     }
 
-    let rep = CleaningReport {
-        time: overlapped + copy_back,
-        kernel_time: report.time,
-        h2d_bytes,
-        d2h_bytes,
-        buckets: buckets.len(),
-        messages,
-        max_duplicates_seen: output.max_duplicates_seen,
-    };
-    (output.per_cell, rep)
+    rep.time = overlapped + copy_back;
+    rep.kernel_time = report.time;
+    rep.h2d_bytes = h2d_bytes;
+    rep.d2h_bytes = d2h_bytes;
+    rep.buckets = buckets.len();
+    rep.messages = messages;
+    rep.max_duplicates_seen = output.max_duplicates_seen;
+    out.extend(output.per_cell);
+    (out, rep)
 }
 
 #[cfg(test)]
@@ -141,56 +176,57 @@ mod tests {
         CachedMessage::update(ObjectId(o), EdgePosition::new(EdgeId(0), 0), Timestamp(t))
     }
 
-    fn setup(n_cells: usize) -> (Device, Vec<MessageList>) {
+    fn config() -> GGridConfig {
+        GGridConfig {
+            eta: 4,
+            bucket_capacity: 4,
+            transfer_chunks: 2,
+            t_delta_ms: 1000,
+            ..Default::default()
+        }
+    }
+
+    fn setup(n_cells: usize) -> (Device, CellLists) {
         (
             Device::new(DeviceSpec::test_tiny()),
-            (0..n_cells).map(|_| MessageList::new(4)).collect(),
+            CellLists::new(n_cells, 4),
         )
     }
 
     #[test]
     fn cleans_only_requested_cells() {
-        let (mut dev, mut lists) = setup(3);
-        lists[0].append(msg(1, 100));
-        lists[1].append(msg(2, 100));
-        lists[2].append(msg(3, 100));
+        let (mut dev, lists) = setup(3);
+        lists.lock(0).append(msg(1, 100));
+        lists.lock(1).append(msg(2, 100));
+        lists.lock(2).append(msg(3, 100));
         let (objs, rep) = clean_cells(
             &mut dev,
-            &mut lists,
+            &lists,
             &[CellId(0), CellId(2)],
-            4,
-            2,
+            &config(),
             Timestamp(150),
-            1000,
         );
         assert!(objs.contains_key(&CellId(0)));
         assert!(objs.contains_key(&CellId(2)));
         assert!(!objs.contains_key(&CellId(1)));
         assert_eq!(rep.messages, 2);
+        assert_eq!(rep.cells_cleaned, 2);
         // Cell 1 untouched.
-        assert_eq!(lists[1].total_messages(), 1);
+        assert_eq!(lists.lock(1).total_messages(), 1);
     }
 
     #[test]
     fn consolidation_shrinks_lists() {
-        let (mut dev, mut lists) = setup(1);
+        let (mut dev, lists) = setup(1);
         for t in 0..20 {
-            lists[0].append(msg(1, 100 + t));
-            lists[0].append(msg(2, 100 + t));
+            lists.lock(0).append(msg(1, 100 + t));
+            lists.lock(0).append(msg(2, 100 + t));
         }
-        assert_eq!(lists[0].total_messages(), 40);
-        let (objs, _) = clean_cells(
-            &mut dev,
-            &mut lists,
-            &[CellId(0)],
-            4,
-            2,
-            Timestamp(200),
-            1000,
-        );
+        assert_eq!(lists.lock(0).total_messages(), 40);
+        let (objs, _) = clean_cells(&mut dev, &lists, &[CellId(0)], &config(), Timestamp(200));
         assert_eq!(objs[&CellId(0)].len(), 2);
         // List now holds exactly one message per live object.
-        assert_eq!(lists[0].total_messages(), 2);
+        assert_eq!(lists.lock(0).total_messages(), 2);
         // And they are the newest ones.
         let newest: Vec<u64> = objs[&CellId(0)].iter().map(|m| m.time.0).collect();
         assert!(newest.iter().all(|&t| t == 119));
@@ -198,15 +234,13 @@ mod tests {
 
     #[test]
     fn empty_cells_cost_nothing() {
-        let (mut dev, mut lists) = setup(2);
+        let (mut dev, lists) = setup(2);
         let (objs, rep) = clean_cells(
             &mut dev,
-            &mut lists,
+            &lists,
             &[CellId(0), CellId(1)],
-            4,
-            2,
+            &config(),
             Timestamp(100),
-            1000,
         );
         assert!(objs.is_empty());
         assert_eq!(rep.time, SimNanos::ZERO);
@@ -215,19 +249,15 @@ mod tests {
 
     #[test]
     fn transfers_metered_on_device() {
-        let (mut dev, mut lists) = setup(1);
+        let (mut dev, lists) = setup(1);
         for t in 0..10 {
-            lists[0].append(msg(t, 100 + t));
+            lists.lock(0).append(msg(t, 100 + t));
         }
-        let (_, rep) = clean_cells(
-            &mut dev,
-            &mut lists,
-            &[CellId(0)],
-            4,
-            3,
-            Timestamp(200),
-            1000,
-        );
+        let cfg = GGridConfig {
+            transfer_chunks: 3,
+            ..config()
+        };
+        let (_, rep) = clean_cells(&mut dev, &lists, &[CellId(0)], &cfg, Timestamp(200));
         assert_eq!(rep.h2d_bytes, 10 * CachedMessage::WIRE_BYTES);
         assert_eq!(dev.ledger().h2d_bytes, rep.h2d_bytes);
         assert_eq!(dev.ledger().d2h_bytes, rep.d2h_bytes);
@@ -236,21 +266,18 @@ mod tests {
 
     #[test]
     fn expired_buckets_not_shipped() {
-        let (mut dev, mut lists) = setup(1);
-        lists[0].append(msg(1, 10));
-        lists[0].append(msg(1, 11));
-        lists[0].append(msg(1, 12));
-        lists[0].append(msg(1, 13)); // bucket 0 full (cap 4), latest 13
-        lists[0].append(msg(2, 5000)); // bucket 1
-        let (objs, rep) = clean_cells(
-            &mut dev,
-            &mut lists,
-            &[CellId(0)],
-            4,
-            1,
-            Timestamp(5100),
-            500,
-        );
+        let (mut dev, lists) = setup(1);
+        lists.lock(0).append(msg(1, 10));
+        lists.lock(0).append(msg(1, 11));
+        lists.lock(0).append(msg(1, 12));
+        lists.lock(0).append(msg(1, 13)); // bucket 0 full (cap 4), latest 13
+        lists.lock(0).append(msg(2, 5000)); // bucket 1
+        let cfg = GGridConfig {
+            transfer_chunks: 1,
+            t_delta_ms: 500,
+            ..config()
+        };
+        let (objs, rep) = clean_cells(&mut dev, &lists, &[CellId(0)], &cfg, Timestamp(5100));
         assert_eq!(rep.messages, 1, "stale bucket must be dropped on the CPU");
         assert_eq!(objs[&CellId(0)].len(), 1);
         assert_eq!(objs[&CellId(0)][0].object, ObjectId(2));
@@ -258,10 +285,83 @@ mod tests {
 
     #[test]
     fn repeated_cleaning_is_idempotent() {
-        let (mut dev, mut lists) = setup(1);
-        lists[0].append(msg(7, 100));
-        let (a, _) = clean_cells(&mut dev, &mut lists, &[CellId(0)], 4, 1, Timestamp(150), 1000);
-        let (b, _) = clean_cells(&mut dev, &mut lists, &[CellId(0)], 4, 1, Timestamp(160), 1000);
+        let (mut dev, lists) = setup(1);
+        lists.lock(0).append(msg(7, 100));
+        let cfg = GGridConfig {
+            transfer_chunks: 1,
+            ..config()
+        };
+        let (a, _) = clean_cells(&mut dev, &lists, &[CellId(0)], &cfg, Timestamp(150));
+        let (b, _) = clean_cells(&mut dev, &lists, &[CellId(0)], &cfg, Timestamp(160));
         assert_eq!(a[&CellId(0)], b[&CellId(0)]);
+    }
+
+    #[test]
+    fn second_clean_skips_the_kernel() {
+        let (mut dev, lists) = setup(1);
+        for t in 0..8 {
+            lists.lock(0).append(msg(t, 100 + t));
+        }
+        let cfg = config();
+        let (a, rep_a) = clean_cells(&mut dev, &lists, &[CellId(0)], &cfg, Timestamp(200));
+        assert_eq!(rep_a.cells_cleaned, 1);
+        assert_eq!(rep_a.cells_skipped, 0);
+        let launches = dev.launches();
+        let (b, rep_b) = clean_cells(&mut dev, &lists, &[CellId(0)], &cfg, Timestamp(210));
+        assert_eq!(rep_b.cells_skipped, 1);
+        assert_eq!(rep_b.cells_cleaned, 0);
+        assert_eq!(rep_b.time, SimNanos::ZERO);
+        assert_eq!(dev.launches(), launches, "skip must not launch a kernel");
+        assert_eq!(a[&CellId(0)], b[&CellId(0)]);
+    }
+
+    #[test]
+    fn append_invalidates_the_skip() {
+        let (mut dev, lists) = setup(1);
+        lists.lock(0).append(msg(1, 100));
+        let cfg = config();
+        clean_cells(&mut dev, &lists, &[CellId(0)], &cfg, Timestamp(150));
+        lists.lock(0).append(msg(2, 160));
+        let (objs, rep) = clean_cells(&mut dev, &lists, &[CellId(0)], &cfg, Timestamp(170));
+        assert_eq!(rep.cells_cleaned, 1, "appended cell must be re-cleaned");
+        assert_eq!(rep.cells_skipped, 0);
+        assert_eq!(objs[&CellId(0)].len(), 2);
+    }
+
+    #[test]
+    fn skip_respects_a_later_horizon() {
+        // A cached consolidated message that expires between two cleans
+        // must not be served by the skip path.
+        let (mut dev, lists) = setup(1);
+        lists.lock(0).append(msg(1, 100));
+        lists.lock(0).append(msg(2, 4000));
+        let cfg = GGridConfig {
+            t_delta_ms: 500,
+            ..config()
+        };
+        // First clean (horizon 3600) drops object 1, keeps object 2.
+        let (first, _) = clean_cells(&mut dev, &lists, &[CellId(0)], &cfg, Timestamp(4100));
+        assert_eq!(first[&CellId(0)].len(), 1);
+        // Second clean (horizon 4100) skips, and the cached t=4000 message
+        // is now past the horizon — the cell must come back empty.
+        let (objs, rep) = clean_cells(&mut dev, &lists, &[CellId(0)], &cfg, Timestamp(4600));
+        assert_eq!(rep.cells_skipped, 1);
+        assert!(!objs.contains_key(&CellId(0)));
+    }
+
+    #[test]
+    fn skip_disabled_by_config() {
+        let (mut dev, lists) = setup(1);
+        lists.lock(0).append(msg(1, 100));
+        let cfg = GGridConfig {
+            clean_skip: false,
+            ..config()
+        };
+        clean_cells(&mut dev, &lists, &[CellId(0)], &cfg, Timestamp(150));
+        let launches = dev.launches();
+        let (_, rep) = clean_cells(&mut dev, &lists, &[CellId(0)], &cfg, Timestamp(160));
+        assert_eq!(rep.cells_skipped, 0);
+        assert_eq!(rep.cells_cleaned, 1);
+        assert!(dev.launches() > launches, "ablation must re-run the kernel");
     }
 }

@@ -25,6 +25,15 @@ pub struct GGridConfig {
     /// Number of message-list groups per cleaning round used to pipeline
     /// host→device copies against kernel execution (§V-A).
     pub transfer_chunks: usize,
+    /// CPU worker threads for the refinement phase (Algorithm 6): the
+    /// bounded Dijkstra expansions from unresolved vertices fan out over a
+    /// scoped pool of this many threads. `1` runs refinement inline.
+    pub refine_workers: usize,
+    /// Serve already-consolidated cells straight from the message-list
+    /// cache instead of re-launching the cleaning kernel (epoch-based
+    /// clean-skip). Answers are identical either way; disabling this exists
+    /// for ablations.
+    pub clean_skip: bool,
 }
 
 impl Default for GGridConfig {
@@ -37,6 +46,8 @@ impl Default for GGridConfig {
             rho: 1.8,
             t_delta_ms: 10_000,
             transfer_chunks: 4,
+            refine_workers: 1,
+            clean_skip: true,
         }
     }
 }
@@ -58,7 +69,14 @@ impl GGridConfig {
         );
         assert!(self.rho >= 1.0, "rho must be >= 1");
         assert!(self.t_delta_ms > 0, "t_delta must be positive");
-        assert!(self.transfer_chunks >= 1, "need at least one transfer chunk");
+        assert!(
+            self.transfer_chunks >= 1,
+            "need at least one transfer chunk"
+        );
+        assert!(
+            (1..=256).contains(&self.refine_workers),
+            "refine_workers must be in 1..=256"
+        );
     }
 }
 
@@ -74,7 +92,19 @@ mod tests {
         assert_eq!(c.bucket_capacity, 128);
         assert_eq!(c.bundle_width(), 32);
         assert!((c.rho - 1.8).abs() < 1e-9);
+        assert_eq!(c.refine_workers, 1);
+        assert!(c.clean_skip);
         c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "refine_workers")]
+    fn zero_workers_rejected() {
+        GGridConfig {
+            refine_workers: 0,
+            ..Default::default()
+        }
+        .validate();
     }
 
     #[test]

@@ -83,7 +83,13 @@ impl GraphGrid {
             let partition = hierarchical_bisection(&graph, 2 * psi);
             let sizes = partition.part_sizes();
             if sizes.iter().all(|&s| s <= cell_capacity) || psi >= 15 {
-                return Self::assemble(graph, psi, partition.assignment, cell_capacity, vertex_capacity);
+                return Self::assemble(
+                    graph,
+                    psi,
+                    partition.assignment,
+                    cell_capacity,
+                    vertex_capacity,
+                );
             }
             psi += 1;
         }
@@ -409,11 +415,15 @@ mod tests {
     #[test]
     fn grid_bytes_positive_and_scales() {
         let small = build_toy();
-        let big = GraphGrid::build(Arc::new(gen::grid_city(&gen::GridCityParams {
-            rows: 16,
-            cols: 16,
-            ..Default::default()
-        })), 3, 2);
+        let big = GraphGrid::build(
+            Arc::new(gen::grid_city(&gen::GridCityParams {
+                rows: 16,
+                cols: 16,
+                ..Default::default()
+            })),
+            3,
+            2,
+        );
         assert!(small.grid_bytes() > 0);
         assert!(big.grid_bytes() > small.grid_bytes());
     }

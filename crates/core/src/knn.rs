@@ -21,9 +21,23 @@
 //! candidate region must exit through an unresolved vertex `v` with
 //! `D[v] < l`, and the refinement search from `v` has radius `l − D[v]`,
 //! enough to reach every such answer object.
+//!
+//! ## Concurrency
+//!
+//! The pipeline is split into three phases so a batch scheduler can overlap
+//! queries: [`knn_device_phase`] (steps 1–3, needs the device and the
+//! message lists), [`refine_unresolved`] (step 4's Dijkstra expansions —
+//! pure CPU, no shared state, safe to run on a worker thread while the
+//! device serves the next query), and [`knn_finalize`] (lazy cleaning of
+//! refinement-touched cells plus the final selection). `refine_unresolved`
+//! itself fans the per-vertex expansions out over
+//! `GGridConfig::refine_workers` scoped threads; per-worker distance maps
+//! are merged with `min`, which is commutative and associative, so the
+//! merged result — and therefore the answer — is bit-identical for every
+//! worker count.
 
 use std::collections::HashMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use gpu_sim::Device;
 use roadnet::dijkstra::{DijkstraEngine, SearchBounds};
@@ -34,7 +48,7 @@ use crate::cleaning::clean_cells;
 use crate::config::GGridConfig;
 use crate::grid::{CellId, GraphGrid};
 use crate::message::{CachedMessage, ObjectId, Timestamp};
-use crate::message_list::MessageList;
+use crate::message_list::CellLists;
 use crate::object_table::FxBuildHasher;
 use crate::stats::QueryBreakdown;
 
@@ -47,22 +61,134 @@ pub struct KnnResult {
     pub breakdown: QueryBreakdown,
 }
 
+/// State of a query between the device phase and finalisation.
+///
+/// Everything here is owned, so a batch scheduler can hold several pending
+/// queries while their refinements run on worker threads.
+pub(crate) struct PendingKnn {
+    pub k: usize,
+    pub in_set: Vec<bool>,
+    pub set: Vec<CellId>,
+    pub objects: Vec<CachedMessage>,
+    pub estimates: HashMap<ObjectId, Distance, FxBuildHasher>,
+    pub positions: HashMap<ObjectId, EdgePosition, FxBuildHasher>,
+    /// Distance of the k-th candidate (Definition 3).
+    pub l: Distance,
+    pub unresolved: Vec<(VertexId, Distance)>,
+    pub breakdown: QueryBreakdown,
+}
+
+/// Result of the CPU refinement phase (Algorithm 6's searches).
+pub(crate) struct RefineOutcome {
+    /// `best_outer[u]` = min over unresolved `v` of `D[v] + dist_v(u)`.
+    pub best_outer: HashMap<VertexId, Distance, FxBuildHasher>,
+    /// Cells outside the candidate set the searches settled vertices in,
+    /// sorted and deduplicated.
+    pub touched_cells: Vec<CellId>,
+    /// Measured wall time of the phase on this host.
+    pub wall_ns: u64,
+    /// Summed busy time across workers (the serial work volume).
+    pub busy_ns: u64,
+    /// Critical path: the busiest single worker. This is the phase's
+    /// modeled duration on a host with ≥ `workers` free cores — the
+    /// refinement analogue of the simulated device clock, and what the
+    /// batch pipeline charges on its host stream.
+    pub critical_ns: u64,
+    /// Worker threads actually used.
+    pub workers: usize,
+}
+
+impl RefineOutcome {
+    fn empty() -> Self {
+        Self {
+            best_outer: HashMap::with_hasher(FxBuildHasher::default()),
+            touched_cells: Vec::new(),
+            wall_ns: 0,
+            busy_ns: 0,
+            critical_ns: 0,
+            workers: 0,
+        }
+    }
+}
+
 /// Execute a kNN query against the G-Grid state.
 pub fn run_knn(
     device: &mut Device,
     grid: &GraphGrid,
-    lists: &mut [MessageList],
+    lists: &CellLists,
     config: &GGridConfig,
     q: EdgePosition,
     k: usize,
     now: Timestamp,
 ) -> KnnResult {
+    let pending = knn_device_phase(device, grid, lists, config, q, k, now);
+    let refined = refine_unresolved(
+        grid,
+        &pending.unresolved,
+        pending.l,
+        &pending.in_set,
+        config.refine_workers,
+    );
+    knn_finalize(device, grid, lists, config, now, pending, refined)
+}
+
+/// One cleaning round of the expansion: clean the not-yet-included cells,
+/// merge their live objects into the pool, and grow the candidate set.
+#[allow(clippy::too_many_arguments)]
+fn clean_round(
+    device: &mut Device,
+    lists: &CellLists,
+    config: &GGridConfig,
+    now: Timestamp,
+    cells: &[CellId],
+    in_set: &mut [bool],
+    set: &mut Vec<CellId>,
+    objects: &mut Vec<CachedMessage>,
+    breakdown: &mut QueryBreakdown,
+    cpu_excluded: &mut Duration,
+) {
+    let fresh: Vec<CellId> = cells
+        .iter()
+        .copied()
+        .filter(|c| !in_set[c.index()])
+        .collect();
+    if fresh.is_empty() {
+        return;
+    }
+    let t0 = Instant::now();
+    let (cleaned, rep) = clean_cells(device, lists, &fresh, config, now);
+    *cpu_excluded += t0.elapsed();
+    breakdown.cleaning += rep.time;
+    breakdown.h2d_bytes += rep.h2d_bytes;
+    breakdown.d2h_bytes += rep.d2h_bytes;
+    breakdown.messages_cleaned += rep.messages;
+    breakdown.cells_cleaned += rep.cells_cleaned;
+    breakdown.cells_skipped += rep.cells_skipped;
+    for c in fresh {
+        in_set[c.index()] = true;
+        set.push(c);
+        if let Some(msgs) = cleaned.get(&c) {
+            objects.extend_from_slice(msgs);
+        }
+    }
+}
+
+/// Steps 1–3: everything that needs the device and the message lists.
+pub(crate) fn knn_device_phase(
+    device: &mut Device,
+    grid: &GraphGrid,
+    lists: &CellLists,
+    config: &GGridConfig,
+    q: EdgePosition,
+    k: usize,
+    now: Timestamp,
+) -> PendingKnn {
     assert!(k >= 1, "k must be at least 1");
     let graph = grid.graph().clone();
     assert!(q.is_valid(&graph), "query position invalid for this graph");
     let mut breakdown = QueryBreakdown::default();
     let cpu_start = Instant::now();
-    let mut cpu_excluded = std::time::Duration::ZERO; // host time spent emulating kernels
+    let mut cpu_excluded = Duration::ZERO; // host time spent emulating kernels
 
     // ---- Step 1: candidate cells (Algorithm 4 lines 1-4) ----
     let mut in_set = vec![false; grid.num_cells()];
@@ -74,55 +200,16 @@ pub fn run_knn(
     let mut objects: Vec<CachedMessage> = Vec::new();
     let target = ((config.rho * k as f64).ceil() as usize).max(k);
 
-    let clean_round = |cells: &[CellId],
-                           in_set: &mut [bool],
-                           set: &mut Vec<CellId>,
-                           objects: &mut Vec<CachedMessage>,
-                           breakdown: &mut QueryBreakdown,
-                           device: &mut Device,
-                           lists: &mut [MessageList],
-                           cpu_excluded: &mut std::time::Duration| {
-        let fresh: Vec<CellId> = cells
-            .iter()
-            .copied()
-            .filter(|c| !in_set[c.index()])
-            .collect();
-        if fresh.is_empty() {
-            return;
-        }
-        let t0 = Instant::now();
-        let (cleaned, rep) = clean_cells(
-            device,
-            lists,
-            &fresh,
-            config.eta,
-            config.transfer_chunks,
-            now,
-            config.t_delta_ms,
-        );
-        *cpu_excluded += t0.elapsed();
-        breakdown.cleaning += rep.time;
-        breakdown.h2d_bytes += rep.h2d_bytes;
-        breakdown.d2h_bytes += rep.d2h_bytes;
-        breakdown.messages_cleaned += rep.messages;
-        breakdown.cells_cleaned += fresh.len();
-        for c in fresh {
-            in_set[c.index()] = true;
-            set.push(c);
-            if let Some(msgs) = cleaned.get(&c) {
-                objects.extend_from_slice(msgs);
-            }
-        }
-    };
-
     clean_round(
+        device,
+        lists,
+        config,
+        now,
         &first_round,
         &mut in_set,
         &mut set,
         &mut objects,
         &mut breakdown,
-        device,
-        lists,
         &mut cpu_excluded,
     );
 
@@ -135,13 +222,15 @@ pub fn run_knn(
             break;
         }
         clean_round(
+            device,
+            lists,
+            config,
+            now,
             &frontier,
             &mut in_set,
             &mut set,
             &mut objects,
             &mut breakdown,
-            device,
-            lists,
             &mut cpu_excluded,
         );
     }
@@ -165,13 +254,15 @@ pub fn run_knn(
             break (dist, candidates);
         }
         clean_round(
+            device,
+            lists,
+            config,
+            now,
             &frontier,
             &mut in_set,
             &mut set,
             &mut objects,
             &mut breakdown,
-            device,
-            lists,
             &mut cpu_excluded,
         );
     };
@@ -211,47 +302,177 @@ pub fn run_knn(
         breakdown.d2h_bytes += out_bytes;
     }
 
-    // ---- Step 4: CPU refinement (Algorithm 6) ----
-    if !unresolved.is_empty() {
+    let wall = cpu_start.elapsed();
+    breakdown.cpu_ns += wall.saturating_sub(cpu_excluded).as_nanos() as u64;
+    breakdown.emulation_ns += cpu_excluded.as_nanos() as u64;
+
+    PendingKnn {
+        k,
+        in_set,
+        set,
+        objects,
+        estimates,
+        positions,
+        l,
+        unresolved,
+        breakdown,
+    }
+}
+
+/// Step 4's searches (Algorithm 6): bounded Dijkstra from every unresolved
+/// vertex over the full graph, fanned out over `workers` scoped threads.
+///
+/// Pure CPU and side-effect free: it never touches the device or the
+/// message lists, which is what lets a batch scheduler run it concurrently
+/// with another query's device phase. Determinism: each worker builds a
+/// local `best_outer`, maps are merged with `min` (order-independent), and
+/// `touched_cells` is recomputed from the merged map and sorted — so the
+/// outcome is identical for every worker count, including 1.
+pub(crate) fn refine_unresolved(
+    grid: &GraphGrid,
+    unresolved: &[(VertexId, Distance)],
+    l: Distance,
+    in_set: &[bool],
+    workers: usize,
+) -> RefineOutcome {
+    if unresolved.is_empty() {
+        return RefineOutcome::empty();
+    }
+    let graph = grid.graph().clone();
+    let t0 = Instant::now();
+
+    let expand = |chunk: Vec<(VertexId, Distance)>| {
+        let started = Instant::now();
         let mut engine = DijkstraEngine::new(&graph);
-        // best_outer[u] = min over unresolved v of D[v] + dist_v(u).
-        let mut best_outer: HashMap<VertexId, Distance, FxBuildHasher> =
+        let mut local: HashMap<VertexId, Distance, FxBuildHasher> =
             HashMap::with_hasher(FxBuildHasher::default());
-        let mut touched_cells: Vec<CellId> = Vec::new();
-        for &(v, dv) in &unresolved {
+        for (v, dv) in chunk {
             let radius = l - dv; // l > dv by construction
             engine.run_seeded(&[(v, 0)], SearchBounds::radius(radius));
             for &u in engine.settled() {
                 let du = dv + engine.distance(u);
-                match best_outer.entry(u) {
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert(du);
-                        let c = grid.cell_of_vertex(u);
-                        if !in_set[c.index()] {
-                            touched_cells.push(c);
-                        }
-                    }
-                    std::collections::hash_map::Entry::Occupied(mut e) => {
-                        if du < *e.get() {
-                            e.insert(du);
-                        }
-                    }
-                }
+                local
+                    .entry(u)
+                    .and_modify(|d| *d = (*d).min(du))
+                    .or_insert(du);
             }
         }
-        touched_cells.sort_unstable();
-        touched_cells.dedup();
+        (local, started.elapsed().as_nanos() as u64)
+    };
+
+    let workers = workers.max(1).min(unresolved.len());
+    let (mut best_outer, mut busy_ns, mut critical_ns) = if workers == 1 {
+        let (local, ns) = expand(unresolved.to_vec());
+        (local, ns, ns)
+    } else {
+        // Deal vertices round-robin: adjacent unresolved vertices sit on
+        // the same stretch of the region boundary and have correlated
+        // search radii, so contiguous chunks would load one worker with
+        // all the heavy expansions. Striding spreads them evenly; the
+        // min-merge makes the partition irrelevant to the result.
+        let partials = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let chunk: Vec<(VertexId, Distance)> = unresolved
+                        .iter()
+                        .skip(w)
+                        .step_by(workers)
+                        .copied()
+                        .collect();
+                    let expand = &expand;
+                    s.spawn(move |_| expand(chunk))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("refinement worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("refinement scope failed");
+
+        let mut merged: HashMap<VertexId, Distance, FxBuildHasher> =
+            HashMap::with_hasher(FxBuildHasher::default());
+        let mut busy = 0u64;
+        let mut critical = 0u64;
+        for (local, worker_ns) in partials {
+            busy += worker_ns;
+            critical = critical.max(worker_ns);
+            for (u, du) in local {
+                merged
+                    .entry(u)
+                    .and_modify(|d| *d = (*d).min(du))
+                    .or_insert(du);
+            }
+        }
+        (merged, busy, critical)
+    };
+    best_outer.shrink_to_fit();
+
+    let mut touched_cells: Vec<CellId> = best_outer
+        .keys()
+        .map(|&u| grid.cell_of_vertex(u))
+        .filter(|c| !in_set[c.index()])
+        .collect();
+    touched_cells.sort_unstable();
+    touched_cells.dedup();
+
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    busy_ns = busy_ns.max(1);
+    critical_ns = critical_ns.max(1);
+    RefineOutcome {
+        best_outer,
+        touched_cells,
+        wall_ns: wall_ns.max(1),
+        busy_ns,
+        critical_ns,
+        workers,
+    }
+}
+
+/// Close out a query: lazily clean the refinement-touched cells, improve
+/// the estimates through the unresolved vertices, and select the answer.
+pub(crate) fn knn_finalize(
+    device: &mut Device,
+    grid: &GraphGrid,
+    lists: &CellLists,
+    config: &GGridConfig,
+    now: Timestamp,
+    pending: PendingKnn,
+    refined: RefineOutcome,
+) -> KnnResult {
+    let PendingKnn {
+        k,
+        mut in_set,
+        mut set,
+        mut objects,
+        mut estimates,
+        mut positions,
+        l: _,
+        unresolved,
+        mut breakdown,
+    } = pending;
+    let graph = grid.graph();
+    let cpu_start = Instant::now();
+    let mut cpu_excluded = Duration::ZERO;
+
+    if !unresolved.is_empty() {
+        breakdown.refine_ns = refined.wall_ns;
+        breakdown.refine_busy_ns = refined.busy_ns;
+        breakdown.refine_critical_ns = refined.critical_ns;
+        breakdown.refine_workers = refined.workers;
 
         // Lazily clean the cells the refinement wandered into and add their
         // objects to the pool.
         clean_round(
-            &touched_cells,
+            device,
+            lists,
+            config,
+            now,
+            &refined.touched_cells,
             &mut in_set,
             &mut set,
             &mut objects,
             &mut breakdown,
-            device,
-            lists,
             &mut cpu_excluded,
         );
         for m in &objects {
@@ -263,7 +484,7 @@ pub fn run_knn(
         // Improve estimates through the unresolved vertices.
         for (&o, &p) in positions.iter() {
             let src = graph.edge(p.edge).source;
-            if let Some(&outer) = best_outer.get(&src) {
+            if let Some(&outer) = refined.best_outer.get(&src) {
                 let est = outer.saturating_add(p.from_source());
                 estimates
                     .entry(o)
@@ -282,8 +503,9 @@ pub fn run_knn(
     final_items.truncate(k);
 
     let wall = cpu_start.elapsed();
-    breakdown.cpu_ns = wall.saturating_sub(cpu_excluded).as_nanos() as u64;
-    breakdown.emulation_ns = cpu_excluded.as_nanos() as u64;
+    // Refinement wall time counts as CPU work (it did before the split).
+    breakdown.cpu_ns += wall.saturating_sub(cpu_excluded).as_nanos() as u64 + breakdown.refine_ns;
+    breakdown.emulation_ns += cpu_excluded.as_nanos() as u64;
 
     KnnResult {
         items: final_items,
@@ -328,7 +550,10 @@ fn gpu_sdist(
     set: &[CellId],
     q: EdgePosition,
     graph: &roadnet::Graph,
-) -> (HashMap<VertexId, Distance, FxBuildHasher>, gpu_sim::SimNanos) {
+) -> (
+    HashMap<VertexId, Distance, FxBuildHasher>,
+    gpu_sim::SimNanos,
+) {
     // Collect the records (threads) of the candidate cells.
     let mut records: Vec<(&crate::grid::VertexRecord, ())> = Vec::new();
     for &c in set {
@@ -436,13 +661,7 @@ fn gpu_first_k(
         ctx.charge_write(16 * n as u64);
         sorted
             .into_iter()
-            .map(|(d, o, e, off)| {
-                (
-                    ObjectId(o),
-                    d,
-                    EdgePosition::new(roadnet::EdgeId(e), off),
-                )
-            })
+            .map(|(d, o, e, off)| (ObjectId(o), d, EdgePosition::new(roadnet::EdgeId(e), off)))
             .collect::<Vec<_>>()
     });
     (scored, report.time)
@@ -487,13 +706,12 @@ fn gpu_unresolved(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::message_list::MessageList;
     use gpu_sim::DeviceSpec;
     use roadnet::gen;
     use roadnet::EdgeId;
     use std::sync::Arc;
 
-    fn setup(seed: u64) -> (Arc<GraphGrid>, Vec<MessageList>, Device, GGridConfig) {
+    fn setup(seed: u64) -> (Arc<GraphGrid>, CellLists, Device, GGridConfig) {
         let graph = Arc::new(gen::toy(seed));
         let config = GGridConfig {
             eta: 4,
@@ -505,21 +723,15 @@ mod tests {
             config.cell_capacity,
             config.vertex_capacity,
         ));
-        let lists = (0..grid.num_cells())
-            .map(|_| MessageList::new(config.bucket_capacity))
-            .collect();
+        let lists = CellLists::new(grid.num_cells(), config.bucket_capacity);
         (grid, lists, Device::new(DeviceSpec::test_tiny()), config)
     }
 
-    fn place(
-        grid: &GraphGrid,
-        lists: &mut [MessageList],
-        objects: &[(u64, EdgePosition)],
-        t: u64,
-    ) {
+    fn place(grid: &GraphGrid, lists: &CellLists, objects: &[(u64, EdgePosition)], t: u64) {
         for &(o, p) in objects {
             let cell = grid.cell_of_edge(p.edge);
-            lists[cell.index()]
+            lists
+                .lock(cell.index())
                 .append(CachedMessage::update(ObjectId(o), p, Timestamp(t)));
         }
     }
@@ -547,7 +759,10 @@ mod tests {
         let c = |d: u64| (ObjectId(d), d, p);
         assert_eq!(kth_distance(&[c(5), c(2), c(9)], 2), 5);
         assert_eq!(kth_distance(&[c(5), c(2)], 3), INFINITY);
-        assert_eq!(kth_distance(&[(ObjectId(1), INFINITY, p), c(2)], 2), INFINITY);
+        assert_eq!(
+            kth_distance(&[(ObjectId(1), INFINITY, p), c(2)], 2),
+            INFINITY
+        );
         assert_eq!(kth_distance(&[], 1), INFINITY);
     }
 
@@ -638,45 +853,111 @@ mod tests {
         let (unresolved, _) = gpu_unresolved(&mut device, &grid, &in_set, &set, &dist, l);
         for &(v, d) in &unresolved {
             assert!(d < l);
-            let boundary = graph.out_edges(v).any(|e| {
-                !in_set[grid.cell_of_vertex(graph.edge(e).dest).index()]
-            });
+            let boundary = graph
+                .out_edges(v)
+                .any(|e| !in_set[grid.cell_of_vertex(graph.edge(e).dest).index()]);
             assert!(boundary, "{v:?} not on the boundary");
         }
     }
 
     #[test]
     fn run_knn_invalid_query_panics() {
-        let (grid, mut lists, mut device, config) = setup(3);
+        let (grid, lists, mut device, config) = setup(3);
         let bad = EdgePosition::new(EdgeId(0), 10_000);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_knn(
-                &mut device,
-                &grid,
-                &mut lists,
-                &config,
-                bad,
-                1,
-                Timestamp(1),
-            )
+            run_knn(&mut device, &grid, &lists, &config, bad, 1, Timestamp(1))
         }));
         assert!(result.is_err());
     }
 
     #[test]
     fn run_knn_direct() {
-        let (grid, mut lists, mut device, config) = setup(3);
+        let (grid, lists, mut device, config) = setup(3);
         let objects: Vec<(u64, EdgePosition)> = (0..8u64)
             .map(|o| (o, EdgePosition::at_source(EdgeId((o * 19 % 160) as u32))))
             .collect();
-        place(&grid, &mut lists, &objects, 100);
+        place(&grid, &lists, &objects, 100);
         let q = EdgePosition::at_source(EdgeId(1));
-        let result = run_knn(&mut device, &grid, &mut lists, &config, q, 3, Timestamp(200));
+        let result = run_knn(&mut device, &grid, &lists, &config, q, 3, Timestamp(200));
         assert_eq!(result.items.len(), 3);
         let want = roadnet::dijkstra::reference_knn(grid.graph(), q, &objects, 3);
         let got_d: Vec<u64> = result.items.iter().map(|&(_, d)| d).collect();
         let want_d: Vec<u64> = want.iter().map(|&(_, d)| d).collect();
         assert_eq!(got_d, want_d);
         assert!(result.breakdown.cells_cleaned > 0);
+    }
+
+    #[test]
+    fn answers_identical_across_worker_counts() {
+        // The refinement merge is order-independent, so every worker count
+        // must produce bit-identical answers.
+        let reference: Vec<Vec<(ObjectId, Distance)>> = {
+            let (grid, lists, mut device, config) = setup(11);
+            let objects: Vec<(u64, EdgePosition)> = (0..20u64)
+                .map(|o| (o, EdgePosition::at_source(EdgeId((o * 23 % 160) as u32))))
+                .collect();
+            place(&grid, &lists, &objects, 100);
+            (0..5u32)
+                .map(|i| {
+                    let q = EdgePosition::at_source(EdgeId(i * 31 % 160));
+                    run_knn(&mut device, &grid, &lists, &config, q, 6, Timestamp(200)).items
+                })
+                .collect()
+        };
+        for workers in [2usize, 4, 8] {
+            let (grid, lists, mut device, mut config) = setup(11);
+            config.refine_workers = workers;
+            let objects: Vec<(u64, EdgePosition)> = (0..20u64)
+                .map(|o| (o, EdgePosition::at_source(EdgeId((o * 23 % 160) as u32))))
+                .collect();
+            place(&grid, &lists, &objects, 100);
+            for (i, want) in reference.iter().enumerate() {
+                let q = EdgePosition::at_source(EdgeId(i as u32 * 31 % 160));
+                let got = run_knn(&mut device, &grid, &lists, &config, q, 6, Timestamp(200)).items;
+                assert_eq!(&got, want, "workers={workers} query {i} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn refine_outcome_matches_sequential_reference() {
+        // Cross-check the parallel refinement against an in-test sequential
+        // re-implementation of the original single-threaded loop.
+        let (grid, lists, mut device, config) = setup(7);
+        let objects: Vec<(u64, EdgePosition)> = (0..10u64)
+            .map(|o| (o, EdgePosition::at_source(EdgeId((o * 37 % 160) as u32))))
+            .collect();
+        place(&grid, &lists, &objects, 100);
+        let q = EdgePosition::at_source(EdgeId(2));
+        let pending = knn_device_phase(&mut device, &grid, &lists, &config, q, 4, Timestamp(200));
+        if pending.unresolved.is_empty() {
+            return; // nothing to refine on this topology
+        }
+
+        let graph = grid.graph().clone();
+        let mut engine = DijkstraEngine::new(&graph);
+        let mut want: HashMap<VertexId, Distance, FxBuildHasher> =
+            HashMap::with_hasher(FxBuildHasher::default());
+        for &(v, dv) in &pending.unresolved {
+            engine.run_seeded(&[(v, 0)], SearchBounds::radius(pending.l - dv));
+            for &u in engine.settled() {
+                let du = dv + engine.distance(u);
+                want.entry(u)
+                    .and_modify(|d| *d = (*d).min(du))
+                    .or_insert(du);
+            }
+        }
+
+        for workers in [1usize, 3, 8] {
+            let got = refine_unresolved(
+                &grid,
+                &pending.unresolved,
+                pending.l,
+                &pending.in_set,
+                workers,
+            );
+            assert_eq!(got.best_outer, want, "workers={workers}");
+            assert!(got.touched_cells.windows(2).all(|w| w[0] < w[1]));
+        }
     }
 }

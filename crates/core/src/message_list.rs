@@ -15,7 +15,21 @@
 //! [`MessageList::restore_consolidated`] pushes the cleaning result back in
 //! front of whatever arrived meanwhile.
 
+//! ## Epochs and the clean-skip cache
+//!
+//! Each list carries a *dirty epoch* bumped on every append and a
+//! *cleaned-at epoch* stamped when a cleaning pass consolidates the list.
+//! While the two agree the list is **clean**: it holds exactly one message
+//! per live object, so a query can serve the cell straight from the cache
+//! ([`MessageList::snapshot_clean`]) instead of re-launching the X-shuffle
+//! kernel. The skip is answer-preserving because the snapshot re-filters by
+//! the caller's expiry horizon — exactly the per-message filtering the
+//! kernel would have applied — and cleaning an already-consolidated list is
+//! idempotent.
+
 use std::collections::VecDeque;
+
+use parking_lot::{Mutex, MutexGuard};
 
 use crate::message::{CachedMessage, Timestamp};
 
@@ -41,6 +55,10 @@ impl Bucket {
 pub struct MessageList {
     buckets: VecDeque<Bucket>,
     bucket_capacity: usize,
+    /// Bumped on every append; compared against `cleaned_epoch`.
+    dirty_epoch: u64,
+    /// Epoch at which the list was last consolidated, if ever.
+    cleaned_epoch: Option<u64>,
 }
 
 impl MessageList {
@@ -49,18 +67,22 @@ impl MessageList {
         Self {
             buckets: VecDeque::new(),
             bucket_capacity,
+            dirty_epoch: 0,
+            cleaned_epoch: None,
         }
     }
 
     /// Append a message to the tail bucket, opening a new bucket when full
     /// (the `append` of Algorithm 1).
     pub fn append(&mut self, m: CachedMessage) {
+        self.dirty_epoch += 1;
         let need_new = match self.buckets.back() {
             Some(b) => b.messages.len() >= self.bucket_capacity,
             None => true,
         };
         if need_new {
-            self.buckets.push_back(Bucket::with_capacity(self.bucket_capacity));
+            self.buckets
+                .push_back(Bucket::with_capacity(self.bucket_capacity));
         }
         let b = self.buckets.back_mut().expect("just ensured a tail bucket");
         b.latest = b.latest.max(m.time);
@@ -91,6 +113,38 @@ impl MessageList {
         }
     }
 
+    /// Current dirty epoch (monotone append counter).
+    pub fn epoch(&self) -> u64 {
+        self.dirty_epoch
+    }
+
+    /// Stamp the list as consolidated at its current epoch. Called by the
+    /// cleaning pass after [`Self::restore_consolidated`]; any later append
+    /// bumps `dirty_epoch` past the stamp and invalidates it.
+    pub fn mark_clean(&mut self) {
+        self.cleaned_epoch = Some(self.dirty_epoch);
+    }
+
+    /// Whether the list's content is exactly the result of its last
+    /// cleaning pass (or the list is empty, which is trivially clean).
+    pub fn is_clean(&self) -> bool {
+        self.buckets.is_empty() || self.cleaned_epoch == Some(self.dirty_epoch)
+    }
+
+    /// Serve a clean cell from the cache: the consolidated messages still
+    /// alive at `horizon`, in stored order. Only meaningful when
+    /// [`Self::is_clean`] holds — the list then contains one update per
+    /// live object, so horizon filtering is all a kernel pass would add.
+    pub fn snapshot_clean(&self, horizon: Timestamp) -> Vec<CachedMessage> {
+        debug_assert!(self.is_clean(), "snapshot of a dirty list");
+        self.buckets
+            .iter()
+            .flat_map(|b| b.messages.iter())
+            .filter(|m| m.time >= horizon && !m.is_tombstone())
+            .copied()
+            .collect()
+    }
+
     pub fn is_empty(&self) -> bool {
         self.buckets.is_empty()
     }
@@ -110,8 +164,46 @@ impl MessageList {
 
     /// Resident bytes: full bucket arrays (buckets are fixed-size slabs).
     pub fn size_bytes(&self) -> u64 {
-        self.buckets.len() as u64
-            * (self.bucket_capacity as u64 * CachedMessage::WIRE_BYTES + 24)
+        self.buckets.len() as u64 * (self.bucket_capacity as u64 * CachedMessage::WIRE_BYTES + 24)
+    }
+}
+
+/// The per-cell message lists of a server, each behind its own lock.
+///
+/// Lock granularity is one mutex per cell: updates and cleaning touch
+/// disjoint cells far more often than not, and the refinement worker pool
+/// never holds more than one cell's lock at a time, so there is no lock
+/// ordering to get wrong (acquire, read/write, release — never nested).
+#[derive(Debug)]
+pub struct CellLists {
+    cells: Vec<Mutex<MessageList>>,
+}
+
+impl CellLists {
+    pub fn new(num_cells: usize, bucket_capacity: usize) -> Self {
+        Self {
+            cells: (0..num_cells)
+                .map(|_| Mutex::new(MessageList::new(bucket_capacity)))
+                .collect(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Lock one cell's list. Callers must not hold another cell's guard.
+    pub fn lock(&self, cell_index: usize) -> MutexGuard<'_, MessageList> {
+        self.cells[cell_index].lock()
+    }
+
+    /// Sum of `f` over all cells (diagnostics; locks one cell at a time).
+    pub fn sum_over<T: std::iter::Sum>(&self, f: impl Fn(&MessageList) -> T) -> T {
+        self.cells.iter().map(|c| f(&c.lock())).sum()
     }
 }
 
@@ -204,6 +296,50 @@ mod tests {
         let mut l = MessageList::new(2);
         l.restore_consolidated(vec![]);
         assert!(l.is_empty());
+    }
+
+    #[test]
+    fn epochs_track_appends_and_cleaning() {
+        let mut l = MessageList::new(4);
+        assert!(l.is_clean(), "empty list is trivially clean");
+        l.append(msg(1, 10));
+        assert!(!l.is_clean(), "append dirties the list");
+        let e = l.epoch();
+        // Simulate a cleaning pass: freeze, restore, stamp.
+        let _frozen = l.take_for_cleaning(Timestamp(11), 100);
+        l.restore_consolidated(vec![msg(1, 10)]);
+        l.mark_clean();
+        assert!(l.is_clean());
+        assert_eq!(l.epoch(), e, "cleaning does not advance the epoch");
+        l.append(msg(2, 12));
+        assert!(!l.is_clean(), "stamp invalidated by a later append");
+        assert!(l.epoch() > e);
+    }
+
+    #[test]
+    fn snapshot_filters_by_horizon() {
+        let mut l = MessageList::new(4);
+        l.restore_consolidated(vec![msg(1, 10), msg(2, 500), msg(3, 600)]);
+        l.mark_clean();
+        let fresh = l.snapshot_clean(Timestamp(400));
+        let ids: Vec<u64> = fresh.iter().map(|m| m.object.0).collect();
+        assert_eq!(ids, vec![2, 3], "expired message 1 filtered out");
+        // List content itself is untouched by the snapshot.
+        assert_eq!(l.total_messages(), 3);
+        assert!(l.is_clean());
+    }
+
+    #[test]
+    fn cell_lists_lock_independently() {
+        let lists = CellLists::new(3, 4);
+        lists.lock(0).append(msg(1, 10));
+        // Holding cell 0's guard does not block cell 1.
+        let g0 = lists.lock(0);
+        lists.lock(1).append(msg(2, 20));
+        drop(g0);
+        let total: usize = lists.sum_over(|l| l.total_messages());
+        assert_eq!(total, 2);
+        assert_eq!(lists.len(), 3);
     }
 
     #[test]

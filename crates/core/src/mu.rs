@@ -191,9 +191,7 @@ mod tests {
                 if a == b {
                     continue;
                 }
-                let shared = (0..n)
-                    .filter(|&c| covers(a, c) && covers(b, c))
-                    .count();
+                let shared = (0..n).filter(|&c| covers(a, c) && covers(b, c)).count();
                 match x_distance(a, b) {
                     2 => assert_eq!(shared, 6, "a={a} b={b}"),
                     d if d > 2 => assert_eq!(shared, 0, "a={a} b={b}"),

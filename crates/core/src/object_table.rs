@@ -128,8 +128,12 @@ mod tests {
     fn set_get_overwrite() {
         let mut t = ObjectTable::new();
         assert!(t.get(ObjectId(1)).is_none());
-        assert!(t.set(ObjectId(1), CellId(3), pos(5, 2), Timestamp(10)).is_none());
-        let prev = t.set(ObjectId(1), CellId(4), pos(6, 0), Timestamp(20)).unwrap();
+        assert!(t
+            .set(ObjectId(1), CellId(3), pos(5, 2), Timestamp(10))
+            .is_none());
+        let prev = t
+            .set(ObjectId(1), CellId(4), pos(6, 0), Timestamp(20))
+            .unwrap();
         assert_eq!(prev.cell, CellId(3));
         let cur = t.get(ObjectId(1)).unwrap();
         assert_eq!(cur.cell, CellId(4));

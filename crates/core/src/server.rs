@@ -3,6 +3,7 @@
 use std::sync::Arc;
 
 use gpu_sim::Device;
+use parking_lot::{RwLock, RwLockReadGuard};
 use roadnet::graph::{Distance, Graph};
 use roadnet::EdgePosition;
 
@@ -11,7 +12,7 @@ use crate::config::GGridConfig;
 use crate::grid::GraphGrid;
 use crate::knn::{run_knn, KnnResult};
 use crate::message::{CachedMessage, ObjectId, Timestamp};
-use crate::message_list::MessageList;
+use crate::message_list::CellLists;
 use crate::object_table::ObjectTable;
 use crate::stats::{QueryBreakdown, ServerCounters};
 
@@ -20,12 +21,17 @@ use crate::stats::{QueryBreakdown, ServerCounters};
 /// Owns the graph grid (mirrored on the simulated GPU), the object table,
 /// the per-cell message lists, and the device. Updates are O(1) cache
 /// appends (Algorithm 1); queries run the CPU–GPU pipeline of Algorithm 4.
+///
+/// Shared state is lock-guarded for the concurrent query engine: the
+/// message lists sit behind one mutex per cell ([`CellLists`]) and the
+/// object table behind a reader–writer lock, so refinement workers and the
+/// batch pipeline read while the ingest path writes.
 pub struct GGridServer {
     graph: Arc<Graph>,
     grid: Arc<GraphGrid>,
     config: GGridConfig,
-    object_table: ObjectTable,
-    lists: Vec<MessageList>,
+    object_table: RwLock<ObjectTable>,
+    lists: CellLists,
     device: Device,
     counters: ServerCounters,
     last_breakdown: QueryBreakdown,
@@ -68,14 +74,12 @@ impl GGridServer {
         device
             .alloc(grid.grid_bytes())
             .expect("graph grid does not fit in device memory");
-        let lists = (0..grid.num_cells())
-            .map(|_| MessageList::new(config.bucket_capacity))
-            .collect();
+        let lists = CellLists::new(grid.num_cells(), config.bucket_capacity);
         Self {
             graph,
             grid,
             config,
-            object_table: ObjectTable::new(),
+            object_table: RwLock::new(ObjectTable::new()),
             lists,
             device,
             counters: ServerCounters::default(),
@@ -109,44 +113,50 @@ impl GGridServer {
     }
 
     /// Read access to the per-cell message lists (diagnostics/validation).
-    pub(crate) fn message_lists(&self) -> &[MessageList] {
+    pub(crate) fn cell_lists(&self) -> &CellLists {
         &self.lists
     }
 
-    /// Iterate the object table (diagnostics/validation).
-    pub(crate) fn object_table_iter(
-        &self,
-    ) -> impl Iterator<Item = (ObjectId, &crate::object_table::ObjectEntry)> {
-        self.object_table.iter()
+    /// Read access to the object table (diagnostics/validation).
+    pub(crate) fn object_table(&self) -> RwLockReadGuard<'_, ObjectTable> {
+        self.object_table.read()
     }
 
     /// Number of messages currently cached across all cells.
     pub fn cached_messages(&self) -> usize {
-        self.lists.iter().map(|l| l.total_messages()).sum()
+        self.lists.sum_over(|l| l.total_messages())
     }
 
     /// Latest known position of an object, if it ever reported.
     pub fn object_position(&self, o: ObjectId) -> Option<(EdgePosition, Timestamp)> {
-        self.object_table.get(o).map(|e| (e.position, e.time))
+        self.object_table
+            .read()
+            .get(o)
+            .map(|e| (e.position, e.time))
     }
 
     pub fn num_objects(&self) -> usize {
-        self.object_table.len()
+        self.object_table.read().len()
     }
 
     /// Algorithm 1: cache a location update.
     pub fn handle_update(&mut self, object: ObjectId, position: EdgePosition, time: Timestamp) {
         debug_assert!(position.is_valid(&self.graph), "invalid object position");
         let cell = self.grid.cell_of_edge(position.edge);
-        self.lists[cell.index()].append(CachedMessage::update(object, position, time));
-        if let Some(prev) = self.object_table.get(object) {
+        self.lists
+            .lock(cell.index())
+            .append(CachedMessage::update(object, position, time));
+        let mut table = self.object_table.write();
+        if let Some(prev) = table.get(object) {
             if prev.cell != cell {
                 let prev_cell = prev.cell;
-                self.lists[prev_cell.index()].append(CachedMessage::tombstone(object, time));
+                self.lists
+                    .lock(prev_cell.index())
+                    .append(CachedMessage::tombstone(object, time));
                 self.counters.tombstones_written += 1;
             }
         }
-        self.object_table.set(object, cell, position, time);
+        table.set(object, cell, position, time);
         self.counters.updates_ingested += 1;
     }
 
@@ -155,35 +165,25 @@ impl GGridServer {
     /// lazy strategy into the eager one the paper compares against).
     pub fn clean_cell_of_edge(&mut self, edge: roadnet::EdgeId, now: Timestamp) {
         let cell = self.grid.cell_of_edge(edge);
-        let (_, rep) = crate::cleaning::clean_cells(
-            &mut self.device,
-            &mut self.lists,
-            &[cell],
-            self.config.eta,
-            self.config.transfer_chunks,
-            now,
-            self.config.t_delta_ms,
-        );
+        let (_, rep) =
+            crate::cleaning::clean_cells(&mut self.device, &self.lists, &[cell], &self.config, now);
         self.counters.gpu_time += rep.time;
         self.counters.h2d_bytes += rep.h2d_bytes;
         self.counters.d2h_bytes += rep.d2h_bytes;
         self.counters.messages_cleaned += rep.messages as u64;
+        self.counters.clean_skip_hits += rep.cells_skipped as u64;
+        self.counters.clean_skip_misses += rep.cells_cleaned as u64;
     }
 
     /// Eagerly clean every cell (used by tests and ablations).
     pub fn clean_all(&mut self, now: Timestamp) {
         let cells: Vec<crate::grid::CellId> = self.grid.cell_ids().collect();
-        let (_, rep) = crate::cleaning::clean_cells(
-            &mut self.device,
-            &mut self.lists,
-            &cells,
-            self.config.eta,
-            self.config.transfer_chunks,
-            now,
-            self.config.t_delta_ms,
-        );
+        let (_, rep) =
+            crate::cleaning::clean_cells(&mut self.device, &self.lists, &cells, &self.config, now);
         self.counters.gpu_time += rep.time;
         self.counters.messages_cleaned += rep.messages as u64;
+        self.counters.clean_skip_hits += rep.cells_skipped as u64;
+        self.counters.clean_skip_misses += rep.cells_cleaned as u64;
     }
 
     /// Answer a kNN query issued at `now`; returns up to `k`
@@ -203,7 +203,7 @@ impl GGridServer {
         let result = crate::batch::run_knn_batch(
             &mut self.device,
             &self.grid,
-            &mut self.lists,
+            &self.lists,
             &self.config,
             queries,
             now,
@@ -222,7 +222,7 @@ impl GGridServer {
         let result = run_knn(
             &mut self.device,
             &self.grid,
-            &mut self.lists,
+            &self.lists,
             &self.config,
             q,
             k,
@@ -263,10 +263,10 @@ impl MovingObjectIndex for GGridServer {
     }
 
     fn index_size(&self) -> IndexSize {
-        let lists: u64 = self.lists.iter().map(|l| l.size_bytes()).sum();
+        let lists: u64 = self.lists.sum_over(|l| l.size_bytes());
         IndexSize {
             // Graph grid + object table + message lists live on the CPU.
-            cpu_bytes: self.grid.grid_bytes() + self.object_table.size_bytes() + lists,
+            cpu_bytes: self.grid.grid_bytes() + self.object_table.read().size_bytes() + lists,
             // The GPU holds a mirror of the graph grid to streamline the
             // computation (Fig 6's "G-Grid (GPU)").
             gpu_bytes: self.grid.grid_bytes(),
@@ -311,7 +311,10 @@ mod tests {
             s.handle_update(ObjectId(1), pos(0, 0), Timestamp(100 + t));
         }
         // All 50 messages cached; no cleaning happened yet.
-        assert_eq!(s.cached_messages() as u64, 50 + s.counters().tombstones_written);
+        assert_eq!(
+            s.cached_messages() as u64,
+            50 + s.counters().tombstones_written
+        );
         // A query cleans the touched region.
         s.knn(pos(0, 0), 1, Timestamp(200));
         assert!(s.cached_messages() < 50);

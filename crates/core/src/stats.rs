@@ -19,8 +19,11 @@ pub struct QueryBreakdown {
     pub h2d_bytes: u64,
     /// Device→host bytes moved for this query.
     pub d2h_bytes: u64,
-    /// Cells cleaned for this query (expansion rounds included).
+    /// Cells whose lists the cleaning kernel actually processed.
     pub cells_cleaned: usize,
+    /// Cells served straight from the epoch-based clean-skip cache (no
+    /// kernel launch, no transfer).
+    pub cells_skipped: usize,
     /// Messages shipped to the device.
     pub messages_cleaned: usize,
     /// Candidate objects considered before refinement.
@@ -35,6 +38,20 @@ pub struct QueryBreakdown {
     /// Wall-clock nanoseconds spent emulating device-side work on the host
     /// (the part excluded from `cpu_ns`).
     pub emulation_ns: u64,
+    /// Wall-clock nanoseconds of the refinement phase (also included in
+    /// `cpu_ns`; broken out so the worker pool's effect is visible).
+    pub refine_ns: u64,
+    /// Summed busy nanoseconds across all refinement workers. With `w`
+    /// workers, `refine_busy_ns / (w * refine_ns)` is pool utilisation.
+    pub refine_busy_ns: u64,
+    /// Critical path of the refinement pool: the busiest single worker.
+    /// This is the phase's modeled duration on a host with at least
+    /// `refine_workers` free cores — the refinement analogue of the
+    /// simulated device clock, so worker scaling stays observable even on
+    /// core-starved CI machines where `refine_ns` cannot shrink.
+    pub refine_critical_ns: u64,
+    /// Worker threads the refinement phase ran on (0 = no refinement).
+    pub refine_workers: usize,
 }
 
 impl QueryBreakdown {
@@ -46,6 +63,28 @@ impl QueryBreakdown {
     /// The hybrid query clock: measured CPU time + simulated device time.
     pub fn total_ns(&self) -> u64 {
         self.cpu_ns + self.gpu_total().0
+    }
+
+    /// Average refinement concurrency: summed worker-busy time over the
+    /// phase's wall time (1.0 ≈ serial, approaching `refine_workers` when
+    /// the pool is saturated). `None` when the query had no refinement.
+    pub fn refine_concurrency(&self) -> Option<f64> {
+        if self.refine_ns == 0 {
+            return None;
+        }
+        Some(self.refine_busy_ns as f64 / self.refine_ns as f64)
+    }
+
+    /// Modeled parallel speedup of the refinement pool: serial work volume
+    /// over the critical path. Host-core independent — on a single-core
+    /// machine the workers time-slice, but the per-worker busy times still
+    /// reflect how evenly the work was split. `None` when the query had no
+    /// refinement.
+    pub fn refine_parallel_speedup(&self) -> Option<f64> {
+        if self.refine_critical_ns == 0 {
+            return None;
+        }
+        Some(self.refine_busy_ns as f64 / self.refine_critical_ns as f64)
     }
 }
 
@@ -63,6 +102,16 @@ pub struct ServerCounters {
     pub kernel_launches: u64,
     /// Cumulative host nanoseconds spent emulating device work.
     pub emulation_ns: u64,
+    /// Cells served from the clean-skip cache (kernel launch avoided).
+    pub clean_skip_hits: u64,
+    /// Cells that needed a real kernel clean.
+    pub clean_skip_misses: u64,
+    /// Cumulative refinement wall time.
+    pub refine_ns: u64,
+    /// Cumulative summed refinement worker-busy time.
+    pub refine_busy_ns: u64,
+    /// Cumulative refinement critical-path time (busiest worker per query).
+    pub refine_critical_ns: u64,
 }
 
 impl ServerCounters {
@@ -73,6 +122,38 @@ impl ServerCounters {
         self.d2h_bytes += b.d2h_bytes;
         self.messages_cleaned += b.messages_cleaned as u64;
         self.emulation_ns += b.emulation_ns;
+        self.clean_skip_hits += b.cells_skipped as u64;
+        self.clean_skip_misses += b.cells_cleaned as u64;
+        self.refine_ns += b.refine_ns;
+        self.refine_busy_ns += b.refine_busy_ns;
+        self.refine_critical_ns += b.refine_critical_ns;
+    }
+
+    /// Fraction of cell-clean requests served from the epoch cache.
+    pub fn clean_skip_hit_rate(&self) -> f64 {
+        let total = self.clean_skip_hits + self.clean_skip_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.clean_skip_hits as f64 / total as f64
+    }
+
+    /// Average refinement concurrency across the server's lifetime (see
+    /// [`QueryBreakdown::refine_concurrency`]).
+    pub fn refine_concurrency(&self) -> f64 {
+        if self.refine_ns == 0 {
+            return 0.0;
+        }
+        self.refine_busy_ns as f64 / self.refine_ns as f64
+    }
+
+    /// Lifetime modeled parallel speedup of refinement (see
+    /// [`QueryBreakdown::refine_parallel_speedup`]).
+    pub fn refine_parallel_speedup(&self) -> f64 {
+        if self.refine_critical_ns == 0 {
+            return 0.0;
+        }
+        self.refine_busy_ns as f64 / self.refine_critical_ns as f64
     }
 }
 
@@ -106,5 +187,53 @@ mod tests {
         assert_eq!(c.gpu_time, SimNanos(20));
         assert_eq!(c.h2d_bytes, 10);
         assert_eq!(c.messages_cleaned, 6);
+    }
+
+    #[test]
+    fn skip_hit_rate() {
+        let mut c = ServerCounters::default();
+        assert_eq!(c.clean_skip_hit_rate(), 0.0);
+        c.record_query(&QueryBreakdown {
+            cells_cleaned: 1,
+            cells_skipped: 3,
+            ..Default::default()
+        });
+        assert!((c.clean_skip_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refine_concurrency_ratio() {
+        let b = QueryBreakdown {
+            refine_ns: 100,
+            refine_busy_ns: 180,
+            refine_critical_ns: 90,
+            refine_workers: 2,
+            ..Default::default()
+        };
+        assert!((b.refine_concurrency().unwrap() - 1.8).abs() < 1e-12);
+        assert_eq!(QueryBreakdown::default().refine_concurrency(), None);
+        let mut c = ServerCounters::default();
+        assert_eq!(c.refine_concurrency(), 0.0);
+        c.record_query(&b);
+        assert!((c.refine_concurrency() - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refine_parallel_speedup_ratio() {
+        // Two workers, perfectly balanced: speedup = 2, independent of how
+        // the host scheduled the threads (wall time does not appear).
+        let b = QueryBreakdown {
+            refine_ns: 200, // single-core host: wall ≈ busy
+            refine_busy_ns: 200,
+            refine_critical_ns: 100,
+            refine_workers: 2,
+            ..Default::default()
+        };
+        assert!((b.refine_parallel_speedup().unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(QueryBreakdown::default().refine_parallel_speedup(), None);
+        let mut c = ServerCounters::default();
+        assert_eq!(c.refine_parallel_speedup(), 0.0);
+        c.record_query(&b);
+        assert!((c.refine_parallel_speedup() - 2.0).abs() < 1e-12);
     }
 }

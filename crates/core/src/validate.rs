@@ -94,8 +94,10 @@ impl crate::server::GGridServer {
         // 2 & 3. Message lists and object table.
         let mut newest: std::collections::HashMap<ObjectId, (Timestamp, Option<CellId>)> =
             std::collections::HashMap::new();
-        for (idx, list) in self.message_lists().iter().enumerate() {
+        let lists = self.cell_lists();
+        for idx in 0..lists.len() {
             let cell = CellId(idx as u32);
+            let list = lists.lock(idx);
             for bucket in list.buckets() {
                 if bucket.messages.len() > self.config().bucket_capacity {
                     out.push(Violation::BucketOverCapacity {
@@ -105,7 +107,7 @@ impl crate::server::GGridServer {
                     });
                 }
                 let max = bucket.messages.iter().map(|m| m.time).max();
-                if max.map_or(false, |m| m > bucket.latest) {
+                if max.is_some_and(|m| m > bucket.latest) {
                     out.push(Violation::BucketTimestampWrong { cell });
                 }
                 for m in &bucket.messages {
@@ -115,15 +117,13 @@ impl crate::server::GGridServer {
                     // 1 wrote alongside it.
                     let wins = m.time > e.0 || (m.time == e.0 && !m.is_tombstone());
                     if wins {
-                        *e = (
-                            m.time,
-                            if m.is_tombstone() { None } else { Some(cell) },
-                        );
+                        *e = (m.time, if m.is_tombstone() { None } else { Some(cell) });
                     }
                 }
             }
         }
-        for (o, entry) in self.object_table_iter() {
+        let table = self.object_table();
+        for (o, entry) in table.iter() {
             if entry.time < horizon {
                 continue; // expired by contract; lists may have dropped it
             }
@@ -181,7 +181,11 @@ mod tests {
         for round in 0..5u64 {
             for o in 0..25u64 {
                 let e = EdgeId(((o * 7 + round * 31) % 160) as u32);
-                s.handle_update(ObjectId(o), EdgePosition::at_source(e), Timestamp(100 + round));
+                s.handle_update(
+                    ObjectId(o),
+                    EdgePosition::at_source(e),
+                    Timestamp(100 + round),
+                );
             }
             let violations = s.validate(Timestamp(100 + round));
             assert!(violations.is_empty(), "round {round}: {violations:?}");
@@ -211,7 +215,11 @@ mod tests {
                 ..Default::default()
             },
         );
-        s.handle_update(ObjectId(1), EdgePosition::at_source(EdgeId(0)), Timestamp(10));
+        s.handle_update(
+            ObjectId(1),
+            EdgePosition::at_source(EdgeId(0)),
+            Timestamp(10),
+        );
         // Long after expiry, a query may drop the cached message entirely;
         // the stale table entry must not be flagged.
         s.knn(EdgePosition::at_source(EdgeId(0)), 1, Timestamp(5_000));

@@ -138,7 +138,10 @@ pub fn xshuffle_clean(
             // can resurrect a message that was already replaced elsewhere.
             regs = warp.map(&regs, |lane, reg| {
                 let m = (*reg)?;
-                match caches[lane].iter().find(|(c, _)| c.msg.object == m.msg.object) {
+                match caches[lane]
+                    .iter()
+                    .find(|(c, _)| c.msg.object == m.msg.object)
+                {
                     Some((c, _)) if replaces(c, &m) => None,
                     _ => Some(m),
                 }
@@ -345,14 +348,17 @@ mod tests {
 
     #[test]
     fn newest_wins_within_one_bucket() {
-        let out = run(&[vec![wire(1, 100, 3), wire(1, 300, 3), wire(1, 200, 3)]], 4, 0);
+        let out = run(
+            &[vec![wire(1, 100, 3), wire(1, 300, 3), wire(1, 200, 3)]],
+            4,
+            0,
+        );
         assert_eq!(flatten(&out), [((1, 3), 300)].into_iter().collect());
     }
 
     #[test]
     fn newest_wins_across_buckets_in_bundle() {
-        let buckets: Vec<Vec<WireMessage>> =
-            (0..16).map(|i| vec![wire(7, 100 + i, 2)]).collect();
+        let buckets: Vec<Vec<WireMessage>> = (0..16).map(|i| vec![wire(7, 100 + i, 2)]).collect();
         let out = run(&buckets, 4, 0);
         assert_eq!(flatten(&out), [((7, 2), 115)].into_iter().collect());
     }
@@ -360,8 +366,7 @@ mod tests {
     #[test]
     fn newest_wins_across_bundles() {
         // 32 buckets with η=4 → two bundles; the newest is in bundle 1.
-        let buckets: Vec<Vec<WireMessage>> =
-            (0..32).map(|i| vec![wire(9, 100 + i, 1)]).collect();
+        let buckets: Vec<Vec<WireMessage>> = (0..32).map(|i| vec![wire(9, 100 + i, 1)]).collect();
         let out = run(&buckets, 4, 0);
         assert_eq!(flatten(&out), [((9, 1), 131)].into_iter().collect());
     }
@@ -399,8 +404,7 @@ mod tests {
         // Adversarial: every one of the 16 lanes reads a message of the same
         // object with distinct timestamps. Theorem 1: at most μ(4) = 2
         // distinct messages survive the shuffles.
-        let buckets: Vec<Vec<WireMessage>> =
-            (0..16).map(|i| vec![wire(1, 1000 - i, 0)]).collect();
+        let buckets: Vec<Vec<WireMessage>> = (0..16).map(|i| vec![wire(1, 1000 - i, 0)]).collect();
         let out = run(&buckets, 4, 0);
         assert!(
             out.max_duplicates_seen <= crate::mu::mu(4),

@@ -104,9 +104,8 @@ mod tests {
 
     #[test]
     fn sorts_arbitrary_input() {
-        let (out, ops) = with_ctx(|ctx| {
-            bitonic_sort(ctx, vec![5u64, 3, 9, 1, 1, 300, 42], u64::MAX)
-        });
+        let (out, ops) =
+            with_ctx(|ctx| bitonic_sort(ctx, vec![5u64, 3, 9, 1, 1, 300, 42], u64::MAX));
         assert_eq!(out, vec![1, 1, 3, 5, 9, 42, 300]);
         assert!(ops.alu > 0, "sorting must be charged");
     }
@@ -132,9 +131,7 @@ mod tests {
 
     #[test]
     fn top_k_selects_smallest() {
-        let (out, _) = with_ctx(|ctx| {
-            top_k_smallest(ctx, vec![9u64, 2, 7, 4, 4, 11], 3, u64::MAX)
-        });
+        let (out, _) = with_ctx(|ctx| top_k_smallest(ctx, vec![9u64, 2, 7, 4, 4, 11], 3, u64::MAX));
         assert_eq!(out, vec![2, 4, 4]);
     }
 

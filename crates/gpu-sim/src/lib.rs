@@ -29,6 +29,7 @@ pub mod device;
 pub mod mem;
 pub mod ops;
 pub mod spec;
+pub mod stream;
 pub mod time;
 pub mod warp;
 pub mod xfer;
@@ -38,6 +39,7 @@ pub use device::{Device, LaunchReport};
 pub use mem::OutOfDeviceMemory;
 pub use ops::{CostModel, OpCounts};
 pub use spec::DeviceSpec;
+pub use stream::StreamTimeline;
 pub use time::SimNanos;
 pub use warp::{Lanes, WarpExecutor};
 pub use xfer::{pipelined_makespan, TransferLedger};

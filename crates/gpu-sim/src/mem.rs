@@ -64,7 +64,10 @@ impl DeviceMemory {
     /// # Panics
     /// Panics if more is freed than is in use (an accounting bug upstream).
     pub fn free(&mut self, bytes: u64) {
-        assert!(bytes <= self.in_use, "freeing more device memory than allocated");
+        assert!(
+            bytes <= self.in_use,
+            "freeing more device memory than allocated"
+        );
         self.in_use -= bytes;
     }
 

@@ -62,7 +62,10 @@ impl<'a> WarpExecutor<'a> {
     /// # Panics
     /// Panics unless `width` is a power of two (bundles are `2^η` lanes).
     pub fn new(ops: &'a mut OpCounts, warp_size: usize, width: usize) -> Self {
-        assert!(width.is_power_of_two(), "bundle width must be a power of two");
+        assert!(
+            width.is_power_of_two(),
+            "bundle width must be a power of two"
+        );
         assert!(warp_size.is_power_of_two());
         Self {
             warp_size,
@@ -116,7 +119,10 @@ impl<'a> WarpExecutor<'a> {
 
     /// Ballot: bitmask (little-endian by lane) of lanes whose predicate holds.
     pub fn ballot<T>(&mut self, lanes: &Lanes<T>, mut pred: impl FnMut(&T) -> bool) -> u64 {
-        assert!(self.width <= 64, "ballot modelled for bundles up to 64 lanes");
+        assert!(
+            self.width <= 64,
+            "ballot modelled for bundles up to 64 lanes"
+        );
         self.ops.alu += self.width as u64;
         let mut mask = 0u64;
         for (i, v) in lanes.vals.iter().enumerate() {

@@ -285,7 +285,7 @@ mod tests {
         let g = ring();
         let q = EdgePosition::new(EdgeId(0), 0); // on 0→1 at source
         let p = EdgePosition::new(EdgeId(2), 1); // on 2→3 at dest side
-        // to vertex 1: 1, to vertex 2: 2, plus offset 1 = 3.
+                                                 // to vertex 1: 1, to vertex 2: 2, plus offset 1 = 3.
         assert_eq!(position_to_position(&g, q, p), 3);
     }
 

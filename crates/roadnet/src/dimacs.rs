@@ -16,7 +16,10 @@ use crate::graph::{Graph, GraphBuilder, VertexId};
 pub enum DimacsError {
     Io(io::Error),
     /// Malformed line with its 1-based line number.
-    Parse { line: usize, message: String },
+    Parse {
+        line: usize,
+        message: String,
+    },
     MissingHeader,
 }
 
@@ -75,7 +78,10 @@ pub fn read_gr<R: BufRead>(reader: R) -> Result<Graph, DimacsError> {
                 let u: u32 = parse_field(parts.next(), lineno, "arc source")?;
                 let v: u32 = parse_field(parts.next(), lineno, "arc dest")?;
                 let w: u32 = parse_field(parts.next(), lineno, "arc weight")?;
-                if u == 0 || v == 0 || u as usize > b.num_vertices() || v as usize > b.num_vertices()
+                if u == 0
+                    || v == 0
+                    || u as usize > b.num_vertices()
+                    || v as usize > b.num_vertices()
                 {
                     return Err(parse_err(lineno, "arc endpoint out of range"));
                 }
@@ -135,7 +141,13 @@ pub fn write_gr<W: Write>(graph: &Graph, mut w: W) -> io::Result<()> {
     writeln!(w, "p sp {} {}", graph.num_vertices(), graph.num_edges())?;
     for e in graph.edge_ids() {
         let edge = graph.edge(e);
-        writeln!(w, "a {} {} {}", edge.source.0 + 1, edge.dest.0 + 1, edge.weight)?;
+        writeln!(
+            w,
+            "a {} {} {}",
+            edge.source.0 + 1,
+            edge.dest.0 + 1,
+            edge.weight
+        )?;
     }
     Ok(())
 }

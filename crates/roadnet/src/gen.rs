@@ -48,7 +48,10 @@ impl Default for GridCityParams {
 /// (also bidirectionally) in random order until the target edge count is
 /// reached. Weights are uniform in `weight_range`. Deterministic in `seed`.
 pub fn grid_city(params: &GridCityParams) -> Graph {
-    assert!(params.rows >= 2 && params.cols >= 2, "need at least a 2x2 lattice");
+    assert!(
+        params.rows >= 2 && params.cols >= 2,
+        "need at least a 2x2 lattice"
+    );
     assert!(
         params.weight_range.0 > 0 && params.weight_range.0 <= params.weight_range.1,
         "invalid weight range"

@@ -260,7 +260,11 @@ fn rebalance(g: &WorkGraph, side: &mut [bool]) {
     loop {
         let wa: u64 = (0..g.len()).filter(|&v| side[v]).map(|v| g.vwt[v]).sum();
         let wb = total - wa;
-        let (heavy_is_a, diff) = if wa >= wb { (true, wa - wb) } else { (false, wb - wa) };
+        let (heavy_is_a, diff) = if wa >= wb {
+            (true, wa - wb)
+        } else {
+            (false, wb - wa)
+        };
         if diff <= 1 {
             break;
         }
@@ -330,7 +334,13 @@ fn split_recursive(
         }
     }
     split_recursive(graph, &left, levels_left - 1, prefix << 1, assignment);
-    split_recursive(graph, &right, levels_left - 1, (prefix << 1) | 1, assignment);
+    split_recursive(
+        graph,
+        &right,
+        levels_left - 1,
+        (prefix << 1) | 1,
+        assignment,
+    );
 }
 
 /// Partition into parts of at most `max_part_size` vertices by choosing the

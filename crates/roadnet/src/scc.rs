@@ -91,8 +91,7 @@ pub fn strongly_connected_components(graph: &Graph) -> SccResult {
             } else {
                 frames.pop();
                 if let Some(&mut (parent, _)) = frames.last_mut() {
-                    lowlink[parent as usize] =
-                        lowlink[parent as usize].min(lowlink[v as usize]);
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
                 }
                 if lowlink[v as usize] == index[v as usize] {
                     // v is a root: pop its component.

@@ -1,0 +1,102 @@
+//! Offline shim for `crossbeam`.
+//!
+//! Provides `crossbeam::thread::scope` with the upstream call shape
+//! (`scope(|s| { s.spawn(|_| ...); }).unwrap()`), implemented on top of
+//! `std::thread::scope` (stable since 1.63). Only the scoped-thread
+//! surface the workspace uses is included.
+
+pub mod thread {
+    use std::any::Any;
+    use std::marker::PhantomData;
+
+    /// Error type of a scope whose closure panicked (never produced by the
+    /// shim: panics propagate out of `std::thread::scope` directly).
+    pub type ScopeError = Box<dyn Any + Send + 'static>;
+
+    /// Handle to a scope, passed to `scope`'s closure and to every spawned
+    /// thread's closure (crossbeam's signature).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope again so
+        /// workers can spawn sub-workers, exactly like crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    /// Handle to a scoped thread; `join` returns `Err` if the thread
+    /// panicked.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+        _marker: PhantomData<&'scope ()>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T, ScopeError> {
+            self.inner.join()
+        }
+    }
+
+    /// Create a scope for spawning threads that borrow from the enclosing
+    /// environment. Returns `Ok` with the closure's value; the `Result`
+    /// mirrors crossbeam's signature so call sites keep their `.unwrap()`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn workers_can_spawn_sub_workers() {
+        let n = thread::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+
+    #[test]
+    fn threads_borrow_environment() {
+        let mut results = vec![0u32; 4];
+        thread::scope(|s| {
+            for (i, slot) in results.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i as u32 * 10);
+            }
+        })
+        .unwrap();
+        assert_eq!(results, vec![0, 10, 20, 30]);
+    }
+}

@@ -104,8 +104,7 @@ impl Moto {
                 let offset = rng.gen_range(0..=w);
                 let speed = rng.gen_range(config.speed_range.0..=config.speed_range.1);
                 // Stagger first reports uniformly across one period.
-                let first =
-                    (i as u64 * config.update_period_ms) / config.num_objects as u64;
+                let first = (i as u64 * config.update_period_ms) / config.num_objects as u64;
                 MovingObject {
                     position: EdgePosition::new(edge, offset),
                     exact_offset: offset as f64,
@@ -165,7 +164,12 @@ impl Moto {
     fn move_object(&mut self, i: usize, t: Timestamp) {
         let (mut edge, mut exact, speed, last) = {
             let o = &self.objects[i];
-            (o.position.edge, o.exact_offset, o.speed_per_ms, o.last_moved)
+            (
+                o.position.edge,
+                o.exact_offset,
+                o.speed_per_ms,
+                o.last_moved,
+            )
         };
         let mut budget = speed * (t.0.saturating_sub(last.0)) as f64;
         loop {
@@ -356,10 +360,15 @@ mod tests {
             },
         );
         let msgs = m.advance_to(Timestamp(99));
-        let edges: std::collections::HashSet<u32> = msgs.iter().map(|x| x.position.edge.0).collect();
+        let edges: std::collections::HashSet<u32> =
+            msgs.iter().map(|x| x.position.edge.0).collect();
         // 100 objects on a 640-edge graph: uniform placement would touch
         // ~90 distinct edges; two 2-hop hotspots confine them far more.
-        assert!(edges.len() < 60, "placement not clustered: {} edges", edges.len());
+        assert!(
+            edges.len() < 60,
+            "placement not clustered: {} edges",
+            edges.len()
+        );
     }
 
     #[test]

@@ -86,8 +86,7 @@ mod tests {
     fn positions_spread_over_edges() {
         let g = gen::toy(8);
         let mut s = QueryStream::new(1, 1, Timestamp(0), 11);
-        let edges: std::collections::HashSet<u32> =
-            (0..100).map(|_| s.draw(&g).1.edge.0).collect();
+        let edges: std::collections::HashSet<u32> = (0..100).map(|_| s.draw(&g).1.edge.0).collect();
         assert!(edges.len() > 20, "queries should cover many edges");
     }
 }

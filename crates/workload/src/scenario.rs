@@ -217,10 +217,13 @@ mod tests {
     #[test]
     fn report_math_consistent() {
         let graph = Arc::new(gen::toy(13));
-        let mut server = GGridServer::new((*graph).clone(), GGridConfig {
-            eta: 4,
-            ..Default::default()
-        });
+        let mut server = GGridServer::new(
+            (*graph).clone(),
+            GGridConfig {
+                eta: 4,
+                ..Default::default()
+            },
+        );
         let report = run_scenario(&graph, &mut server, &small_scenario(), 10_000, false);
         assert!(report.reference.is_empty());
         assert_eq!(report.answers.len(), report.queries);

@@ -55,7 +55,9 @@ fn main() {
             "[t={:>5}ms] rider at {:?} → cars {:?} | cleaned {} msgs in {} cells, GPU {}",
             t.0,
             rider_pos.edge,
-            cars.iter().map(|(c, d)| format!("{c:?}@{d}")).collect::<Vec<_>>(),
+            cars.iter()
+                .map(|(c, d)| format!("{c:?}@{d}"))
+                .collect::<Vec<_>>(),
             b.messages_cleaned,
             b.cells_cleaned,
             b.gpu_total(),

@@ -1,6 +1,5 @@
 //! Checks of the paper's cost analysis (§VI) against measured counters.
 
-
 use ggrid::message::{ObjectId, Timestamp};
 use ggrid::{GGridConfig, GGridServer};
 use roadnet::gen;
@@ -47,13 +46,20 @@ fn message_list_space_proportional_to_updates() {
     for round in 1..=4u64 {
         for o in 0..per_round {
             let e = roadnet::EdgeId(((o * 7) % g.num_edges() as u64) as u32);
-            server.handle_update(ObjectId(o), EdgePosition::at_source(e), Timestamp(round * 10));
+            server.handle_update(
+                ObjectId(o),
+                EdgePosition::at_source(e),
+                Timestamp(round * 10),
+            );
         }
         let cached = server.cached_messages();
         assert!(cached > last, "cache must grow with uncleaned updates");
         last = cached;
     }
-    assert!(last as u64 >= 4 * per_round, "all updates retained until cleaned");
+    assert!(
+        last as u64 >= 4 * per_round,
+        "all updates retained until cleaned"
+    );
 }
 
 /// §VI-B1: the number of messages shipped to the GPU for one query is
@@ -73,11 +79,19 @@ fn cleaning_transfer_bounded_by_local_backlog() {
     for round in 0..rounds {
         for o in 0..200u64 {
             let e = roadnet::EdgeId(((o * 13) % g.num_edges() as u64) as u32);
-            server.handle_update(ObjectId(o), EdgePosition::at_source(e), Timestamp(100 + round));
+            server.handle_update(
+                ObjectId(o),
+                EdgePosition::at_source(e),
+                Timestamp(100 + round),
+            );
         }
     }
     let backlog = server.cached_messages();
-    server.knn(EdgePosition::at_source(roadnet::EdgeId(5)), 4, Timestamp(200));
+    server.knn(
+        EdgePosition::at_source(roadnet::EdgeId(5)),
+        4,
+        Timestamp(200),
+    );
     let shipped = server.last_breakdown().messages_cleaned;
     assert!(
         shipped < backlog / 2,
@@ -101,7 +115,11 @@ fn cells_cleaned_monotone_in_k() {
             let e = roadnet::EdgeId(((o * 29) % g.num_edges() as u64) as u32);
             server.handle_update(ObjectId(o), EdgePosition::at_source(e), Timestamp(100));
         }
-        server.knn(EdgePosition::at_source(roadnet::EdgeId(9)), k, Timestamp(150));
+        server.knn(
+            EdgePosition::at_source(roadnet::EdgeId(9)),
+            k,
+            Timestamp(150),
+        );
         server.last_breakdown().cells_cleaned
     };
     let small = cleaned_for(2);
@@ -123,11 +141,23 @@ fn duplicates_stay_within_mu_during_real_cleaning() {
     // One hot object spamming updates into the same cell (adversarial for
     // the shuffle), plus background traffic.
     for t in 0..200u64 {
-        server.handle_update(ObjectId(1), EdgePosition::at_source(roadnet::EdgeId(0)), Timestamp(100 + t));
+        server.handle_update(
+            ObjectId(1),
+            EdgePosition::at_source(roadnet::EdgeId(0)),
+            Timestamp(100 + t),
+        );
         let e = roadnet::EdgeId((t % g.num_edges() as u64) as u32);
-        server.handle_update(ObjectId(2 + t % 5), EdgePosition::at_source(e), Timestamp(100 + t));
+        server.handle_update(
+            ObjectId(2 + t % 5),
+            EdgePosition::at_source(e),
+            Timestamp(100 + t),
+        );
     }
-    let answer = server.knn(EdgePosition::at_source(roadnet::EdgeId(0)), 3, Timestamp(400));
+    let answer = server.knn(
+        EdgePosition::at_source(roadnet::EdgeId(0)),
+        3,
+        Timestamp(400),
+    );
     assert!(!answer.is_empty());
     // μ(4) = 2; the kernel surfaces its observed maximum via the breakdown
     // indirectly — recompute through a fresh query and the counters.

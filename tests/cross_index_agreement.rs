@@ -25,8 +25,13 @@ fn indexes(graph: &Graph, leaf_cap: usize) -> Vec<Box<dyn MovingObjectIndex>> {
         )),
         Box::new(VTree::new(graph.clone(), leaf_cap, 10_000)),
         Box::new(
-            VTreeGpu::new(graph.clone(), leaf_cap, 10_000, gpu_sim::Device::quadro_p2000())
-                .expect("test graph fits the device"),
+            VTreeGpu::new(
+                graph.clone(),
+                leaf_cap,
+                10_000,
+                gpu_sim::Device::quadro_p2000(),
+            )
+            .expect("test graph fits the device"),
         ),
         Box::new(Road::new(graph.clone(), leaf_cap, 10_000)),
     ]
@@ -139,7 +144,11 @@ fn agreement_after_object_moves() {
         .map(|&(_, d)| d)
         .collect();
     for idx in idxs.iter_mut() {
-        let got: Vec<u64> = idx.knn(q, 6, Timestamp(500)).iter().map(|&(_, d)| d).collect();
+        let got: Vec<u64> = idx
+            .knn(q, 6, Timestamp(500))
+            .iter()
+            .map(|&(_, d)| d)
+            .collect();
         assert_eq!(got, want, "{} stale after moves", idx.name());
     }
 }

@@ -34,7 +34,13 @@ fn ggrid_exact_on_moving_workload() {
         ..Default::default()
     }));
     let mut server = GGridServer::new((*graph).clone(), GGridConfig::default());
-    let report = run_scenario(&graph, &mut server, &scenario(80, 250, 8, 5, 1), 10_000, true);
+    let report = run_scenario(
+        &graph,
+        &mut server,
+        &scenario(80, 250, 8, 5, 1),
+        10_000,
+        true,
+    );
     assert_eq!(report.accuracy(), 1.0, "G-Grid must answer exactly");
     assert!(report.messages > 100);
 }
@@ -50,8 +56,13 @@ fn ggrid_exact_across_k_values() {
                 ..Default::default()
             },
         );
-        let report =
-            run_scenario(&graph, &mut server, &scenario(40, 200, 6, k, k as u64), 10_000, true);
+        let report = run_scenario(
+            &graph,
+            &mut server,
+            &scenario(40, 200, 6, k, k as u64),
+            10_000,
+            true,
+        );
         assert_eq!(report.accuracy(), 1.0, "inexact at k={k}");
     }
 }
@@ -72,7 +83,13 @@ fn ggrid_exact_with_tiny_cells_and_buckets() {
             ..Default::default()
         },
     );
-    let report = run_scenario(&graph, &mut server, &scenario(25, 150, 6, 4, 9), 10_000, true);
+    let report = run_scenario(
+        &graph,
+        &mut server,
+        &scenario(25, 150, 6, 4, 9),
+        10_000,
+        true,
+    );
     assert_eq!(report.accuracy(), 1.0);
 }
 
@@ -87,7 +104,14 @@ fn repeated_scenarios_are_deterministic_in_answers() {
                 ..Default::default()
             },
         );
-        run_scenario(&graph, &mut server, &scenario(30, 200, 5, 3, 4), 10_000, false).answers
+        run_scenario(
+            &graph,
+            &mut server,
+            &scenario(30, 200, 5, 3, 4),
+            10_000,
+            false,
+        )
+        .answers
     };
     assert_eq!(run(), run());
 }
@@ -106,11 +130,19 @@ fn backlog_shrinks_only_where_queried() {
     for round in 0..20u64 {
         for o in 0..100u64 {
             let e = roadnet::EdgeId(((o * 13) % graph.num_edges() as u64) as u32);
-            server.handle_update(ObjectId(o), EdgePosition::at_source(e), Timestamp(100 + round));
+            server.handle_update(
+                ObjectId(o),
+                EdgePosition::at_source(e),
+                Timestamp(100 + round),
+            );
         }
     }
     let before = server.cached_messages();
-    server.knn(EdgePosition::at_source(roadnet::EdgeId(0)), 2, Timestamp(200));
+    server.knn(
+        EdgePosition::at_source(roadnet::EdgeId(0)),
+        2,
+        Timestamp(200),
+    );
     let after = server.cached_messages();
     assert!(after < before, "query must consolidate touched cells");
     assert!(
@@ -134,9 +166,16 @@ fn device_ledger_grows_with_queries() {
         server.handle_update(ObjectId(o), EdgePosition::at_source(e), Timestamp(100));
     }
     let c0 = ggrid::api::MovingObjectIndex::sim_costs(&server);
-    server.knn(EdgePosition::at_source(roadnet::EdgeId(1)), 4, Timestamp(150));
+    server.knn(
+        EdgePosition::at_source(roadnet::EdgeId(1)),
+        4,
+        Timestamp(150),
+    );
     let c1 = ggrid::api::MovingObjectIndex::sim_costs(&server);
     let delta = c1.since(&c0);
-    assert!(delta.h2d_bytes > 0, "query must ship messages to the device");
+    assert!(
+        delta.h2d_bytes > 0,
+        "query must ship messages to the device"
+    );
     assert!(delta.gpu_time > gpu_sim::SimNanos::ZERO);
 }
