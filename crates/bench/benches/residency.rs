@@ -1,0 +1,100 @@
+//! Criterion bench for device-resident cell state: the repeated-query
+//! workload of the `residency` experiment, swept over the device budget
+//! (off / tight / comfortable) on the NY-shaped dataset.
+//!
+//! Besides the criterion timings, the bench emits one machine-readable
+//! `BENCH {json}` line per configuration with the deterministic simulated
+//! figures: simulated device time, H2D split into delta vs full uploads,
+//! resident hits, and evictions. The simulated clocks come from the device
+//! model, so one instrumented run per configuration is a stable baseline.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ggrid::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use roadnet::gen::Dataset;
+use roadnet::EdgeId;
+
+const OBJECTS: u64 = 400;
+const ROUNDS: usize = 6;
+const K: usize = 16;
+
+const BUDGETS: [(&str, u64); 3] = [("off", 0), ("tight", 256), ("on", 64 << 20)];
+
+fn server(graph: &std::sync::Arc<roadnet::graph::Graph>, budget: u64) -> GGridServer {
+    GGridServer::new(
+        (**graph).clone(),
+        GGridConfig {
+            device_budget_bytes: budget,
+            ..Default::default()
+        },
+    )
+}
+
+/// Scatter a fleet, then revisit four query positions for `ROUNDS` rounds,
+/// moving 5% of the fleet between rounds (same shape as the experiment).
+fn workload(graph: &std::sync::Arc<roadnet::graph::Graph>, s: &mut GGridServer) {
+    let ne = graph.num_edges() as u32;
+    let mut rng = SmallRng::seed_from_u64(0x7e51);
+    for o in 0..OBJECTS {
+        let e = EdgeId(rng.gen_range(0..ne));
+        s.handle_update(ObjectId(o), EdgePosition::at_source(e), Timestamp(100));
+    }
+    let positions: Vec<EdgePosition> = (0..4u32)
+        .map(|p| EdgePosition::at_source(EdgeId((p * (ne / 4)).min(ne - 1))))
+        .collect();
+    let mut t = 200u64;
+    for _ in 0..ROUNDS {
+        for _ in 0..OBJECTS / 20 {
+            t += 1;
+            let o = ObjectId(rng.gen_range(0..OBJECTS));
+            let e = EdgeId(rng.gen_range(0..ne));
+            s.handle_update(o, EdgePosition::at_source(e), Timestamp(t));
+        }
+        t += 1;
+        for &q in &positions {
+            s.knn(q, K, Timestamp(t));
+        }
+    }
+}
+
+fn bench_residency(c: &mut Criterion) {
+    let graph = common::bench_graph(Dataset::NY);
+    let mut group = c.benchmark_group("residency");
+    group.sample_size(10);
+
+    for (label, budget) in BUDGETS {
+        group.bench_function(format!("budget={label}").as_str(), |b| {
+            b.iter(|| {
+                let mut s = server(&graph, budget);
+                workload(&graph, &mut s);
+                s.counters().gpu_time.0
+            })
+        });
+    }
+    group.finish();
+
+    // One deterministic instrumented run per configuration.
+    for (label, budget) in BUDGETS {
+        let mut s = server(&graph, budget);
+        workload(&graph, &mut s);
+        let c = s.counters();
+        println!(
+            "BENCH {{\"bench\": \"residency\", \"budget\": \"{label}\", \"budget_bytes\": {}, \"sim_ns\": {}, \"h2d_bytes\": {}, \"h2d_delta_bytes\": {}, \"h2d_full_bytes\": {}, \"d2h_bytes\": {}, \"resident_hits\": {}, \"evictions\": {}, \"resident_cells\": {}}}",
+            budget,
+            c.gpu_time.0,
+            c.h2d_bytes,
+            c.h2d_delta_bytes,
+            c.h2d_full_bytes,
+            c.d2h_bytes,
+            c.resident_hits,
+            c.evictions,
+            s.resident_cells(),
+        );
+    }
+}
+
+criterion_group!(benches, bench_residency);
+criterion_main!(benches);

@@ -5,7 +5,7 @@
 //!             [--queries N] [--out DIR]
 //!
 //! EXPERIMENT ∈ {table2, fig4a, fig4b, fig4c, fig5, fig6, fig7, fig8,
-//!               fig9, fig10, ablation, skew, concurrency, all}
+//!               fig9, fig10, ablation, skew, concurrency, residency, all}
 //! (default: all)
 //! ```
 //!
@@ -18,7 +18,7 @@ use std::path::PathBuf;
 use ggrid_bench::csvout::ResultTable;
 use ggrid_bench::experiments::{
     ablation, concurrency, fig10_scalability, fig4_tuning, fig5_datasets, fig6_index_size,
-    fig7_vary_k, fig8_vary_objects, fig9_vary_freq, skew, table2_datasets, ExpConfig,
+    fig7_vary_k, fig8_vary_objects, fig9_vary_freq, residency, skew, table2_datasets, ExpConfig,
 };
 
 fn main() {
@@ -72,6 +72,7 @@ fn main() {
             "ablation",
             "skew",
             "concurrency",
+            "residency",
         ]
         .into_iter()
         .map(String::from)
@@ -112,6 +113,7 @@ fn main() {
             "ablation" => vec![("ablation".into(), ablation::run(&cfg))],
             "skew" => vec![("skew".into(), skew::run(&cfg))],
             "concurrency" => vec![("concurrency".into(), concurrency::run(&cfg))],
+            "residency" => vec![("residency".into(), residency::run(&cfg))],
             other => {
                 eprintln!("unknown experiment `{other}`\n{HELP}");
                 std::process::exit(2);
@@ -138,7 +140,7 @@ fn expect_num(it: &mut std::iter::Peekable<std::slice::Iter<String>>, flag: &str
     }
 }
 
-const HELP: &str = "usage: experiments [table2|fig4a|fig4b|fig4c|fig5|fig6|fig7|fig8|fig9|fig10|ablation|skew|concurrency|all]...
+const HELP: &str = "usage: experiments [table2|fig4a|fig4b|fig4c|fig5|fig6|fig7|fig8|fig9|fig10|ablation|skew|concurrency|residency|all]...
   --quick           small datasets/fleets for a fast pass
   --scale N         divide real dataset sizes by N (default 500)
   --objects N       number of moving objects (default 10000)

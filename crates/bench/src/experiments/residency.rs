@@ -1,0 +1,268 @@
+//! Extension study (beyond the paper): device-resident cell state.
+//!
+//! A repeated-query workload on the NY-shaped dataset: the fleet is
+//! scattered once, then a fixed set of query positions is revisited round
+//! after round while a small slice of the fleet moves between rounds. The
+//! moved objects dirty their cells, so every round re-cleans the query
+//! frontier:
+//!
+//! * with residency **off** (`device_budget_bytes = 0`) each re-clean
+//!   re-ships the cell's whole consolidated list over the bus;
+//! * with residency **on** the consolidated state stays in device memory
+//!   and only the delta (the movers' messages) crosses, feeding the fused
+//!   merge kernel; copy-back shrinks to the objects that changed;
+//! * a deliberately **tight** budget forces constant LRU eviction, so the
+//!   fallback path (full upload, then re-promotion) is exercised too.
+//!
+//! Answers are identical across every row — the sweep isolates bus traffic
+//! and simulated time, not what is computed. Besides the table/CSV, the run
+//! writes `BENCH_2.json` (simulated time and H2D bytes saved by residency)
+//! so the perf trajectory accumulates machine-readable points.
+
+use std::path::Path;
+
+use ggrid::prelude::*;
+use ggrid::stats::ServerCounters;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use roadnet::EdgeId;
+
+use crate::csvout::{fmt_bytes, fmt_ns, ResultTable};
+use crate::datasets::{build_dataset, DatasetSpec};
+use crate::experiments::ExpConfig;
+use crate::runner::BenchWorld;
+
+/// Device budgets swept: disabled, eviction-churning, comfortable.
+pub const TIGHT_BUDGET: u64 = 256;
+pub const FULL_BUDGET: u64 = 64 << 20;
+
+/// Counters + answers of one sweep point.
+struct Outcome {
+    label: &'static str,
+    budget: u64,
+    counters: ServerCounters,
+    resident_cells: usize,
+    answers: Vec<Vec<(ObjectId, Distance)>>,
+}
+
+pub fn run(cfg: &ExpConfig) -> ResultTable {
+    let ds = roadnet::gen::Dataset::NY;
+    let world = BenchWorld::new(build_dataset(&DatasetSpec::new(ds, cfg.scale)));
+    let params = cfg.index_params();
+    let rounds = cfg.queries.max(6);
+    let outcomes: Vec<Outcome> = [("off", 0u64), ("tight", TIGHT_BUDGET), ("on", FULL_BUDGET)]
+        .iter()
+        .map(|&(label, budget)| {
+            let config = GGridConfig {
+                device_budget_bytes: budget,
+                t_delta_ms: params.t_delta_ms,
+                ..params.ggrid.clone()
+            };
+            let grid = world.grid(config.cell_capacity, config.vertex_capacity);
+            let mut server =
+                GGridServer::with_shared_grid(grid, config, gpu_sim::Device::quadro_p2000());
+            let answers = repeated_query_workload(&world, &mut server, cfg, rounds);
+            Outcome {
+                label,
+                budget,
+                counters: *server.counters(),
+                resident_cells: server.resident_cells(),
+                answers,
+            }
+        })
+        .collect();
+
+    // Residency is a cost optimisation only: every sweep point must return
+    // byte-identical answers.
+    for o in &outcomes[1..] {
+        assert_eq!(
+            o.answers, outcomes[0].answers,
+            "budget {} changed answers",
+            o.budget
+        );
+    }
+
+    let mut t = ResultTable::new(
+        &format!(
+            "Extension: device-resident cell state ({}, k=16)",
+            ds.name()
+        ),
+        &[
+            "Residency",
+            "Budget",
+            "Sim time",
+            "H2D total",
+            "H2D delta",
+            "H2D full",
+            "D2H",
+            "Resident hits",
+            "Hit rate",
+            "Evictions",
+            "Resident cells",
+        ],
+    );
+    for o in &outcomes {
+        let c = &o.counters;
+        t.row(vec![
+            o.label.to_string(),
+            if o.budget == 0 {
+                "0".to_string()
+            } else {
+                fmt_bytes(o.budget)
+            },
+            fmt_ns(c.gpu_time.0),
+            fmt_bytes(c.h2d_bytes),
+            fmt_bytes(c.h2d_delta_bytes),
+            fmt_bytes(c.h2d_full_bytes),
+            fmt_bytes(c.d2h_bytes),
+            c.resident_hits.to_string(),
+            format!("{:.1}%", 100.0 * c.resident_hit_rate()),
+            c.evictions.to_string(),
+            o.resident_cells.to_string(),
+        ]);
+    }
+
+    if let Err(e) = write_bench_json(&cfg.out_dir, cfg, rounds, &outcomes) {
+        eprintln!("warning: failed to write BENCH_2.json: {e}");
+    }
+    t
+}
+
+/// Scatter the fleet, then revisit a fixed query frontier for `rounds`
+/// rounds, moving a small slice of the fleet between rounds. Identical and
+/// deterministic for every server it is replayed against.
+fn repeated_query_workload(
+    world: &BenchWorld,
+    server: &mut GGridServer,
+    cfg: &ExpConfig,
+    rounds: usize,
+) -> Vec<Vec<(ObjectId, Distance)>> {
+    let ne = world.graph.num_edges() as u32;
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x7e51);
+    let objects = cfg.objects.max(32) as u64;
+    for o in 0..objects {
+        let e = EdgeId(rng.gen_range(0..ne));
+        server.handle_update(ObjectId(o), EdgePosition::at_source(e), Timestamp(100));
+    }
+    let positions: Vec<EdgePosition> = (0..4u32)
+        .map(|p| EdgePosition::at_source(EdgeId((p * (ne / 4)).min(ne - 1))))
+        .collect();
+    let movers = (objects / 20).max(1);
+    let mut answers = Vec::new();
+    let mut t = 200u64;
+    for _ in 0..rounds {
+        for _ in 0..movers {
+            t += 1;
+            let o = ObjectId(rng.gen_range(0..objects));
+            let e = EdgeId(rng.gen_range(0..ne));
+            server.handle_update(o, EdgePosition::at_source(e), Timestamp(t));
+        }
+        t += 1;
+        for &q in &positions {
+            answers.push(server.knn(q, 16, Timestamp(t)));
+        }
+    }
+    answers
+}
+
+fn write_bench_json(
+    dir: &Path,
+    cfg: &ExpConfig,
+    rounds: usize,
+    outcomes: &[Outcome],
+) -> std::io::Result<()> {
+    let by = |label: &str| outcomes.iter().find(|o| o.label == label).unwrap();
+    let (off, on) = (by("off"), by("on"));
+    let saved_bytes = off.counters.h2d_bytes.saturating_sub(on.counters.h2d_bytes);
+    let saved_pct = 100.0 * saved_bytes as f64 / off.counters.h2d_bytes.max(1) as f64;
+    let time_saved_pct = 100.0
+        * (off
+            .counters
+            .gpu_time
+            .0
+            .saturating_sub(on.counters.gpu_time.0)) as f64
+        / off.counters.gpu_time.0.max(1) as f64;
+    let point = |o: &Outcome| {
+        format!(
+            "{{\"budget_bytes\": {}, \"sim_ns\": {}, \"h2d_bytes\": {}, \"h2d_delta_bytes\": {}, \"h2d_full_bytes\": {}, \"d2h_bytes\": {}, \"resident_hits\": {}, \"evictions\": {}, \"resident_cells\": {}}}",
+            o.budget,
+            o.counters.gpu_time.0,
+            o.counters.h2d_bytes,
+            o.counters.h2d_delta_bytes,
+            o.counters.h2d_full_bytes,
+            o.counters.d2h_bytes,
+            o.counters.resident_hits,
+            o.counters.evictions,
+            o.resident_cells,
+        )
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"residency\",\n  \"dataset\": \"NY\",\n  \"scale\": {},\n  \"objects\": {},\n  \"rounds\": {},\n  \"queries\": {},\n  \"off\": {},\n  \"tight\": {},\n  \"on\": {},\n  \"h2d_saved_bytes\": {},\n  \"h2d_saved_pct\": {:.2},\n  \"sim_time_saved_pct\": {:.2}\n}}\n",
+        cfg.scale,
+        cfg.objects.max(32),
+        rounds,
+        off.answers.len(),
+        point(off),
+        point(by("tight")),
+        point(on),
+        saved_bytes,
+        saved_pct,
+        time_saved_pct,
+    );
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("BENCH_2.json"), json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpConfig {
+        ExpConfig {
+            scale: 4000,
+            objects: 150,
+            queries: 6,
+            out_dir: std::env::temp_dir().join("ggrid_residency_exp"),
+            ..ExpConfig::quick()
+        }
+    }
+
+    #[test]
+    fn residency_saves_h2d_and_time() {
+        let cfg = tiny();
+        let t = run(&cfg);
+        assert_eq!(t.rows.len(), 3);
+        let json = std::fs::read_to_string(cfg.out_dir.join("BENCH_2.json")).unwrap();
+        let field = |name: &str| -> f64 {
+            let tail = json.split(&format!("\"{name}\": ")).nth(1).unwrap();
+            tail.split([',', '\n', '}'])
+                .next()
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap()
+        };
+        assert!(
+            field("h2d_saved_pct") >= 30.0,
+            "residency saved only {:.1}% of H2D traffic\n{json}",
+            field("h2d_saved_pct")
+        );
+        assert!(
+            field("sim_time_saved_pct") > 0.0,
+            "residency did not improve simulated time\n{json}"
+        );
+        // The tight budget must actually churn.
+        let tight = json.split("\"tight\": ").nth(1).unwrap();
+        let evictions: u64 = tight
+            .split("\"evictions\": ")
+            .nth(1)
+            .unwrap()
+            .split([',', '}'])
+            .next()
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert!(evictions > 0, "tight budget never evicted\n{json}");
+    }
+}

@@ -36,11 +36,17 @@ use crate::grid::{CellId, GraphGrid};
 use crate::knn::{knn_device_phase, knn_finalize, refine_unresolved};
 use crate::message::{ObjectId, Timestamp};
 use crate::message_list::CellLists;
+use crate::residency::ResidentCellStore;
 use crate::stats::QueryBreakdown;
 
 /// Stream indices of the batch timeline.
 const DEVICE_STREAM: usize = 0;
 const HOST_STREAM: usize = 1;
+/// D2H copy-backs run here: the cleaning result streams to the host while
+/// the device stream already executes the next kernel. Copy-back is still
+/// ordered strictly after its own compute, and anything that *reads* the
+/// result on the host (refinement) waits for it.
+const TRANSFER_STREAM: usize = 2;
 
 /// Result of a query batch.
 #[derive(Debug)]
@@ -74,6 +80,7 @@ pub fn run_knn_batch(
     device: &mut Device,
     grid: &GraphGrid,
     lists: &CellLists,
+    resident: &mut ResidentCellStore,
     config: &GGridConfig,
     queries: &[(EdgePosition, usize)],
     now: Timestamp,
@@ -88,21 +95,31 @@ pub fn run_knn_batch(
     union.sort_unstable();
     union.dedup();
 
-    let mut timeline = StreamTimeline::new(2);
+    let mut timeline = StreamTimeline::new(3);
     let mut serial_time = SimNanos::ZERO;
 
     let mut shared = QueryBreakdown::default();
     if !union.is_empty() && !queries.is_empty() {
         let t0 = std::time::Instant::now();
-        let (_, rep) = clean_cells(device, lists, &union, config, now);
+        let (_, rep) = clean_cells(device, lists, resident, &union, config, now);
         shared.emulation_ns = t0.elapsed().as_nanos() as u64;
         shared.cleaning = rep.time;
+        shared.copy_back = rep.copy_back_time;
         shared.h2d_bytes = rep.h2d_bytes;
+        shared.h2d_delta_bytes = rep.h2d_delta_bytes;
+        shared.h2d_full_bytes = rep.h2d_full_bytes;
         shared.d2h_bytes = rep.d2h_bytes;
         shared.messages_cleaned = rep.messages;
         shared.cells_cleaned = rep.cells_cleaned;
         shared.cells_skipped = rep.cells_skipped;
-        timeline.push(DEVICE_STREAM, SimNanos::ZERO, shared.gpu_total());
+        shared.resident_hits = rep.resident_hits;
+        shared.evictions = rep.evictions;
+        // Copy-back is strictly after the shared pass's compute but runs on
+        // the transfer stream, so the first query's device phase starts as
+        // soon as the kernel is done — not when the result lands on host.
+        let compute = SimNanos(shared.gpu_total().0 - shared.copy_back.0);
+        let compute_end = timeline.push(DEVICE_STREAM, SimNanos::ZERO, compute);
+        timeline.push(TRANSFER_STREAM, compute_end, shared.copy_back);
         serial_time += shared.gpu_total();
     }
 
@@ -118,16 +135,24 @@ pub fn run_knn_batch(
         // (pending state, refine handle, device-phase end time)
         let mut in_flight = None;
         for &(q, k) in queries {
-            let pending = knn_device_phase(device, grid, lists, config, q, k, now);
-            let device_end =
-                timeline.push(DEVICE_STREAM, SimNanos::ZERO, pending.breakdown.gpu_total());
-            serial_time += pending.breakdown.gpu_total();
+            let pending = knn_device_phase(device, grid, lists, resident, config, q, k, now);
+            // Compute on the device stream, copy-back on the transfer
+            // stream (ordered after the compute). Refinement reads the
+            // copied-back results, so it waits for the transfer end; the
+            // next query's kernels only wait for the compute end.
+            let gpu = pending.breakdown.gpu_total();
+            let copy_back = pending.breakdown.copy_back;
+            let compute_end =
+                timeline.push(DEVICE_STREAM, SimNanos::ZERO, SimNanos(gpu.0 - copy_back.0));
+            let device_end = timeline.push(TRANSFER_STREAM, compute_end, copy_back);
+            serial_time += gpu;
 
             if let Some((prev, handle, prev_device_end)) = in_flight.take() {
                 finalize_one(
                     device,
                     grid,
                     lists,
+                    resident,
                     config,
                     now,
                     prev,
@@ -155,6 +180,7 @@ pub fn run_knn_batch(
                 device,
                 grid,
                 lists,
+                resident,
                 config,
                 now,
                 prev,
@@ -185,6 +211,7 @@ fn finalize_one<'scope>(
     device: &mut Device,
     grid: &GraphGrid,
     lists: &CellLists,
+    resident: &mut ResidentCellStore,
     config: &GGridConfig,
     now: Timestamp,
     pending: crate::knn::PendingKnn,
@@ -205,11 +232,19 @@ fn finalize_one<'scope>(
     *serial_time += SimNanos(refined.critical_ns);
 
     let gpu_before = pending.breakdown.gpu_total();
-    let result = knn_finalize(device, grid, lists, config, now, pending, refined);
+    let copy_back_before = pending.breakdown.copy_back;
+    let result = knn_finalize(device, grid, lists, resident, config, now, pending, refined);
 
-    // Device stream: the finalisation's lazy cleaning, after the refine.
+    // Device stream: the finalisation's lazy cleaning, after the refine;
+    // its copy-back again overlaps on the transfer stream.
     let finalize_gpu = SimNanos(result.breakdown.gpu_total().0 - gpu_before.0);
-    timeline.push(DEVICE_STREAM, refine_end, finalize_gpu);
+    let finalize_copy = SimNanos(result.breakdown.copy_back.0 - copy_back_before.0);
+    let compute_end = timeline.push(
+        DEVICE_STREAM,
+        refine_end,
+        SimNanos(finalize_gpu.0 - finalize_copy.0),
+    );
+    timeline.push(TRANSFER_STREAM, compute_end, finalize_copy);
     *serial_time += finalize_gpu;
 
     answers.push(result.items);

@@ -12,6 +12,15 @@
 //! expiry horizon, with no kernel launch and no transfer. The skip is
 //! answer-preserving because cleaning a consolidated list is idempotent;
 //! it only removes simulated device time and bus traffic.
+//!
+//! Cells that are dirty but whose last consolidated state is still
+//! **device-resident** (see [`crate::residency`]) take the *delta-merge*
+//! path: only the messages appended since the clean cross the bus, and the
+//! fused [`xshuffle_merge`] kernel combines them with the resident state in
+//! the same launch that cleans the cold cells. Copy-back for merged cells
+//! ships only the objects that actually changed. Cold or evicted cells take
+//! the full-upload path — residency is purely a cost optimisation and is
+//! never required for correctness.
 
 use std::collections::HashMap;
 
@@ -19,10 +28,11 @@ use gpu_sim::{pipelined_makespan, Device, SimNanos};
 
 use crate::config::GGridConfig;
 use crate::grid::CellId;
-use crate::message::{CachedMessage, Timestamp};
+use crate::message::{CachedMessage, ObjectId, Timestamp};
 use crate::message_list::CellLists;
 use crate::object_table::FxBuildHasher;
-use crate::xshuffle::{xshuffle_clean, WireMessage};
+use crate::residency::ResidentCellStore;
+use crate::xshuffle::{xshuffle_clean, xshuffle_merge, WireMessage};
 
 /// Cost report of one cleaning round.
 #[derive(Clone, Copy, Debug, Default)]
@@ -30,8 +40,19 @@ pub struct CleaningReport {
     /// End-to-end simulated time: pipelined upload+kernel, plus the result
     /// copy back.
     pub time: SimNanos,
+    /// Upload + kernel portion of `time` (copy-back excluded): everything
+    /// that must finish before the result starts streaming back.
+    pub compute_time: SimNanos,
+    /// D2H copy-back portion of `time`, strictly after all compute. Callers
+    /// that overlap streams (the batch pipeline) schedule this on a
+    /// transfer stream so later kernels need not wait on it.
+    pub copy_back_time: SimNanos,
     pub kernel_time: SimNanos,
     pub h2d_bytes: u64,
+    /// Portion of `h2d_bytes` that was a delta upload to a resident cell.
+    pub h2d_delta_bytes: u64,
+    /// Portion of `h2d_bytes` that was a full (cold-path) upload.
+    pub h2d_full_bytes: u64,
     pub d2h_bytes: u64,
     pub buckets: usize,
     pub messages: usize,
@@ -39,6 +60,10 @@ pub struct CleaningReport {
     pub cells_cleaned: usize,
     /// Cells served from the epoch-based clean-skip cache.
     pub cells_skipped: usize,
+    /// Cells cleaned through the resident delta-merge path.
+    pub resident_hits: usize,
+    /// Resident cells evicted during this round (LRU or staleness).
+    pub evictions: u64,
     /// Diagnostic surfaced from the kernel (Theorem 1 check).
     pub max_duplicates_seen: u32,
 }
@@ -57,6 +82,7 @@ pub type CleanedObjects = HashMap<CellId, Vec<CachedMessage>, FxBuildHasher>;
 pub fn clean_cells(
     device: &mut Device,
     lists: &CellLists,
+    resident: &mut ResidentCellStore,
     cells: &[CellId],
     config: &GGridConfig,
     now: Timestamp,
@@ -64,13 +90,21 @@ pub fn clean_cells(
     let horizon = now.saturating_sub_ms(config.t_delta_ms);
     let mut out = CleanedObjects::default();
     let mut rep = CleaningReport::default();
+    let evictions_before = resident.evictions();
 
-    // Preprocessing (Algorithm 2 lines 1–5): split the request into cells
-    // served from the clean-skip cache and cells needing a kernel pass;
-    // freeze the latter's lists, drop expired buckets, and annotate
-    // messages with their cell id.
+    // Preprocessing (Algorithm 2 lines 1–5): three-way split. Cells whose
+    // lists are untouched since the last clean are served from the host
+    // cache (skip). Dirty cells whose consolidated state is still
+    // device-resident ship only their delta (merge). Everything else
+    // freezes and ships its full list (full). Messages are annotated with
+    // their cell id; expired whole buckets never leave the host.
     let mut work: Vec<CellId> = Vec::with_capacity(cells.len());
+    let mut merge: Vec<CellId> = Vec::new();
     let mut buckets: Vec<Vec<WireMessage>> = Vec::new();
+    let mut full_msgs: usize = 0;
+    let mut resident_msgs: Vec<WireMessage> = Vec::new();
+    // Prior mirror per merge cell, for changed-object copy-back accounting.
+    let mut prior: HashMap<CellId, Vec<CachedMessage>, FxBuildHasher> = HashMap::default();
     for &c in cells {
         let mut list = lists.lock(c.index());
         if config.clean_skip && list.is_clean() {
@@ -81,88 +115,187 @@ pub fn clean_cells(
             }
             continue;
         }
-        work.push(c);
-        for bucket in list.take_for_cleaning(now, config.t_delta_ms) {
-            buckets.push(
-                bucket
-                    .messages
-                    .iter()
-                    .map(|&msg| WireMessage { msg, cell: c })
-                    .collect(),
-            );
+        let mirror = resident
+            .lookup(device, c, list.cleaned_epoch())
+            .map(<[CachedMessage]>::to_vec);
+        if let Some(mirror) = mirror {
+            debug_assert_eq!(mirror.len(), list.consolidated_len());
+            merge.push(c);
+            resident_msgs.extend(mirror.iter().map(|&msg| WireMessage { msg, cell: c }));
+            prior.insert(c, mirror);
+            for bucket in list.take_delta_for_cleaning(now, config.t_delta_ms) {
+                buckets.push(
+                    bucket
+                        .messages
+                        .iter()
+                        .map(|&msg| WireMessage { msg, cell: c })
+                        .collect(),
+                );
+            }
+        } else {
+            work.push(c);
+            for bucket in list.take_for_cleaning(now, config.t_delta_ms) {
+                full_msgs += bucket.messages.len();
+                buckets.push(
+                    bucket
+                        .messages
+                        .iter()
+                        .map(|&msg| WireMessage { msg, cell: c })
+                        .collect(),
+                );
+            }
         }
     }
-    rep.cells_cleaned = work.len();
+    rep.cells_cleaned = work.len() + merge.len();
+    rep.resident_hits = merge.len();
 
     let messages: usize = buckets.iter().map(|b| b.len()).sum();
-    if buckets.is_empty() {
+    if buckets.is_empty() && resident_msgs.is_empty() {
         // Nothing survived the freeze: the worked cells are now empty,
         // which is the (trivial) consolidated state — stamp them so the
         // next request skips straight to the cache.
-        for &c in &work {
-            lists.lock(c.index()).mark_clean();
+        for &c in work.iter().chain(&merge) {
+            let mut list = lists.lock(c.index());
+            list.mark_clean();
+            resident.invalidate(device, c);
         }
+        rep.evictions = resident.evictions() - evictions_before;
         return (out, rep);
     }
 
     // Upload in pipelined groups: the device starts cleaning the first
-    // group while later groups are still on the wire (§V-A).
-    let chunks = config.transfer_chunks.clamp(1, buckets.len());
-    let per_chunk = buckets.len().div_ceil(chunks);
-    let mut chunk_bytes: Vec<u64> = Vec::with_capacity(chunks);
-    for group in buckets.chunks(per_chunk) {
-        let bytes: u64 = group
-            .iter()
-            .map(|b| b.len() as u64 * CachedMessage::WIRE_BYTES)
-            .sum();
-        chunk_bytes.push(bytes);
-    }
-
-    // Parallel processing (Algorithm 2 lines 6–9): one thread per bucket.
-    let (output, report) = device.launch(buckets.len(), |ctx| {
-        xshuffle_clean(ctx, &buckets, config.eta, horizon)
-    });
-
-    // Pipelined makespan: copy time per group against a proportional share
-    // of the kernel time.
+    // group while later groups are still on the wire (§V-A). Resident
+    // state is already on the card and ships nothing.
     let mut h2d_bytes = 0u64;
-    let mut schedule: Vec<(SimNanos, SimNanos)> = Vec::with_capacity(chunk_bytes.len());
-    for &bytes in &chunk_bytes {
-        let copy = device.h2d(bytes);
-        h2d_bytes += bytes;
-        let share = if messages == 0 {
-            SimNanos::ZERO
-        } else {
-            let frac = bytes as f64 / (messages as u64 * CachedMessage::WIRE_BYTES) as f64;
-            SimNanos((report.time.0 as f64 * frac) as u64)
-        };
-        schedule.push((copy, share));
-    }
-    let overlapped = pipelined_makespan(&schedule);
-
-    // Result computation + copy back (Algorithm 2 lines 10–11).
-    let live_objects: usize = output.per_cell.values().map(|v| v.len()).sum();
-    let d2h_bytes = live_objects as u64 * CachedMessage::WIRE_BYTES;
-    let copy_back = device.d2h(d2h_bytes);
-
-    // CPU side: install the consolidated lists and stamp their epochs.
-    for &c in &work {
-        let mut list = lists.lock(c.index());
-        if let Some(msgs) = output.per_cell.get(&c) {
-            list.restore_consolidated(msgs.clone());
+    let overlapped;
+    if !buckets.is_empty() {
+        let chunks = config.transfer_chunks.clamp(1, buckets.len());
+        let per_chunk = buckets.len().div_ceil(chunks);
+        let mut chunk_bytes: Vec<u64> = Vec::with_capacity(chunks);
+        for group in buckets.chunks(per_chunk) {
+            let bytes: u64 = group
+                .iter()
+                .map(|b| b.len() as u64 * CachedMessage::WIRE_BYTES)
+                .sum();
+            chunk_bytes.push(bytes);
         }
-        list.mark_clean();
+
+        // Parallel processing (Algorithm 2 lines 6–9): one thread per
+        // bucket, fused with the resident merge when any cell took the
+        // delta path.
+        let (output, report) = device.launch(buckets.len().max(resident_msgs.len()), |ctx| {
+            if resident_msgs.is_empty() {
+                xshuffle_clean(ctx, &buckets, config.eta, horizon)
+            } else {
+                xshuffle_merge(ctx, &resident_msgs, &buckets, config.eta, horizon)
+            }
+        });
+
+        // Pipelined makespan: copy time per group against a proportional
+        // share of the kernel time.
+        let mut schedule: Vec<(SimNanos, SimNanos)> = Vec::with_capacity(chunk_bytes.len());
+        for &bytes in &chunk_bytes {
+            let copy = device.h2d(bytes);
+            h2d_bytes += bytes;
+            let share = if messages == 0 {
+                SimNanos::ZERO
+            } else {
+                let frac = bytes as f64 / (messages as u64 * CachedMessage::WIRE_BYTES) as f64;
+                SimNanos((report.time.0 as f64 * frac) as u64)
+            };
+            schedule.push((copy, share));
+        }
+        overlapped = pipelined_makespan(&schedule);
+
+        finish_round(
+            device, lists, resident, &work, &merge, &prior, output, &mut out, &mut rep,
+        );
+        rep.kernel_time = report.time;
+    } else {
+        // Delta-only round where every delta bucket expired on the host:
+        // the merge kernel runs on resident state alone.
+        let (output, report) = device.launch(resident_msgs.len(), |ctx| {
+            xshuffle_merge(ctx, &resident_msgs, &[], config.eta, horizon)
+        });
+        finish_round(
+            device, lists, resident, &work, &merge, &prior, output, &mut out, &mut rep,
+        );
+        rep.kernel_time = report.time;
+        overlapped = report.time;
     }
 
-    rep.time = overlapped + copy_back;
-    rep.kernel_time = report.time;
+    // Byte split between the cold path and the delta path.
+    rep.h2d_full_bytes = (full_msgs as u64 * CachedMessage::WIRE_BYTES).min(h2d_bytes);
+    rep.h2d_delta_bytes = h2d_bytes - rep.h2d_full_bytes;
+
+    rep.compute_time = overlapped;
+    rep.time = rep.compute_time + rep.copy_back_time;
     rep.h2d_bytes = h2d_bytes;
-    rep.d2h_bytes = d2h_bytes;
     rep.buckets = buckets.len();
     rep.messages = messages;
-    rep.max_duplicates_seen = output.max_duplicates_seen;
-    out.extend(output.per_cell);
+    rep.evictions = resident.evictions() - evictions_before;
     (out, rep)
+}
+
+/// Copy-back accounting + CPU-side installation for one cleaning round.
+///
+/// Cells cleaned through the full path copy their whole consolidated list
+/// back; cells cleaned through the resident merge path copy back only the
+/// objects that changed relative to the prior resident mirror (plus 8-byte
+/// ids for removed objects), and their device buffer is refreshed in place.
+/// Every cleaned cell is stamped clean and, when the store accepts it,
+/// (re-)promoted to device residency.
+#[allow(clippy::too_many_arguments)]
+fn finish_round(
+    device: &mut Device,
+    lists: &CellLists,
+    resident: &mut ResidentCellStore,
+    work: &[CellId],
+    merge: &[CellId],
+    prior: &HashMap<CellId, Vec<CachedMessage>, FxBuildHasher>,
+    mut output: crate::xshuffle::CleanOutput,
+    out: &mut CleanedObjects,
+    rep: &mut CleaningReport,
+) {
+    let mut d2h_bytes = 0u64;
+    for &c in work.iter().chain(merge) {
+        let msgs = output.per_cell.remove(&c).unwrap_or_default();
+        if let Some(prev) = prior.get(&c) {
+            // Merge path: diff against the resident mirror.
+            let before: HashMap<ObjectId, CachedMessage, FxBuildHasher> =
+                prev.iter().map(|m| (m.object, *m)).collect();
+            let changed = msgs
+                .iter()
+                .filter(|m| before.get(&m.object) != Some(*m))
+                .count() as u64;
+            let removed = prev
+                .iter()
+                .filter(|m| !msgs.iter().any(|n| n.object == m.object))
+                .count() as u64;
+            d2h_bytes += changed * CachedMessage::WIRE_BYTES + removed * 8;
+        } else {
+            d2h_bytes += msgs.len() as u64 * CachedMessage::WIRE_BYTES;
+        }
+
+        // Satellite of Algorithm 2 line 11: install move-only — the
+        // consolidated list is written into the cell, stamped, promoted,
+        // and handed to the caller without an extra copy.
+        let mut list = lists.lock(c.index());
+        list.restore_consolidated(&msgs);
+        list.mark_clean();
+        let epoch = list.epoch();
+        drop(list);
+        resident.install(device, c, epoch, &msgs);
+        if !msgs.is_empty() {
+            out.insert(c, msgs);
+        }
+    }
+    rep.copy_back_time = device.d2h(d2h_bytes);
+    rep.d2h_bytes = d2h_bytes;
+    rep.max_duplicates_seen = rep.max_duplicates_seen.max(output.max_duplicates_seen);
+    // Anything left in the kernel output belongs to cells outside the
+    // round (cannot happen: wire messages carry their cell id).
+    debug_assert!(output.per_cell.is_empty());
 }
 
 #[cfg(test)]
@@ -186,22 +319,24 @@ mod tests {
         }
     }
 
-    fn setup(n_cells: usize) -> (Device, CellLists) {
+    fn setup(n_cells: usize) -> (Device, CellLists, ResidentCellStore) {
         (
             Device::new(DeviceSpec::test_tiny()),
             CellLists::new(n_cells, 4),
+            ResidentCellStore::new(GGridConfig::default().device_budget_bytes),
         )
     }
 
     #[test]
     fn cleans_only_requested_cells() {
-        let (mut dev, lists) = setup(3);
+        let (mut dev, lists, mut resident) = setup(3);
         lists.lock(0).append(msg(1, 100));
         lists.lock(1).append(msg(2, 100));
         lists.lock(2).append(msg(3, 100));
         let (objs, rep) = clean_cells(
             &mut dev,
             &lists,
+            &mut resident,
             &[CellId(0), CellId(2)],
             &config(),
             Timestamp(150),
@@ -217,13 +352,20 @@ mod tests {
 
     #[test]
     fn consolidation_shrinks_lists() {
-        let (mut dev, lists) = setup(1);
+        let (mut dev, lists, mut resident) = setup(1);
         for t in 0..20 {
             lists.lock(0).append(msg(1, 100 + t));
             lists.lock(0).append(msg(2, 100 + t));
         }
         assert_eq!(lists.lock(0).total_messages(), 40);
-        let (objs, _) = clean_cells(&mut dev, &lists, &[CellId(0)], &config(), Timestamp(200));
+        let (objs, _) = clean_cells(
+            &mut dev,
+            &lists,
+            &mut resident,
+            &[CellId(0)],
+            &config(),
+            Timestamp(200),
+        );
         assert_eq!(objs[&CellId(0)].len(), 2);
         // List now holds exactly one message per live object.
         assert_eq!(lists.lock(0).total_messages(), 2);
@@ -234,10 +376,11 @@ mod tests {
 
     #[test]
     fn empty_cells_cost_nothing() {
-        let (mut dev, lists) = setup(2);
+        let (mut dev, lists, mut resident) = setup(2);
         let (objs, rep) = clean_cells(
             &mut dev,
             &lists,
+            &mut resident,
             &[CellId(0), CellId(1)],
             &config(),
             Timestamp(100),
@@ -249,7 +392,7 @@ mod tests {
 
     #[test]
     fn transfers_metered_on_device() {
-        let (mut dev, lists) = setup(1);
+        let (mut dev, lists, mut resident) = setup(1);
         for t in 0..10 {
             lists.lock(0).append(msg(t, 100 + t));
         }
@@ -257,7 +400,14 @@ mod tests {
             transfer_chunks: 3,
             ..config()
         };
-        let (_, rep) = clean_cells(&mut dev, &lists, &[CellId(0)], &cfg, Timestamp(200));
+        let (_, rep) = clean_cells(
+            &mut dev,
+            &lists,
+            &mut resident,
+            &[CellId(0)],
+            &cfg,
+            Timestamp(200),
+        );
         assert_eq!(rep.h2d_bytes, 10 * CachedMessage::WIRE_BYTES);
         assert_eq!(dev.ledger().h2d_bytes, rep.h2d_bytes);
         assert_eq!(dev.ledger().d2h_bytes, rep.d2h_bytes);
@@ -266,7 +416,7 @@ mod tests {
 
     #[test]
     fn expired_buckets_not_shipped() {
-        let (mut dev, lists) = setup(1);
+        let (mut dev, lists, mut resident) = setup(1);
         lists.lock(0).append(msg(1, 10));
         lists.lock(0).append(msg(1, 11));
         lists.lock(0).append(msg(1, 12));
@@ -277,7 +427,14 @@ mod tests {
             t_delta_ms: 500,
             ..config()
         };
-        let (objs, rep) = clean_cells(&mut dev, &lists, &[CellId(0)], &cfg, Timestamp(5100));
+        let (objs, rep) = clean_cells(
+            &mut dev,
+            &lists,
+            &mut resident,
+            &[CellId(0)],
+            &cfg,
+            Timestamp(5100),
+        );
         assert_eq!(rep.messages, 1, "stale bucket must be dropped on the CPU");
         assert_eq!(objs[&CellId(0)].len(), 1);
         assert_eq!(objs[&CellId(0)][0].object, ObjectId(2));
@@ -285,29 +442,57 @@ mod tests {
 
     #[test]
     fn repeated_cleaning_is_idempotent() {
-        let (mut dev, lists) = setup(1);
+        let (mut dev, lists, mut resident) = setup(1);
         lists.lock(0).append(msg(7, 100));
         let cfg = GGridConfig {
             transfer_chunks: 1,
             ..config()
         };
-        let (a, _) = clean_cells(&mut dev, &lists, &[CellId(0)], &cfg, Timestamp(150));
-        let (b, _) = clean_cells(&mut dev, &lists, &[CellId(0)], &cfg, Timestamp(160));
+        let (a, _) = clean_cells(
+            &mut dev,
+            &lists,
+            &mut resident,
+            &[CellId(0)],
+            &cfg,
+            Timestamp(150),
+        );
+        let (b, _) = clean_cells(
+            &mut dev,
+            &lists,
+            &mut resident,
+            &[CellId(0)],
+            &cfg,
+            Timestamp(160),
+        );
         assert_eq!(a[&CellId(0)], b[&CellId(0)]);
     }
 
     #[test]
     fn second_clean_skips_the_kernel() {
-        let (mut dev, lists) = setup(1);
+        let (mut dev, lists, mut resident) = setup(1);
         for t in 0..8 {
             lists.lock(0).append(msg(t, 100 + t));
         }
         let cfg = config();
-        let (a, rep_a) = clean_cells(&mut dev, &lists, &[CellId(0)], &cfg, Timestamp(200));
+        let (a, rep_a) = clean_cells(
+            &mut dev,
+            &lists,
+            &mut resident,
+            &[CellId(0)],
+            &cfg,
+            Timestamp(200),
+        );
         assert_eq!(rep_a.cells_cleaned, 1);
         assert_eq!(rep_a.cells_skipped, 0);
         let launches = dev.launches();
-        let (b, rep_b) = clean_cells(&mut dev, &lists, &[CellId(0)], &cfg, Timestamp(210));
+        let (b, rep_b) = clean_cells(
+            &mut dev,
+            &lists,
+            &mut resident,
+            &[CellId(0)],
+            &cfg,
+            Timestamp(210),
+        );
         assert_eq!(rep_b.cells_skipped, 1);
         assert_eq!(rep_b.cells_cleaned, 0);
         assert_eq!(rep_b.time, SimNanos::ZERO);
@@ -317,12 +502,26 @@ mod tests {
 
     #[test]
     fn append_invalidates_the_skip() {
-        let (mut dev, lists) = setup(1);
+        let (mut dev, lists, mut resident) = setup(1);
         lists.lock(0).append(msg(1, 100));
         let cfg = config();
-        clean_cells(&mut dev, &lists, &[CellId(0)], &cfg, Timestamp(150));
+        clean_cells(
+            &mut dev,
+            &lists,
+            &mut resident,
+            &[CellId(0)],
+            &cfg,
+            Timestamp(150),
+        );
         lists.lock(0).append(msg(2, 160));
-        let (objs, rep) = clean_cells(&mut dev, &lists, &[CellId(0)], &cfg, Timestamp(170));
+        let (objs, rep) = clean_cells(
+            &mut dev,
+            &lists,
+            &mut resident,
+            &[CellId(0)],
+            &cfg,
+            Timestamp(170),
+        );
         assert_eq!(rep.cells_cleaned, 1, "appended cell must be re-cleaned");
         assert_eq!(rep.cells_skipped, 0);
         assert_eq!(objs[&CellId(0)].len(), 2);
@@ -332,7 +531,7 @@ mod tests {
     fn skip_respects_a_later_horizon() {
         // A cached consolidated message that expires between two cleans
         // must not be served by the skip path.
-        let (mut dev, lists) = setup(1);
+        let (mut dev, lists, mut resident) = setup(1);
         lists.lock(0).append(msg(1, 100));
         lists.lock(0).append(msg(2, 4000));
         let cfg = GGridConfig {
@@ -340,26 +539,228 @@ mod tests {
             ..config()
         };
         // First clean (horizon 3600) drops object 1, keeps object 2.
-        let (first, _) = clean_cells(&mut dev, &lists, &[CellId(0)], &cfg, Timestamp(4100));
+        let (first, _) = clean_cells(
+            &mut dev,
+            &lists,
+            &mut resident,
+            &[CellId(0)],
+            &cfg,
+            Timestamp(4100),
+        );
         assert_eq!(first[&CellId(0)].len(), 1);
         // Second clean (horizon 4100) skips, and the cached t=4000 message
         // is now past the horizon — the cell must come back empty.
-        let (objs, rep) = clean_cells(&mut dev, &lists, &[CellId(0)], &cfg, Timestamp(4600));
+        let (objs, rep) = clean_cells(
+            &mut dev,
+            &lists,
+            &mut resident,
+            &[CellId(0)],
+            &cfg,
+            Timestamp(4600),
+        );
         assert_eq!(rep.cells_skipped, 1);
         assert!(!objs.contains_key(&CellId(0)));
     }
 
     #[test]
+    fn second_clean_after_append_ships_only_the_delta() {
+        let (mut dev, lists, mut resident) = setup(1);
+        for o in 0..8 {
+            lists.lock(0).append(msg(o, 100 + o));
+        }
+        let cfg = config();
+        let (_, rep_a) = clean_cells(
+            &mut dev,
+            &lists,
+            &mut resident,
+            &[CellId(0)],
+            &cfg,
+            Timestamp(200),
+        );
+        assert_eq!(rep_a.h2d_full_bytes, 8 * CachedMessage::WIRE_BYTES);
+        assert_eq!(rep_a.h2d_delta_bytes, 0);
+        assert!(
+            resident.contains(CellId(0)),
+            "first clean promotes the cell"
+        );
+
+        // One appended message dirties the cell; only it crosses the bus.
+        lists.lock(0).append(msg(3, 210));
+        let (objs, rep_b) = clean_cells(
+            &mut dev,
+            &lists,
+            &mut resident,
+            &[CellId(0)],
+            &cfg,
+            Timestamp(250),
+        );
+        assert_eq!(rep_b.resident_hits, 1);
+        assert_eq!(rep_b.cells_cleaned, 1);
+        assert_eq!(rep_b.h2d_full_bytes, 0);
+        assert_eq!(rep_b.h2d_delta_bytes, CachedMessage::WIRE_BYTES);
+        // Copy-back is a diff: one changed object, not the whole list.
+        assert_eq!(rep_b.d2h_bytes, CachedMessage::WIRE_BYTES);
+        assert!(rep_b.d2h_bytes < rep_a.d2h_bytes);
+        // Answer matches a from-scratch consolidation.
+        assert_eq!(objs[&CellId(0)].len(), 8);
+        let newest = objs[&CellId(0)]
+            .iter()
+            .find(|m| m.object == ObjectId(3))
+            .unwrap();
+        assert_eq!(newest.time, Timestamp(210));
+    }
+
+    #[test]
+    fn merge_report_splits_compute_and_copy_back() {
+        let (mut dev, lists, mut resident) = setup(1);
+        for o in 0..8 {
+            lists.lock(0).append(msg(o, 100));
+        }
+        let cfg = config();
+        let (_, rep) = clean_cells(
+            &mut dev,
+            &lists,
+            &mut resident,
+            &[CellId(0)],
+            &cfg,
+            Timestamp(200),
+        );
+        assert!(rep.copy_back_time > SimNanos::ZERO);
+        assert_eq!(rep.time, rep.compute_time + rep.copy_back_time);
+    }
+
+    #[test]
+    fn zero_budget_disables_the_delta_path() {
+        let (mut dev, lists, mut resident) = (
+            Device::new(DeviceSpec::test_tiny()),
+            CellLists::new(1, 4),
+            ResidentCellStore::new(0),
+        );
+        lists.lock(0).append(msg(1, 100));
+        let cfg = config();
+        clean_cells(
+            &mut dev,
+            &lists,
+            &mut resident,
+            &[CellId(0)],
+            &cfg,
+            Timestamp(150),
+        );
+        assert!(!resident.contains(CellId(0)));
+        lists.lock(0).append(msg(2, 160));
+        let (_, rep) = clean_cells(
+            &mut dev,
+            &lists,
+            &mut resident,
+            &[CellId(0)],
+            &cfg,
+            Timestamp(170),
+        );
+        assert_eq!(rep.resident_hits, 0);
+        assert_eq!(rep.h2d_delta_bytes, 0);
+        assert_eq!(rep.h2d_full_bytes, 2 * CachedMessage::WIRE_BYTES);
+    }
+
+    #[test]
+    fn evicted_cell_falls_back_to_full_upload_then_repromotes() {
+        let (mut dev, lists, mut resident) = setup(1);
+        for o in 0..4 {
+            lists.lock(0).append(msg(o, 100));
+        }
+        let cfg = config();
+        clean_cells(
+            &mut dev,
+            &lists,
+            &mut resident,
+            &[CellId(0)],
+            &cfg,
+            Timestamp(150),
+        );
+        assert!(resident.force_evict(&mut dev, CellId(0)));
+
+        // Dirty the evicted cell: the clean must take the full path again.
+        lists.lock(0).append(msg(9, 160));
+        let (objs, rep) = clean_cells(
+            &mut dev,
+            &lists,
+            &mut resident,
+            &[CellId(0)],
+            &cfg,
+            Timestamp(200),
+        );
+        assert_eq!(rep.resident_hits, 0);
+        assert_eq!(rep.h2d_delta_bytes, 0);
+        assert_eq!(rep.h2d_full_bytes, 5 * CachedMessage::WIRE_BYTES);
+        assert_eq!(objs[&CellId(0)].len(), 5);
+        // ... and the cell is resident once more afterwards.
+        assert!(resident.contains(CellId(0)));
+    }
+
+    #[test]
+    fn delta_only_round_with_expired_delta_still_consolidates() {
+        // The appended delta expires on the host before the second clean;
+        // the merge kernel runs on resident state alone and the surviving
+        // consolidated messages stay correct.
+        let (mut dev, lists, mut resident) = setup(1);
+        lists.lock(0).append(msg(1, 4000));
+        let cfg = GGridConfig {
+            t_delta_ms: 500,
+            ..config()
+        };
+        clean_cells(
+            &mut dev,
+            &lists,
+            &mut resident,
+            &[CellId(0)],
+            &cfg,
+            Timestamp(4100),
+        );
+        lists.lock(0).append(msg(2, 4150));
+        // Horizon 4700: the delta (t=4150) is expired, resident msg (t=4000)
+        // too — everything dies, cell consolidates to empty.
+        let (objs, rep) = clean_cells(
+            &mut dev,
+            &lists,
+            &mut resident,
+            &[CellId(0)],
+            &cfg,
+            Timestamp(5200),
+        );
+        assert_eq!(rep.resident_hits, 1);
+        assert_eq!(rep.h2d_bytes, 0, "expired delta must not ship");
+        assert!(!objs.contains_key(&CellId(0)));
+        assert_eq!(lists.lock(0).total_messages(), 0);
+        assert!(
+            !resident.contains(CellId(0)),
+            "empty consolidation must drop residency"
+        );
+    }
+
+    #[test]
     fn skip_disabled_by_config() {
-        let (mut dev, lists) = setup(1);
+        let (mut dev, lists, mut resident) = setup(1);
         lists.lock(0).append(msg(1, 100));
         let cfg = GGridConfig {
             clean_skip: false,
             ..config()
         };
-        clean_cells(&mut dev, &lists, &[CellId(0)], &cfg, Timestamp(150));
+        clean_cells(
+            &mut dev,
+            &lists,
+            &mut resident,
+            &[CellId(0)],
+            &cfg,
+            Timestamp(150),
+        );
         let launches = dev.launches();
-        let (_, rep) = clean_cells(&mut dev, &lists, &[CellId(0)], &cfg, Timestamp(160));
+        let (_, rep) = clean_cells(
+            &mut dev,
+            &lists,
+            &mut resident,
+            &[CellId(0)],
+            &cfg,
+            Timestamp(160),
+        );
         assert_eq!(rep.cells_skipped, 0);
         assert_eq!(rep.cells_cleaned, 1);
         assert!(dev.launches() > launches, "ablation must re-run the kernel");

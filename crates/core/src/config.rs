@@ -34,6 +34,14 @@ pub struct GGridConfig {
     /// clean-skip). Answers are identical either way; disabling this exists
     /// for ablations.
     pub clean_skip: bool,
+    /// Device-memory budget (bytes) for keeping consolidated cell lists
+    /// resident on the card. While a cell is resident, re-cleaning it ships
+    /// only the delta appended since its last clean and runs the fused
+    /// merge kernel; least-recently-used cells are evicted when the budget
+    /// (or the card) fills up, falling back to the full-upload path.
+    /// `0` disables residency entirely (ablation / tiny-device setups).
+    /// Answers are identical either way.
+    pub device_budget_bytes: u64,
 }
 
 impl Default for GGridConfig {
@@ -48,6 +56,7 @@ impl Default for GGridConfig {
             transfer_chunks: 4,
             refine_workers: 1,
             clean_skip: true,
+            device_budget_bytes: 64 << 20,
         }
     }
 }
@@ -94,6 +103,7 @@ mod tests {
         assert!((c.rho - 1.8).abs() < 1e-9);
         assert_eq!(c.refine_workers, 1);
         assert!(c.clean_skip);
+        assert_eq!(c.device_budget_bytes, 64 << 20);
         c.validate();
     }
 

@@ -50,6 +50,7 @@ use crate::grid::{CellId, GraphGrid};
 use crate::message::{CachedMessage, ObjectId, Timestamp};
 use crate::message_list::CellLists;
 use crate::object_table::FxBuildHasher;
+use crate::residency::ResidentCellStore;
 use crate::stats::QueryBreakdown;
 
 /// Result of a kNN query.
@@ -112,16 +113,18 @@ impl RefineOutcome {
 }
 
 /// Execute a kNN query against the G-Grid state.
+#[allow(clippy::too_many_arguments)]
 pub fn run_knn(
     device: &mut Device,
     grid: &GraphGrid,
     lists: &CellLists,
+    resident: &mut ResidentCellStore,
     config: &GGridConfig,
     q: EdgePosition,
     k: usize,
     now: Timestamp,
 ) -> KnnResult {
-    let pending = knn_device_phase(device, grid, lists, config, q, k, now);
+    let pending = knn_device_phase(device, grid, lists, resident, config, q, k, now);
     let refined = refine_unresolved(
         grid,
         &pending.unresolved,
@@ -129,7 +132,7 @@ pub fn run_knn(
         &pending.in_set,
         config.refine_workers,
     );
-    knn_finalize(device, grid, lists, config, now, pending, refined)
+    knn_finalize(device, grid, lists, resident, config, now, pending, refined)
 }
 
 /// One cleaning round of the expansion: clean the not-yet-included cells,
@@ -138,6 +141,7 @@ pub fn run_knn(
 fn clean_round(
     device: &mut Device,
     lists: &CellLists,
+    resident: &mut ResidentCellStore,
     config: &GGridConfig,
     now: Timestamp,
     cells: &[CellId],
@@ -156,14 +160,19 @@ fn clean_round(
         return;
     }
     let t0 = Instant::now();
-    let (cleaned, rep) = clean_cells(device, lists, &fresh, config, now);
+    let (cleaned, rep) = clean_cells(device, lists, resident, &fresh, config, now);
     *cpu_excluded += t0.elapsed();
     breakdown.cleaning += rep.time;
+    breakdown.copy_back += rep.copy_back_time;
     breakdown.h2d_bytes += rep.h2d_bytes;
+    breakdown.h2d_delta_bytes += rep.h2d_delta_bytes;
+    breakdown.h2d_full_bytes += rep.h2d_full_bytes;
     breakdown.d2h_bytes += rep.d2h_bytes;
     breakdown.messages_cleaned += rep.messages;
     breakdown.cells_cleaned += rep.cells_cleaned;
     breakdown.cells_skipped += rep.cells_skipped;
+    breakdown.resident_hits += rep.resident_hits;
+    breakdown.evictions += rep.evictions;
     for c in fresh {
         in_set[c.index()] = true;
         set.push(c);
@@ -174,10 +183,12 @@ fn clean_round(
 }
 
 /// Steps 1–3: everything that needs the device and the message lists.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn knn_device_phase(
     device: &mut Device,
     grid: &GraphGrid,
     lists: &CellLists,
+    resident: &mut ResidentCellStore,
     config: &GGridConfig,
     q: EdgePosition,
     k: usize,
@@ -203,6 +214,7 @@ pub(crate) fn knn_device_phase(
     clean_round(
         device,
         lists,
+        resident,
         config,
         now,
         &first_round,
@@ -224,6 +236,7 @@ pub(crate) fn knn_device_phase(
         clean_round(
             device,
             lists,
+            resident,
             config,
             now,
             &frontier,
@@ -256,6 +269,7 @@ pub(crate) fn knn_device_phase(
         clean_round(
             device,
             lists,
+            resident,
             config,
             now,
             &frontier,
@@ -431,10 +445,12 @@ pub(crate) fn refine_unresolved(
 
 /// Close out a query: lazily clean the refinement-touched cells, improve
 /// the estimates through the unresolved vertices, and select the answer.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn knn_finalize(
     device: &mut Device,
     grid: &GraphGrid,
     lists: &CellLists,
+    resident: &mut ResidentCellStore,
     config: &GGridConfig,
     now: Timestamp,
     pending: PendingKnn,
@@ -466,6 +482,7 @@ pub(crate) fn knn_finalize(
         clean_round(
             device,
             lists,
+            resident,
             config,
             now,
             &refined.touched_cells,
@@ -864,8 +881,18 @@ mod tests {
     fn run_knn_invalid_query_panics() {
         let (grid, lists, mut device, config) = setup(3);
         let bad = EdgePosition::new(EdgeId(0), 10_000);
+        let mut resident = ResidentCellStore::new(config.device_budget_bytes);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_knn(&mut device, &grid, &lists, &config, bad, 1, Timestamp(1))
+            run_knn(
+                &mut device,
+                &grid,
+                &lists,
+                &mut resident,
+                &config,
+                bad,
+                1,
+                Timestamp(1),
+            )
         }));
         assert!(result.is_err());
     }
@@ -878,7 +905,17 @@ mod tests {
             .collect();
         place(&grid, &lists, &objects, 100);
         let q = EdgePosition::at_source(EdgeId(1));
-        let result = run_knn(&mut device, &grid, &lists, &config, q, 3, Timestamp(200));
+        let mut resident = ResidentCellStore::new(config.device_budget_bytes);
+        let result = run_knn(
+            &mut device,
+            &grid,
+            &lists,
+            &mut resident,
+            &config,
+            q,
+            3,
+            Timestamp(200),
+        );
         assert_eq!(result.items.len(), 3);
         let want = roadnet::dijkstra::reference_knn(grid.graph(), q, &objects, 3);
         let got_d: Vec<u64> = result.items.iter().map(|&(_, d)| d).collect();
@@ -897,10 +934,21 @@ mod tests {
                 .map(|o| (o, EdgePosition::at_source(EdgeId((o * 23 % 160) as u32))))
                 .collect();
             place(&grid, &lists, &objects, 100);
+            let mut resident = ResidentCellStore::new(config.device_budget_bytes);
             (0..5u32)
                 .map(|i| {
                     let q = EdgePosition::at_source(EdgeId(i * 31 % 160));
-                    run_knn(&mut device, &grid, &lists, &config, q, 6, Timestamp(200)).items
+                    run_knn(
+                        &mut device,
+                        &grid,
+                        &lists,
+                        &mut resident,
+                        &config,
+                        q,
+                        6,
+                        Timestamp(200),
+                    )
+                    .items
                 })
                 .collect()
         };
@@ -911,9 +959,20 @@ mod tests {
                 .map(|o| (o, EdgePosition::at_source(EdgeId((o * 23 % 160) as u32))))
                 .collect();
             place(&grid, &lists, &objects, 100);
+            let mut resident = ResidentCellStore::new(config.device_budget_bytes);
             for (i, want) in reference.iter().enumerate() {
                 let q = EdgePosition::at_source(EdgeId(i as u32 * 31 % 160));
-                let got = run_knn(&mut device, &grid, &lists, &config, q, 6, Timestamp(200)).items;
+                let got = run_knn(
+                    &mut device,
+                    &grid,
+                    &lists,
+                    &mut resident,
+                    &config,
+                    q,
+                    6,
+                    Timestamp(200),
+                )
+                .items;
                 assert_eq!(&got, want, "workers={workers} query {i} diverged");
             }
         }
@@ -929,7 +988,17 @@ mod tests {
             .collect();
         place(&grid, &lists, &objects, 100);
         let q = EdgePosition::at_source(EdgeId(2));
-        let pending = knn_device_phase(&mut device, &grid, &lists, &config, q, 4, Timestamp(200));
+        let mut resident = ResidentCellStore::new(config.device_budget_bytes);
+        let pending = knn_device_phase(
+            &mut device,
+            &grid,
+            &lists,
+            &mut resident,
+            &config,
+            q,
+            4,
+            Timestamp(200),
+        );
         if pending.unresolved.is_empty() {
             return; // nothing to refine on this topology
         }

@@ -48,6 +48,7 @@ pub mod message;
 pub mod message_list;
 pub mod mu;
 pub mod object_table;
+pub mod residency;
 pub mod server;
 pub mod stats;
 pub mod validate;

@@ -59,6 +59,14 @@ pub struct MessageList {
     dirty_epoch: u64,
     /// Epoch at which the list was last consolidated, if ever.
     cleaned_epoch: Option<u64>,
+    /// Number of leading messages (in flattened deque order) that are the
+    /// consolidated result of the last cleaning pass. Appends land strictly
+    /// after this prefix (the tail bucket preserves within-bucket arrival
+    /// order), so the prefix stays intact until the next freeze; both
+    /// freezes reset it. A device-resident mirror of the consolidated state
+    /// is exactly this prefix, which is what makes
+    /// [`Self::take_delta_for_cleaning`] sound.
+    consolidated_len: usize,
 }
 
 impl MessageList {
@@ -69,6 +77,7 @@ impl MessageList {
             bucket_capacity,
             dirty_epoch: 0,
             cleaned_epoch: None,
+            consolidated_len: 0,
         }
     }
 
@@ -94,14 +103,53 @@ impl MessageList {
     /// preprocessing). Returns the surviving buckets.
     pub fn take_for_cleaning(&mut self, now: Timestamp, t_delta_ms: u64) -> Vec<Bucket> {
         let horizon = now.saturating_sub_ms(t_delta_ms);
+        self.consolidated_len = 0;
         let taken = std::mem::take(&mut self.buckets);
         taken.into_iter().filter(|b| b.latest >= horizon).collect()
+    }
+
+    /// Freeze and remove every current bucket, returning only the **delta**:
+    /// the messages appended *after* the consolidated prefix of the last
+    /// cleaning pass. The prefix itself is dropped on the host — the caller
+    /// holds a device-resident mirror of it (validated by epoch) and merges
+    /// the delta into that on the device, so the prefix never crosses the
+    /// bus again. Expired whole-delta buckets are discarded exactly like in
+    /// [`Self::take_for_cleaning`].
+    pub fn take_delta_for_cleaning(&mut self, now: Timestamp, t_delta_ms: u64) -> Vec<Bucket> {
+        let horizon = now.saturating_sub_ms(t_delta_ms);
+        let mut skip = self.consolidated_len;
+        self.consolidated_len = 0;
+        let taken = std::mem::take(&mut self.buckets);
+        let mut delta = Vec::new();
+        for mut b in taken {
+            if skip >= b.messages.len() {
+                skip -= b.messages.len();
+                continue;
+            }
+            if skip > 0 {
+                // Bucket straddles the prefix boundary: the head is
+                // consolidated, the tail arrived later.
+                b.messages.drain(..skip);
+                b.latest = b
+                    .messages
+                    .iter()
+                    .map(|m| m.time)
+                    .max()
+                    .unwrap_or(Timestamp(0));
+                skip = 0;
+            }
+            if b.latest >= horizon {
+                delta.push(b);
+            }
+        }
+        delta
     }
 
     /// Install the consolidated result of a cleaning pass (newest message
     /// per surviving object) *before* any messages that arrived while the
     /// GPU was busy.
-    pub fn restore_consolidated(&mut self, messages: Vec<CachedMessage>) {
+    pub fn restore_consolidated(&mut self, messages: &[CachedMessage]) {
+        self.consolidated_len = messages.len();
         if messages.is_empty() {
             return;
         }
@@ -116,6 +164,20 @@ impl MessageList {
     /// Current dirty epoch (monotone append counter).
     pub fn epoch(&self) -> u64 {
         self.dirty_epoch
+    }
+
+    /// Epoch stamped by the last cleaning pass, if any. A device-resident
+    /// mirror of the consolidated state is valid exactly when its recorded
+    /// epoch equals this value (the list's consolidated prefix is then the
+    /// mirrored data, and everything after it is the delta).
+    pub fn cleaned_epoch(&self) -> Option<u64> {
+        self.cleaned_epoch
+    }
+
+    /// Length of the consolidated prefix (messages the last cleaning pass
+    /// installed, still at the front of the list).
+    pub fn consolidated_len(&self) -> usize {
+        self.consolidated_len
     }
 
     /// Stamp the list as consolidated at its current epoch. Called by the
@@ -263,13 +325,77 @@ mod tests {
     }
 
     #[test]
+    fn delta_skips_consolidated_prefix() {
+        let mut l = MessageList::new(2);
+        l.restore_consolidated(&[msg(1, 10), msg(2, 11), msg(3, 12)]);
+        l.mark_clean();
+        assert_eq!(l.consolidated_len(), 3);
+        l.append(msg(4, 20));
+        l.append(msg(5, 21));
+        let delta = l.take_delta_for_cleaning(Timestamp(30), 100);
+        let ids: Vec<u64> = delta
+            .iter()
+            .flat_map(|b| b.messages.iter().map(|m| m.object.0))
+            .collect();
+        assert_eq!(ids, vec![4, 5], "delta must exclude the prefix");
+        assert!(l.is_empty());
+        assert_eq!(l.consolidated_len(), 0);
+    }
+
+    #[test]
+    fn delta_splits_straddling_bucket() {
+        // Capacity 4: prefix of 3 leaves one free slot in the front bucket,
+        // so the first append lands in a bucket that is part prefix.
+        let mut l = MessageList::new(4);
+        l.restore_consolidated(&[msg(1, 10), msg(2, 11), msg(3, 12)]);
+        l.mark_clean();
+        l.append(msg(4, 20));
+        l.append(msg(5, 21));
+        let delta = l.take_delta_for_cleaning(Timestamp(30), 100);
+        let ids: Vec<u64> = delta
+            .iter()
+            .flat_map(|b| b.messages.iter().map(|m| m.object.0))
+            .collect();
+        assert_eq!(ids, vec![4, 5]);
+        // The straddling bucket's latest reflects the remaining tail only.
+        assert!(delta.iter().all(|b| b.latest >= Timestamp(20)));
+    }
+
+    #[test]
+    fn delta_drops_expired_buckets() {
+        let mut l = MessageList::new(2);
+        l.restore_consolidated(&[msg(1, 10)]);
+        l.mark_clean();
+        l.append(msg(2, 11)); // completes the straddling bucket (latest 11)
+        l.append(msg(3, 12));
+        l.append(msg(4, 5000)); // shares a bucket with msg 3 (latest 5000)
+        let delta = l.take_delta_for_cleaning(Timestamp(5100), 500);
+        let ids: Vec<u64> = delta
+            .iter()
+            .flat_map(|b| b.messages.iter().map(|m| m.object.0))
+            .collect();
+        // horizon = 4600: the [2] remainder (latest 11) is dropped wholesale;
+        // [3, 4] survives as a bucket (per-message expiry is the kernel's).
+        assert_eq!(ids, vec![3, 4], "stale delta bucket must be dropped");
+    }
+
+    #[test]
+    fn full_freeze_resets_prefix() {
+        let mut l = MessageList::new(4);
+        l.restore_consolidated(&[msg(1, 10)]);
+        l.mark_clean();
+        let _ = l.take_for_cleaning(Timestamp(20), 100);
+        assert_eq!(l.consolidated_len(), 0);
+    }
+
+    #[test]
     fn restore_goes_before_new_arrivals() {
         let mut l = MessageList::new(4);
         l.append(msg(1, 10));
         let _frozen = l.take_for_cleaning(Timestamp(11), 100);
         // A message arrives "while the GPU is busy".
         l.append(msg(2, 12));
-        l.restore_consolidated(vec![msg(1, 10)]);
+        l.restore_consolidated(&[msg(1, 10)]);
         // Consolidated bucket first, arrival after.
         let all = l.take_for_cleaning(Timestamp(13), 100);
         assert_eq!(all[0].messages[0].object, ObjectId(1));
@@ -279,7 +405,7 @@ mod tests {
     #[test]
     fn restore_chunks_by_capacity() {
         let mut l = MessageList::new(2);
-        l.restore_consolidated((0..5).map(|i| msg(i, i)).collect());
+        l.restore_consolidated(&(0..5).map(|i| msg(i, i)).collect::<Vec<_>>());
         assert_eq!(l.num_buckets(), 3);
         assert_eq!(l.total_messages(), 5);
         // Order preserved across chunks.
@@ -294,7 +420,7 @@ mod tests {
     #[test]
     fn restore_empty_is_noop() {
         let mut l = MessageList::new(2);
-        l.restore_consolidated(vec![]);
+        l.restore_consolidated(&[]);
         assert!(l.is_empty());
     }
 
@@ -307,7 +433,7 @@ mod tests {
         let e = l.epoch();
         // Simulate a cleaning pass: freeze, restore, stamp.
         let _frozen = l.take_for_cleaning(Timestamp(11), 100);
-        l.restore_consolidated(vec![msg(1, 10)]);
+        l.restore_consolidated(&[msg(1, 10)]);
         l.mark_clean();
         assert!(l.is_clean());
         assert_eq!(l.epoch(), e, "cleaning does not advance the epoch");
@@ -319,7 +445,7 @@ mod tests {
     #[test]
     fn snapshot_filters_by_horizon() {
         let mut l = MessageList::new(4);
-        l.restore_consolidated(vec![msg(1, 10), msg(2, 500), msg(3, 600)]);
+        l.restore_consolidated(&[msg(1, 10), msg(2, 500), msg(3, 600)]);
         l.mark_clean();
         let fresh = l.snapshot_clean(Timestamp(400));
         let ids: Vec<u64> = fresh.iter().map(|m| m.object.0).collect();

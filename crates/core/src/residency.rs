@@ -1,0 +1,352 @@
+//! Device-resident consolidated cell state.
+//!
+//! After a cell's first full cleaning pass its consolidated list (one
+//! message per live object) is left *on the device*: a handle-tracked
+//! buffer in [`gpu_sim::Device`] plus a host mirror of the contents here.
+//! The next time the cell needs cleaning, only the **delta** — messages
+//! appended since the clean — crosses the bus, and the fused
+//! [`crate::xshuffle::xshuffle_merge`] kernel combines it with the resident
+//! state in one launch.
+//!
+//! Validity is epoch-based: an entry records the list epoch at which it was
+//! installed, and is usable exactly while the cell's
+//! [`crate::message_list::MessageList::cleaned_epoch`] still equals it —
+//! i.e. the list's consolidated prefix is byte-for-byte the mirrored data.
+//! Anything else (a full re-clean through another path, an eviction, a
+//! restart) just means the next clean takes the full-upload path;
+//! **correctness never depends on residency**.
+//!
+//! Residency is bounded twice over: by `GGridConfig::device_budget_bytes`
+//! (`0` disables the store) and by the card's physical capacity enforced in
+//! [`gpu_sim::mem`]. When either bound is hit, least-recently-used cells
+//! are evicted until the new entry fits; a cell whose consolidated list
+//! alone exceeds the budget is simply never promoted.
+
+use std::collections::HashMap;
+
+use gpu_sim::{BufferId, Device};
+
+use crate::grid::CellId;
+use crate::message::CachedMessage;
+use crate::object_table::FxBuildHasher;
+
+/// One cell's device-resident consolidated state.
+#[derive(Debug)]
+struct ResidentEntry {
+    buffer: BufferId,
+    /// List epoch at install time; the mirror is valid while the cell's
+    /// `cleaned_epoch()` equals this.
+    epoch: u64,
+    /// Host mirror of the device buffer (the simulator computes on host
+    /// data; a real port would keep only the device pointer).
+    mirror: Vec<CachedMessage>,
+    last_used: u64,
+}
+
+impl ResidentEntry {
+    fn bytes(&self) -> u64 {
+        self.mirror.len() as u64 * CachedMessage::WIRE_BYTES
+    }
+}
+
+/// LRU store of device-resident consolidated cell lists.
+#[derive(Debug)]
+pub struct ResidentCellStore {
+    budget_bytes: u64,
+    entries: HashMap<CellId, ResidentEntry, FxBuildHasher>,
+    tick: u64,
+    evictions: u64,
+}
+
+impl ResidentCellStore {
+    /// `budget_bytes = 0` disables residency entirely: every lookup misses
+    /// and every install is a no-op.
+    pub fn new(budget_bytes: u64) -> Self {
+        Self {
+            budget_bytes,
+            entries: HashMap::with_hasher(FxBuildHasher::default()),
+            tick: 0,
+            evictions: 0,
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.budget_bytes > 0
+    }
+
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget_bytes
+    }
+
+    /// Bytes currently mirrored on the device.
+    pub fn resident_bytes(&self) -> u64 {
+        self.entries.values().map(|e| e.bytes()).sum()
+    }
+
+    pub fn resident_cells(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn contains(&self, cell: CellId) -> bool {
+        self.entries.contains_key(&cell)
+    }
+
+    /// Lifetime LRU/stale evictions (monotone; callers diff across a round).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// The resident mirror of `cell`, valid against the cell's current
+    /// `cleaned_epoch`. A stale entry (the list was re-consolidated through
+    /// a path that did not update the store) is dropped on the spot — its
+    /// device buffer is freed — and the lookup misses.
+    pub fn lookup(
+        &mut self,
+        device: &mut Device,
+        cell: CellId,
+        cleaned_epoch: Option<u64>,
+    ) -> Option<&[CachedMessage]> {
+        match self.entries.get(&cell) {
+            None => None,
+            Some(e) if cleaned_epoch != Some(e.epoch) => {
+                let e = self.entries.remove(&cell).expect("entry just seen");
+                device.free_buffer(e.buffer);
+                self.evictions += 1;
+                None
+            }
+            Some(_) => {
+                self.tick += 1;
+                let e = self.entries.get_mut(&cell).expect("entry just seen");
+                e.last_used = self.tick;
+                Some(&e.mirror)
+            }
+        }
+    }
+
+    /// Install (or refresh) the resident state of `cell` after a cleaning
+    /// pass consolidated it to `messages` at list epoch `epoch`. Evicts
+    /// least-recently-used cells as needed to respect both the configured
+    /// budget and the card's capacity; returns whether the cell is resident
+    /// afterwards. An empty consolidated list is never kept resident (the
+    /// clean-skip cache already serves it for free).
+    pub fn install(
+        &mut self,
+        device: &mut Device,
+        cell: CellId,
+        epoch: u64,
+        messages: &[CachedMessage],
+    ) -> bool {
+        if !self.enabled() || messages.is_empty() {
+            self.invalidate(device, cell);
+            return false;
+        }
+        let bytes = messages.len() as u64 * CachedMessage::WIRE_BYTES;
+        if bytes > self.budget_bytes {
+            self.invalidate(device, cell);
+            return false;
+        }
+
+        // Free the cell's previous buffer first: the new allocation below
+        // must not be blocked by state it is replacing.
+        if let Some(e) = self.entries.remove(&cell) {
+            device.free_buffer(e.buffer);
+        }
+
+        // Budget eviction (never counts the slot being refreshed).
+        while self.resident_bytes() + bytes > self.budget_bytes {
+            if self.evict_lru(device).is_none() {
+                return false; // unreachable: bytes <= budget and store empty
+            }
+        }
+
+        // Capacity eviction: the card itself may be fuller than the budget
+        // assumes (other structures share it).
+        let buffer = loop {
+            match device.alloc_buffer(bytes) {
+                Ok(b) => break b,
+                Err(_) => {
+                    if self.evict_lru(device).is_none() {
+                        return false;
+                    }
+                }
+            }
+        };
+
+        self.tick += 1;
+        self.entries.insert(
+            cell,
+            ResidentEntry {
+                buffer,
+                epoch,
+                mirror: messages.to_vec(),
+                last_used: self.tick,
+            },
+        );
+        true
+    }
+
+    /// Drop `cell`'s resident state, if any. Returns the bytes freed.
+    pub fn invalidate(&mut self, device: &mut Device, cell: CellId) -> u64 {
+        match self.entries.remove(&cell) {
+            Some(e) => device.free_buffer(e.buffer),
+            None => 0,
+        }
+    }
+
+    /// Evict the least-recently-used resident cell. Returns the victim.
+    pub fn evict_lru(&mut self, device: &mut Device) -> Option<CellId> {
+        let victim = self
+            .entries
+            .iter()
+            .min_by_key(|(c, e)| (e.last_used, c.0))
+            .map(|(&c, _)| c)?;
+        self.invalidate(device, victim);
+        self.evictions += 1;
+        Some(victim)
+    }
+
+    /// Forcibly evict a specific cell (tests, ablations). Returns whether
+    /// the cell was resident.
+    pub fn force_evict(&mut self, device: &mut Device, cell: CellId) -> bool {
+        let was = self.invalidate(device, cell) > 0;
+        if was {
+            self.evictions += 1;
+        }
+        was
+    }
+
+    /// Drop everything (e.g. before reconfiguring the device).
+    pub fn clear(&mut self, device: &mut Device) {
+        let cells: Vec<CellId> = self.entries.keys().copied().collect();
+        for c in cells {
+            self.invalidate(device, c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{ObjectId, Timestamp};
+    use gpu_sim::DeviceSpec;
+    use roadnet::{EdgeId, EdgePosition};
+
+    fn msg(o: u64, t: u64) -> CachedMessage {
+        CachedMessage::update(ObjectId(o), EdgePosition::new(EdgeId(0), 0), Timestamp(t))
+    }
+
+    fn msgs(n: u64) -> Vec<CachedMessage> {
+        (0..n).map(|o| msg(o, 100 + o)).collect()
+    }
+
+    fn dev() -> Device {
+        Device::new(DeviceSpec::test_tiny())
+    }
+
+    #[test]
+    fn disabled_store_never_installs() {
+        let mut d = dev();
+        let mut s = ResidentCellStore::new(0);
+        assert!(!s.install(&mut d, CellId(0), 1, &msgs(3)));
+        assert!(s.lookup(&mut d, CellId(0), Some(1)).is_none());
+        assert_eq!(d.residency().live_buffers, 0);
+    }
+
+    #[test]
+    fn install_lookup_roundtrip() {
+        let mut d = dev();
+        let mut s = ResidentCellStore::new(1 << 20);
+        let m = msgs(4);
+        assert!(s.install(&mut d, CellId(2), 7, &m));
+        assert_eq!(s.lookup(&mut d, CellId(2), Some(7)).unwrap(), &m[..]);
+        assert_eq!(d.residency().live_buffers, 1);
+        assert_eq!(s.resident_bytes(), 4 * CachedMessage::WIRE_BYTES);
+    }
+
+    #[test]
+    fn stale_epoch_drops_entry() {
+        let mut d = dev();
+        let mut s = ResidentCellStore::new(1 << 20);
+        s.install(&mut d, CellId(2), 7, &msgs(4));
+        assert!(s.lookup(&mut d, CellId(2), Some(8)).is_none());
+        assert!(!s.contains(CellId(2)), "stale entry must be dropped");
+        assert_eq!(d.residency().live_buffers, 0);
+        assert_eq!(s.evictions(), 1);
+    }
+
+    #[test]
+    fn budget_evicts_lru() {
+        let mut d = dev();
+        // Budget fits two 4-message cells but not three.
+        let mut s = ResidentCellStore::new(9 * CachedMessage::WIRE_BYTES);
+        s.install(&mut d, CellId(0), 1, &msgs(4));
+        s.install(&mut d, CellId(1), 1, &msgs(4));
+        // Touch cell 0 so cell 1 is the LRU victim.
+        assert!(s.lookup(&mut d, CellId(0), Some(1)).is_some());
+        s.install(&mut d, CellId(2), 1, &msgs(4));
+        assert!(s.contains(CellId(0)));
+        assert!(!s.contains(CellId(1)), "LRU cell must be evicted");
+        assert!(s.contains(CellId(2)));
+        assert_eq!(s.evictions(), 1);
+        assert_eq!(d.residency().live_buffers, 2);
+    }
+
+    #[test]
+    fn oversized_cell_never_promoted() {
+        let mut d = dev();
+        let mut s = ResidentCellStore::new(2 * CachedMessage::WIRE_BYTES);
+        assert!(!s.install(&mut d, CellId(0), 1, &msgs(3)));
+        assert_eq!(s.resident_cells(), 0);
+        assert_eq!(d.residency().live_buffers, 0);
+    }
+
+    #[test]
+    fn reinstall_replaces_buffer() {
+        let mut d = dev();
+        let mut s = ResidentCellStore::new(1 << 20);
+        s.install(&mut d, CellId(0), 1, &msgs(4));
+        s.install(&mut d, CellId(0), 3, &msgs(2));
+        assert_eq!(s.resident_cells(), 1);
+        assert_eq!(s.resident_bytes(), 2 * CachedMessage::WIRE_BYTES);
+        assert_eq!(d.residency().live_buffers, 1);
+        assert!(s.lookup(&mut d, CellId(0), Some(1)).is_none());
+    }
+
+    #[test]
+    fn empty_consolidation_invalidates() {
+        let mut d = dev();
+        let mut s = ResidentCellStore::new(1 << 20);
+        s.install(&mut d, CellId(0), 1, &msgs(4));
+        assert!(!s.install(&mut d, CellId(0), 2, &[]));
+        assert!(!s.contains(CellId(0)));
+        assert_eq!(d.residency().live_buffers, 0);
+    }
+
+    #[test]
+    fn device_capacity_forces_eviction() {
+        // test_tiny card: 1 MiB. Budget is larger than the card, so the
+        // capacity loop (not the budget loop) must evict.
+        let mut d = dev();
+        d.alloc(1024 * 1024 - 64 * CachedMessage::WIRE_BYTES)
+            .unwrap();
+        let mut s = ResidentCellStore::new(1 << 30);
+        assert!(s.install(&mut d, CellId(0), 1, &msgs(40)));
+        assert!(s.install(&mut d, CellId(1), 1, &msgs(40)));
+        assert!(!s.contains(CellId(0)), "card pressure must evict LRU");
+        assert!(s.contains(CellId(1)));
+    }
+
+    #[test]
+    fn force_evict_and_clear() {
+        let mut d = dev();
+        let mut s = ResidentCellStore::new(1 << 20);
+        s.install(&mut d, CellId(0), 1, &msgs(2));
+        s.install(&mut d, CellId(1), 1, &msgs(2));
+        assert!(s.force_evict(&mut d, CellId(0)));
+        assert!(!s.force_evict(&mut d, CellId(0)));
+        assert_eq!(s.evictions(), 1);
+        s.clear(&mut d);
+        assert_eq!(s.resident_cells(), 0);
+        assert_eq!(d.residency().live_buffers, 0);
+    }
+}

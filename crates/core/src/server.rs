@@ -14,6 +14,7 @@ use crate::knn::{run_knn, KnnResult};
 use crate::message::{CachedMessage, ObjectId, Timestamp};
 use crate::message_list::CellLists;
 use crate::object_table::ObjectTable;
+use crate::residency::ResidentCellStore;
 use crate::stats::{QueryBreakdown, ServerCounters};
 
 /// A G-Grid query server (paper §III–§V).
@@ -33,6 +34,7 @@ pub struct GGridServer {
     object_table: RwLock<ObjectTable>,
     lists: CellLists,
     device: Device,
+    resident: ResidentCellStore,
     counters: ServerCounters,
     last_breakdown: QueryBreakdown,
 }
@@ -75,6 +77,7 @@ impl GGridServer {
             .alloc(grid.grid_bytes())
             .expect("graph grid does not fit in device memory");
         let lists = CellLists::new(grid.num_cells(), config.bucket_capacity);
+        let resident = ResidentCellStore::new(config.device_budget_bytes);
         Self {
             graph,
             grid,
@@ -82,6 +85,7 @@ impl GGridServer {
             object_table: RwLock::new(ObjectTable::new()),
             lists,
             device,
+            resident,
             counters: ServerCounters::default(),
             last_breakdown: QueryBreakdown::default(),
         }
@@ -110,6 +114,40 @@ impl GGridServer {
     /// Breakdown of the most recent query.
     pub fn last_breakdown(&self) -> &QueryBreakdown {
         &self.last_breakdown
+    }
+
+    /// Number of cells whose consolidated lists are device-resident.
+    pub fn resident_cells(&self) -> usize {
+        self.resident.resident_cells()
+    }
+
+    /// Bytes of consolidated cell state held in device memory.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident.resident_bytes()
+    }
+
+    /// Whether the cell containing `edge` is device-resident right now.
+    pub fn is_resident(&self, edge: roadnet::EdgeId) -> bool {
+        self.resident.contains(self.grid.cell_of_edge(edge))
+    }
+
+    /// Forcibly evict the resident state of the cell containing `edge`
+    /// (tests and ablations — simulates device-memory pressure from
+    /// elsewhere). The next clean of that cell takes the full-upload path
+    /// and re-promotes it.
+    pub fn evict_resident(&mut self, edge: roadnet::EdgeId) -> bool {
+        let cell = self.grid.cell_of_edge(edge);
+        let evicted = self.resident.force_evict(&mut self.device, cell);
+        if evicted {
+            self.counters.evictions += 1;
+        }
+        evicted
+    }
+
+    /// Forcibly evict every resident cell.
+    pub fn evict_all_resident(&mut self) {
+        self.counters.evictions += self.resident.resident_cells() as u64;
+        self.resident.clear(&mut self.device);
     }
 
     /// Read access to the per-cell message lists (diagnostics/validation).
@@ -165,25 +203,43 @@ impl GGridServer {
     /// lazy strategy into the eager one the paper compares against).
     pub fn clean_cell_of_edge(&mut self, edge: roadnet::EdgeId, now: Timestamp) {
         let cell = self.grid.cell_of_edge(edge);
-        let (_, rep) =
-            crate::cleaning::clean_cells(&mut self.device, &self.lists, &[cell], &self.config, now);
+        let (_, rep) = crate::cleaning::clean_cells(
+            &mut self.device,
+            &self.lists,
+            &mut self.resident,
+            &[cell],
+            &self.config,
+            now,
+        );
         self.counters.gpu_time += rep.time;
         self.counters.h2d_bytes += rep.h2d_bytes;
+        self.counters.h2d_delta_bytes += rep.h2d_delta_bytes;
+        self.counters.h2d_full_bytes += rep.h2d_full_bytes;
         self.counters.d2h_bytes += rep.d2h_bytes;
         self.counters.messages_cleaned += rep.messages as u64;
         self.counters.clean_skip_hits += rep.cells_skipped as u64;
         self.counters.clean_skip_misses += rep.cells_cleaned as u64;
+        self.counters.resident_hits += rep.resident_hits as u64;
+        self.counters.evictions += rep.evictions;
     }
 
     /// Eagerly clean every cell (used by tests and ablations).
     pub fn clean_all(&mut self, now: Timestamp) {
         let cells: Vec<crate::grid::CellId> = self.grid.cell_ids().collect();
-        let (_, rep) =
-            crate::cleaning::clean_cells(&mut self.device, &self.lists, &cells, &self.config, now);
+        let (_, rep) = crate::cleaning::clean_cells(
+            &mut self.device,
+            &self.lists,
+            &mut self.resident,
+            &cells,
+            &self.config,
+            now,
+        );
         self.counters.gpu_time += rep.time;
         self.counters.messages_cleaned += rep.messages as u64;
         self.counters.clean_skip_hits += rep.cells_skipped as u64;
         self.counters.clean_skip_misses += rep.cells_cleaned as u64;
+        self.counters.resident_hits += rep.resident_hits as u64;
+        self.counters.evictions += rep.evictions;
     }
 
     /// Answer a kNN query issued at `now`; returns up to `k`
@@ -204,6 +260,7 @@ impl GGridServer {
             &mut self.device,
             &self.grid,
             &self.lists,
+            &mut self.resident,
             &self.config,
             queries,
             now,
@@ -223,6 +280,7 @@ impl GGridServer {
             &mut self.device,
             &self.grid,
             &self.lists,
+            &mut self.resident,
             &self.config,
             q,
             k,
@@ -268,8 +326,9 @@ impl MovingObjectIndex for GGridServer {
             // Graph grid + object table + message lists live on the CPU.
             cpu_bytes: self.grid.grid_bytes() + self.object_table.read().size_bytes() + lists,
             // The GPU holds a mirror of the graph grid to streamline the
-            // computation (Fig 6's "G-Grid (GPU)").
-            gpu_bytes: self.grid.grid_bytes(),
+            // computation (Fig 6's "G-Grid (GPU)") plus whatever
+            // consolidated cell lists are currently resident.
+            gpu_bytes: self.grid.grid_bytes() + self.resident.resident_bytes(),
         }
     }
 }

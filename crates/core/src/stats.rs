@@ -15,8 +15,16 @@ pub struct QueryBreakdown {
     pub candidate: SimNanos,
     /// Result copy back and bookkeeping transfers.
     pub transfer_out: SimNanos,
+    /// D2H copy-back portion of `cleaning` (consolidated lists streaming
+    /// back to the host). Modeled as strictly after all cleaning compute;
+    /// the batch pipeline schedules it on a dedicated transfer stream.
+    pub copy_back: SimNanos,
     /// Host→device bytes moved for this query.
     pub h2d_bytes: u64,
+    /// Portion of `h2d_bytes` shipped as deltas to device-resident cells.
+    pub h2d_delta_bytes: u64,
+    /// Portion of `h2d_bytes` shipped as full (cold-path) uploads.
+    pub h2d_full_bytes: u64,
     /// Device→host bytes moved for this query.
     pub d2h_bytes: u64,
     /// Cells whose lists the cleaning kernel actually processed.
@@ -24,6 +32,12 @@ pub struct QueryBreakdown {
     /// Cells served straight from the epoch-based clean-skip cache (no
     /// kernel launch, no transfer).
     pub cells_skipped: usize,
+    /// Cells cleaned through the device-resident delta-merge path (subset
+    /// of `cells_cleaned`).
+    pub resident_hits: usize,
+    /// Resident cells evicted while serving this query (LRU pressure or
+    /// staleness).
+    pub evictions: u64,
     /// Messages shipped to the device.
     pub messages_cleaned: usize,
     /// Candidate objects considered before refinement.
@@ -106,6 +120,14 @@ pub struct ServerCounters {
     pub clean_skip_hits: u64,
     /// Cells that needed a real kernel clean.
     pub clean_skip_misses: u64,
+    /// H2D bytes shipped as deltas to device-resident cells.
+    pub h2d_delta_bytes: u64,
+    /// H2D bytes shipped as full (cold-path) uploads.
+    pub h2d_full_bytes: u64,
+    /// Cells cleaned through the resident delta-merge path.
+    pub resident_hits: u64,
+    /// Resident cells evicted (LRU pressure or staleness).
+    pub evictions: u64,
     /// Cumulative refinement wall time.
     pub refine_ns: u64,
     /// Cumulative summed refinement worker-busy time.
@@ -124,6 +146,10 @@ impl ServerCounters {
         self.emulation_ns += b.emulation_ns;
         self.clean_skip_hits += b.cells_skipped as u64;
         self.clean_skip_misses += b.cells_cleaned as u64;
+        self.h2d_delta_bytes += b.h2d_delta_bytes;
+        self.h2d_full_bytes += b.h2d_full_bytes;
+        self.resident_hits += b.resident_hits as u64;
+        self.evictions += b.evictions;
         self.refine_ns += b.refine_ns;
         self.refine_busy_ns += b.refine_busy_ns;
         self.refine_critical_ns += b.refine_critical_ns;
@@ -136,6 +162,15 @@ impl ServerCounters {
             return 0.0;
         }
         self.clean_skip_hits as f64 / total as f64
+    }
+
+    /// Fraction of kernel-cleaned cells that took the resident delta-merge
+    /// path instead of a full upload.
+    pub fn resident_hit_rate(&self) -> f64 {
+        if self.clean_skip_misses == 0 {
+            return 0.0;
+        }
+        self.resident_hits as f64 / self.clean_skip_misses as f64
     }
 
     /// Average refinement concurrency across the server's lifetime (see
@@ -199,6 +234,25 @@ mod tests {
             ..Default::default()
         });
         assert!((c.clean_skip_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residency_counters_accumulate() {
+        let mut c = ServerCounters::default();
+        c.record_query(&QueryBreakdown {
+            cells_cleaned: 4,
+            resident_hits: 3,
+            h2d_delta_bytes: 100,
+            h2d_full_bytes: 300,
+            evictions: 2,
+            ..Default::default()
+        });
+        assert_eq!(c.resident_hits, 3);
+        assert_eq!(c.h2d_delta_bytes, 100);
+        assert_eq!(c.h2d_full_bytes, 300);
+        assert_eq!(c.evictions, 2);
+        assert!((c.resident_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(ServerCounters::default().resident_hit_rate(), 0.0);
     }
 
     #[test]

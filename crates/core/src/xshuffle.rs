@@ -66,6 +66,10 @@ pub struct CleanOutput {
     pub objects_seen: usize,
 }
 
+/// Intermediate table 𝒯: per object, one candidate slot per bundle (plus,
+/// for the fused merge kernel, one slot for the device-resident state).
+type SlotTable = HashMap<ObjectId, Vec<Option<WireMessage>>, FxBuildHasher>;
+
 /// Run the X-shuffle cleaning kernel over `buckets` (one bucket per thread).
 ///
 /// Messages with `time < horizon` are expired by the update contract and are
@@ -78,11 +82,91 @@ pub fn xshuffle_clean(
 ) -> CleanOutput {
     let width = 1usize << eta;
     let n_bundles = buckets.len().div_ceil(width).max(1);
-    let mu_eta = mu(eta) as u64;
 
-    // Intermediate table 𝒯: per object, one candidate slot per bundle.
-    let mut table: HashMap<ObjectId, Vec<Option<WireMessage>>, FxBuildHasher> =
-        HashMap::with_hasher(FxBuildHasher::default());
+    let mut table: SlotTable = HashMap::with_hasher(FxBuildHasher::default());
+    let max_dup = shuffle_into_table(ctx, buckets, eta, horizon, &mut table, n_bundles);
+    let objects_seen = table.len();
+    let per_cell = collect_table(ctx, table, n_bundles);
+
+    CleanOutput {
+        per_cell,
+        max_duplicates_seen: max_dup,
+        objects_seen,
+    }
+}
+
+/// The fused incremental-merge kernel: X-shuffle the *delta* buckets (the
+/// only data that crossed the bus this round) and merge the result with the
+/// `resident` consolidated state already sitting in device memory, in one
+/// launch. Resident entries are already deduplicated — one message per
+/// object from the previous clean — so they bypass the butterfly and enter
+/// the result computation directly through a dedicated slot of 𝒯, costing
+/// one global read each instead of a PCIe crossing. Entries older than
+/// `horizon` expire during the merge exactly as a full re-clean would
+/// expire them.
+pub fn xshuffle_merge(
+    ctx: &mut KernelCtx,
+    resident: &[WireMessage],
+    delta_buckets: &[Vec<WireMessage>],
+    eta: u32,
+    horizon: Timestamp,
+) -> CleanOutput {
+    let width = 1usize << eta;
+    let n_bundles = delta_buckets.len().div_ceil(width).max(1);
+    // One extra slot column for the resident state.
+    let n_slots = n_bundles + 1;
+
+    let mut table: SlotTable = HashMap::with_hasher(FxBuildHasher::default());
+    let max_dup = shuffle_into_table(ctx, delta_buckets, eta, horizon, &mut table, n_slots);
+
+    // Merge step: one thread per resident entry loads it from device
+    // global memory (no transfer — it never left the card) and claims the
+    // resident slot. Entries are unique per object by construction, so the
+    // write is contention-free (no μ(η) retry budget needed).
+    for &w in resident {
+        ctx.charge_read(CachedMessage::WIRE_BYTES);
+        ctx.charge_alu_one(2);
+        if w.msg.time < horizon {
+            continue;
+        }
+        ctx.charge_write(CachedMessage::WIRE_BYTES);
+        let slots = table
+            .entry(w.msg.object)
+            .or_insert_with(|| vec![None; n_slots]);
+        // Two cells' resident lists can both hold the object (the older one a
+        // stale copy not yet superseded by a tombstone it never saw); resolve
+        // the shared slot with the same total order the butterfly uses.
+        let slot = &mut slots[n_bundles];
+        if slot.is_none_or(|cur| replaces(&w, &cur)) {
+            *slot = Some(w);
+        }
+    }
+
+    let objects_seen = table.len();
+    let per_cell = collect_table(ctx, table, n_slots);
+
+    CleanOutput {
+        per_cell,
+        max_duplicates_seen: max_dup,
+        objects_seen,
+    }
+}
+
+/// Algorithm 3's bundle loop: butterfly-shuffle every bucket group and
+/// write the survivors into `table` (one slot column per bundle). Returns
+/// the largest duplicate count observed (Theorem 1 diagnostic).
+fn shuffle_into_table(
+    ctx: &mut KernelCtx,
+    buckets: &[Vec<WireMessage>],
+    eta: u32,
+    horizon: Timestamp,
+    table: &mut SlotTable,
+    n_slots: usize,
+) -> u32 {
+    let width = 1usize << eta;
+    let n_bundles = buckets.len().div_ceil(width).max(1);
+    debug_assert!(n_slots >= n_bundles);
+    let mu_eta = mu(eta) as u64;
     let mut max_dup = 0u32;
 
     for bundle_id in 0..n_bundles {
@@ -171,7 +255,7 @@ pub fn xshuffle_clean(
             for reg in regs.as_slice().iter().flatten() {
                 let slots = table
                     .entry(reg.msg.object)
-                    .or_insert_with(|| vec![None; n_bundles]);
+                    .or_insert_with(|| vec![None; n_slots]);
                 let slot = &mut slots[bundle_id];
                 if slot.is_none_or(|cur| replaces(reg, &cur)) {
                     *slot = Some(*reg);
@@ -180,39 +264,39 @@ pub fn xshuffle_clean(
         }
     }
 
-    // Result computation (Algorithm 2 step 4 / GPU_Collect): one thread per
-    // object folds its bundle slots into the newest message and inserts it
-    // into ℛ keyed by that message's cell.
+    max_dup
+}
+
+/// Result computation (Algorithm 2 step 4 / GPU_Collect): one thread per
+/// object folds its slot column into the newest message and inserts it into
+/// ℛ keyed by that message's cell.
+fn collect_table(
+    ctx: &mut KernelCtx,
+    table: SlotTable,
+    n_slots: usize,
+) -> HashMap<CellId, Vec<CachedMessage>, FxBuildHasher> {
     let objects_seen = table.len();
-    let (collect_result, _) = {
-        // Charged to the same launch context: |T| threads scanning
-        // n_bundles slots each.
-        ctx.charge_alu_one((objects_seen * n_bundles) as u64);
-        ctx.charge_read(CachedMessage::WIRE_BYTES * (objects_seen * n_bundles) as u64);
-        ctx.charge_write(CachedMessage::WIRE_BYTES * objects_seen as u64);
-        let mut per_cell: HashMap<CellId, Vec<CachedMessage>, FxBuildHasher> =
-            HashMap::with_hasher(FxBuildHasher::default());
-        for (_, slots) in table {
-            let mut newest: Option<WireMessage> = None;
-            for cand in slots.into_iter().flatten() {
-                if newest.is_none_or(|cur| replaces(&cand, &cur)) {
-                    newest = Some(cand);
-                }
-            }
-            if let Some(w) = newest {
-                if !w.msg.is_tombstone() {
-                    per_cell.entry(w.cell).or_default().push(w.msg);
-                }
+    // Charged to the same launch context: |T| threads scanning n_slots
+    // slots each.
+    ctx.charge_alu_one((objects_seen * n_slots) as u64);
+    ctx.charge_read(CachedMessage::WIRE_BYTES * (objects_seen * n_slots) as u64);
+    ctx.charge_write(CachedMessage::WIRE_BYTES * objects_seen as u64);
+    let mut per_cell: HashMap<CellId, Vec<CachedMessage>, FxBuildHasher> =
+        HashMap::with_hasher(FxBuildHasher::default());
+    for (_, slots) in table {
+        let mut newest: Option<WireMessage> = None;
+        for cand in slots.into_iter().flatten() {
+            if newest.is_none_or(|cur| replaces(&cand, &cur)) {
+                newest = Some(cand);
             }
         }
-        (per_cell, ())
-    };
-
-    CleanOutput {
-        per_cell: collect_result,
-        max_duplicates_seen: max_dup,
-        objects_seen,
+        if let Some(w) = newest {
+            if !w.msg.is_tombstone() {
+                per_cell.entry(w.cell).or_default().push(w.msg);
+            }
+        }
     }
+    per_cell
 }
 
 /// Cache-merge step of Algorithm 3 (lines 5–9) for one lane.
@@ -449,6 +533,60 @@ mod tests {
         assert_eq!(small, mid);
         assert_eq!(mid, large);
     }
+
+    fn run_merge(
+        resident: &[WireMessage],
+        buckets: &[Vec<WireMessage>],
+        eta: u32,
+        horizon: u64,
+    ) -> CleanOutput {
+        let mut dev = Device::new(DeviceSpec::test_tiny());
+        let (out, _) = dev.launch(buckets.len().max(resident.len()).max(1), |ctx| {
+            xshuffle_merge(ctx, resident, buckets, eta, Timestamp(horizon))
+        });
+        out
+    }
+
+    #[test]
+    fn merge_equals_full_clean_of_combined_input() {
+        // Resident state = result of a previous clean; delta = new appends.
+        // The fused merge must agree with a full clean over everything.
+        let resident = vec![wire(1, 100, 3), wire(2, 150, 4), wire(3, 90, 3)];
+        let delta = vec![
+            vec![wire(1, 300, 5), tomb(2, 400, 4)],
+            vec![wire(4, 250, 3)],
+        ];
+        let merged = run_merge(&resident, &delta, 4, 0);
+        let mut combined = delta.clone();
+        combined.push(resident.clone());
+        let full = run(&combined, 4, 0);
+        assert_eq!(flatten(&merged), flatten(&full));
+    }
+
+    #[test]
+    fn merge_expires_stale_resident_entries() {
+        let resident = vec![wire(1, 50, 3), wire(2, 500, 3)];
+        let merged = run_merge(&resident, &[], 4, 100);
+        assert_eq!(flatten(&merged), [((2, 3), 500)].into_iter().collect());
+    }
+
+    #[test]
+    fn merge_with_empty_delta_keeps_resident() {
+        let resident = vec![wire(1, 100, 3), wire(2, 150, 4)];
+        let merged = run_merge(&resident, &[], 4, 0);
+        assert_eq!(
+            flatten(&merged),
+            [((1, 3), 100), ((2, 4), 150)].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn merge_delta_tombstone_kills_resident_object() {
+        let resident = vec![wire(7, 100, 2)];
+        let merged = run_merge(&resident, &[vec![tomb(7, 200, 2)]], 4, 0);
+        assert!(merged.per_cell.is_empty());
+        assert_eq!(merged.objects_seen, 1);
+    }
 }
 
 #[cfg(test)]
@@ -516,6 +654,50 @@ mod proptests {
             }
             prop_assert_eq!(got, expect);
             prop_assert!(out.max_duplicates_seen <= crate::mu::mu(eta));
+        }
+
+        /// The fused merge kernel agrees with a full clean over resident ∪
+        /// delta, for any consolidated resident set (unique per object) and
+        /// any delta batch.
+        #[test]
+        fn merge_matches_full_clean(
+            resident_raw in prop::collection::vec(arb_message(), 0..12),
+            buckets in prop::collection::vec(
+                prop::collection::vec(arb_message(), 0..5), 0..24),
+            eta in 2u32..6,
+            horizon in 0u64..500,
+        ) {
+            // Consolidate the raw resident set the way a prior clean would:
+            // newest live message per object.
+            let mut newest: std::collections::HashMap<u64, WireMessage> = Default::default();
+            for w in &resident_raw {
+                newest
+                    .entry(w.msg.object.0)
+                    .and_modify(|cur| if replaces(w, cur) { *cur = *w; })
+                    .or_insert(*w);
+            }
+            let resident: Vec<WireMessage> =
+                newest.into_values().filter(|w| !w.msg.is_tombstone()).collect();
+
+            let mut dev = Device::new(DeviceSpec::test_tiny());
+            let (merged, _) = dev.launch(buckets.len().max(1), |ctx| {
+                xshuffle_merge(ctx, &resident, &buckets, eta, Timestamp(horizon))
+            });
+            let mut combined = buckets.clone();
+            combined.push(resident.clone());
+            let (full, _) = dev.launch(combined.len(), |ctx| {
+                xshuffle_clean(ctx, &combined, eta, Timestamp(horizon))
+            });
+            let as_map = |out: &CleanOutput| {
+                let mut m = std::collections::HashMap::new();
+                for (&cell, msgs) in &out.per_cell {
+                    for msg in msgs {
+                        m.insert((msg.object.0, cell.0), msg.time.0);
+                    }
+                }
+                m
+            };
+            prop_assert_eq!(as_map(&merged), as_map(&full));
         }
     }
 }

@@ -1,0 +1,201 @@
+//! Integration tests for device-resident cell state: the delta-merge path
+//! and the memory-budgeted eviction must never change answers. A server
+//! with residency enabled (any budget, any forced-eviction pattern) returns
+//! kNN results byte-identical to a residency-disabled reference.
+
+use ggrid::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use roadnet::{gen, EdgeId};
+
+const EDGES: u32 = 160; // gen::toy edge count
+
+fn config(device_budget_bytes: u64) -> GGridConfig {
+    GGridConfig {
+        eta: 4,
+        bucket_capacity: 16,
+        device_budget_bytes,
+        ..Default::default()
+    }
+}
+
+/// Deterministically scatter a fleet over the toy graph.
+fn seeded_server(seed: u64, budget: u64) -> GGridServer {
+    let graph = gen::toy(seed);
+    let mut s = GGridServer::new(graph, config(budget));
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed);
+    for round in 0..4u64 {
+        for o in 0..30u64 {
+            let e = EdgeId(rng.gen_range(0..EDGES));
+            s.handle_update(
+                ObjectId(o),
+                EdgePosition::at_source(e),
+                Timestamp(100 + round),
+            );
+        }
+    }
+    s
+}
+
+#[test]
+fn residency_ablation_answers_identical() {
+    // Residency only removes simulated bus traffic — never changes answers.
+    for seed in [5u64, 42] {
+        let mut resident = seeded_server(seed, 64 << 20);
+        let mut disabled = seeded_server(seed, 0);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut t = 900u64;
+        for round in 0..6 {
+            let q = EdgePosition::at_source(EdgeId(rng.gen_range(0..EDGES)));
+            assert_eq!(
+                resident.knn(q, 5, Timestamp(t)),
+                disabled.knn(q, 5, Timestamp(t)),
+                "seed {seed}, round {round}"
+            );
+            // Dirty a few cells so later cleans exercise the delta path.
+            for o in 0..5u64 {
+                t += 1;
+                let e = EdgeId(rng.gen_range(0..EDGES));
+                let p = EdgePosition::at_source(e);
+                resident.handle_update(ObjectId(o), p, Timestamp(t));
+                disabled.handle_update(ObjectId(o), p, Timestamp(t));
+            }
+        }
+        assert!(resident.resident_cells() > 0);
+        assert!(
+            resident.counters().resident_hits > 0,
+            "delta path never hit"
+        );
+        assert_eq!(disabled.counters().resident_hits, 0);
+        assert_eq!(disabled.resident_cells(), 0);
+    }
+}
+
+#[test]
+fn delta_path_saves_h2d_bytes() {
+    // A repeated-query workload with updates in between: the resident
+    // server re-ships only deltas, the disabled server re-ships everything.
+    let mut resident = seeded_server(11, 64 << 20);
+    let mut disabled = seeded_server(11, 0);
+    let q = EdgePosition::at_source(EdgeId(13));
+    let mut t = 900u64;
+    for _ in 0..8 {
+        assert_eq!(
+            resident.knn(q, 6, Timestamp(t)),
+            disabled.knn(q, 6, Timestamp(t))
+        );
+        for o in 0..4u64 {
+            t += 1;
+            let p = EdgePosition::at_source(EdgeId(13 + (o as u32 % 3)));
+            resident.handle_update(ObjectId(o), p, Timestamp(t));
+            disabled.handle_update(ObjectId(o), p, Timestamp(t));
+        }
+    }
+    let with = resident.counters();
+    let without = disabled.counters();
+    assert!(with.h2d_delta_bytes > 0);
+    assert!(
+        with.h2d_bytes < without.h2d_bytes,
+        "residency must shrink total H2D traffic: {} vs {}",
+        with.h2d_bytes,
+        without.h2d_bytes
+    );
+}
+
+#[test]
+fn evicted_cell_falls_back_and_repromotes() {
+    let mut s = seeded_server(7, 64 << 20);
+    let edge = EdgeId(13);
+    let q = EdgePosition::at_source(edge);
+    s.knn(q, 4, Timestamp(900));
+    assert!(s.is_resident(edge), "queried cell must be promoted");
+
+    // Evict, dirty, re-query: the clean takes the full-upload path (no
+    // resident hit, full bytes grow) and the answer is still correct.
+    assert!(s.evict_resident(edge));
+    assert!(!s.is_resident(edge));
+    s.handle_update(ObjectId(0), EdgePosition::at_source(edge), Timestamp(950));
+    let full_before = s.counters().h2d_full_bytes;
+    let hits_before = s.counters().resident_hits;
+    let got = s.knn(q, 4, Timestamp(1000));
+    assert!(s.counters().h2d_full_bytes > full_before);
+    assert_eq!(s.counters().resident_hits, hits_before);
+    assert!(got.iter().any(|&(o, _)| o == ObjectId(0)));
+    // ... and the cell is device-resident again.
+    assert!(s.is_resident(edge), "full clean must re-promote");
+    assert!(s.counters().evictions >= 1);
+}
+
+#[test]
+fn tiny_budget_churns_but_stays_correct() {
+    // A budget that fits roughly one cell forces constant LRU eviction;
+    // answers still match the unconstrained server.
+    let mut tiny = seeded_server(3, 256);
+    let mut big = seeded_server(3, 64 << 20);
+    let mut rng = SmallRng::seed_from_u64(99);
+    let mut t = 900u64;
+    for _ in 0..10 {
+        t += 1;
+        let q = EdgePosition::at_source(EdgeId(rng.gen_range(0..EDGES)));
+        assert_eq!(tiny.knn(q, 4, Timestamp(t)), big.knn(q, 4, Timestamp(t)));
+    }
+    assert!(tiny.resident_bytes() <= 256);
+    assert!(tiny.resident_bytes() <= tiny.device().residency().resident_bytes);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any interleaving of appends, cleans, queries, and forced evictions
+    /// gives byte-identical answers to a residency-disabled reference.
+    /// `kind`: 0 = update, 1 = query, 2 = explicit clean, 3 = force-evict
+    /// the cell, 4 = evict everything.
+    #[test]
+    fn residency_never_changes_answers(
+        seed in 0u64..1000,
+        budget_sel in 0usize..3,
+        ops in prop::collection::vec((0u64..12, 0u32..160, 0u32..5), 4..40),
+    ) {
+        let budget = [512u64, 4096, 64 << 20][budget_sel];
+        let graph = gen::toy(7);
+        let mut resident = GGridServer::new(graph.clone(), config(budget));
+        let mut reference = GGridServer::new(graph, config(0));
+        let mut t = 100u64;
+        for &(obj, edge, kind) in &ops {
+            t += 1;
+            let e = EdgeId(edge % EDGES);
+            match kind {
+                0 => {
+                    let p = EdgePosition::at_source(e);
+                    resident.handle_update(ObjectId(obj ^ seed), p, Timestamp(t));
+                    reference.handle_update(ObjectId(obj ^ seed), p, Timestamp(t));
+                }
+                1 => {
+                    let q = EdgePosition::at_source(e);
+                    let got = resident.knn(q, 3, Timestamp(t));
+                    let want = reference.knn(q, 3, Timestamp(t));
+                    prop_assert_eq!(got, want, "divergence after {} ops", ops.len());
+                }
+                2 => {
+                    resident.clean_cell_of_edge(e, Timestamp(t));
+                    reference.clean_cell_of_edge(e, Timestamp(t));
+                }
+                3 => {
+                    // Eviction is resident-only: the reference has nothing
+                    // to evict, which is exactly the point.
+                    resident.evict_resident(e);
+                }
+                _ => resident.evict_all_resident(),
+            }
+        }
+        // Closing full-coverage query: every object's final position.
+        let q = EdgePosition::at_source(EdgeId(seed as u32 % EDGES));
+        prop_assert_eq!(
+            resident.knn(q, 12, Timestamp(t + 1)),
+            reference.knn(q, 12, Timestamp(t + 1))
+        );
+        // The budget is an invariant, not a hint.
+        prop_assert!(resident.resident_bytes() <= budget);
+    }
+}

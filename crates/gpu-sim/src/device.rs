@@ -1,6 +1,6 @@
 //! The simulated device: kernels, transfers, memory, and the clock.
 
-use crate::mem::{DeviceMemory, OutOfDeviceMemory};
+use crate::mem::{BufferId, BufferTable, DeviceMemory, OutOfDeviceMemory, ResidencyLedger};
 use crate::ops::{CostModel, OpCounts};
 use crate::spec::DeviceSpec;
 use crate::time::SimNanos;
@@ -84,6 +84,7 @@ pub struct Device {
     spec: DeviceSpec,
     cost: CostModel,
     mem: DeviceMemory,
+    buffers: BufferTable,
     ledger: TransferLedger,
     kernel_time: SimNanos,
     launches: u64,
@@ -96,6 +97,7 @@ impl Device {
             spec,
             cost: CostModel::default(),
             mem,
+            buffers: BufferTable::default(),
             ledger: TransferLedger::default(),
             kernel_time: SimNanos::ZERO,
             launches: 0,
@@ -126,6 +128,34 @@ impl Device {
 
     pub fn memory(&self) -> &DeviceMemory {
         &self.mem
+    }
+
+    /// Allocate a handle-tracked device buffer (resident state that comes
+    /// and goes, e.g. consolidated cell lists). Fails without reserving
+    /// when the card is out of memory.
+    pub fn alloc_buffer(&mut self, bytes: u64) -> Result<BufferId, OutOfDeviceMemory> {
+        self.buffers.alloc(&mut self.mem, bytes)
+    }
+
+    /// Free a handle-tracked buffer, returning the bytes released.
+    pub fn free_buffer(&mut self, id: BufferId) -> u64 {
+        self.buffers.free(&mut self.mem, id)
+    }
+
+    /// Resize a handle-tracked buffer in place. On out-of-memory the buffer
+    /// ends up freed and the error is returned.
+    pub fn resize_buffer(&mut self, id: BufferId, bytes: u64) -> Result<(), OutOfDeviceMemory> {
+        self.buffers.resize(&mut self.mem, id, bytes)
+    }
+
+    /// Size of a live handle-tracked buffer.
+    pub fn buffer_bytes(&self, id: BufferId) -> Option<u64> {
+        self.buffers.bytes_of(id)
+    }
+
+    /// Occupancy ledger of the handle-tracked (resident) buffers.
+    pub fn residency(&self) -> &ResidencyLedger {
+        self.buffers.ledger()
     }
 
     /// Copy `bytes` host→device; returns the simulated duration.
@@ -244,6 +274,19 @@ mod tests {
         assert!(dev.alloc(1).is_err());
         dev.free(1024 * 1024);
         assert!(dev.alloc(1).is_ok());
+    }
+
+    #[test]
+    fn buffers_share_capacity_with_raw_allocs() {
+        let mut dev = Device::new(DeviceSpec::test_tiny()); // 1 MB
+        dev.alloc(512 * 1024).unwrap();
+        let b = dev.alloc_buffer(256 * 1024).unwrap();
+        assert_eq!(dev.memory().in_use(), 768 * 1024);
+        assert!(dev.alloc_buffer(512 * 1024).is_err());
+        assert_eq!(dev.residency().live_buffers, 1);
+        assert_eq!(dev.free_buffer(b), 256 * 1024);
+        assert_eq!(dev.residency().resident_bytes, 0);
+        assert_eq!(dev.memory().in_use(), 512 * 1024);
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod xfer;
 
 pub use collective::{bitonic_sort, reduce, top_k_smallest};
 pub use device::{Device, LaunchReport};
-pub use mem::OutOfDeviceMemory;
+pub use mem::{BufferId, OutOfDeviceMemory, ResidencyLedger};
 pub use ops::{CostModel, OpCounts};
 pub use spec::DeviceSpec;
 pub use stream::StreamTimeline;

@@ -5,7 +5,19 @@
 //! footprint here. Capacity is enforced: the paper omits V-Tree (G) on the
 //! USA dataset precisely because its index exceeds the card's 5 GB, and the
 //! reproduction must fail the same way.
+//!
+//! Two layers:
+//!
+//! * [`DeviceMemory`] — raw byte reservations against the card's capacity
+//!   (used for structures sized once, like the graph-grid mirror).
+//! * [`BufferTable`] — a handle-based allocator on top of it for state that
+//!   comes and goes (resident consolidated cell lists): each allocation
+//!   returns an opaque [`BufferId`] remembering its size, so frees and
+//!   resizes can't desynchronise the ledger, and an occupancy ledger
+//!   ([`ResidencyLedger`]) tracks live buffers / bytes / churn for the
+//!   eviction instrumentation.
 
+use std::collections::HashMap;
 use std::fmt;
 
 /// Error returned when a reservation would exceed device memory.
@@ -88,6 +100,106 @@ impl DeviceMemory {
     }
 }
 
+/// Opaque handle to a device buffer allocated through [`BufferTable`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BufferId(u64);
+
+/// Occupancy ledger of the handle-based allocator: what is resident right
+/// now and how much churn got it there.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResidencyLedger {
+    /// Buffers currently live.
+    pub live_buffers: u64,
+    /// Bytes currently reserved through the buffer table.
+    pub resident_bytes: u64,
+    /// High-water mark of `resident_bytes`.
+    pub peak_resident_bytes: u64,
+    /// Lifetime allocations (including the alloc half of a resize).
+    pub total_allocs: u64,
+    /// Lifetime frees (including the free half of a resize).
+    pub total_frees: u64,
+}
+
+/// Handle-based device allocator: sizes are remembered per buffer, so
+/// callers free by handle rather than by byte count.
+#[derive(Clone, Debug, Default)]
+pub struct BufferTable {
+    sizes: HashMap<u64, u64>,
+    next_id: u64,
+    ledger: ResidencyLedger,
+}
+
+impl BufferTable {
+    /// Reserve a buffer of `bytes` in `mem`; fails (without reserving) when
+    /// the card is out of memory.
+    pub fn alloc(
+        &mut self,
+        mem: &mut DeviceMemory,
+        bytes: u64,
+    ) -> Result<BufferId, OutOfDeviceMemory> {
+        mem.alloc(bytes)?;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.sizes.insert(id, bytes);
+        self.ledger.live_buffers += 1;
+        self.ledger.resident_bytes += bytes;
+        self.ledger.total_allocs += 1;
+        self.ledger.peak_resident_bytes = self
+            .ledger
+            .peak_resident_bytes
+            .max(self.ledger.resident_bytes);
+        Ok(BufferId(id))
+    }
+
+    /// Release a buffer, returning the bytes it held.
+    ///
+    /// # Panics
+    /// Panics on an unknown (already freed) handle — a double free upstream.
+    pub fn free(&mut self, mem: &mut DeviceMemory, id: BufferId) -> u64 {
+        let bytes = self
+            .sizes
+            .remove(&id.0)
+            .expect("freeing an unknown device buffer");
+        mem.free(bytes);
+        self.ledger.live_buffers -= 1;
+        self.ledger.resident_bytes -= bytes;
+        self.ledger.total_frees += 1;
+        bytes
+    }
+
+    /// Resize a buffer in place: frees the old reservation and reserves the
+    /// new size under the same handle. On out-of-memory the buffer is left
+    /// freed (the caller was replacing its contents anyway) and the error is
+    /// returned.
+    pub fn resize(
+        &mut self,
+        mem: &mut DeviceMemory,
+        id: BufferId,
+        bytes: u64,
+    ) -> Result<(), OutOfDeviceMemory> {
+        self.free(mem, id);
+        mem.alloc(bytes)?;
+        self.sizes.insert(id.0, bytes);
+        self.ledger.live_buffers += 1;
+        self.ledger.resident_bytes += bytes;
+        self.ledger.total_allocs += 1;
+        self.ledger.peak_resident_bytes = self
+            .ledger
+            .peak_resident_bytes
+            .max(self.ledger.resident_bytes);
+        Ok(())
+    }
+
+    /// Size of a live buffer, if the handle is valid.
+    pub fn bytes_of(&self, id: BufferId) -> Option<u64> {
+        self.sizes.get(&id.0).copied()
+    }
+
+    pub fn ledger(&self) -> &ResidencyLedger {
+        &self.ledger
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,5 +249,56 @@ mod tests {
             capacity: 4,
         };
         assert!(e.to_string().contains("out of device memory"));
+    }
+
+    #[test]
+    fn buffer_table_tracks_sizes_and_ledger() {
+        let mut mem = DeviceMemory::new(1000);
+        let mut tab = BufferTable::default();
+        let a = tab.alloc(&mut mem, 300).unwrap();
+        let b = tab.alloc(&mut mem, 200).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(tab.bytes_of(a), Some(300));
+        assert_eq!(mem.in_use(), 500);
+        let l = *tab.ledger();
+        assert_eq!((l.live_buffers, l.resident_bytes), (2, 500));
+        assert_eq!(tab.free(&mut mem, a), 300);
+        assert_eq!(mem.in_use(), 200);
+        assert_eq!(tab.bytes_of(a), None);
+        assert_eq!(tab.ledger().total_frees, 1);
+        assert_eq!(tab.ledger().peak_resident_bytes, 500);
+    }
+
+    #[test]
+    fn buffer_resize_reaccounts() {
+        let mut mem = DeviceMemory::new(1000);
+        let mut tab = BufferTable::default();
+        let a = tab.alloc(&mut mem, 100).unwrap();
+        tab.resize(&mut mem, a, 400).unwrap();
+        assert_eq!(tab.bytes_of(a), Some(400));
+        assert_eq!(mem.in_use(), 400);
+        // Resize past capacity leaves the buffer freed, not half-counted.
+        assert!(tab.resize(&mut mem, a, 2000).is_err());
+        assert_eq!(tab.bytes_of(a), None);
+        assert_eq!(mem.in_use(), 0);
+    }
+
+    #[test]
+    fn buffer_alloc_over_capacity_rejected() {
+        let mut mem = DeviceMemory::new(100);
+        let mut tab = BufferTable::default();
+        assert!(tab.alloc(&mut mem, 101).is_err());
+        assert_eq!(tab.ledger().live_buffers, 0);
+        assert_eq!(mem.in_use(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown device buffer")]
+    fn buffer_double_free_panics() {
+        let mut mem = DeviceMemory::new(100);
+        let mut tab = BufferTable::default();
+        let a = tab.alloc(&mut mem, 10).unwrap();
+        tab.free(&mut mem, a);
+        tab.free(&mut mem, a);
     }
 }
