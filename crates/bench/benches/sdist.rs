@@ -1,0 +1,114 @@
+//! Criterion bench for the frontier `GPU_SDist` kernel and device-resident
+//! topology: the repeated-query workload of the `sdist` experiment, swept
+//! over the kernel configuration (dense / frontier-cold / frontier) on the
+//! NY-shaped dataset.
+//!
+//! Besides the criterion timings, the bench emits one machine-readable
+//! `BENCH {json}` line per configuration with the deterministic simulated
+//! figures: simulated sdist time, relaxation rounds, frontier work,
+//! k-bounded pruning, and topology bus traffic. The simulated clocks come
+//! from the device model, so one instrumented run per configuration is a
+//! stable baseline.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ggrid::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use roadnet::gen::Dataset;
+use roadnet::EdgeId;
+
+const OBJECTS: u64 = 400;
+const ROUNDS: usize = 6;
+const K: usize = 16;
+
+/// (label, sdist_frontier, topology_resident)
+const CONFIGS: [(&str, bool, bool); 3] = [
+    ("dense", false, false),
+    ("frontier-cold", true, false),
+    ("frontier", true, true),
+];
+
+fn server(
+    graph: &std::sync::Arc<roadnet::graph::Graph>,
+    frontier: bool,
+    resident: bool,
+) -> GGridServer {
+    GGridServer::new(
+        (**graph).clone(),
+        GGridConfig {
+            sdist_frontier: frontier,
+            topology_resident: resident,
+            ..Default::default()
+        },
+    )
+}
+
+/// Scatter a fleet, then revisit four query positions for `ROUNDS` rounds,
+/// moving 5% of the fleet between rounds (same shape as the experiment).
+fn workload(graph: &std::sync::Arc<roadnet::graph::Graph>, s: &mut GGridServer) {
+    let ne = graph.num_edges() as u32;
+    let mut rng = SmallRng::seed_from_u64(0x5d15);
+    for o in 0..OBJECTS {
+        let e = EdgeId(rng.gen_range(0..ne));
+        s.handle_update(ObjectId(o), EdgePosition::at_source(e), Timestamp(100));
+    }
+    let positions: Vec<EdgePosition> = (0..4u32)
+        .map(|p| EdgePosition::at_source(EdgeId((p * (ne / 4)).min(ne - 1))))
+        .collect();
+    let mut t = 200u64;
+    for _ in 0..ROUNDS {
+        for _ in 0..OBJECTS / 20 {
+            t += 1;
+            let o = ObjectId(rng.gen_range(0..OBJECTS));
+            let e = EdgeId(rng.gen_range(0..ne));
+            s.handle_update(o, EdgePosition::at_source(e), Timestamp(t));
+        }
+        t += 1;
+        for &q in &positions {
+            s.knn(q, K, Timestamp(t));
+        }
+    }
+}
+
+fn bench_sdist(c: &mut Criterion) {
+    let graph = common::bench_graph(Dataset::NY);
+    let mut group = c.benchmark_group("sdist");
+    group.sample_size(10);
+
+    for (label, frontier, resident) in CONFIGS {
+        group.bench_function(format!("kernel={label}").as_str(), |b| {
+            b.iter(|| {
+                let mut s = server(&graph, frontier, resident);
+                workload(&graph, &mut s);
+                s.counters().sdist_time.0
+            })
+        });
+    }
+    group.finish();
+
+    // One deterministic instrumented run per configuration.
+    for (label, frontier, resident) in CONFIGS {
+        let mut s = server(&graph, frontier, resident);
+        workload(&graph, &mut s);
+        let c = s.counters();
+        println!(
+            "BENCH {{\"bench\": \"sdist\", \"kernel\": \"{label}\", \"sdist_ns\": {}, \"rounds\": {}, \"frontier_sum\": {}, \"settled\": {}, \"vertices\": {}, \"pruned\": {}, \"h2d_topo_bytes\": {}, \"topo_hits\": {}, \"topo_misses\": {}, \"resident_cells\": {}, \"resident_bytes\": {}}}",
+            c.sdist_time.0,
+            c.sdist_rounds,
+            c.sdist_frontier_sum,
+            c.sdist_settled,
+            c.sdist_vertices,
+            c.sdist_pruned,
+            c.h2d_topo_bytes,
+            c.topo_hits,
+            c.topo_misses,
+            s.topology_resident_cells(),
+            s.topology_resident_bytes(),
+        );
+    }
+}
+
+criterion_group!(benches, bench_sdist);
+criterion_main!(benches);

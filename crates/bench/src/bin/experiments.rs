@@ -5,7 +5,8 @@
 //!             [--queries N] [--out DIR]
 //!
 //! EXPERIMENT ∈ {table2, fig4a, fig4b, fig4c, fig5, fig6, fig7, fig8,
-//!               fig9, fig10, ablation, skew, concurrency, residency, all}
+//!               fig9, fig10, ablation, skew, concurrency, residency,
+//!               sdist, all}
 //! (default: all)
 //! ```
 //!
@@ -18,7 +19,8 @@ use std::path::PathBuf;
 use ggrid_bench::csvout::ResultTable;
 use ggrid_bench::experiments::{
     ablation, concurrency, fig10_scalability, fig4_tuning, fig5_datasets, fig6_index_size,
-    fig7_vary_k, fig8_vary_objects, fig9_vary_freq, residency, skew, table2_datasets, ExpConfig,
+    fig7_vary_k, fig8_vary_objects, fig9_vary_freq, residency, sdist, skew, table2_datasets,
+    ExpConfig,
 };
 
 fn main() {
@@ -73,6 +75,7 @@ fn main() {
             "skew",
             "concurrency",
             "residency",
+            "sdist",
         ]
         .into_iter()
         .map(String::from)
@@ -114,6 +117,7 @@ fn main() {
             "skew" => vec![("skew".into(), skew::run(&cfg))],
             "concurrency" => vec![("concurrency".into(), concurrency::run(&cfg))],
             "residency" => vec![("residency".into(), residency::run(&cfg))],
+            "sdist" => vec![("sdist".into(), sdist::run(&cfg))],
             other => {
                 eprintln!("unknown experiment `{other}`\n{HELP}");
                 std::process::exit(2);
@@ -140,7 +144,7 @@ fn expect_num(it: &mut std::iter::Peekable<std::slice::Iter<String>>, flag: &str
     }
 }
 
-const HELP: &str = "usage: experiments [table2|fig4a|fig4b|fig4c|fig5|fig6|fig7|fig8|fig9|fig10|ablation|skew|concurrency|residency|all]...
+const HELP: &str = "usage: experiments [table2|fig4a|fig4b|fig4c|fig5|fig6|fig7|fig8|fig9|fig10|ablation|skew|concurrency|residency|sdist|all]...
   --quick           small datasets/fleets for a fast pass
   --scale N         divide real dataset sizes by N (default 500)
   --objects N       number of moving objects (default 10000)

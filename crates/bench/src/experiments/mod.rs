@@ -10,6 +10,7 @@ pub mod fig7_vary_k;
 pub mod fig8_vary_objects;
 pub mod fig9_vary_freq;
 pub mod residency;
+pub mod sdist;
 pub mod skew;
 pub mod table2_datasets;
 

@@ -1,0 +1,290 @@
+//! Extension study (beyond the paper): the frontier `GPU_SDist` kernel
+//! with device-resident topology.
+//!
+//! The same repeated-query workload as the residency experiment — a fleet
+//! scattered once, a fixed query frontier revisited round after round with
+//! a small slice of the fleet moving in between — swept over the sdist
+//! configuration:
+//!
+//! * **dense** (`sdist_frontier = false`) — the all-records Bellman–Ford
+//!   reference: every record relaxes its in-edges every round, and the
+//!   candidate cells' topology ships to the card on every query;
+//! * **frontier-cold** (`topology_resident = false`) — the near–far
+//!   frontier kernel with k-bounded pruning, but no topology cache, so
+//!   every query still pays the upload;
+//! * **frontier** — frontier kernel plus resident CSR slices: hot cells
+//!   skip the per-query topology H2D entirely.
+//!
+//! Answers are identical across every row — the sweep isolates simulated
+//! sdist time, frontier work, and topology bus traffic. Besides the
+//! table/CSV, the run writes `BENCH_3.json` (sdist time and topology-H2D
+//! saved by the frontier path) so the perf trajectory accumulates
+//! machine-readable points.
+
+use std::path::Path;
+
+use ggrid::prelude::*;
+use ggrid::stats::ServerCounters;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use roadnet::EdgeId;
+
+use crate::csvout::{fmt_bytes, fmt_ns, ResultTable};
+use crate::datasets::{build_dataset, DatasetSpec};
+use crate::experiments::ExpConfig;
+use crate::runner::BenchWorld;
+
+/// Counters + answers of one sweep point.
+struct Outcome {
+    label: &'static str,
+    counters: ServerCounters,
+    topo_cells: usize,
+    topo_bytes: u64,
+    answers: Vec<Vec<(ObjectId, Distance)>>,
+}
+
+pub fn run(cfg: &ExpConfig) -> ResultTable {
+    let ds = roadnet::gen::Dataset::NY;
+    let world = BenchWorld::new(build_dataset(&DatasetSpec::new(ds, cfg.scale)));
+    let params = cfg.index_params();
+    let rounds = cfg.queries.max(6);
+    let sweep: [(&'static str, bool, bool); 3] = [
+        ("dense", false, false),
+        ("frontier-cold", true, false),
+        ("frontier", true, true),
+    ];
+    let outcomes: Vec<Outcome> = sweep
+        .iter()
+        .map(|&(label, frontier, resident)| {
+            let config = GGridConfig {
+                sdist_frontier: frontier,
+                topology_resident: resident,
+                t_delta_ms: params.t_delta_ms,
+                ..params.ggrid.clone()
+            };
+            let grid = world.grid(config.cell_capacity, config.vertex_capacity);
+            let mut server =
+                GGridServer::with_shared_grid(grid, config, gpu_sim::Device::quadro_p2000());
+            let answers = repeated_query_workload(&world, &mut server, cfg, rounds);
+            Outcome {
+                label,
+                counters: *server.counters(),
+                topo_cells: server.topology_resident_cells(),
+                topo_bytes: server.topology_resident_bytes(),
+                answers,
+            }
+        })
+        .collect();
+
+    // The kernel swap and the topology cache are cost optimisations only:
+    // every sweep point must return byte-identical answers.
+    for o in &outcomes[1..] {
+        assert_eq!(
+            o.answers, outcomes[0].answers,
+            "{} changed answers",
+            o.label
+        );
+    }
+
+    let mut t = ResultTable::new(
+        &format!("Extension: frontier GPU_SDist ({}, k=16)", ds.name()),
+        &[
+            "SDist",
+            "SDist time",
+            "Rounds",
+            "Frontier sum",
+            "Settled",
+            "Vertices",
+            "Pruned",
+            "Topo H2D",
+            "Topo hits",
+            "Hit rate",
+            "Resident cells",
+            "Resident bytes",
+        ],
+    );
+    for o in &outcomes {
+        let c = &o.counters;
+        t.row(vec![
+            o.label.to_string(),
+            fmt_ns(c.sdist_time.0),
+            c.sdist_rounds.to_string(),
+            c.sdist_frontier_sum.to_string(),
+            c.sdist_settled.to_string(),
+            c.sdist_vertices.to_string(),
+            c.sdist_pruned.to_string(),
+            fmt_bytes(c.h2d_topo_bytes),
+            c.topo_hits.to_string(),
+            format!("{:.1}%", 100.0 * c.topo_hit_rate()),
+            o.topo_cells.to_string(),
+            fmt_bytes(o.topo_bytes),
+        ]);
+    }
+
+    if let Err(e) = write_bench_json(&cfg.out_dir, cfg, rounds, &outcomes) {
+        eprintln!("warning: failed to write BENCH_3.json: {e}");
+    }
+    t
+}
+
+/// Scatter the fleet, then revisit a fixed query frontier for `rounds`
+/// rounds, moving a small slice of the fleet between rounds. Identical and
+/// deterministic for every server it is replayed against.
+fn repeated_query_workload(
+    world: &BenchWorld,
+    server: &mut GGridServer,
+    cfg: &ExpConfig,
+    rounds: usize,
+) -> Vec<Vec<(ObjectId, Distance)>> {
+    let ne = world.graph.num_edges() as u32;
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x5d15);
+    let objects = cfg.objects.max(32) as u64;
+    for o in 0..objects {
+        let e = EdgeId(rng.gen_range(0..ne));
+        server.handle_update(ObjectId(o), EdgePosition::at_source(e), Timestamp(100));
+    }
+    let positions: Vec<EdgePosition> = (0..4u32)
+        .map(|p| EdgePosition::at_source(EdgeId((p * (ne / 4)).min(ne - 1))))
+        .collect();
+    let movers = (objects / 20).max(1);
+    let mut answers = Vec::new();
+    let mut t = 200u64;
+    for _ in 0..rounds {
+        for _ in 0..movers {
+            t += 1;
+            let o = ObjectId(rng.gen_range(0..objects));
+            let e = EdgeId(rng.gen_range(0..ne));
+            server.handle_update(o, EdgePosition::at_source(e), Timestamp(t));
+        }
+        t += 1;
+        for &q in &positions {
+            answers.push(server.knn(q, 16, Timestamp(t)));
+        }
+    }
+    answers
+}
+
+fn write_bench_json(
+    dir: &Path,
+    cfg: &ExpConfig,
+    rounds: usize,
+    outcomes: &[Outcome],
+) -> std::io::Result<()> {
+    let by = |label: &str| outcomes.iter().find(|o| o.label == label).unwrap();
+    let (dense, frontier) = (by("dense"), by("frontier"));
+    let sdist_saved_pct = 100.0
+        * (dense
+            .counters
+            .sdist_time
+            .0
+            .saturating_sub(frontier.counters.sdist_time.0)) as f64
+        / dense.counters.sdist_time.0.max(1) as f64;
+    let topo_saved_bytes = dense
+        .counters
+        .h2d_topo_bytes
+        .saturating_sub(frontier.counters.h2d_topo_bytes);
+    let topo_saved_pct =
+        100.0 * topo_saved_bytes as f64 / dense.counters.h2d_topo_bytes.max(1) as f64;
+    let point = |o: &Outcome| {
+        format!(
+            "{{\"sdist_ns\": {}, \"rounds\": {}, \"frontier_sum\": {}, \"settled\": {}, \"vertices\": {}, \"pruned\": {}, \"h2d_topo_bytes\": {}, \"topo_hits\": {}, \"topo_misses\": {}, \"resident_cells\": {}, \"resident_bytes\": {}}}",
+            o.counters.sdist_time.0,
+            o.counters.sdist_rounds,
+            o.counters.sdist_frontier_sum,
+            o.counters.sdist_settled,
+            o.counters.sdist_vertices,
+            o.counters.sdist_pruned,
+            o.counters.h2d_topo_bytes,
+            o.counters.topo_hits,
+            o.counters.topo_misses,
+            o.topo_cells,
+            o.topo_bytes,
+        )
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"sdist\",\n  \"dataset\": \"NY\",\n  \"scale\": {},\n  \"objects\": {},\n  \"rounds\": {},\n  \"queries\": {},\n  \"dense\": {},\n  \"frontier_cold\": {},\n  \"frontier\": {},\n  \"sdist_time_saved_pct\": {:.2},\n  \"topo_h2d_saved_bytes\": {},\n  \"topo_h2d_saved_pct\": {:.2}\n}}\n",
+        cfg.scale,
+        cfg.objects.max(32),
+        rounds,
+        dense.answers.len(),
+        point(dense),
+        point(by("frontier-cold")),
+        point(frontier),
+        sdist_saved_pct,
+        topo_saved_bytes,
+        topo_saved_pct,
+    );
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("BENCH_3.json"), json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpConfig {
+        ExpConfig {
+            scale: 4000,
+            objects: 150,
+            queries: 6,
+            out_dir: std::env::temp_dir().join("ggrid_sdist_exp"),
+            ..ExpConfig::quick()
+        }
+    }
+
+    #[test]
+    fn frontier_saves_sdist_time_and_topo_h2d() {
+        let cfg = tiny();
+        let t = run(&cfg);
+        assert_eq!(t.rows.len(), 3);
+        let json = std::fs::read_to_string(cfg.out_dir.join("BENCH_3.json")).unwrap();
+        let field = |name: &str| -> f64 {
+            let tail = json.split(&format!("\"{name}\": ")).nth(1).unwrap();
+            tail.split([',', '\n', '}'])
+                .next()
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap()
+        };
+        assert!(
+            field("sdist_time_saved_pct") >= 25.0,
+            "frontier kernel saved only {:.1}% of simulated sdist time\n{json}",
+            field("sdist_time_saved_pct")
+        );
+        assert!(
+            field("topo_h2d_saved_pct") >= 25.0,
+            "resident topology cut only {:.1}% of topology H2D\n{json}",
+            field("topo_h2d_saved_pct")
+        );
+        // The resident row must actually be serving from the card, and the
+        // cold frontier row must not be caching anything.
+        let frontier = json.split("\"frontier\": ").nth(1).unwrap();
+        let hits: u64 = frontier
+            .split("\"topo_hits\": ")
+            .nth(1)
+            .unwrap()
+            .split([',', '}'])
+            .next()
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert!(
+            hits > 0,
+            "warm queries never hit the topology cache\n{json}"
+        );
+        let cold = json.split("\"frontier_cold\": ").nth(1).unwrap();
+        let cold_cells: u64 = cold
+            .split("\"resident_cells\": ")
+            .nth(1)
+            .unwrap()
+            .split([',', '}'])
+            .next()
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert_eq!(cold_cells, 0, "topology_resident=false must cache nothing");
+    }
+}

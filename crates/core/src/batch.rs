@@ -36,7 +36,8 @@ use crate::grid::{CellId, GraphGrid};
 use crate::knn::{knn_device_phase, knn_finalize, refine_unresolved};
 use crate::message::{ObjectId, Timestamp};
 use crate::message_list::CellLists;
-use crate::residency::ResidentCellStore;
+use crate::residency::{ResidentCellStore, TopologyStore};
+use crate::scratch::ScratchPool;
 use crate::stats::QueryBreakdown;
 
 /// Stream indices of the batch timeline.
@@ -76,11 +77,14 @@ impl BatchResult {
 
 /// Execute a batch of kNN queries sharing one initial cleaning pass and
 /// overlapping host refinement with device work.
+#[allow(clippy::too_many_arguments)]
 pub fn run_knn_batch(
     device: &mut Device,
     grid: &GraphGrid,
     lists: &CellLists,
     resident: &mut ResidentCellStore,
+    topo: &mut TopologyStore,
+    pool: &ScratchPool,
     config: &GGridConfig,
     queries: &[(EdgePosition, usize)],
     now: Timestamp,
@@ -135,7 +139,8 @@ pub fn run_knn_batch(
         // (pending state, refine handle, device-phase end time)
         let mut in_flight = None;
         for &(q, k) in queries {
-            let pending = knn_device_phase(device, grid, lists, resident, config, q, k, now);
+            let pending =
+                knn_device_phase(device, grid, lists, resident, topo, pool, config, q, k, now);
             // Compute on the device stream, copy-back on the transfer
             // stream (ordered after the compute). Refinement reads the
             // copied-back results, so it waits for the transfer end; the
@@ -153,6 +158,7 @@ pub fn run_knn_batch(
                     grid,
                     lists,
                     resident,
+                    pool,
                     config,
                     now,
                     prev,
@@ -172,7 +178,7 @@ pub fn run_knn_batch(
             let l = pending.l;
             let workers = config.refine_workers;
             let handle =
-                s.spawn(move |_| refine_unresolved(grid, &unresolved, l, &in_set, workers));
+                s.spawn(move |_| refine_unresolved(grid, &unresolved, l, &in_set, workers, pool));
             in_flight = Some((pending, handle, device_end));
         }
         if let Some((prev, handle, prev_device_end)) = in_flight.take() {
@@ -181,6 +187,7 @@ pub fn run_knn_batch(
                 grid,
                 lists,
                 resident,
+                pool,
                 config,
                 now,
                 prev,
@@ -212,6 +219,7 @@ fn finalize_one<'scope>(
     grid: &GraphGrid,
     lists: &CellLists,
     resident: &mut ResidentCellStore,
+    pool: &ScratchPool,
     config: &GGridConfig,
     now: Timestamp,
     pending: crate::knn::PendingKnn,
@@ -233,7 +241,9 @@ fn finalize_one<'scope>(
 
     let gpu_before = pending.breakdown.gpu_total();
     let copy_back_before = pending.breakdown.copy_back;
-    let result = knn_finalize(device, grid, lists, resident, config, now, pending, refined);
+    let result = knn_finalize(
+        device, grid, lists, resident, config, now, pending, refined, pool,
+    );
 
     // Device stream: the finalisation's lazy cleaning, after the refine;
     // its copy-back again overlaps on the transfer stream.

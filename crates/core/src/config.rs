@@ -42,6 +42,18 @@ pub struct GGridConfig {
     /// `0` disables residency entirely (ablation / tiny-device setups).
     /// Answers are identical either way.
     pub device_budget_bytes: u64,
+    /// Run `GPU_SDist` as the near–far frontier kernel (only active
+    /// vertices relax their edges, with k-bounded pruning) instead of the
+    /// dense all-records Bellman–Ford. Answers are identical either way;
+    /// the dense path exists as the reference for ablations and tests.
+    pub sdist_frontier: bool,
+    /// Bucket width δ of the frontier kernel's near/far split, in weight
+    /// units. `0` (the default) picks the grid's mean edge weight.
+    pub sdist_delta: u32,
+    /// Keep per-cell CSR topology slices resident on the device (within
+    /// `device_budget_bytes`), so repeated queries over hot cells skip the
+    /// per-query topology upload. Answers are identical either way.
+    pub topology_resident: bool,
 }
 
 impl Default for GGridConfig {
@@ -57,6 +69,9 @@ impl Default for GGridConfig {
             refine_workers: 1,
             clean_skip: true,
             device_budget_bytes: 64 << 20,
+            sdist_frontier: true,
+            sdist_delta: 0,
+            topology_resident: true,
         }
     }
 }
@@ -104,6 +119,9 @@ mod tests {
         assert_eq!(c.refine_workers, 1);
         assert!(c.clean_skip);
         assert_eq!(c.device_budget_bytes, 64 << 20);
+        assert!(c.sdist_frontier);
+        assert_eq!(c.sdist_delta, 0, "0 = auto (grid mean edge weight)");
+        assert!(c.topology_resident);
         c.validate();
     }
 

@@ -56,6 +56,70 @@ pub struct Cell {
     pub num_out_edges: u32,
 }
 
+/// Per-cell CSR slice of the graph, in the layout the device keeps
+/// resident: a dense vertex list plus in- and out-edge arrays indexed by
+/// the vertex's *local* slot. Unlike the δᵛ-capped [`VertexRecord`]s, the
+/// CSR stores every edge of every vertex exactly once (virtual spill
+/// records are merged back), which is what the frontier kernel and the
+/// boundary check relax over.
+#[derive(Clone, Debug, Default)]
+pub struct CellTopology {
+    /// Real vertices of the cell, in record order.
+    pub verts: Vec<VertexId>,
+    /// `in_offsets[i]..in_offsets[i+1]` indexes `verts[i]`'s in-edges.
+    pub in_offsets: Vec<u32>,
+    /// Source vertex of each in-edge.
+    pub in_src: Vec<VertexId>,
+    pub in_weight: Vec<u32>,
+    /// `out_offsets[i]..out_offsets[i+1]` indexes `verts[i]`'s out-edges.
+    pub out_offsets: Vec<u32>,
+    /// Destination vertex of each out-edge.
+    pub out_dest: Vec<VertexId>,
+    /// Cell (Z-value) of each out-edge's destination — the boundary check
+    /// reads this instead of chasing the destination's cell through the
+    /// vertex map.
+    pub out_dest_cell: Vec<u32>,
+    pub out_weight: Vec<u32>,
+}
+
+impl CellTopology {
+    pub fn num_vertices(&self) -> usize {
+        self.verts.len()
+    }
+
+    /// In-edges of the vertex at local slot `i`: `(source, weight)` pairs.
+    pub fn in_edges_of(&self, i: usize) -> impl Iterator<Item = (VertexId, u32)> + '_ {
+        let (a, b) = (self.in_offsets[i] as usize, self.in_offsets[i + 1] as usize);
+        self.in_src[a..b]
+            .iter()
+            .copied()
+            .zip(self.in_weight[a..b].iter().copied())
+    }
+
+    /// Out-edges of the vertex at local slot `i`:
+    /// `(dest, dest_cell, weight)` triples.
+    pub fn out_edges_of(&self, i: usize) -> impl Iterator<Item = (VertexId, u32, u32)> + '_ {
+        let (a, b) = (
+            self.out_offsets[i] as usize,
+            self.out_offsets[i + 1] as usize,
+        );
+        (a..b).map(move |j| (self.out_dest[j], self.out_dest_cell[j], self.out_weight[j]))
+    }
+
+    pub fn out_degree_of(&self, i: usize) -> usize {
+        (self.out_offsets[i + 1] - self.out_offsets[i]) as usize
+    }
+
+    /// Wire footprint of the slice on the device: 4-byte vertex ids, 8-byte
+    /// in-edge entries (source, weight), 12-byte out-edge entries (dest,
+    /// dest cell, weight), plus both offset arrays.
+    pub fn bytes(&self) -> u64 {
+        let n = self.verts.len() as u64;
+        let offs = 2 * (n + 1) * 4;
+        n * 4 + self.in_src.len() as u64 * 8 + self.out_dest.len() as u64 * 12 + offs
+    }
+}
+
 /// The graph grid.
 pub struct GraphGrid {
     graph: Arc<Graph>,
@@ -67,6 +131,13 @@ pub struct GraphGrid {
     /// Cell adjacency: cells connected by at least one edge in either
     /// direction (`getNeighbors` in Algorithm 4).
     neighbors: Vec<Vec<CellId>>,
+    /// Per-cell CSR slices (device-resident topology).
+    topologies: Vec<CellTopology>,
+    /// Local slot of each vertex inside its cell's [`CellTopology`].
+    topo_slot: Vec<u32>,
+    /// Mean edge weight, rounded down (≥ 1); the frontier kernel's default
+    /// bucket width δ.
+    mean_edge_weight: u64,
     cell_capacity: usize,
     vertex_capacity: usize,
 }
@@ -195,6 +266,39 @@ impl GraphGrid {
             })
             .collect();
 
+        // Per-cell CSR slices: one entry per real vertex (virtual spill
+        // merged back), every in- and out-edge stored exactly once.
+        let mut topo_slot = vec![0u32; graph.num_vertices()];
+        let mut topologies: Vec<CellTopology> = Vec::with_capacity(num_cells);
+        for mem in &members {
+            let mut t = CellTopology {
+                in_offsets: vec![0],
+                out_offsets: vec![0],
+                ..Default::default()
+            };
+            for (slot, &v) in mem.iter().enumerate() {
+                topo_slot[v.index()] = slot as u32;
+                t.verts.push(v);
+                for e in graph.in_edges(v) {
+                    let edge = graph.edge(e);
+                    t.in_src.push(edge.source);
+                    t.in_weight.push(edge.weight);
+                }
+                t.in_offsets.push(t.in_src.len() as u32);
+                for e in graph.out_edges(v) {
+                    let edge = graph.edge(e);
+                    t.out_dest.push(edge.dest);
+                    t.out_dest_cell.push(cell_of_vertex[edge.dest.index()]);
+                    t.out_weight.push(edge.weight);
+                }
+                t.out_offsets.push(t.out_dest.len() as u32);
+            }
+            topologies.push(t);
+        }
+
+        let weight_sum: u64 = graph.edge_ids().map(|e| graph.edge(e).weight as u64).sum();
+        let mean_edge_weight = (weight_sum / graph.num_edges().max(1) as u64).max(1);
+
         Self {
             graph,
             psi,
@@ -202,6 +306,9 @@ impl GraphGrid {
             cell_of_vertex,
             cell_of_edge,
             neighbors,
+            topologies,
+            topo_slot,
+            mean_edge_weight,
             cell_capacity,
             vertex_capacity,
         }
@@ -270,6 +377,23 @@ impl GraphGrid {
     /// shortest-distance kernel).
     pub fn total_records(&self) -> usize {
         self.cells.iter().map(|c| c.records.len()).sum()
+    }
+
+    /// CSR slice of cell `c` — the layout kept resident on the device for
+    /// the frontier kernel and the boundary check.
+    pub fn topology(&self, c: CellId) -> &CellTopology {
+        &self.topologies[c.index()]
+    }
+
+    /// Local slot of `v` inside its cell's [`CellTopology`].
+    pub fn topo_slot_of(&self, v: VertexId) -> usize {
+        self.topo_slot[v.index()] as usize
+    }
+
+    /// Mean edge weight (≥ 1): the frontier kernel's default bucket width δ
+    /// when `GGridConfig::sdist_delta` is 0 (auto).
+    pub fn mean_edge_weight(&self) -> u64 {
+        self.mean_edge_weight
     }
 
     /// Bytes of the grid in the paper's §VII-C1 layout: 32-byte vertex
@@ -410,6 +534,61 @@ mod tests {
         assert_eq!(grid.num_cells(), 1);
         assert!(grid.neighbors(CellId(0)).is_empty());
         assert_eq!(grid.vertices_in(CellId(0)).count(), g.num_vertices());
+    }
+
+    #[test]
+    fn topology_matches_graph_edges_exactly_once() {
+        let grid = build_toy();
+        let g = grid.graph().clone();
+        let mut in_stored = vec![0u32; g.num_edges()];
+        let mut out_stored = vec![0u32; g.num_edges()];
+        for c in grid.cell_ids() {
+            let t = grid.topology(c);
+            assert_eq!(t.num_vertices() as u32, grid.cell(c).num_vertices);
+            for (slot, &v) in t.verts.iter().enumerate() {
+                assert_eq!(grid.cell_of_vertex(v), c);
+                assert_eq!(grid.topo_slot_of(v), slot);
+                for (src, w) in t.in_edges_of(slot) {
+                    let e = g
+                        .in_edges(v)
+                        .find(|&e| {
+                            g.edge(e).source == src
+                                && g.edge(e).weight == w
+                                && in_stored[e.index()] == 0
+                        })
+                        .expect("in-edge not in graph");
+                    in_stored[e.index()] += 1;
+                }
+                for (dest, dest_cell, w) in t.out_edges_of(slot) {
+                    assert_eq!(CellId(dest_cell), grid.cell_of_vertex(dest));
+                    let e = g
+                        .out_edges(v)
+                        .find(|&e| {
+                            g.edge(e).dest == dest
+                                && g.edge(e).weight == w
+                                && out_stored[e.index()] == 0
+                        })
+                        .expect("out-edge not in graph");
+                    out_stored[e.index()] += 1;
+                }
+                assert_eq!(t.out_degree_of(slot), g.out_degree(v));
+            }
+        }
+        // Every edge appears exactly once on each side — virtual spill
+        // records are merged back into one CSR slot.
+        assert!(in_stored.iter().all(|&s| s == 1));
+        assert!(out_stored.iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn topology_bytes_positive_and_mean_weight_sane() {
+        let grid = build_toy();
+        let total: u64 = grid.cell_ids().map(|c| grid.topology(c).bytes()).sum();
+        assert!(total > 0);
+        let g = grid.graph().clone();
+        let max_w = g.edge_ids().map(|e| g.edge(e).weight as u64).max().unwrap();
+        assert!(grid.mean_edge_weight() >= 1);
+        assert!(grid.mean_edge_weight() <= max_w);
     }
 
     #[test]

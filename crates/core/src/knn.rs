@@ -50,7 +50,8 @@ use crate::grid::{CellId, GraphGrid};
 use crate::message::{CachedMessage, ObjectId, Timestamp};
 use crate::message_list::CellLists;
 use crate::object_table::FxBuildHasher;
-use crate::residency::ResidentCellStore;
+use crate::residency::{ResidentCellStore, TopologyStore};
+use crate::scratch::{DenseScratch, ScratchPool};
 use crate::stats::QueryBreakdown;
 
 /// Result of a kNN query.
@@ -81,8 +82,10 @@ pub(crate) struct PendingKnn {
 
 /// Result of the CPU refinement phase (Algorithm 6's searches).
 pub(crate) struct RefineOutcome {
-    /// `best_outer[u]` = min over unresolved `v` of `D[v] + dist_v(u)`.
-    pub best_outer: HashMap<VertexId, Distance, FxBuildHasher>,
+    /// `best_outer[u]` = min over unresolved `v` of `D[v] + dist_v(u)` —
+    /// a pooled dense scratch (`None` when nothing was refined); entries
+    /// are exactly the vertices some search settled, all finite.
+    pub best_outer: Option<DenseScratch>,
     /// Cells outside the candidate set the searches settled vertices in,
     /// sorted and deduplicated.
     pub touched_cells: Vec<CellId>,
@@ -102,7 +105,7 @@ pub(crate) struct RefineOutcome {
 impl RefineOutcome {
     fn empty() -> Self {
         Self {
-            best_outer: HashMap::with_hasher(FxBuildHasher::default()),
+            best_outer: None,
             touched_cells: Vec::new(),
             wall_ns: 0,
             busy_ns: 0,
@@ -119,20 +122,25 @@ pub fn run_knn(
     grid: &GraphGrid,
     lists: &CellLists,
     resident: &mut ResidentCellStore,
+    topo: &mut TopologyStore,
+    pool: &ScratchPool,
     config: &GGridConfig,
     q: EdgePosition,
     k: usize,
     now: Timestamp,
 ) -> KnnResult {
-    let pending = knn_device_phase(device, grid, lists, resident, config, q, k, now);
+    let pending = knn_device_phase(device, grid, lists, resident, topo, pool, config, q, k, now);
     let refined = refine_unresolved(
         grid,
         &pending.unresolved,
         pending.l,
         &pending.in_set,
         config.refine_workers,
+        pool,
     );
-    knn_finalize(device, grid, lists, resident, config, now, pending, refined)
+    knn_finalize(
+        device, grid, lists, resident, config, now, pending, refined, pool,
+    )
 }
 
 /// One cleaning round of the expansion: clean the not-yet-included cells,
@@ -189,6 +197,8 @@ pub(crate) fn knn_device_phase(
     grid: &GraphGrid,
     lists: &CellLists,
     resident: &mut ResidentCellStore,
+    topo: &mut TopologyStore,
+    pool: &ScratchPool,
     config: &GGridConfig,
     q: EdgePosition,
     k: usize,
@@ -251,20 +261,34 @@ pub(crate) fn knn_device_phase(
     // ---- Step 2: candidate distances, with a robustness loop: if fewer
     // than k candidates are reachable inside the induced subgraph, keep
     // expanding (degenerate topologies only; normally runs once). ----
-    let (dist, candidates) = loop {
+    let mut dist = pool.acquire();
+    let candidates = loop {
         let t0 = Instant::now();
-        let (dist, sdist_time) = gpu_sdist(device, grid, &in_set, &set, q, &graph);
+        let s = gpu_sdist(
+            device, grid, topo, config, &in_set, &set, q, &graph, &objects, k, &mut dist,
+        );
         let (candidates, firstk_time) = gpu_first_k(device, q, &dist, &objects, &graph);
         cpu_excluded += t0.elapsed();
-        breakdown.candidate += sdist_time + firstk_time;
+        breakdown.candidate += s.time + firstk_time;
+        breakdown.sdist_time += s.time;
+        breakdown.sdist_rounds += s.rounds;
+        breakdown.sdist_frontier_sum += s.frontier_sum;
+        breakdown.sdist_frontier_max = breakdown.sdist_frontier_max.max(s.frontier_max);
+        breakdown.sdist_settled += s.settled;
+        breakdown.sdist_vertices += s.vertices;
+        breakdown.sdist_pruned += s.pruned;
+        breakdown.h2d_topo_bytes += s.h2d_topo_bytes;
+        breakdown.h2d_bytes += s.h2d_topo_bytes;
+        breakdown.topo_hits += s.topo_hits;
+        breakdown.topo_misses += s.topo_misses;
 
         let finite = candidates.iter().filter(|c| c.1 < INFINITY).count();
         if finite >= k.min(objects.len()) {
-            break (dist, candidates);
+            break candidates;
         }
         let frontier = frontier_of(grid, &in_set, &set);
         if frontier.is_empty() {
-            break (dist, candidates);
+            break candidates;
         }
         clean_round(
             device,
@@ -307,6 +331,7 @@ pub(crate) fn knn_device_phase(
         u
     };
     breakdown.unresolved = unresolved.len();
+    pool.release(dist);
 
     // Copy the candidate set and unresolved set back to the host
     // (Algorithm 4 line 10 input).
@@ -348,6 +373,7 @@ pub(crate) fn refine_unresolved(
     l: Distance,
     in_set: &[bool],
     workers: usize,
+    pool: &ScratchPool,
 ) -> RefineOutcome {
     if unresolved.is_empty() {
         return RefineOutcome::empty();
@@ -358,24 +384,20 @@ pub(crate) fn refine_unresolved(
     let expand = |chunk: Vec<(VertexId, Distance)>| {
         let started = Instant::now();
         let mut engine = DijkstraEngine::new(&graph);
-        let mut local: HashMap<VertexId, Distance, FxBuildHasher> =
-            HashMap::with_hasher(FxBuildHasher::default());
+        let mut local = pool.acquire();
         for (v, dv) in chunk {
             let radius = l - dv; // l > dv by construction
             engine.run_seeded(&[(v, 0)], SearchBounds::radius(radius));
             for &u in engine.settled() {
                 let du = dv + engine.distance(u);
-                local
-                    .entry(u)
-                    .and_modify(|d| *d = (*d).min(du))
-                    .or_insert(du);
+                local.min_in(u, du);
             }
         }
         (local, started.elapsed().as_nanos() as u64)
     };
 
     let workers = workers.max(1).min(unresolved.len());
-    let (mut best_outer, mut busy_ns, mut critical_ns) = if workers == 1 {
+    let (best_outer, mut busy_ns, mut critical_ns) = if workers == 1 {
         let (local, ns) = expand(unresolved.to_vec());
         (local, ns, ns)
     } else {
@@ -404,27 +426,26 @@ pub(crate) fn refine_unresolved(
         })
         .expect("refinement scope failed");
 
-        let mut merged: HashMap<VertexId, Distance, FxBuildHasher> =
-            HashMap::with_hasher(FxBuildHasher::default());
-        let mut busy = 0u64;
-        let mut critical = 0u64;
+        let mut partials = partials.into_iter();
+        let (mut merged, first_ns) = partials.next().expect("at least one worker");
+        let mut busy = first_ns;
+        let mut critical = first_ns;
         for (local, worker_ns) in partials {
             busy += worker_ns;
             critical = critical.max(worker_ns);
-            for (u, du) in local {
-                merged
-                    .entry(u)
-                    .and_modify(|d| *d = (*d).min(du))
-                    .or_insert(du);
+            // min-merge is commutative and associative: the merged scratch
+            // is identical for every worker count and merge order.
+            for (u, du) in local.iter_touched() {
+                merged.min_in(u, du);
             }
+            pool.release(local);
         }
         (merged, busy, critical)
     };
-    best_outer.shrink_to_fit();
 
     let mut touched_cells: Vec<CellId> = best_outer
-        .keys()
-        .map(|&u| grid.cell_of_vertex(u))
+        .iter_touched()
+        .map(|(u, _)| grid.cell_of_vertex(u))
         .filter(|c| !in_set[c.index()])
         .collect();
     touched_cells.sort_unstable();
@@ -434,7 +455,7 @@ pub(crate) fn refine_unresolved(
     busy_ns = busy_ns.max(1);
     critical_ns = critical_ns.max(1);
     RefineOutcome {
-        best_outer,
+        best_outer: Some(best_outer),
         touched_cells,
         wall_ns: wall_ns.max(1),
         busy_ns,
@@ -455,6 +476,7 @@ pub(crate) fn knn_finalize(
     now: Timestamp,
     pending: PendingKnn,
     refined: RefineOutcome,
+    pool: &ScratchPool,
 ) -> KnnResult {
     let PendingKnn {
         k,
@@ -498,17 +520,25 @@ pub(crate) fn knn_finalize(
             }
         }
 
-        // Improve estimates through the unresolved vertices.
-        for (&o, &p) in positions.iter() {
-            let src = graph.edge(p.edge).source;
-            if let Some(&outer) = refined.best_outer.get(&src) {
-                let est = outer.saturating_add(p.from_source());
-                estimates
-                    .entry(o)
-                    .and_modify(|d| *d = (*d).min(est))
-                    .or_insert(est);
+        // Improve estimates through the unresolved vertices. Scratch
+        // entries are finite by construction, so `< INFINITY` is exactly
+        // the old map's key-present test.
+        if let Some(outer_map) = refined.best_outer.as_ref() {
+            for (&o, &p) in positions.iter() {
+                let src = graph.edge(p.edge).source;
+                let outer = outer_map.get(src);
+                if outer < INFINITY {
+                    let est = outer.saturating_add(p.from_source());
+                    estimates
+                        .entry(o)
+                        .and_modify(|d| *d = (*d).min(est))
+                        .or_insert(est);
+                }
             }
         }
+    }
+    if let Some(s) = refined.best_outer {
+        pool.release(s);
     }
 
     // ---- Final selection ----
@@ -557,73 +587,355 @@ fn kth_distance(candidates: &[(ObjectId, Distance, EdgePosition)], k: usize) -> 
     ds[k - 1]
 }
 
-/// Algorithm 5 `GPU_SDist`: Bellman–Ford over the subgraph induced by the
-/// candidate cells, one thread per vertex record, relaxing each record's
-/// (≤ δᵛ) stored in-edges per round until fixpoint.
+/// Instrumentation of one `GPU_SDist` invocation.
+#[doc(hidden)]
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SdistStats {
+    /// Simulated time: topology upload + kernel.
+    pub time: gpu_sim::SimNanos,
+    /// Relaxation rounds executed.
+    pub rounds: u64,
+    /// Summed per-round frontier sizes (dense path: every record, every
+    /// round).
+    pub frontier_sum: u64,
+    /// Largest single-round frontier.
+    pub frontier_max: u64,
+    /// Vertices whose final distance the kernel settled.
+    pub settled: u64,
+    /// Candidate vertices in the induced subgraph.
+    pub vertices: u64,
+    /// Touched-but-unsettled vertices abandoned by k-bounded pruning.
+    pub pruned: u64,
+    /// Topology bytes uploaded for this call.
+    pub h2d_topo_bytes: u64,
+    /// Candidate cells whose CSR slice was already resident.
+    pub topo_hits: usize,
+    /// Candidate cells whose CSR slice had to be uploaded.
+    pub topo_misses: usize,
+}
+
+/// Algorithm 5 `GPU_SDist`: shortest distances over the subgraph induced by
+/// the candidate cells, landing in `scratch` (reset here). Dispatches
+/// between the near–far frontier kernel and the dense Bellman–Ford
+/// reference per `GGridConfig::sdist_frontier`; the two produce answers
+/// that are byte-identical through the rest of the query (DESIGN.md §5.3).
+#[allow(clippy::too_many_arguments)]
 fn gpu_sdist(
+    device: &mut Device,
+    grid: &GraphGrid,
+    topo: &mut TopologyStore,
+    config: &GGridConfig,
+    in_set: &[bool],
+    set: &[CellId],
+    q: EdgePosition,
+    graph: &roadnet::Graph,
+    objects: &[CachedMessage],
+    k: usize,
+    scratch: &mut DenseScratch,
+) -> SdistStats {
+    if config.sdist_frontier {
+        gpu_sdist_frontier(
+            device, grid, topo, config, in_set, set, q, graph, objects, k, scratch,
+        )
+    } else {
+        gpu_sdist_dense(device, grid, in_set, set, q, graph, scratch)
+    }
+}
+
+/// The dense reference `GPU_SDist`: Bellman–Ford with one thread per vertex
+/// record, every record relaxing its (≤ δᵛ) stored in-edges every round
+/// until fixpoint. Kept behind `sdist_frontier: false` as the
+/// ablation/reference path; it re-uploads the candidate topology every
+/// query, which is exactly the cost the resident frontier path removes.
+#[doc(hidden)]
+pub fn gpu_sdist_dense(
     device: &mut Device,
     grid: &GraphGrid,
     in_set: &[bool],
     set: &[CellId],
     q: EdgePosition,
     graph: &roadnet::Graph,
-) -> (
-    HashMap<VertexId, Distance, FxBuildHasher>,
-    gpu_sim::SimNanos,
-) {
+    scratch: &mut DenseScratch,
+) -> SdistStats {
+    scratch.reset();
+    let mut stats = SdistStats::default();
+
+    // The dense path ships the candidate subgraph fresh for every query.
+    for &c in set {
+        let bytes = grid.topology(c).bytes();
+        stats.h2d_topo_bytes += bytes;
+        stats.topo_misses += 1;
+        stats.time += device.h2d(bytes);
+    }
+
     // Collect the records (threads) of the candidate cells.
-    let mut records: Vec<(&crate::grid::VertexRecord, ())> = Vec::new();
+    let mut records: Vec<&crate::grid::VertexRecord> = Vec::new();
     for &c in set {
         for r in &grid.cell(c).records {
-            records.push((r, ()));
+            records.push(r);
         }
     }
     let threads = records.len().max(1);
 
-    let mut dist: HashMap<VertexId, Distance, FxBuildHasher> =
-        HashMap::with_hasher(FxBuildHasher::default());
     for &c in set {
         for v in grid.vertices_in(c) {
-            dist.insert(v, INFINITY);
+            scratch.set(v, INFINITY);
         }
     }
-    // Seed: the only way off the query edge is its destination vertex.
+    stats.vertices = scratch.touched_len() as u64;
+    // Seed: the only way off the query edge is its destination vertex —
+    // when its cell made the candidate set.
     let q_dest = graph.edge(q.edge).dest;
-    if let Some(d) = dist.get_mut(&q_dest) {
-        *d = q.to_dest(graph);
+    if in_set[grid.cell_of_vertex(q_dest).index()] {
+        scratch.set(q_dest, q.to_dest(graph));
     }
 
-    let (_, report) = device.launch(threads, |ctx| {
+    let (rounds, report) = device.launch(threads, |ctx| {
+        let mut rounds = 0u64;
         let max_rounds = records.len().max(1);
         for _round in 0..max_rounds {
+            rounds += 1;
             let mut changed = false;
             // One round: every record relaxes its stored in-edges.
-            for (r, ()) in &records {
+            for r in &records {
                 ctx.charge_alu_one(2 + 4 * r.edges.len() as u64);
                 ctx.charge_read(12 * r.edges.len() as u64 + 8);
-                let mut best = *dist.get(&r.vertex).unwrap_or(&INFINITY);
+                let mut best = scratch.get(r.vertex);
+                let mut improved = false;
                 for e in &r.edges {
-                    if let Some(&ds) = dist.get(&e.source) {
-                        let nd = ds.saturating_add(e.weight as Distance);
-                        if nd < best {
-                            best = nd;
-                            changed = true;
-                        }
+                    // An unseeded source reads INFINITY and can never win
+                    // the comparison — the map-miss semantics of the old
+                    // per-query HashMap.
+                    let nd = scratch.get(e.source).saturating_add(e.weight as Distance);
+                    if nd < best {
+                        best = nd;
+                        improved = true;
                     }
                 }
-                if changed {
+                if improved {
+                    // Only a record that actually improved pays the global
+                    // write; `changed` alone tracks round convergence.
                     ctx.charge_write(8);
+                    changed = true;
+                    scratch.set(r.vertex, best);
                 }
-                dist.insert(r.vertex, best);
             }
             ctx.sync_threads();
             if !changed {
                 break;
             }
         }
-        let _ = in_set;
+        rounds
     });
-    (dist, report.time)
+    stats.rounds = rounds;
+    stats.frontier_sum = rounds * records.len() as u64;
+    stats.frontier_max = if rounds > 0 { records.len() as u64 } else { 0 };
+    stats.settled = scratch
+        .iter_touched()
+        .filter(|&(_, d)| d < INFINITY)
+        .count() as u64;
+    stats.time += report.time;
+    stats
+}
+
+/// The frontier `GPU_SDist`: near–far (two-bucket delta-stepping) SSSP over
+/// the candidate cells' resident CSR slices. Only active vertices relax
+/// their out-edges; each bucket phase drains the near pile to a fixpoint —
+/// sealing every vertex whose final distance is below the bucket threshold
+/// — then feeds the sealed vertices' objects into a running k-th candidate
+/// bound and stops as soon as every remaining tentative distance exceeds
+/// it (k-bounded pruning; the exactness argument is in DESIGN.md §5.3).
+#[doc(hidden)]
+#[allow(clippy::too_many_arguments)]
+pub fn gpu_sdist_frontier(
+    device: &mut Device,
+    grid: &GraphGrid,
+    topo: &mut TopologyStore,
+    config: &GGridConfig,
+    in_set: &[bool],
+    set: &[CellId],
+    q: EdgePosition,
+    graph: &roadnet::Graph,
+    objects: &[CachedMessage],
+    k: usize,
+    scratch: &mut DenseScratch,
+) -> SdistStats {
+    scratch.reset();
+    let mut stats = SdistStats::default();
+
+    // Resident topology: a hot cell's slice is already on the card and
+    // skips the upload entirely.
+    for &c in set {
+        let bytes = grid.topology(c).bytes();
+        if topo.ensure(device, c, bytes) {
+            stats.topo_hits += 1;
+        } else {
+            stats.topo_misses += 1;
+            stats.h2d_topo_bytes += bytes;
+            stats.time += device.h2d(bytes);
+        }
+    }
+
+    let total_vertices: usize = set.iter().map(|&c| grid.topology(c).num_vertices()).sum();
+    stats.vertices = total_vertices as u64;
+
+    let delta = if config.sdist_delta > 0 {
+        config.sdist_delta as u64
+    } else {
+        grid.mean_edge_weight()
+    }
+    .max(1);
+
+    // Live objects per source vertex, for the running k-th candidate
+    // bound. The bound deliberately ignores `object_distance`'s same-edge
+    // shortcut, so it over-estimates the true l and never over-prunes.
+    let mut objects_at: HashMap<VertexId, Vec<Distance>, FxBuildHasher> =
+        HashMap::with_hasher(FxBuildHasher::default());
+    for m in objects {
+        if let Some(p) = m.position {
+            objects_at
+                .entry(graph.edge(p.edge).source)
+                .or_default()
+                .push(p.from_source());
+        }
+    }
+
+    let q_dest = graph.edge(q.edge).dest;
+    let seeded = in_set[grid.cell_of_vertex(q_dest).index()];
+    if seeded {
+        scratch.set(q_dest, q.to_dest(graph));
+    }
+
+    let ((rounds, frontier_sum, frontier_max, settled, pruned), report) =
+        device.launch(total_vertices.max(1), |ctx| {
+            let mut rounds = 0u64;
+            let mut frontier_sum = 0u64;
+            let mut frontier_max = 0u64;
+            let mut settled = 0u64;
+            let mut pruned = 0u64;
+            // Running k-bound: max-heap of the k smallest evaluated
+            // candidate distances; its top is the bound l_run ≥ l.
+            let mut k_heap = std::collections::BinaryHeap::new();
+
+            if seeded {
+                let d0 = scratch.get(q_dest);
+                let mut cur_threshold = (d0 / delta + 1) * delta;
+                let mut near: Vec<VertexId> = vec![q_dest];
+                let mut far: Vec<VertexId> = Vec::new();
+                loop {
+                    // ---- drain the near pile at this threshold ----
+                    let mut sealed_phase: Vec<VertexId> = Vec::new();
+                    while !near.is_empty() {
+                        rounds += 1;
+                        frontier_sum += near.len() as u64;
+                        frontier_max = frontier_max.max(near.len() as u64);
+                        let mut next_near: Vec<VertexId> = Vec::new();
+                        for &v in &near {
+                            sealed_phase.push(v);
+                            let t = grid.topology(grid.cell_of_vertex(v));
+                            let slot = grid.topo_slot_of(v);
+                            let deg = t.out_degree_of(slot) as u64;
+                            ctx.charge_alu_one(2 + 3 * deg);
+                            ctx.charge_read(8 + 12 * deg);
+                            let dv = scratch.get(v);
+                            for (dest, dest_cell, w) in t.out_edges_of(slot) {
+                                if !in_set[dest_cell as usize] {
+                                    continue; // induced subgraph only
+                                }
+                                let nd = dv.saturating_add(w as Distance);
+                                if nd < scratch.get(dest) {
+                                    scratch.set(dest, nd);
+                                    ctx.charge_write(8);
+                                    if nd < cur_threshold {
+                                        next_near.push(dest);
+                                    } else {
+                                        far.push(dest);
+                                    }
+                                }
+                            }
+                        }
+                        ctx.sync_threads();
+                        next_near.sort_unstable_by_key(|v| v.0);
+                        next_near.dedup();
+                        near = next_near;
+                    }
+
+                    // ---- seal the phase; sealed distances are final, so
+                    // their objects' candidate distances are valid bound
+                    // food. Sealed sets of different phases are disjoint,
+                    // so no object is ever counted twice. ----
+                    sealed_phase.sort_unstable_by_key(|v| v.0);
+                    sealed_phase.dedup();
+                    settled += sealed_phase.len() as u64;
+                    for &v in &sealed_phase {
+                        if let Some(list) = objects_at.get(&v) {
+                            ctx.charge_alu_one(2 * list.len() as u64);
+                            ctx.charge_read(16 * list.len() as u64);
+                            let dv = scratch.get(v);
+                            for &fs in list {
+                                let cd = dv.saturating_add(fs);
+                                if k_heap.len() < k {
+                                    k_heap.push(cd);
+                                } else if let Some(mut worst) = k_heap.peek_mut() {
+                                    if cd < *worst {
+                                        *worst = cd;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    let l_run = if k > 0 && k_heap.len() >= k {
+                        k_heap.peek().copied().unwrap_or(INFINITY)
+                    } else {
+                        INFINITY
+                    };
+
+                    // ---- compact the far pile: leftovers now below the
+                    // threshold were sealed above and drop out; the rest
+                    // are exactly the touched-but-unsettled vertices. ----
+                    far.sort_unstable_by_key(|v| v.0);
+                    far.dedup();
+                    ctx.charge_alu_one(far.len() as u64);
+                    let (kept, _) = gpu_sim::collective::partition_by(ctx, &far, |&v| {
+                        scratch.get(v) >= cur_threshold
+                    });
+                    far = kept;
+                    if far.is_empty() {
+                        break;
+                    }
+                    let min_far = gpu_sim::collective::reduce(
+                        ctx,
+                        far.iter().map(|&v| scratch.get(v)).collect(),
+                        |a, b: Distance| a.min(b),
+                    )
+                    .unwrap_or(INFINITY);
+
+                    // k-bounded pruning: `min_far` equals the smallest
+                    // *final* distance among unsettled vertices, so once it
+                    // exceeds the k-th candidate bound no remaining vertex
+                    // can host a top-k object.
+                    if min_far > l_run {
+                        pruned += far.len() as u64;
+                        break;
+                    }
+
+                    cur_threshold = (min_far / delta + 1) * delta;
+                    let (n2, f2) = gpu_sim::collective::partition_by(ctx, &far, |&v| {
+                        scratch.get(v) < cur_threshold
+                    });
+                    near = n2;
+                    far = f2;
+                }
+            }
+            (rounds, frontier_sum, frontier_max, settled, pruned)
+        });
+    stats.rounds = rounds;
+    stats.frontier_sum = frontier_sum;
+    stats.frontier_max = frontier_max;
+    stats.settled = settled;
+    stats.pruned = pruned;
+    stats.time += report.time;
+    stats
 }
 
 /// Distance from the query to an object position given the induced vertex
@@ -631,15 +943,11 @@ fn gpu_sdist(
 fn object_distance(
     q: EdgePosition,
     p: EdgePosition,
-    dist: &HashMap<VertexId, Distance, FxBuildHasher>,
+    dist: &DenseScratch,
     graph: &roadnet::Graph,
 ) -> Distance {
     let src = graph.edge(p.edge).source;
-    let via = dist
-        .get(&src)
-        .copied()
-        .unwrap_or(INFINITY)
-        .saturating_add(p.from_source());
+    let via = dist.get(src).saturating_add(p.from_source());
     if p.edge == q.edge && p.offset >= q.offset {
         via.min((p.offset - q.offset) as Distance)
     } else {
@@ -653,7 +961,7 @@ fn object_distance(
 fn gpu_first_k(
     device: &mut Device,
     q: EdgePosition,
-    dist: &HashMap<VertexId, Distance, FxBuildHasher>,
+    dist: &DenseScratch,
     objects: &[CachedMessage],
     graph: &roadnet::Graph,
 ) -> (Vec<(ObjectId, Distance, EdgePosition)>, gpu_sim::SimNanos) {
@@ -687,32 +995,36 @@ fn gpu_first_k(
 /// `GPU_Unresolved`: boundary vertices of the candidate region closer to
 /// the query than the k-th candidate (Definition 3). A vertex is on the
 /// boundary when one of its out-edges leaves the region; each thread
-/// performs the O(out-degree) boolean check.
+/// performs the O(out-degree) boolean check against the cell's CSR slice,
+/// whose out-records carry the destination cell — no host graph probe.
 fn gpu_unresolved(
     device: &mut Device,
     grid: &GraphGrid,
     in_set: &[bool],
     set: &[CellId],
-    dist: &HashMap<VertexId, Distance, FxBuildHasher>,
+    dist: &DenseScratch,
     l: Distance,
 ) -> (Vec<(VertexId, Distance)>, gpu_sim::SimNanos) {
-    let graph = grid.graph().clone();
-    let vertices: Vec<VertexId> = set.iter().flat_map(|&c| grid.vertices_in(c)).collect();
-    let (out, report) = device.launch(vertices.len().max(1), |ctx| {
+    let total_vertices: usize = set.iter().map(|&c| grid.topology(c).num_vertices()).sum();
+    let (out, report) = device.launch(total_vertices.max(1), |ctx| {
         let mut found = Vec::new();
-        for &v in &vertices {
-            let dv = dist.get(&v).copied().unwrap_or(INFINITY);
-            ctx.charge_alu_one(1 + graph.out_degree(v) as u64);
-            ctx.charge_read(8 + 12 * graph.out_degree(v) as u64);
-            if dv >= l {
-                continue;
-            }
-            let on_boundary = graph.out_edges(v).any(|e| {
-                let dest = graph.edge(e).dest;
-                !in_set[grid.cell_of_vertex(dest).index()]
-            });
-            if on_boundary {
-                found.push((v, dv));
+        for &c in set {
+            let t = grid.topology(c);
+            for slot in 0..t.num_vertices() {
+                let v = t.verts[slot];
+                let deg = t.out_degree_of(slot) as u64;
+                ctx.charge_alu_one(1 + deg);
+                ctx.charge_read(8 + 12 * deg);
+                let dv = dist.get(v);
+                if dv >= l {
+                    continue;
+                }
+                let on_boundary = t
+                    .out_edges_of(slot)
+                    .any(|(_, dest_cell, _)| !in_set[dest_cell as usize]);
+                if on_boundary {
+                    found.push((v, dv));
+                }
             }
         }
         found
@@ -785,21 +1097,55 @@ mod tests {
 
     #[test]
     fn sdist_matches_dijkstra_when_all_cells_included() {
-        let (grid, _, mut device, _) = setup(9);
+        let (grid, _, mut device, config) = setup(9);
         let graph = grid.graph().clone();
         let set: Vec<crate::grid::CellId> = grid.cell_ids().collect();
         let in_set = vec![true; grid.num_cells()];
         let q = EdgePosition::at_source(EdgeId(4));
-        let (dist, time) = gpu_sdist(&mut device, &grid, &in_set, &set, q, &graph);
-        assert!(time > gpu_sim::SimNanos::ZERO);
+        let mut dist = DenseScratch::new(graph.num_vertices());
+        let stats = gpu_sdist_dense(&mut device, &grid, &in_set, &set, q, &graph, &mut dist);
+        assert!(stats.time > gpu_sim::SimNanos::ZERO);
+        assert!(stats.rounds > 0 && stats.h2d_topo_bytes > 0);
         let mut engine = DijkstraEngine::new(&graph);
         engine.run_from_position(q, SearchBounds::UNBOUNDED);
         for v in graph.vertices() {
-            assert_eq!(
-                dist.get(&v).copied().unwrap_or(INFINITY),
-                engine.distance(v),
-                "{v:?} diverges"
-            );
+            assert_eq!(dist.get(v), engine.distance(v), "{v:?} diverges");
+        }
+        // The frontier kernel with pruning disabled (k = 0) settles the
+        // exact same distances, paying zero topology upload on a hot store.
+        let mut topo = TopologyStore::new(config.device_budget_bytes);
+        let mut fdist = DenseScratch::new(graph.num_vertices());
+        gpu_sdist_frontier(
+            &mut device,
+            &grid,
+            &mut topo,
+            &config,
+            &in_set,
+            &set,
+            q,
+            &graph,
+            &[],
+            0,
+            &mut fdist,
+        );
+        let warm = gpu_sdist_frontier(
+            &mut device,
+            &grid,
+            &mut topo,
+            &config,
+            &in_set,
+            &set,
+            q,
+            &graph,
+            &[],
+            0,
+            &mut fdist,
+        );
+        assert_eq!(warm.h2d_topo_bytes, 0, "warm store must skip uploads");
+        assert_eq!(warm.topo_hits, set.len());
+        assert!(warm.settled > 0 && warm.frontier_max > 0);
+        for v in graph.vertices() {
+            assert_eq!(fdist.get(v), engine.distance(v), "frontier {v:?} diverges");
         }
     }
 
@@ -819,10 +1165,11 @@ mod tests {
         for c in &set {
             in_set[c.index()] = true;
         }
-        let (dist, _) = gpu_sdist(&mut device, &grid, &in_set, &set, q, &graph);
+        let mut dist = DenseScratch::new(graph.num_vertices());
+        gpu_sdist_dense(&mut device, &grid, &in_set, &set, q, &graph, &mut dist);
         let mut engine = DijkstraEngine::new(&graph);
         engine.run_from_position(q, SearchBounds::UNBOUNDED);
-        for (&v, &d) in &dist {
+        for (v, d) in dist.iter_touched() {
             assert!(d >= engine.distance(v), "{v:?}: induced {d} < exact");
         }
     }
@@ -834,7 +1181,8 @@ mod tests {
         let q = EdgePosition::at_source(EdgeId(0));
         let set: Vec<crate::grid::CellId> = grid.cell_ids().collect();
         let in_set = vec![true; grid.num_cells()];
-        let (dist, _) = gpu_sdist(&mut device, &grid, &in_set, &set, q, &graph);
+        let mut dist = DenseScratch::new(graph.num_vertices());
+        gpu_sdist_dense(&mut device, &grid, &in_set, &set, q, &graph, &mut dist);
         let objects: Vec<CachedMessage> = (0..10u64)
             .map(|o| {
                 CachedMessage::update(
@@ -865,7 +1213,8 @@ mod tests {
         for c in &set {
             in_set[c.index()] = true;
         }
-        let (dist, _) = gpu_sdist(&mut device, &grid, &in_set, &set, q, &graph);
+        let mut dist = DenseScratch::new(graph.num_vertices());
+        gpu_sdist_dense(&mut device, &grid, &in_set, &set, q, &graph, &mut dist);
         let l = 50;
         let (unresolved, _) = gpu_unresolved(&mut device, &grid, &in_set, &set, &dist, l);
         for &(v, d) in &unresolved {
@@ -882,12 +1231,16 @@ mod tests {
         let (grid, lists, mut device, config) = setup(3);
         let bad = EdgePosition::new(EdgeId(0), 10_000);
         let mut resident = ResidentCellStore::new(config.device_budget_bytes);
+        let mut topo = TopologyStore::new(config.device_budget_bytes);
+        let pool = ScratchPool::new(grid.graph().num_vertices());
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             run_knn(
                 &mut device,
                 &grid,
                 &lists,
                 &mut resident,
+                &mut topo,
+                &pool,
                 &config,
                 bad,
                 1,
@@ -906,11 +1259,15 @@ mod tests {
         place(&grid, &lists, &objects, 100);
         let q = EdgePosition::at_source(EdgeId(1));
         let mut resident = ResidentCellStore::new(config.device_budget_bytes);
+        let mut topo = TopologyStore::new(config.device_budget_bytes);
+        let pool = ScratchPool::new(grid.graph().num_vertices());
         let result = run_knn(
             &mut device,
             &grid,
             &lists,
             &mut resident,
+            &mut topo,
+            &pool,
             &config,
             q,
             3,
@@ -922,6 +1279,9 @@ mod tests {
         let want_d: Vec<u64> = want.iter().map(|&(_, d)| d).collect();
         assert_eq!(got_d, want_d);
         assert!(result.breakdown.cells_cleaned > 0);
+        assert!(result.breakdown.sdist_rounds > 0, "sdist must be counted");
+        assert!(result.breakdown.sdist_vertices > 0);
+        assert!(pool.pooled() > 0, "scratch must return to the pool");
     }
 
     #[test]
@@ -935,6 +1295,8 @@ mod tests {
                 .collect();
             place(&grid, &lists, &objects, 100);
             let mut resident = ResidentCellStore::new(config.device_budget_bytes);
+            let mut topo = TopologyStore::new(config.device_budget_bytes);
+            let pool = ScratchPool::new(grid.graph().num_vertices());
             (0..5u32)
                 .map(|i| {
                     let q = EdgePosition::at_source(EdgeId(i * 31 % 160));
@@ -943,6 +1305,8 @@ mod tests {
                         &grid,
                         &lists,
                         &mut resident,
+                        &mut topo,
+                        &pool,
                         &config,
                         q,
                         6,
@@ -960,6 +1324,8 @@ mod tests {
                 .collect();
             place(&grid, &lists, &objects, 100);
             let mut resident = ResidentCellStore::new(config.device_budget_bytes);
+            let mut topo = TopologyStore::new(config.device_budget_bytes);
+            let pool = ScratchPool::new(grid.graph().num_vertices());
             for (i, want) in reference.iter().enumerate() {
                 let q = EdgePosition::at_source(EdgeId(i as u32 * 31 % 160));
                 let got = run_knn(
@@ -967,6 +1333,8 @@ mod tests {
                     &grid,
                     &lists,
                     &mut resident,
+                    &mut topo,
+                    &pool,
                     &config,
                     q,
                     6,
@@ -989,11 +1357,15 @@ mod tests {
         place(&grid, &lists, &objects, 100);
         let q = EdgePosition::at_source(EdgeId(2));
         let mut resident = ResidentCellStore::new(config.device_budget_bytes);
+        let mut topo = TopologyStore::new(config.device_budget_bytes);
+        let pool = ScratchPool::new(grid.graph().num_vertices());
         let pending = knn_device_phase(
             &mut device,
             &grid,
             &lists,
             &mut resident,
+            &mut topo,
+            &pool,
             &config,
             q,
             4,
@@ -1024,8 +1396,15 @@ mod tests {
                 pending.l,
                 &pending.in_set,
                 workers,
+                &pool,
             );
-            assert_eq!(got.best_outer, want, "workers={workers}");
+            let got_map: HashMap<VertexId, Distance, FxBuildHasher> = got
+                .best_outer
+                .as_ref()
+                .expect("unresolved non-empty => scratch present")
+                .iter_touched()
+                .collect();
+            assert_eq!(got_map, want, "workers={workers}");
             assert!(got.touched_cells.windows(2).all(|w| w[0] < w[1]));
         }
     }

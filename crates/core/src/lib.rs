@@ -49,6 +49,7 @@ pub mod message_list;
 pub mod mu;
 pub mod object_table;
 pub mod residency;
+pub mod scratch;
 pub mod server;
 pub mod stats;
 pub mod validate;

@@ -24,7 +24,7 @@
 
 use std::collections::HashMap;
 
-use gpu_sim::{BufferId, Device};
+use gpu_sim::{BufferId, BufferTag, Device};
 
 use crate::grid::CellId;
 use crate::message::CachedMessage;
@@ -224,6 +224,163 @@ impl ResidentCellStore {
     }
 }
 
+/// One cell's device-resident CSR topology slice.
+#[derive(Debug)]
+struct TopoEntry {
+    buffer: BufferId,
+    bytes: u64,
+    last_used: u64,
+}
+
+/// LRU store of device-resident per-cell CSR topology slices.
+///
+/// Unlike [`ResidentCellStore`] there is no epoch validity: the road network
+/// is immutable, so a slice installed once is correct forever — the only
+/// reason a lookup misses is that the cell was never uploaded or was evicted
+/// under memory pressure. The host keeps no mirror either; the grid's
+/// [`crate::grid::CellTopology`] *is* the data, and the store only accounts
+/// for which cells have paid their H2D.
+#[derive(Debug)]
+pub struct TopologyStore {
+    budget_bytes: u64,
+    entries: HashMap<CellId, TopoEntry, FxBuildHasher>,
+    tick: u64,
+    evictions: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl TopologyStore {
+    /// `budget_bytes = 0` disables the store: every [`Self::ensure`] misses
+    /// (the caller pays the per-query upload) and nothing is kept resident.
+    pub fn new(budget_bytes: u64) -> Self {
+        Self {
+            budget_bytes,
+            entries: HashMap::with_hasher(FxBuildHasher::default()),
+            tick: 0,
+            evictions: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.budget_bytes > 0
+    }
+
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget_bytes
+    }
+
+    pub fn resident_cells(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Bytes of topology currently resident on the device.
+    pub fn resident_bytes(&self) -> u64 {
+        self.entries.values().map(|e| e.bytes).sum()
+    }
+
+    pub fn contains(&self, cell: CellId) -> bool {
+        self.entries.contains_key(&cell)
+    }
+
+    /// Lifetime evictions (monotone).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Lifetime lookup hits (cell already resident — no H2D owed).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime lookup misses (caller owes the upload).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Make `cell`'s slice (`bytes` wide) resident if possible. Returns
+    /// `true` on a hit — the slice was already on the device and the caller
+    /// owes no H2D — and `false` on a miss, in which case the caller charges
+    /// the upload and the store installs the slice (evicting LRU victims to
+    /// fit the budget and the card) so the *next* query hits. A slice wider
+    /// than the whole budget is never installed.
+    pub fn ensure(&mut self, device: &mut Device, cell: CellId, bytes: u64) -> bool {
+        if let Some(e) = self.entries.get_mut(&cell) {
+            self.tick += 1;
+            e.last_used = self.tick;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if !self.enabled() || bytes == 0 || bytes > self.budget_bytes {
+            return false;
+        }
+
+        while self.resident_bytes() + bytes > self.budget_bytes {
+            if self.evict_lru(device).is_none() {
+                return false; // unreachable: bytes <= budget and store empty
+            }
+        }
+        let buffer = loop {
+            match device.alloc_buffer_tagged(bytes, BufferTag::Topology) {
+                Ok(b) => break b,
+                Err(_) => {
+                    if self.evict_lru(device).is_none() {
+                        return false;
+                    }
+                }
+            }
+        };
+
+        self.tick += 1;
+        self.entries.insert(
+            cell,
+            TopoEntry {
+                buffer,
+                bytes,
+                last_used: self.tick,
+            },
+        );
+        false
+    }
+
+    /// Evict the least-recently-used resident slice. Returns the victim.
+    pub fn evict_lru(&mut self, device: &mut Device) -> Option<CellId> {
+        let victim = self
+            .entries
+            .iter()
+            .min_by_key(|(c, e)| (e.last_used, c.0))
+            .map(|(&c, _)| c)?;
+        let e = self.entries.remove(&victim).expect("victim just seen");
+        device.free_buffer(e.buffer);
+        self.evictions += 1;
+        Some(victim)
+    }
+
+    /// Forcibly evict a specific cell (tests, ablations). Returns whether
+    /// the cell was resident.
+    pub fn force_evict(&mut self, device: &mut Device, cell: CellId) -> bool {
+        match self.entries.remove(&cell) {
+            Some(e) => {
+                device.free_buffer(e.buffer);
+                self.evictions += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self, device: &mut Device) {
+        let cells: Vec<CellId> = self.entries.keys().copied().collect();
+        for c in cells {
+            self.force_evict(device, c);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -345,6 +502,83 @@ mod tests {
         assert!(s.force_evict(&mut d, CellId(0)));
         assert!(!s.force_evict(&mut d, CellId(0)));
         assert_eq!(s.evictions(), 1);
+        s.clear(&mut d);
+        assert_eq!(s.resident_cells(), 0);
+        assert_eq!(d.residency().live_buffers, 0);
+    }
+
+    #[test]
+    fn topology_miss_installs_then_hits() {
+        let mut d = dev();
+        let mut s = TopologyStore::new(1 << 20);
+        assert!(!s.ensure(&mut d, CellId(3), 400), "first touch is a miss");
+        assert!(s.contains(CellId(3)));
+        assert!(s.ensure(&mut d, CellId(3), 400), "second touch hits");
+        assert_eq!((s.hits(), s.misses()), (1, 1));
+        assert_eq!(s.resident_bytes(), 400);
+        assert_eq!(
+            d.resident_bytes_tagged(gpu_sim::BufferTag::Topology),
+            400,
+            "topology bytes must be tagged on the device"
+        );
+    }
+
+    #[test]
+    fn topology_disabled_never_installs() {
+        let mut d = dev();
+        let mut s = TopologyStore::new(0);
+        assert!(!s.ensure(&mut d, CellId(0), 100));
+        assert!(!s.ensure(&mut d, CellId(0), 100), "stays a miss");
+        assert_eq!(s.resident_cells(), 0);
+        assert_eq!(d.residency().live_buffers, 0);
+        assert_eq!(s.misses(), 2);
+    }
+
+    #[test]
+    fn topology_budget_evicts_lru() {
+        let mut d = dev();
+        let mut s = TopologyStore::new(1000);
+        s.ensure(&mut d, CellId(0), 400);
+        s.ensure(&mut d, CellId(1), 400);
+        assert!(s.ensure(&mut d, CellId(0), 400), "touch 0 → 1 is LRU");
+        s.ensure(&mut d, CellId(2), 400);
+        assert!(s.contains(CellId(0)));
+        assert!(!s.contains(CellId(1)), "LRU slice must be evicted");
+        assert!(s.contains(CellId(2)));
+        assert_eq!(s.evictions(), 1);
+    }
+
+    #[test]
+    fn topology_oversized_slice_never_installed() {
+        let mut d = dev();
+        let mut s = TopologyStore::new(100);
+        assert!(!s.ensure(&mut d, CellId(0), 101));
+        assert!(!s.contains(CellId(0)));
+        assert_eq!(d.residency().live_buffers, 0);
+    }
+
+    #[test]
+    fn topology_card_capacity_forces_eviction() {
+        // test_tiny card: 1 MiB; budget larger than the card, so the
+        // capacity loop (not the budget loop) must evict.
+        let mut d = dev();
+        d.alloc(1024 * 1024 - 600).unwrap();
+        let mut s = TopologyStore::new(1 << 30);
+        assert!(!s.ensure(&mut d, CellId(0), 500));
+        assert!(!s.ensure(&mut d, CellId(1), 500));
+        assert!(!s.contains(CellId(0)), "card pressure must evict LRU");
+        assert!(s.contains(CellId(1)));
+    }
+
+    #[test]
+    fn topology_force_evict_and_clear() {
+        let mut d = dev();
+        let mut s = TopologyStore::new(1 << 20);
+        s.ensure(&mut d, CellId(0), 100);
+        s.ensure(&mut d, CellId(1), 100);
+        assert!(s.force_evict(&mut d, CellId(0)));
+        assert!(!s.force_evict(&mut d, CellId(0)));
+        assert!(!s.ensure(&mut d, CellId(0), 100), "evicted → miss again");
         s.clear(&mut d);
         assert_eq!(s.resident_cells(), 0);
         assert_eq!(d.residency().live_buffers, 0);

@@ -1,0 +1,263 @@
+//! Pooled dense distance scratch (epoch-stamped).
+//!
+//! The distance phase used to build a fresh `HashMap<VertexId, Distance>`
+//! per query — per-query allocation plus hash churn on every relax. A
+//! [`DenseScratch`] replaces the map with three flat arrays indexed by
+//! `VertexId::index()`:
+//!
+//! * `dist[v]` — the tentative distance, valid only when
+//! * `stamp[v]` equals the scratch's current `epoch`, and
+//! * `touched` — the list of vertices written this epoch.
+//!
+//! A `get` of an unstamped vertex returns [`INFINITY`], exactly the
+//! semantics of a missing `HashMap` key in the old code, so the scratch is
+//! a drop-in replacement. Clearing is an epoch bump — O(touched), not
+//! O(|V|) — which is what makes reuse across queries free.
+//!
+//! [`ScratchPool`] keeps retired scratches on the server so concurrent
+//! refinement workers and the batch pipeline can each borrow one without
+//! reallocating; `acquire` resets before handing out.
+
+use parking_lot::Mutex;
+use roadnet::graph::{Distance, VertexId, INFINITY};
+
+/// A dense `VertexId → Distance` map with O(touched) clearing.
+#[derive(Debug)]
+pub struct DenseScratch {
+    dist: Vec<Distance>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    touched: Vec<u32>,
+}
+
+impl DenseScratch {
+    pub fn new(num_vertices: usize) -> Self {
+        Self {
+            dist: vec![INFINITY; num_vertices],
+            stamp: vec![0; num_vertices],
+            epoch: 1,
+            touched: Vec::new(),
+        }
+    }
+
+    /// Vertices this scratch can index (the graph it was sized for).
+    pub fn capacity(&self) -> usize {
+        self.dist.len()
+    }
+
+    /// Tentative distance of `v`; [`INFINITY`] when `v` was not written
+    /// this epoch (the `HashMap` miss of the old code).
+    #[inline]
+    pub fn get(&self, v: VertexId) -> Distance {
+        if self.stamp[v.index()] == self.epoch {
+            self.dist[v.index()]
+        } else {
+            INFINITY
+        }
+    }
+
+    /// Whether `v` was written this epoch.
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.stamp[v.index()] == self.epoch
+    }
+
+    /// Write `d`, stamping `v` into the current epoch.
+    #[inline]
+    pub fn set(&mut self, v: VertexId, d: Distance) {
+        let i = v.index();
+        if self.stamp[i] != self.epoch {
+            self.stamp[i] = self.epoch;
+            self.touched.push(i as u32);
+        }
+        self.dist[i] = d;
+    }
+
+    /// `dist[v] = min(dist[v], d)`; returns true when `d` improved the
+    /// entry (the min-merge of the refinement workers).
+    #[inline]
+    pub fn min_in(&mut self, v: VertexId, d: Distance) -> bool {
+        if d < self.get(v) {
+            self.set(v, d);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of vertices written this epoch.
+    pub fn touched_len(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// `(vertex, distance)` pairs written this epoch, in first-write order.
+    pub fn iter_touched(&self) -> impl Iterator<Item = (VertexId, Distance)> + '_ {
+        self.touched
+            .iter()
+            .map(|&i| (VertexId(i), self.dist[i as usize]))
+    }
+
+    /// Clear the map by bumping the epoch: O(touched). On the (u32) epoch
+    /// wrapping around, the stamps are rewritten once — still amortised
+    /// O(touched).
+    pub fn reset(&mut self) {
+        self.touched.clear();
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+}
+
+/// A pool of [`DenseScratch`]es sized for one graph, shared by the query
+/// path and the refinement workers (batch mode borrows several at once).
+#[derive(Debug)]
+pub struct ScratchPool {
+    num_vertices: usize,
+    pool: Mutex<Vec<DenseScratch>>,
+}
+
+impl ScratchPool {
+    pub fn new(num_vertices: usize) -> Self {
+        Self {
+            num_vertices,
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Borrow a scratch (freshly reset). Allocates only when the pool is
+    /// empty — steady state reuses retired scratches.
+    pub fn acquire(&self) -> DenseScratch {
+        let mut s = self
+            .pool
+            .lock()
+            .pop()
+            .unwrap_or_else(|| DenseScratch::new(self.num_vertices));
+        s.reset();
+        s
+    }
+
+    /// Return a scratch to the pool. Scratches sized for another graph are
+    /// dropped instead of pooled.
+    pub fn release(&self, s: DenseScratch) {
+        if s.capacity() == self.num_vertices {
+            self.pool.lock().push(s);
+        }
+    }
+
+    /// Scratches currently idle in the pool.
+    pub fn pooled(&self) -> usize {
+        self.pool.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_miss_semantics() {
+        let mut s = DenseScratch::new(8);
+        assert_eq!(s.get(VertexId(3)), INFINITY);
+        assert!(!s.contains(VertexId(3)));
+        s.set(VertexId(3), 42);
+        assert_eq!(s.get(VertexId(3)), 42);
+        assert!(s.contains(VertexId(3)));
+        assert_eq!(s.get(VertexId(4)), INFINITY);
+        assert_eq!(s.touched_len(), 1);
+    }
+
+    #[test]
+    fn explicit_infinity_still_counts_as_touched() {
+        // The dense Bellman–Ford seeds every candidate vertex with INFINITY;
+        // those entries must read back as INFINITY either way, but count as
+        // touched (they were written).
+        let mut s = DenseScratch::new(4);
+        s.set(VertexId(0), INFINITY);
+        assert!(s.contains(VertexId(0)));
+        assert_eq!(s.get(VertexId(0)), INFINITY);
+        assert_eq!(s.touched_len(), 1);
+    }
+
+    #[test]
+    fn min_in_merges() {
+        let mut s = DenseScratch::new(4);
+        assert!(s.min_in(VertexId(1), 10));
+        assert!(!s.min_in(VertexId(1), 12));
+        assert!(s.min_in(VertexId(1), 7));
+        assert_eq!(s.get(VertexId(1)), 7);
+        assert_eq!(s.touched_len(), 1, "re-writes must not re-touch");
+    }
+
+    #[test]
+    fn reset_clears_in_o_touched() {
+        let mut s = DenseScratch::new(1000);
+        s.set(VertexId(5), 1);
+        s.set(VertexId(900), 2);
+        s.reset();
+        assert_eq!(s.get(VertexId(5)), INFINITY);
+        assert_eq!(s.get(VertexId(900)), INFINITY);
+        assert_eq!(s.touched_len(), 0);
+        s.set(VertexId(5), 9);
+        assert_eq!(s.get(VertexId(5)), 9);
+    }
+
+    #[test]
+    fn epoch_wrap_survives() {
+        let mut s = DenseScratch::new(4);
+        s.set(VertexId(0), 7);
+        s.epoch = u32::MAX - 1;
+        // Stale stamp from epoch 1 must not leak through the wrap.
+        s.stamp[0] = 1;
+        s.reset(); // -> u32::MAX
+        assert_eq!(s.get(VertexId(0)), INFINITY);
+        s.set(VertexId(1), 3);
+        s.reset(); // wraps: stamps rewritten, epoch back to 1
+        assert_eq!(s.epoch, 1);
+        assert_eq!(s.get(VertexId(0)), INFINITY);
+        assert_eq!(s.get(VertexId(1)), INFINITY);
+        s.set(VertexId(2), 5);
+        assert_eq!(s.get(VertexId(2)), 5);
+    }
+
+    #[test]
+    fn iter_touched_lists_pairs() {
+        let mut s = DenseScratch::new(8);
+        s.set(VertexId(6), 60);
+        s.set(VertexId(2), 20);
+        s.set(VertexId(6), 61);
+        let got: Vec<_> = s.iter_touched().collect();
+        assert_eq!(got, vec![(VertexId(6), 61), (VertexId(2), 20)]);
+    }
+
+    #[test]
+    fn pool_reuses_and_resets() {
+        let pool = ScratchPool::new(16);
+        let mut a = pool.acquire();
+        a.set(VertexId(3), 3);
+        pool.release(a);
+        assert_eq!(pool.pooled(), 1);
+        let b = pool.acquire();
+        assert_eq!(b.get(VertexId(3)), INFINITY, "acquire must reset");
+        assert_eq!(pool.pooled(), 0);
+        pool.release(b);
+
+        // A scratch for another graph is dropped, not pooled.
+        pool.release(DenseScratch::new(4));
+        assert_eq!(pool.pooled(), 1);
+    }
+
+    #[test]
+    fn pool_hands_out_multiple_concurrently() {
+        let pool = ScratchPool::new(8);
+        let a = pool.acquire();
+        let b = pool.acquire();
+        assert_eq!(a.capacity(), 8);
+        assert_eq!(b.capacity(), 8);
+        pool.release(a);
+        pool.release(b);
+        assert_eq!(pool.pooled(), 2);
+    }
+}

@@ -14,7 +14,8 @@ use crate::knn::{run_knn, KnnResult};
 use crate::message::{CachedMessage, ObjectId, Timestamp};
 use crate::message_list::CellLists;
 use crate::object_table::ObjectTable;
-use crate::residency::ResidentCellStore;
+use crate::residency::{ResidentCellStore, TopologyStore};
+use crate::scratch::ScratchPool;
 use crate::stats::{QueryBreakdown, ServerCounters};
 
 /// A G-Grid query server (paper §III–§V).
@@ -35,6 +36,8 @@ pub struct GGridServer {
     lists: CellLists,
     device: Device,
     resident: ResidentCellStore,
+    topo: TopologyStore,
+    pool: ScratchPool,
     counters: ServerCounters,
     last_breakdown: QueryBreakdown,
 }
@@ -78,6 +81,14 @@ impl GGridServer {
             .expect("graph grid does not fit in device memory");
         let lists = CellLists::new(grid.num_cells(), config.bucket_capacity);
         let resident = ResidentCellStore::new(config.device_budget_bytes);
+        // Topology residency shares the cell-state device budget; a zero
+        // budget disables it, as does the dedicated config switch.
+        let topo = TopologyStore::new(if config.topology_resident {
+            config.device_budget_bytes
+        } else {
+            0
+        });
+        let pool = ScratchPool::new(graph.num_vertices());
         Self {
             graph,
             grid,
@@ -86,6 +97,8 @@ impl GGridServer {
             lists,
             device,
             resident,
+            topo,
+            pool,
             counters: ServerCounters::default(),
             last_breakdown: QueryBreakdown::default(),
         }
@@ -148,6 +161,22 @@ impl GGridServer {
     pub fn evict_all_resident(&mut self) {
         self.counters.evictions += self.resident.resident_cells() as u64;
         self.resident.clear(&mut self.device);
+    }
+
+    /// Number of cells whose CSR topology slices are device-resident.
+    pub fn topology_resident_cells(&self) -> usize {
+        self.topo.resident_cells()
+    }
+
+    /// Bytes of topology slices held in device memory.
+    pub fn topology_resident_bytes(&self) -> u64 {
+        self.topo.resident_bytes()
+    }
+
+    /// Forcibly evict every resident topology slice (tests and ablations —
+    /// the next query re-uploads what it touches).
+    pub fn evict_all_topology(&mut self) {
+        self.topo.clear(&mut self.device);
     }
 
     /// Read access to the per-cell message lists (diagnostics/validation).
@@ -261,6 +290,8 @@ impl GGridServer {
             &self.grid,
             &self.lists,
             &mut self.resident,
+            &mut self.topo,
+            &self.pool,
             &self.config,
             queries,
             now,
@@ -281,6 +312,8 @@ impl GGridServer {
             &self.grid,
             &self.lists,
             &mut self.resident,
+            &mut self.topo,
+            &self.pool,
             &self.config,
             q,
             k,
@@ -327,8 +360,10 @@ impl MovingObjectIndex for GGridServer {
             cpu_bytes: self.grid.grid_bytes() + self.object_table.read().size_bytes() + lists,
             // The GPU holds a mirror of the graph grid to streamline the
             // computation (Fig 6's "G-Grid (GPU)") plus whatever
-            // consolidated cell lists are currently resident.
-            gpu_bytes: self.grid.grid_bytes() + self.resident.resident_bytes(),
+            // consolidated cell lists and topology slices are resident.
+            gpu_bytes: self.grid.grid_bytes()
+                + self.resident.resident_bytes()
+                + self.topo.resident_bytes(),
         }
     }
 }

@@ -66,6 +66,30 @@ pub struct QueryBreakdown {
     pub refine_critical_ns: u64,
     /// Worker threads the refinement phase ran on (0 = no refinement).
     pub refine_workers: usize,
+    /// Simulated device time of the shortest-distance kernel alone,
+    /// including its topology upload (subset of `candidate`).
+    pub sdist_time: SimNanos,
+    /// Relaxation rounds the shortest-distance kernel ran (frontier drains
+    /// or dense Bellman–Ford rounds, summed over robustness retries).
+    pub sdist_rounds: u64,
+    /// Summed frontier sizes across those rounds (dense path: every record,
+    /// every round — the work the frontier kernel avoids).
+    pub sdist_frontier_sum: u64,
+    /// Largest single-round frontier.
+    pub sdist_frontier_max: u64,
+    /// Candidate vertices whose final distance the kernel settled.
+    pub sdist_settled: u64,
+    /// Total candidate vertices in the induced subgraph.
+    pub sdist_vertices: u64,
+    /// Candidate vertices abandoned by k-bounded pruning (their distance
+    /// already exceeded the running k-th candidate bound).
+    pub sdist_pruned: u64,
+    /// H2D bytes spent uploading candidate-cell topology this query.
+    pub h2d_topo_bytes: u64,
+    /// Candidate cells whose CSR slice was already device-resident.
+    pub topo_hits: usize,
+    /// Candidate cells whose CSR slice had to be uploaded.
+    pub topo_misses: usize,
 }
 
 impl QueryBreakdown {
@@ -134,6 +158,24 @@ pub struct ServerCounters {
     pub refine_busy_ns: u64,
     /// Cumulative refinement critical-path time (busiest worker per query).
     pub refine_critical_ns: u64,
+    /// Cumulative simulated time of the shortest-distance kernel.
+    pub sdist_time: SimNanos,
+    /// Cumulative shortest-distance relaxation rounds.
+    pub sdist_rounds: u64,
+    /// Cumulative summed frontier sizes.
+    pub sdist_frontier_sum: u64,
+    /// Cumulative settled candidate vertices.
+    pub sdist_settled: u64,
+    /// Cumulative candidate vertices across queries.
+    pub sdist_vertices: u64,
+    /// Cumulative vertices abandoned by k-bounded pruning.
+    pub sdist_pruned: u64,
+    /// Cumulative H2D bytes spent on candidate-cell topology.
+    pub h2d_topo_bytes: u64,
+    /// Candidate cells served from the resident topology store.
+    pub topo_hits: u64,
+    /// Candidate cells whose topology had to be uploaded.
+    pub topo_misses: u64,
 }
 
 impl ServerCounters {
@@ -153,6 +195,25 @@ impl ServerCounters {
         self.refine_ns += b.refine_ns;
         self.refine_busy_ns += b.refine_busy_ns;
         self.refine_critical_ns += b.refine_critical_ns;
+        self.sdist_time += b.sdist_time;
+        self.sdist_rounds += b.sdist_rounds;
+        self.sdist_frontier_sum += b.sdist_frontier_sum;
+        self.sdist_settled += b.sdist_settled;
+        self.sdist_vertices += b.sdist_vertices;
+        self.sdist_pruned += b.sdist_pruned;
+        self.h2d_topo_bytes += b.h2d_topo_bytes;
+        self.topo_hits += b.topo_hits as u64;
+        self.topo_misses += b.topo_misses as u64;
+    }
+
+    /// Fraction of candidate-cell topology lookups served from the
+    /// resident store (no upload owed).
+    pub fn topo_hit_rate(&self) -> f64 {
+        let total = self.topo_hits + self.topo_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.topo_hits as f64 / total as f64
     }
 
     /// Fraction of cell-clean requests served from the epoch cache.
@@ -253,6 +314,33 @@ mod tests {
         assert_eq!(c.evictions, 2);
         assert!((c.resident_hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(ServerCounters::default().resident_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn sdist_counters_accumulate() {
+        let mut c = ServerCounters::default();
+        c.record_query(&QueryBreakdown {
+            sdist_time: SimNanos(40),
+            sdist_rounds: 5,
+            sdist_frontier_sum: 30,
+            sdist_frontier_max: 12,
+            sdist_settled: 9,
+            sdist_vertices: 14,
+            sdist_pruned: 5,
+            h2d_topo_bytes: 256,
+            topo_hits: 3,
+            topo_misses: 1,
+            ..Default::default()
+        });
+        assert_eq!(c.sdist_time, SimNanos(40));
+        assert_eq!(c.sdist_rounds, 5);
+        assert_eq!(c.sdist_frontier_sum, 30);
+        assert_eq!(c.sdist_settled, 9);
+        assert_eq!(c.sdist_vertices, 14);
+        assert_eq!(c.sdist_pruned, 5);
+        assert_eq!(c.h2d_topo_bytes, 256);
+        assert!((c.topo_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(ServerCounters::default().topo_hit_rate(), 0.0);
     }
 
     #[test]

@@ -66,6 +66,39 @@ pub fn top_k_smallest<K: Copy + Ord>(
     sorted
 }
 
+/// Stable stream-compaction split: `(keep, drop)` where `keep` holds the
+/// elements matching `pred`, both in input order.
+///
+/// Executed as the classic scan-then-scatter compaction: a flag per element,
+/// a log-depth prefix sum over the flags, and one scattered write — charged
+/// per *element* (not per launch thread), since the frontier kernel calls
+/// this on frontier-sized arrays from a launch sized for all candidate
+/// vertices.
+pub fn partition_by<T: Copy>(
+    ctx: &mut KernelCtx,
+    vals: &[T],
+    pred: impl Fn(&T) -> bool,
+) -> (Vec<T>, Vec<T>) {
+    let n = vals.len() as u64;
+    if n > 0 {
+        let levels = (usize::BITS - (vals.len() - 1).leading_zeros()).max(1) as u64;
+        // Flag evaluation + scan (one add per element per level) + scatter.
+        ctx.charge_alu_one(n * (1 + levels));
+        ctx.charge_read(8 * n);
+        ctx.charge_write(8 * n);
+    }
+    let mut keep = Vec::new();
+    let mut drop = Vec::new();
+    for v in vals {
+        if pred(v) {
+            keep.push(*v);
+        } else {
+            drop.push(*v);
+        }
+    }
+    (keep, drop)
+}
+
 /// Tree reduction: combine all values with `f` in log₂(n) data-parallel
 /// steps (e.g. min/max/sum across a kernel's threads).
 pub fn reduce<T: Copy>(ctx: &mut KernelCtx, mut vals: Vec<T>, f: impl Fn(T, T) -> T) -> Option<T> {
@@ -139,6 +172,17 @@ mod tests {
     fn top_k_larger_than_input() {
         let (out, _) = with_ctx(|ctx| top_k_smallest(ctx, vec![3u64, 1], 10, u64::MAX));
         assert_eq!(out, vec![1, 3]);
+    }
+
+    #[test]
+    fn partition_splits_stably_and_charges() {
+        let (out, ops) = with_ctx(|ctx| partition_by(ctx, &[5u64, 2, 9, 3, 8, 1], |&v| v < 4));
+        assert_eq!(out.0, vec![2, 3, 1]);
+        assert_eq!(out.1, vec![5, 9, 8]);
+        assert!(ops.alu > 0, "compaction must be charged");
+        let (empty, ops) = with_ctx(|ctx| partition_by(ctx, &Vec::<u64>::new(), |_| true));
+        assert!(empty.0.is_empty() && empty.1.is_empty());
+        assert_eq!(ops.alu, 0, "empty input charges nothing");
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! The simulated device: kernels, transfers, memory, and the clock.
 
-use crate::mem::{BufferId, BufferTable, DeviceMemory, OutOfDeviceMemory, ResidencyLedger};
+use crate::mem::{
+    BufferId, BufferTable, BufferTag, DeviceMemory, OutOfDeviceMemory, ResidencyLedger,
+};
 use crate::ops::{CostModel, OpCounts};
 use crate::spec::DeviceSpec;
 use crate::time::SimNanos;
@@ -135,6 +137,21 @@ impl Device {
     /// when the card is out of memory.
     pub fn alloc_buffer(&mut self, bytes: u64) -> Result<BufferId, OutOfDeviceMemory> {
         self.buffers.alloc(&mut self.mem, bytes)
+    }
+
+    /// [`Self::alloc_buffer`] with a subsystem tag, so instrumentation can
+    /// split resident bytes (cell state vs topology).
+    pub fn alloc_buffer_tagged(
+        &mut self,
+        bytes: u64,
+        tag: BufferTag,
+    ) -> Result<BufferId, OutOfDeviceMemory> {
+        self.buffers.alloc_tagged(&mut self.mem, bytes, tag)
+    }
+
+    /// Bytes currently resident in handle-tracked buffers under `tag`.
+    pub fn resident_bytes_tagged(&self, tag: BufferTag) -> u64 {
+        self.buffers.bytes_of_tag(tag)
     }
 
     /// Free a handle-tracked buffer, returning the bytes released.

@@ -34,9 +34,9 @@ pub mod time;
 pub mod warp;
 pub mod xfer;
 
-pub use collective::{bitonic_sort, reduce, top_k_smallest};
+pub use collective::{bitonic_sort, partition_by, reduce, top_k_smallest};
 pub use device::{Device, LaunchReport};
-pub use mem::{BufferId, OutOfDeviceMemory, ResidencyLedger};
+pub use mem::{BufferId, BufferTag, OutOfDeviceMemory, ResidencyLedger};
 pub use ops::{CostModel, OpCounts};
 pub use spec::DeviceSpec;
 pub use stream::StreamTimeline;

@@ -104,6 +104,18 @@ impl DeviceMemory {
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BufferId(u64);
 
+/// What a buffer holds — lets instrumentation split resident bytes by
+/// subsystem (consolidated cell state vs read-only topology slices).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum BufferTag {
+    #[default]
+    General,
+    /// Consolidated per-cell object state (PR 2 residency).
+    CellState,
+    /// Per-cell CSR topology slices (read-only, immutable).
+    Topology,
+}
+
 /// Occupancy ledger of the handle-based allocator: what is resident right
 /// now and how much churn got it there.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -124,23 +136,33 @@ pub struct ResidencyLedger {
 /// callers free by handle rather than by byte count.
 #[derive(Clone, Debug, Default)]
 pub struct BufferTable {
-    sizes: HashMap<u64, u64>,
+    sizes: HashMap<u64, (u64, BufferTag)>,
     next_id: u64,
     ledger: ResidencyLedger,
 }
 
 impl BufferTable {
     /// Reserve a buffer of `bytes` in `mem`; fails (without reserving) when
-    /// the card is out of memory.
+    /// the card is out of memory. Tagged [`BufferTag::General`].
     pub fn alloc(
         &mut self,
         mem: &mut DeviceMemory,
         bytes: u64,
     ) -> Result<BufferId, OutOfDeviceMemory> {
+        self.alloc_tagged(mem, bytes, BufferTag::General)
+    }
+
+    /// [`Self::alloc`] with an explicit subsystem tag.
+    pub fn alloc_tagged(
+        &mut self,
+        mem: &mut DeviceMemory,
+        bytes: u64,
+        tag: BufferTag,
+    ) -> Result<BufferId, OutOfDeviceMemory> {
         mem.alloc(bytes)?;
         let id = self.next_id;
         self.next_id += 1;
-        self.sizes.insert(id, bytes);
+        self.sizes.insert(id, (bytes, tag));
         self.ledger.live_buffers += 1;
         self.ledger.resident_bytes += bytes;
         self.ledger.total_allocs += 1;
@@ -156,7 +178,7 @@ impl BufferTable {
     /// # Panics
     /// Panics on an unknown (already freed) handle — a double free upstream.
     pub fn free(&mut self, mem: &mut DeviceMemory, id: BufferId) -> u64 {
-        let bytes = self
+        let (bytes, _) = self
             .sizes
             .remove(&id.0)
             .expect("freeing an unknown device buffer");
@@ -177,9 +199,10 @@ impl BufferTable {
         id: BufferId,
         bytes: u64,
     ) -> Result<(), OutOfDeviceMemory> {
+        let tag = self.sizes.get(&id.0).map(|&(_, t)| t).unwrap_or_default();
         self.free(mem, id);
         mem.alloc(bytes)?;
-        self.sizes.insert(id.0, bytes);
+        self.sizes.insert(id.0, (bytes, tag));
         self.ledger.live_buffers += 1;
         self.ledger.resident_bytes += bytes;
         self.ledger.total_allocs += 1;
@@ -192,7 +215,16 @@ impl BufferTable {
 
     /// Size of a live buffer, if the handle is valid.
     pub fn bytes_of(&self, id: BufferId) -> Option<u64> {
-        self.sizes.get(&id.0).copied()
+        self.sizes.get(&id.0).map(|&(b, _)| b)
+    }
+
+    /// Bytes currently resident under `tag`.
+    pub fn bytes_of_tag(&self, tag: BufferTag) -> u64 {
+        self.sizes
+            .values()
+            .filter(|&&(_, t)| t == tag)
+            .map(|&(b, _)| b)
+            .sum()
     }
 
     pub fn ledger(&self) -> &ResidencyLedger {
@@ -290,6 +322,27 @@ mod tests {
         assert!(tab.alloc(&mut mem, 101).is_err());
         assert_eq!(tab.ledger().live_buffers, 0);
         assert_eq!(mem.in_use(), 0);
+    }
+
+    #[test]
+    fn tags_split_resident_bytes() {
+        let mut mem = DeviceMemory::new(1000);
+        let mut tab = BufferTable::default();
+        let a = tab
+            .alloc_tagged(&mut mem, 100, BufferTag::Topology)
+            .unwrap();
+        let b = tab
+            .alloc_tagged(&mut mem, 200, BufferTag::CellState)
+            .unwrap();
+        tab.alloc(&mut mem, 50).unwrap();
+        assert_eq!(tab.bytes_of_tag(BufferTag::Topology), 100);
+        assert_eq!(tab.bytes_of_tag(BufferTag::CellState), 200);
+        assert_eq!(tab.bytes_of_tag(BufferTag::General), 50);
+        // Resize keeps the tag; free drops it.
+        tab.resize(&mut mem, a, 150).unwrap();
+        assert_eq!(tab.bytes_of_tag(BufferTag::Topology), 150);
+        tab.free(&mut mem, b);
+        assert_eq!(tab.bytes_of_tag(BufferTag::CellState), 0);
     }
 
     #[test]
