@@ -131,7 +131,7 @@ fn emit_bench_json() {
                 hybrid_ns += r.breakdown.total_ns();
             }
             let wall_ns = t0.elapsed().as_nanos() as u64;
-            let counters = *s.counters();
+            let counters = s.counters();
             let n = queries.len() as u64;
             // Swap the refinement phase's host wall time for its critical
             // path: the hybrid clock as it would read with free cores.

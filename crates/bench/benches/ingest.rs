@@ -1,0 +1,114 @@
+//! Criterion bench for the ingestion path: the hot-window fleet workload
+//! of the `ingest` experiment — every round the whole fleet reports into a
+//! small window of edges, then a fixed query frontier re-cleans — swept
+//! over how updates are committed (per-call vs group commit, 1/2/4 ingest
+//! workers) on the NY-shaped dataset.
+//!
+//! Besides the criterion timings, the bench emits one machine-readable
+//! `BENCH {json}` line per configuration with the deterministic modeled
+//! figures: modeled ingest time, cell-lock and shard-lock traffic, batch
+//! counts, and bucket-slab reuse. The modeled ingest clock is counted, not
+//! timed, so one instrumented run per configuration is a stable baseline.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ggrid::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use roadnet::gen::Dataset;
+use roadnet::EdgeId;
+
+const OBJECTS: u64 = 400;
+const ROUNDS: usize = 6;
+const WINDOW: u32 = 48;
+const K: usize = 16;
+
+/// (label, ingest workers, group commit?)
+const SWEEP: [(&str, usize, bool); 4] = [
+    ("per-call", 1, false),
+    ("batched", 1, true),
+    ("batched-w2", 2, true),
+    ("batched-w4", 4, true),
+];
+
+fn server(graph: &std::sync::Arc<roadnet::graph::Graph>, workers: usize) -> GGridServer {
+    GGridServer::new(
+        (**graph).clone(),
+        GGridConfig {
+            ingest_workers: workers,
+            ..Default::default()
+        },
+    )
+}
+
+/// Whole-fleet report waves into a hot edge window, queries between waves
+/// (same shape as the experiment).
+fn workload(graph: &std::sync::Arc<roadnet::graph::Graph>, s: &mut GGridServer, batched: bool) {
+    let ne = graph.num_edges() as u32;
+    let window = ne.min(WINDOW);
+    let mut rng = SmallRng::seed_from_u64(0x1467);
+    let positions: Vec<EdgePosition> = (0..4u32)
+        .map(|p| EdgePosition::at_source(EdgeId((p * (window / 4)).min(ne - 1))))
+        .collect();
+    let mut t = 100u64;
+    for _ in 0..ROUNDS {
+        let wave: Vec<(ObjectId, EdgePosition, Timestamp)> = (0..OBJECTS)
+            .map(|o| {
+                t += 1;
+                let e = EdgeId(rng.gen_range(0..window));
+                (ObjectId(o), EdgePosition::at_source(e), Timestamp(t))
+            })
+            .collect();
+        if batched {
+            s.ingest_batch(&wave);
+        } else {
+            for &(o, p, ts) in &wave {
+                s.handle_update(o, p, ts);
+            }
+        }
+        t += 1;
+        for &q in &positions {
+            s.knn(q, K, Timestamp(t));
+        }
+    }
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let graph = common::bench_graph(Dataset::NY);
+    let mut group = c.benchmark_group("ingest");
+    group.sample_size(10);
+
+    for (label, workers, batched) in SWEEP {
+        group.bench_function(format!("commit={label}").as_str(), |b| {
+            b.iter(|| {
+                let mut s = server(&graph, workers);
+                workload(&graph, &mut s, batched);
+                s.counters().modeled_ingest_ns()
+            })
+        });
+    }
+    group.finish();
+
+    // One deterministic instrumented run per configuration.
+    for (label, workers, batched) in SWEEP {
+        let mut s = server(&graph, workers);
+        workload(&graph, &mut s, batched);
+        let c = s.counters();
+        println!(
+            "BENCH {{\"bench\": \"ingest\", \"commit\": \"{label}\", \"workers\": {workers}, \"updates\": {}, \"tombstones\": {}, \"batches\": {}, \"cell_locks\": {}, \"shard_locks\": {}, \"modeled_ingest_ns\": {}, \"updates_per_sec_modeled\": {:.1}, \"bucket_allocs\": {}, \"bucket_reuses\": {}}}",
+            c.updates_ingested,
+            c.tombstones_written,
+            c.ingest_batches,
+            c.ingest_cell_locks,
+            c.ingest_shard_locks,
+            c.modeled_ingest_ns(),
+            c.updates_per_sec_modeled(),
+            c.bucket_allocs,
+            c.bucket_reuses,
+        );
+    }
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

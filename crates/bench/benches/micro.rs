@@ -89,7 +89,7 @@ fn bench_update_path(c: &mut Criterion) {
         ..Default::default()
     });
     c.bench_function("ggrid_handle_update_x1000", |b| {
-        let mut server = GGridServer::new(g.clone(), GGridConfig::default());
+        let server = GGridServer::new(g.clone(), GGridConfig::default());
         let mut t = 0u64;
         b.iter(|| {
             for o in 0..1000u64 {

@@ -6,7 +6,7 @@
 //!
 //! EXPERIMENT ∈ {table2, fig4a, fig4b, fig4c, fig5, fig6, fig7, fig8,
 //!               fig9, fig10, ablation, skew, concurrency, residency,
-//!               sdist, all}
+//!               sdist, ingest, all}
 //! (default: all)
 //! ```
 //!
@@ -19,8 +19,8 @@ use std::path::PathBuf;
 use ggrid_bench::csvout::ResultTable;
 use ggrid_bench::experiments::{
     ablation, concurrency, fig10_scalability, fig4_tuning, fig5_datasets, fig6_index_size,
-    fig7_vary_k, fig8_vary_objects, fig9_vary_freq, residency, sdist, skew, table2_datasets,
-    ExpConfig,
+    fig7_vary_k, fig8_vary_objects, fig9_vary_freq, ingest, residency, sdist, skew,
+    table2_datasets, ExpConfig,
 };
 
 fn main() {
@@ -76,6 +76,7 @@ fn main() {
             "concurrency",
             "residency",
             "sdist",
+            "ingest",
         ]
         .into_iter()
         .map(String::from)
@@ -118,6 +119,7 @@ fn main() {
             "concurrency" => vec![("concurrency".into(), concurrency::run(&cfg))],
             "residency" => vec![("residency".into(), residency::run(&cfg))],
             "sdist" => vec![("sdist".into(), sdist::run(&cfg))],
+            "ingest" => vec![("ingest".into(), ingest::run(&cfg))],
             other => {
                 eprintln!("unknown experiment `{other}`\n{HELP}");
                 std::process::exit(2);
@@ -144,7 +146,7 @@ fn expect_num(it: &mut std::iter::Peekable<std::slice::Iter<String>>, flag: &str
     }
 }
 
-const HELP: &str = "usage: experiments [table2|fig4a|fig4b|fig4c|fig5|fig6|fig7|fig8|fig9|fig10|ablation|skew|concurrency|residency|sdist|all]...
+const HELP: &str = "usage: experiments [table2|fig4a|fig4b|fig4c|fig5|fig6|fig7|fig8|fig9|fig10|ablation|skew|concurrency|residency|sdist|ingest|all]...
   --quick           small datasets/fleets for a fast pass
   --scale N         divide real dataset sizes by N (default 500)
   --objects N       number of moving objects (default 10000)

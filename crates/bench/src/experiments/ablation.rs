@@ -132,12 +132,16 @@ mod tests {
         };
         let mut lazy = GGridServer::new((*graph).clone(), cfg.clone());
         let mut eager = EagerGGrid::new((*graph).clone(), cfg);
-        for i in 0..25u64 {
-            let e = roadnet::EdgeId((i % graph.num_edges() as u64) as u32);
-            let p = EdgePosition::at_source(e);
-            lazy.handle_update(ObjectId(i), p, Timestamp(10 + i));
-            eager.handle_update(ObjectId(i), p, Timestamp(10 + i));
-        }
+        // The lazy server takes the updates as one group commit; the eager
+        // wrapper cleans per message via the trait default — answers agree.
+        let updates: Vec<(ObjectId, EdgePosition, Timestamp)> = (0..25u64)
+            .map(|i| {
+                let e = roadnet::EdgeId((i % graph.num_edges() as u64) as u32);
+                (ObjectId(i), EdgePosition::at_source(e), Timestamp(10 + i))
+            })
+            .collect();
+        lazy.ingest_batch(&updates);
+        MovingObjectIndex::ingest_batch(&mut eager, &updates);
         let q = EdgePosition::at_source(roadnet::EdgeId(3));
         assert_eq!(
             MovingObjectIndex::knn(&mut lazy, q, 5, Timestamp(100)),

@@ -9,6 +9,7 @@ pub mod fig6_index_size;
 pub mod fig7_vary_k;
 pub mod fig8_vary_objects;
 pub mod fig9_vary_freq;
+pub mod ingest;
 pub mod residency;
 pub mod sdist;
 pub mod skew;

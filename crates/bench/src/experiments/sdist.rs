@@ -68,7 +68,7 @@ pub fn run(cfg: &ExpConfig) -> ResultTable {
             let answers = repeated_query_workload(&world, &mut server, cfg, rounds);
             Outcome {
                 label,
-                counters: *server.counters(),
+                counters: server.counters(),
                 topo_cells: server.topology_resident_cells(),
                 topo_bytes: server.topology_resident_bytes(),
                 answers,
@@ -139,10 +139,14 @@ fn repeated_query_workload(
     let ne = world.graph.num_edges() as u32;
     let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x5d15);
     let objects = cfg.objects.max(32) as u64;
-    for o in 0..objects {
-        let e = EdgeId(rng.gen_range(0..ne));
-        server.handle_update(ObjectId(o), EdgePosition::at_source(e), Timestamp(100));
-    }
+    // Initial scatter: one group commit for the whole fleet.
+    let scatter: Vec<(ObjectId, EdgePosition, Timestamp)> = (0..objects)
+        .map(|o| {
+            let e = EdgeId(rng.gen_range(0..ne));
+            (ObjectId(o), EdgePosition::at_source(e), Timestamp(100))
+        })
+        .collect();
+    server.ingest_batch(&scatter);
     let positions: Vec<EdgePosition> = (0..4u32)
         .map(|p| EdgePosition::at_source(EdgeId((p * (ne / 4)).min(ne - 1))))
         .collect();
@@ -150,12 +154,15 @@ fn repeated_query_workload(
     let mut answers = Vec::new();
     let mut t = 200u64;
     for _ in 0..rounds {
-        for _ in 0..movers {
-            t += 1;
-            let o = ObjectId(rng.gen_range(0..objects));
-            let e = EdgeId(rng.gen_range(0..ne));
-            server.handle_update(o, EdgePosition::at_source(e), Timestamp(t));
-        }
+        let moves: Vec<(ObjectId, EdgePosition, Timestamp)> = (0..movers)
+            .map(|_| {
+                t += 1;
+                let o = ObjectId(rng.gen_range(0..objects));
+                let e = EdgeId(rng.gen_range(0..ne));
+                (o, EdgePosition::at_source(e), Timestamp(t))
+            })
+            .collect();
+        server.ingest_batch(&moves);
         t += 1;
         for &q in &positions {
             answers.push(server.knn(q, 16, Timestamp(t)));

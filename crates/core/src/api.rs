@@ -57,6 +57,16 @@ pub trait MovingObjectIndex {
     /// Process one location-update message `⟨o, e, d, t⟩`.
     fn handle_update(&mut self, object: ObjectId, position: EdgePosition, time: Timestamp);
 
+    /// Process a run of location updates as one group commit. Semantically
+    /// identical to calling [`Self::handle_update`] once per element in
+    /// order; indexes with a batched ingest path (G-Grid) override this to
+    /// amortize per-message locking.
+    fn ingest_batch(&mut self, updates: &[(ObjectId, EdgePosition, Timestamp)]) {
+        for &(o, p, t) in updates {
+            self.handle_update(o, p, t);
+        }
+    }
+
     /// Answer a kNN query issued at time `now`. Returns up to `k`
     /// `(object, network distance)` pairs, nearest first, ties on object id.
     fn knn(&mut self, q: EdgePosition, k: usize, now: Timestamp) -> Vec<(ObjectId, Distance)>;

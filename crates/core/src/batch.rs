@@ -107,17 +107,7 @@ pub fn run_knn_batch(
         let t0 = std::time::Instant::now();
         let (_, rep) = clean_cells(device, lists, resident, &union, config, now);
         shared.emulation_ns = t0.elapsed().as_nanos() as u64;
-        shared.cleaning = rep.time;
-        shared.copy_back = rep.copy_back_time;
-        shared.h2d_bytes = rep.h2d_bytes;
-        shared.h2d_delta_bytes = rep.h2d_delta_bytes;
-        shared.h2d_full_bytes = rep.h2d_full_bytes;
-        shared.d2h_bytes = rep.d2h_bytes;
-        shared.messages_cleaned = rep.messages;
-        shared.cells_cleaned = rep.cells_cleaned;
-        shared.cells_skipped = rep.cells_skipped;
-        shared.resident_hits = rep.resident_hits;
-        shared.evictions = rep.evictions;
+        shared.record_cleaning(&rep);
         // Copy-back is strictly after the shared pass's compute but runs on
         // the transfer stream, so the first query's device phase starts as
         // soon as the kernel is done — not when the result lands on host.
@@ -269,7 +259,7 @@ mod tests {
 
     fn loaded_server_with(config: GGridConfig) -> GGridServer {
         let g = gen::toy(77);
-        let mut s = GGridServer::new(g.clone(), config);
+        let s = GGridServer::new(g.clone(), config);
         for o in 0..40u64 {
             for t in 0..5u64 {
                 let e = EdgeId(((o * 11 + t) % g.num_edges() as u64) as u32);

@@ -131,6 +131,9 @@ pub fn clean_cells(
                         .map(|&msg| WireMessage { msg, cell: c })
                         .collect(),
                 );
+                // The frozen slab has served its purpose: pool it for the
+                // next append (same lock acquisition — no extra locking).
+                list.recycle(bucket.messages);
             }
         } else {
             work.push(c);
@@ -143,6 +146,7 @@ pub fn clean_cells(
                         .map(|&msg| WireMessage { msg, cell: c })
                         .collect(),
                 );
+                list.recycle(bucket.messages);
             }
         }
     }
@@ -734,6 +738,52 @@ mod tests {
             !resident.contains(CellId(0)),
             "empty consolidation must drop residency"
         );
+    }
+
+    #[test]
+    fn cleaning_pools_retired_slabs_for_reuse() {
+        let (mut dev, lists, mut resident) = setup(1);
+        for o in 0..12 {
+            lists.lock(0).append(msg(o, 100));
+        }
+        let cfg = config();
+        clean_cells(
+            &mut dev,
+            &lists,
+            &mut resident,
+            &[CellId(0)],
+            &cfg,
+            Timestamp(150),
+        );
+        // Warm-up cycle: one object keeps moving, population stays at 12,
+        // so every later clean/append cycle recirculates the same slabs.
+        lists.lock(0).append(msg(0, 200));
+        clean_cells(
+            &mut dev,
+            &lists,
+            &mut resident,
+            &[CellId(0)],
+            &cfg,
+            Timestamp(250),
+        );
+        let (allocs_warm, reuses_warm) = lists.lock(0).bucket_alloc_stats();
+        for round in 0..4u64 {
+            lists.lock(0).append(msg(0, 300 + round));
+            clean_cells(
+                &mut dev,
+                &lists,
+                &mut resident,
+                &[CellId(0)],
+                &cfg,
+                Timestamp(350 + round),
+            );
+        }
+        let (allocs, reuses) = lists.lock(0).bucket_alloc_stats();
+        assert_eq!(
+            allocs, allocs_warm,
+            "steady-state clean/append cycles must not hit the heap"
+        );
+        assert!(reuses > reuses_warm, "cycles must run on pooled slabs");
     }
 
     #[test]

@@ -29,6 +29,12 @@ pub struct GGridConfig {
     /// bounded Dijkstra expansions from unresolved vertices fan out over a
     /// scoped pool of this many threads. `1` runs refinement inline.
     pub refine_workers: usize,
+    /// CPU worker threads for batched ingestion
+    /// ([`crate::server::GGridServer::ingest_batch`]): workers own disjoint
+    /// object-id shards (table phase) and disjoint cell stripes (append
+    /// phase), so per-object order is preserved and answers are identical
+    /// for every worker count. `1` runs ingestion inline.
+    pub ingest_workers: usize,
     /// Serve already-consolidated cells straight from the message-list
     /// cache instead of re-launching the cleaning kernel (epoch-based
     /// clean-skip). Answers are identical either way; disabling this exists
@@ -67,6 +73,7 @@ impl Default for GGridConfig {
             t_delta_ms: 10_000,
             transfer_chunks: 4,
             refine_workers: 1,
+            ingest_workers: 1,
             clean_skip: true,
             device_budget_bytes: 64 << 20,
             sdist_frontier: true,
@@ -101,6 +108,10 @@ impl GGridConfig {
             (1..=256).contains(&self.refine_workers),
             "refine_workers must be in 1..=256"
         );
+        assert!(
+            (1..=256).contains(&self.ingest_workers),
+            "ingest_workers must be in 1..=256"
+        );
     }
 }
 
@@ -117,6 +128,7 @@ mod tests {
         assert_eq!(c.bundle_width(), 32);
         assert!((c.rho - 1.8).abs() < 1e-9);
         assert_eq!(c.refine_workers, 1);
+        assert_eq!(c.ingest_workers, 1);
         assert!(c.clean_skip);
         assert_eq!(c.device_budget_bytes, 64 << 20);
         assert!(c.sdist_frontier);
@@ -130,6 +142,16 @@ mod tests {
     fn zero_workers_rejected() {
         GGridConfig {
             refine_workers: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "ingest_workers")]
+    fn zero_ingest_workers_rejected() {
+        GGridConfig {
+            ingest_workers: 0,
             ..Default::default()
         }
         .validate();

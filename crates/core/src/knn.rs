@@ -170,17 +170,7 @@ fn clean_round(
     let t0 = Instant::now();
     let (cleaned, rep) = clean_cells(device, lists, resident, &fresh, config, now);
     *cpu_excluded += t0.elapsed();
-    breakdown.cleaning += rep.time;
-    breakdown.copy_back += rep.copy_back_time;
-    breakdown.h2d_bytes += rep.h2d_bytes;
-    breakdown.h2d_delta_bytes += rep.h2d_delta_bytes;
-    breakdown.h2d_full_bytes += rep.h2d_full_bytes;
-    breakdown.d2h_bytes += rep.d2h_bytes;
-    breakdown.messages_cleaned += rep.messages;
-    breakdown.cells_cleaned += rep.cells_cleaned;
-    breakdown.cells_skipped += rep.cells_skipped;
-    breakdown.resident_hits += rep.resident_hits;
-    breakdown.evictions += rep.evictions;
+    breakdown.record_cleaning(&rep);
     for c in fresh {
         in_set[c.index()] = true;
         set.push(c);

@@ -67,7 +67,19 @@ pub struct MessageList {
     /// is exactly this prefix, which is what makes
     /// [`Self::take_delta_for_cleaning`] sound.
     consolidated_len: usize,
+    /// Retired bucket slabs recycled from cleaning: emptied `Vec`s whose
+    /// capacity is kept so steady-state ingest reuses them instead of
+    /// allocating. Bounded by [`FREE_LIST_CAP`].
+    free: Vec<Vec<CachedMessage>>,
+    /// Bucket slabs allocated fresh from the heap (lifetime count).
+    bucket_allocs: u64,
+    /// Bucket slabs served from the free list (lifetime count).
+    bucket_reuses: u64,
 }
+
+/// Upper bound on pooled slabs per cell — enough to absorb a cleaning
+/// pass's worth of retirements without hoarding memory on quiet cells.
+const FREE_LIST_CAP: usize = 32;
 
 impl MessageList {
     pub fn new(bucket_capacity: usize) -> Self {
@@ -78,20 +90,82 @@ impl MessageList {
             dirty_epoch: 0,
             cleaned_epoch: None,
             consolidated_len: 0,
+            free: Vec::new(),
+            bucket_allocs: 0,
+            bucket_reuses: 0,
         }
+    }
+
+    /// A fresh tail bucket, served from the free-list pool when possible so
+    /// steady-state ingest (recycled slabs from cleaning) stays off the
+    /// allocator.
+    fn alloc_bucket(&mut self) -> Bucket {
+        match self.free.pop() {
+            Some(slab) => {
+                self.bucket_reuses += 1;
+                Bucket {
+                    messages: slab,
+                    latest: Timestamp(0),
+                }
+            }
+            None => {
+                self.bucket_allocs += 1;
+                Bucket::with_capacity(self.bucket_capacity)
+            }
+        }
+    }
+
+    /// Return a retired bucket slab to the pool (cleaning calls this under
+    /// the same per-cell lock acquisition it already holds). The slab is
+    /// cleared but keeps its capacity; undersized or surplus slabs are
+    /// dropped.
+    pub fn recycle(&mut self, mut slab: Vec<CachedMessage>) {
+        if self.free.len() < FREE_LIST_CAP && slab.capacity() >= self.bucket_capacity {
+            slab.clear();
+            self.free.push(slab);
+        }
+    }
+
+    /// Slabs currently pooled for reuse.
+    pub fn free_slabs(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Lifetime `(heap allocations, free-list reuses)` of bucket slabs.
+    pub fn bucket_alloc_stats(&self) -> (u64, u64) {
+        (self.bucket_allocs, self.bucket_reuses)
     }
 
     /// Append a message to the tail bucket, opening a new bucket when full
     /// (the `append` of Algorithm 1).
     pub fn append(&mut self, m: CachedMessage) {
         self.dirty_epoch += 1;
+        self.push_tail(m);
+    }
+
+    /// Group-commit append: the whole run lands under ONE epoch bump, so a
+    /// batch touching a cell invalidates its clean-skip stamp exactly once
+    /// (and untouched cells stay warm). Message order within the run is
+    /// preserved, exactly as if each message had been `append`ed singly.
+    pub fn append_batch<'a>(&mut self, msgs: impl IntoIterator<Item = &'a CachedMessage>) {
+        let mut it = msgs.into_iter().peekable();
+        if it.peek().is_none() {
+            return;
+        }
+        self.dirty_epoch += 1;
+        for &m in it {
+            self.push_tail(m);
+        }
+    }
+
+    fn push_tail(&mut self, m: CachedMessage) {
         let need_new = match self.buckets.back() {
             Some(b) => b.messages.len() >= self.bucket_capacity,
             None => true,
         };
         if need_new {
-            self.buckets
-                .push_back(Bucket::with_capacity(self.bucket_capacity));
+            let b = self.alloc_bucket();
+            self.buckets.push_back(b);
         }
         let b = self.buckets.back_mut().expect("just ensured a tail bucket");
         b.latest = b.latest.max(m.time);
@@ -105,7 +179,16 @@ impl MessageList {
         let horizon = now.saturating_sub_ms(t_delta_ms);
         self.consolidated_len = 0;
         let taken = std::mem::take(&mut self.buckets);
-        taken.into_iter().filter(|b| b.latest >= horizon).collect()
+        let mut kept = Vec::with_capacity(taken.len());
+        for b in taken {
+            if b.latest >= horizon {
+                kept.push(b);
+            } else {
+                // Expired wholesale: pool the slab instead of freeing it.
+                self.recycle(b.messages);
+            }
+        }
+        kept
     }
 
     /// Freeze and remove every current bucket, returning only the **delta**:
@@ -123,7 +206,10 @@ impl MessageList {
         let mut delta = Vec::new();
         for mut b in taken {
             if skip >= b.messages.len() {
+                // Entirely consolidated prefix: the caller holds a device
+                // mirror of it, so the slab retires to the pool here.
                 skip -= b.messages.len();
+                self.recycle(b.messages);
                 continue;
             }
             if skip > 0 {
@@ -140,6 +226,8 @@ impl MessageList {
             }
             if b.latest >= horizon {
                 delta.push(b);
+            } else {
+                self.recycle(b.messages);
             }
         }
         delta
@@ -154,7 +242,7 @@ impl MessageList {
             return;
         }
         for chunk in messages.chunks(self.bucket_capacity).rev() {
-            let mut b = Bucket::with_capacity(self.bucket_capacity);
+            let mut b = self.alloc_bucket();
             b.messages.extend_from_slice(chunk);
             b.latest = chunk.iter().map(|m| m.time).max().unwrap_or(Timestamp(0));
             self.buckets.push_front(b);
@@ -466,6 +554,70 @@ mod tests {
         let total: usize = lists.sum_over(|l| l.total_messages());
         assert_eq!(total, 2);
         assert_eq!(lists.len(), 3);
+    }
+
+    #[test]
+    fn append_batch_bumps_epoch_once() {
+        let mut l = MessageList::new(3);
+        let e0 = l.epoch();
+        l.append_batch(&[msg(1, 10), msg(2, 11), msg(3, 12), msg(4, 13)]);
+        assert_eq!(l.epoch(), e0 + 1, "one bump for the whole run");
+        assert_eq!(l.total_messages(), 4);
+        assert_eq!(l.num_buckets(), 2);
+        // Order matches singly-appended messages.
+        let mut single = MessageList::new(3);
+        for i in 1..=4 {
+            single.append(msg(i, 9 + i));
+        }
+        let a: Vec<u64> = l
+            .take_for_cleaning(Timestamp(20), 100)
+            .iter()
+            .flat_map(|b| b.messages.iter().map(|m| m.object.0))
+            .collect();
+        let b: Vec<u64> = single
+            .take_for_cleaning(Timestamp(20), 100)
+            .iter()
+            .flat_map(|b| b.messages.iter().map(|m| m.object.0))
+            .collect();
+        assert_eq!(a, b);
+        // Empty batch is a no-op: no epoch bump, clean stamp untouched.
+        let e = l.epoch();
+        l.append_batch(&[]);
+        assert_eq!(l.epoch(), e);
+    }
+
+    #[test]
+    fn recycled_slabs_are_reused() {
+        let mut l = MessageList::new(4);
+        for i in 0..8 {
+            l.append(msg(i, i));
+        }
+        let (allocs0, reuses0) = l.bucket_alloc_stats();
+        assert_eq!((allocs0, reuses0), (2, 0));
+        // Retire the frozen buckets back into the pool.
+        for b in l.take_for_cleaning(Timestamp(10), 100) {
+            l.recycle(b.messages);
+        }
+        assert_eq!(l.free_slabs(), 2);
+        for i in 0..8 {
+            l.append(msg(i, i));
+        }
+        let (allocs1, reuses1) = l.bucket_alloc_stats();
+        assert_eq!(
+            (allocs1, reuses1),
+            (2, 2),
+            "steady-state appends must come from the pool, not the heap"
+        );
+        assert_eq!(l.free_slabs(), 0);
+    }
+
+    #[test]
+    fn recycle_rejects_undersized_slabs() {
+        let mut l = MessageList::new(8);
+        l.recycle(Vec::with_capacity(2));
+        assert_eq!(l.free_slabs(), 0, "undersized slab would force a realloc");
+        l.recycle(Vec::with_capacity(8));
+        assert_eq!(l.free_slabs(), 1);
     }
 
     #[test]

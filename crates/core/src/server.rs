@@ -1,22 +1,23 @@
 //! The query server: G-Grid state plus the update and query entry points.
 
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::Instant;
 
 use gpu_sim::Device;
-use parking_lot::{RwLock, RwLockReadGuard};
 use roadnet::graph::{Distance, Graph};
 use roadnet::EdgePosition;
 
 use crate::api::{IndexSize, MovingObjectIndex, SimCosts};
 use crate::config::GGridConfig;
-use crate::grid::GraphGrid;
+use crate::grid::{CellId, GraphGrid};
 use crate::knn::{run_knn, KnnResult};
 use crate::message::{CachedMessage, ObjectId, Timestamp};
 use crate::message_list::CellLists;
-use crate::object_table::ObjectTable;
+use crate::object_table::{shard_of, ShardedObjectTable};
 use crate::residency::{ResidentCellStore, TopologyStore};
 use crate::scratch::ScratchPool;
-use crate::stats::{QueryBreakdown, ServerCounters};
+use crate::stats::{IngestCounters, QueryBreakdown, ServerCounters};
 
 /// A G-Grid query server (paper §III–§V).
 ///
@@ -24,21 +25,34 @@ use crate::stats::{QueryBreakdown, ServerCounters};
 /// the per-cell message lists, and the device. Updates are O(1) cache
 /// appends (Algorithm 1); queries run the CPU–GPU pipeline of Algorithm 4.
 ///
-/// Shared state is lock-guarded for the concurrent query engine: the
-/// message lists sit behind one mutex per cell ([`CellLists`]) and the
-/// object table behind a reader–writer lock, so refinement workers and the
-/// batch pipeline read while the ingest path writes.
+/// Shared state is lock-guarded for the concurrent query and ingest
+/// engines: the message lists sit behind one mutex per cell ([`CellLists`])
+/// and the object table is sharded 64 ways, each shard behind its own
+/// reader–writer lock ([`ShardedObjectTable`]), so refinement workers read
+/// while ingest workers write — and the whole ingest path takes `&self`.
+///
+/// **Lock order** (documented invariant): a cell mutex and a table-shard
+/// lock are never held at the same time. The ingest path acquires them
+/// strictly alternately (dest-cell mutex → release → shard lock → release →
+/// prev-cell mutex), and no path acquires two cell mutexes or two shard
+/// locks simultaneously, so no lock cycle can form.
+///
+/// Concurrent `handle_update`/`ingest_batch` callers must serialize updates
+/// *of the same object* themselves (the parallel ingest workers do, by
+/// owning disjoint object-id shards); calls for different objects may run
+/// freely in parallel.
 pub struct GGridServer {
     graph: Arc<Graph>,
     grid: Arc<GraphGrid>,
     config: GGridConfig,
-    object_table: RwLock<ObjectTable>,
+    object_table: ShardedObjectTable,
     lists: CellLists,
     device: Device,
     resident: ResidentCellStore,
     topo: TopologyStore,
     pool: ScratchPool,
     counters: ServerCounters,
+    ingest: IngestCounters,
     last_breakdown: QueryBreakdown,
 }
 
@@ -93,13 +107,14 @@ impl GGridServer {
             graph,
             grid,
             config,
-            object_table: RwLock::new(ObjectTable::new()),
+            object_table: ShardedObjectTable::new(),
             lists,
             device,
             resident,
             topo,
             pool,
             counters: ServerCounters::default(),
+            ingest: IngestCounters::default(),
             last_breakdown: QueryBreakdown::default(),
         }
     }
@@ -120,8 +135,15 @@ impl GGridServer {
         &self.device
     }
 
-    pub fn counters(&self) -> &ServerCounters {
-        &self.counters
+    /// A point-in-time snapshot of the server counters: the query-side
+    /// counters (owned by `&mut self` paths) merged with the atomic
+    /// ingest-side counters and the per-cell bucket-pool statistics.
+    pub fn counters(&self) -> ServerCounters {
+        let mut c = self.counters;
+        self.ingest.merge_into(&mut c);
+        c.bucket_allocs = self.lists.sum_over(|l| l.bucket_alloc_stats().0);
+        c.bucket_reuses = self.lists.sum_over(|l| l.bucket_alloc_stats().1);
+        c
     }
 
     /// Breakdown of the most recent query.
@@ -185,8 +207,8 @@ impl GGridServer {
     }
 
     /// Read access to the object table (diagnostics/validation).
-    pub(crate) fn object_table(&self) -> RwLockReadGuard<'_, ObjectTable> {
-        self.object_table.read()
+    pub(crate) fn object_table(&self) -> &ShardedObjectTable {
+        &self.object_table
     }
 
     /// Number of messages currently cached across all cells.
@@ -196,35 +218,207 @@ impl GGridServer {
 
     /// Latest known position of an object, if it ever reported.
     pub fn object_position(&self, o: ObjectId) -> Option<(EdgePosition, Timestamp)> {
-        self.object_table
-            .read()
-            .get(o)
-            .map(|e| (e.position, e.time))
+        self.object_table.get(o).map(|e| (e.position, e.time))
     }
 
     pub fn num_objects(&self) -> usize {
-        self.object_table.read().len()
+        self.object_table.len()
+    }
+
+    /// Append `m` to one cell's message list, metering the lock.
+    fn append_one(&self, cell: CellId, m: CachedMessage) {
+        let w0 = Instant::now();
+        let mut list = self.lists.lock(cell.index());
+        self.ingest
+            .cell_lock_wait_ns
+            .fetch_add(w0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.ingest.cell_locks.fetch_add(1, Ordering::Relaxed);
+        list.append(m);
     }
 
     /// Algorithm 1: cache a location update.
-    pub fn handle_update(&mut self, object: ObjectId, position: EdgePosition, time: Timestamp) {
+    ///
+    /// Lock scope is as narrow as it gets: the destination cell's mutex is
+    /// released before the table shard lock is taken, and the shard lock is
+    /// released before the previous cell's mutex is taken — no two locks
+    /// are ever held together, and [`ShardedObjectTable::set`] returning
+    /// the previous entry makes the old lookup-then-set double walk a
+    /// single probe.
+    pub fn handle_update(&self, object: ObjectId, position: EdgePosition, time: Timestamp) {
         debug_assert!(position.is_valid(&self.graph), "invalid object position");
+        let t0 = Instant::now();
         let cell = self.grid.cell_of_edge(position.edge);
-        self.lists
-            .lock(cell.index())
-            .append(CachedMessage::update(object, position, time));
-        let mut table = self.object_table.write();
-        if let Some(prev) = table.get(object) {
+        self.append_one(cell, CachedMessage::update(object, position, time));
+        let prev = self.object_table.set(object, cell, position, time);
+        self.ingest.shard_locks.fetch_add(1, Ordering::Relaxed);
+        if let Some(prev) = prev {
             if prev.cell != cell {
-                let prev_cell = prev.cell;
-                self.lists
-                    .lock(prev_cell.index())
-                    .append(CachedMessage::tombstone(object, time));
-                self.counters.tombstones_written += 1;
+                self.append_one(prev.cell, CachedMessage::tombstone(object, time));
+                self.ingest
+                    .tombstones_written
+                    .fetch_add(1, Ordering::Relaxed);
             }
         }
-        table.set(object, cell, position, time);
-        self.counters.updates_ingested += 1;
+        self.ingest.updates_ingested.fetch_add(1, Ordering::Relaxed);
+        let ns = t0.elapsed().as_nanos() as u64;
+        self.ingest.busy_ns.fetch_add(ns, Ordering::Relaxed);
+        self.ingest.critical_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Group-commit ingestion (the batched Algorithm 1): apply `updates`
+    /// with per-object order preserved, acquiring each touched cell's mutex
+    /// **once for the whole batch** and bumping its dirty epoch once, so a
+    /// batch leaves untouched cells' clean-skip stamps warm and touched
+    /// cells pay one invalidation instead of one per message.
+    ///
+    /// The resulting per-cell message sequences are byte-identical to
+    /// calling [`Self::handle_update`] once per element in order — and
+    /// identical for every `ingest_workers` count:
+    ///
+    /// * **Phase 1 (table)** walks the batch in order; with `W` workers,
+    ///   worker `w` owns the updates whose object shard satisfies
+    ///   `shard_of(o) % W == w`, so all updates of one object are applied
+    ///   by one worker in batch order. Each update emits its destination
+    ///   placement and, on a cell move, a tombstone placement for the
+    ///   previous cell, both tagged with the update's batch index.
+    /// * **Phase 2 (append)** sorts placements by `(cell, batch index)` —
+    ///   a total order, since one update contributes at most one message
+    ///   per cell — and appends each cell's run under one lock hold.
+    ///   Runs are striped over the workers; no two workers touch one cell.
+    pub fn ingest_batch(&self, updates: &[(ObjectId, EdgePosition, Timestamp)]) {
+        if updates.is_empty() {
+            return;
+        }
+        let t0 = Instant::now();
+        let workers = self.config.ingest_workers.clamp(1, updates.len());
+        self.ingest.observe_batch(updates.len());
+        self.ingest
+            .batched_updates
+            .fetch_add(updates.len() as u64, Ordering::Relaxed);
+
+        // Phase 1 — object table. One shard-lock acquisition per update
+        // (set returns the previous entry: single probe).
+        let place = |w: usize| -> (Vec<(CellId, u32, CachedMessage)>, u64) {
+            let started = Instant::now();
+            let mut out: Vec<(CellId, u32, CachedMessage)> =
+                Vec::with_capacity(updates.len() / workers + 2);
+            for (idx, &(o, position, time)) in updates.iter().enumerate() {
+                if shard_of(o) % workers != w {
+                    continue;
+                }
+                debug_assert!(position.is_valid(&self.graph), "invalid object position");
+                let cell = self.grid.cell_of_edge(position.edge);
+                out.push((cell, idx as u32, CachedMessage::update(o, position, time)));
+                let prev = self.object_table.set(o, cell, position, time);
+                if let Some(prev) = prev {
+                    if prev.cell != cell {
+                        out.push((prev.cell, idx as u32, CachedMessage::tombstone(o, time)));
+                    }
+                }
+            }
+            (out, started.elapsed().as_nanos() as u64)
+        };
+        let (mut placements, busy1, critical1) = if workers == 1 {
+            let (out, ns) = place(0);
+            (out, ns, ns)
+        } else {
+            let parts = crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let place = &place;
+                        s.spawn(move |_| place(w))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("ingest worker panicked"))
+                    .collect::<Vec<_>>()
+            })
+            .expect("ingest scope failed");
+            let mut merged = Vec::with_capacity(updates.len());
+            let (mut busy, mut critical) = (0u64, 0u64);
+            for (out, ns) in parts {
+                merged.extend(out);
+                busy += ns;
+                critical = critical.max(ns);
+            }
+            (merged, busy, critical)
+        };
+        self.ingest
+            .shard_locks
+            .fetch_add(updates.len() as u64, Ordering::Relaxed);
+        let tombstones = placements
+            .iter()
+            .filter(|(_, _, m)| m.is_tombstone())
+            .count() as u64;
+        self.ingest
+            .tombstones_written
+            .fetch_add(tombstones, Ordering::Relaxed);
+        self.ingest
+            .tombstones_batched
+            .fetch_add(tombstones, Ordering::Relaxed);
+
+        // Phase 2 — group-commit appends. (cell, batch-index) keys are
+        // unique, so the unstable sort is deterministic, and the per-cell
+        // order equals the sequential interleave.
+        placements.sort_unstable_by_key(|&(c, idx, _)| (c, idx));
+        let mut runs: Vec<&[(CellId, u32, CachedMessage)]> = Vec::new();
+        let mut rest = placements.as_slice();
+        while let Some(&(cell, _, _)) = rest.first() {
+            let len = rest.iter().take_while(|&&(c, _, _)| c == cell).count();
+            let (run, tail) = rest.split_at(len);
+            runs.push(run);
+            rest = tail;
+        }
+        let commit = |w: usize| -> u64 {
+            let started = Instant::now();
+            for run in runs.iter().skip(w).step_by(workers) {
+                let cell = run[0].0;
+                let w0 = Instant::now();
+                let mut list = self.lists.lock(cell.index());
+                self.ingest
+                    .cell_lock_wait_ns
+                    .fetch_add(w0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                list.append_batch(run.iter().map(|(_, _, m)| m));
+            }
+            started.elapsed().as_nanos() as u64
+        };
+        let (busy2, critical2) = if workers == 1 {
+            let ns = commit(0);
+            (ns, ns)
+        } else {
+            let times = crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let commit = &commit;
+                        s.spawn(move |_| commit(w))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("ingest worker panicked"))
+                    .collect::<Vec<_>>()
+            })
+            .expect("ingest scope failed");
+            let busy: u64 = times.iter().sum();
+            (busy, times.into_iter().max().unwrap_or(0))
+        };
+        self.ingest
+            .cell_locks
+            .fetch_add(runs.len() as u64, Ordering::Relaxed);
+        self.ingest
+            .updates_ingested
+            .fetch_add(updates.len() as u64, Ordering::Relaxed);
+
+        // Serial glue (sorting, run splitting) is on the critical path of
+        // either worker count; the phase barriers add their slowest worker.
+        let serial = (t0.elapsed().as_nanos() as u64).saturating_sub(busy1 + busy2);
+        self.ingest
+            .busy_ns
+            .fetch_add(busy1 + busy2 + serial, Ordering::Relaxed);
+        self.ingest
+            .critical_ns
+            .fetch_add(critical1 + critical2 + serial, Ordering::Relaxed);
     }
 
     /// Eagerly clean the message list of the cell containing `edge`
@@ -240,21 +434,12 @@ impl GGridServer {
             &self.config,
             now,
         );
-        self.counters.gpu_time += rep.time;
-        self.counters.h2d_bytes += rep.h2d_bytes;
-        self.counters.h2d_delta_bytes += rep.h2d_delta_bytes;
-        self.counters.h2d_full_bytes += rep.h2d_full_bytes;
-        self.counters.d2h_bytes += rep.d2h_bytes;
-        self.counters.messages_cleaned += rep.messages as u64;
-        self.counters.clean_skip_hits += rep.cells_skipped as u64;
-        self.counters.clean_skip_misses += rep.cells_cleaned as u64;
-        self.counters.resident_hits += rep.resident_hits as u64;
-        self.counters.evictions += rep.evictions;
+        self.counters.record_cleaning(&rep);
     }
 
     /// Eagerly clean every cell (used by tests and ablations).
     pub fn clean_all(&mut self, now: Timestamp) {
-        let cells: Vec<crate::grid::CellId> = self.grid.cell_ids().collect();
+        let cells: Vec<CellId> = self.grid.cell_ids().collect();
         let (_, rep) = crate::cleaning::clean_cells(
             &mut self.device,
             &self.lists,
@@ -263,12 +448,7 @@ impl GGridServer {
             &self.config,
             now,
         );
-        self.counters.gpu_time += rep.time;
-        self.counters.messages_cleaned += rep.messages as u64;
-        self.counters.clean_skip_hits += rep.cells_skipped as u64;
-        self.counters.clean_skip_misses += rep.cells_cleaned as u64;
-        self.counters.resident_hits += rep.resident_hits as u64;
-        self.counters.evictions += rep.evictions;
+        self.counters.record_cleaning(&rep);
     }
 
     /// Answer a kNN query issued at `now`; returns up to `k`
@@ -335,6 +515,10 @@ impl MovingObjectIndex for GGridServer {
         GGridServer::handle_update(self, object, position, time)
     }
 
+    fn ingest_batch(&mut self, updates: &[(ObjectId, EdgePosition, Timestamp)]) {
+        GGridServer::ingest_batch(self, updates)
+    }
+
     fn knn(&mut self, q: EdgePosition, k: usize, now: Timestamp) -> Vec<(ObjectId, Distance)> {
         GGridServer::knn(self, q, k, now)
     }
@@ -357,7 +541,7 @@ impl MovingObjectIndex for GGridServer {
         let lists: u64 = self.lists.sum_over(|l| l.size_bytes());
         IndexSize {
             // Graph grid + object table + message lists live on the CPU.
-            cpu_bytes: self.grid.grid_bytes() + self.object_table.read().size_bytes() + lists,
+            cpu_bytes: self.grid.grid_bytes() + self.object_table.size_bytes() + lists,
             // The GPU holds a mirror of the graph grid to streamline the
             // computation (Fig 6's "G-Grid (GPU)") plus whatever
             // consolidated cell lists and topology slices are resident.
@@ -418,7 +602,7 @@ mod tests {
     fn tombstone_written_on_cell_change() {
         let g = gen::toy(42);
         let grid_probe = {
-            let mut s = GGridServer::new(g.clone(), small_config());
+            let s = GGridServer::new(g.clone(), small_config());
             // Find two edges in different cells.
             let c0 = s.grid().cell_of_edge(EdgeId(0));
             let mut other = None;

@@ -4,7 +4,11 @@
 //! volumes and durations (Fig 10 c/d), and kernel-level effects (Fig 4).
 //! Everything needed to regenerate those plots is collected here.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use gpu_sim::SimNanos;
+
+use crate::cleaning::CleaningReport;
 
 /// Simulated-device cost of one kNN query, by phase.
 #[derive(Clone, Copy, Debug, Default)]
@@ -98,6 +102,24 @@ impl QueryBreakdown {
         self.cleaning + self.candidate + self.transfer_out
     }
 
+    /// Fold one cleaning round's report into the breakdown — the single
+    /// place that knows which [`CleaningReport`] fields a query absorbs, so
+    /// the expansion loop, the batch pipeline's shared pass, and the
+    /// server's eager-clean entry points cannot drift apart.
+    pub fn record_cleaning(&mut self, rep: &CleaningReport) {
+        self.cleaning += rep.time;
+        self.copy_back += rep.copy_back_time;
+        self.h2d_bytes += rep.h2d_bytes;
+        self.h2d_delta_bytes += rep.h2d_delta_bytes;
+        self.h2d_full_bytes += rep.h2d_full_bytes;
+        self.d2h_bytes += rep.d2h_bytes;
+        self.messages_cleaned += rep.messages;
+        self.cells_cleaned += rep.cells_cleaned;
+        self.cells_skipped += rep.cells_skipped;
+        self.resident_hits += rep.resident_hits;
+        self.evictions += rep.evictions;
+    }
+
     /// The hybrid query clock: measured CPU time + simulated device time.
     pub fn total_ns(&self) -> u64 {
         self.cpu_ns + self.gpu_total().0
@@ -124,6 +146,41 @@ impl QueryBreakdown {
         }
         Some(self.refine_busy_ns as f64 / self.refine_critical_ns as f64)
     }
+}
+
+/// Number of buckets in the batch-size histogram (see [`batch_hist_bucket`]).
+pub const BATCH_HIST_BUCKETS: usize = 6;
+
+/// Upper bounds (inclusive) of the batch-size histogram buckets; the last
+/// bucket is open-ended.
+pub const BATCH_HIST_BOUNDS: [u64; BATCH_HIST_BUCKETS - 1] = [1, 8, 64, 512, 4096];
+
+/// Histogram bucket index for a batch of `n` updates.
+pub fn batch_hist_bucket(n: usize) -> usize {
+    BATCH_HIST_BOUNDS
+        .iter()
+        .position(|&b| n as u64 <= b)
+        .unwrap_or(BATCH_HIST_BUCKETS - 1)
+}
+
+/// The modeled cost of ingestion's structural operations, in nanoseconds.
+///
+/// The container the reproduction runs on is single-core, so wall-clock
+/// ingest time cannot show the batching win; like the simulated device
+/// clock and `refine_critical_ns`, these constants model the cost of each
+/// *counted* operation so the improvement is deterministic and
+/// host-independent. Values are calibrated to uncontended `parking_lot`
+/// lock round-trips and small-`Vec` heap traffic on a ~3 GHz core; only
+/// the *ratios* matter for the batched-vs-per-call comparison.
+pub mod ingest_model {
+    /// One cell-mutex acquire/release pair.
+    pub const CELL_LOCK_NS: u64 = 48;
+    /// One object-table shard RwLock write acquire/release pair.
+    pub const SHARD_LOCK_NS: u64 = 20;
+    /// Appending one message to a bucket (slot write + epoch arithmetic).
+    pub const APPEND_NS: u64 = 8;
+    /// Heap-allocating a fresh bucket slab (avoided by the free-list pool).
+    pub const BUCKET_ALLOC_NS: u64 = 150;
 }
 
 /// Cumulative counters for a server's lifetime (drained by benchmarks).
@@ -176,6 +233,37 @@ pub struct ServerCounters {
     pub topo_hits: u64,
     /// Candidate cells whose topology had to be uploaded.
     pub topo_misses: u64,
+    /// `ingest_batch` invocations.
+    pub ingest_batches: u64,
+    /// Updates that arrived through `ingest_batch` (subset of
+    /// `updates_ingested`).
+    pub batched_updates: u64,
+    /// Tombstones emitted by the group-commit path, grouped by previous
+    /// cell (subset of `tombstones_written`).
+    pub tombstones_batched: u64,
+    /// Cell-mutex acquisitions performed by the ingest path (the batched
+    /// path takes each touched cell's lock once per batch; the per-call
+    /// path once per message, twice on a cell move).
+    pub ingest_cell_locks: u64,
+    /// Measured wall nanoseconds ingest spent waiting to acquire cell
+    /// mutexes.
+    pub ingest_cell_lock_wait_ns: u64,
+    /// Object-table shard-lock acquisitions performed by the ingest path.
+    pub ingest_shard_locks: u64,
+    /// Measured wall nanoseconds inside ingest calls, summed across all
+    /// ingest workers (the serial work volume).
+    pub ingest_busy_ns: u64,
+    /// Critical path of the ingest worker pool: the busiest single worker,
+    /// per batch, accumulated — the modeled batch duration on a host with
+    /// `ingest_workers` free cores (see `refine_critical_ns`).
+    pub ingest_critical_ns: u64,
+    /// Batch-size histogram; bucket bounds in [`BATCH_HIST_BOUNDS`].
+    pub batch_size_hist: [u64; BATCH_HIST_BUCKETS],
+    /// Message-list bucket slabs heap-allocated.
+    pub bucket_allocs: u64,
+    /// Message-list bucket slabs recycled from the cleaning free list
+    /// (steady-state ingest allocates nothing).
+    pub bucket_reuses: u64,
 }
 
 impl ServerCounters {
@@ -204,6 +292,71 @@ impl ServerCounters {
         self.h2d_topo_bytes += b.h2d_topo_bytes;
         self.topo_hits += b.topo_hits as u64;
         self.topo_misses += b.topo_misses as u64;
+    }
+
+    /// Fold one cleaning round's report into the lifetime counters — used
+    /// by the server's eager-clean entry points (`clean_cell_of_edge`,
+    /// `clean_all`) so neither can silently drop a field the other records.
+    pub fn record_cleaning(&mut self, rep: &CleaningReport) {
+        self.gpu_time += rep.time;
+        self.h2d_bytes += rep.h2d_bytes;
+        self.h2d_delta_bytes += rep.h2d_delta_bytes;
+        self.h2d_full_bytes += rep.h2d_full_bytes;
+        self.d2h_bytes += rep.d2h_bytes;
+        self.messages_cleaned += rep.messages as u64;
+        self.clean_skip_hits += rep.cells_skipped as u64;
+        self.clean_skip_misses += rep.cells_cleaned as u64;
+        self.resident_hits += rep.resident_hits as u64;
+        self.evictions += rep.evictions;
+    }
+
+    /// Modeled nanoseconds the ingest path spent on structural operations
+    /// (locks, appends, slab allocations), per the [`ingest_model`]
+    /// constants. Deterministic for a given workload: it counts operations,
+    /// not wall time, so the group-commit saving is visible even on a
+    /// single-core host where the measured clock cannot shrink.
+    pub fn modeled_ingest_ns(&self) -> u64 {
+        self.ingest_cell_locks * ingest_model::CELL_LOCK_NS
+            + self.ingest_shard_locks * ingest_model::SHARD_LOCK_NS
+            + (self.updates_ingested + self.tombstones_written) * ingest_model::APPEND_NS
+            + self.bucket_allocs * ingest_model::BUCKET_ALLOC_NS
+    }
+
+    /// Measured ingest throughput in updates per second (wall clock,
+    /// summed worker-busy time — the serial figure).
+    pub fn updates_per_sec_measured(&self) -> f64 {
+        if self.ingest_busy_ns == 0 {
+            return 0.0;
+        }
+        self.updates_ingested as f64 * 1e9 / self.ingest_busy_ns as f64
+    }
+
+    /// Modeled ingest throughput in updates per second, from
+    /// [`Self::modeled_ingest_ns`].
+    pub fn updates_per_sec_modeled(&self) -> f64 {
+        let ns = self.modeled_ingest_ns();
+        if ns == 0 {
+            return 0.0;
+        }
+        self.updates_ingested as f64 * 1e9 / ns as f64
+    }
+
+    /// Modeled parallel speedup of the ingest worker pool: summed busy
+    /// time over the critical path (see `refine_parallel_speedup`).
+    pub fn ingest_parallel_speedup(&self) -> f64 {
+        if self.ingest_critical_ns == 0 {
+            return 0.0;
+        }
+        self.ingest_busy_ns as f64 / self.ingest_critical_ns as f64
+    }
+
+    /// Fraction of bucket-slab demands served from the cleaning free list.
+    pub fn bucket_reuse_rate(&self) -> f64 {
+        let total = self.bucket_allocs + self.bucket_reuses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.bucket_reuses as f64 / total as f64
     }
 
     /// Fraction of candidate-cell topology lookups served from the
@@ -250,6 +403,51 @@ impl ServerCounters {
             return 0.0;
         }
         self.refine_busy_ns as f64 / self.refine_critical_ns as f64
+    }
+}
+
+/// Ingest-side counters, kept as atomics so `handle_update` and
+/// `ingest_batch` can take `&self` and run from many threads at once. The
+/// query-side counters stay in the plain [`ServerCounters`] behind
+/// `&mut self`; `GGridServer::counters` merges the two into one snapshot.
+#[derive(Debug, Default)]
+pub struct IngestCounters {
+    pub updates_ingested: AtomicU64,
+    pub tombstones_written: AtomicU64,
+    pub ingest_batches: AtomicU64,
+    pub batched_updates: AtomicU64,
+    pub tombstones_batched: AtomicU64,
+    pub cell_locks: AtomicU64,
+    pub cell_lock_wait_ns: AtomicU64,
+    pub shard_locks: AtomicU64,
+    pub busy_ns: AtomicU64,
+    pub critical_ns: AtomicU64,
+    pub batch_size_hist: [AtomicU64; BATCH_HIST_BUCKETS],
+}
+
+impl IngestCounters {
+    /// Record one batch of `n` updates in the size histogram.
+    pub fn observe_batch(&self, n: usize) {
+        self.ingest_batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_size_hist[batch_hist_bucket(n)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Merge a relaxed snapshot of the atomics into `c`.
+    pub fn merge_into(&self, c: &mut ServerCounters) {
+        let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        c.updates_ingested += ld(&self.updates_ingested);
+        c.tombstones_written += ld(&self.tombstones_written);
+        c.ingest_batches += ld(&self.ingest_batches);
+        c.batched_updates += ld(&self.batched_updates);
+        c.tombstones_batched += ld(&self.tombstones_batched);
+        c.ingest_cell_locks += ld(&self.cell_locks);
+        c.ingest_cell_lock_wait_ns += ld(&self.cell_lock_wait_ns);
+        c.ingest_shard_locks += ld(&self.shard_locks);
+        c.ingest_busy_ns += ld(&self.busy_ns);
+        c.ingest_critical_ns += ld(&self.critical_ns);
+        for (dst, src) in c.batch_size_hist.iter_mut().zip(&self.batch_size_hist) {
+            *dst += ld(src);
+        }
     }
 }
 
@@ -358,6 +556,103 @@ mod tests {
         assert_eq!(c.refine_concurrency(), 0.0);
         c.record_query(&b);
         assert!((c.refine_concurrency() - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_hist_buckets_cover_all_sizes() {
+        assert_eq!(batch_hist_bucket(0), 0);
+        assert_eq!(batch_hist_bucket(1), 0);
+        assert_eq!(batch_hist_bucket(2), 1);
+        assert_eq!(batch_hist_bucket(8), 1);
+        assert_eq!(batch_hist_bucket(64), 2);
+        assert_eq!(batch_hist_bucket(500), 3);
+        assert_eq!(batch_hist_bucket(4096), 4);
+        assert_eq!(batch_hist_bucket(1 << 20), BATCH_HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn ingest_counters_merge_snapshot() {
+        let i = IngestCounters::default();
+        i.updates_ingested.store(10, Ordering::Relaxed);
+        i.tombstones_written.store(3, Ordering::Relaxed);
+        i.cell_locks.store(7, Ordering::Relaxed);
+        i.shard_locks.store(10, Ordering::Relaxed);
+        i.observe_batch(5);
+        i.observe_batch(700);
+        let mut c = ServerCounters::default();
+        i.merge_into(&mut c);
+        assert_eq!(c.updates_ingested, 10);
+        assert_eq!(c.tombstones_written, 3);
+        assert_eq!(c.ingest_cell_locks, 7);
+        assert_eq!(c.ingest_batches, 2);
+        assert_eq!(c.batch_size_hist[batch_hist_bucket(5)], 1);
+        assert_eq!(c.batch_size_hist[batch_hist_bucket(700)], 1);
+        // The model charges every counted operation.
+        assert_eq!(
+            c.modeled_ingest_ns(),
+            7 * ingest_model::CELL_LOCK_NS
+                + 10 * ingest_model::SHARD_LOCK_NS
+                + 13 * ingest_model::APPEND_NS
+        );
+    }
+
+    #[test]
+    fn record_cleaning_accumulates_all_byte_counters() {
+        let rep = CleaningReport {
+            time: SimNanos(50),
+            h2d_bytes: 100,
+            h2d_delta_bytes: 40,
+            h2d_full_bytes: 60,
+            d2h_bytes: 30,
+            messages: 5,
+            cells_cleaned: 2,
+            cells_skipped: 1,
+            resident_hits: 1,
+            evictions: 1,
+            ..Default::default()
+        };
+        let mut c = ServerCounters::default();
+        c.record_cleaning(&rep);
+        c.record_cleaning(&rep);
+        assert_eq!(c.gpu_time, SimNanos(100));
+        assert_eq!(c.h2d_bytes, 200);
+        assert_eq!(c.h2d_delta_bytes, 80);
+        assert_eq!(c.h2d_full_bytes, 120);
+        assert_eq!(c.d2h_bytes, 60);
+        assert_eq!(c.messages_cleaned, 10);
+        assert_eq!(c.clean_skip_hits, 2);
+        assert_eq!(c.clean_skip_misses, 4);
+        let mut b = QueryBreakdown::default();
+        b.record_cleaning(&rep);
+        assert_eq!(b.cleaning, SimNanos(50));
+        assert_eq!(b.h2d_bytes, 100);
+        assert_eq!(b.d2h_bytes, 30);
+        assert_eq!(b.evictions, 1);
+    }
+
+    #[test]
+    fn ingest_throughput_and_speedup() {
+        let c = ServerCounters {
+            updates_ingested: 1_000,
+            ingest_busy_ns: 500_000,
+            ingest_critical_ns: 250_000,
+            ingest_cell_locks: 100,
+            ingest_shard_locks: 1_000,
+            ..Default::default()
+        };
+        assert!((c.updates_per_sec_measured() - 2e6).abs() < 1.0);
+        assert!(c.updates_per_sec_modeled() > 0.0);
+        assert!((c.ingest_parallel_speedup() - 2.0).abs() < 1e-12);
+        assert_eq!(ServerCounters::default().updates_per_sec_measured(), 0.0);
+        assert_eq!(ServerCounters::default().updates_per_sec_modeled(), 0.0);
+        assert_eq!(ServerCounters::default().ingest_parallel_speedup(), 0.0);
+        assert_eq!(ServerCounters::default().bucket_reuse_rate(), 0.0);
+        let c2 = ServerCounters {
+            bucket_allocs: 1,
+            bucket_reuses: 3,
+            ..Default::default()
+        };
+        assert!((c2.bucket_reuse_rate() - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -122,8 +122,7 @@ impl crate::server::GGridServer {
                 }
             }
         }
-        let table = self.object_table();
-        for (o, entry) in table.iter() {
+        for (o, entry) in self.object_table().snapshot() {
             if entry.time < horizon {
                 continue; // expired by contract; lists may have dropped it
             }
@@ -177,7 +176,7 @@ mod tests {
 
     #[test]
     fn healthy_after_updates_and_moves() {
-        let mut s = server();
+        let s = server();
         for round in 0..5u64 {
             for o in 0..25u64 {
                 let e = EdgeId(((o * 7 + round * 31) % 160) as u32);

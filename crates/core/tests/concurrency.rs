@@ -24,7 +24,7 @@ fn config(workers: usize, clean_skip: bool) -> GGridConfig {
 /// Deterministically scatter a fleet and a few movement rounds.
 fn seeded_server(seed: u64, workers: usize, clean_skip: bool) -> GGridServer {
     let graph = gen::toy(seed);
-    let mut s = GGridServer::new(graph, config(workers, clean_skip));
+    let s = GGridServer::new(graph, config(workers, clean_skip));
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed);
     for round in 0..4u64 {
         for o in 0..30u64 {

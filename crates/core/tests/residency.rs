@@ -23,7 +23,7 @@ fn config(device_budget_bytes: u64) -> GGridConfig {
 /// Deterministically scatter a fleet over the toy graph.
 fn seeded_server(seed: u64, budget: u64) -> GGridServer {
     let graph = gen::toy(seed);
-    let mut s = GGridServer::new(graph, config(budget));
+    let s = GGridServer::new(graph, config(budget));
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed);
     for round in 0..4u64 {
         for o in 0..30u64 {

@@ -177,7 +177,7 @@ fn server_pair(seed: u64, workers: usize) -> (GGridServer, GGridServer) {
             sdist_frontier: frontier,
             ..Default::default()
         };
-        let mut s = GGridServer::new(gen::toy(seed), cfg);
+        let s = GGridServer::new(gen::toy(seed), cfg);
         let mut rng = SmallRng::seed_from_u64(seed ^ 0xdead);
         for round in 0..3u64 {
             for o in 0..25u64 {

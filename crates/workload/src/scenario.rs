@@ -132,10 +132,15 @@ pub fn run_scenario(
     for _ in 0..config.num_queries {
         let (qt, qpos, k) = stream.draw(graph);
         let batch = moto.advance_to(qt);
+        // Everything that arrived since the last query is one group commit
+        // (batched ingest); indexes without a batch path fall back to
+        // per-message handling via the trait default.
+        let updates: Vec<(ObjectId, EdgePosition, Timestamp)> = batch
+            .iter()
+            .map(|m| (m.object, m.position, m.time))
+            .collect();
         let t0 = Instant::now();
-        for m in &batch {
-            index.handle_update(m.object, m.position, m.time);
-        }
+        index.ingest_batch(&updates);
         update_wall_ns += t0.elapsed().as_nanos() as u64;
         messages += batch.len();
         if compute_reference {

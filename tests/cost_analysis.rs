@@ -40,7 +40,7 @@ fn grid_space_linear_in_graph() {
 #[test]
 fn message_list_space_proportional_to_updates() {
     let g = gen::toy(3);
-    let mut server = GGridServer::new(g.clone(), GGridConfig::default());
+    let server = GGridServer::new(g.clone(), GGridConfig::default());
     let per_round = 50u64;
     let mut last = 0;
     for round in 1..=4u64 {
