@@ -1,0 +1,156 @@
+//! Criterion bench for cross-query fused batch execution: the drifting
+//! hot-region workload of the `batch_fusion` experiment — per round a
+//! fleet wave into a fresh window of edges, then an overlapping batch of
+//! kNN queries (half hot, half cold probes) — swept over the execution
+//! strategy: sequential per-query calls, the PR-4 batch pipeline, and the
+//! fused path (batch-level cleaning round, coalesced topology staging,
+//! multi-source refinement).
+//!
+//! Besides the criterion timings, the bench emits one machine-readable
+//! `BENCH {json}` line per strategy with the deterministic modeled
+//! figures: simulated device time, kernel launches, PCIe round-trips
+//! saved by coalescing, batch-shared cells, clean skips, and refinement
+//! settle/relax counts. The device clock is simulated, so one
+//! instrumented run per strategy is a stable baseline.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ggrid::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use roadnet::gen::Dataset;
+use roadnet::EdgeId;
+
+const OBJECTS: u64 = 300;
+const ROUNDS: usize = 6;
+const BATCH_SIZE: usize = 6;
+const K: usize = 16;
+
+/// (label, batch API?, batch_fusion, coalesce_h2d, refine_multi_source)
+const SWEEP: [(&str, bool, bool, bool, bool); 3] = [
+    ("sequential", false, false, false, false),
+    ("batch-pr4", true, false, false, false),
+    ("batch-fused", true, true, true, true),
+];
+
+fn server(
+    graph: &std::sync::Arc<roadnet::graph::Graph>,
+    fusion: bool,
+    coalesce: bool,
+    multi: bool,
+) -> GGridServer {
+    GGridServer::new(
+        (**graph).clone(),
+        GGridConfig {
+            batch_fusion: fusion,
+            coalesce_h2d: coalesce,
+            refine_multi_source: multi,
+            refine_workers: 1,
+            // The experiment's GPU/CPU balance: stop candidate expansion
+            // at exactly k objects so the unresolved frontier reaches the
+            // refinement phase (see experiments/batch_fusion.rs).
+            rho: 1.0,
+            ..Default::default()
+        },
+    )
+}
+
+/// Per round: a fleet wave into the round's window tile (half hot, half
+/// network-wide), then a batch of overlapping queries — half in the hot
+/// window, half probing the far side of the graph (same shape as the
+/// experiment, shrunk to bench scale).
+fn workload(
+    graph: &std::sync::Arc<roadnet::graph::Graph>,
+    s: &mut GGridServer,
+    batched: bool,
+) -> u64 {
+    let ne = graph.num_edges() as u32;
+    let window = (ne / ROUNDS as u32).clamp(16, 256).min(ne);
+    let mut rng = SmallRng::seed_from_u64(0x5BA7);
+    let mut t = 100u64;
+    let mut checksum = 0u64;
+    for round in 0..ROUNDS {
+        let base = (round as u32 * window) % ne.saturating_sub(window).max(1);
+        let wave: Vec<(ObjectId, EdgePosition, Timestamp)> = (0..OBJECTS)
+            .map(|o| {
+                t += 1;
+                let e = if o % 2 == 0 {
+                    EdgeId(base + rng.gen_range(0..window))
+                } else {
+                    EdgeId(rng.gen_range(0..ne))
+                };
+                (ObjectId(o), EdgePosition::at_source(e), Timestamp(t))
+            })
+            .collect();
+        s.ingest_batch(&wave);
+        t += 1;
+        let half = BATCH_SIZE as u32 / 2;
+        let queries: Vec<(EdgePosition, usize)> = (0..BATCH_SIZE as u32)
+            .map(|j| {
+                let e = if j < half {
+                    EdgeId(base + (j * (window / half)).min(window - 1))
+                } else {
+                    let far = (base + ne / 2) % ne;
+                    EdgeId((far + (j - half) * (window / half)) % ne)
+                };
+                (EdgePosition::at_source(e), K)
+            })
+            .collect();
+        let now = Timestamp(t);
+        let answers: Vec<Vec<(ObjectId, Distance)>> = if batched {
+            s.knn_batch(&queries, now).answers
+        } else {
+            queries.iter().map(|&(q, k)| s.knn(q, k, now)).collect()
+        };
+        for a in &answers {
+            for &(o, d) in a {
+                checksum = checksum.wrapping_mul(31).wrapping_add(o.0 ^ d);
+            }
+        }
+    }
+    checksum
+}
+
+fn bench_batch_fusion(c: &mut Criterion) {
+    let graph = common::bench_graph(Dataset::NY);
+    let mut group = c.benchmark_group("batch_fusion");
+    group.sample_size(10);
+
+    let mut checksums = Vec::new();
+    for (label, batched, fusion, coalesce, multi) in SWEEP {
+        group.bench_function(format!("exec={label}").as_str(), |b| {
+            b.iter(|| {
+                let mut s = server(&graph, fusion, coalesce, multi);
+                workload(&graph, &mut s, batched)
+            })
+        });
+        let mut s = server(&graph, fusion, coalesce, multi);
+        checksums.push(workload(&graph, &mut s, batched));
+        let c = s.counters();
+        println!(
+            "BENCH {{\"bench\": \"batch_fusion\", \"exec\": \"{label}\", \"queries\": {}, \"gpu_ns\": {}, \"kernel_launches\": {}, \"h2d_bytes\": {}, \"h2d_coalesced_saved\": {}, \"batch_shared_cells\": {}, \"clean_skip_hits\": {}, \"refine_busy_ns\": {}, \"refine_settled\": {}, \"refine_relaxed\": {}, \"queries_per_sec_modeled\": {:.1}}}",
+            c.queries,
+            c.gpu_time.0,
+            c.kernel_launches,
+            c.h2d_bytes,
+            c.h2d_coalesced_saved,
+            c.batch_shared_cells,
+            c.clean_skip_hits,
+            c.refine_busy_ns,
+            c.refine_settled,
+            c.refine_relaxed,
+            c.queries_per_sec_modeled(),
+        );
+    }
+    group.finish();
+
+    // Fusion must not change results: every strategy, same checksum.
+    assert!(
+        checksums.windows(2).all(|w| w[0] == w[1]),
+        "execution strategies disagree on answers: {checksums:?}"
+    );
+}
+
+criterion_group!(benches, bench_batch_fusion);
+criterion_main!(benches);

@@ -1,6 +1,7 @@
 //! One module per table/figure of the paper's evaluation (§VII).
 
 pub mod ablation;
+pub mod batch_fusion;
 pub mod concurrency;
 pub mod fig10_scalability;
 pub mod fig4_tuning;

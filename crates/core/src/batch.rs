@@ -6,36 +6,56 @@
 //! cleaning shares one device pass, and host refinement of one query
 //! overlaps device work of another.
 //!
-//! [`run_knn_batch`] implements both effects:
+//! [`run_knn_batch`] makes the **batch** the unit of device work:
 //!
-//! * **Shared cleaning** — the union of all queries' initial candidate
-//!   cells is cleaned in one batched kernel launch (one pipelined upload,
-//!   one dedup pass over all their messages). The epoch-based clean-skip
-//!   cache then lets every per-query pipeline serve those cells from the
-//!   host cache instead of re-launching the kernel.
+//! * **Batch-fused cleaning** — the union of all queries' first candidate
+//!   rings is cleaned in one X-shuffle round (one kernel launch, one
+//!   chunked H2D schedule). The consolidated output is kept in a
+//!   [`BatchCleanCache`] keyed by list epoch, so every per-query pipeline
+//!   serves those cells from host memory at zero device cost — no
+//!   re-launch, no re-upload, not even a list freeze.
+//! * **Coalesced topology staging** — the union's CSR slices are staged
+//!   onto the device in one transfer (one PCIe latency for all misses)
+//!   before the first query runs, so the per-query `GPU_SDist` rounds hit
+//!   the resident topology store.
 //! * **Overlapped refinement** — queries are staged through the
 //!   device-phase → refine → finalise pipeline of [`crate::knn`]: while
 //!   query *i*'s CPU refinement runs on a worker thread, the device
 //!   already executes query *i+1*'s phase. The overlap is accounted on a
-//!   two-stream [`StreamTimeline`] (device stream, host stream), yielding
+//!   three-stream [`StreamTimeline`] (device, host, transfer), yielding
 //!   the batch's pipelined makespan next to the serial sum of the same
 //!   operations.
+//!
+//! **Attribution.** The shared pass is real per-query work done once, so
+//! its cost is split across the queries proportionally to how much of the
+//! union each asked for: query *i*'s weight is `Σ_{c ∈ ring_i} 1/mult(c)`,
+//! where `mult(c)` counts the queries whose first ring contains `c` — a
+//! cell wanted by four queries bills each a quarter. The integer split
+//! ([`crate::stats::split_u64`]) telescopes exactly, so the per-query
+//! breakdowns sum to precisely the work the batch did and
+//! [`BatchResult::gpu_total`] needs no separate shared term. The unsplit
+//! record stays available in [`BatchResult::shared`] for diagnostics.
 //!
 //! Answers are byte-identical to running [`crate::knn::run_knn`] per query
 //! in input order: cleaning is semantically idempotent (a query's view of
 //! a cell's live objects does not depend on when the cell was last
-//! consolidated), and the refinement merge is order-independent.
+//! consolidated), the cache returns exactly what a fresh clean or a
+//! clean-skip snapshot of the same epoch would, and the refinement merge
+//! is order-independent. DESIGN.md §5.6 carries the full argument.
+
+use std::collections::HashMap;
 
 use gpu_sim::{Device, SimNanos, StreamTimeline};
 use roadnet::graph::Distance;
 use roadnet::EdgePosition;
 
-use crate::cleaning::clean_cells;
+use crate::cleaning::{clean_cells, CleanedObjects};
 use crate::config::GGridConfig;
 use crate::grid::{CellId, GraphGrid};
 use crate::knn::{knn_device_phase, knn_finalize, refine_unresolved};
-use crate::message::{ObjectId, Timestamp};
+use crate::message::{CachedMessage, ObjectId, Timestamp};
 use crate::message_list::CellLists;
+use crate::object_table::FxBuildHasher;
 use crate::residency::{ResidentCellStore, TopologyStore};
 use crate::scratch::ScratchPool;
 use crate::stats::QueryBreakdown;
@@ -49,15 +69,70 @@ const HOST_STREAM: usize = 1;
 /// result on the host (refinement) waits for it.
 const TRANSFER_STREAM: usize = 2;
 
+/// Weight scale for the proportional attribution of the shared pass:
+/// `lcm(1..=13)`, so `ATTR_SCALE / mult` is exact for any realistic cell
+/// multiplicity (larger multiplicities round down harmlessly — only the
+/// ratios matter, and the integer split preserves totals regardless).
+const ATTR_SCALE: u64 = 720_720;
+
+/// Host-side cache of the batch's shared cleaning pass: for each union
+/// cell, the consolidated live objects and the list epoch they correspond
+/// to. A per-query cleaning round hits the cache only while the list's
+/// epoch still equals the recorded one — i.e. no message has landed in the
+/// cell since the shared pass — which is exactly the condition under which
+/// the shared output *is* what cleaning the cell now would produce.
+pub(crate) struct BatchCleanCache {
+    entries: HashMap<CellId, (u64, Vec<CachedMessage>), FxBuildHasher>,
+}
+
+impl BatchCleanCache {
+    /// Record the shared pass's output. Cells whose list was appended to
+    /// between the pass and this call (epoch moved past the cleaned stamp)
+    /// are left out — serving them from the cache would drop the new
+    /// messages, so they fall through to a real clean instead.
+    fn build(lists: &CellLists, union: &[CellId], cleaned: &CleanedObjects) -> Self {
+        let mut entries: HashMap<CellId, (u64, Vec<CachedMessage>), FxBuildHasher> =
+            HashMap::default();
+        for &c in union {
+            let list = lists.lock(c.index());
+            if list.is_clean() {
+                let epoch = list.epoch();
+                drop(list);
+                let msgs = cleaned.get(&c).cloned().unwrap_or_default();
+                entries.insert(c, (epoch, msgs));
+            }
+        }
+        Self { entries }
+    }
+
+    /// The cached consolidation of `cell`, if it is still current (the
+    /// list's epoch has not moved since the shared pass).
+    pub(crate) fn lookup(&self, lists: &CellLists, cell: CellId) -> Option<&[CachedMessage]> {
+        let (epoch, msgs) = self.entries.get(&cell)?;
+        let list = lists.lock(cell.index());
+        if list.epoch() == *epoch {
+            Some(msgs)
+        } else {
+            None
+        }
+    }
+}
+
 /// Result of a query batch.
 #[derive(Debug)]
 pub struct BatchResult {
     /// Per-query answers, in input order.
     pub answers: Vec<Vec<(ObjectId, Distance)>>,
-    /// Cost of the shared cleaning pass.
+    /// The shared pass (fused cleaning + staged topology), unsplit. Its
+    /// cost is *also* attributed into `per_query` proportionally, so sum
+    /// `per_query` — not `shared` — for totals.
     pub shared: QueryBreakdown,
-    /// Per-query breakdowns for the residual work.
+    /// Per-query breakdowns: each query's residual work plus its
+    /// proportional share of the shared pass.
     pub per_query: Vec<QueryBreakdown>,
+    /// Cells the shared pass cleaned once on behalf of the whole batch
+    /// (the size of the first-ring union).
+    pub shared_cells: usize,
     /// Makespan of the batch with host refinement overlapping device work
     /// (device time is simulated, refinement time is measured host time).
     pub pipelined_time: SimNanos,
@@ -67,16 +142,17 @@ pub struct BatchResult {
 }
 
 impl BatchResult {
-    /// Total simulated device time: shared pass + residual per-query work.
+    /// Total simulated device time of the batch. The shared pass is
+    /// already attributed into `per_query`, so this is a plain sum.
     pub fn gpu_total(&self) -> gpu_sim::SimNanos {
         self.per_query
             .iter()
-            .fold(self.shared.gpu_total(), |acc, b| acc + b.gpu_total())
+            .fold(gpu_sim::SimNanos::ZERO, |acc, b| acc + b.gpu_total())
     }
 }
 
-/// Execute a batch of kNN queries sharing one initial cleaning pass and
-/// overlapping host refinement with device work.
+/// Execute a batch of kNN queries sharing one fused cleaning + staging
+/// pass and overlapping host refinement with device work.
 #[allow(clippy::too_many_arguments)]
 pub fn run_knn_batch(
     device: &mut Device,
@@ -89,25 +165,48 @@ pub fn run_knn_batch(
     queries: &[(EdgePosition, usize)],
     now: Timestamp,
 ) -> BatchResult {
-    // Union of every query's first candidate ring (own cell + neighbours).
+    // Per-query first candidate rings (own cell + neighbours) and their
+    // union; ring multiplicities drive the attribution weights.
+    let mut rings: Vec<Vec<CellId>> = Vec::with_capacity(queries.len());
     let mut union: Vec<CellId> = Vec::new();
     for &(q, _) in queries {
         let c = grid.cell_of_edge(q.edge);
-        union.push(c);
-        union.extend_from_slice(grid.neighbors(c));
+        let mut ring = vec![c];
+        ring.extend_from_slice(grid.neighbors(c));
+        ring.sort_unstable();
+        ring.dedup();
+        union.extend_from_slice(&ring);
+        rings.push(ring);
     }
     union.sort_unstable();
     union.dedup();
+
+    let mut multiplicity: HashMap<CellId, u64, FxBuildHasher> = HashMap::default();
+    for ring in &rings {
+        for &c in ring {
+            *multiplicity.entry(c).or_insert(0) += 1;
+        }
+    }
+    let weights: Vec<u64> = rings
+        .iter()
+        .map(|ring| ring.iter().map(|c| ATTR_SCALE / multiplicity[c]).sum())
+        .collect();
 
     let mut timeline = StreamTimeline::new(3);
     let mut serial_time = SimNanos::ZERO;
 
     let mut shared = QueryBreakdown::default();
+    let mut cache: Option<BatchCleanCache> = None;
     if !union.is_empty() && !queries.is_empty() {
+        let launches0 = device.launches();
         let t0 = std::time::Instant::now();
-        let (_, rep) = clean_cells(device, lists, resident, &union, config, now);
+        let (cleaned, rep) = clean_cells(device, lists, resident, &union, config, now);
+        if config.batch_fusion {
+            cache = Some(BatchCleanCache::build(lists, &union, &cleaned));
+        }
         shared.emulation_ns = t0.elapsed().as_nanos() as u64;
         shared.record_cleaning(&rep);
+        shared.kernel_launches = device.launches() - launches0;
         // Copy-back is strictly after the shared pass's compute but runs on
         // the transfer stream, so the first query's device phase starts as
         // soon as the kernel is done — not when the result lands on host.
@@ -115,6 +214,20 @@ pub fn run_knn_batch(
         let compute_end = timeline.push(DEVICE_STREAM, SimNanos::ZERO, compute);
         timeline.push(TRANSFER_STREAM, compute_end, shared.copy_back);
         serial_time += shared.gpu_total();
+
+        // Stage the union's topology in one coalesced transfer, so the
+        // per-query sdist rounds find every first-ring CSR slice resident.
+        if config.batch_fusion && config.coalesce_h2d {
+            let staged = topo.stage(device, union.iter().map(|&c| (c, grid.topology(c).bytes())));
+            shared.candidate += staged.time;
+            shared.h2d_topo_bytes += staged.bytes;
+            shared.h2d_bytes += staged.bytes;
+            shared.topo_hits += staged.hits as usize;
+            shared.topo_misses += staged.misses as usize;
+            shared.h2d_coalesced_saved += staged.transactions_saved;
+            timeline.push(DEVICE_STREAM, SimNanos::ZERO, staged.time);
+            serial_time += staged.time;
+        }
     }
 
     // Stage the queries through the pipeline. The main thread owns the
@@ -126,11 +239,13 @@ pub fn run_knn_batch(
     let mut per_query = Vec::with_capacity(n);
 
     crossbeam::thread::scope(|s| {
+        let cache = cache.as_ref();
         // (pending state, refine handle, device-phase end time)
         let mut in_flight = None;
         for &(q, k) in queries {
-            let pending =
-                knn_device_phase(device, grid, lists, resident, topo, pool, config, q, k, now);
+            let pending = knn_device_phase(
+                device, grid, lists, resident, topo, pool, config, q, k, now, cache,
+            );
             // Compute on the device stream, copy-back on the transfer
             // stream (ordered after the compute). Refinement reads the
             // copied-back results, so it waits for the transfer end; the
@@ -154,6 +269,7 @@ pub fn run_knn_batch(
                     prev,
                     handle,
                     prev_device_end,
+                    cache,
                     &mut timeline,
                     &mut serial_time,
                     &mut answers,
@@ -167,8 +283,10 @@ pub fn run_knn_batch(
             let in_set = pending.in_set.clone();
             let l = pending.l;
             let workers = config.refine_workers;
-            let handle =
-                s.spawn(move |_| refine_unresolved(grid, &unresolved, l, &in_set, workers, pool));
+            let multi_source = config.refine_multi_source;
+            let handle = s.spawn(move |_| {
+                refine_unresolved(grid, &unresolved, l, &in_set, workers, multi_source, pool)
+            });
             in_flight = Some((pending, handle, device_end));
         }
         if let Some((prev, handle, prev_device_end)) = in_flight.take() {
@@ -183,6 +301,7 @@ pub fn run_knn_batch(
                 prev,
                 handle,
                 prev_device_end,
+                cache,
                 &mut timeline,
                 &mut serial_time,
                 &mut answers,
@@ -192,10 +311,19 @@ pub fn run_knn_batch(
     })
     .expect("batch scope failed");
 
+    // Attribute the shared pass: each query absorbs its proportional
+    // share, and the shares telescope exactly to the shared totals.
+    if !per_query.is_empty() {
+        for (b, share) in per_query.iter_mut().zip(shared.split_shares(&weights)) {
+            b.absorb(&share);
+        }
+    }
+
     BatchResult {
         answers,
         shared,
         per_query,
+        shared_cells: union.len(),
         pipelined_time: timeline.makespan(),
         serial_time,
     }
@@ -215,6 +343,7 @@ fn finalize_one<'scope>(
     pending: crate::knn::PendingKnn,
     handle: crossbeam::thread::ScopedJoinHandle<'scope, crate::knn::RefineOutcome>,
     device_end: SimNanos,
+    cache: Option<&BatchCleanCache>,
     timeline: &mut StreamTimeline,
     serial_time: &mut SimNanos,
     answers: &mut Vec<Vec<(ObjectId, Distance)>>,
@@ -232,7 +361,7 @@ fn finalize_one<'scope>(
     let gpu_before = pending.breakdown.gpu_total();
     let copy_back_before = pending.breakdown.copy_back;
     let result = knn_finalize(
-        device, grid, lists, resident, config, now, pending, refined, pool,
+        device, grid, lists, resident, config, now, pending, refined, pool, cache,
     );
 
     // Device stream: the finalisation's lazy cleaning, after the refine;
@@ -315,6 +444,25 @@ mod tests {
     }
 
     #[test]
+    fn batch_matches_individual_without_fusion() {
+        // The ablation path (no cache, no upfront staging) must also match.
+        let config = GGridConfig {
+            eta: 4,
+            batch_fusion: false,
+            ..Default::default()
+        };
+        let mut a = loaded_server_with(config.clone());
+        let mut b = loaded_server();
+        let queries = queries();
+        let batch = a.knn_batch(&queries, Timestamp(500));
+        let individual: Vec<_> = queries
+            .iter()
+            .map(|&(q, k)| b.knn(q, k, Timestamp(500)))
+            .collect();
+        assert_eq!(batch.answers, individual);
+    }
+
+    #[test]
     fn batch_shares_cleaning() {
         let mut a = loaded_server();
         let mut b = loaded_server();
@@ -322,7 +470,7 @@ mod tests {
         let batch = a.knn_batch(&queries, Timestamp(500));
         // The batch's win is device time: one big pipelined pass replaces
         // many small launches and transfers with per-call overheads, and
-        // the clean-skip cache spares the per-query re-cleans afterwards.
+        // the batch clean-cache spares the per-query re-cleans afterwards.
         let mut individual_gpu = gpu_sim::SimNanos::ZERO;
         for &(q, k) in &queries {
             b.knn(q, k, Timestamp(500));
@@ -334,10 +482,39 @@ mod tests {
             "batched device time must not exceed individual ({batch_gpu} vs {individual_gpu})"
         );
         assert!(batch.shared.messages_cleaned > 0);
+        assert!(batch.shared_cells > 0);
         // The shared pass consolidated the union; the per-query pipelines
-        // must have hit the skip cache.
+        // must have hit the batch cache.
         let skips: usize = batch.per_query.iter().map(|b| b.cells_skipped).sum();
         assert!(skips > 0, "per-query passes should skip shared cells");
+    }
+
+    #[test]
+    fn shared_pass_attributed_exactly() {
+        let mut s = loaded_server();
+        let batch = s.knn_batch(&queries(), Timestamp(500));
+        // The per-query breakdowns absorb the shared pass exactly: their
+        // message totals cover the shared pass's messages, and the batch
+        // total equals serial per-query accounting (shared included once).
+        let msgs: usize = batch.per_query.iter().map(|b| b.messages_cleaned).sum();
+        assert!(msgs >= batch.shared.messages_cleaned);
+        let per_query_gpu = batch.gpu_total();
+        assert!(per_query_gpu >= batch.shared.gpu_total());
+        let launches: u64 = batch.per_query.iter().map(|b| b.kernel_launches).sum();
+        assert!(launches >= batch.shared.kernel_launches);
+    }
+
+    #[test]
+    fn upfront_staging_pays_one_latency() {
+        // Fresh server, cold topology store: the fused path stages the
+        // whole union in one transaction and records the saved ones.
+        let mut s = loaded_server();
+        let batch = s.knn_batch(&queries(), Timestamp(500));
+        assert!(batch.shared.topo_misses > 0, "cold store must miss");
+        assert_eq!(
+            batch.shared.h2d_coalesced_saved,
+            batch.shared.topo_misses as u64 - 1
+        );
     }
 
     #[test]
@@ -354,6 +531,27 @@ mod tests {
         let batch = s.knn_batch(&[], Timestamp(500));
         assert!(batch.answers.is_empty());
         assert_eq!(batch.shared.messages_cleaned, 0);
+        assert_eq!(batch.shared_cells, 0);
         assert_eq!(batch.pipelined_time, SimNanos::ZERO);
+    }
+
+    #[test]
+    fn cache_rejects_stale_epochs() {
+        // Build a cache over a consolidated cell, dirty it, and check the
+        // lookup refuses the stale entry.
+        let mut sv = loaded_server();
+        sv.clean_all(Timestamp(500));
+        let cell = sv.grid().cell_of_edge(EdgeId(0));
+        let union = [cell];
+        let cleaned = CleanedObjects::default();
+        let cache = BatchCleanCache::build(sv.cell_lists(), &union, &cleaned);
+        assert!(cache.lookup(sv.cell_lists(), cell).is_some());
+        // A new message moves the epoch; the entry must go stale.
+        sv.handle_update(
+            ObjectId(999),
+            EdgePosition::at_source(EdgeId(0)),
+            Timestamp(600),
+        );
+        assert!(cache.lookup(sv.cell_lists(), cell).is_none());
     }
 }

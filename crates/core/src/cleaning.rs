@@ -102,6 +102,7 @@ pub fn clean_cells(
     let mut merge: Vec<CellId> = Vec::new();
     let mut buckets: Vec<Vec<WireMessage>> = Vec::new();
     let mut full_msgs: usize = 0;
+    let mut delta_msgs: usize = 0;
     let mut resident_msgs: Vec<WireMessage> = Vec::new();
     // Prior mirror per merge cell, for changed-object copy-back accounting.
     let mut prior: HashMap<CellId, Vec<CachedMessage>, FxBuildHasher> = HashMap::default();
@@ -124,6 +125,7 @@ pub fn clean_cells(
             resident_msgs.extend(mirror.iter().map(|&msg| WireMessage { msg, cell: c }));
             prior.insert(c, mirror);
             for bucket in list.take_delta_for_cleaning(now, config.t_delta_ms) {
+                delta_msgs += bucket.messages.len();
                 buckets.push(
                     bucket
                         .messages
@@ -228,9 +230,12 @@ pub fn clean_cells(
         overlapped = report.time;
     }
 
-    // Byte split between the cold path and the delta path.
-    rep.h2d_full_bytes = (full_msgs as u64 * CachedMessage::WIRE_BYTES).min(h2d_bytes);
-    rep.h2d_delta_bytes = h2d_bytes - rep.h2d_full_bytes;
+    // Byte split between the cold path and the delta path. Every shipped
+    // message is counted on exactly one path when it is frozen, so the
+    // split is exact even when full and delta cells share a round.
+    rep.h2d_full_bytes = full_msgs as u64 * CachedMessage::WIRE_BYTES;
+    rep.h2d_delta_bytes = delta_msgs as u64 * CachedMessage::WIRE_BYTES;
+    debug_assert_eq!(rep.h2d_full_bytes + rep.h2d_delta_bytes, h2d_bytes);
 
     rep.compute_time = overlapped;
     rep.time = rep.compute_time + rep.copy_back_time;
@@ -612,6 +617,44 @@ mod tests {
             .find(|m| m.object == ObjectId(3))
             .unwrap();
         assert_eq!(newest.time, Timestamp(210));
+    }
+
+    #[test]
+    fn mixed_round_splits_full_and_delta_bytes_exactly() {
+        // One resident cell shipping a delta and one cold cell shipping its
+        // full list in the *same* round: each path's bytes are attributed
+        // exactly, and the two buckets sum to the round's H2D total.
+        let (mut dev, lists, mut resident) = setup(2);
+        for o in 0..4 {
+            lists.lock(0).append(msg(o, 100));
+        }
+        let cfg = config();
+        clean_cells(
+            &mut dev,
+            &lists,
+            &mut resident,
+            &[CellId(0)],
+            &cfg,
+            Timestamp(150),
+        );
+        assert!(resident.contains(CellId(0)));
+        lists.lock(0).append(msg(0, 160)); // delta of one message
+        for o in 10..13 {
+            lists.lock(1).append(msg(o, 160)); // cold cell, full path
+        }
+        let (_, rep) = clean_cells(
+            &mut dev,
+            &lists,
+            &mut resident,
+            &[CellId(0), CellId(1)],
+            &cfg,
+            Timestamp(200),
+        );
+        assert_eq!(rep.resident_hits, 1);
+        assert_eq!(rep.cells_cleaned, 2);
+        assert_eq!(rep.h2d_delta_bytes, CachedMessage::WIRE_BYTES);
+        assert_eq!(rep.h2d_full_bytes, 3 * CachedMessage::WIRE_BYTES);
+        assert_eq!(rep.h2d_bytes, rep.h2d_full_bytes + rep.h2d_delta_bytes);
     }
 
     #[test]

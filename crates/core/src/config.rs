@@ -60,6 +60,24 @@ pub struct GGridConfig {
     /// `device_budget_bytes`), so repeated queries over hot cells skip the
     /// per-query topology upload. Answers are identical either way.
     pub topology_resident: bool,
+    /// Batch-fused execution in [`crate::batch::run_knn_batch`]: clean the
+    /// union of the batch's first-ring cells in one X-shuffle round, stage
+    /// the union's topology misses in one coalesced upload, and serve the
+    /// per-query cleaning rounds from the batch's clean-cache. Answers are
+    /// byte-identical to running the queries one at a time; disabling this
+    /// exists for ablations and as the PR-4 baseline.
+    pub batch_fusion: bool,
+    /// Coalesce the topology-cell misses of each `GPU_SDist` round into a
+    /// single staged H2D transfer (one PCIe latency charge for the round)
+    /// instead of one transfer per missed cell. Answers are identical either
+    /// way.
+    pub coalesce_h2d: bool,
+    /// Refine unresolved vertices with one shared multi-source bounded
+    /// Dijkstra per worker (seeded at `D[v]` per vertex) instead of one
+    /// bounded Dijkstra per vertex. The pointwise minimum over sources is
+    /// exactly the per-vertex union, so answers are identical either way;
+    /// the per-vertex path exists for ablations.
+    pub refine_multi_source: bool,
 }
 
 impl Default for GGridConfig {
@@ -79,6 +97,9 @@ impl Default for GGridConfig {
             sdist_frontier: true,
             sdist_delta: 0,
             topology_resident: true,
+            batch_fusion: true,
+            coalesce_h2d: true,
+            refine_multi_source: true,
         }
     }
 }
@@ -134,6 +155,9 @@ mod tests {
         assert!(c.sdist_frontier);
         assert_eq!(c.sdist_delta, 0, "0 = auto (grid mean edge weight)");
         assert!(c.topology_resident);
+        assert!(c.batch_fusion);
+        assert!(c.coalesce_h2d);
+        assert!(c.refine_multi_source);
         c.validate();
     }
 

@@ -44,6 +44,8 @@ use roadnet::dijkstra::{DijkstraEngine, SearchBounds};
 use roadnet::graph::{Distance, VertexId, INFINITY};
 use roadnet::EdgePosition;
 
+use crate::batch::BatchCleanCache;
+use crate::busytime::BusyClock;
 use crate::cleaning::clean_cells;
 use crate::config::GGridConfig;
 use crate::grid::{CellId, GraphGrid};
@@ -100,6 +102,11 @@ pub(crate) struct RefineOutcome {
     pub critical_ns: u64,
     /// Worker threads actually used.
     pub workers: usize,
+    /// Vertices settled across all searches (multi-source settles a shared
+    /// vertex once; the per-vertex ablation settles it once per source).
+    pub settled: u64,
+    /// Edges examined (relaxation attempts) across all searches.
+    pub relaxed: u64,
 }
 
 impl RefineOutcome {
@@ -111,6 +118,8 @@ impl RefineOutcome {
             busy_ns: 0,
             critical_ns: 0,
             workers: 0,
+            settled: 0,
+            relaxed: 0,
         }
     }
 }
@@ -129,22 +138,30 @@ pub fn run_knn(
     k: usize,
     now: Timestamp,
 ) -> KnnResult {
-    let pending = knn_device_phase(device, grid, lists, resident, topo, pool, config, q, k, now);
+    let pending = knn_device_phase(
+        device, grid, lists, resident, topo, pool, config, q, k, now, None,
+    );
     let refined = refine_unresolved(
         grid,
         &pending.unresolved,
         pending.l,
         &pending.in_set,
         config.refine_workers,
+        config.refine_multi_source,
         pool,
     );
     knn_finalize(
-        device, grid, lists, resident, config, now, pending, refined, pool,
+        device, grid, lists, resident, config, now, pending, refined, pool, None,
     )
 }
 
 /// One cleaning round of the expansion: clean the not-yet-included cells,
 /// merge their live objects into the pool, and grow the candidate set.
+///
+/// When a [`BatchCleanCache`] is supplied, cells whose consolidated state
+/// the batch's shared pass already produced — and whose list epoch proves
+/// no message landed since — are served from the cache at zero device cost
+/// (counted as skips); everything else falls through to [`clean_cells`].
 #[allow(clippy::too_many_arguments)]
 fn clean_round(
     device: &mut Device,
@@ -158,12 +175,24 @@ fn clean_round(
     objects: &mut Vec<CachedMessage>,
     breakdown: &mut QueryBreakdown,
     cpu_excluded: &mut Duration,
+    cache: Option<&BatchCleanCache>,
 ) {
-    let fresh: Vec<CellId> = cells
-        .iter()
-        .copied()
-        .filter(|c| !in_set[c.index()])
-        .collect();
+    let mut fresh: Vec<CellId> = Vec::with_capacity(cells.len());
+    for &c in cells {
+        if in_set[c.index()] {
+            continue;
+        }
+        if let Some(cache) = cache {
+            if let Some(msgs) = cache.lookup(lists, c) {
+                in_set[c.index()] = true;
+                set.push(c);
+                objects.extend_from_slice(msgs);
+                breakdown.cells_skipped += 1;
+                continue;
+            }
+        }
+        fresh.push(c);
+    }
     if fresh.is_empty() {
         return;
     }
@@ -193,11 +222,13 @@ pub(crate) fn knn_device_phase(
     q: EdgePosition,
     k: usize,
     now: Timestamp,
+    cache: Option<&BatchCleanCache>,
 ) -> PendingKnn {
     assert!(k >= 1, "k must be at least 1");
     let graph = grid.graph().clone();
     assert!(q.is_valid(&graph), "query position invalid for this graph");
     let mut breakdown = QueryBreakdown::default();
+    let launches0 = device.launches();
     let cpu_start = Instant::now();
     let mut cpu_excluded = Duration::ZERO; // host time spent emulating kernels
 
@@ -223,6 +254,7 @@ pub(crate) fn knn_device_phase(
         &mut objects,
         &mut breakdown,
         &mut cpu_excluded,
+        cache,
     );
 
     loop {
@@ -245,6 +277,7 @@ pub(crate) fn knn_device_phase(
             &mut objects,
             &mut breakdown,
             &mut cpu_excluded,
+            cache,
         );
     }
 
@@ -271,6 +304,7 @@ pub(crate) fn knn_device_phase(
         breakdown.h2d_bytes += s.h2d_topo_bytes;
         breakdown.topo_hits += s.topo_hits;
         breakdown.topo_misses += s.topo_misses;
+        breakdown.h2d_coalesced_saved += s.h2d_coalesced_saved;
 
         let finite = candidates.iter().filter(|c| c.1 < INFINITY).count();
         if finite >= k.min(objects.len()) {
@@ -292,6 +326,7 @@ pub(crate) fn knn_device_phase(
             &mut objects,
             &mut breakdown,
             &mut cpu_excluded,
+            cache,
         );
     };
     breakdown.candidates = candidates.len();
@@ -334,6 +369,7 @@ pub(crate) fn knn_device_phase(
     let wall = cpu_start.elapsed();
     breakdown.cpu_ns += wall.saturating_sub(cpu_excluded).as_nanos() as u64;
     breakdown.emulation_ns += cpu_excluded.as_nanos() as u64;
+    breakdown.kernel_launches += device.launches() - launches0;
 
     PendingKnn {
         k,
@@ -348,21 +384,34 @@ pub(crate) fn knn_device_phase(
     }
 }
 
-/// Step 4's searches (Algorithm 6): bounded Dijkstra from every unresolved
-/// vertex over the full graph, fanned out over `workers` scoped threads.
+/// Step 4's searches (Algorithm 6): bounded Dijkstra expansion from the
+/// unresolved vertices over the full graph, fanned out over `workers`
+/// scoped threads.
+///
+/// With `multi_source` each worker runs **one** shared search seeded at
+/// `(v, D[v])` for its whole source group under `radius(l)`. The engine
+/// settles each vertex `u` at `min_v(D[v] + dist_v(u))` — exactly the
+/// pointwise minimum the per-vertex loop computes, because a per-vertex
+/// search from `v` under `radius(l − D[v])` settles `u` iff
+/// `D[v] + dist_v(u) ≤ l` (the same absolute bound), and the min over
+/// sources is reached by a source satisfying it. Shared shortest-path
+/// subtrees are settled once instead of once per source. The per-vertex
+/// loop is kept as the ablation path; DESIGN.md §5.6 has the full argument.
 ///
 /// Pure CPU and side-effect free: it never touches the device or the
 /// message lists, which is what lets a batch scheduler run it concurrently
 /// with another query's device phase. Determinism: each worker builds a
 /// local `best_outer`, maps are merged with `min` (order-independent), and
 /// `touched_cells` is recomputed from the merged map and sorted — so the
-/// outcome is identical for every worker count, including 1.
+/// outcome is identical for every worker count, including 1, and for both
+/// search strategies.
 pub(crate) fn refine_unresolved(
     grid: &GraphGrid,
     unresolved: &[(VertexId, Distance)],
     l: Distance,
     in_set: &[bool],
     workers: usize,
+    multi_source: bool,
     pool: &ScratchPool,
 ) -> RefineOutcome {
     if unresolved.is_empty() {
@@ -372,24 +421,47 @@ pub(crate) fn refine_unresolved(
     let t0 = Instant::now();
 
     let expand = |chunk: Vec<(VertexId, Distance)>| {
-        let started = Instant::now();
-        let mut engine = DijkstraEngine::new(&graph);
+        // Pool bookkeeping sits outside the timed region: `busy_ns` is the
+        // time workers spend *searching*, the quantity multi-source
+        // refinement shrinks. Attaching pooled scratch is O(1) after the
+        // first query, so nothing material is hidden from the clock. The
+        // clock is per-thread CPU time, not wall time: preemption under
+        // background load must not be charged to the search.
+        let mut engine = DijkstraEngine::with_scratch(&graph, pool.acquire_engine());
         let mut local = pool.acquire();
-        for (v, dv) in chunk {
-            let radius = l - dv; // l > dv by construction
-            engine.run_seeded(&[(v, 0)], SearchBounds::radius(radius));
+        let started = BusyClock::start();
+        let mut settled = 0u64;
+        let mut relaxed = 0u64;
+        if multi_source {
+            // Seed costs are the absolute `D[v]`, so settled values are
+            // already absolute distances through some unresolved vertex.
+            engine.run_seeded(&chunk, SearchBounds::radius(l));
             for &u in engine.settled() {
-                let du = dv + engine.distance(u);
-                local.min_in(u, du);
+                local.min_in(u, engine.distance(u));
+            }
+            settled += engine.settled().len() as u64;
+            relaxed += engine.relaxed();
+        } else {
+            for (v, dv) in chunk {
+                let radius = l - dv; // l > dv by construction
+                engine.run_seeded(&[(v, 0)], SearchBounds::radius(radius));
+                for &u in engine.settled() {
+                    let du = dv + engine.distance(u);
+                    local.min_in(u, du);
+                }
+                settled += engine.settled().len() as u64;
+                relaxed += engine.relaxed();
             }
         }
-        (local, started.elapsed().as_nanos() as u64)
+        let ns = started.elapsed_ns();
+        pool.release_engine(engine.into_scratch());
+        (local, settled, relaxed, ns)
     };
 
     let workers = workers.max(1).min(unresolved.len());
-    let (best_outer, mut busy_ns, mut critical_ns) = if workers == 1 {
-        let (local, ns) = expand(unresolved.to_vec());
-        (local, ns, ns)
+    let (best_outer, settled, relaxed, mut busy_ns, mut critical_ns) = if workers == 1 {
+        let (local, settled, relaxed, ns) = expand(unresolved.to_vec());
+        (local, settled, relaxed, ns, ns)
     } else {
         // Deal vertices round-robin: adjacent unresolved vertices sit on
         // the same stretch of the region boundary and have correlated
@@ -417,12 +489,15 @@ pub(crate) fn refine_unresolved(
         .expect("refinement scope failed");
 
         let mut partials = partials.into_iter();
-        let (mut merged, first_ns) = partials.next().expect("at least one worker");
+        let (mut merged, mut settled, mut relaxed, first_ns) =
+            partials.next().expect("at least one worker");
         let mut busy = first_ns;
         let mut critical = first_ns;
-        for (local, worker_ns) in partials {
+        for (local, worker_settled, worker_relaxed, worker_ns) in partials {
             busy += worker_ns;
             critical = critical.max(worker_ns);
+            settled += worker_settled;
+            relaxed += worker_relaxed;
             // min-merge is commutative and associative: the merged scratch
             // is identical for every worker count and merge order.
             for (u, du) in local.iter_touched() {
@@ -430,7 +505,7 @@ pub(crate) fn refine_unresolved(
             }
             pool.release(local);
         }
-        (merged, busy, critical)
+        (merged, settled, relaxed, busy, critical)
     };
 
     let mut touched_cells: Vec<CellId> = best_outer
@@ -451,6 +526,8 @@ pub(crate) fn refine_unresolved(
         busy_ns,
         critical_ns,
         workers,
+        settled,
+        relaxed,
     }
 }
 
@@ -467,6 +544,7 @@ pub(crate) fn knn_finalize(
     pending: PendingKnn,
     refined: RefineOutcome,
     pool: &ScratchPool,
+    cache: Option<&BatchCleanCache>,
 ) -> KnnResult {
     let PendingKnn {
         k,
@@ -480,6 +558,7 @@ pub(crate) fn knn_finalize(
         mut breakdown,
     } = pending;
     let graph = grid.graph();
+    let launches0 = device.launches();
     let cpu_start = Instant::now();
     let mut cpu_excluded = Duration::ZERO;
 
@@ -488,6 +567,8 @@ pub(crate) fn knn_finalize(
         breakdown.refine_busy_ns = refined.busy_ns;
         breakdown.refine_critical_ns = refined.critical_ns;
         breakdown.refine_workers = refined.workers;
+        breakdown.refine_settled = refined.settled;
+        breakdown.refine_relaxed = refined.relaxed;
 
         // Lazily clean the cells the refinement wandered into and add their
         // objects to the pool.
@@ -503,6 +584,7 @@ pub(crate) fn knn_finalize(
             &mut objects,
             &mut breakdown,
             &mut cpu_excluded,
+            cache,
         );
         for m in &objects {
             if let Some(p) = m.position {
@@ -543,6 +625,7 @@ pub(crate) fn knn_finalize(
     // Refinement wall time counts as CPU work (it did before the split).
     breakdown.cpu_ns += wall.saturating_sub(cpu_excluded).as_nanos() as u64 + breakdown.refine_ns;
     breakdown.emulation_ns += cpu_excluded.as_nanos() as u64;
+    breakdown.kernel_launches += device.launches() - launches0;
 
     KnnResult {
         items: final_items,
@@ -602,6 +685,9 @@ pub struct SdistStats {
     pub topo_hits: usize,
     /// Candidate cells whose CSR slice had to be uploaded.
     pub topo_misses: usize,
+    /// PCIe transactions avoided by coalescing the round's topology misses
+    /// into one staged transfer.
+    pub h2d_coalesced_saved: u64,
 }
 
 /// Algorithm 5 `GPU_SDist`: shortest distances over the subgraph induced by
@@ -754,15 +840,26 @@ pub fn gpu_sdist_frontier(
     let mut stats = SdistStats::default();
 
     // Resident topology: a hot cell's slice is already on the card and
-    // skips the upload entirely.
-    for &c in set {
-        let bytes = grid.topology(c).bytes();
-        if topo.ensure(device, c, bytes) {
-            stats.topo_hits += 1;
-        } else {
-            stats.topo_misses += 1;
-            stats.h2d_topo_bytes += bytes;
-            stats.time += device.h2d(bytes);
+    // skips the upload entirely. With `coalesce_h2d` the round's misses
+    // ride one staged transfer (a single PCIe latency charge); the
+    // per-cell ablation path pays the fixed latency per missed cell.
+    if config.coalesce_h2d {
+        let staged = topo.stage(device, set.iter().map(|&c| (c, grid.topology(c).bytes())));
+        stats.topo_hits += staged.hits as usize;
+        stats.topo_misses += staged.misses as usize;
+        stats.h2d_topo_bytes += staged.bytes;
+        stats.h2d_coalesced_saved += staged.transactions_saved;
+        stats.time += staged.time;
+    } else {
+        for &c in set {
+            let bytes = grid.topology(c).bytes();
+            if topo.ensure(device, c, bytes) {
+                stats.topo_hits += 1;
+            } else {
+                stats.topo_misses += 1;
+                stats.h2d_topo_bytes += bytes;
+                stats.time += device.h2d(bytes);
+            }
         }
     }
 
@@ -1360,6 +1457,7 @@ mod tests {
             q,
             4,
             Timestamp(200),
+            None,
         );
         if pending.unresolved.is_empty() {
             return; // nothing to refine on this topology
@@ -1379,23 +1477,73 @@ mod tests {
             }
         }
 
-        for workers in [1usize, 3, 8] {
-            let got = refine_unresolved(
-                &grid,
-                &pending.unresolved,
-                pending.l,
-                &pending.in_set,
-                workers,
-                &pool,
-            );
-            let got_map: HashMap<VertexId, Distance, FxBuildHasher> = got
-                .best_outer
-                .as_ref()
-                .expect("unresolved non-empty => scratch present")
-                .iter_touched()
-                .collect();
-            assert_eq!(got_map, want, "workers={workers}");
-            assert!(got.touched_cells.windows(2).all(|w| w[0] < w[1]));
+        for multi_source in [false, true] {
+            for workers in [1usize, 3, 8] {
+                let got = refine_unresolved(
+                    &grid,
+                    &pending.unresolved,
+                    pending.l,
+                    &pending.in_set,
+                    workers,
+                    multi_source,
+                    &pool,
+                );
+                let got_map: HashMap<VertexId, Distance, FxBuildHasher> = got
+                    .best_outer
+                    .as_ref()
+                    .expect("unresolved non-empty => scratch present")
+                    .iter_touched()
+                    .collect();
+                assert_eq!(got_map, want, "workers={workers} multi={multi_source}");
+                assert!(got.touched_cells.windows(2).all(|w| w[0] < w[1]));
+                assert!(got.settled > 0 && got.relaxed > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_source_refine_does_less_work() {
+        // The shared search settles overlapping subtrees once; with several
+        // unresolved sources its settled count can only be <= the per-vertex
+        // union's (which settles shared vertices once per source).
+        let (grid, lists, mut device, config) = setup(7);
+        let objects: Vec<(u64, EdgePosition)> = (0..10u64)
+            .map(|o| (o, EdgePosition::at_source(EdgeId((o * 37 % 160) as u32))))
+            .collect();
+        place(&grid, &lists, &objects, 100);
+        let q = EdgePosition::at_source(EdgeId(2));
+        let mut resident = ResidentCellStore::new(config.device_budget_bytes);
+        let mut topo = TopologyStore::new(config.device_budget_bytes);
+        let pool = ScratchPool::new(grid.graph().num_vertices());
+        let pending = knn_device_phase(
+            &mut device,
+            &grid,
+            &lists,
+            &mut resident,
+            &mut topo,
+            &pool,
+            &config,
+            q,
+            4,
+            Timestamp(200),
+            None,
+        );
+        if pending.unresolved.len() < 2 {
+            return; // no sharing to measure on this topology
+        }
+        let args = (&pending.unresolved, pending.l, &pending.in_set);
+        let per_vertex = refine_unresolved(&grid, args.0, args.1, args.2, 1, false, &pool);
+        let fused = refine_unresolved(&grid, args.0, args.1, args.2, 1, true, &pool);
+        assert!(
+            fused.settled <= per_vertex.settled,
+            "fused {} vs per-vertex {}",
+            fused.settled,
+            per_vertex.settled
+        );
+        assert!(fused.relaxed <= per_vertex.relaxed);
+        if let (Some(a), Some(b)) = (fused.best_outer, per_vertex.best_outer) {
+            pool.release(a);
+            pool.release(b);
         }
     }
 }

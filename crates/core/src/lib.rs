@@ -40,6 +40,7 @@
 
 pub mod api;
 pub mod batch;
+pub mod busytime;
 pub mod cleaning;
 pub mod config;
 pub mod grid;

@@ -224,6 +224,21 @@ impl ResidentCellStore {
     }
 }
 
+/// Accounting for one [`TopologyStore::stage`] round.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StagedTopo {
+    /// Simulated duration of the coalesced upload (zero when nothing missed).
+    pub time: gpu_sim::SimNanos,
+    /// Bytes shipped (sum of the missed slices).
+    pub bytes: u64,
+    /// Cells already resident — no upload owed.
+    pub hits: u64,
+    /// Cells whose slice rode the staged transfer.
+    pub misses: u64,
+    /// PCIe transactions avoided vs one transfer per missed cell.
+    pub transactions_saved: u64,
+}
+
 /// One cell's device-resident CSR topology slice.
 #[derive(Debug)]
 struct TopoEntry {
@@ -344,6 +359,30 @@ impl TopologyStore {
             },
         );
         false
+    }
+
+    /// Ensure a whole set of slices in one *staged* transfer: every cell is
+    /// looked up (and installed on miss) exactly as [`Self::ensure`] does,
+    /// but the missed slices are shipped as a single coalesced H2D copy that
+    /// pays the PCIe fixed latency once for the round instead of once per
+    /// cell. Returns the accounting for the stage.
+    pub fn stage(
+        &mut self,
+        device: &mut Device,
+        cells: impl IntoIterator<Item = (CellId, u64)>,
+    ) -> StagedTopo {
+        let mut out = StagedTopo::default();
+        for (cell, bytes) in cells {
+            if self.ensure(device, cell, bytes) {
+                out.hits += 1;
+            } else {
+                out.misses += 1;
+                out.bytes += bytes;
+            }
+        }
+        out.time = device.h2d_staged(out.misses as usize, out.bytes);
+        out.transactions_saved = out.misses.saturating_sub(1);
+        out
     }
 
     /// Evict the least-recently-used resident slice. Returns the victim.
@@ -568,6 +607,47 @@ mod tests {
         assert!(!s.ensure(&mut d, CellId(1), 500));
         assert!(!s.contains(CellId(0)), "card pressure must evict LRU");
         assert!(s.contains(CellId(1)));
+    }
+
+    #[test]
+    fn staged_round_pays_one_latency_for_all_misses() {
+        let mut d = dev();
+        let latency = d.spec().pcie_latency_ns;
+        let mut s = TopologyStore::new(1 << 20);
+        s.ensure(&mut d, CellId(0), 100); // pre-resident → stage hit
+        let before = d.ledger().h2d_time;
+        let staged = s.stage(
+            &mut d,
+            [(CellId(0), 100), (CellId(1), 200), (CellId(2), 300)],
+        );
+        assert_eq!((staged.hits, staged.misses), (1, 2));
+        assert_eq!(staged.bytes, 500);
+        assert_eq!(staged.transactions_saved, 1);
+        assert_eq!(d.ledger().h2d_transfers, 1);
+        assert_eq!(d.ledger().h2d_coalesced_saved, 1);
+        // One latency charge for the whole stage.
+        let wire = gpu_sim::SimNanos::from_secs_f64(500.0 / d.spec().pcie_bandwidth_bytes_per_sec);
+        assert_eq!(
+            d.ledger().h2d_time - before,
+            gpu_sim::SimNanos(latency) + wire
+        );
+        // Both missed cells are now resident.
+        assert!(s.contains(CellId(1)) && s.contains(CellId(2)));
+        let again = s.stage(&mut d, [(CellId(1), 200), (CellId(2), 300)]);
+        assert_eq!((again.hits, again.misses), (2, 0));
+        assert_eq!(again.time, gpu_sim::SimNanos::ZERO);
+        assert_eq!(d.ledger().h2d_transfers, 1, "all-hit stage ships nothing");
+    }
+
+    #[test]
+    fn staged_round_with_store_disabled_still_ships_once() {
+        // budget 0: nothing installs, but the round's uploads still coalesce.
+        let mut d = dev();
+        let mut s = TopologyStore::new(0);
+        let staged = s.stage(&mut d, [(CellId(0), 100), (CellId(1), 100)]);
+        assert_eq!((staged.hits, staged.misses), (0, 2));
+        assert_eq!(d.ledger().h2d_transfers, 1);
+        assert_eq!(s.resident_cells(), 0);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! reallocating; `acquire` resets before handing out.
 
 use parking_lot::Mutex;
+use roadnet::dijkstra::DijkstraScratch;
 use roadnet::graph::{Distance, VertexId, INFINITY};
 
 /// A dense `VertexId → Distance` map with O(touched) clearing.
@@ -117,6 +118,7 @@ impl DenseScratch {
 pub struct ScratchPool {
     num_vertices: usize,
     pool: Mutex<Vec<DenseScratch>>,
+    engines: Mutex<Vec<DijkstraScratch>>,
 }
 
 impl ScratchPool {
@@ -124,6 +126,7 @@ impl ScratchPool {
         Self {
             num_vertices,
             pool: Mutex::new(Vec::new()),
+            engines: Mutex::new(Vec::new()),
         }
     }
 
@@ -150,6 +153,30 @@ impl ScratchPool {
     /// Scratches currently idle in the pool.
     pub fn pooled(&self) -> usize {
         self.pool.lock().len()
+    }
+
+    /// Borrow Dijkstra working memory for a refinement search. Like
+    /// [`acquire`](Self::acquire), allocation happens only on a cold pool:
+    /// steady state re-attaches a retired scratch in O(1), keeping the
+    /// O(|V|) distance-array build out of the per-query path.
+    pub fn acquire_engine(&self) -> DijkstraScratch {
+        self.engines
+            .lock()
+            .pop()
+            .unwrap_or_else(|| DijkstraScratch::with_capacity(self.num_vertices))
+    }
+
+    /// Return Dijkstra working memory to the pool. Scratches sized for
+    /// another graph are dropped instead of pooled.
+    pub fn release_engine(&self, s: DijkstraScratch) {
+        if s.capacity() == self.num_vertices {
+            self.engines.lock().push(s);
+        }
+    }
+
+    /// Engine scratches currently idle in the pool.
+    pub fn pooled_engines(&self) -> usize {
+        self.engines.lock().len()
     }
 }
 
@@ -247,6 +274,21 @@ mod tests {
         // A scratch for another graph is dropped, not pooled.
         pool.release(DenseScratch::new(4));
         assert_eq!(pool.pooled(), 1);
+    }
+
+    #[test]
+    fn engine_pool_round_trips() {
+        let pool = ScratchPool::new(16);
+        let s = pool.acquire_engine();
+        assert_eq!(s.capacity(), 16);
+        pool.release_engine(s);
+        assert_eq!(pool.pooled_engines(), 1);
+        let _again = pool.acquire_engine();
+        assert_eq!(pool.pooled_engines(), 0);
+
+        // Mismatched capacity is dropped, not pooled.
+        pool.release_engine(DijkstraScratch::with_capacity(4));
+        assert_eq!(pool.pooled_engines(), 0);
     }
 
     #[test]

@@ -476,11 +476,13 @@ impl GGridServer {
             queries,
             now,
         );
-        self.counters.record_query(&result.shared);
-        self.counters.queries -= 1; // the shared pass is not a query
+        // The shared pass is already attributed into the per-query
+        // breakdowns (exact proportional split), so recording those covers
+        // the whole batch with no special case for the shared record.
         for b in &result.per_query {
             self.counters.record_query(b);
         }
+        self.counters.batch_shared_cells += result.shared_cells as u64;
         self.counters.kernel_launches = self.device.launches();
         result
     }

@@ -94,6 +94,46 @@ pub struct QueryBreakdown {
     pub topo_hits: usize,
     /// Candidate cells whose CSR slice had to be uploaded.
     pub topo_misses: usize,
+    /// PCIe transactions avoided by coalescing H2D transfers: for a staged
+    /// upload of `n` segments, `n - 1` per-transfer latency charges are
+    /// saved relative to shipping each segment on its own.
+    pub h2d_coalesced_saved: u64,
+    /// Vertices settled by the CPU refinement searches (multi-source mode
+    /// settles each vertex at most once per worker; the per-vertex ablation
+    /// settles shared subtrees once per unresolved source).
+    pub refine_settled: u64,
+    /// Out-edges examined (relaxation attempts) by the refinement searches.
+    pub refine_relaxed: u64,
+    /// Simulated kernel launches this query triggered.
+    pub kernel_launches: u64,
+}
+
+/// Split `total` into `weights.len()` integer shares proportional to
+/// `weights`, preserving the total exactly.
+///
+/// Cumulative rounding: share *i* is the difference of consecutive rounded
+/// prefix targets `⌊total · W_i / W⌋`, so the shares telescope to `total`
+/// with no drift regardless of weight skew. All-zero weights fall back to
+/// an equal split. Deterministic (pure integer arithmetic).
+pub fn split_u64(total: u64, weights: &[u64]) -> Vec<u64> {
+    if weights.is_empty() {
+        return Vec::new();
+    }
+    let sum: u128 = weights.iter().map(|&w| w as u128).sum();
+    let ones = vec![1u64; weights.len()];
+    let weights = if sum == 0 { &ones[..] } else { weights };
+    let sum: u128 = weights.iter().map(|&w| w as u128).sum();
+    let mut out = Vec::with_capacity(weights.len());
+    let mut acc_w: u128 = 0;
+    let mut assigned: u64 = 0;
+    for &w in weights {
+        acc_w += w as u128;
+        let target = (total as u128 * acc_w / sum) as u64;
+        out.push(target - assigned);
+        assigned = target;
+    }
+    debug_assert_eq!(assigned, total);
+    out
 }
 
 impl QueryBreakdown {
@@ -123,6 +163,90 @@ impl QueryBreakdown {
     /// The hybrid query clock: measured CPU time + simulated device time.
     pub fn total_ns(&self) -> u64 {
         self.cpu_ns + self.gpu_total().0
+    }
+
+    /// Split this breakdown into per-query shares proportional to
+    /// `weights`, for attributing a batch's shared pass. Every additive
+    /// counter is divided with [`split_u64`], so folding all shares back
+    /// with [`Self::absorb`] reconstructs this breakdown exactly (the
+    /// max-style fields `sdist_frontier_max` / `refine_workers` are copied,
+    /// not divided).
+    pub fn split_shares(&self, weights: &[u64]) -> Vec<QueryBreakdown> {
+        let mut out = vec![QueryBreakdown::default(); weights.len()];
+        macro_rules! split {
+            (nanos $($f:ident),+) => {$(
+                for (o, s) in out.iter_mut().zip(split_u64(self.$f.0, weights)) {
+                    o.$f = SimNanos(s);
+                }
+            )+};
+            (u64 $($f:ident),+) => {$(
+                for (o, s) in out.iter_mut().zip(split_u64(self.$f, weights)) {
+                    o.$f = s;
+                }
+            )+};
+            (usize $($f:ident),+) => {$(
+                for (o, s) in out.iter_mut().zip(split_u64(self.$f as u64, weights)) {
+                    o.$f = s as usize;
+                }
+            )+};
+        }
+        split!(nanos cleaning, candidate, transfer_out, copy_back, sdist_time);
+        split!(u64 h2d_bytes, h2d_delta_bytes, h2d_full_bytes, d2h_bytes, evictions,
+               cpu_ns, emulation_ns, refine_ns, refine_busy_ns, refine_critical_ns,
+               sdist_rounds, sdist_frontier_sum, sdist_settled, sdist_vertices,
+               sdist_pruned, h2d_topo_bytes, h2d_coalesced_saved, refine_settled,
+               refine_relaxed, kernel_launches);
+        split!(usize cells_cleaned, cells_skipped, resident_hits, messages_cleaned,
+               candidates, unresolved, topo_hits, topo_misses);
+        for o in &mut out {
+            o.sdist_frontier_max = self.sdist_frontier_max;
+            o.refine_workers = self.refine_workers;
+        }
+        out
+    }
+
+    /// Add another breakdown's counters into this one (used to fold a
+    /// batch's attributed share into a query's own breakdown). Additive
+    /// fields sum; the max-style fields take the max.
+    pub fn absorb(&mut self, other: &QueryBreakdown) {
+        macro_rules! add {
+            ($($f:ident),+) => { $( self.$f += other.$f; )+ };
+        }
+        add!(cleaning, candidate, transfer_out, copy_back, sdist_time);
+        add!(
+            h2d_bytes,
+            h2d_delta_bytes,
+            h2d_full_bytes,
+            d2h_bytes,
+            evictions,
+            cpu_ns,
+            emulation_ns,
+            refine_ns,
+            refine_busy_ns,
+            refine_critical_ns,
+            sdist_rounds,
+            sdist_frontier_sum,
+            sdist_settled,
+            sdist_vertices,
+            sdist_pruned,
+            h2d_topo_bytes,
+            h2d_coalesced_saved,
+            refine_settled,
+            refine_relaxed,
+            kernel_launches
+        );
+        add!(
+            cells_cleaned,
+            cells_skipped,
+            resident_hits,
+            messages_cleaned,
+            candidates,
+            unresolved,
+            topo_hits,
+            topo_misses
+        );
+        self.sdist_frontier_max = self.sdist_frontier_max.max(other.sdist_frontier_max);
+        self.refine_workers = self.refine_workers.max(other.refine_workers);
     }
 
     /// Average refinement concurrency: summed worker-busy time over the
@@ -233,6 +357,19 @@ pub struct ServerCounters {
     pub topo_hits: u64,
     /// Candidate cells whose topology had to be uploaded.
     pub topo_misses: u64,
+    /// Cumulative PCIe transactions avoided by coalesced (staged) H2D
+    /// transfers.
+    pub h2d_coalesced_saved: u64,
+    /// Cumulative vertices settled by CPU refinement searches.
+    pub refine_settled: u64,
+    /// Cumulative out-edges examined by CPU refinement searches.
+    pub refine_relaxed: u64,
+    /// Cells cleaned once by a batch's shared pass on behalf of several
+    /// queries (the size of each batch's first-ring union, accumulated).
+    pub batch_shared_cells: u64,
+    /// Cumulative measured CPU nanoseconds of the query path (the `cpu_ns`
+    /// of every recorded breakdown), for throughput figures.
+    pub query_cpu_ns: u64,
     /// `ingest_batch` invocations.
     pub ingest_batches: u64,
     /// Updates that arrived through `ingest_batch` (subset of
@@ -292,6 +429,10 @@ impl ServerCounters {
         self.h2d_topo_bytes += b.h2d_topo_bytes;
         self.topo_hits += b.topo_hits as u64;
         self.topo_misses += b.topo_misses as u64;
+        self.h2d_coalesced_saved += b.h2d_coalesced_saved;
+        self.refine_settled += b.refine_settled;
+        self.refine_relaxed += b.refine_relaxed;
+        self.query_cpu_ns += b.cpu_ns;
     }
 
     /// Fold one cleaning round's report into the lifetime counters — used
@@ -348,6 +489,28 @@ impl ServerCounters {
             return 0.0;
         }
         self.ingest_busy_ns as f64 / self.ingest_critical_ns as f64
+    }
+
+    /// Measured query throughput in queries per second: queries over the
+    /// wall-clock host time they consumed (CPU phases + device emulation).
+    /// Host-dependent; the modeled figure below is the deterministic one.
+    pub fn queries_per_sec_measured(&self) -> f64 {
+        let ns = self.query_cpu_ns + self.emulation_ns;
+        if ns == 0 {
+            return 0.0;
+        }
+        self.queries as f64 * 1e9 / ns as f64
+    }
+
+    /// Modeled query throughput in queries per second: queries over the
+    /// hybrid clock (measured CPU phases + *simulated* device time), the
+    /// per-query [`QueryBreakdown::total_ns`] convention accumulated.
+    pub fn queries_per_sec_modeled(&self) -> f64 {
+        let ns = self.query_cpu_ns + self.gpu_time.0;
+        if ns == 0 {
+            return 0.0;
+        }
+        self.queries as f64 * 1e9 / ns as f64
     }
 
     /// Fraction of bucket-slab demands served from the cleaning free list.
@@ -556,6 +719,99 @@ mod tests {
         assert_eq!(c.refine_concurrency(), 0.0);
         c.record_query(&b);
         assert!((c.refine_concurrency() - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_u64_preserves_total_exactly() {
+        // Skewed weights that do not divide the total.
+        let shares = split_u64(1_000_003, &[7, 1, 992, 0, 3]);
+        assert_eq!(shares.len(), 5);
+        assert_eq!(shares.iter().sum::<u64>(), 1_000_003);
+        // Proportionality: the heavy weight takes the lion's share.
+        assert!(shares[2] > 980_000);
+        assert_eq!(split_u64(0, &[1, 2, 3]), vec![0, 0, 0]);
+        assert_eq!(split_u64(10, &[]), Vec::<u64>::new());
+        // All-zero weights fall back to an equal split, still exact.
+        assert_eq!(split_u64(10, &[0, 0, 0]).iter().sum::<u64>(), 10);
+    }
+
+    #[test]
+    fn split_shares_telescopes_back_to_original() {
+        let shared = QueryBreakdown {
+            cleaning: SimNanos(1_000_001),
+            candidate: SimNanos(37),
+            copy_back: SimNanos(501),
+            h2d_bytes: 999,
+            h2d_full_bytes: 800,
+            h2d_delta_bytes: 199,
+            d2h_bytes: 55,
+            cells_cleaned: 13,
+            cells_skipped: 4,
+            resident_hits: 2,
+            messages_cleaned: 777,
+            emulation_ns: 123_457,
+            h2d_topo_bytes: 4096,
+            topo_hits: 3,
+            topo_misses: 7,
+            h2d_coalesced_saved: 6,
+            kernel_launches: 1,
+            evictions: 3,
+            sdist_frontier_max: 11,
+            ..Default::default()
+        };
+        let weights = [5, 0, 2, 9];
+        let shares = shared.split_shares(&weights);
+        assert_eq!(shares.len(), 4);
+        let mut folded = QueryBreakdown::default();
+        for s in &shares {
+            folded.absorb(s);
+        }
+        assert_eq!(folded.gpu_total(), shared.gpu_total());
+        assert_eq!(folded.copy_back, shared.copy_back);
+        assert_eq!(folded.h2d_bytes, shared.h2d_bytes);
+        assert_eq!(folded.h2d_full_bytes, shared.h2d_full_bytes);
+        assert_eq!(folded.h2d_delta_bytes, shared.h2d_delta_bytes);
+        assert_eq!(folded.d2h_bytes, shared.d2h_bytes);
+        assert_eq!(folded.cells_cleaned, shared.cells_cleaned);
+        assert_eq!(folded.cells_skipped, shared.cells_skipped);
+        assert_eq!(folded.messages_cleaned, shared.messages_cleaned);
+        assert_eq!(folded.emulation_ns, shared.emulation_ns);
+        assert_eq!(folded.h2d_topo_bytes, shared.h2d_topo_bytes);
+        assert_eq!(folded.topo_hits, shared.topo_hits);
+        assert_eq!(folded.topo_misses, shared.topo_misses);
+        assert_eq!(folded.h2d_coalesced_saved, shared.h2d_coalesced_saved);
+        assert_eq!(folded.kernel_launches, shared.kernel_launches);
+        assert_eq!(folded.evictions, shared.evictions);
+        assert_eq!(folded.sdist_frontier_max, shared.sdist_frontier_max);
+        // Proportionality: the weight-9 query carries more than the
+        // weight-2 one, and the weight-0 query carries (almost) nothing.
+        assert!(shares[3].cleaning > shares[2].cleaning);
+        assert_eq!(shares[1].h2d_bytes, 0);
+    }
+
+    #[test]
+    fn query_throughput_counters() {
+        let mut c = ServerCounters::default();
+        assert_eq!(c.queries_per_sec_measured(), 0.0);
+        assert_eq!(c.queries_per_sec_modeled(), 0.0);
+        c.record_query(&QueryBreakdown {
+            cleaning: SimNanos(300),
+            cpu_ns: 500,
+            emulation_ns: 700,
+            h2d_coalesced_saved: 4,
+            refine_settled: 10,
+            refine_relaxed: 25,
+            kernel_launches: 3,
+            ..Default::default()
+        });
+        assert_eq!(c.query_cpu_ns, 500);
+        assert_eq!(c.h2d_coalesced_saved, 4);
+        assert_eq!(c.refine_settled, 10);
+        assert_eq!(c.refine_relaxed, 25);
+        // measured: 1 query over 500 + 700 host ns.
+        assert!((c.queries_per_sec_measured() - 1e9 / 1200.0).abs() < 1e-3);
+        // modeled: 1 query over 500 cpu + 300 simulated device ns.
+        assert!((c.queries_per_sec_modeled() - 1e9 / 800.0).abs() < 1e-3);
     }
 
     #[test]

@@ -184,6 +184,19 @@ impl Device {
         t
     }
 
+    /// Copy `segments` logical host-side segments totalling `bytes` in one
+    /// coalesced host→device transfer: the fixed PCIe latency is paid once
+    /// for the whole stage rather than once per segment. Zero segments cost
+    /// nothing. Returns the simulated duration.
+    pub fn h2d_staged(&mut self, segments: usize, bytes: u64) -> SimNanos {
+        if segments == 0 {
+            return SimNanos::ZERO;
+        }
+        let t = self.h2d(bytes);
+        self.ledger.h2d_coalesced_saved += segments as u64 - 1;
+        t
+    }
+
     /// Copy `bytes` device→host; returns the simulated duration.
     pub fn d2h(&mut self, bytes: u64) -> SimNanos {
         let t = transfer_time(&self.spec, bytes);
@@ -282,6 +295,37 @@ mod tests {
         assert_eq!(l.d2h_bytes, 200);
         assert_eq!(l.h2d_transfers, 2);
         assert!(l.h2d_time > l.d2h_time);
+    }
+
+    #[test]
+    fn staged_transfer_pays_latency_once() {
+        let mut dev = Device::new(DeviceSpec::test_tiny());
+        let latency = dev.spec().pcie_latency_ns;
+        let staged = dev.h2d_staged(4, 4000);
+        let mut per_seg = Device::new(DeviceSpec::test_tiny());
+        let split: SimNanos = (0..4).map(|_| per_seg.h2d(1000)).sum();
+        // Same bytes, but three fewer latency charges.
+        assert_eq!(split - staged, SimNanos(3 * latency));
+        let l = dev.ledger();
+        assert_eq!(l.h2d_bytes, 4000);
+        assert_eq!(l.h2d_transfers, 1);
+        assert_eq!(l.h2d_coalesced_saved, 3);
+    }
+
+    #[test]
+    fn staged_transfer_empty_is_free() {
+        let mut dev = Device::new(DeviceSpec::test_tiny());
+        assert_eq!(dev.h2d_staged(0, 0), SimNanos::ZERO);
+        assert_eq!(dev.ledger().h2d_transfers, 0);
+        assert_eq!(dev.ledger().h2d_coalesced_saved, 0);
+    }
+
+    #[test]
+    fn staged_single_segment_matches_plain_h2d() {
+        let mut a = Device::new(DeviceSpec::test_tiny());
+        let mut b = Device::new(DeviceSpec::test_tiny());
+        assert_eq!(a.h2d_staged(1, 777), b.h2d(777));
+        assert_eq!(a.ledger().h2d_coalesced_saved, 0);
     }
 
     #[test]

@@ -13,6 +13,10 @@ pub struct TransferLedger {
     pub d2h_time: SimNanos,
     pub h2d_transfers: u64,
     pub d2h_transfers: u64,
+    /// PCIe transactions avoided by staging several logical segments into a
+    /// single coalesced H2D copy (each saved transaction would have paid the
+    /// fixed link latency on its own).
+    pub h2d_coalesced_saved: u64,
 }
 
 impl TransferLedger {
@@ -31,6 +35,7 @@ impl TransferLedger {
         self.d2h_time += other.d2h_time;
         self.h2d_transfers += other.h2d_transfers;
         self.d2h_transfers += other.d2h_transfers;
+        self.h2d_coalesced_saved += other.h2d_coalesced_saved;
     }
 }
 

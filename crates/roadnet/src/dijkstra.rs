@@ -39,12 +39,15 @@ impl SearchBounds {
     };
 }
 
-/// Reusable Dijkstra engine over one graph.
-///
-/// Distances from the most recent search remain readable until the next
-/// search. Reuse is O(touched) thanks to an epoch-stamped distance array.
-pub struct DijkstraEngine<'g> {
-    graph: &'g Graph,
+/// Detachable working memory of a [`DijkstraEngine`]: the epoch-stamped
+/// distance array, heap, and settled list. Construction is O(|V|); a
+/// scratch detached with [`DijkstraEngine::into_scratch`] can be re-attached
+/// to another engine over the same graph with
+/// [`DijkstraEngine::with_scratch`] in O(1), so callers that run many short
+/// searches (G-Grid's refinement phase) pay the allocation once per pool
+/// slot instead of once per query.
+#[derive(Debug)]
+pub struct DijkstraScratch {
     dist: Vec<Distance>,
     stamp: Vec<u32>,
     epoch: u32,
@@ -52,11 +55,9 @@ pub struct DijkstraEngine<'g> {
     settled: Vec<VertexId>,
 }
 
-impl<'g> DijkstraEngine<'g> {
-    pub fn new(graph: &'g Graph) -> Self {
-        let n = graph.num_vertices();
+impl DijkstraScratch {
+    pub fn with_capacity(n: usize) -> Self {
         Self {
-            graph,
             dist: vec![INFINITY; n],
             stamp: vec![0; n],
             epoch: 0,
@@ -65,21 +66,70 @@ impl<'g> DijkstraEngine<'g> {
         }
     }
 
+    /// Number of vertices this scratch is sized for.
+    pub fn capacity(&self) -> usize {
+        self.dist.len()
+    }
+}
+
+/// Reusable Dijkstra engine over one graph.
+///
+/// Distances from the most recent search remain readable until the next
+/// search. Reuse is O(touched) thanks to an epoch-stamped distance array.
+pub struct DijkstraEngine<'g> {
+    graph: &'g Graph,
+    scratch: DijkstraScratch,
+    relaxed: u64,
+}
+
+impl<'g> DijkstraEngine<'g> {
+    pub fn new(graph: &'g Graph) -> Self {
+        Self::with_scratch(graph, DijkstraScratch::with_capacity(graph.num_vertices()))
+    }
+
+    /// Build an engine around pooled working memory. A scratch sized for a
+    /// smaller graph is grown (the new slots read as unvisited); a larger
+    /// one is kept as-is.
+    pub fn with_scratch(graph: &'g Graph, mut scratch: DijkstraScratch) -> Self {
+        let n = graph.num_vertices();
+        if scratch.dist.len() < n {
+            scratch.dist.resize(n, INFINITY);
+            scratch.stamp.resize(n, 0);
+        }
+        Self {
+            graph,
+            scratch,
+            relaxed: 0,
+        }
+    }
+
+    /// Detach the working memory for pooling (see [`DijkstraScratch`]).
+    pub fn into_scratch(self) -> DijkstraScratch {
+        self.scratch
+    }
+
     pub fn graph(&self) -> &'g Graph {
         self.graph
     }
 
     #[inline]
     fn reset(&mut self) {
-        self.epoch += 1;
-        self.heap.clear();
-        self.settled.clear();
+        if self.scratch.epoch == u32::MAX {
+            // Epoch wrap: clear the stamps so no stale entry can alias the
+            // restarted counter.
+            self.scratch.stamp.fill(0);
+            self.scratch.epoch = 0;
+        }
+        self.scratch.epoch += 1;
+        self.scratch.heap.clear();
+        self.scratch.settled.clear();
+        self.relaxed = 0;
     }
 
     #[inline]
     fn get(&self, v: VertexId) -> Distance {
-        if self.stamp[v.index()] == self.epoch {
-            self.dist[v.index()]
+        if self.scratch.stamp[v.index()] == self.scratch.epoch {
+            self.scratch.dist[v.index()]
         } else {
             INFINITY
         }
@@ -87,8 +137,8 @@ impl<'g> DijkstraEngine<'g> {
 
     #[inline]
     fn set(&mut self, v: VertexId, d: Distance) {
-        self.dist[v.index()] = d;
-        self.stamp[v.index()] = self.epoch;
+        self.scratch.dist[v.index()] = d;
+        self.scratch.stamp[v.index()] = self.scratch.epoch;
     }
 
     /// Distance to `v` from the seeds of the most recent search.
@@ -98,20 +148,32 @@ impl<'g> DijkstraEngine<'g> {
 
     /// Vertices settled by the most recent search, in settling order.
     pub fn settled(&self) -> &[VertexId] {
-        &self.settled
+        &self.scratch.settled
+    }
+
+    /// Edges examined (relaxation attempts) by the most recent search.
+    pub fn relaxed(&self) -> u64 {
+        self.relaxed
     }
 
     /// Run Dijkstra from arbitrary `(vertex, initial_cost)` seeds under
     /// `bounds`. Returns the number of settled vertices.
+    ///
+    /// This is a true *multi-source* search: with seeds `(vᵢ, cᵢ)` it settles
+    /// each vertex `u` at `min_i(cᵢ + dist(vᵢ, u))`, i.e. exactly the
+    /// pointwise minimum over the per-seed single-source searches, in a
+    /// single pass. Shared shortest-path subtrees are settled once instead of
+    /// once per seed, which is where G-Grid's fused refinement (Algorithm 6)
+    /// gets its CPU win.
     pub fn run_seeded(&mut self, seeds: &[(VertexId, Distance)], bounds: SearchBounds) -> usize {
         self.reset();
         for &(v, d) in seeds {
             if d < self.get(v) {
                 self.set(v, d);
-                self.heap.push(Reverse((d, v.0)));
+                self.scratch.heap.push(Reverse((d, v.0)));
             }
         }
-        while let Some(Reverse((d, v))) = self.heap.pop() {
+        while let Some(Reverse((d, v))) = self.scratch.heap.pop() {
             let v = VertexId(v);
             if d > self.get(v) {
                 continue; // stale entry
@@ -119,20 +181,21 @@ impl<'g> DijkstraEngine<'g> {
             if d > bounds.max_dist {
                 break;
             }
-            self.settled.push(v);
-            if self.settled.len() >= bounds.max_settled {
+            self.scratch.settled.push(v);
+            if self.scratch.settled.len() >= bounds.max_settled {
                 break;
             }
             for e in self.graph.out_edges(v) {
                 let edge = self.graph.edge(e);
+                self.relaxed += 1;
                 let nd = d + edge.weight as Distance;
                 if nd < self.get(edge.dest) && nd <= bounds.max_dist {
                     self.set(edge.dest, nd);
-                    self.heap.push(Reverse((nd, edge.dest.0)));
+                    self.scratch.heap.push(Reverse((nd, edge.dest.0)));
                 }
             }
         }
-        self.settled.len()
+        self.scratch.settled.len()
     }
 
     /// Full single-source Dijkstra from a vertex.
@@ -252,6 +315,52 @@ mod tests {
     }
 
     #[test]
+    fn multi_source_is_pointwise_min_of_single_sources() {
+        let g = ring();
+        let seeds = [(VertexId(0), 2), (VertexId(2), 0)];
+        let mut multi = DijkstraEngine::new(&g);
+        multi.run_seeded(&seeds, SearchBounds::UNBOUNDED);
+        let mut single = DijkstraEngine::new(&g);
+        for v in 0..4 {
+            let v = VertexId(v);
+            let mut best = INFINITY;
+            for &(s, c) in &seeds {
+                single.run_seeded(&[(s, c)], SearchBounds::UNBOUNDED);
+                best = best.min(single.distance(v));
+            }
+            assert_eq!(multi.distance(v), best, "vertex {v:?}");
+        }
+    }
+
+    #[test]
+    fn multi_source_shares_subtrees() {
+        // Two seeds whose searches overlap: the fused search must examine
+        // fewer edges than the sum of the per-seed searches.
+        let g = ring();
+        let seeds = [(VertexId(0), 0), (VertexId(1), 0)];
+        let mut engine = DijkstraEngine::new(&g);
+        engine.run_seeded(&seeds, SearchBounds::UNBOUNDED);
+        let fused = engine.relaxed();
+        let mut split = 0;
+        for &(s, c) in &seeds {
+            engine.run_seeded(&[(s, c)], SearchBounds::UNBOUNDED);
+            split += engine.relaxed();
+        }
+        assert!(fused < split, "fused {fused} vs split {split}");
+    }
+
+    #[test]
+    fn relaxed_counter_resets_per_search() {
+        let g = ring();
+        let mut d = DijkstraEngine::new(&g);
+        d.run_from_vertex(VertexId(0));
+        let first = d.relaxed();
+        assert!(first > 0);
+        d.run_seeded(&[(VertexId(3), 0)], SearchBounds::radius(0));
+        assert!(d.relaxed() < first);
+    }
+
+    #[test]
     fn disconnected_vertex_unreachable() {
         let mut b = GraphBuilder::with_vertices(3);
         b.add_edge(VertexId(0), VertexId(1), 1);
@@ -313,6 +422,44 @@ mod tests {
         let knn = reference_knn(&g, q, &objects, 2);
         assert_eq!(knn[0].0, 3);
         assert_eq!(knn[1].0, 7);
+    }
+
+    #[test]
+    fn scratch_round_trips_between_engines() {
+        let g = ring();
+        let mut e1 = DijkstraEngine::new(&g);
+        e1.run_from_vertex(VertexId(0));
+        let want: Vec<Distance> = g.vertices().map(|v| e1.distance(v)).collect();
+        let scratch = e1.into_scratch();
+        // Re-attached scratch carries stale stamps from the first search;
+        // the next run must not read them as live distances.
+        let mut e2 = DijkstraEngine::with_scratch(&g, scratch);
+        e2.run_from_vertex(VertexId(0));
+        let got: Vec<Distance> = g.vertices().map(|v| e2.distance(v)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn undersized_scratch_grows_to_fit() {
+        let g = ring();
+        let mut e = DijkstraEngine::with_scratch(&g, DijkstraScratch::with_capacity(1));
+        e.run_from_vertex(VertexId(0));
+        assert_eq!(e.settled().len(), g.num_vertices());
+    }
+
+    #[test]
+    fn epoch_wrap_clears_stale_stamps() {
+        let g = ring();
+        let mut scratch = DijkstraScratch::with_capacity(g.num_vertices());
+        scratch.epoch = u32::MAX; // force the wrap on the next reset
+        scratch.stamp.fill(u32::MAX); // stale stamps that would alias epoch 0
+        scratch.dist.fill(0);
+        let mut e = DijkstraEngine::with_scratch(&g, scratch);
+        e.run_seeded(&[(VertexId(0), 0)], SearchBounds::radius(0));
+        // Only the seed is settled; the poisoned zero distances must not
+        // leak through as already-settled vertices.
+        assert_eq!(e.settled(), &[VertexId(0)]);
+        assert_eq!(e.distance(VertexId(2)), INFINITY);
     }
 
     #[test]

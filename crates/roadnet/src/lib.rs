@@ -32,6 +32,6 @@ pub mod position;
 pub mod scc;
 pub mod zorder;
 
-pub use dijkstra::{DijkstraEngine, SearchBounds};
+pub use dijkstra::{DijkstraEngine, DijkstraScratch, SearchBounds};
 pub use graph::{Distance, EdgeId, Graph, GraphBuilder, VertexId, INFINITY};
 pub use position::EdgePosition;

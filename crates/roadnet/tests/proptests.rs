@@ -117,6 +117,53 @@ proptest! {
         }
     }
 
+    /// The multi-source bounded search equals the pointwise minimum of the
+    /// per-source bounded searches: same settled set, same distances —
+    /// including ties, where several sources reach a vertex at the same
+    /// cost and either one is a valid witness for the shared minimum.
+    #[test]
+    fn multi_source_equals_pointwise_min(
+        g in arb_city(),
+        raw_seeds in prop::collection::vec((0u32..64, 0u64..40), 1..8),
+        radius in 1u64..120,
+    ) {
+        let n = g.num_vertices() as u32;
+        // Dedup by vertex keeping the smallest cost, like refinement's
+        // unresolved set (one D[v] per vertex).
+        let mut best: std::collections::HashMap<u32, u64> = Default::default();
+        for (v, c) in raw_seeds {
+            let v = v % n;
+            let e = best.entry(v).or_insert(u64::MAX);
+            *e = (*e).min(c);
+        }
+        let seeds: Vec<(VertexId, u64)> =
+            best.into_iter().map(|(v, c)| (VertexId(v), c)).collect();
+
+        let mut fused = DijkstraEngine::new(&g);
+        fused.run_seeded(&seeds, SearchBounds::radius(radius));
+
+        // Per-source reference: min over single-seed searches.
+        let mut want: std::collections::HashMap<u32, u64> = Default::default();
+        for &(v, c) in &seeds {
+            let mut single = DijkstraEngine::new(&g);
+            single.run_seeded(&[(v, c)], SearchBounds::radius(radius));
+            for &u in single.settled() {
+                let e = want.entry(u.0).or_insert(u64::MAX);
+                *e = (*e).min(single.distance(u));
+            }
+        }
+
+        let mut got: Vec<(u32, u64)> = fused
+            .settled()
+            .iter()
+            .map(|&u| (u.0, fused.distance(u)))
+            .collect();
+        got.sort_unstable();
+        let mut want: Vec<(u32, u64)> = want.into_iter().collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
     #[test]
     fn reference_knn_sorted_and_sized(g in arb_city(), k in 1usize..10, n in 1u64..20) {
         let objects: Vec<(u64, EdgePosition)> = (0..n)
