@@ -1,0 +1,152 @@
+//! Criterion bench for continuous kNN subscriptions: a seeded fleet, a set
+//! of standing queries, then per tick one ingest wave followed by
+//! `tick_subscriptions` — contrasted with re-querying every rider fresh
+//! each tick. Two movement patterns: a hot window all churn crowds into
+//! (the guard's home turf) and network-wide scatter (its worst case).
+//!
+//! Besides the criterion timings, the bench emits one machine-readable
+//! `BENCH {json}` line per variant with the deterministic modeled figures:
+//! skip/repair counts, avoided rate, modeled ns per tick, and modeled
+//! standing-query throughput. Maintained answers are asserted identical to
+//! the re-query server's fresh answers on every tick.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ggrid::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use roadnet::gen::Dataset;
+use roadnet::EdgeId;
+
+const SUBS: usize = 24;
+const TICKS: usize = 10;
+const K: usize = 8;
+const WINDOW: u32 = 96;
+
+fn server(graph: &std::sync::Arc<roadnet::graph::Graph>) -> GGridServer {
+    GGridServer::new(
+        (**graph).clone(),
+        GGridConfig {
+            // No expiry churn: the bench isolates movement-driven work.
+            t_delta_ms: 1 << 40,
+            ..Default::default()
+        },
+    )
+}
+
+/// Seeds the fleet, registers the riders, then runs the tick loop. With
+/// `requery` the standing answers are recomputed fresh each tick instead
+/// (the baseline). Returns a checksum over every delivered answer.
+fn workload(
+    graph: &std::sync::Arc<roadnet::graph::Graph>,
+    s: &mut GGridServer,
+    hot: bool,
+    requery: bool,
+) -> u64 {
+    let ne = graph.num_edges() as u32;
+    let objects = (ne / 2) as u64;
+    let wave = (objects / 32).max(32);
+    let mut rng = SmallRng::seed_from_u64(0x5B5);
+    let mut t = 100u64;
+
+    let seed_wave: Vec<(ObjectId, EdgePosition, Timestamp)> = (0..objects)
+        .map(|o| {
+            let e = EdgeId(((o as u32).wrapping_mul(2_654_435_761)) % ne);
+            (ObjectId(o), EdgePosition::at_source(e), Timestamp(t))
+        })
+        .collect();
+    s.ingest_batch(&seed_wave);
+
+    let riders: Vec<EdgePosition> = (0..SUBS as u32)
+        .map(|i| EdgePosition::at_source(EdgeId((i * (ne / SUBS as u32).max(1)) % ne)))
+        .collect();
+    let subs: Vec<SubscriptionId> = if requery {
+        Vec::new()
+    } else {
+        riders
+            .iter()
+            .map(|&q| s.subscribe_knn(q, K, Timestamp(t)))
+            .collect()
+    };
+
+    let mut checksum = 0u64;
+    for round in 0..TICKS {
+        t += 1_000;
+        let first = (round as u64 * wave) % objects;
+        let base = (round as u32 * (WINDOW / 8)) % ne.saturating_sub(WINDOW).max(1);
+        let updates: Vec<(ObjectId, EdgePosition, Timestamp)> = (0..wave)
+            .map(|j| {
+                let (o, e) = if hot {
+                    (j, EdgeId(base + rng.gen_range(0..WINDOW.min(ne))))
+                } else {
+                    ((first + j) % objects, EdgeId(rng.gen_range(0..ne)))
+                };
+                (ObjectId(o), EdgePosition::at_source(e), Timestamp(t))
+            })
+            .collect();
+        s.ingest_batch(&updates);
+
+        if requery {
+            for &q in &riders {
+                for (o, d) in s.knn(q, K, Timestamp(t)) {
+                    checksum = checksum.wrapping_mul(31).wrapping_add(o.0 ^ d);
+                }
+            }
+        } else {
+            s.tick_subscriptions(Timestamp(t));
+            for &id in &subs {
+                for &(o, d) in s.subscription_result(id).unwrap() {
+                    checksum = checksum.wrapping_mul(31).wrapping_add(o.0 ^ d);
+                }
+            }
+        }
+    }
+    checksum
+}
+
+fn bench_subscriptions(c: &mut Criterion) {
+    let graph = common::bench_graph(Dataset::NY);
+    let mut group = c.benchmark_group("subscriptions");
+    group.sample_size(10);
+
+    for (label, hot) in [("uniform", false), ("hot-window", true)] {
+        for (mode, requery) in [("subscribe", false), ("requery", true)] {
+            group.bench_function(format!("move={label}/mode={mode}").as_str(), |b| {
+                b.iter(|| {
+                    let mut s = server(&graph);
+                    workload(&graph, &mut s, hot, requery)
+                })
+            });
+        }
+
+        // One instrumented pair per movement pattern: identical answers,
+        // deterministic modeled counters.
+        let mut subs_server = server(&graph);
+        let maintained = workload(&graph, &mut subs_server, hot, false);
+        let mut requery_server = server(&graph);
+        let fresh = workload(&graph, &mut requery_server, hot, true);
+        assert_eq!(
+            maintained, fresh,
+            "maintained answers diverged from fresh queries ({label})"
+        );
+        let sc = subs_server.counters();
+        let bc = requery_server.counters();
+        let baseline_ns = bc.query_cpu_ns + bc.gpu_time.0;
+        println!(
+            "BENCH {{\"bench\": \"subscriptions\", \"movement\": \"{label}\", \"subs\": {SUBS}, \"ticks\": {TICKS}, \"skipped\": {}, \"repaired_delta\": {}, \"repaired_full\": {}, \"avoided_pct\": {:.2}, \"subs_modeled_ns_per_tick\": {}, \"subs_per_sec_modeled\": {:.1}, \"baseline_ns_per_tick\": {}, \"speedup_vs_requery\": {:.2}}}",
+            sc.subs_skipped,
+            sc.subs_repaired_delta,
+            sc.subs_repaired_full,
+            100.0 * sc.subs_avoided_rate(),
+            sc.subs_modeled_ns_per_tick(),
+            sc.subs_per_sec_modeled(),
+            baseline_ns / TICKS as u64,
+            baseline_ns as f64 / sc.subs_modeled_ns().max(1) as f64,
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_subscriptions);
+criterion_main!(benches);

@@ -14,6 +14,7 @@ pub mod ingest;
 pub mod residency;
 pub mod sdist;
 pub mod skew;
+pub mod subscriptions;
 pub mod table2_datasets;
 
 use std::path::PathBuf;

@@ -90,7 +90,7 @@ impl BatchCleanCache {
     /// between the pass and this call (epoch moved past the cleaned stamp)
     /// are left out — serving them from the cache would drop the new
     /// messages, so they fall through to a real clean instead.
-    fn build(lists: &CellLists, union: &[CellId], cleaned: &CleanedObjects) -> Self {
+    pub(crate) fn build(lists: &CellLists, union: &[CellId], cleaned: &CleanedObjects) -> Self {
         let mut entries: HashMap<CellId, (u64, Vec<CachedMessage>), FxBuildHasher> =
             HashMap::default();
         for &c in union {

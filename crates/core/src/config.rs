@@ -78,6 +78,18 @@ pub struct GGridConfig {
     /// exactly the per-vertex union, so answers are identical either way;
     /// the per-vertex path exists for ablations.
     pub refine_multi_source: bool,
+    /// Maximum number of concurrently active kNN subscriptions
+    /// ([`crate::server::GGridServer::subscribe_knn`]); registration
+    /// beyond this panics (the server's admission control is the caller's
+    /// job, this is the safety stop).
+    pub max_subscriptions: usize,
+    /// Slack factor applied to a subscription's guard radius: the guard is
+    /// set to `(1 + guard_slack) ×` the distance of the (k+1)-th candidate.
+    /// A wider guard means fewer full re-evaluations when the k-th and
+    /// (k+1)-th neighbours trade places, at the cost of a larger guard
+    /// region (more cells whose updates invalidate the subscription).
+    /// `0.0` is correct but repairs more often.
+    pub guard_slack: f64,
 }
 
 impl Default for GGridConfig {
@@ -100,6 +112,8 @@ impl Default for GGridConfig {
             batch_fusion: true,
             coalesce_h2d: true,
             refine_multi_source: true,
+            max_subscriptions: 65_536,
+            guard_slack: 0.25,
         }
     }
 }
@@ -133,6 +147,14 @@ impl GGridConfig {
             (1..=256).contains(&self.ingest_workers),
             "ingest_workers must be in 1..=256"
         );
+        assert!(
+            self.max_subscriptions >= 1,
+            "max_subscriptions must be >= 1"
+        );
+        assert!(
+            (0.0..=4.0).contains(&self.guard_slack),
+            "guard_slack must be in 0.0..=4.0"
+        );
     }
 }
 
@@ -158,7 +180,19 @@ mod tests {
         assert!(c.batch_fusion);
         assert!(c.coalesce_h2d);
         assert!(c.refine_multi_source);
+        assert_eq!(c.max_subscriptions, 65_536);
+        assert!((c.guard_slack - 0.25).abs() < 1e-9);
         c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "guard_slack")]
+    fn bad_guard_slack_rejected() {
+        GGridConfig {
+            guard_slack: -0.1,
+            ..Default::default()
+        }
+        .validate();
     }
 
     #[test]

@@ -125,8 +125,14 @@ impl RefineOutcome {
 }
 
 /// Execute a kNN query against the G-Grid state.
+///
+/// This is the single full-pipeline entry point: ad-hoc queries
+/// (`GGridServer::knn`), the batch scheduler's per-query legs, and
+/// subscription full re-evaluations all run through here, optionally
+/// serving cleaning rounds from a shared [`BatchCleanCache`] (epoch-checked,
+/// so answers are byte-identical with or without one).
 #[allow(clippy::too_many_arguments)]
-pub fn run_knn(
+pub(crate) fn run_knn(
     device: &mut Device,
     grid: &GraphGrid,
     lists: &CellLists,
@@ -137,9 +143,10 @@ pub fn run_knn(
     q: EdgePosition,
     k: usize,
     now: Timestamp,
+    cache: Option<&BatchCleanCache>,
 ) -> KnnResult {
     let pending = knn_device_phase(
-        device, grid, lists, resident, topo, pool, config, q, k, now, None,
+        device, grid, lists, resident, topo, pool, config, q, k, now, cache,
     );
     let refined = refine_unresolved(
         grid,
@@ -151,7 +158,7 @@ pub fn run_knn(
         pool,
     );
     knn_finalize(
-        device, grid, lists, resident, config, now, pending, refined, pool, None,
+        device, grid, lists, resident, config, now, pending, refined, pool, cache,
     )
 }
 
@@ -1332,6 +1339,7 @@ mod tests {
                 bad,
                 1,
                 Timestamp(1),
+                None,
             )
         }));
         assert!(result.is_err());
@@ -1359,6 +1367,7 @@ mod tests {
             q,
             3,
             Timestamp(200),
+            None,
         );
         assert_eq!(result.items.len(), 3);
         let want = roadnet::dijkstra::reference_knn(grid.graph(), q, &objects, 3);
@@ -1398,6 +1407,7 @@ mod tests {
                         q,
                         6,
                         Timestamp(200),
+                        None,
                     )
                     .items
                 })
@@ -1426,6 +1436,7 @@ mod tests {
                     q,
                     6,
                     Timestamp(200),
+                    None,
                 )
                 .items;
                 assert_eq!(&got, want, "workers={workers} query {i} diverged");

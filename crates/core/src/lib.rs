@@ -53,6 +53,7 @@ pub mod residency;
 pub mod scratch;
 pub mod server;
 pub mod stats;
+pub mod subscription;
 pub mod validate;
 pub mod xshuffle;
 
@@ -62,6 +63,7 @@ pub mod prelude {
     pub use crate::config::GGridConfig;
     pub use crate::message::{ObjectId, Timestamp};
     pub use crate::server::GGridServer;
+    pub use crate::subscription::{SubscriptionId, SubscriptionTickReport};
     pub use roadnet::{Distance, EdgePosition};
 }
 

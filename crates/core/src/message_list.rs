@@ -137,25 +137,31 @@ impl MessageList {
     }
 
     /// Append a message to the tail bucket, opening a new bucket when full
-    /// (the `append` of Algorithm 1).
-    pub fn append(&mut self, m: CachedMessage) {
+    /// (the `append` of Algorithm 1). Returns the list's new dirty epoch,
+    /// so the ingest path can report which cells a call dirtied (and at
+    /// which version) without re-deriving it from message placement.
+    pub fn append(&mut self, m: CachedMessage) -> u64 {
         self.dirty_epoch += 1;
         self.push_tail(m);
+        self.dirty_epoch
     }
 
     /// Group-commit append: the whole run lands under ONE epoch bump, so a
     /// batch touching a cell invalidates its clean-skip stamp exactly once
     /// (and untouched cells stay warm). Message order within the run is
     /// preserved, exactly as if each message had been `append`ed singly.
-    pub fn append_batch<'a>(&mut self, msgs: impl IntoIterator<Item = &'a CachedMessage>) {
+    /// Returns the new dirty epoch (unchanged for an empty run — the cell
+    /// was not dirtied).
+    pub fn append_batch<'a>(&mut self, msgs: impl IntoIterator<Item = &'a CachedMessage>) -> u64 {
         let mut it = msgs.into_iter().peekable();
         if it.peek().is_none() {
-            return;
+            return self.dirty_epoch;
         }
         self.dirty_epoch += 1;
         for &m in it {
             self.push_tail(m);
         }
+        self.dirty_epoch
     }
 
     fn push_tail(&mut self, m: CachedMessage) {

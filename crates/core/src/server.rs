@@ -1,14 +1,18 @@
 //! The query server: G-Grid state plus the update and query entry points.
 
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use gpu_sim::Device;
-use roadnet::graph::{Distance, Graph};
+use parking_lot::Mutex;
+use roadnet::dijkstra::{DijkstraEngine, SearchBounds};
+use roadnet::graph::{Distance, Graph, INFINITY};
 use roadnet::EdgePosition;
 
 use crate::api::{IndexSize, MovingObjectIndex, SimCosts};
+use crate::batch::BatchCleanCache;
+use crate::cleaning::{CleanedObjects, CleaningReport};
 use crate::config::GGridConfig;
 use crate::grid::{CellId, GraphGrid};
 use crate::knn::{run_knn, KnnResult};
@@ -17,7 +21,11 @@ use crate::message_list::CellLists;
 use crate::object_table::{shard_of, ShardedObjectTable};
 use crate::residency::{ResidentCellStore, TopologyStore};
 use crate::scratch::ScratchPool;
-use crate::stats::{IngestCounters, QueryBreakdown, ServerCounters};
+use crate::stats::{guard_hist_bucket, IngestCounters, QueryBreakdown, ServerCounters};
+use crate::subscription::{
+    guard_cover, slacked, Subscription, SubscriptionId, SubscriptionRegistry,
+    SubscriptionTickReport,
+};
 
 /// A G-Grid query server (paper §III–§V).
 ///
@@ -54,6 +62,13 @@ pub struct GGridServer {
     counters: ServerCounters,
     ingest: IngestCounters,
     last_breakdown: QueryBreakdown,
+    subs: SubscriptionRegistry,
+    /// Cells dirtied by ingest since the last `tick_subscriptions`, drained
+    /// by the tick. Only fed while at least one subscription exists (see
+    /// `track_dirty`), so ingest pays nothing for the request/response use.
+    subs_dirty: Mutex<Vec<CellId>>,
+    /// Fast gate on `subs_dirty`: true once `subscribe_knn` has ever run.
+    track_dirty: AtomicBool,
 }
 
 impl GGridServer {
@@ -103,6 +118,7 @@ impl GGridServer {
             0
         });
         let pool = ScratchPool::new(graph.num_vertices());
+        let subs = SubscriptionRegistry::new(grid.num_cells());
         Self {
             graph,
             grid,
@@ -116,6 +132,9 @@ impl GGridServer {
             counters: ServerCounters::default(),
             ingest: IngestCounters::default(),
             last_breakdown: QueryBreakdown::default(),
+            subs,
+            subs_dirty: Mutex::new(Vec::new()),
+            track_dirty: AtomicBool::new(false),
         }
     }
 
@@ -143,6 +162,7 @@ impl GGridServer {
         self.ingest.merge_into(&mut c);
         c.bucket_allocs = self.lists.sum_over(|l| l.bucket_alloc_stats().0);
         c.bucket_reuses = self.lists.sum_over(|l| l.bucket_alloc_stats().1);
+        c.subs_active = self.subs.active() as u64;
         c
     }
 
@@ -249,15 +269,27 @@ impl GGridServer {
         let t0 = Instant::now();
         let cell = self.grid.cell_of_edge(position.edge);
         self.append_one(cell, CachedMessage::update(object, position, time));
+        let mut dirtied = 1u64;
         let prev = self.object_table.set(object, cell, position, time);
         self.ingest.shard_locks.fetch_add(1, Ordering::Relaxed);
+        let mut tombstone_cell = None;
         if let Some(prev) = prev {
             if prev.cell != cell {
                 self.append_one(prev.cell, CachedMessage::tombstone(object, time));
                 self.ingest
                     .tombstones_written
                     .fetch_add(1, Ordering::Relaxed);
+                dirtied = 2;
+                tombstone_cell = Some(prev.cell);
             }
+        }
+        self.ingest
+            .cells_dirtied
+            .fetch_add(dirtied, Ordering::Relaxed);
+        if self.track_dirty.load(Ordering::Relaxed) {
+            let mut pending = self.subs_dirty.lock();
+            pending.push(cell);
+            pending.extend(tombstone_cell);
         }
         self.ingest.updates_ingested.fetch_add(1, Ordering::Relaxed);
         let ns = t0.elapsed().as_nanos() as u64;
@@ -285,9 +317,13 @@ impl GGridServer {
     ///   a total order, since one update contributes at most one message
     ///   per cell — and appends each cell's run under one lock hold.
     ///   Runs are striped over the workers; no two workers touch one cell.
-    pub fn ingest_batch(&self, updates: &[(ObjectId, EdgePosition, Timestamp)]) {
+    ///
+    /// Returns the set of cells whose dirty epoch the batch bumped (the
+    /// run heads — one entry per touched cell, sorted), so consumers like
+    /// the subscription tick never re-derive it from message placement.
+    pub fn ingest_batch(&self, updates: &[(ObjectId, EdgePosition, Timestamp)]) -> Vec<CellId> {
         if updates.is_empty() {
-            return;
+            return Vec::new();
         }
         let t0 = Instant::now();
         let workers = self.config.ingest_workers.clamp(1, updates.len());
@@ -370,6 +406,10 @@ impl GGridServer {
             runs.push(run);
             rest = tail;
         }
+        let dirty: Vec<CellId> = runs.iter().map(|run| run[0].0).collect();
+        self.ingest
+            .cells_dirtied
+            .fetch_add(dirty.len() as u64, Ordering::Relaxed);
         let commit = |w: usize| -> u64 {
             let started = Instant::now();
             for run in runs.iter().skip(w).step_by(workers) {
@@ -419,6 +459,32 @@ impl GGridServer {
         self.ingest
             .critical_ns
             .fetch_add(critical1 + critical2 + serial, Ordering::Relaxed);
+        if self.track_dirty.load(Ordering::Relaxed) {
+            self.subs_dirty.lock().extend_from_slice(&dirty);
+        }
+        dirty
+    }
+
+    /// The one cell-cleaning entry point on the server: the eager-clean
+    /// calls ([`Self::clean_all`], [`Self::clean_cell_of_edge`]) and the
+    /// subscription tick's shared pre-clean and delta repairs all go
+    /// through here, so there is exactly one place that drives
+    /// [`crate::cleaning::clean_cells`] from `&mut self`. Callers fold the
+    /// report into the counters themselves (queries and subscriptions
+    /// attribute it differently).
+    fn clean_cells_shared(
+        &mut self,
+        cells: &[CellId],
+        now: Timestamp,
+    ) -> (CleanedObjects, CleaningReport) {
+        crate::cleaning::clean_cells(
+            &mut self.device,
+            &self.lists,
+            &mut self.resident,
+            cells,
+            &self.config,
+            now,
+        )
     }
 
     /// Eagerly clean the message list of the cell containing `edge`
@@ -426,28 +492,14 @@ impl GGridServer {
     /// lazy strategy into the eager one the paper compares against).
     pub fn clean_cell_of_edge(&mut self, edge: roadnet::EdgeId, now: Timestamp) {
         let cell = self.grid.cell_of_edge(edge);
-        let (_, rep) = crate::cleaning::clean_cells(
-            &mut self.device,
-            &self.lists,
-            &mut self.resident,
-            &[cell],
-            &self.config,
-            now,
-        );
+        let (_, rep) = self.clean_cells_shared(&[cell], now);
         self.counters.record_cleaning(&rep);
     }
 
     /// Eagerly clean every cell (used by tests and ablations).
     pub fn clean_all(&mut self, now: Timestamp) {
         let cells: Vec<CellId> = self.grid.cell_ids().collect();
-        let (_, rep) = crate::cleaning::clean_cells(
-            &mut self.device,
-            &self.lists,
-            &mut self.resident,
-            &cells,
-            &self.config,
-            now,
-        );
+        let (_, rep) = self.clean_cells_shared(&cells, now);
         self.counters.record_cleaning(&rep);
     }
 
@@ -489,6 +541,22 @@ impl GGridServer {
 
     /// As [`Self::knn`] but returning the full cost breakdown.
     pub fn knn_detailed(&mut self, q: EdgePosition, k: usize, now: Timestamp) -> KnnResult {
+        let result = self.query_pipeline(q, k, now, None);
+        self.counters.record_query(&result.breakdown);
+        result
+    }
+
+    /// The shared full-pipeline path: ad-hoc queries and subscription full
+    /// (re-)evaluations both come through here, so there is exactly one
+    /// refinement implementation behind every entry point. The caller
+    /// records the breakdown (as a query or as subscription work).
+    fn query_pipeline(
+        &mut self,
+        q: EdgePosition,
+        k: usize,
+        now: Timestamp,
+        cache: Option<&BatchCleanCache>,
+    ) -> KnnResult {
         let result = run_knn(
             &mut self.device,
             &self.grid,
@@ -500,11 +568,307 @@ impl GGridServer {
             q,
             k,
             now,
+            cache,
         );
         self.last_breakdown = result.breakdown;
-        self.counters.record_query(&result.breakdown);
         self.counters.kernel_launches = self.device.launches();
         result
+    }
+}
+
+/// Continuous kNN subscriptions (standing queries). See
+/// [`crate::subscription`] and DESIGN.md §5.7.
+impl GGridServer {
+    /// Register a standing kNN query. The result is evaluated once now and
+    /// then kept incrementally correct: after each `ingest_batch` /
+    /// `handle_update`, a [`Self::tick_subscriptions`] call re-validates
+    /// exactly the subscriptions whose guard region intersects a dirtied
+    /// cell (or whose members may have aged out), repairing them with a
+    /// bounded delta search where possible. [`Self::subscription_result`]
+    /// is byte-identical to a fresh `knn(q, k, now)` after every tick.
+    ///
+    /// Panics when `config.max_subscriptions` are already active.
+    pub fn subscribe_knn(&mut self, q: EdgePosition, k: usize, now: Timestamp) -> SubscriptionId {
+        assert!(k >= 1, "k must be at least 1");
+        assert!(
+            self.subs.active() < self.config.max_subscriptions,
+            "subscription limit reached (max_subscriptions = {})",
+            self.config.max_subscriptions
+        );
+        self.track_dirty.store(true, Ordering::Relaxed);
+        let t0 = Instant::now();
+        let mut inner = 0u64;
+        let sub = self.evaluate_full(q, k, now, None, &mut inner);
+        // Cover computation and registry bookkeeping, outside the pipeline.
+        let extra = (t0.elapsed().as_nanos() as u64).saturating_sub(inner);
+        self.counters.record_subscription(&QueryBreakdown {
+            cpu_ns: extra,
+            ..Default::default()
+        });
+        self.subs.insert(sub)
+    }
+
+    /// Drop a subscription. Returns false for an unknown/stale id.
+    pub fn unsubscribe(&mut self, id: SubscriptionId) -> bool {
+        self.subs.remove(id).is_some()
+    }
+
+    /// The subscription's maintained top-k (as of the last tick), nearest
+    /// first, ties on object id.
+    pub fn subscription_result(&self, id: SubscriptionId) -> Option<&[(ObjectId, Distance)]> {
+        self.subs.get(id).map(|s| s.result.as_slice())
+    }
+
+    /// The subscription's guard state: `(guard radius, guard cells,
+    /// covers_all)` (diagnostics and tests — e.g. picking an edge outside
+    /// every guard region).
+    pub fn subscription_guard(&self, id: SubscriptionId) -> Option<(Distance, Vec<CellId>, bool)> {
+        self.subs
+            .get(id)
+            .map(|s| (s.guard_radius, s.guard_cells.clone(), s.covers_all))
+    }
+
+    /// Number of active subscriptions.
+    pub fn subscriptions_active(&self) -> usize {
+        self.subs.active()
+    }
+
+    /// Re-validate the standing queries against everything ingested since
+    /// the last tick. Subscriptions whose guard region intersects no
+    /// dirtied cell (and whose members cannot have aged out) are skipped
+    /// at zero device cost; the rest are repaired by the bounded delta
+    /// search, falling back to a full re-query through the shared pipeline
+    /// when the guard cannot certify the answer.
+    pub fn tick_subscriptions(&mut self, now: Timestamp) -> SubscriptionTickReport {
+        let wall0 = Instant::now();
+        let mut dirty: Vec<CellId> = std::mem::take(&mut *self.subs_dirty.lock());
+        dirty.sort_unstable();
+        dirty.dedup();
+        let active = self.subs.active();
+        let mut report = SubscriptionTickReport {
+            active,
+            dirty_cells: dirty.len(),
+            ..Default::default()
+        };
+        if active == 0 {
+            return report;
+        }
+        let affected = self.subs.affected(&dirty, now);
+        report.invalidated = affected.len();
+        report.skipped = active - affected.len();
+
+        let mut tick_b = QueryBreakdown::default();
+        let mut inner = 0u64;
+
+        // Shared pre-clean: every guard cell a repair will read,
+        // consolidated in one pass and served to the repairs through the
+        // epoch-checked cache — untouched cells cost a host snapshot, no
+        // device work. Dirty cells under no guard are left alone; the
+        // next ad-hoc query that actually visits them cleans them.
+        let cache = if affected.is_empty() {
+            None
+        } else {
+            let mut union: Vec<CellId> = Vec::new();
+            for &id in &affected {
+                if let Some(sub) = self.subs.get(id) {
+                    union.extend_from_slice(&sub.guard_cells);
+                }
+            }
+            union.sort_unstable();
+            union.dedup();
+            let t0 = Instant::now();
+            let (cleaned, rep) = self.clean_cells_shared(&union, now);
+            tick_b.emulation_ns += t0.elapsed().as_nanos() as u64;
+            tick_b.record_cleaning(&rep);
+            Some(BatchCleanCache::build(&self.lists, &union, &cleaned))
+        };
+
+        for id in affected {
+            let Some(mut sub) = self.subs.take(id) else {
+                continue;
+            };
+            if !sub.covers_all && self.try_delta_repair(&mut sub, now, cache.as_ref(), &mut tick_b)
+            {
+                report.repaired_delta += 1;
+            } else {
+                sub = self.evaluate_full(sub.q, sub.k, now, cache.as_ref(), &mut inner);
+                report.repaired_full += 1;
+            }
+            self.subs.put_back(id, sub);
+        }
+
+        self.counters.subs_ticks += 1;
+        self.counters.subs_invalidated += report.invalidated as u64;
+        self.counters.subs_repaired_delta += report.repaired_delta as u64;
+        self.counters.subs_repaired_full += report.repaired_full as u64;
+        self.counters.subs_skipped += report.skipped as u64;
+        self.counters.subs_active = active as u64;
+
+        // Tick bookkeeping (drain, invalidation scan, delta searches) is
+        // the wall time minus what the full evaluations and the emulated
+        // device work already accounted for.
+        tick_b.cpu_ns = (wall0.elapsed().as_nanos() as u64)
+            .saturating_sub(tick_b.emulation_ns.saturating_add(inner));
+        self.counters.record_subscription(&tick_b);
+        report
+    }
+
+    /// Full (re-)evaluation of a standing query through the shared
+    /// pipeline: a k+1 query yields the top-k plus the guard distance; the
+    /// guard cover is read off one bounded Dijkstra. `inner` accumulates
+    /// the host time the pipeline already accounted for.
+    fn evaluate_full(
+        &mut self,
+        q: EdgePosition,
+        k: usize,
+        now: Timestamp,
+        cache: Option<&BatchCleanCache>,
+        inner: &mut u64,
+    ) -> Subscription {
+        let r = self.query_pipeline(q, k + 1, now, cache);
+        self.counters.record_subscription(&r.breakdown);
+        *inner += r.breakdown.cpu_ns + r.breakdown.emulation_ns;
+        let mut items = r.items;
+        let guard_seed = if items.len() == k + 1 {
+            items[k].1
+        } else {
+            // Fewer than k+1 candidates exist: nothing bounds where the
+            // next arrival may matter, so the whole network guards.
+            INFINITY
+        };
+        items.truncate(k);
+        let guard_radius = slacked(guard_seed, self.config.guard_slack);
+        let (guard_cells, covers_all) = self.compute_cover(q, guard_radius);
+        let expires_at = self.member_expiry(items.iter().map(|&(o, _)| {
+            self.object_table
+                .get(o)
+                .map(|e| e.time)
+                .unwrap_or(Timestamp(u64::MAX))
+        }));
+        self.counters.guard_radius_hist[guard_hist_bucket(guard_radius)] += 1;
+        Subscription {
+            q,
+            k,
+            result: items,
+            guard_radius,
+            guard_cells,
+            covers_all,
+            expires_at,
+        }
+    }
+
+    /// The guard-cell cover of `ball(q, guard)` (see
+    /// [`crate::subscription::guard_cover`]).
+    fn compute_cover(&self, q: EdgePosition, guard: Distance) -> (Vec<CellId>, bool) {
+        if guard >= INFINITY {
+            return (Vec::new(), true);
+        }
+        let mut engine = DijkstraEngine::with_scratch(&self.graph, self.pool.acquire_engine());
+        engine.run_from_position(q, SearchBounds::radius(guard));
+        let cells = guard_cover(
+            &self.grid,
+            &self.graph,
+            engine.settled(),
+            |v| engine.distance(v),
+            guard,
+            q,
+        );
+        self.pool.release_engine(engine.into_scratch());
+        (cells, false)
+    }
+
+    /// Earliest instant at which a member's report leaves the freshness
+    /// horizon: `min(report time) + t_Δ + 1` (cleaning keeps messages with
+    /// `time ≥ now − t_Δ`, so the first dead instant is one past the sum).
+    fn member_expiry(&self, times: impl Iterator<Item = Timestamp>) -> Timestamp {
+        let mut earliest = u64::MAX;
+        for t in times {
+            earliest = earliest.min(t.0.saturating_add(self.config.t_delta_ms).saturating_add(1));
+        }
+        Timestamp(earliest)
+    }
+
+    /// Bounded delta repair: re-rank the live objects of the guard cells
+    /// with one Dijkstra bounded by the guard radius. Succeeds when at
+    /// least k candidates score within the guard — every other object is
+    /// provably farther (DESIGN.md §5.7), so the top-k is exact. The guard
+    /// may shrink (never grow) from the fresh (k+1)-th distance, keeping
+    /// the cover recomputation within the already-settled ball. Returns
+    /// false (caller falls back to a full re-query) otherwise.
+    fn try_delta_repair(
+        &mut self,
+        sub: &mut Subscription,
+        now: Timestamp,
+        cache: Option<&BatchCleanCache>,
+        tick_b: &mut QueryBreakdown,
+    ) -> bool {
+        let guard = sub.guard_radius;
+        debug_assert!(guard < INFINITY);
+        let mut msgs: Vec<CachedMessage> = Vec::new();
+        let mut misses: Vec<CellId> = Vec::new();
+        for &c in &sub.guard_cells {
+            match cache.and_then(|ca| ca.lookup(&self.lists, c)) {
+                Some(m) => {
+                    msgs.extend_from_slice(m);
+                    tick_b.cells_skipped += 1;
+                }
+                None => misses.push(c),
+            }
+        }
+        if !misses.is_empty() {
+            let t0 = Instant::now();
+            let (cleaned, rep) = self.clean_cells_shared(&misses, now);
+            tick_b.emulation_ns += t0.elapsed().as_nanos() as u64;
+            tick_b.record_cleaning(&rep);
+            for c in &misses {
+                if let Some(m) = cleaned.get(c) {
+                    msgs.extend_from_slice(m);
+                }
+            }
+        }
+
+        let mut engine = DijkstraEngine::with_scratch(&self.graph, self.pool.acquire_engine());
+        engine.run_from_position(sub.q, SearchBounds::radius(guard));
+        let mut scored: Vec<(Distance, ObjectId, Timestamp)> = msgs
+            .iter()
+            .filter_map(|m| {
+                let p = m.position?;
+                let d = engine.position_distance(sub.q, p);
+                // Only distances within the bound are exact; candidates
+                // beyond it are dominated by the guard argument anyway.
+                (d <= guard).then_some((d, m.object, m.time))
+            })
+            .collect();
+        scored.sort_unstable_by_key(|&(d, o, _)| (d, o));
+        tick_b.refine_settled += engine.settled().len() as u64;
+        tick_b.refine_relaxed += engine.relaxed();
+
+        let k = sub.k;
+        if scored.len() < k {
+            // The true k-th neighbour may lie beyond the guard; the guard
+            // cannot certify a short answer.
+            self.pool.release_engine(engine.into_scratch());
+            return false;
+        }
+        sub.result = scored[..k].iter().map(|&(d, o, _)| (o, d)).collect();
+        if scored.len() > k {
+            let new_guard = slacked(scored[k].0, self.config.guard_slack).min(guard);
+            if new_guard < guard {
+                sub.guard_radius = new_guard;
+                sub.guard_cells = guard_cover(
+                    &self.grid,
+                    &self.graph,
+                    engine.settled(),
+                    |v| engine.distance(v),
+                    new_guard,
+                    sub.q,
+                );
+            }
+        }
+        sub.expires_at = self.member_expiry(scored[..k].iter().map(|&(_, _, t)| t));
+        self.counters.guard_radius_hist[guard_hist_bucket(sub.guard_radius)] += 1;
+        self.pool.release_engine(engine.into_scratch());
+        true
     }
 }
 
@@ -518,7 +882,7 @@ impl MovingObjectIndex for GGridServer {
     }
 
     fn ingest_batch(&mut self, updates: &[(ObjectId, EdgePosition, Timestamp)]) {
-        GGridServer::ingest_batch(self, updates)
+        let _ = GGridServer::ingest_batch(self, updates);
     }
 
     fn knn(&mut self, q: EdgePosition, k: usize, now: Timestamp) -> Vec<(ObjectId, Distance)> {

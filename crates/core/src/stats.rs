@@ -287,6 +287,23 @@ pub fn batch_hist_bucket(n: usize) -> usize {
         .unwrap_or(BATCH_HIST_BUCKETS - 1)
 }
 
+/// Number of buckets in the subscription guard-radius histogram.
+pub const GUARD_HIST_BUCKETS: usize = 8;
+
+/// Upper bounds (inclusive, in weight units) of the guard-radius histogram
+/// buckets; the last bucket is open-ended and also absorbs the unbounded
+/// (`covers_all`) guards of subscriptions with fewer than k+1 candidates.
+pub const GUARD_HIST_BOUNDS: [u64; GUARD_HIST_BUCKETS - 1] =
+    [64, 256, 1_024, 4_096, 16_384, 65_536, 262_144];
+
+/// Histogram bucket index for a guard radius `r`.
+pub fn guard_hist_bucket(r: u64) -> usize {
+    GUARD_HIST_BOUNDS
+        .iter()
+        .position(|&b| r <= b)
+        .unwrap_or(GUARD_HIST_BUCKETS - 1)
+}
+
 /// The modeled cost of ingestion's structural operations, in nanoseconds.
 ///
 /// The container the reproduction runs on is single-core, so wall-clock
@@ -401,11 +418,60 @@ pub struct ServerCounters {
     /// Message-list bucket slabs recycled from the cleaning free list
     /// (steady-state ingest allocates nothing).
     pub bucket_reuses: u64,
+    /// Distinct cells whose dirty epoch an ingest call bumped (run heads of
+    /// the group commit, plus per-message appends), accumulated.
+    pub cells_dirtied: u64,
+    /// Currently active kNN subscriptions (gauge, refreshed each tick).
+    pub subs_active: u64,
+    /// `tick_subscriptions` invocations that found at least one active
+    /// subscription.
+    pub subs_ticks: u64,
+    /// Subscriptions whose guard region intersected a dirtied cell (or
+    /// whose result could expire) and were re-validated, accumulated over
+    /// ticks.
+    pub subs_invalidated: u64,
+    /// Invalidated subscriptions repaired by the bounded delta search.
+    pub subs_repaired_delta: u64,
+    /// Invalidated subscriptions that fell back to a full re-query (guard
+    /// exceeded, fewer than k candidates inside the guard, or an unbounded
+    /// guard).
+    pub subs_repaired_full: u64,
+    /// Subscriptions left untouched by a tick because no dirtied cell
+    /// intersected their guard region — the re-evaluations avoided.
+    pub subs_skipped: u64,
+    /// Guard-radius histogram over every (re)computed guard; bucket bounds
+    /// in [`GUARD_HIST_BOUNDS`].
+    pub guard_radius_hist: [u64; GUARD_HIST_BUCKETS],
+    /// Measured CPU nanoseconds of the subscription path (initial
+    /// evaluations, tick bookkeeping, repairs) — the subscription analogue
+    /// of `query_cpu_ns`.
+    pub subs_cpu_ns: u64,
+    /// Simulated device time consumed by the subscription path (subset of
+    /// `gpu_time`).
+    pub subs_gpu_time: SimNanos,
 }
 
 impl ServerCounters {
     pub fn record_query(&mut self, b: &QueryBreakdown) {
+        self.record_breakdown(b);
         self.queries += 1;
+        self.query_cpu_ns += b.cpu_ns;
+    }
+
+    /// Fold a subscription-path breakdown (initial evaluation, tick
+    /// bookkeeping, delta or full repair) into the lifetime counters. Device
+    /// and cleaning work lands in the same global fields as ad-hoc queries
+    /// — it is real server work — but the host time is attributed to
+    /// `subs_cpu_ns` instead of `query_cpu_ns` and no ad-hoc query is
+    /// counted, so `queries_per_sec_modeled` stays an ad-hoc figure and
+    /// [`Self::subs_modeled_ns`] a subscription one.
+    pub fn record_subscription(&mut self, b: &QueryBreakdown) {
+        self.record_breakdown(b);
+        self.subs_cpu_ns += b.cpu_ns;
+        self.subs_gpu_time += b.gpu_total();
+    }
+
+    fn record_breakdown(&mut self, b: &QueryBreakdown) {
         self.gpu_time += b.gpu_total();
         self.h2d_bytes += b.h2d_bytes;
         self.d2h_bytes += b.d2h_bytes;
@@ -432,7 +498,6 @@ impl ServerCounters {
         self.h2d_coalesced_saved += b.h2d_coalesced_saved;
         self.refine_settled += b.refine_settled;
         self.refine_relaxed += b.refine_relaxed;
-        self.query_cpu_ns += b.cpu_ns;
     }
 
     /// Fold one cleaning round's report into the lifetime counters — used
@@ -513,6 +578,42 @@ impl ServerCounters {
         self.queries as f64 * 1e9 / ns as f64
     }
 
+    /// Total modeled nanoseconds of the subscription path: measured host
+    /// time plus simulated device time (the hybrid clock, like
+    /// [`QueryBreakdown::total_ns`]).
+    pub fn subs_modeled_ns(&self) -> u64 {
+        self.subs_cpu_ns + self.subs_gpu_time.0
+    }
+
+    /// Modeled nanoseconds per subscription tick.
+    pub fn subs_modeled_ns_per_tick(&self) -> u64 {
+        self.subs_modeled_ns() / self.subs_ticks.max(1)
+    }
+
+    /// Per-tick standing-query evaluations the guard region avoided or
+    /// downgraded: skipped entirely or repaired by the bounded delta search,
+    /// over all evaluations a re-query-everything server would have run.
+    pub fn subs_avoided_rate(&self) -> f64 {
+        let total = self.subs_skipped + self.subs_repaired_delta + self.subs_repaired_full;
+        if total == 0 {
+            return 0.0;
+        }
+        (self.subs_skipped + self.subs_repaired_delta) as f64 / total as f64
+    }
+
+    /// Modeled standing-query throughput: results delivered per second of
+    /// subscription-path hybrid-clock time. Every active subscription
+    /// delivers one (maintained) result per tick, so skipped subscriptions
+    /// count as served — that is the point of the guard region.
+    pub fn subs_per_sec_modeled(&self) -> f64 {
+        let served = self.subs_skipped + self.subs_repaired_delta + self.subs_repaired_full;
+        let ns = self.subs_modeled_ns();
+        if ns == 0 {
+            return 0.0;
+        }
+        served as f64 * 1e9 / ns as f64
+    }
+
     /// Fraction of bucket-slab demands served from the cleaning free list.
     pub fn bucket_reuse_rate(&self) -> f64 {
         let total = self.bucket_allocs + self.bucket_reuses;
@@ -585,6 +686,7 @@ pub struct IngestCounters {
     pub shard_locks: AtomicU64,
     pub busy_ns: AtomicU64,
     pub critical_ns: AtomicU64,
+    pub cells_dirtied: AtomicU64,
     pub batch_size_hist: [AtomicU64; BATCH_HIST_BUCKETS],
 }
 
@@ -608,6 +710,7 @@ impl IngestCounters {
         c.ingest_shard_locks += ld(&self.shard_locks);
         c.ingest_busy_ns += ld(&self.busy_ns);
         c.ingest_critical_ns += ld(&self.critical_ns);
+        c.cells_dirtied += ld(&self.cells_dirtied);
         for (dst, src) in c.batch_size_hist.iter_mut().zip(&self.batch_size_hist) {
             *dst += ld(src);
         }
@@ -824,6 +927,43 @@ mod tests {
         assert_eq!(batch_hist_bucket(500), 3);
         assert_eq!(batch_hist_bucket(4096), 4);
         assert_eq!(batch_hist_bucket(1 << 20), BATCH_HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn guard_hist_buckets_cover_all_radii() {
+        assert_eq!(guard_hist_bucket(0), 0);
+        assert_eq!(guard_hist_bucket(64), 0);
+        assert_eq!(guard_hist_bucket(65), 1);
+        assert_eq!(guard_hist_bucket(262_144), GUARD_HIST_BUCKETS - 2);
+        assert_eq!(guard_hist_bucket(u64::MAX / 4), GUARD_HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn subscription_counters_and_rates() {
+        let mut c = ServerCounters::default();
+        assert_eq!(c.subs_avoided_rate(), 0.0);
+        assert_eq!(c.subs_per_sec_modeled(), 0.0);
+        c.record_subscription(&QueryBreakdown {
+            cleaning: SimNanos(300),
+            cpu_ns: 700,
+            ..Default::default()
+        });
+        // Subscription work is not an ad-hoc query...
+        assert_eq!(c.queries, 0);
+        assert_eq!(c.query_cpu_ns, 0);
+        // ...but it is real device work.
+        assert_eq!(c.gpu_time, SimNanos(300));
+        assert_eq!(c.subs_gpu_time, SimNanos(300));
+        assert_eq!(c.subs_cpu_ns, 700);
+        assert_eq!(c.subs_modeled_ns(), 1000);
+        c.subs_ticks = 2;
+        assert_eq!(c.subs_modeled_ns_per_tick(), 500);
+        c.subs_skipped = 6;
+        c.subs_repaired_delta = 2;
+        c.subs_repaired_full = 2;
+        assert!((c.subs_avoided_rate() - 0.8).abs() < 1e-12);
+        // 10 served results over 1000 hybrid ns.
+        assert!((c.subs_per_sec_modeled() - 1e7).abs() < 1e-3);
     }
 
     #[test]

@@ -1,0 +1,260 @@
+//! Integration tests for continuous kNN subscriptions: after every ingest
+//! batch + `tick_subscriptions`, each subscription's maintained top-k must be
+//! byte-identical to a fresh `knn` at the same timestamp, across random
+//! walks, churn in and out of guard regions, forced evictions, expiry, and
+//! worker counts 1/2/4. Also checks that a batch touching no guard region
+//! triggers zero re-evaluations.
+
+use ggrid::grid::CellId;
+use ggrid::prelude::*;
+use proptest::prelude::*;
+use roadnet::gen::{self, GridCityParams};
+use roadnet::graph::Graph;
+use roadnet::EdgeId;
+
+#[derive(Debug, Clone)]
+struct Step {
+    /// `(object, edge, offset)` updates applied as one `ingest_batch`.
+    updates: Vec<(u64, u32, u32)>,
+    /// Evict all device-resident cell lists before the tick.
+    evict: bool,
+    /// Milliseconds by which this step advances the clock.
+    advance_ms: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Case {
+    graph: Graph,
+    initial: Vec<(u64, u32, u32)>,
+    queries: Vec<(u32, u32, usize)>,
+    steps: Vec<Step>,
+    eta: u32,
+    bucket: usize,
+    t_delta_ms: u64,
+    guard_slack: f64,
+    refine_workers: usize,
+    ingest_workers: usize,
+}
+
+fn arb_case() -> impl Strategy<Value = Case> {
+    (
+        (3u32..7, 3u32..7, 0u64..500),
+        prop::collection::vec((0u64..24, 0u32..10_000, 0u32..100), 4..20),
+        prop::collection::vec((0u32..10_000, 0u32..100, 1usize..6), 1..4),
+        prop::collection::vec(
+            (
+                prop::collection::vec((0u64..24, 0u32..10_000, 0u32..100), 0..8),
+                prop::bool::weighted(0.25),
+                // Mix sub-t_delta advances with jumps past it so some steps
+                // expire subscription members (the zero-dirty result change).
+                1u64..2_000,
+                prop::bool::weighted(0.25),
+            )
+                .prop_map(|(updates, evict, base_ms, jump)| Step {
+                    updates,
+                    evict,
+                    advance_ms: if jump { 20_000 + base_ms * 10 } else { base_ms },
+                }),
+            1..8,
+        ),
+        (2u32..6, 1usize..16),
+        prop::bool::weighted(0.5),
+        0usize..3,
+        (0usize..3, 0usize..3),
+    )
+        .prop_map(
+            |(
+                (rows, cols, seed),
+                initial,
+                queries,
+                steps,
+                (eta, bucket),
+                long_t_delta,
+                slack_idx,
+                (rw_idx, iw_idx),
+            )| Case {
+                graph: gen::grid_city(&GridCityParams {
+                    rows,
+                    cols,
+                    edge_ratio: 2.5,
+                    weight_range: (1, 30),
+                    seed,
+                }),
+                initial,
+                queries,
+                steps,
+                eta,
+                bucket,
+                t_delta_ms: if long_t_delta { 25_000 } else { 10_000 },
+                guard_slack: [0.0, 0.25, 1.0][slack_idx],
+                refine_workers: [1, 2, 4][rw_idx],
+                ingest_workers: [1, 2, 4][iw_idx],
+            },
+        )
+}
+
+fn position(graph: &Graph, e: u32, off: u32) -> EdgePosition {
+    let e = EdgeId(e % graph.num_edges() as u32);
+    EdgePosition::new(e, off % (graph.edge(e).weight + 1))
+}
+
+/// One batch carries one report per object (the stream contract: an object
+/// cannot be at two places at the same instant) — keep the last entry.
+fn dedup_batch(
+    graph: &Graph,
+    raw: &[(u64, u32, u32)],
+    now: Timestamp,
+) -> Vec<(ObjectId, EdgePosition, Timestamp)> {
+    let mut batch: Vec<(ObjectId, EdgePosition, Timestamp)> = Vec::new();
+    for &(o, e, off) in raw {
+        let p = position(graph, e, off);
+        if let Some(slot) = batch.iter_mut().find(|u| u.0 == ObjectId(o)) {
+            slot.1 = p;
+        } else {
+            batch.push((ObjectId(o), p, now));
+        }
+    }
+    batch
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn subscriptions_match_fresh_knn(case in arb_case()) {
+        let graph = case.graph.clone();
+        let mut server = GGridServer::new(
+            graph.clone(),
+            GGridConfig {
+                eta: case.eta,
+                bucket_capacity: case.bucket,
+                t_delta_ms: case.t_delta_ms,
+                guard_slack: case.guard_slack,
+                refine_workers: case.refine_workers,
+                ingest_workers: case.ingest_workers,
+                ..Default::default()
+            },
+        );
+
+        let mut now = Timestamp(1_000);
+        server.ingest_batch(&dedup_batch(&graph, &case.initial, now));
+
+        let subs: Vec<(SubscriptionId, EdgePosition, usize)> = case
+            .queries
+            .iter()
+            .map(|&(qe, qoff, k)| {
+                let q = position(&graph, qe, qoff);
+                (server.subscribe_knn(q, k, now), q, k)
+            })
+            .collect();
+
+        for step in &case.steps {
+            now = Timestamp(now.0 + step.advance_ms);
+            let dirty = server.ingest_batch(&dedup_batch(&graph, &step.updates, now));
+            prop_assert!(dirty.windows(2).all(|w| w[0] < w[1]),
+                "dirty cells must be sorted and deduped: {dirty:?}");
+            if step.evict {
+                server.evict_all_resident();
+            }
+
+            let report = server.tick_subscriptions(now);
+            prop_assert_eq!(report.active, subs.len());
+            prop_assert_eq!(
+                report.skipped + report.invalidated, report.active,
+                "every subscription is either skipped or re-validated"
+            );
+            prop_assert!(report.repaired_delta + report.repaired_full <= report.invalidated);
+
+            for &(id, q, k) in &subs {
+                let maintained = server
+                    .subscription_result(id)
+                    .expect("subscription is live")
+                    .to_vec();
+                let fresh = server.knn(q, k, now);
+                prop_assert_eq!(
+                    &maintained, &fresh,
+                    "maintained top-{} diverged from fresh knn at t={}", k, now.0
+                );
+            }
+        }
+
+        let c = server.counters();
+        prop_assert_eq!(c.subs_active as usize, subs.len());
+        prop_assert_eq!(c.subs_ticks as usize, case.steps.len());
+    }
+}
+
+/// A batch that touches no guard region must trigger zero re-evaluations:
+/// every subscription is skipped, no repairs run, and the maintained answers
+/// still match a fresh query.
+#[test]
+fn untouched_guard_regions_cost_nothing() {
+    let graph = gen::grid_city(&GridCityParams {
+        rows: 6,
+        cols: 6,
+        edge_ratio: 2.5,
+        weight_range: (1, 30),
+        seed: 7,
+    });
+    let mut server = GGridServer::new(
+        graph.clone(),
+        GGridConfig {
+            eta: 3,
+            // Huge t_delta so expiry never forces a re-validation here.
+            t_delta_ms: u64::MAX / 4,
+            ..Default::default()
+        },
+    );
+
+    let now = Timestamp(1_000);
+    let seed: Vec<(ObjectId, EdgePosition, Timestamp)> = (0..12)
+        .map(|o| {
+            let e = EdgeId((o * 5) as u32 % graph.num_edges() as u32);
+            (ObjectId(o), EdgePosition::new(e, 0), now)
+        })
+        .collect();
+    server.ingest_batch(&seed);
+
+    let q = EdgePosition::new(EdgeId(0), 0);
+    let id = server.subscribe_knn(q, 2, now);
+    let (_, guard_cells, covers_all) = server.subscription_guard(id).unwrap();
+    assert!(
+        !covers_all,
+        "test setup needs a bounded guard region; widen the seed set if this fires"
+    );
+
+    // Pick an edge whose cell lies outside the guard region.
+    let outside = (0..graph.num_edges() as u32)
+        .map(EdgeId)
+        .find(|&e| {
+            let cell: CellId = server.grid().cell_of_edge(e);
+            !guard_cells.contains(&cell)
+        })
+        .expect("a 6x6 grid city has cells outside one guard region");
+
+    let before = server.subscription_result(id).unwrap().to_vec();
+    let later = Timestamp(2_000);
+    // Move an object that was never near the query onto the outside edge.
+    server.ingest_batch(&[(ObjectId(99), EdgePosition::new(outside, 0), later)]);
+
+    let report = server.tick_subscriptions(later);
+    assert_eq!(report.active, 1);
+    assert_eq!(report.invalidated, 0, "no guard region was touched");
+    assert_eq!(report.repaired_delta + report.repaired_full, 0);
+    assert_eq!(report.skipped, 1);
+
+    let after = server.subscription_result(id).unwrap().to_vec();
+    assert_eq!(
+        before, after,
+        "untouched subscription result must not change"
+    );
+    assert_eq!(after, server.knn(q, 2, later));
+
+    let c = server.counters();
+    assert_eq!(c.subs_invalidated, 0);
+    assert_eq!(c.subs_skipped, 1);
+
+    assert!(server.unsubscribe(id));
+    assert_eq!(server.subscriptions_active(), 0);
+    assert!(server.subscription_result(id).is_none());
+}

@@ -22,4 +22,7 @@ pub mod scenario;
 
 pub use moto::{Moto, MotoConfig, UpdateMessage};
 pub use queries::{random_position, QueryStream};
-pub use scenario::{run_scenario, ScenarioConfig, ScenarioReport};
+pub use scenario::{
+    run_scenario, run_subscription_scenario, ScenarioConfig, ScenarioReport,
+    SubscriptionScenarioConfig, SubscriptionScenarioReport,
+};

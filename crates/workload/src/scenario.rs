@@ -179,6 +179,139 @@ pub fn run_scenario(
     }
 }
 
+/// Configuration of a standing-query (subscription) scenario: a fixed set
+/// of riders subscribes once, then the fleet keeps moving and every tick is
+/// one `ingest_batch` followed by one `tick_subscriptions`.
+#[derive(Clone, Debug)]
+pub struct SubscriptionScenarioConfig {
+    pub moto: MotoConfig,
+    /// Number of standing queries registered after warm-up.
+    pub num_subscribers: usize,
+    pub k: usize,
+    /// Interval between ticks in ms (one group commit per tick).
+    pub tick_interval_ms: u64,
+    pub num_ticks: usize,
+    /// Warm-up horizon before subscribing (lets every object report once).
+    pub warmup_ms: u64,
+    pub query_seed: u64,
+    /// Check every maintained answer against a fresh `knn` after each tick
+    /// (exactness audit; adds query work outside the measured totals).
+    pub verify: bool,
+}
+
+impl Default for SubscriptionScenarioConfig {
+    fn default() -> Self {
+        Self {
+            moto: MotoConfig::default(),
+            num_subscribers: 8,
+            k: 8,
+            tick_interval_ms: 500,
+            num_ticks: 10,
+            warmup_ms: 1100,
+            query_seed: 99,
+            verify: false,
+        }
+    }
+}
+
+/// Accumulated outcome of a subscription scenario run.
+#[derive(Clone, Debug, Default)]
+pub struct SubscriptionScenarioReport {
+    pub subscribers: usize,
+    pub ticks: usize,
+    pub messages: usize,
+    /// Sums of the per-tick [`ggrid::subscription::SubscriptionTickReport`]
+    /// fields across the run.
+    pub dirty_cells: u64,
+    pub invalidated: u64,
+    pub repaired_delta: u64,
+    pub repaired_full: u64,
+    pub skipped: u64,
+    /// Maintained answers that disagreed with a fresh query (always 0 when
+    /// `verify` is off; must be 0 when it is on).
+    pub mismatches: u64,
+    /// The subscribers' standing positions, for driving an external
+    /// re-query-everything baseline over the same workload.
+    pub subscriber_positions: Vec<EdgePosition>,
+}
+
+impl SubscriptionScenarioReport {
+    /// Fraction of (subscription, tick) pairs that needed no re-evaluation.
+    pub fn avoided_rate(&self) -> f64 {
+        let total = self.skipped + self.invalidated;
+        if total == 0 {
+            return 0.0;
+        }
+        self.skipped as f64 / total as f64
+    }
+}
+
+/// Replay a subscription scenario against a [`GGridServer`]. The server is
+/// typed concretely — standing queries are a G-Grid capability, not part of
+/// the generic [`MovingObjectIndex`] trait.
+pub fn run_subscription_scenario(
+    graph: &Arc<Graph>,
+    server: &mut ggrid::GGridServer,
+    config: &SubscriptionScenarioConfig,
+) -> SubscriptionScenarioReport {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    let mut moto = Moto::new(graph.clone(), &config.moto);
+    let mut report = SubscriptionScenarioReport::default();
+
+    // Warm-up wave, then register the standing queries.
+    let mut now = Timestamp(config.warmup_ms);
+    let warm = moto.advance_to(now);
+    let updates: Vec<(ObjectId, EdgePosition, Timestamp)> = warm
+        .iter()
+        .map(|m| (m.object, m.position, m.time))
+        .collect();
+    server.ingest_batch(&updates);
+    report.messages += updates.len();
+
+    let mut rng = SmallRng::seed_from_u64(config.query_seed);
+    let mut subs = Vec::with_capacity(config.num_subscribers);
+    for _ in 0..config.num_subscribers {
+        let q = crate::queries::random_position(graph, &mut rng);
+        subs.push((server.subscribe_knn(q, config.k, now), q));
+        report.subscriber_positions.push(q);
+    }
+    report.subscribers = subs.len();
+
+    for _ in 0..config.num_ticks {
+        now = Timestamp(now.0 + config.tick_interval_ms);
+        let wave = moto.advance_to(now);
+        let updates: Vec<(ObjectId, EdgePosition, Timestamp)> = wave
+            .iter()
+            .map(|m| (m.object, m.position, m.time))
+            .collect();
+        server.ingest_batch(&updates);
+        report.messages += updates.len();
+
+        let tick = server.tick_subscriptions(now);
+        report.ticks += 1;
+        report.dirty_cells += tick.dirty_cells as u64;
+        report.invalidated += tick.invalidated as u64;
+        report.repaired_delta += tick.repaired_delta as u64;
+        report.repaired_full += tick.repaired_full as u64;
+        report.skipped += tick.skipped as u64;
+
+        if config.verify {
+            for &(id, q) in &subs {
+                let maintained = server
+                    .subscription_result(id)
+                    .expect("subscription is live")
+                    .to_vec();
+                if maintained != server.knn(q, config.k, now) {
+                    report.mismatches += 1;
+                }
+            }
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,6 +350,88 @@ mod tests {
         assert!(report.messages > 0);
         assert_eq!(report.accuracy(), 1.0, "G-Grid answers must be exact");
         assert!(report.total_ns() > 0);
+    }
+
+    #[test]
+    fn subscription_scenario_is_exact() {
+        let graph = Arc::new(gen::toy(13));
+        let mut server = GGridServer::new(
+            (*graph).clone(),
+            GGridConfig {
+                eta: 4,
+                bucket_capacity: 16,
+                ..Default::default()
+            },
+        );
+        let config = SubscriptionScenarioConfig {
+            moto: MotoConfig {
+                num_objects: 30,
+                update_period_ms: 200,
+                seed: 3,
+                ..Default::default()
+            },
+            num_subscribers: 4,
+            k: 4,
+            tick_interval_ms: 300,
+            num_ticks: 8,
+            warmup_ms: 250,
+            query_seed: 17,
+            verify: true,
+        };
+        let report = run_subscription_scenario(&graph, &mut server, &config);
+        assert_eq!(report.subscribers, 4);
+        assert_eq!(report.ticks, 8);
+        assert!(report.messages > 0);
+        assert_eq!(report.mismatches, 0, "maintained answers must stay exact");
+        assert_eq!(
+            report.skipped + report.invalidated,
+            (report.subscribers * report.ticks) as u64
+        );
+        assert_eq!(server.subscriptions_active(), 4);
+    }
+
+    #[test]
+    fn sparse_waves_skip_untouched_subscriptions() {
+        // Dense uniform objects give every rider a tight guard; a long
+        // reporting period means each tick dirties only a few cells, so
+        // most standing queries must be skipped outright.
+        let graph = Arc::new(gen::grid_city(&gen::GridCityParams {
+            rows: 12,
+            cols: 12,
+            edge_ratio: 2.5,
+            weight_range: (5, 40),
+            seed: 21,
+        }));
+        let mut server = GGridServer::new(
+            (*graph).clone(),
+            GGridConfig {
+                eta: 4,
+                // Slow reporters must stay live, else guards balloon.
+                t_delta_ms: 1_000_000,
+                ..Default::default()
+            },
+        );
+        let config = SubscriptionScenarioConfig {
+            moto: MotoConfig {
+                num_objects: 300,
+                update_period_ms: 40_000,
+                seed: 9,
+                ..Default::default()
+            },
+            num_subscribers: 12,
+            k: 3,
+            tick_interval_ms: 250,
+            num_ticks: 6,
+            warmup_ms: 40_500,
+            query_seed: 5,
+            verify: true,
+        };
+        let report = run_subscription_scenario(&graph, &mut server, &config);
+        assert_eq!(report.mismatches, 0);
+        assert!(
+            report.skipped > report.invalidated,
+            "sparse waves should skip most subscriptions: {report:?}"
+        );
     }
 
     #[test]
