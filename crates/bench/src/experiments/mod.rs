@@ -13,6 +13,7 @@ pub mod fig9_vary_freq;
 pub mod ingest;
 pub mod residency;
 pub mod sdist;
+pub mod sharding;
 pub mod skew;
 pub mod subscriptions;
 pub mod table2_datasets;

@@ -22,9 +22,14 @@
 //!   device-phase → refine → finalise pipeline of [`crate::knn`]: while
 //!   query *i*'s CPU refinement runs on a worker thread, the device
 //!   already executes query *i+1*'s phase. The overlap is accounted on a
-//!   three-stream [`StreamTimeline`] (device, host, transfer), yielding
-//!   the batch's pipelined makespan next to the serial sum of the same
-//!   operations.
+//!   [`StreamTimeline`] with one device stream and one transfer stream
+//!   *per shard* plus one host stream (`2D + 1` streams; `D = 1`
+//!   degenerates to the classic device/host/transfer trio), yielding the
+//!   batch's pipelined makespan next to the serial sum of the same
+//!   operations. Under sharding (`num_devices > 1`) the shared cleaning
+//!   pass is routed per owning shard and those legs run concurrently on
+//!   their own streams; each query's kernels occupy only its primary
+//!   shard's streams, so disjoint queries overlap across devices.
 //!
 //! **Attribution.** The shared pass is real per-query work done once, so
 //! its cost is split across the queries proportionally to how much of the
@@ -45,29 +50,35 @@
 
 use std::collections::HashMap;
 
-use gpu_sim::{Device, SimNanos, StreamTimeline};
+use gpu_sim::{SimNanos, StreamTimeline};
 use roadnet::graph::Distance;
 use roadnet::EdgePosition;
 
-use crate::cleaning::{clean_cells, CleanedObjects};
+use crate::cleaning::CleanedObjects;
 use crate::config::GGridConfig;
 use crate::grid::{CellId, GraphGrid};
 use crate::knn::{knn_device_phase, knn_finalize, refine_unresolved};
 use crate::message::{CachedMessage, ObjectId, Timestamp};
 use crate::message_list::CellLists;
 use crate::object_table::FxBuildHasher;
-use crate::residency::{ResidentCellStore, TopologyStore};
 use crate::scratch::ScratchPool;
+use crate::shard::ShardSet;
 use crate::stats::QueryBreakdown;
 
-/// Stream indices of the batch timeline.
-const DEVICE_STREAM: usize = 0;
-const HOST_STREAM: usize = 1;
-/// D2H copy-backs run here: the cleaning result streams to the host while
-/// the device stream already executes the next kernel. Copy-back is still
-/// ordered strictly after its own compute, and anything that *reads* the
-/// result on the host (refinement) waits for it.
-const TRANSFER_STREAM: usize = 2;
+/// Stream layout of the batch timeline for `d` shards: device stream of
+/// shard `i` at index `i`, its transfer stream at `d + i` (D2H copy-backs
+/// overlap the next kernel there, still ordered after their own compute),
+/// and the single host (refinement) stream last. `d = 1` reproduces the
+/// original device/transfer/host trio.
+fn device_stream(_d: usize, shard: usize) -> usize {
+    shard
+}
+fn transfer_stream(d: usize, shard: usize) -> usize {
+    d + shard
+}
+fn host_stream(d: usize) -> usize {
+    2 * d
+}
 
 /// Weight scale for the proportional attribution of the shared pass:
 /// `lcm(1..=13)`, so `ATTR_SCALE / mult` is exact for any realistic cell
@@ -155,22 +166,25 @@ impl BatchResult {
 /// pass and overlapping host refinement with device work.
 #[allow(clippy::too_many_arguments)]
 pub fn run_knn_batch(
-    device: &mut Device,
+    shards: &mut ShardSet,
     grid: &GraphGrid,
     lists: &CellLists,
-    resident: &mut ResidentCellStore,
-    topo: &mut TopologyStore,
     pool: &ScratchPool,
     config: &GGridConfig,
     queries: &[(EdgePosition, usize)],
     now: Timestamp,
 ) -> BatchResult {
+    let d = shards.num_shards();
+
     // Per-query first candidate rings (own cell + neighbours) and their
-    // union; ring multiplicities drive the attribution weights.
+    // union; ring multiplicities drive the attribution weights. A query's
+    // *primary* shard — where its kernels run — owns its own cell.
     let mut rings: Vec<Vec<CellId>> = Vec::with_capacity(queries.len());
+    let mut primaries: Vec<usize> = Vec::with_capacity(queries.len());
     let mut union: Vec<CellId> = Vec::new();
     for &(q, _) in queries {
         let c = grid.cell_of_edge(q.edge);
+        primaries.push(shards.owner_of(c));
         let mut ring = vec![c];
         ring.extend_from_slice(grid.neighbors(c));
         ring.sort_unstable();
@@ -192,41 +206,80 @@ pub fn run_knn_batch(
         .map(|ring| ring.iter().map(|c| ATTR_SCALE / multiplicity[c]).sum())
         .collect();
 
-    let mut timeline = StreamTimeline::new(3);
+    let mut timeline = StreamTimeline::new(2 * d + 1);
     let mut serial_time = SimNanos::ZERO;
 
     let mut shared = QueryBreakdown::default();
     let mut cache: Option<BatchCleanCache> = None;
     if !union.is_empty() && !queries.is_empty() {
-        let launches0 = device.launches();
+        let launches0 = shards.total_launches();
         let t0 = std::time::Instant::now();
-        let (cleaned, rep) = clean_cells(device, lists, resident, &union, config, now);
+        // The fused pass routes each union cell to its owning shard; the
+        // per-shard legs are independent and run concurrently on their own
+        // device streams.
+        let (cleaned, reports) = shards.clean_cells_routed(lists, &union, config, now);
         if config.batch_fusion {
             cache = Some(BatchCleanCache::build(lists, &union, &cleaned));
         }
         shared.emulation_ns = t0.elapsed().as_nanos() as u64;
-        shared.record_cleaning(&rep);
-        shared.kernel_launches = device.launches() - launches0;
-        // Copy-back is strictly after the shared pass's compute but runs on
-        // the transfer stream, so the first query's device phase starts as
-        // soon as the kernel is done — not when the result lands on host.
-        let compute = SimNanos(shared.gpu_total().0 - shared.copy_back.0);
-        let compute_end = timeline.push(DEVICE_STREAM, SimNanos::ZERO, compute);
-        timeline.push(TRANSFER_STREAM, compute_end, shared.copy_back);
-        serial_time += shared.gpu_total();
+        for (owner, rep) in &reports {
+            shared.record_cleaning(rep);
+            // Copy-back is strictly after this leg's compute but runs on
+            // the owner's transfer stream, so the first query's device
+            // phase starts as soon as the kernel is done — not when the
+            // result lands on host.
+            let compute = SimNanos(rep.time.0 - rep.copy_back_time.0);
+            let compute_end = timeline.push(device_stream(d, *owner), SimNanos::ZERO, compute);
+            timeline.push(transfer_stream(d, *owner), compute_end, rep.copy_back_time);
+            serial_time += rep.time;
+        }
+        shared.kernel_launches = shards.total_launches() - launches0;
 
-        // Stage the union's topology in one coalesced transfer, so the
-        // per-query sdist rounds find every first-ring CSR slice resident.
+        // Stage each primary group's topology in one coalesced transfer per
+        // shard, so the per-query sdist rounds find every first-ring CSR
+        // slice resident on the device they will run on. With one shard the
+        // single group is exactly the union.
         if config.batch_fusion && config.coalesce_h2d {
-            let staged = topo.stage(device, union.iter().map(|&c| (c, grid.topology(c).bytes())));
-            shared.candidate += staged.time;
-            shared.h2d_topo_bytes += staged.bytes;
-            shared.h2d_bytes += staged.bytes;
-            shared.topo_hits += staged.hits as usize;
-            shared.topo_misses += staged.misses as usize;
-            shared.h2d_coalesced_saved += staged.transactions_saved;
-            timeline.push(DEVICE_STREAM, SimNanos::ZERO, staged.time);
-            serial_time += staged.time;
+            let mut per_primary: Vec<Vec<CellId>> = vec![Vec::new(); d];
+            for (ring, &p) in rings.iter().zip(&primaries) {
+                per_primary[p].extend_from_slice(ring);
+            }
+            for (p, mut cells) in per_primary.into_iter().enumerate() {
+                if cells.is_empty() {
+                    continue;
+                }
+                cells.sort_unstable();
+                cells.dedup();
+                let sh = shards.shard_mut(p);
+                let staged = sh.topo.stage(
+                    &mut sh.device,
+                    cells.iter().map(|&c| (c, grid.topology(c).bytes())),
+                );
+                shared.candidate += staged.time;
+                shared.h2d_topo_bytes += staged.bytes;
+                shared.h2d_bytes += staged.bytes;
+                shared.topo_hits += staged.hits as usize;
+                shared.topo_misses += staged.misses as usize;
+                shared.h2d_coalesced_saved += staged.transactions_saved;
+                timeline.push(device_stream(d, p), SimNanos::ZERO, staged.time);
+                serial_time += staged.time;
+            }
+        }
+    }
+
+    // Charge the clean-cache's host-pinned mirror bytes against the owning
+    // devices' residency budgets for the lifetime of the batch, so eviction
+    // decisions see the true memory pressure (released before returning).
+    let mut cache_charges: Vec<u64> = vec![0; d];
+    if let Some(cache) = &cache {
+        for (&c, (_, msgs)) in &cache.entries {
+            cache_charges[shards.owner_of(c)] += msgs.len() as u64 * CachedMessage::WIRE_BYTES;
+        }
+        for (i, &bytes) in cache_charges.iter().enumerate() {
+            if bytes > 0 {
+                let sh = shards.shard_mut(i);
+                sh.resident.reserve_external(&mut sh.device, bytes);
+            }
         }
     }
 
@@ -240,35 +293,37 @@ pub fn run_knn_batch(
 
     crossbeam::thread::scope(|s| {
         let cache = cache.as_ref();
-        // (pending state, refine handle, device-phase end time)
+        // (pending state, refine handle, device-phase end time, primary)
         let mut in_flight = None;
-        for &(q, k) in queries {
-            let pending = knn_device_phase(
-                device, grid, lists, resident, topo, pool, config, q, k, now, cache,
-            );
-            // Compute on the device stream, copy-back on the transfer
-            // stream (ordered after the compute). Refinement reads the
-            // copied-back results, so it waits for the transfer end; the
-            // next query's kernels only wait for the compute end.
+        for (&(q, k), &primary) in queries.iter().zip(&primaries) {
+            let pending = knn_device_phase(shards, grid, lists, pool, config, q, k, now, cache);
+            // Compute on the primary shard's device stream, copy-back on
+            // its transfer stream (ordered after the compute). Refinement
+            // reads the copied-back results, so it waits for the transfer
+            // end; the next query's kernels only wait for the compute end
+            // — and only if they share the primary.
             let gpu = pending.breakdown.gpu_total();
             let copy_back = pending.breakdown.copy_back;
-            let compute_end =
-                timeline.push(DEVICE_STREAM, SimNanos::ZERO, SimNanos(gpu.0 - copy_back.0));
-            let device_end = timeline.push(TRANSFER_STREAM, compute_end, copy_back);
+            let compute_end = timeline.push(
+                device_stream(d, primary),
+                SimNanos::ZERO,
+                SimNanos(gpu.0 - copy_back.0),
+            );
+            let device_end = timeline.push(transfer_stream(d, primary), compute_end, copy_back);
             serial_time += gpu;
 
-            if let Some((prev, handle, prev_device_end)) = in_flight.take() {
+            if let Some((prev, handle, prev_device_end, prev_primary)) = in_flight.take() {
                 finalize_one(
-                    device,
+                    shards,
                     grid,
                     lists,
-                    resident,
                     pool,
                     config,
                     now,
                     prev,
                     handle,
                     prev_device_end,
+                    prev_primary,
                     cache,
                     &mut timeline,
                     &mut serial_time,
@@ -287,20 +342,20 @@ pub fn run_knn_batch(
             let handle = s.spawn(move |_| {
                 refine_unresolved(grid, &unresolved, l, &in_set, workers, multi_source, pool)
             });
-            in_flight = Some((pending, handle, device_end));
+            in_flight = Some((pending, handle, device_end, primary));
         }
-        if let Some((prev, handle, prev_device_end)) = in_flight.take() {
+        if let Some((prev, handle, prev_device_end, prev_primary)) = in_flight.take() {
             finalize_one(
-                device,
+                shards,
                 grid,
                 lists,
-                resident,
                 pool,
                 config,
                 now,
                 prev,
                 handle,
                 prev_device_end,
+                prev_primary,
                 cache,
                 &mut timeline,
                 &mut serial_time,
@@ -310,6 +365,14 @@ pub fn run_knn_batch(
         }
     })
     .expect("batch scope failed");
+
+    // Release the clean-cache's budget charges: the cache dies with the
+    // batch.
+    for (i, &bytes) in cache_charges.iter().enumerate() {
+        if bytes > 0 {
+            shards.shard_mut(i).resident.release_external(bytes);
+        }
+    }
 
     // Attribute the shared pass: each query absorbs its proportional
     // share, and the shares telescope exactly to the shared totals.
@@ -333,47 +396,48 @@ pub fn run_knn_batch(
 /// operations on the timeline.
 #[allow(clippy::too_many_arguments)]
 fn finalize_one<'scope>(
-    device: &mut Device,
+    shards: &mut ShardSet,
     grid: &GraphGrid,
     lists: &CellLists,
-    resident: &mut ResidentCellStore,
     pool: &ScratchPool,
     config: &GGridConfig,
     now: Timestamp,
     pending: crate::knn::PendingKnn,
     handle: crossbeam::thread::ScopedJoinHandle<'scope, crate::knn::RefineOutcome>,
     device_end: SimNanos,
+    primary: usize,
     cache: Option<&BatchCleanCache>,
     timeline: &mut StreamTimeline,
     serial_time: &mut SimNanos,
     answers: &mut Vec<Vec<(ObjectId, Distance)>>,
     per_query: &mut Vec<QueryBreakdown>,
 ) {
+    let d = shards.num_shards();
     let refined = handle.join().expect("refinement worker panicked");
 
     // Host stream: the refinement, eligible once its device phase ended.
     // Charged at its critical path (busiest worker) — the modeled duration
     // on a host with enough free cores, consistent with the simulated
     // device clock on the other stream.
-    let refine_end = timeline.push(HOST_STREAM, device_end, SimNanos(refined.critical_ns));
+    let refine_end = timeline.push(host_stream(d), device_end, SimNanos(refined.critical_ns));
     *serial_time += SimNanos(refined.critical_ns);
 
     let gpu_before = pending.breakdown.gpu_total();
     let copy_back_before = pending.breakdown.copy_back;
     let result = knn_finalize(
-        device, grid, lists, resident, config, now, pending, refined, pool, cache,
+        shards, grid, lists, config, now, pending, refined, pool, cache,
     );
 
-    // Device stream: the finalisation's lazy cleaning, after the refine;
-    // its copy-back again overlaps on the transfer stream.
+    // Primary device stream: the finalisation's lazy cleaning, after the
+    // refine; its copy-back again overlaps on the transfer stream.
     let finalize_gpu = SimNanos(result.breakdown.gpu_total().0 - gpu_before.0);
     let finalize_copy = SimNanos(result.breakdown.copy_back.0 - copy_back_before.0);
     let compute_end = timeline.push(
-        DEVICE_STREAM,
+        device_stream(d, primary),
         refine_end,
         SimNanos(finalize_gpu.0 - finalize_copy.0),
     );
-    timeline.push(TRANSFER_STREAM, compute_end, finalize_copy);
+    timeline.push(transfer_stream(d, primary), compute_end, finalize_copy);
     *serial_time += finalize_gpu;
 
     answers.push(result.items);

@@ -68,6 +68,30 @@ pub struct CleaningReport {
     pub max_duplicates_seen: u32,
 }
 
+impl CleaningReport {
+    /// Fold another report into this one: every counter and simulated
+    /// clock is additive (callers modeling stream overlap use the
+    /// per-shard reports directly instead), except the duplicate
+    /// diagnostic, which is a max.
+    pub fn merge(&mut self, other: &Self) {
+        self.time += other.time;
+        self.compute_time += other.compute_time;
+        self.copy_back_time += other.copy_back_time;
+        self.kernel_time += other.kernel_time;
+        self.h2d_bytes += other.h2d_bytes;
+        self.h2d_delta_bytes += other.h2d_delta_bytes;
+        self.h2d_full_bytes += other.h2d_full_bytes;
+        self.d2h_bytes += other.d2h_bytes;
+        self.buckets += other.buckets;
+        self.messages += other.messages;
+        self.cells_cleaned += other.cells_cleaned;
+        self.cells_skipped += other.cells_skipped;
+        self.resident_hits += other.resident_hits;
+        self.evictions += other.evictions;
+        self.max_duplicates_seen = self.max_duplicates_seen.max(other.max_duplicates_seen);
+    }
+}
+
 /// Objects found alive in the cleaned cells: newest position per object,
 /// grouped by cell.
 pub type CleanedObjects = HashMap<CellId, Vec<CachedMessage>, FxBuildHasher>;

@@ -90,6 +90,19 @@ pub struct GGridConfig {
     /// region (more cells whose updates invalidate the subscription).
     /// `0.0` is correct but repairs more often.
     pub guard_slack: f64,
+    /// Number of simulated devices the server shards cells over
+    /// ([`crate::shard::ShardSet`]). Cells are partitioned into contiguous
+    /// z-order ranges weighted by record count; each device owns its own
+    /// residency/topology budget (`device_budget_bytes` is per device).
+    /// `1` is the paper's single-GPU deployment; answers are byte-identical
+    /// for every value.
+    pub num_devices: usize,
+    /// Busy-time skew factor that triggers the epoch rebalancer
+    /// ([`crate::server::GGridServer::rebalance_shards`]): boundary cells
+    /// migrate off the hottest shard when its epoch busy time exceeds
+    /// `rebalance_threshold ×` the mean across shards. Only meaningful
+    /// when `num_devices > 1`.
+    pub rebalance_threshold: f64,
 }
 
 impl Default for GGridConfig {
@@ -114,6 +127,8 @@ impl Default for GGridConfig {
             refine_multi_source: true,
             max_subscriptions: 65_536,
             guard_slack: 0.25,
+            num_devices: 1,
+            rebalance_threshold: 1.25,
         }
     }
 }
@@ -155,6 +170,14 @@ impl GGridConfig {
             (0.0..=4.0).contains(&self.guard_slack),
             "guard_slack must be in 0.0..=4.0"
         );
+        assert!(
+            (1..=crate::shard::MAX_DEVICES).contains(&self.num_devices),
+            "num_devices must be in 1..=16"
+        );
+        assert!(
+            self.rebalance_threshold >= 1.0,
+            "rebalance_threshold must be >= 1"
+        );
     }
 }
 
@@ -182,7 +205,39 @@ mod tests {
         assert!(c.refine_multi_source);
         assert_eq!(c.max_subscriptions, 65_536);
         assert!((c.guard_slack - 0.25).abs() < 1e-9);
+        assert_eq!(c.num_devices, 1, "paper's deployment is single-GPU");
+        assert!((c.rebalance_threshold - 1.25).abs() < 1e-9);
         c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "num_devices")]
+    fn zero_devices_rejected() {
+        GGridConfig {
+            num_devices: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "num_devices")]
+    fn too_many_devices_rejected() {
+        GGridConfig {
+            num_devices: 17,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "rebalance_threshold")]
+    fn sub_unity_rebalance_threshold_rejected() {
+        GGridConfig {
+            rebalance_threshold: 0.9,
+            ..Default::default()
+        }
+        .validate();
     }
 
     #[test]

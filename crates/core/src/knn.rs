@@ -46,14 +46,14 @@ use roadnet::EdgePosition;
 
 use crate::batch::BatchCleanCache;
 use crate::busytime::BusyClock;
-use crate::cleaning::clean_cells;
 use crate::config::GGridConfig;
 use crate::grid::{CellId, GraphGrid};
 use crate::message::{CachedMessage, ObjectId, Timestamp};
 use crate::message_list::CellLists;
 use crate::object_table::FxBuildHasher;
-use crate::residency::{ResidentCellStore, TopologyStore};
+use crate::residency::TopologyStore;
 use crate::scratch::{DenseScratch, ScratchPool};
+use crate::shard::ShardSet;
 use crate::stats::QueryBreakdown;
 
 /// Result of a kNN query.
@@ -133,11 +133,9 @@ impl RefineOutcome {
 /// so answers are byte-identical with or without one).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_knn(
-    device: &mut Device,
+    shards: &mut ShardSet,
     grid: &GraphGrid,
     lists: &CellLists,
-    resident: &mut ResidentCellStore,
-    topo: &mut TopologyStore,
     pool: &ScratchPool,
     config: &GGridConfig,
     q: EdgePosition,
@@ -145,9 +143,7 @@ pub(crate) fn run_knn(
     now: Timestamp,
     cache: Option<&BatchCleanCache>,
 ) -> KnnResult {
-    let pending = knn_device_phase(
-        device, grid, lists, resident, topo, pool, config, q, k, now, cache,
-    );
+    let pending = knn_device_phase(shards, grid, lists, pool, config, q, k, now, cache);
     let refined = refine_unresolved(
         grid,
         &pending.unresolved,
@@ -158,7 +154,7 @@ pub(crate) fn run_knn(
         pool,
     );
     knn_finalize(
-        device, grid, lists, resident, config, now, pending, refined, pool, cache,
+        shards, grid, lists, config, now, pending, refined, pool, cache,
     )
 }
 
@@ -168,12 +164,12 @@ pub(crate) fn run_knn(
 /// When a [`BatchCleanCache`] is supplied, cells whose consolidated state
 /// the batch's shared pass already produced — and whose list epoch proves
 /// no message landed since — are served from the cache at zero device cost
-/// (counted as skips); everything else falls through to [`clean_cells`].
+/// (counted as skips); everything else falls through to
+/// [`ShardSet::clean_cells`], which routes each cell to its owning device.
 #[allow(clippy::too_many_arguments)]
 fn clean_round(
-    device: &mut Device,
+    shards: &mut ShardSet,
     lists: &CellLists,
-    resident: &mut ResidentCellStore,
     config: &GGridConfig,
     now: Timestamp,
     cells: &[CellId],
@@ -204,7 +200,7 @@ fn clean_round(
         return;
     }
     let t0 = Instant::now();
-    let (cleaned, rep) = clean_cells(device, lists, resident, &fresh, config, now);
+    let (cleaned, rep) = shards.clean_cells(lists, &fresh, config, now);
     *cpu_excluded += t0.elapsed();
     breakdown.record_cleaning(&rep);
     for c in fresh {
@@ -216,14 +212,16 @@ fn clean_round(
     }
 }
 
-/// Steps 1–3: everything that needs the device and the message lists.
+/// Steps 1–3: everything that needs the devices and the message lists.
+///
+/// Cleaning rounds route each cell to its owning shard; the query-wide
+/// kernels (`GPU_SDist`, selection, unresolved) run on the query's
+/// *primary* shard — the owner of the query's own cell.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn knn_device_phase(
-    device: &mut Device,
+    shards: &mut ShardSet,
     grid: &GraphGrid,
     lists: &CellLists,
-    resident: &mut ResidentCellStore,
-    topo: &mut TopologyStore,
     pool: &ScratchPool,
     config: &GGridConfig,
     q: EdgePosition,
@@ -235,7 +233,7 @@ pub(crate) fn knn_device_phase(
     let graph = grid.graph().clone();
     assert!(q.is_valid(&graph), "query position invalid for this graph");
     let mut breakdown = QueryBreakdown::default();
-    let launches0 = device.launches();
+    let launches0 = shards.total_launches();
     let cpu_start = Instant::now();
     let mut cpu_excluded = Duration::ZERO; // host time spent emulating kernels
 
@@ -243,6 +241,7 @@ pub(crate) fn knn_device_phase(
     let mut in_set = vec![false; grid.num_cells()];
     let mut set: Vec<CellId> = Vec::new();
     let c_q = grid.cell_of_edge(q.edge);
+    let primary = shards.owner_of(c_q);
     let mut first_round = vec![c_q];
     first_round.extend_from_slice(grid.neighbors(c_q));
 
@@ -250,9 +249,8 @@ pub(crate) fn knn_device_phase(
     let target = ((config.rho * k as f64).ceil() as usize).max(k);
 
     clean_round(
-        device,
+        shards,
         lists,
-        resident,
         config,
         now,
         &first_round,
@@ -273,9 +271,8 @@ pub(crate) fn knn_device_phase(
             break;
         }
         clean_round(
-            device,
+            shards,
             lists,
-            resident,
             config,
             now,
             &frontier,
@@ -294,6 +291,7 @@ pub(crate) fn knn_device_phase(
     let mut dist = pool.acquire();
     let candidates = loop {
         let t0 = Instant::now();
+        let (device, _, topo) = shards.parts(primary);
         let s = gpu_sdist(
             device, grid, topo, config, &in_set, &set, q, &graph, &objects, k, &mut dist,
         );
@@ -322,9 +320,8 @@ pub(crate) fn knn_device_phase(
             break candidates;
         }
         clean_round(
-            device,
+            shards,
             lists,
-            resident,
             config,
             now,
             &frontier,
@@ -357,6 +354,7 @@ pub(crate) fn knn_device_phase(
         Vec::new()
     } else {
         let t0 = Instant::now();
+        let device = &mut shards.shard_mut(primary).device;
         let (u, t) = gpu_unresolved(device, grid, &in_set, &set, &dist, l);
         cpu_excluded += t0.elapsed();
         breakdown.candidate += t;
@@ -369,6 +367,7 @@ pub(crate) fn knn_device_phase(
     // (Algorithm 4 line 10 input).
     let out_bytes = candidates.len() as u64 * 16 + unresolved.len() as u64 * 12;
     if out_bytes > 0 {
+        let device = &mut shards.shard_mut(primary).device;
         breakdown.transfer_out += device.d2h(out_bytes);
         breakdown.d2h_bytes += out_bytes;
     }
@@ -376,7 +375,7 @@ pub(crate) fn knn_device_phase(
     let wall = cpu_start.elapsed();
     breakdown.cpu_ns += wall.saturating_sub(cpu_excluded).as_nanos() as u64;
     breakdown.emulation_ns += cpu_excluded.as_nanos() as u64;
-    breakdown.kernel_launches += device.launches() - launches0;
+    breakdown.kernel_launches += shards.total_launches() - launches0;
 
     PendingKnn {
         k,
@@ -542,10 +541,9 @@ pub(crate) fn refine_unresolved(
 /// the estimates through the unresolved vertices, and select the answer.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn knn_finalize(
-    device: &mut Device,
+    shards: &mut ShardSet,
     grid: &GraphGrid,
     lists: &CellLists,
-    resident: &mut ResidentCellStore,
     config: &GGridConfig,
     now: Timestamp,
     pending: PendingKnn,
@@ -565,7 +563,7 @@ pub(crate) fn knn_finalize(
         mut breakdown,
     } = pending;
     let graph = grid.graph();
-    let launches0 = device.launches();
+    let launches0 = shards.total_launches();
     let cpu_start = Instant::now();
     let mut cpu_excluded = Duration::ZERO;
 
@@ -580,9 +578,8 @@ pub(crate) fn knn_finalize(
         // Lazily clean the cells the refinement wandered into and add their
         // objects to the pool.
         clean_round(
-            device,
+            shards,
             lists,
-            resident,
             config,
             now,
             &refined.touched_cells,
@@ -632,7 +629,7 @@ pub(crate) fn knn_finalize(
     // Refinement wall time counts as CPU work (it did before the split).
     breakdown.cpu_ns += wall.saturating_sub(cpu_excluded).as_nanos() as u64 + breakdown.refine_ns;
     breakdown.emulation_ns += cpu_excluded.as_nanos() as u64;
-    breakdown.kernel_launches += device.launches() - launches0;
+    breakdown.kernel_launches += shards.total_launches() - launches0;
 
     KnnResult {
         items: final_items,
@@ -1322,18 +1319,15 @@ mod tests {
 
     #[test]
     fn run_knn_invalid_query_panics() {
-        let (grid, lists, mut device, config) = setup(3);
+        let (grid, lists, device, config) = setup(3);
         let bad = EdgePosition::new(EdgeId(0), 10_000);
-        let mut resident = ResidentCellStore::new(config.device_budget_bytes);
-        let mut topo = TopologyStore::new(config.device_budget_bytes);
+        let mut shards = ShardSet::single(device, &config, grid.num_cells());
         let pool = ScratchPool::new(grid.graph().num_vertices());
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             run_knn(
-                &mut device,
+                &mut shards,
                 &grid,
                 &lists,
-                &mut resident,
-                &mut topo,
                 &pool,
                 &config,
                 bad,
@@ -1347,21 +1341,18 @@ mod tests {
 
     #[test]
     fn run_knn_direct() {
-        let (grid, lists, mut device, config) = setup(3);
+        let (grid, lists, device, config) = setup(3);
         let objects: Vec<(u64, EdgePosition)> = (0..8u64)
             .map(|o| (o, EdgePosition::at_source(EdgeId((o * 19 % 160) as u32))))
             .collect();
         place(&grid, &lists, &objects, 100);
         let q = EdgePosition::at_source(EdgeId(1));
-        let mut resident = ResidentCellStore::new(config.device_budget_bytes);
-        let mut topo = TopologyStore::new(config.device_budget_bytes);
+        let mut shards = ShardSet::single(device, &config, grid.num_cells());
         let pool = ScratchPool::new(grid.graph().num_vertices());
         let result = run_knn(
-            &mut device,
+            &mut shards,
             &grid,
             &lists,
-            &mut resident,
-            &mut topo,
             &pool,
             &config,
             q,
@@ -1385,23 +1376,20 @@ mod tests {
         // The refinement merge is order-independent, so every worker count
         // must produce bit-identical answers.
         let reference: Vec<Vec<(ObjectId, Distance)>> = {
-            let (grid, lists, mut device, config) = setup(11);
+            let (grid, lists, device, config) = setup(11);
             let objects: Vec<(u64, EdgePosition)> = (0..20u64)
                 .map(|o| (o, EdgePosition::at_source(EdgeId((o * 23 % 160) as u32))))
                 .collect();
             place(&grid, &lists, &objects, 100);
-            let mut resident = ResidentCellStore::new(config.device_budget_bytes);
-            let mut topo = TopologyStore::new(config.device_budget_bytes);
+            let mut shards = ShardSet::single(device, &config, grid.num_cells());
             let pool = ScratchPool::new(grid.graph().num_vertices());
             (0..5u32)
                 .map(|i| {
                     let q = EdgePosition::at_source(EdgeId(i * 31 % 160));
                     run_knn(
-                        &mut device,
+                        &mut shards,
                         &grid,
                         &lists,
-                        &mut resident,
-                        &mut topo,
                         &pool,
                         &config,
                         q,
@@ -1414,23 +1402,20 @@ mod tests {
                 .collect()
         };
         for workers in [2usize, 4, 8] {
-            let (grid, lists, mut device, mut config) = setup(11);
+            let (grid, lists, device, mut config) = setup(11);
             config.refine_workers = workers;
             let objects: Vec<(u64, EdgePosition)> = (0..20u64)
                 .map(|o| (o, EdgePosition::at_source(EdgeId((o * 23 % 160) as u32))))
                 .collect();
             place(&grid, &lists, &objects, 100);
-            let mut resident = ResidentCellStore::new(config.device_budget_bytes);
-            let mut topo = TopologyStore::new(config.device_budget_bytes);
+            let mut shards = ShardSet::single(device, &config, grid.num_cells());
             let pool = ScratchPool::new(grid.graph().num_vertices());
             for (i, want) in reference.iter().enumerate() {
                 let q = EdgePosition::at_source(EdgeId(i as u32 * 31 % 160));
                 let got = run_knn(
-                    &mut device,
+                    &mut shards,
                     &grid,
                     &lists,
-                    &mut resident,
-                    &mut topo,
                     &pool,
                     &config,
                     q,
@@ -1448,21 +1433,18 @@ mod tests {
     fn refine_outcome_matches_sequential_reference() {
         // Cross-check the parallel refinement against an in-test sequential
         // re-implementation of the original single-threaded loop.
-        let (grid, lists, mut device, config) = setup(7);
+        let (grid, lists, device, config) = setup(7);
         let objects: Vec<(u64, EdgePosition)> = (0..10u64)
             .map(|o| (o, EdgePosition::at_source(EdgeId((o * 37 % 160) as u32))))
             .collect();
         place(&grid, &lists, &objects, 100);
         let q = EdgePosition::at_source(EdgeId(2));
-        let mut resident = ResidentCellStore::new(config.device_budget_bytes);
-        let mut topo = TopologyStore::new(config.device_budget_bytes);
+        let mut shards = ShardSet::single(device, &config, grid.num_cells());
         let pool = ScratchPool::new(grid.graph().num_vertices());
         let pending = knn_device_phase(
-            &mut device,
+            &mut shards,
             &grid,
             &lists,
-            &mut resident,
-            &mut topo,
             &pool,
             &config,
             q,
@@ -1517,21 +1499,18 @@ mod tests {
         // The shared search settles overlapping subtrees once; with several
         // unresolved sources its settled count can only be <= the per-vertex
         // union's (which settles shared vertices once per source).
-        let (grid, lists, mut device, config) = setup(7);
+        let (grid, lists, device, config) = setup(7);
         let objects: Vec<(u64, EdgePosition)> = (0..10u64)
             .map(|o| (o, EdgePosition::at_source(EdgeId((o * 37 % 160) as u32))))
             .collect();
         place(&grid, &lists, &objects, 100);
         let q = EdgePosition::at_source(EdgeId(2));
-        let mut resident = ResidentCellStore::new(config.device_budget_bytes);
-        let mut topo = TopologyStore::new(config.device_budget_bytes);
+        let mut shards = ShardSet::single(device, &config, grid.num_cells());
         let pool = ScratchPool::new(grid.graph().num_vertices());
         let pending = knn_device_phase(
-            &mut device,
+            &mut shards,
             &grid,
             &lists,
-            &mut resident,
-            &mut topo,
             &pool,
             &config,
             q,

@@ -52,6 +52,7 @@ pub mod object_table;
 pub mod residency;
 pub mod scratch;
 pub mod server;
+pub mod shard;
 pub mod stats;
 pub mod subscription;
 pub mod validate;

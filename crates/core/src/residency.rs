@@ -56,6 +56,10 @@ pub struct ResidentCellStore {
     entries: HashMap<CellId, ResidentEntry, FxBuildHasher>,
     tick: u64,
     evictions: u64,
+    /// Bytes other device-resident structures (the batch clean-cache)
+    /// have charged against this budget; eviction decisions count them as
+    /// pressure even though no resident entry backs them.
+    external_bytes: u64,
 }
 
 impl ResidentCellStore {
@@ -67,6 +71,7 @@ impl ResidentCellStore {
             entries: HashMap::with_hasher(FxBuildHasher::default()),
             tick: 0,
             evictions: 0,
+            external_bytes: 0,
         }
     }
 
@@ -85,6 +90,34 @@ impl ResidentCellStore {
 
     pub fn resident_cells(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Bytes currently charged by external structures
+    /// (see [`Self::reserve_external`]).
+    pub fn external_bytes(&self) -> u64 {
+        self.external_bytes
+    }
+
+    /// Charge `bytes` of device memory held by an external structure (the
+    /// batch clean-cache) against this budget, evicting LRU residents to
+    /// make room. Best-effort: the charge is recorded even if the budget
+    /// cannot be met (the external structure exists regardless; the ledger
+    /// must reflect the true pressure). No-op while residency is disabled.
+    pub fn reserve_external(&mut self, device: &mut Device, bytes: u64) {
+        if !self.enabled() || bytes == 0 {
+            return;
+        }
+        while self.resident_bytes() + self.external_bytes + bytes > self.budget_bytes {
+            if self.evict_lru(device).is_none() {
+                break;
+            }
+        }
+        self.external_bytes += bytes;
+    }
+
+    /// Release an earlier [`Self::reserve_external`] charge.
+    pub fn release_external(&mut self, bytes: u64) {
+        self.external_bytes = self.external_bytes.saturating_sub(bytes);
     }
 
     pub fn contains(&self, cell: CellId) -> bool {
@@ -152,10 +185,11 @@ impl ResidentCellStore {
             device.free_buffer(e.buffer);
         }
 
-        // Budget eviction (never counts the slot being refreshed).
-        while self.resident_bytes() + bytes > self.budget_bytes {
+        // Budget eviction (never counts the slot being refreshed; external
+        // charges squeeze the same budget).
+        while self.resident_bytes() + self.external_bytes + bytes > self.budget_bytes {
             if self.evict_lru(device).is_none() {
-                return false; // unreachable: bytes <= budget and store empty
+                return false; // bytes <= budget and store empty (or all external)
             }
         }
 
@@ -468,6 +502,36 @@ mod tests {
         assert!(!s.contains(CellId(2)), "stale entry must be dropped");
         assert_eq!(d.residency().live_buffers, 0);
         assert_eq!(s.evictions(), 1);
+    }
+
+    #[test]
+    fn external_charge_squeezes_budget() {
+        let mut d = dev();
+        // Budget fits two 4-message cells but not three.
+        let mut s = ResidentCellStore::new(9 * CachedMessage::WIRE_BYTES);
+        s.install(&mut d, CellId(0), 1, &msgs(4));
+        s.install(&mut d, CellId(1), 1, &msgs(4));
+        // An external charge of 4 messages' worth must evict the LRU cell.
+        s.reserve_external(&mut d, 4 * CachedMessage::WIRE_BYTES);
+        assert_eq!(s.external_bytes(), 4 * CachedMessage::WIRE_BYTES);
+        assert!(!s.contains(CellId(0)), "external pressure must evict LRU");
+        assert!(s.contains(CellId(1)));
+        // While the charge is live, installs see the squeezed budget.
+        assert!(s.install(&mut d, CellId(2), 1, &msgs(4)));
+        assert!(!s.contains(CellId(1)));
+        // Releasing restores the full budget: both cells fit again.
+        s.release_external(4 * CachedMessage::WIRE_BYTES);
+        assert_eq!(s.external_bytes(), 0);
+        assert!(s.install(&mut d, CellId(3), 1, &msgs(4)));
+        assert!(s.contains(CellId(2)) && s.contains(CellId(3)));
+    }
+
+    #[test]
+    fn external_charge_noop_when_disabled() {
+        let mut d = dev();
+        let mut s = ResidentCellStore::new(0);
+        s.reserve_external(&mut d, 1 << 20);
+        assert_eq!(s.external_bytes(), 0);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The query server: G-Grid state plus the update and query entry points.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -19,8 +19,8 @@ use crate::knn::{run_knn, KnnResult};
 use crate::message::{CachedMessage, ObjectId, Timestamp};
 use crate::message_list::CellLists;
 use crate::object_table::{shard_of, ShardedObjectTable};
-use crate::residency::{ResidentCellStore, TopologyStore};
 use crate::scratch::ScratchPool;
+use crate::shard::{MigrationReport, ShardSet};
 use crate::stats::{guard_hist_bucket, IngestCounters, QueryBreakdown, ServerCounters};
 use crate::subscription::{
     guard_cover, slacked, Subscription, SubscriptionId, SubscriptionRegistry,
@@ -55,9 +55,10 @@ pub struct GGridServer {
     config: GGridConfig,
     object_table: ShardedObjectTable,
     lists: CellLists,
-    device: Device,
-    resident: ResidentCellStore,
-    topo: TopologyStore,
+    /// The simulated devices with their residency/topology stores and the
+    /// cell → shard map (`config.num_devices` of them; one is the paper's
+    /// single-GPU deployment).
+    shards: ShardSet,
     pool: ScratchPool,
     counters: ServerCounters,
     ingest: IngestCounters,
@@ -69,6 +70,10 @@ pub struct GGridServer {
     subs_dirty: Mutex<Vec<CellId>>,
     /// Fast gate on `subs_dirty`: true once `subscribe_knn` has ever run.
     track_dirty: AtomicBool,
+    /// Per-cell dirtied counts for the current rebalance epoch — the load
+    /// signal [`Self::rebalance_shards`] migrates by. Empty (never tallied)
+    /// while `num_devices == 1`, so single-device ingest pays nothing.
+    cell_dirt: Vec<AtomicU64>,
 }
 
 impl GGridServer {
@@ -93,7 +98,7 @@ impl GGridServer {
     /// immutable after construction, so harnesses sweeping query-side
     /// parameters can partition the network once and spin up fresh servers
     /// cheaply.
-    pub fn with_shared_grid(grid: Arc<GraphGrid>, config: GGridConfig, mut device: Device) -> Self {
+    pub fn with_shared_grid(grid: Arc<GraphGrid>, config: GGridConfig, device: Device) -> Self {
         config.validate();
         assert!(grid.graph().num_vertices() > 0, "grid over an empty graph");
         // A shared grid must have been built with the same capacities the
@@ -104,30 +109,25 @@ impl GGridServer {
             "shared grid was built with different δc/δv than the config"
         );
         let graph = grid.graph().clone();
-        // The GPU holds a mirror of the graph grid (§III-A); reserve it.
-        device
-            .alloc(grid.grid_bytes())
-            .expect("graph grid does not fit in device memory");
+        // Partition the z-ordered cells over the devices; every device
+        // reserves the graph-grid mirror (§III-A) and owns its residency
+        // stores (the per-device `device_budget_bytes`).
+        let shards = ShardSet::new(&grid, &config, device);
         let lists = CellLists::new(grid.num_cells(), config.bucket_capacity);
-        let resident = ResidentCellStore::new(config.device_budget_bytes);
-        // Topology residency shares the cell-state device budget; a zero
-        // budget disables it, as does the dedicated config switch.
-        let topo = TopologyStore::new(if config.topology_resident {
-            config.device_budget_bytes
-        } else {
-            0
-        });
         let pool = ScratchPool::new(graph.num_vertices());
         let subs = SubscriptionRegistry::new(grid.num_cells());
+        let cell_dirt = if config.num_devices > 1 {
+            (0..grid.num_cells()).map(|_| AtomicU64::new(0)).collect()
+        } else {
+            Vec::new()
+        };
         Self {
             graph,
             grid,
             config,
             object_table: ShardedObjectTable::new(),
             lists,
-            device,
-            resident,
-            topo,
+            shards,
             pool,
             counters: ServerCounters::default(),
             ingest: IngestCounters::default(),
@@ -135,6 +135,7 @@ impl GGridServer {
             subs,
             subs_dirty: Mutex::new(Vec::new()),
             track_dirty: AtomicBool::new(false),
+            cell_dirt,
         }
     }
 
@@ -150,8 +151,29 @@ impl GGridServer {
         &self.config
     }
 
+    /// Shard 0's device (the single device when `num_devices == 1`).
     pub fn device(&self) -> &Device {
-        &self.device
+        &self.shards.shard(0).device
+    }
+
+    /// Number of shard devices serving this index.
+    pub fn num_shards(&self) -> usize {
+        self.shards.num_shards()
+    }
+
+    /// The contiguous z-order cell range each shard currently owns.
+    pub fn shard_ranges(&self) -> Vec<std::ops::Range<u32>> {
+        (0..self.shards.num_shards())
+            .map(|d| self.shards.map().range(d))
+            .collect()
+    }
+
+    /// Lifetime kernel-launch count per shard device (tests: routing
+    /// assertions).
+    pub fn device_launches(&self) -> Vec<u64> {
+        (0..self.shards.num_shards())
+            .map(|d| self.shards.shard(d).device.launches())
+            .collect()
     }
 
     /// A point-in-time snapshot of the server counters: the query-side
@@ -163,6 +185,9 @@ impl GGridServer {
         c.bucket_allocs = self.lists.sum_over(|l| l.bucket_alloc_stats().0);
         c.bucket_reuses = self.lists.sum_over(|l| l.bucket_alloc_stats().1);
         c.subs_active = self.subs.active() as u64;
+        for d in 0..self.shards.num_shards() {
+            c.shard_busy_ns[d] = self.shards.shard(d).lifetime_busy_ns();
+        }
         c
     }
 
@@ -171,19 +196,27 @@ impl GGridServer {
         &self.last_breakdown
     }
 
-    /// Number of cells whose consolidated lists are device-resident.
+    /// Number of cells whose consolidated lists are device-resident
+    /// (summed over all shards).
     pub fn resident_cells(&self) -> usize {
-        self.resident.resident_cells()
+        (0..self.shards.num_shards())
+            .map(|d| self.shards.shard(d).resident.resident_cells())
+            .sum()
     }
 
-    /// Bytes of consolidated cell state held in device memory.
+    /// Bytes of consolidated cell state held in device memory (all shards).
     pub fn resident_bytes(&self) -> u64 {
-        self.resident.resident_bytes()
+        (0..self.shards.num_shards())
+            .map(|d| self.shards.shard(d).resident.resident_bytes())
+            .sum()
     }
 
-    /// Whether the cell containing `edge` is device-resident right now.
+    /// Whether the cell containing `edge` is device-resident right now
+    /// (on its owning shard).
     pub fn is_resident(&self, edge: roadnet::EdgeId) -> bool {
-        self.resident.contains(self.grid.cell_of_edge(edge))
+        let cell = self.grid.cell_of_edge(edge);
+        let owner = self.shards.owner_of(cell);
+        self.shards.shard(owner).resident.contains(cell)
     }
 
     /// Forcibly evict the resident state of the cell containing `edge`
@@ -192,33 +225,46 @@ impl GGridServer {
     /// and re-promotes it.
     pub fn evict_resident(&mut self, edge: roadnet::EdgeId) -> bool {
         let cell = self.grid.cell_of_edge(edge);
-        let evicted = self.resident.force_evict(&mut self.device, cell);
+        let owner = self.shards.owner_of(cell);
+        let sh = self.shards.shard_mut(owner);
+        let evicted = sh.resident.force_evict(&mut sh.device, cell);
         if evicted {
             self.counters.evictions += 1;
         }
         evicted
     }
 
-    /// Forcibly evict every resident cell.
+    /// Forcibly evict every resident cell on every shard.
     pub fn evict_all_resident(&mut self) {
-        self.counters.evictions += self.resident.resident_cells() as u64;
-        self.resident.clear(&mut self.device);
+        for d in 0..self.shards.num_shards() {
+            let sh = self.shards.shard_mut(d);
+            self.counters.evictions += sh.resident.resident_cells() as u64;
+            sh.resident.clear(&mut sh.device);
+        }
     }
 
-    /// Number of cells whose CSR topology slices are device-resident.
+    /// Number of cells whose CSR topology slices are device-resident
+    /// (summed over all shards).
     pub fn topology_resident_cells(&self) -> usize {
-        self.topo.resident_cells()
+        (0..self.shards.num_shards())
+            .map(|d| self.shards.shard(d).topo.resident_cells())
+            .sum()
     }
 
-    /// Bytes of topology slices held in device memory.
+    /// Bytes of topology slices held in device memory (all shards).
     pub fn topology_resident_bytes(&self) -> u64 {
-        self.topo.resident_bytes()
+        (0..self.shards.num_shards())
+            .map(|d| self.shards.shard(d).topo.resident_bytes())
+            .sum()
     }
 
     /// Forcibly evict every resident topology slice (tests and ablations —
     /// the next query re-uploads what it touches).
     pub fn evict_all_topology(&mut self) {
-        self.topo.clear(&mut self.device);
+        for d in 0..self.shards.num_shards() {
+            let sh = self.shards.shard_mut(d);
+            sh.topo.clear(&mut sh.device);
+        }
     }
 
     /// Read access to the per-cell message lists (diagnostics/validation).
@@ -291,6 +337,13 @@ impl GGridServer {
             pending.push(cell);
             pending.extend(tombstone_cell);
         }
+        if self.config.num_devices > 1 {
+            for c in std::iter::once(cell).chain(tombstone_cell) {
+                let owner = self.shards.owner_of(c);
+                self.ingest.shard_dirtied[owner].fetch_add(1, Ordering::Relaxed);
+                self.cell_dirt[c.index()].fetch_add(1, Ordering::Relaxed);
+            }
+        }
         self.ingest.updates_ingested.fetch_add(1, Ordering::Relaxed);
         let ns = t0.elapsed().as_nanos() as u64;
         self.ingest.busy_ns.fetch_add(ns, Ordering::Relaxed);
@@ -321,6 +374,10 @@ impl GGridServer {
     /// Returns the set of cells whose dirty epoch the batch bumped (the
     /// run heads — one entry per touched cell, sorted), so consumers like
     /// the subscription tick never re-derive it from message placement.
+    /// Materialising that set costs an allocation per batch, so it is only
+    /// built when someone will consume it — a registered subscription
+    /// (`track_dirty`) or shard routing/rebalancing (`num_devices > 1`);
+    /// otherwise the returned vector is empty.
     pub fn ingest_batch(&self, updates: &[(ObjectId, EdgePosition, Timestamp)]) -> Vec<CellId> {
         if updates.is_empty() {
             return Vec::new();
@@ -406,10 +463,22 @@ impl GGridServer {
             runs.push(run);
             rest = tail;
         }
-        let dirty: Vec<CellId> = runs.iter().map(|run| run[0].0).collect();
+        let sharded = self.config.num_devices > 1;
+        let dirty: Vec<CellId> = if self.track_dirty.load(Ordering::Relaxed) || sharded {
+            runs.iter().map(|run| run[0].0).collect()
+        } else {
+            Vec::new()
+        };
+        if sharded {
+            for &c in &dirty {
+                let owner = self.shards.owner_of(c);
+                self.ingest.shard_dirtied[owner].fetch_add(1, Ordering::Relaxed);
+                self.cell_dirt[c.index()].fetch_add(1, Ordering::Relaxed);
+            }
+        }
         self.ingest
             .cells_dirtied
-            .fetch_add(dirty.len() as u64, Ordering::Relaxed);
+            .fetch_add(runs.len() as u64, Ordering::Relaxed);
         let commit = |w: usize| -> u64 {
             let started = Instant::now();
             for run in runs.iter().skip(w).step_by(workers) {
@@ -477,14 +546,8 @@ impl GGridServer {
         cells: &[CellId],
         now: Timestamp,
     ) -> (CleanedObjects, CleaningReport) {
-        crate::cleaning::clean_cells(
-            &mut self.device,
-            &self.lists,
-            &mut self.resident,
-            cells,
-            &self.config,
-            now,
-        )
+        self.shards
+            .clean_cells(&self.lists, cells, &self.config, now)
     }
 
     /// Eagerly clean the message list of the cell containing `edge`
@@ -518,11 +581,9 @@ impl GGridServer {
         now: Timestamp,
     ) -> crate::batch::BatchResult {
         let result = crate::batch::run_knn_batch(
-            &mut self.device,
+            &mut self.shards,
             &self.grid,
             &self.lists,
-            &mut self.resident,
-            &mut self.topo,
             &self.pool,
             &self.config,
             queries,
@@ -535,7 +596,7 @@ impl GGridServer {
             self.counters.record_query(b);
         }
         self.counters.batch_shared_cells += result.shared_cells as u64;
-        self.counters.kernel_launches = self.device.launches();
+        self.counters.kernel_launches = self.shards.total_launches();
         result
     }
 
@@ -558,11 +619,9 @@ impl GGridServer {
         cache: Option<&BatchCleanCache>,
     ) -> KnnResult {
         let result = run_knn(
-            &mut self.device,
+            &mut self.shards,
             &self.grid,
             &self.lists,
-            &mut self.resident,
-            &mut self.topo,
             &self.pool,
             &self.config,
             q,
@@ -571,8 +630,39 @@ impl GGridServer {
             cache,
         );
         self.last_breakdown = result.breakdown;
-        self.counters.kernel_launches = self.device.launches();
+        self.counters.kernel_launches = self.shards.total_launches();
         result
+    }
+
+    /// End a rebalance epoch: if the busiest shard's device busy time since
+    /// the previous call exceeds `rebalance_threshold` × the mean, migrate
+    /// a run of boundary cells (with their pending dirt, evicting their
+    /// resident state) from it to its colder neighbour in z-order. Call
+    /// once per serving epoch; a no-op while `num_devices == 1`. See
+    /// DESIGN.md §5.8.
+    pub fn rebalance_shards(&mut self) -> Option<MigrationReport> {
+        if self.config.num_devices <= 1 {
+            return None;
+        }
+        let dirt: Vec<u64> = self
+            .cell_dirt
+            .iter()
+            .map(|d| d.load(Ordering::Relaxed))
+            .collect();
+        let report = self
+            .shards
+            .maybe_rebalance(&dirt, self.config.rebalance_threshold);
+        if let Some(rep) = report {
+            self.counters.rebalances += 1;
+            self.counters.cells_migrated += rep.cells_moved as u64;
+            self.counters.evictions += rep.resident_evicted;
+            // Migrated dirt has been re-homed; start the next epoch's tally
+            // from zero so one hot burst doesn't keep ping-ponging cells.
+            for d in &self.cell_dirt {
+                d.store(0, Ordering::Relaxed);
+            }
+        }
+        report
     }
 }
 
@@ -890,13 +980,16 @@ impl MovingObjectIndex for GGridServer {
     }
 
     fn sim_costs(&self) -> SimCosts {
-        let ledger = self.device.ledger();
-        SimCosts {
-            gpu_time: self.device.kernel_time(),
-            transfer_time: ledger.total_time(),
-            h2d_bytes: ledger.h2d_bytes,
-            d2h_bytes: ledger.d2h_bytes,
+        let mut costs = SimCosts::default();
+        for d in 0..self.shards.num_shards() {
+            let dev = &self.shards.shard(d).device;
+            let ledger = dev.ledger();
+            costs.gpu_time.0 += dev.kernel_time().0;
+            costs.transfer_time.0 += ledger.total_time().0;
+            costs.h2d_bytes += ledger.h2d_bytes;
+            costs.d2h_bytes += ledger.d2h_bytes;
         }
+        costs
     }
 
     fn emulated_host_ns(&self) -> u64 {
@@ -908,12 +1001,13 @@ impl MovingObjectIndex for GGridServer {
         IndexSize {
             // Graph grid + object table + message lists live on the CPU.
             cpu_bytes: self.grid.grid_bytes() + self.object_table.size_bytes() + lists,
-            // The GPU holds a mirror of the graph grid to streamline the
-            // computation (Fig 6's "G-Grid (GPU)") plus whatever
-            // consolidated cell lists and topology slices are resident.
-            gpu_bytes: self.grid.grid_bytes()
-                + self.resident.resident_bytes()
-                + self.topo.resident_bytes(),
+            // Every shard device holds a mirror of the graph grid to
+            // streamline the computation (Fig 6's "G-Grid (GPU)") plus
+            // whatever consolidated cell lists and topology slices are
+            // resident on that shard.
+            gpu_bytes: self.grid.grid_bytes() * self.shards.num_shards() as u64
+                + self.resident_bytes()
+                + self.topology_resident_bytes(),
         }
     }
 }

@@ -1,0 +1,551 @@
+//! Multi-device sharding: z-order cell partitioning, per-shard residency,
+//! routed cleaning, and busy-time rebalancing.
+//!
+//! The G-Grid stores cells in z-order (§III-A), so a contiguous range of
+//! cell indices is a spatially coherent tile — exactly the unit a
+//! multi-device deployment wants to partition. A [`ShardSet`] owns `D`
+//! simulated devices; shard `d` owns the cells in `map.range(d)` and keeps
+//! **its own** residency and topology LRUs (the per-device
+//! `device_budget_bytes`), while the immutable graph-grid mirror is
+//! replicated on every device (queries route by data, not by topology).
+//!
+//! **Routing.** Mutable per-cell state (message lists, consolidated
+//! residency) is partitioned: a cleaning round splits its cell set by owner
+//! and drives each owner's device independently ([`ShardSet::clean_cells`]).
+//! Per-cell cleaning is deterministic and independent of the batch
+//! composition, so the merged output is byte-identical to the single-device
+//! pass — the correctness argument for answers being independent of `D`.
+//! Query-wide kernels (`GPU_SDist`, selection, unresolved) run on the
+//! query's *primary* shard: the owner of the query's cell.
+//!
+//! **Rebalancing.** Contiguous ranges make migration cheap: moving the
+//! boundary of two adjacent shards re-homes a z-run of cells. The epoch
+//! rebalancer ([`ShardSet::maybe_rebalance`]) watches per-shard busy time
+//! (kernel + transfer deltas since the last epoch), and when the hottest
+//! shard exceeds `rebalance_threshold ×` the mean it migrates boundary
+//! cells toward the neighbor — evicting the moved cells' resident state on
+//! the old owner, so the next clean re-homes them on the new device (the
+//! pending dirt in the host-side message lists replays there naturally).
+
+use std::ops::Range;
+
+use gpu_sim::Device;
+
+use crate::cleaning::{clean_cells, CleanedObjects, CleaningReport};
+use crate::config::GGridConfig;
+use crate::grid::{CellId, GraphGrid};
+use crate::message::Timestamp;
+use crate::message_list::CellLists;
+use crate::residency::{ResidentCellStore, TopologyStore};
+
+/// Hard cap on `num_devices`, sized so per-shard counter arrays stay
+/// `Copy` (see [`crate::stats::ServerCounters`]).
+pub const MAX_DEVICES: usize = 16;
+
+/// Cell-index → shard mapping: shard `d` owns the contiguous z-range
+/// `starts[d] .. starts[d + 1]` (the last shard runs to `num_cells`).
+#[derive(Clone, Debug)]
+pub struct ShardMap {
+    /// `starts[0] == 0`; strictly increasing would forbid empty shards, so
+    /// only monotone non-decreasing is required.
+    starts: Vec<u32>,
+    num_cells: u32,
+}
+
+impl ShardMap {
+    pub fn from_ranges(ranges: &[Range<u32>], num_cells: u32) -> Self {
+        assert!(!ranges.is_empty(), "need at least one shard range");
+        assert_eq!(ranges[0].start, 0, "first range must start at cell 0");
+        assert_eq!(
+            ranges.last().unwrap().end,
+            num_cells,
+            "last range must end at num_cells"
+        );
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "ranges must be contiguous");
+        }
+        Self {
+            starts: ranges.iter().map(|r| r.start).collect(),
+            num_cells,
+        }
+    }
+
+    pub fn num_shards(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// The shard that owns `cell`.
+    pub fn owner_of(&self, cell: CellId) -> usize {
+        let idx = cell.index() as u32;
+        debug_assert!(idx < self.num_cells, "cell out of range");
+        self.starts.partition_point(|&s| s <= idx) - 1
+    }
+
+    /// The z-range shard `d` owns.
+    pub fn range(&self, d: usize) -> Range<u32> {
+        let start = self.starts[d];
+        let end = self.starts.get(d + 1).copied().unwrap_or(self.num_cells);
+        start..end
+    }
+}
+
+/// One simulated device plus the mutable stores it owns.
+pub struct ShardState {
+    pub device: Device,
+    pub resident: ResidentCellStore,
+    pub topo: TopologyStore,
+    /// Lifetime busy-ns at the start of the current epoch.
+    busy_snapshot_ns: u64,
+}
+
+impl ShardState {
+    fn new(device: Device, config: &GGridConfig) -> Self {
+        let resident = ResidentCellStore::new(config.device_budget_bytes);
+        let topo = TopologyStore::new(if config.topology_resident {
+            config.device_budget_bytes
+        } else {
+            0
+        });
+        Self {
+            device,
+            resident,
+            topo,
+            busy_snapshot_ns: 0,
+        }
+    }
+
+    /// Lifetime busy time of this device: kernel execution plus bus
+    /// transfers (both simulated clocks are monotone).
+    pub fn lifetime_busy_ns(&self) -> u64 {
+        self.device.kernel_time().0 + self.device.ledger().total_time().0
+    }
+
+    /// Busy time accumulated since the last [`ShardSet::snapshot_busy`].
+    pub fn epoch_busy_ns(&self) -> u64 {
+        self.lifetime_busy_ns() - self.busy_snapshot_ns
+    }
+}
+
+/// What one rebalance epoch moved.
+#[derive(Clone, Copy, Debug)]
+pub struct MigrationReport {
+    /// Shard the cells left.
+    pub from: usize,
+    /// Adjacent shard the cells joined.
+    pub to: usize,
+    /// Cells re-homed.
+    pub cells_moved: u32,
+    /// Dirt mass (per-cell dirtied counts) carried by the moved cells.
+    pub dirt_moved: u64,
+    /// Resident consolidated-list entries evicted off the old owner.
+    pub resident_evicted: u64,
+    /// Resident topology slices evicted off the old owner.
+    pub topo_evicted: u64,
+}
+
+/// `D` devices with their stores and the cell → shard map.
+pub struct ShardSet {
+    shards: Vec<ShardState>,
+    map: ShardMap,
+}
+
+impl ShardSet {
+    /// Build `config.num_devices` shards over `grid`, splitting the z-order
+    /// cell sequence into contiguous ranges weighted by per-cell record
+    /// counts (the static proxy for object load before any update lands).
+    /// Shard 0 wraps the caller's `device`; the rest clone its spec. Every
+    /// device reserves the graph-grid mirror (§III-A), replicated per card.
+    pub fn new(grid: &GraphGrid, config: &GGridConfig, device: Device) -> Self {
+        let d = config.num_devices;
+        assert!(
+            (1..=MAX_DEVICES).contains(&d),
+            "num_devices must be in 1..={MAX_DEVICES}"
+        );
+        let weights: Vec<u64> = grid
+            .cell_ids()
+            .map(|c| grid.cell(c).records.len() as u64 + 1)
+            .collect();
+        let ranges = roadnet::partition::weighted_contiguous_ranges(&weights, d);
+        let map = ShardMap::from_ranges(&ranges, grid.num_cells() as u32);
+        let spec = device.spec().clone();
+        let mut devices = vec![device];
+        for _ in 1..d {
+            devices.push(Device::new(spec.clone()));
+        }
+        let mut shards = Vec::with_capacity(d);
+        for mut dev in devices {
+            dev.alloc(grid.grid_bytes())
+                .expect("graph grid does not fit in device memory");
+            shards.push(ShardState::new(dev, config));
+        }
+        Self { shards, map }
+    }
+
+    /// A single-shard set over `num_cells` cells wrapping `device` — the
+    /// `D = 1` degenerate case used by unit tests that drive the query
+    /// pipeline directly (no grid mirror is reserved here).
+    pub fn single(device: Device, config: &GGridConfig, num_cells: usize) -> Self {
+        let whole = std::iter::once(0..num_cells as u32).collect::<Vec<_>>();
+        let map = ShardMap::from_ranges(&whole, num_cells as u32);
+        Self {
+            shards: vec![ShardState::new(device, config)],
+            map,
+        }
+    }
+
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// The shard that owns `cell` (a query's *primary* shard is the owner
+    /// of its own cell).
+    pub fn owner_of(&self, cell: CellId) -> usize {
+        self.map.owner_of(cell)
+    }
+
+    pub fn shard(&self, d: usize) -> &ShardState {
+        &self.shards[d]
+    }
+
+    pub fn shard_mut(&mut self, d: usize) -> &mut ShardState {
+        &mut self.shards[d]
+    }
+
+    /// Field-split borrow of shard `d`'s device and stores, for callers
+    /// that need them simultaneously (the single-device kernel primitives).
+    pub fn parts(&mut self, d: usize) -> (&mut Device, &mut ResidentCellStore, &mut TopologyStore) {
+        let s = &mut self.shards[d];
+        (&mut s.device, &mut s.resident, &mut s.topo)
+    }
+
+    /// Lifetime kernel launches summed over all devices.
+    pub fn total_launches(&self) -> u64 {
+        self.shards.iter().map(|s| s.device.launches()).sum()
+    }
+
+    /// Route one cleaning round: split `cells` by owner (preserving the
+    /// caller's relative order within each owner), clean each owner's slice
+    /// on its own device, and return the merged output next to the
+    /// per-shard reports. Cells are disjoint across shards, so the merged
+    /// [`CleanedObjects`] is identical to the single-device pass.
+    pub fn clean_cells_routed(
+        &mut self,
+        lists: &CellLists,
+        cells: &[CellId],
+        config: &GGridConfig,
+        now: Timestamp,
+    ) -> (CleanedObjects, Vec<(usize, CleaningReport)>) {
+        if self.shards.len() == 1 {
+            let s = &mut self.shards[0];
+            let (cleaned, rep) =
+                clean_cells(&mut s.device, lists, &mut s.resident, cells, config, now);
+            return (cleaned, vec![(0, rep)]);
+        }
+        let mut by_owner: Vec<Vec<CellId>> = vec![Vec::new(); self.shards.len()];
+        for &c in cells {
+            by_owner[self.map.owner_of(c)].push(c);
+        }
+        let mut merged = CleanedObjects::default();
+        let mut reports = Vec::new();
+        for (d, owned) in by_owner.into_iter().enumerate() {
+            if owned.is_empty() {
+                continue;
+            }
+            let s = &mut self.shards[d];
+            let (cleaned, rep) =
+                clean_cells(&mut s.device, lists, &mut s.resident, &owned, config, now);
+            merged.extend(cleaned);
+            reports.push((d, rep));
+        }
+        (merged, reports)
+    }
+
+    /// As [`Self::clean_cells_routed`] with the reports folded into one
+    /// (the per-query accounting path, where stream-level overlap is not
+    /// being modeled).
+    pub fn clean_cells(
+        &mut self,
+        lists: &CellLists,
+        cells: &[CellId],
+        config: &GGridConfig,
+        now: Timestamp,
+    ) -> (CleanedObjects, CleaningReport) {
+        let (merged, reports) = self.clean_cells_routed(lists, cells, config, now);
+        let mut total = CleaningReport::default();
+        for (_, rep) in &reports {
+            total.merge(rep);
+        }
+        (merged, total)
+    }
+
+    /// Per-shard busy time since the last snapshot.
+    pub fn epoch_busy_ns(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.epoch_busy_ns()).collect()
+    }
+
+    /// Start a new busy-time epoch on every shard.
+    pub fn snapshot_busy(&mut self) {
+        for s in &mut self.shards {
+            s.busy_snapshot_ns = s.lifetime_busy_ns();
+        }
+    }
+
+    /// Epoch rebalancer: when the busiest shard's epoch busy time exceeds
+    /// `threshold ×` the mean, migrate boundary cells from it toward the
+    /// adjacent neighbor on the side carrying more of its dirt (ties go to
+    /// the colder neighbor). Moves cells until the migrated dirt covers
+    /// half the dirt imbalance against that neighbor, capped at half the
+    /// hot shard's range. `cell_dirt[i]` is the caller's per-cell load
+    /// signal (dirtied counts this epoch). Resets the busy epoch either
+    /// way, so the next decision sees fresh deltas.
+    pub fn maybe_rebalance(
+        &mut self,
+        cell_dirt: &[u64],
+        threshold: f64,
+    ) -> Option<MigrationReport> {
+        let d = self.shards.len();
+        let result = if d < 2 {
+            None
+        } else {
+            self.try_migrate(cell_dirt, threshold)
+        };
+        self.snapshot_busy();
+        result
+    }
+
+    fn try_migrate(&mut self, cell_dirt: &[u64], threshold: f64) -> Option<MigrationReport> {
+        let busy = self.epoch_busy_ns();
+        let total: u64 = busy.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let mean = total as f64 / busy.len() as f64;
+        let hot = (0..busy.len()).max_by_key(|&i| busy[i])?;
+        if (busy[hot] as f64) <= threshold * mean {
+            return None;
+        }
+        let range = self.map.range(hot);
+        if range.len() < 2 {
+            return None; // must keep >= 1 cell
+        }
+        let dirt_in =
+            |r: Range<u32>| -> u64 { cell_dirt[r.start as usize..r.end as usize].iter().sum() };
+        let hot_dirt = dirt_in(range.clone());
+
+        // Pick the migration side: the adjacent half of the hot range with
+        // more dirt sheds load faster; ties go to the colder neighbor.
+        let mid = range.start + range.len() as u32 / 2;
+        let low_dirt = dirt_in(range.start..mid);
+        let high_dirt = dirt_in(mid..range.end);
+        let left_ok = hot > 0;
+        let right_ok = hot + 1 < self.shards.len();
+        let to = match (left_ok, right_ok) {
+            (true, false) => hot - 1,
+            (false, true) => hot + 1,
+            (true, true) => {
+                if low_dirt != high_dirt {
+                    if low_dirt > high_dirt {
+                        hot - 1
+                    } else {
+                        hot + 1
+                    }
+                } else if busy[hot - 1] <= busy[hot + 1] {
+                    hot - 1
+                } else {
+                    hot + 1
+                }
+            }
+            (false, false) => return None,
+        };
+
+        // Move cells from the shared boundary inward until the migrated
+        // dirt covers half the imbalance, capped at half the hot range.
+        let neighbor_dirt = dirt_in(self.map.range(to));
+        let target = hot_dirt.saturating_sub(neighbor_dirt) / 2;
+        let cap = (range.len() as u32 / 2).max(1);
+        let mut moved_cells: Vec<u32> = Vec::new();
+        let mut dirt_moved = 0u64;
+        if to < hot {
+            // Shed the low end of the hot range to the left neighbor.
+            for i in range.clone() {
+                if moved_cells.len() as u32 >= cap {
+                    break;
+                }
+                moved_cells.push(i);
+                dirt_moved += cell_dirt[i as usize];
+                if dirt_moved >= target && !moved_cells.is_empty() {
+                    break;
+                }
+            }
+        } else {
+            // Shed the high end to the right neighbor.
+            for i in range.clone().rev() {
+                if moved_cells.len() as u32 >= cap {
+                    break;
+                }
+                moved_cells.push(i);
+                dirt_moved += cell_dirt[i as usize];
+                if dirt_moved >= target {
+                    break;
+                }
+            }
+        }
+        if moved_cells.is_empty() {
+            return None;
+        }
+
+        // Evict the moved cells' device state off the old owner; the next
+        // clean re-homes each cell on the new device (the pending dirt in
+        // the host-side lists replays there with no extra protocol).
+        let mut resident_evicted = 0u64;
+        let mut topo_evicted = 0u64;
+        {
+            let s = &mut self.shards[hot];
+            for &i in &moved_cells {
+                let cell = CellId(i);
+                if s.resident.force_evict(&mut s.device, cell) {
+                    resident_evicted += 1;
+                }
+                if s.topo.force_evict(&mut s.device, cell) {
+                    topo_evicted += 1;
+                }
+            }
+        }
+        let n = moved_cells.len() as u32;
+        if to < hot {
+            self.map.starts[hot] += n;
+        } else {
+            self.map.starts[hot + 1] -= n;
+        }
+
+        Some(MigrationReport {
+            from: hot,
+            to,
+            cells_moved: n,
+            dirt_moved,
+            resident_evicted,
+            topo_evicted,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceSpec;
+
+    fn map4() -> ShardMap {
+        ShardMap::from_ranges(&[0..4, 4..8, 8..12, 12..16], 16)
+    }
+
+    #[test]
+    fn owner_of_routes_by_range() {
+        let m = map4();
+        assert_eq!(m.num_shards(), 4);
+        assert_eq!(m.owner_of(CellId(0)), 0);
+        assert_eq!(m.owner_of(CellId(3)), 0);
+        assert_eq!(m.owner_of(CellId(4)), 1);
+        assert_eq!(m.owner_of(CellId(11)), 2);
+        assert_eq!(m.owner_of(CellId(15)), 3);
+        assert_eq!(m.range(1), 4..8);
+        assert_eq!(m.range(3), 12..16);
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn gapped_ranges_rejected() {
+        ShardMap::from_ranges(&[0..4, 5..16], 16);
+    }
+
+    fn set(d: usize) -> ShardSet {
+        let config = GGridConfig {
+            num_devices: d,
+            ..Default::default()
+        };
+        let mut shards = Vec::new();
+        for _ in 0..d {
+            shards.push(ShardState::new(
+                Device::new(DeviceSpec::test_tiny()),
+                &config,
+            ));
+        }
+        let per = 16 / d as u32;
+        let ranges: Vec<Range<u32>> = (0..d as u32)
+            .map(|i| {
+                (i * per)..if i as usize + 1 == d {
+                    16
+                } else {
+                    (i + 1) * per
+                }
+            })
+            .collect();
+        ShardSet {
+            shards,
+            map: ShardMap::from_ranges(&ranges, 16),
+        }
+    }
+
+    #[test]
+    fn rebalance_noop_when_balanced() {
+        let mut s = set(4);
+        let dirt = vec![1u64; 16];
+        // No busy time at all: nothing to rebalance.
+        assert!(s.maybe_rebalance(&dirt, 1.25).is_none());
+    }
+
+    #[test]
+    fn rebalance_moves_boundary_toward_cold_neighbor() {
+        let mut s = set(4);
+        // Shard 2 (cells 8..12) is hot: give it kernel time.
+        s.shards[2].device.launch(32, |ctx| {
+            ctx.charge_alu_all(1_000_000);
+        });
+        let mut dirt = vec![0u64; 16];
+        dirt[8..12].fill(100); // uniform dirt inside the hot shard
+        let rep = s.maybe_rebalance(&dirt, 1.25).expect("skew must trigger");
+        assert_eq!(rep.from, 2);
+        assert!(rep.to == 1 || rep.to == 3);
+        assert!(rep.cells_moved >= 1 && rep.cells_moved <= 2);
+        // The map moved the boundary: the re-homed cell now belongs to `to`.
+        let moved_cell = if rep.to == 1 { CellId(8) } else { CellId(11) };
+        assert_eq!(s.owner_of(moved_cell), rep.to);
+        // Epoch reset: immediately after, the same skew no longer fires.
+        assert!(s.maybe_rebalance(&dirt, 1.25).is_none());
+    }
+
+    #[test]
+    fn rebalance_prefers_dirtier_side() {
+        let mut s = set(4);
+        s.shards[1].device.launch(32, |ctx| {
+            ctx.charge_alu_all(1_000_000);
+        });
+        let mut dirt = vec![0u64; 16];
+        dirt[7] = 500; // all the hot shard's dirt sits at its high end
+        let rep = s.maybe_rebalance(&dirt, 1.25).expect("skew must trigger");
+        assert_eq!((rep.from, rep.to), (1, 2));
+        assert_eq!(s.owner_of(CellId(7)), 2);
+        assert!(rep.dirt_moved >= 250, "moved dirt must cover the imbalance");
+    }
+
+    #[test]
+    fn rebalance_keeps_at_least_one_cell() {
+        let config = GGridConfig::default();
+        let shards = vec![
+            ShardState::new(Device::new(DeviceSpec::test_tiny()), &config),
+            ShardState::new(Device::new(DeviceSpec::test_tiny()), &config),
+        ];
+        let mut s = ShardSet {
+            shards,
+            map: ShardMap::from_ranges(&[0..1, 1..2], 2),
+        };
+        s.shards[0].device.launch(32, |ctx| {
+            ctx.charge_alu_all(1_000_000);
+        });
+        assert!(s.maybe_rebalance(&[9, 9], 1.25).is_none());
+        assert_eq!(s.map.range(0), 0..1);
+    }
+}

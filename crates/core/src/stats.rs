@@ -449,6 +449,17 @@ pub struct ServerCounters {
     /// Simulated device time consumed by the subscription path (subset of
     /// `gpu_time`).
     pub subs_gpu_time: SimNanos,
+    /// Lifetime busy time (simulated kernel + transfer ns) per shard
+    /// device; slots `>= num_devices` stay zero (gauge, refreshed on
+    /// [`crate::server::GGridServer::counters`]).
+    pub shard_busy_ns: [u64; crate::shard::MAX_DEVICES],
+    /// Dirtied-cell events attributed to each shard's owned z-range,
+    /// accumulated over ingest (only tallied when `num_devices > 1`).
+    pub shard_dirtied: [u64; crate::shard::MAX_DEVICES],
+    /// Epoch rebalances that actually migrated cells.
+    pub rebalances: u64,
+    /// Boundary cells re-homed across all rebalances.
+    pub cells_migrated: u64,
 }
 
 impl ServerCounters {
@@ -688,6 +699,9 @@ pub struct IngestCounters {
     pub critical_ns: AtomicU64,
     pub cells_dirtied: AtomicU64,
     pub batch_size_hist: [AtomicU64; BATCH_HIST_BUCKETS],
+    /// Dirtied-cell events per owning shard (tallied only when
+    /// `num_devices > 1` — the rebalancer's load signal).
+    pub shard_dirtied: [AtomicU64; crate::shard::MAX_DEVICES],
 }
 
 impl IngestCounters {
@@ -712,6 +726,9 @@ impl IngestCounters {
         c.ingest_critical_ns += ld(&self.critical_ns);
         c.cells_dirtied += ld(&self.cells_dirtied);
         for (dst, src) in c.batch_size_hist.iter_mut().zip(&self.batch_size_hist) {
+            *dst += ld(src);
+        }
+        for (dst, src) in c.shard_dirtied.iter_mut().zip(&self.shard_dirtied) {
             *dst += ld(src);
         }
     }

@@ -1,0 +1,247 @@
+//! Multi-device sharding must be invisible in answers.
+//!
+//! The shard map decides *where* cleaning and SDist kernels run, never
+//! *what* they compute: cleaning a cell is deterministic on any device and
+//! the host-side merge re-runs the same refinement the single-device path
+//! does. So every query answer — ad-hoc `knn`, fused `knn_batch`, and
+//! maintained subscription results — must be byte-identical for every
+//! device count, including under skewed hot-window ingest, forced
+//! per-shard evictions, and a mid-stream rebalance that migrates cells
+//! between shards. The proptest here drives all three surfaces through
+//! the same scripted stream for `D ∈ {1, 2, 4, 8}` and compares against
+//! the `D = 1` reference.
+
+use ggrid::prelude::*;
+use proptest::prelude::*;
+use roadnet::gen::{self, GridCityParams};
+use roadnet::graph::Graph;
+use roadnet::EdgeId;
+
+#[derive(Debug, Clone)]
+struct Step {
+    /// Raw update draws, mapped onto hot-window edges at run time.
+    updates: Vec<(u64, u32, u32)>,
+    advance_ms: u64,
+    evict: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Case {
+    graph: Graph,
+    initial: Vec<(u64, u32, u32)>,
+    queries: Vec<(u32, usize)>,
+    steps: Vec<Step>,
+    eta: u32,
+}
+
+fn arb_case() -> impl Strategy<Value = Case> {
+    (
+        (3u32..7, 3u32..7, 0u64..400),
+        prop::collection::vec((0u64..20, 0u32..10_000, 0u32..100), 1..16),
+        prop::collection::vec((0u32..10_000, 1usize..6), 1..5),
+        prop::collection::vec(
+            (
+                prop::collection::vec((0u64..20, 0u32..10_000, 0u32..100), 1..12),
+                1u64..500,
+                prop::bool::ANY,
+            ),
+            1..5,
+        ),
+        2u32..6,
+    )
+        .prop_map(
+            |((rows, cols, seed), initial, queries, raw_steps, eta)| Case {
+                graph: gen::grid_city(&GridCityParams {
+                    rows,
+                    cols,
+                    edge_ratio: 2.5,
+                    weight_range: (1, 30),
+                    seed,
+                }),
+                initial,
+                queries,
+                steps: raw_steps
+                    .into_iter()
+                    .map(|(updates, advance_ms, evict)| Step {
+                        updates,
+                        advance_ms,
+                        evict,
+                    })
+                    .collect(),
+                eta,
+            },
+        )
+}
+
+/// Map a raw `(object, edge draw, offset draw)` onto a valid position on
+/// one of `edges`, keeping only each object's last report in the batch.
+fn batch_on(
+    graph: &Graph,
+    edges: &[EdgeId],
+    raw: &[(u64, u32, u32)],
+    now: Timestamp,
+) -> Vec<(ObjectId, EdgePosition, Timestamp)> {
+    let mut batch: Vec<(ObjectId, EdgePosition, Timestamp)> = Vec::new();
+    for &(o, e, off) in raw {
+        let edge = edges[e as usize % edges.len()];
+        let p = EdgePosition::new(edge, off % (graph.edge(edge).weight + 1));
+        if let Some(slot) = batch.iter_mut().find(|u| u.0 == ObjectId(o)) {
+            slot.1 = p;
+        } else {
+            batch.push((ObjectId(o), p, now));
+        }
+    }
+    batch
+}
+
+/// Everything observable a run produces, for byte-for-byte comparison.
+#[derive(Debug, PartialEq, Eq)]
+struct Observed {
+    knn: Vec<Vec<Vec<(ObjectId, Distance)>>>,
+    batch: Vec<Vec<Vec<(ObjectId, Distance)>>>,
+    subs: Vec<Vec<Vec<(ObjectId, Distance)>>>,
+}
+
+/// Drive the scripted stream on a `num_devices = d` server and collect
+/// every answer surface after each step.
+fn run_stream(case: &Case, d: usize) -> Observed {
+    let config = GGridConfig {
+        eta: case.eta,
+        num_devices: d,
+        // Low bar so the mid-stream rebalance actually fires when skewed.
+        rebalance_threshold: 1.05,
+        ..Default::default()
+    };
+    let mut server = GGridServer::new(case.graph.clone(), config);
+
+    // Hot window: the low half of the z-order cell index space, so the
+    // skewed wave pounds the low shard(s) and leaves the rest cold.
+    let num_cells = server.grid().num_cells() as u32;
+    let hot_edges: Vec<EdgeId> = (0..case.graph.num_edges() as u32)
+        .map(EdgeId)
+        .filter(|&e| (server.grid().cell_of_edge(e).index() as u32) < num_cells.div_ceil(2))
+        .collect();
+    let all_edges: Vec<EdgeId> = (0..case.graph.num_edges() as u32).map(EdgeId).collect();
+    let hot = if hot_edges.is_empty() {
+        &all_edges
+    } else {
+        &hot_edges
+    };
+
+    let ne = case.graph.num_edges() as u32;
+    let queries: Vec<(EdgePosition, usize)> = case
+        .queries
+        .iter()
+        .map(|&(e, k)| (EdgePosition::at_source(EdgeId(e % ne)), k))
+        .collect();
+
+    let mut now = Timestamp(1_000);
+    server.ingest_batch(&batch_on(&case.graph, &all_edges, &case.initial, now));
+    let subs: Vec<SubscriptionId> = queries
+        .iter()
+        .map(|&(q, k)| server.subscribe_knn(q, k, now))
+        .collect();
+
+    let mut observed = Observed {
+        knn: Vec::new(),
+        batch: Vec::new(),
+        subs: Vec::new(),
+    };
+    let mid = case.steps.len() / 2;
+    for (i, step) in case.steps.iter().enumerate() {
+        now = Timestamp(now.0 + step.advance_ms);
+        server.ingest_batch(&batch_on(&case.graph, hot, &step.updates, now));
+        if step.evict {
+            server.evict_all_resident();
+            server.evict_all_topology();
+        }
+        if i == mid {
+            // Mid-stream rebalance: may migrate boundary cells (a no-op at
+            // d == 1). Answers must not move either way.
+            server.rebalance_shards();
+        }
+        server.tick_subscriptions(now);
+
+        observed.subs.push(
+            subs.iter()
+                .map(|&id| server.subscription_result(id).expect("live").to_vec())
+                .collect(),
+        );
+        observed.knn.push(
+            queries
+                .iter()
+                .map(|&(q, k)| server.knn(q, k, now))
+                .collect(),
+        );
+        observed.batch.push(server.knn_batch(&queries, now).answers);
+    }
+    observed
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every answer surface is byte-identical across device counts.
+    #[test]
+    fn answers_identical_across_device_counts(case in arb_case()) {
+        let reference = run_stream(&case, 1);
+        for d in [2usize, 4, 8] {
+            let got = run_stream(&case, d);
+            prop_assert_eq!(&got, &reference, "answers diverged at D={}", d);
+        }
+    }
+}
+
+/// A query whose candidate rings stay inside one shard's cell range must
+/// launch kernels on exactly that one device — routing, not replication.
+#[test]
+fn single_shard_query_touches_one_device() {
+    let graph = gen::grid_city(&GridCityParams {
+        rows: 8,
+        cols: 8,
+        edge_ratio: 2.5,
+        weight_range: (1, 30),
+        seed: 11,
+    });
+    let mut server = GGridServer::new(
+        graph.clone(),
+        GGridConfig {
+            eta: 3,
+            num_devices: 4,
+            ..Default::default()
+        },
+    );
+    assert_eq!(server.num_shards(), 4);
+
+    // Confine all objects (and the query) to cells owned by shard 0, so
+    // cleaning and SDist both route there.
+    let range0 = server.shard_ranges()[0].clone();
+    let shard0_edges: Vec<EdgeId> = (0..graph.num_edges() as u32)
+        .map(EdgeId)
+        .filter(|&e| range0.contains(&(server.grid().cell_of_edge(e).index() as u32)))
+        .collect();
+    assert!(
+        !shard0_edges.is_empty(),
+        "shard 0 owns no edges; enlarge the test graph"
+    );
+    let now = Timestamp(1_000);
+    for (i, &e) in shard0_edges.iter().enumerate().take(12) {
+        server.handle_update(ObjectId(i as u64), EdgePosition::at_source(e), now);
+    }
+
+    let before = server.device_launches();
+    let got = server.knn(
+        EdgePosition::at_source(shard0_edges[0]),
+        3,
+        Timestamp(2_000),
+    );
+    assert!(!got.is_empty(), "query should find the planted objects");
+    let after = server.device_launches();
+
+    let touched: Vec<usize> = (0..4).filter(|&d| after[d] > before[d]).collect();
+    assert_eq!(
+        touched,
+        vec![0],
+        "kernels must launch on the owning shard only (launches: {before:?} -> {after:?})"
+    );
+}

@@ -363,10 +363,117 @@ pub fn partition_with_capacity(graph: &Graph, max_part_size: usize) -> Partition
     }
 }
 
+/// Split a z-ordered weight array into `parts` contiguous index ranges with
+/// near-equal weight sums.
+///
+/// This is the shard splitter for multi-device serving: index `i` is the
+/// z-value of grid cell `i`, `weights[i]` is that cell's load proxy (vertex
+/// records at build time, object counts once a fleet is loaded), and each
+/// returned range is one device's slice of the z-curve. A greedy prefix walk
+/// re-targets the remaining weight before each cut, so an early overweight
+/// cell does not starve the trailing parts.
+///
+/// Every part is non-empty while items remain (`weights.len() >= parts`
+/// guarantees no empty range); with fewer items than parts the trailing
+/// ranges are empty. The ranges always concatenate to `0..weights.len()`.
+pub fn weighted_contiguous_ranges(weights: &[u64], parts: usize) -> Vec<std::ops::Range<u32>> {
+    assert!(parts >= 1, "parts must be >= 1");
+    assert!(
+        weights.len() <= u32::MAX as usize,
+        "weight array exceeds u32 index space"
+    );
+    let n = weights.len() as u32;
+    let total: u64 = weights.iter().sum();
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0u32;
+    let mut consumed = 0u64;
+    for p in 0..parts {
+        if p + 1 == parts {
+            ranges.push(start..n);
+            break;
+        }
+        let parts_left = (parts - p) as u64;
+        // Even share of the *remaining* weight, so rounding drift does not
+        // accumulate across cuts.
+        let target = (total - consumed).div_ceil(parts_left);
+        let mut end = start;
+        let mut acc = 0u64;
+        // Leave at least one item for each remaining part when possible.
+        while end < n && (n - end) as usize > parts - p - 1 {
+            let w = weights[end as usize];
+            // Stop short of the target when overshooting by `w` lands
+            // farther from it than stopping here does.
+            if acc > 0 && acc + w > target && acc + w - target > target - acc {
+                break;
+            }
+            acc += w;
+            end += 1;
+            if acc >= target {
+                break;
+            }
+        }
+        consumed += acc;
+        ranges.push(start..end);
+        start = end;
+    }
+    ranges
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::gen;
+
+    #[test]
+    fn weighted_ranges_cover_and_balance_uniform() {
+        let weights = vec![1u64; 64];
+        let ranges = weighted_contiguous_ranges(&weights, 4);
+        assert_eq!(ranges.len(), 4);
+        assert_eq!(ranges[0].start, 0);
+        assert_eq!(ranges[3].end, 64);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "ranges must be contiguous");
+        }
+        for r in &ranges {
+            assert_eq!(r.end - r.start, 16, "uniform weights split evenly");
+        }
+    }
+
+    #[test]
+    fn weighted_ranges_track_skewed_weight() {
+        // All the weight in the first quarter: the first parts must be
+        // narrow and the trailing parts wide, but every part non-empty.
+        let mut weights = vec![0u64; 64];
+        for w in weights.iter_mut().take(16) {
+            *w = 100;
+        }
+        let ranges = weighted_contiguous_ranges(&weights, 4);
+        assert_eq!(ranges.len(), 4);
+        assert_eq!(ranges[3].end, 64);
+        let sums: Vec<u64> = ranges
+            .iter()
+            .map(|r| weights[r.start as usize..r.end as usize].iter().sum())
+            .collect();
+        let max = *sums.iter().max().unwrap();
+        // Greedy walk keeps the heaviest part within 2x of the even share.
+        assert!(max <= 2 * (1600 / 4), "max part weight {max} too skewed");
+        for r in &ranges {
+            assert!(r.start < r.end, "no empty parts when items >= parts");
+        }
+    }
+
+    #[test]
+    fn weighted_ranges_more_parts_than_items() {
+        let weights = vec![5u64; 3];
+        let ranges = weighted_contiguous_ranges(&weights, 8);
+        assert_eq!(ranges.len(), 8);
+        assert_eq!(ranges[7].end, 3);
+        let nonempty = ranges.iter().filter(|r| r.start < r.end).count();
+        assert_eq!(nonempty, 3, "each item lands in its own part");
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
 
     #[test]
     fn bisection_balances() {

@@ -1,0 +1,131 @@
+//! Skewed-hotspot update workloads (multi-device sharding experiments).
+//!
+//! Real fleets bunch up: rush hour concentrates position updates in a
+//! small geographic window while the rest of the network idles. This
+//! module samples update positions confined to a contiguous window of
+//! z-order grid-cell indices — exactly the unit the sharded server
+//! partitions by — so a window that lands inside one shard's range turns
+//! that shard hot and leaves its peers cold. Pair it with
+//! [`ggrid::GGridServer::rebalance_shards`] to exercise busy-time
+//! rebalancing, or widen the window to the whole grid for a uniform
+//! control.
+
+use ggrid::grid::GraphGrid;
+use ggrid::message::{ObjectId, Timestamp};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use roadnet::graph::EdgeId;
+use roadnet::EdgePosition;
+use std::ops::Range;
+
+/// Samples valid edge positions restricted to a half-open window of
+/// z-order cell indices. Construction is one pass over the edge set; each
+/// draw is O(1).
+pub struct CellWindowSampler {
+    /// Every edge whose source cell's z-index lies inside the window,
+    /// paired with its weight (so draws need no graph access).
+    edges: Vec<(EdgeId, u32)>,
+    rng: SmallRng,
+}
+
+impl CellWindowSampler {
+    /// Index every edge whose owning cell falls in `window`. Panics if the
+    /// window is empty of edges (e.g. it covers only unused z-values); the
+    /// caller should widen it.
+    pub fn new(grid: &GraphGrid, window: Range<u32>, seed: u64) -> Self {
+        assert!(window.start < window.end, "empty cell window");
+        let graph = grid.graph();
+        let edges: Vec<(EdgeId, u32)> = (0..graph.num_edges() as u32)
+            .map(EdgeId)
+            .filter(|&e| window.contains(&(grid.cell_of_edge(e).index() as u32)))
+            .map(|e| (e, graph.edge(e).weight))
+            .collect();
+        assert!(
+            !edges.is_empty(),
+            "cell window {window:?} contains no edges; widen it"
+        );
+        Self {
+            edges,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A sampler over the whole grid (the uniform control workload).
+    pub fn whole_grid(grid: &GraphGrid, seed: u64) -> Self {
+        Self::new(grid, 0..grid.num_cells() as u32, seed)
+    }
+
+    /// Number of distinct edges the window covers.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// A uniformly random valid position on a random in-window edge.
+    pub fn position(&mut self) -> EdgePosition {
+        let (edge, weight) = self.edges[self.rng.gen_range(0..self.edges.len())];
+        EdgePosition::new(edge, self.rng.gen_range(0..=weight))
+    }
+
+    /// One update wave at `t`: objects `base .. base + count` each report
+    /// one in-window position. Feed the result straight to
+    /// [`ggrid::GGridServer::ingest_batch`].
+    pub fn wave(
+        &mut self,
+        base: u32,
+        count: u32,
+        t: Timestamp,
+    ) -> Vec<(ObjectId, EdgePosition, Timestamp)> {
+        (base..base + count)
+            .map(|o| (ObjectId(o as u64), self.position(), t))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadnet::gen;
+    use std::sync::Arc;
+
+    fn grid() -> GraphGrid {
+        // Small cell capacity so the toy graph splits into several cells.
+        GraphGrid::build(Arc::new(gen::toy(21)), 8, 64)
+    }
+
+    #[test]
+    fn positions_confined_to_window() {
+        let g = grid();
+        let n = g.num_cells() as u32;
+        assert!(n >= 2, "test grid must have multiple cells");
+        let window = 0..n / 2;
+        let mut s = CellWindowSampler::new(&g, window.clone(), 7);
+        for _ in 0..200 {
+            let p = s.position();
+            assert!(p.is_valid(g.graph()));
+            let cell = g.cell_of_edge(p.edge).index() as u32;
+            assert!(window.contains(&cell), "position escaped the window");
+        }
+    }
+
+    #[test]
+    fn whole_grid_covers_all_edges() {
+        let g = grid();
+        let s = CellWindowSampler::whole_grid(&g, 3);
+        assert_eq!(s.num_edges(), g.graph().num_edges());
+    }
+
+    #[test]
+    fn waves_are_deterministic() {
+        let g = grid();
+        let mut a = CellWindowSampler::whole_grid(&g, 11);
+        let mut b = CellWindowSampler::whole_grid(&g, 11);
+        assert_eq!(a.wave(0, 50, Timestamp(5)), b.wave(0, 50, Timestamp(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty cell window")]
+    fn empty_window_rejected() {
+        let g = grid();
+        CellWindowSampler::new(&g, 3..3, 0);
+    }
+}

@@ -10,16 +10,20 @@
 //!   with period `1/f`, staggered across objects like a real fleet.
 //! * [`queries`] — uniformly random query positions on edges, fixed
 //!   inter-query interval, configurable `k`.
+//! * [`hotspot`] — update waves confined to a window of z-order grid
+//!   cells (skewed load for the multi-device sharding experiments).
 //! * [`scenario`] — the experiment driver: interleaves messages and queries
 //!   against any [`ggrid::api::MovingObjectIndex`], measures wall-clock
 //!   update/query time, folds in simulated device time, and reports the
 //!   paper's amortised `(T_u + T_q)/n_q` metric. Also computes reference
 //!   answers for exactness checks.
 
+pub mod hotspot;
 pub mod moto;
 pub mod queries;
 pub mod scenario;
 
+pub use hotspot::CellWindowSampler;
 pub use moto::{Moto, MotoConfig, UpdateMessage};
 pub use queries::{random_position, QueryStream};
 pub use scenario::{

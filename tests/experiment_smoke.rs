@@ -3,7 +3,7 @@
 
 use ggrid_bench::experiments::{
     ablation, fig10_scalability, fig4_tuning, fig5_datasets, fig6_index_size, fig7_vary_k,
-    fig8_vary_objects, fig9_vary_freq, table2_datasets, ExpConfig,
+    fig8_vary_objects, fig9_vary_freq, sharding, table2_datasets, ExpConfig,
 };
 
 fn mini() -> ExpConfig {
@@ -74,4 +74,14 @@ fn fig10_smoke() {
 fn ablation_smoke() {
     let t = ablation::run(&mini());
     assert_eq!(t.rows.len(), 4);
+}
+
+#[test]
+fn sharding_smoke() {
+    let cfg = mini();
+    let t = sharding::run(&cfg);
+    assert_eq!(t.rows.len(), 14, "2 variants x 7 (D, rebalance) points");
+    let json = std::fs::read_to_string(cfg.out_dir.join("BENCH_7.json")).unwrap();
+    assert!(json.contains("\"bench\": \"sharding\""));
+    assert!(json.contains("\"efficiency_d4_uniform\""));
 }
