@@ -36,5 +36,6 @@ pub fn bench_scenario(objects: usize, k: usize, queries: usize) -> ScenarioConfi
         num_queries: queries,
         warmup_ms: 600,
         query_seed: 34,
+        buffered_ingest: false,
     }
 }

@@ -199,7 +199,7 @@ fn write_bench_json(
         let c = &o.counters;
         let hist: Vec<String> = c.batch_size_hist.iter().map(|n| n.to_string()).collect();
         format!(
-            "{{\"updates\": {}, \"tombstones\": {}, \"batches\": {}, \"batched_updates\": {}, \"tombstones_batched\": {}, \"cell_locks\": {}, \"cell_lock_wait_ns\": {}, \"shard_locks\": {}, \"modeled_ingest_ns\": {}, \"updates_per_sec_modeled\": {:.1}, \"updates_per_sec_measured\": {:.1}, \"parallel_speedup\": {:.3}, \"bucket_allocs\": {}, \"bucket_reuses\": {}, \"batch_size_hist\": [{}]}}",
+            "{{\"updates\": {}, \"tombstones\": {}, \"batches\": {}, \"batched_updates\": {}, \"tombstones_batched\": {}, \"cell_locks\": {}, \"cell_lock_wait_ns\": {}, \"shard_locks\": {}, \"modeled_ingest_ns\": {}, \"updates_per_sec_modeled\": {:.1}, \"updates_per_sec_measured\": {:.1}, \"parallel_speedup\": {:.3}, \"bucket_allocs\": {}, \"bucket_reuses\": {}, \"ingest_flushes\": {}, \"buffered_messages\": {}, \"buffer_bytes_high_water\": {}, \"snapshot_reuses\": {}, \"batch_size_hist\": [{}]}}",
             c.updates_ingested,
             c.tombstones_written,
             c.ingest_batches,
@@ -214,6 +214,10 @@ fn write_bench_json(
             c.ingest_parallel_speedup(),
             c.bucket_allocs,
             c.bucket_reuses,
+            c.ingest_flushes,
+            c.buffered_messages,
+            c.buffer_bytes_high_water,
+            c.snapshot_reuses,
             hist.join(", "),
         )
     };

@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod batch_fusion;
+pub mod capacity;
 pub mod concurrency;
 pub mod fig10_scalability;
 pub mod fig4_tuning;
@@ -109,6 +110,7 @@ impl ExpConfig {
             num_queries: self.queries,
             warmup_ms: period + 100,
             query_seed: self.seed ^ 0xABCD,
+            buffered_ingest: false,
         }
     }
 }

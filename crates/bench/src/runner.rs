@@ -264,6 +264,7 @@ mod tests {
             num_queries: 3,
             warmup_ms: 350,
             query_seed: 8,
+            buffered_ingest: false,
         }
     }
 

@@ -67,6 +67,20 @@ pub trait MovingObjectIndex {
         }
     }
 
+    /// Process a run of location updates through a *deferred-visibility*
+    /// ingest path: the index may stage the messages in thread-local
+    /// buffers and only publish them at the next [`Self::flush_ingest`]
+    /// barrier (queries flush implicitly, so answers never change — only
+    /// when the shared-structure locks are paid). Indexes without such a
+    /// path fall back to the group commit.
+    fn ingest_buffered(&mut self, updates: &[(ObjectId, EdgePosition, Timestamp)]) {
+        self.ingest_batch(updates);
+    }
+
+    /// Publish everything [`Self::ingest_buffered`] still holds in private
+    /// buffers. A no-op for indexes whose ingest is immediately visible.
+    fn flush_ingest(&mut self) {}
+
     /// Answer a kNN query issued at time `now`. Returns up to `k`
     /// `(object, network distance)` pairs, nearest first, ties on object id.
     fn knn(&mut self, q: EdgePosition, k: usize, now: Timestamp) -> Vec<(ObjectId, Distance)>;

@@ -103,6 +103,23 @@ pub struct GGridConfig {
     /// `rebalance_threshold ×` the mean across shards. Only meaningful
     /// when `num_devices > 1`.
     pub rebalance_threshold: f64,
+    /// Per-cell entry cap of the thread-local ingest buffers
+    /// ([`crate::server::GGridServer::ingest_buffered`]): a cell whose
+    /// buffered placements reach this count is flushed to its shared
+    /// message list at the end of the ingest call. Larger caps amortize
+    /// more cell locks per flush at the cost of more deferred (invisible
+    /// until flush/query) messages.
+    pub ingest_buffer_cap: usize,
+    /// Global byte budget of the thread-local ingest buffers: when the
+    /// buffered footprint exceeds this, the end-of-call flush drains
+    /// *every* buffered cell. `0` disables the budget (cap-only flushing).
+    pub ingest_buffer_bytes: u64,
+    /// Byte budget of the shared [`crate::scratch::ScratchPool`]: pooled
+    /// dense/Dijkstra scratch beyond this is evicted oldest-first on
+    /// release, so a burst of query workers cannot pin O(workers × |V|)
+    /// memory forever. `0` disables the bound (the pre-capacity-push
+    /// behaviour).
+    pub scratch_budget_bytes: u64,
 }
 
 impl Default for GGridConfig {
@@ -129,6 +146,9 @@ impl Default for GGridConfig {
             guard_slack: 0.25,
             num_devices: 1,
             rebalance_threshold: 1.25,
+            ingest_buffer_cap: 1024,
+            ingest_buffer_bytes: 4 << 20,
+            scratch_budget_bytes: 32 << 20,
         }
     }
 }
@@ -178,6 +198,10 @@ impl GGridConfig {
             self.rebalance_threshold >= 1.0,
             "rebalance_threshold must be >= 1"
         );
+        assert!(
+            self.ingest_buffer_cap >= 1,
+            "ingest_buffer_cap must be >= 1"
+        );
     }
 }
 
@@ -207,6 +231,9 @@ mod tests {
         assert!((c.guard_slack - 0.25).abs() < 1e-9);
         assert_eq!(c.num_devices, 1, "paper's deployment is single-GPU");
         assert!((c.rebalance_threshold - 1.25).abs() < 1e-9);
+        assert_eq!(c.ingest_buffer_cap, 1024);
+        assert_eq!(c.ingest_buffer_bytes, 4 << 20);
+        assert_eq!(c.scratch_budget_bytes, 32 << 20);
         c.validate();
     }
 
@@ -265,6 +292,16 @@ mod tests {
     fn zero_ingest_workers_rejected() {
         GGridConfig {
             ingest_workers: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "ingest_buffer_cap")]
+    fn zero_ingest_buffer_cap_rejected() {
+        GGridConfig {
+            ingest_buffer_cap: 0,
             ..Default::default()
         }
         .validate();

@@ -193,39 +193,60 @@ impl GraphGrid {
             zorder::encode(x, y)
         };
 
+        // Cell membership in CSR form (counting sort). The old build kept
+        // one `Vec<VertexId>` per cell — at paper scale (ψ = 9 → 262 144
+        // cells holding ~1 vertex each) that is a heap allocation per cell;
+        // offsets + one flat array is two allocations total, and placing
+        // vertices in ascending id order preserves the per-cell order the
+        // Vec-push build produced.
         let mut cell_of_vertex = vec![0u32; graph.num_vertices()];
-        let mut members: Vec<Vec<VertexId>> = vec![Vec::new(); num_cells];
+        let mut member_offsets = vec![0u32; num_cells + 1];
         for v in graph.vertices() {
             let z = part_to_z(part_of_vertex[v.index()]);
             cell_of_vertex[v.index()] = z;
-            members[z as usize].push(v);
+            member_offsets[z as usize + 1] += 1;
         }
+        drop(part_of_vertex);
+        for i in 0..num_cells {
+            member_offsets[i + 1] += member_offsets[i];
+        }
+        let mut member_flat = vec![VertexId(0); graph.num_vertices()];
+        let mut cursor = member_offsets.clone();
+        for v in graph.vertices() {
+            let z = cell_of_vertex[v.index()] as usize;
+            member_flat[cursor[z] as usize] = v;
+            cursor[z] += 1;
+        }
+        drop(cursor);
+        let members = |c: usize| -> &[VertexId] {
+            &member_flat[member_offsets[c] as usize..member_offsets[c + 1] as usize]
+        };
 
-        // Vertex records with δᵛ-capped edge arrays and virtual spill.
+        // Vertex records with δᵛ-capped edge arrays and virtual spill,
+        // streamed cell by cell through one reused in-edge buffer.
         let mut cells: Vec<Cell> = Vec::with_capacity(num_cells);
-        for mem in &members {
+        let mut in_buf: Vec<GridEdge> = Vec::new();
+        for c in 0..num_cells {
             let mut cell = Cell::default();
-            for &v in mem {
-                let in_edges: Vec<GridEdge> = graph
-                    .in_edges(v)
-                    .map(|e| {
-                        let edge = graph.edge(e);
-                        GridEdge {
-                            edge: e,
-                            source: edge.source,
-                            weight: edge.weight,
-                        }
-                    })
-                    .collect();
+            for &v in members(c) {
+                in_buf.clear();
+                in_buf.extend(graph.in_edges(v).map(|e| {
+                    let edge = graph.edge(e);
+                    GridEdge {
+                        edge: e,
+                        source: edge.source,
+                        weight: edge.weight,
+                    }
+                }));
                 cell.num_vertices += 1;
-                if in_edges.is_empty() {
+                if in_buf.is_empty() {
                     cell.records.push(VertexRecord {
                         vertex: v,
                         edges: Vec::new(),
                         is_virtual: false,
                     });
                 } else {
-                    for (i, chunk) in in_edges.chunks(vertex_capacity).enumerate() {
+                    for (i, chunk) in in_buf.chunks(vertex_capacity).enumerate() {
                         cell.records.push(VertexRecord {
                             vertex: v,
                             edges: chunk.to_vec(),
@@ -246,37 +267,38 @@ impl GraphGrid {
             cells[z as usize].num_out_edges += 1;
         }
 
-        // Cell adjacency from edges crossing cells (either direction).
-        let mut neighbor_sets: Vec<Vec<u32>> = vec![Vec::new(); num_cells];
+        // Cell adjacency from edges crossing cells (either direction): one
+        // global pair list, sorted and deduplicated, then grouped — no
+        // per-cell push Vecs on the way.
+        let mut cross: Vec<(u32, u32)> = Vec::new();
         for e in graph.edge_ids() {
             let edge = graph.edge(e);
             let a = cell_of_vertex[edge.source.index()];
             let b = cell_of_vertex[edge.dest.index()];
             if a != b {
-                neighbor_sets[a as usize].push(b);
-                neighbor_sets[b as usize].push(a);
+                cross.push((a, b));
+                cross.push((b, a));
             }
         }
-        let neighbors = neighbor_sets
-            .into_iter()
-            .map(|mut v| {
-                v.sort_unstable();
-                v.dedup();
-                v.into_iter().map(CellId).collect()
-            })
-            .collect();
+        cross.sort_unstable();
+        cross.dedup();
+        let mut neighbors: Vec<Vec<CellId>> = vec![Vec::new(); num_cells];
+        for &(a, b) in &cross {
+            neighbors[a as usize].push(CellId(b));
+        }
+        drop(cross);
 
         // Per-cell CSR slices: one entry per real vertex (virtual spill
         // merged back), every in- and out-edge stored exactly once.
         let mut topo_slot = vec![0u32; graph.num_vertices()];
         let mut topologies: Vec<CellTopology> = Vec::with_capacity(num_cells);
-        for mem in &members {
+        for c in 0..num_cells {
             let mut t = CellTopology {
                 in_offsets: vec![0],
                 out_offsets: vec![0],
                 ..Default::default()
             };
-            for (slot, &v) in mem.iter().enumerate() {
+            for (slot, &v) in members(c).iter().enumerate() {
                 topo_slot[v.index()] = slot as u32;
                 t.verts.push(v);
                 for e in graph.in_edges(v) {

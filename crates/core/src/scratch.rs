@@ -98,6 +98,14 @@ impl DenseScratch {
             .map(|&i| (VertexId(i), self.dist[i as usize]))
     }
 
+    /// Resident bytes of the three flat arrays (the touched list is
+    /// negligible next to the O(|V|) dist/stamp pair).
+    pub fn size_bytes(&self) -> u64 {
+        (self.dist.capacity() * std::mem::size_of::<Distance>()
+            + self.stamp.capacity() * std::mem::size_of::<u32>()
+            + self.touched.capacity() * std::mem::size_of::<u32>()) as u64
+    }
+
     /// Clear the map by bumping the epoch: O(touched). On the (u32) epoch
     /// wrapping around, the stamps are rewritten once — still amortised
     /// O(touched).
@@ -114,17 +122,31 @@ impl DenseScratch {
 
 /// A pool of [`DenseScratch`]es sized for one graph, shared by the query
 /// path and the refinement workers (batch mode borrows several at once).
+///
+/// The pool is byte-budgeted: once the *idle* scratches (dense + Dijkstra)
+/// exceed `budget_bytes`, releases evict the oldest pooled buffers instead
+/// of hoarding them — before the capacity push a warmed pool pinned
+/// O(workers × |V|) memory forever, which at 300k vertices is ~2.4 MB per
+/// retired worker scratch. A budget of `0` disables the bound.
 #[derive(Debug)]
 pub struct ScratchPool {
     num_vertices: usize,
+    budget_bytes: u64,
     pool: Mutex<Vec<DenseScratch>>,
     engines: Mutex<Vec<DijkstraScratch>>,
 }
 
 impl ScratchPool {
     pub fn new(num_vertices: usize) -> Self {
+        Self::with_budget(num_vertices, 0)
+    }
+
+    /// A pool whose idle buffers are bounded to `budget_bytes` (0 =
+    /// unbounded).
+    pub fn with_budget(num_vertices: usize, budget_bytes: u64) -> Self {
         Self {
             num_vertices,
+            budget_bytes,
             pool: Mutex::new(Vec::new()),
             engines: Mutex::new(Vec::new()),
         }
@@ -143,16 +165,46 @@ impl ScratchPool {
     }
 
     /// Return a scratch to the pool. Scratches sized for another graph are
-    /// dropped instead of pooled.
+    /// dropped instead of pooled; pooling past the byte budget evicts the
+    /// oldest idle buffers first.
     pub fn release(&self, s: DenseScratch) {
         if s.capacity() == self.num_vertices {
             self.pool.lock().push(s);
+            self.enforce_budget();
         }
     }
 
     /// Scratches currently idle in the pool.
     pub fn pooled(&self) -> usize {
         self.pool.lock().len()
+    }
+
+    /// Bytes held by idle scratches (dense + Dijkstra). Counted into the
+    /// server's `index_size` so capacity benches see pool growth.
+    pub fn scratch_bytes(&self) -> u64 {
+        // Lock order: pool before engines, everywhere in this module.
+        let pool = self.pool.lock();
+        let engines = self.engines.lock();
+        pool.iter().map(DenseScratch::size_bytes).sum::<u64>()
+            + engines.iter().map(DijkstraScratch::size_bytes).sum::<u64>()
+    }
+
+    /// Evict oldest idle buffers until the pooled footprint fits the
+    /// budget. Dense scratches evict first (largest), then engines.
+    fn enforce_budget(&self) {
+        if self.budget_bytes == 0 {
+            return;
+        }
+        let mut pool = self.pool.lock();
+        let mut engines = self.engines.lock();
+        let mut total = pool.iter().map(DenseScratch::size_bytes).sum::<u64>()
+            + engines.iter().map(DijkstraScratch::size_bytes).sum::<u64>();
+        while total > self.budget_bytes && !pool.is_empty() {
+            total = total.saturating_sub(pool.remove(0).size_bytes());
+        }
+        while total > self.budget_bytes && !engines.is_empty() {
+            total = total.saturating_sub(engines.remove(0).size_bytes());
+        }
     }
 
     /// Borrow Dijkstra working memory for a refinement search. Like
@@ -167,10 +219,12 @@ impl ScratchPool {
     }
 
     /// Return Dijkstra working memory to the pool. Scratches sized for
-    /// another graph are dropped instead of pooled.
+    /// another graph are dropped instead of pooled; pooling past the byte
+    /// budget evicts the oldest idle buffers first.
     pub fn release_engine(&self, s: DijkstraScratch) {
         if s.capacity() == self.num_vertices {
             self.engines.lock().push(s);
+            self.enforce_budget();
         }
     }
 
@@ -289,6 +343,37 @@ mod tests {
         // Mismatched capacity is dropped, not pooled.
         pool.release_engine(DijkstraScratch::with_capacity(4));
         assert_eq!(pool.pooled_engines(), 0);
+    }
+
+    #[test]
+    fn budget_evicts_oldest_idle_scratch() {
+        let one = DenseScratch::new(16).size_bytes();
+        // Budget fits exactly two dense scratches.
+        let pool = ScratchPool::with_budget(16, 2 * one);
+        let (a, b, c) = (pool.acquire(), pool.acquire(), pool.acquire());
+        pool.release(a);
+        pool.release(b);
+        assert_eq!(pool.pooled(), 2);
+        assert!(pool.scratch_bytes() <= 2 * one);
+        pool.release(c);
+        assert_eq!(pool.pooled(), 2, "third release must evict the oldest");
+        assert!(pool.scratch_bytes() <= 2 * one);
+
+        // Engines share the same budget and evict once dense is drained.
+        let e = pool.acquire_engine();
+        pool.release_engine(e);
+        assert!(pool.scratch_bytes() <= 2 * one);
+        assert!(pool.pooled() + pool.pooled_engines() >= 1);
+    }
+
+    #[test]
+    fn zero_budget_is_unbounded() {
+        let pool = ScratchPool::new(1000);
+        for _ in 0..8 {
+            pool.release(DenseScratch::new(1000));
+        }
+        assert_eq!(pool.pooled(), 8);
+        assert!(pool.scratch_bytes() > 0);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::batch::BatchCleanCache;
 use crate::cleaning::{CleanedObjects, CleaningReport};
 use crate::config::GGridConfig;
 use crate::grid::{CellId, GraphGrid};
+use crate::ingest_buffer::{BufferedEntry, ThreadIngestDispatcher};
 use crate::knn::{run_knn, KnnResult};
 use crate::message::{CachedMessage, ObjectId, Timestamp};
 use crate::message_list::CellLists;
@@ -74,6 +75,11 @@ pub struct GGridServer {
     /// signal [`Self::rebalance_shards`] migrates by. Empty (never tallied)
     /// while `num_devices == 1`, so single-device ingest pays nothing.
     cell_dirt: Vec<AtomicU64>,
+    /// Thread-local ingest buffers (DESIGN.md §5.9): the lock-free fast
+    /// path of [`Self::ingest_buffered`], drained into the shared message
+    /// lists by [`Self::flush_ingest`] and the implicit barriers on every
+    /// query/clean/tick entry point.
+    dispatch: ThreadIngestDispatcher,
 }
 
 impl GGridServer {
@@ -114,13 +120,14 @@ impl GGridServer {
         // stores (the per-device `device_budget_bytes`).
         let shards = ShardSet::new(&grid, &config, device);
         let lists = CellLists::new(grid.num_cells(), config.bucket_capacity);
-        let pool = ScratchPool::new(graph.num_vertices());
+        let pool = ScratchPool::with_budget(graph.num_vertices(), config.scratch_budget_bytes);
         let subs = SubscriptionRegistry::new(grid.num_cells());
         let cell_dirt = if config.num_devices > 1 {
             (0..grid.num_cells()).map(|_| AtomicU64::new(0)).collect()
         } else {
             Vec::new()
         };
+        let dispatch = ThreadIngestDispatcher::new(config.ingest_workers);
         Self {
             graph,
             grid,
@@ -136,6 +143,7 @@ impl GGridServer {
             subs_dirty: Mutex::new(Vec::new()),
             track_dirty: AtomicBool::new(false),
             cell_dirt,
+            dispatch,
         }
     }
 
@@ -184,6 +192,11 @@ impl GGridServer {
         self.ingest.merge_into(&mut c);
         c.bucket_allocs = self.lists.sum_over(|l| l.bucket_alloc_stats().0);
         c.bucket_reuses = self.lists.sum_over(|l| l.bucket_alloc_stats().1);
+        let (flushes, buffered, high_water) = self.dispatch.stats();
+        c.ingest_flushes = flushes;
+        c.buffered_messages = buffered;
+        c.buffer_bytes_high_water = high_water;
+        c.snapshot_reuses = self.object_table.snapshot_reuses();
         c.subs_active = self.subs.active() as u64;
         for d in 0..self.shards.num_shards() {
             c.shard_busy_ns[d] = self.shards.shard(d).lifetime_busy_ns();
@@ -534,6 +547,189 @@ impl GGridServer {
         dirty
     }
 
+    /// Buffered ingestion (the lock-free Algorithm 1, DESIGN.md §5.9):
+    /// apply `updates` to the object table now, but stage the resulting
+    /// cell placements/tombstones in thread-private buffers instead of the
+    /// shared message lists. During the parallel phase **no worker touches
+    /// a cell mutex** — each worker locks only its own (uncontended)
+    /// buffer slot once per call — so a hot cell shared by every arrival
+    /// batch costs zero contention in steady state.
+    ///
+    /// Buffered messages become visible at the next flush: a cell whose
+    /// buffered count reaches `config.ingest_buffer_cap` (or everything,
+    /// when the footprint exceeds `config.ingest_buffer_bytes`) is
+    /// committed at the end of this call; the rest waits for
+    /// [`Self::flush_ingest`] or the implicit barrier every query, clean,
+    /// subscription and rebalance entry point runs first. Each flushed
+    /// cell pays **one** lock hold and **one** dirty-epoch bump per flush,
+    /// however many ingest calls contributed.
+    ///
+    /// Every staged message carries a global monotone sequence number (an
+    /// update and its departure tombstone share one), and the flush merges
+    /// the workers' per-cell runs in sequence order — so the per-cell
+    /// message sequences after a flush are byte-identical to
+    /// [`Self::ingest_batch`] over the same calls, for every worker count
+    /// (proptested in `tests/ingest_buffer.rs`).
+    ///
+    /// Returns the cells committed by this call's end-of-call flush (empty
+    /// while everything still sits in the buffers).
+    pub fn ingest_buffered(&self, updates: &[(ObjectId, EdgePosition, Timestamp)]) -> Vec<CellId> {
+        if updates.is_empty() {
+            return Vec::new();
+        }
+        let t0 = Instant::now();
+        let workers = self.config.ingest_workers.clamp(1, updates.len());
+        self.ingest.observe_batch(updates.len());
+        self.ingest
+            .batched_updates
+            .fetch_add(updates.len() as u64, Ordering::Relaxed);
+        let base = self.dispatch.next_seq(updates.len());
+
+        // Phase 1 — object table + private buffers. Same object sharding
+        // as `ingest_batch` (worker `w` owns `shard_of(o) % workers == w`,
+        // so per-object order is preserved); the only lock a worker takes
+        // besides the table shards is its own buffer slot, once.
+        let place = |w: usize| -> (u64, u64, u64) {
+            let started = Instant::now();
+            let mut buf = self.dispatch.worker(w);
+            let (mut staged, mut tombstones) = (0u64, 0u64);
+            for (idx, &(o, position, time)) in updates.iter().enumerate() {
+                if shard_of(o) % workers != w {
+                    continue;
+                }
+                debug_assert!(position.is_valid(&self.graph), "invalid object position");
+                let cell = self.grid.cell_of_edge(position.edge);
+                let seq = base + idx as u64;
+                buf.push(cell, seq, CachedMessage::update(o, position, time));
+                staged += 1;
+                let prev = self.object_table.set(o, cell, position, time);
+                if let Some(prev) = prev {
+                    if prev.cell != cell {
+                        buf.push(prev.cell, seq, CachedMessage::tombstone(o, time));
+                        staged += 1;
+                        tombstones += 1;
+                    }
+                }
+            }
+            (staged, tombstones, started.elapsed().as_nanos() as u64)
+        };
+        let parts: Vec<(u64, u64, u64)> = if workers == 1 {
+            vec![place(0)]
+        } else {
+            crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let place = &place;
+                        s.spawn(move |_| place(w))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("ingest worker panicked"))
+                    .collect()
+            })
+            .expect("ingest scope failed")
+        };
+        let staged: u64 = parts.iter().map(|&(n, _, _)| n).sum();
+        let tombstones: u64 = parts.iter().map(|&(_, t, _)| t).sum();
+        let busy1: u64 = parts.iter().map(|&(_, _, ns)| ns).sum();
+        let critical1: u64 = parts.iter().map(|&(_, _, ns)| ns).max().unwrap_or(0);
+        self.dispatch.note_buffered(staged);
+        self.ingest
+            .shard_locks
+            .fetch_add(updates.len() as u64, Ordering::Relaxed);
+        self.ingest
+            .tombstones_written
+            .fetch_add(tombstones, Ordering::Relaxed);
+        self.ingest
+            .tombstones_batched
+            .fetch_add(tombstones, Ordering::Relaxed);
+        self.ingest
+            .updates_ingested
+            .fetch_add(updates.len() as u64, Ordering::Relaxed);
+
+        // End-of-call flush: everything, when the global byte budget is
+        // blown; otherwise only the cells whose buffers filled up.
+        let over_budget = self.config.ingest_buffer_bytes > 0
+            && self.dispatch.buffered_bytes() > self.config.ingest_buffer_bytes;
+        let committed = if over_budget {
+            self.commit_buffered(self.dispatch.drain_all())
+        } else {
+            let full: Vec<(CellId, Vec<BufferedEntry>)> = self
+                .dispatch
+                .cells_over(self.config.ingest_buffer_cap)
+                .into_iter()
+                .filter_map(|c| self.dispatch.drain_cell(c).map(|run| (c, run)))
+                .collect();
+            self.commit_buffered(full)
+        };
+
+        // The phase barrier puts serial glue (flushing included) on the
+        // critical path of every worker count.
+        let serial = (t0.elapsed().as_nanos() as u64).saturating_sub(busy1);
+        self.ingest
+            .busy_ns
+            .fetch_add(busy1 + serial, Ordering::Relaxed);
+        self.ingest
+            .critical_ns
+            .fetch_add(critical1 + serial, Ordering::Relaxed);
+        committed
+    }
+
+    /// The explicit visibility barrier of [`Self::ingest_buffered`]: drain
+    /// every thread-local ingest buffer into the shared message lists (one
+    /// lock + one dirty-epoch bump per touched cell) and return the cells
+    /// committed. Every query/clean/subscription/rebalance entry point
+    /// calls this implicitly, so buffered ingestion never changes an
+    /// answer — only when the cell locks are paid.
+    pub fn flush_ingest(&self) -> Vec<CellId> {
+        let groups = self.dispatch.drain_all();
+        self.commit_buffered(groups)
+    }
+
+    /// Commit drained buffer groups to their cells: per cell one metered
+    /// lock hold, one `append_batch` (sequence order), one epoch bump —
+    /// plus the same dirty-tracking side effects as the other ingest
+    /// paths. No buffer-slot mutex is held in here (the groups are owned),
+    /// so the cell locks nest under nothing.
+    fn commit_buffered(&self, groups: Vec<(CellId, Vec<BufferedEntry>)>) -> Vec<CellId> {
+        if groups.is_empty() {
+            return Vec::new();
+        }
+        let t0 = Instant::now();
+        let sharded = self.config.num_devices > 1;
+        let track = self.track_dirty.load(Ordering::Relaxed);
+        // One entry per committed cell — cheap relative to the commit
+        // itself (a flush amortizes many messages per cell), so unlike
+        // `ingest_batch` it is always materialised.
+        let dirty: Vec<CellId> = groups.iter().map(|&(c, _)| c).collect();
+        for (cell, run) in groups {
+            let w0 = Instant::now();
+            let mut list = self.lists.lock(cell.index());
+            self.ingest
+                .cell_lock_wait_ns
+                .fetch_add(w0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            list.append_batch(run.iter().map(|(_, m)| m));
+            drop(list);
+            self.ingest.cell_locks.fetch_add(1, Ordering::Relaxed);
+            self.ingest.cells_dirtied.fetch_add(1, Ordering::Relaxed);
+            if sharded {
+                let owner = self.shards.owner_of(cell);
+                self.ingest.shard_dirtied[owner].fetch_add(1, Ordering::Relaxed);
+                self.cell_dirt[cell.index()].fetch_add(1, Ordering::Relaxed);
+            }
+            self.dispatch.recycle(run);
+        }
+        self.dispatch.note_flush();
+        if track {
+            self.subs_dirty.lock().extend_from_slice(&dirty);
+        }
+        let ns = t0.elapsed().as_nanos() as u64;
+        self.ingest.busy_ns.fetch_add(ns, Ordering::Relaxed);
+        self.ingest.critical_ns.fetch_add(ns, Ordering::Relaxed);
+        dirty
+    }
+
     /// The one cell-cleaning entry point on the server: the eager-clean
     /// calls ([`Self::clean_all`], [`Self::clean_cell_of_edge`]) and the
     /// subscription tick's shared pre-clean and delta repairs all go
@@ -554,6 +750,7 @@ impl GGridServer {
     /// (ablation support: calling this after every update degenerates the
     /// lazy strategy into the eager one the paper compares against).
     pub fn clean_cell_of_edge(&mut self, edge: roadnet::EdgeId, now: Timestamp) {
+        self.flush_ingest();
         let cell = self.grid.cell_of_edge(edge);
         let (_, rep) = self.clean_cells_shared(&[cell], now);
         self.counters.record_cleaning(&rep);
@@ -561,6 +758,7 @@ impl GGridServer {
 
     /// Eagerly clean every cell (used by tests and ablations).
     pub fn clean_all(&mut self, now: Timestamp) {
+        self.flush_ingest();
         let cells: Vec<CellId> = self.grid.cell_ids().collect();
         let (_, rep) = self.clean_cells_shared(&cells, now);
         self.counters.record_cleaning(&rep);
@@ -580,6 +778,7 @@ impl GGridServer {
         queries: &[(EdgePosition, usize)],
         now: Timestamp,
     ) -> crate::batch::BatchResult {
+        self.flush_ingest();
         let result = crate::batch::run_knn_batch(
             &mut self.shards,
             &self.grid,
@@ -602,6 +801,7 @@ impl GGridServer {
 
     /// As [`Self::knn`] but returning the full cost breakdown.
     pub fn knn_detailed(&mut self, q: EdgePosition, k: usize, now: Timestamp) -> KnnResult {
+        self.flush_ingest();
         let result = self.query_pipeline(q, k, now, None);
         self.counters.record_query(&result.breakdown);
         result
@@ -644,6 +844,8 @@ impl GGridServer {
         if self.config.num_devices <= 1 {
             return None;
         }
+        // Buffered dirt must land in `cell_dirt` before the epoch is read.
+        self.flush_ingest();
         let dirt: Vec<u64> = self
             .cell_dirt
             .iter()
@@ -686,6 +888,7 @@ impl GGridServer {
             self.config.max_subscriptions
         );
         self.track_dirty.store(true, Ordering::Relaxed);
+        self.flush_ingest();
         let t0 = Instant::now();
         let mut inner = 0u64;
         let sub = self.evaluate_full(q, k, now, None, &mut inner);
@@ -730,6 +933,9 @@ impl GGridServer {
     /// search, falling back to a full re-query through the shared pipeline
     /// when the guard cannot certify the answer.
     pub fn tick_subscriptions(&mut self, now: Timestamp) -> SubscriptionTickReport {
+        // Barrier before the dirty drain: buffered cells must register as
+        // dirtied so the tick re-validates the subscriptions they touch.
+        self.flush_ingest();
         let wall0 = Instant::now();
         let mut dirty: Vec<CellId> = std::mem::take(&mut *self.subs_dirty.lock());
         dirty.sort_unstable();
@@ -975,6 +1181,14 @@ impl MovingObjectIndex for GGridServer {
         let _ = GGridServer::ingest_batch(self, updates);
     }
 
+    fn ingest_buffered(&mut self, updates: &[(ObjectId, EdgePosition, Timestamp)]) {
+        let _ = GGridServer::ingest_buffered(self, updates);
+    }
+
+    fn flush_ingest(&mut self) {
+        let _ = GGridServer::flush_ingest(self);
+    }
+
     fn knn(&mut self, q: EdgePosition, k: usize, now: Timestamp) -> Vec<(ObjectId, Distance)> {
         GGridServer::knn(self, q, k, now)
     }
@@ -999,8 +1213,13 @@ impl MovingObjectIndex for GGridServer {
     fn index_size(&self) -> IndexSize {
         let lists: u64 = self.lists.sum_over(|l| l.size_bytes());
         IndexSize {
-            // Graph grid + object table + message lists live on the CPU.
-            cpu_bytes: self.grid.grid_bytes() + self.object_table.size_bytes() + lists,
+            // Graph grid + object table + message lists + pooled scratch
+            // and staged ingest buffers live on the CPU.
+            cpu_bytes: self.grid.grid_bytes()
+                + self.object_table.size_bytes()
+                + lists
+                + self.pool.scratch_bytes()
+                + self.dispatch.buffered_bytes(),
             // Every shard device holds a mirror of the graph grid to
             // streamline the computation (Fig 6's "G-Grid (GPU)") plus
             // whatever consolidated cell lists and topology slices are

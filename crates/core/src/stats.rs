@@ -418,6 +418,18 @@ pub struct ServerCounters {
     /// Message-list bucket slabs recycled from the cleaning free list
     /// (steady-state ingest allocates nothing).
     pub bucket_reuses: u64,
+    /// Buffered-ingest flush events that committed at least one cell to
+    /// its shared message list (`ingest_buffered` / `flush_ingest`).
+    pub ingest_flushes: u64,
+    /// Messages that passed through the thread-local ingest buffers
+    /// (lifetime; subset of `updates_ingested + tombstones_written`).
+    pub buffered_messages: u64,
+    /// High-water mark of the thread-local ingest buffers' footprint, in
+    /// bytes (gauge).
+    pub buffer_bytes_high_water: u64,
+    /// Object-table snapshots served from the epoch-validated cache
+    /// without an O(|𝒪|) rebuild (gauge).
+    pub snapshot_reuses: u64,
     /// Distinct cells whose dirty epoch an ingest call bumped (run heads of
     /// the group commit, plus per-message appends), accumulated.
     pub cells_dirtied: u64,

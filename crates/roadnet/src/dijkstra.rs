@@ -70,6 +70,15 @@ impl DijkstraScratch {
     pub fn capacity(&self) -> usize {
         self.dist.len()
     }
+
+    /// Resident bytes of the working memory (distance + stamp arrays
+    /// dominate; heap and settled list are counted at capacity).
+    pub fn size_bytes(&self) -> u64 {
+        (self.dist.capacity() * std::mem::size_of::<Distance>()
+            + self.stamp.capacity() * std::mem::size_of::<u32>()
+            + self.heap.capacity() * std::mem::size_of::<Reverse<(Distance, u32)>>()
+            + self.settled.capacity() * std::mem::size_of::<VertexId>()) as u64
+    }
 }
 
 /// Reusable Dijkstra engine over one graph.

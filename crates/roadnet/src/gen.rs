@@ -188,6 +188,23 @@ pub fn dataset(ds: Dataset, scale: u32, seed: u64) -> Graph {
     })
 }
 
+/// Build a road-shaped network of approximately `target_v` vertices (a
+/// near-square jittered lattice with the default 2.5 edge ratio) — the
+/// generator the capacity sweeps scale |V| with. The actual vertex count is
+/// `side²` for `side = ⌈√target_v⌉`, so it is within ~2·√|V| of the target.
+/// Deterministic in `seed`; O(|V|) build time, so paper-scale instances
+/// (hundreds of thousands of vertices) generate in well under a second.
+pub fn synthetic_grid(target_v: usize, seed: u64) -> Graph {
+    let side = (target_v.max(4) as f64).sqrt().ceil().max(2.0) as u32;
+    grid_city(&GridCityParams {
+        rows: side,
+        cols: side,
+        edge_ratio: 2.5,
+        weight_range: (100, 2000),
+        seed,
+    })
+}
+
 /// Small deterministic fixture graph used across the workspace's tests:
 /// an 8×8 grid city with ~160 edges.
 pub fn toy(seed: u64) -> Graph {
@@ -312,6 +329,21 @@ mod tests {
         for ds in Dataset::ALL {
             let r = ds.edge_ratio();
             assert!((2.0..3.0).contains(&r), "{} ratio {r}", ds.name());
+        }
+    }
+
+    #[test]
+    fn synthetic_grid_hits_target_size() {
+        for target in [100usize, 3000, 30_000] {
+            let g = synthetic_grid(target, 9);
+            let v = g.num_vertices() as f64;
+            let t = target as f64;
+            assert!(
+                v >= t && v <= t + 3.0 * t.sqrt() + 4.0,
+                "target {target} gave |V| = {v}"
+            );
+            let ratio = g.num_edges() as f64 / v;
+            assert!((ratio - 2.5).abs() < 0.1, "ratio was {ratio}");
         }
     }
 

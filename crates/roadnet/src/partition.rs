@@ -46,9 +46,63 @@ impl Partition {
 
 /// Undirected weighted working graph used during multilevel bisection.
 /// Vertices carry weights (number of original vertices they contain).
+/// Adjacency is a flat CSR (`off[v]..off[v+1]` slices `edges`) — the
+/// builders below construct it with three allocations total instead of one
+/// `Vec` per vertex per coarsening level, which dominated large builds.
 struct WorkGraph {
     vwt: Vec<u64>,
-    adj: Vec<Vec<(u32, u64)>>,
+    off: Vec<u32>,
+    edges: Vec<(u32, u64)>,
+}
+
+/// Epoch-stamped global→local vertex renaming, shared across every node of
+/// the bisection recursion. `from_subset` used to allocate and clear a
+/// fresh O(|V|) map at *every* recursion node — ~2·2^depth allocations of
+/// |V| words, which is what made grid builds infeasible past ~10⁵ vertices.
+/// With the stamp, clearing is an epoch bump and the O(|V|) arrays are
+/// allocated exactly once per partitioning run.
+struct SubsetScratch {
+    local: Vec<u32>,
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl SubsetScratch {
+    fn new(num_vertices: usize) -> Self {
+        Self {
+            local: vec![0; num_vertices],
+            stamp: vec![0; num_vertices],
+            epoch: 0,
+        }
+    }
+
+    /// Invalidate every mapping (O(1) amortised; stamps rewritten once per
+    /// u32 wrap).
+    fn begin(&mut self) {
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, global: usize, local: u32) {
+        self.local[global] = local;
+        self.stamp[global] = self.epoch;
+    }
+
+    /// Local index of `global` this epoch, or `u32::MAX` when it is not in
+    /// the current subset (the sentinel the build loop branches on).
+    #[inline]
+    fn get(&self, global: usize) -> u32 {
+        if self.stamp[global] == self.epoch {
+            self.local[global]
+        } else {
+            u32::MAX
+        }
+    }
 }
 
 impl WorkGraph {
@@ -60,56 +114,91 @@ impl WorkGraph {
         self.vwt.iter().sum()
     }
 
+    #[inline]
+    fn neighbors(&self, v: usize) -> &[(u32, u64)] {
+        &self.edges[self.off[v] as usize..self.off[v + 1] as usize]
+    }
+
     /// Build the level-0 working graph for a subset of `graph`'s vertices.
     /// Edge directions are ignored and parallel edges merged.
-    fn from_subset(graph: &Graph, subset: &[VertexId]) -> (Self, Vec<VertexId>) {
-        let mut local = vec![u32::MAX; graph.num_vertices()];
+    fn from_subset(graph: &Graph, subset: &[VertexId], scratch: &mut SubsetScratch) -> Self {
+        scratch.begin();
         for (i, &v) in subset.iter().enumerate() {
-            local[v.index()] = i as u32;
+            scratch.set(v.index(), i as u32);
         }
-        let mut adj: Vec<Vec<(u32, u64)>> = vec![Vec::new(); subset.len()];
+        let n = subset.len();
+        let mut off = vec![0u32; n + 1];
         for (i, &v) in subset.iter().enumerate() {
+            let mut d = 0u32;
             for e in graph.out_edges(v) {
-                let d = graph.edge(e).dest;
-                let j = local[d.index()];
+                let j = scratch.get(graph.edge(e).dest.index());
                 if j != u32::MAX && j != i as u32 {
-                    adj[i].push((j, 1));
+                    d += 1;
                 }
             }
             // In-edges too: the working graph is undirected.
             for e in graph.in_edges(v) {
-                let s = graph.edge(e).source;
-                let j = local[s.index()];
+                let j = scratch.get(graph.edge(e).source.index());
                 if j != u32::MAX && j != i as u32 {
-                    adj[i].push((j, 1));
+                    d += 1;
+                }
+            }
+            off[i + 1] = d;
+        }
+        for i in 0..n {
+            off[i + 1] += off[i];
+        }
+        let mut edges = vec![(0u32, 0u64); off[n] as usize];
+        let mut cursor: Vec<u32> = off[..n].to_vec();
+        for (i, &v) in subset.iter().enumerate() {
+            for e in graph.out_edges(v) {
+                let j = scratch.get(graph.edge(e).dest.index());
+                if j != u32::MAX && j != i as u32 {
+                    edges[cursor[i] as usize] = (j, 1);
+                    cursor[i] += 1;
+                }
+            }
+            for e in graph.in_edges(v) {
+                let j = scratch.get(graph.edge(e).source.index());
+                if j != u32::MAX && j != i as u32 {
+                    edges[cursor[i] as usize] = (j, 1);
+                    cursor[i] += 1;
                 }
             }
         }
-        for list in &mut adj {
-            merge_parallel(list);
+        merge_parallel(&mut off, &mut edges);
+        Self {
+            vwt: vec![1; n],
+            off,
+            edges,
         }
-        (
-            Self {
-                vwt: vec![1; subset.len()],
-                adj,
-            },
-            subset.to_vec(),
-        )
     }
 }
 
-fn merge_parallel(list: &mut Vec<(u32, u64)>) {
-    list.sort_unstable_by_key(|&(j, _)| j);
-    let mut out = 0usize;
-    for i in 0..list.len() {
-        if out > 0 && list[out - 1].0 == list[i].0 {
-            list[out - 1].1 += list[i].1;
-        } else {
-            list[out] = list[i];
-            out += 1;
+/// Sort each CSR segment by neighbour id and merge parallel edges in
+/// place, rewriting `off` to the compacted offsets.
+fn merge_parallel(off: &mut [u32], edges: &mut Vec<(u32, u64)>) {
+    let n = off.len() - 1;
+    let mut w = 0usize;
+    let mut start = 0usize;
+    for v in 0..n {
+        let end = off[v + 1] as usize;
+        edges[start..end].sort_unstable_by_key(|&(j, _)| j);
+        let mut i = start;
+        while i < end {
+            let (j, mut wt) = edges[i];
+            i += 1;
+            while i < end && edges[i].0 == j {
+                wt += edges[i].1;
+                i += 1;
+            }
+            edges[w] = (j, wt);
+            w += 1;
         }
+        start = end;
+        off[v + 1] = w as u32;
     }
-    list.truncate(out);
+    edges.truncate(w);
 }
 
 /// Heavy-edge matching coarsening: returns (coarse graph, map fine→coarse).
@@ -124,7 +213,7 @@ fn coarsen(g: &WorkGraph) -> (WorkGraph, Vec<u32>) {
             continue;
         }
         let mut best: Option<(u32, u64)> = None;
-        for &(u, w) in &g.adj[v] {
+        for &(u, w) in g.neighbors(v) {
             if matched[u as usize] == u32::MAX && best.is_none_or(|(_, bw)| w > bw) {
                 best = Some((u, w));
             }
@@ -138,21 +227,33 @@ fn coarsen(g: &WorkGraph) -> (WorkGraph, Vec<u32>) {
     }
     let cn = next as usize;
     let mut vwt = vec![0u64; cn];
-    let mut adj: Vec<Vec<(u32, u64)>> = vec![Vec::new(); cn];
+    let mut off = vec![0u32; cn + 1];
     for v in 0..n {
         let cv = matched[v] as usize;
         vwt[cv] += g.vwt[v];
-        for &(u, w) in &g.adj[v] {
-            let cu = matched[u as usize];
-            if cu as usize != cv {
-                adj[cv].push((cu, w));
+        for &(u, _) in g.neighbors(v) {
+            if matched[u as usize] as usize != cv {
+                off[cv + 1] += 1;
             }
         }
     }
-    for list in &mut adj {
-        merge_parallel(list);
+    for c in 0..cn {
+        off[c + 1] += off[c];
     }
-    (WorkGraph { vwt, adj }, matched)
+    let mut edges = vec![(0u32, 0u64); off[cn] as usize];
+    let mut cursor: Vec<u32> = off[..cn].to_vec();
+    for v in 0..n {
+        let cv = matched[v] as usize;
+        for &(u, w) in g.neighbors(v) {
+            let cu = matched[u as usize];
+            if cu as usize != cv {
+                edges[cursor[cv] as usize] = (cu, w);
+                cursor[cv] += 1;
+            }
+        }
+    }
+    merge_parallel(&mut off, &mut edges);
+    (WorkGraph { vwt, off, edges }, matched)
 }
 
 /// Initial bisection by BFS region growing from vertex 0 until half of the
@@ -181,7 +282,7 @@ fn initial_bisection(g: &WorkGraph) -> Vec<bool> {
             }
             side[v as usize] = true;
             grown += g.vwt[v as usize];
-            for &(u, _) in &g.adj[v as usize] {
+            for &(u, _) in g.neighbors(v as usize) {
                 if !seen[u as usize] {
                     seen[u as usize] = true;
                     queue.push_back(u);
@@ -203,7 +304,7 @@ fn refine(g: &WorkGraph, side: &mut [bool]) {
         let mut moved_any = false;
         for v in 0..g.len() {
             let (mut internal, mut external) = (0u64, 0u64);
-            for &(u, w) in &g.adj[v] {
+            for &(u, w) in g.neighbors(v) {
                 if side[u as usize] == side[v] {
                     internal += w;
                 } else {
@@ -241,7 +342,12 @@ fn bisect(g: &WorkGraph) -> Vec<bool> {
         return side;
     }
     let (coarse, map) = coarsen(g);
-    let mut side = if coarse.len() < g.len() {
+    // Recurse only while matching shrinks the graph meaningfully. A strict
+    // `<` test lets a stalling match (e.g. a hub vertex whose leaves all
+    // become singletons) shed a handful of vertices per level, turning the
+    // recursion O(|V|) deep — quadratic work and a blown stack on
+    // 10⁵-vertex subsets.
+    let mut side = if coarse.len() < g.len() - g.len() / 16 {
         let cside = bisect(&coarse);
         map.iter().map(|&c| cside[c as usize]).collect()
     } else {
@@ -256,40 +362,66 @@ fn bisect(g: &WorkGraph) -> Vec<bool> {
 /// moving cheapest-to-move vertices. The paper's cells have a hard capacity
 /// δᶜ, so balance is a correctness requirement, not just a quality goal.
 fn rebalance(g: &WorkGraph, side: &mut [bool]) {
-    let total = g.total_weight();
+    let total = g.total_weight() as i64;
+    let mut wa: i64 = (0..g.len())
+        .filter(|&v| side[v])
+        .map(|v| g.vwt[v] as i64)
+        .sum();
+    // One O(n) scan per *round*, not per move: collect every heavy-side
+    // vertex with its cut gain, then drain the imbalance through them in
+    // descending-gain order. The old one-scan-per-move loop was quadratic
+    // on large subsets (refinement can leave the sides tens of thousands
+    // of moves apart), which dominated 300k-vertex grid builds.
     loop {
-        let wa: u64 = (0..g.len()).filter(|&v| side[v]).map(|v| g.vwt[v]).sum();
-        let wb = total - wa;
-        let (heavy_is_a, diff) = if wa >= wb {
-            (true, wa - wb)
-        } else {
-            (false, wb - wa)
+        let heavy_is_a = wa >= total - wa;
+        let signed_diff = |wa: i64| {
+            if heavy_is_a {
+                2 * wa - total
+            } else {
+                total - 2 * wa
+            }
         };
-        if diff <= 1 {
+        if signed_diff(wa) <= 1 {
             break;
         }
-        // Move the boundary-most vertex (max external weight) from the heavy
-        // side whose weight does not overshoot.
-        let mut best: Option<(usize, i64)> = None;
-        for v in 0..g.len() {
-            if side[v] != heavy_is_a || g.vwt[v] * 2 > diff + 1 {
+        let mut candidates: Vec<(i64, u64, u32)> = (0..g.len())
+            .filter(|&v| side[v] == heavy_is_a)
+            .map(|v| {
+                let mut gain = 0i64;
+                for &(u, w) in g.neighbors(v) {
+                    gain += if side[u as usize] == side[v] {
+                        -(w as i64)
+                    } else {
+                        w as i64
+                    };
+                }
+                (gain, g.vwt[v], v as u32)
+            })
+            .collect();
+        // Best cut gain first; vertex id breaks ties deterministically.
+        candidates.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.2.cmp(&b.2)));
+        let mut moved_any = false;
+        for &(_, wt, v) in &candidates {
+            let diff = signed_diff(wa);
+            if diff <= 1 {
+                break;
+            }
+            // A move shifts the difference by 2·wt; skip vertices that
+            // would overshoot past ±1.
+            if 2 * wt as i64 > diff + 1 {
                 continue;
             }
-            let mut gain = 0i64;
-            for &(u, w) in &g.adj[v] {
-                gain += if side[u as usize] == side[v] {
-                    -(w as i64)
-                } else {
-                    w as i64
-                };
+            let v = v as usize;
+            if side[v] {
+                wa -= wt as i64;
+            } else {
+                wa += wt as i64;
             }
-            if best.is_none_or(|(_, bg)| gain > bg) {
-                best = Some((v, gain));
-            }
+            side[v] = !side[v];
+            moved_any = true;
         }
-        match best {
-            Some((v, _)) => side[v] = !side[v],
-            None => break, // nothing movable without overshooting
+        if !moved_any {
+            break; // nothing movable without overshooting
         }
     }
 }
@@ -303,7 +435,8 @@ fn rebalance(g: &WorkGraph, side: &mut [bool]) {
 pub fn hierarchical_bisection(graph: &Graph, depth: u32) -> Partition {
     let all: Vec<VertexId> = graph.vertices().collect();
     let mut assignment = vec![0u32; graph.num_vertices()];
-    split_recursive(graph, &all, depth, 0, &mut assignment);
+    let mut scratch = SubsetScratch::new(graph.num_vertices());
+    split_recursive(graph, &all, depth, 0, &mut assignment, &mut scratch);
     Partition {
         assignment,
         num_parts: 1 << depth,
@@ -316,6 +449,7 @@ fn split_recursive(
     levels_left: u32,
     prefix: u32,
     assignment: &mut [u32],
+    scratch: &mut SubsetScratch,
 ) {
     if levels_left == 0 || subset.is_empty() {
         for &v in subset {
@@ -323,23 +457,32 @@ fn split_recursive(
         }
         return;
     }
-    let (wg, verts) = WorkGraph::from_subset(graph, subset);
+    let wg = WorkGraph::from_subset(graph, subset, scratch);
     let side = bisect(&wg);
     let (mut left, mut right) = (Vec::new(), Vec::new());
-    for (i, &v) in verts.iter().enumerate() {
+    for (i, &v) in subset.iter().enumerate() {
         if side[i] {
             left.push(v);
         } else {
             right.push(v);
         }
     }
-    split_recursive(graph, &left, levels_left - 1, prefix << 1, assignment);
+    drop(side);
+    split_recursive(
+        graph,
+        &left,
+        levels_left - 1,
+        prefix << 1,
+        assignment,
+        scratch,
+    );
     split_recursive(
         graph,
         &right,
         levels_left - 1,
         (prefix << 1) | 1,
         assignment,
+        scratch,
     );
 }
 

@@ -31,6 +31,12 @@ pub struct ScenarioConfig {
     /// least once).
     pub warmup_ms: u64,
     pub query_seed: u64,
+    /// Route arrivals through the index's thread-buffered ingest path
+    /// (`ingest_buffered` + a `flush_ingest` barrier before each query)
+    /// instead of the direct `ingest_batch` group commit. Indexes without a
+    /// buffered path fall back to `ingest_batch` via the trait default, so
+    /// answers are identical either way.
+    pub buffered_ingest: bool,
 }
 
 impl Default for ScenarioConfig {
@@ -42,6 +48,7 @@ impl Default for ScenarioConfig {
             num_queries: 10,
             warmup_ms: 1100,
             query_seed: 99,
+            buffered_ingest: false,
         }
     }
 }
@@ -140,7 +147,14 @@ pub fn run_scenario(
             .map(|m| (m.object, m.position, m.time))
             .collect();
         let t0 = Instant::now();
-        index.ingest_batch(&updates);
+        if config.buffered_ingest {
+            index.ingest_buffered(&updates);
+            // Queries must observe every buffered message; the barrier is
+            // part of the measured update cost.
+            index.flush_ingest();
+        } else {
+            index.ingest_batch(&updates);
+        }
         update_wall_ns += t0.elapsed().as_nanos() as u64;
         messages += batch.len();
         if compute_reference {
@@ -331,6 +345,7 @@ mod tests {
             num_queries: 6,
             warmup_ms: 250,
             query_seed: 17,
+            buffered_ingest: false,
         }
     }
 
@@ -350,6 +365,31 @@ mod tests {
         assert!(report.messages > 0);
         assert_eq!(report.accuracy(), 1.0, "G-Grid answers must be exact");
         assert!(report.total_ns() > 0);
+    }
+
+    #[test]
+    fn buffered_scenario_matches_batched() {
+        let graph = Arc::new(gen::toy(13));
+        let config = GGridConfig {
+            eta: 4,
+            bucket_capacity: 16,
+            ..Default::default()
+        };
+        let mut batched = GGridServer::new((*graph).clone(), config.clone());
+        let mut buffered = GGridServer::new((*graph).clone(), config);
+        let base = small_scenario();
+        let a = run_scenario(&graph, &mut batched, &base, 10_000, true);
+        let cfg = ScenarioConfig {
+            buffered_ingest: true,
+            ..base
+        };
+        let b = run_scenario(&graph, &mut buffered, &cfg, 10_000, true);
+        assert_eq!(a.accuracy(), 1.0);
+        assert_eq!(b.accuracy(), 1.0);
+        assert_eq!(
+            a.answers, b.answers,
+            "buffered ingest must not change answers"
+        );
     }
 
     #[test]

@@ -32,6 +32,7 @@ fn main() {
         num_queries: 8,
         warmup_ms: 1_100,
         query_seed: 77,
+        buffered_ingest: false,
     };
     println!(
         "workload: {} objects @ 1 Hz, {} kNN queries (k = {})\n",

@@ -41,6 +41,7 @@ fn main() {
             num_queries: 6,
             warmup_ms: period + 100,
             query_seed: 31,
+            buffered_ingest: false,
         };
         let t_delta = (4 * period).max(4_000);
 

@@ -22,6 +22,7 @@ fn scenario(objects: usize, period_ms: u64, queries: usize, k: usize, seed: u64)
         num_queries: queries,
         warmup_ms: period_ms + 50,
         query_seed: seed ^ 0xFEED,
+        buffered_ingest: false,
     }
 }
 
