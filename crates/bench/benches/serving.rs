@@ -1,0 +1,179 @@
+//! Criterion bench for the serving loop: open-loop Poisson arrivals fed
+//! through concurrent client lanes into [`ggrid::serve::serve`], swept
+//! over batching policies (fixed-1, adaptive-8, adaptive-32, fixed-32) at
+//! a saturating arrival rate on the NY-shaped dataset.
+//!
+//! Criterion times the wall clock of a full serve pass (client threads +
+//! batch forming + device batches + ingest flushes). Besides the timings,
+//! the bench emits one machine-readable `BENCH {json}` line per policy
+//! with the deterministic modeled figures: p50/p99/p99.9 modeled latency,
+//! modeled throughput, mean batch size, and close-reason counts — the
+//! modeled clock is counted, not timed, so one instrumented run per
+//! policy is a stable baseline.
+
+mod common;
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ggrid::grid::GraphGrid;
+use ggrid::prelude::*;
+use roadnet::gen::Dataset;
+use roadnet::EdgeId;
+use workload::openloop::{poisson_arrivals, split_round_robin, Arrival, OpenLoopConfig};
+
+const FLEET: u64 = 400;
+const QUERIES: usize = 192;
+const LANES: usize = 4;
+const K: usize = 8;
+
+/// (label, max batch, deadline in units of the calibrated 32-batch
+/// service time; `None` = fill-only).
+const SWEEP: [(&str, usize, Option<u64>); 4] = [
+    ("fixed-1", 1, Some(0)),
+    ("adaptive-8", 8, Some(2)),
+    ("adaptive-32", 32, Some(2)),
+    ("fixed-32", 32, None),
+];
+
+fn params() -> GGridConfig {
+    GGridConfig {
+        refine_workers: 4,
+        t_delta_ms: 1 << 40,
+        ..Default::default()
+    }
+}
+
+fn bench_grid() -> Arc<GraphGrid> {
+    let graph = common::bench_graph(Dataset::NY);
+    let p = params();
+    Arc::new(GraphGrid::build(graph, p.cell_capacity, p.vertex_capacity))
+}
+
+fn server(grid: &Arc<GraphGrid>) -> GGridServer {
+    let s = GGridServer::with_shared_grid(grid.clone(), params(), gpu_sim::Device::quadro_p2000());
+    let ne = grid.graph().num_edges() as u32;
+    let wave: Vec<(ObjectId, EdgePosition, Timestamp)> = (0..FLEET)
+        .map(|o| {
+            (
+                ObjectId(o),
+                EdgePosition::at_source(EdgeId((o as u32 * 131) % ne)),
+                Timestamp(900),
+            )
+        })
+        .collect();
+    s.ingest_batch(&wave);
+    s
+}
+
+/// Mean modeled 32-batch service time on a warmed server; the deadline
+/// and the saturating rate derive from it, so the bench self-scales
+/// between build profiles.
+fn calibrate_s32(grid: &Arc<GraphGrid>) -> u64 {
+    let mut s = server(grid);
+    let ne = grid.graph().num_edges() as u32;
+    let pos = |i: u32| EdgePosition::at_source(EdgeId((i * 977) % ne));
+    let warm: Vec<(EdgePosition, usize)> = (0..32).map(|i| (pos(i), K)).collect();
+    s.knn_batch(&warm, Timestamp(901));
+    let mut total = 0u64;
+    for r in 0..4u32 {
+        let batch: Vec<(EdgePosition, usize)> =
+            (0..32).map(|i| (pos(200 + r * 32 + i), K)).collect();
+        total += s.knn_batch(&batch, Timestamp(902)).pipelined_time.0;
+    }
+    (total / 4).max(1)
+}
+
+fn schedule(grid: &Arc<GraphGrid>, rate_qps: f64, deadline_ns: u64) -> Vec<Vec<Arrival>> {
+    let arrivals = poisson_arrivals(
+        grid.graph(),
+        &OpenLoopConfig {
+            seed: 0x9a11,
+            queries: QUERIES,
+            query_rate_hz: rate_qps,
+            ingest_rate_hz: rate_qps / 48.0,
+            ingest_wave: 8,
+            objects: FLEET,
+            k: K,
+            now_quantum_ns: deadline_ns.saturating_mul(64).max(10_000_000),
+            base_ms: 1_000,
+        },
+    );
+    split_round_robin(arrivals, LANES)
+}
+
+fn serve_pass(grid: &Arc<GraphGrid>, cfg: &ServeConfig, lanes: Vec<Vec<Arrival>>) -> ServeOutcome {
+    let mut s = server(grid);
+    let mut queue = ServeQueue::new(cfg);
+    let clients: Vec<ServeClient> = (0..LANES).map(|_| queue.client()).collect();
+    let mut outcome = None;
+    std::thread::scope(|scope| {
+        for (mut client, lane) in clients.into_iter().zip(lanes) {
+            scope.spawn(move || {
+                for a in lane {
+                    match a {
+                        Arrival::Query { at_ns, q, k, now } => client.query(q, k, now, at_ns),
+                        Arrival::Ingest { at_ns, updates } => client.ingest(updates, at_ns),
+                    }
+                }
+            });
+        }
+        outcome = Some(serve(&mut s, cfg, queue));
+    });
+    outcome.unwrap()
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let grid = bench_grid();
+    let s32 = calibrate_s32(&grid);
+    let deadline_ns = 2 * s32;
+    let rate_qps = 4.0 * 32e9 / s32 as f64;
+
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(10);
+    for (label, max_batch, deadline_mult) in SWEEP {
+        let cfg = ServeConfig {
+            max_batch_size: max_batch,
+            deadline_ns: deadline_mult.map_or(u64::MAX, |m| m * s32),
+            epoch_requests: 128,
+            ..Default::default()
+        };
+        group.bench_function(format!("policy={label}").as_str(), |b| {
+            b.iter(|| {
+                let lanes = schedule(&grid, rate_qps, deadline_ns);
+                serve_pass(&grid, &cfg, lanes).report.queries
+            })
+        });
+    }
+    group.finish();
+
+    // One deterministic instrumented run per policy.
+    for (label, max_batch, deadline_mult) in SWEEP {
+        let cfg = ServeConfig {
+            max_batch_size: max_batch,
+            deadline_ns: deadline_mult.map_or(u64::MAX, |m| m * s32),
+            epoch_requests: 128,
+            ..Default::default()
+        };
+        let out = serve_pass(&grid, &cfg, schedule(&grid, rate_qps, deadline_ns));
+        let r = &out.report;
+        println!(
+            "BENCH {{\"bench\": \"serving\", \"policy\": \"{label}\", \"rate_qps\": {rate_qps:.1}, \"deadline_ns\": {}, \"queries\": {}, \"shed\": {}, \"batches\": {}, \"mean_batch\": {:.2}, \"fill_closes\": {}, \"deadline_closes\": {}, \"boundary_closes\": {}, \"p50_modeled_ns\": {}, \"p99_modeled_ns\": {}, \"p999_modeled_ns\": {}, \"throughput_qps_modeled\": {:.1}}}",
+            cfg.deadline_ns,
+            r.queries,
+            r.shed,
+            r.batches,
+            r.queries as f64 / r.batches.max(1) as f64,
+            r.fill_closes,
+            r.deadline_closes,
+            r.boundary_closes,
+            r.latency_hist.percentile(50.0),
+            r.latency_hist.percentile(99.0),
+            r.latency_hist.percentile(99.9),
+            r.throughput_qps(),
+        );
+    }
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

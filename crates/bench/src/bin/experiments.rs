@@ -6,7 +6,8 @@
 //!
 //! EXPERIMENT ∈ {table2, fig4a, fig4b, fig4c, fig5, fig6, fig7, fig8,
 //!               fig9, fig10, ablation, skew, concurrency, residency,
-//!               sdist, ingest, batch_fusion, subscriptions, sharding, all}
+//!               sdist, ingest, batch_fusion, subscriptions, sharding,
+//               capacity, serving, all}
 //! (default: all)
 //! ```
 //!
@@ -20,7 +21,7 @@ use ggrid_bench::csvout::ResultTable;
 use ggrid_bench::experiments::{
     ablation, batch_fusion, capacity, concurrency, fig10_scalability, fig4_tuning, fig5_datasets,
     fig6_index_size, fig7_vary_k, fig8_vary_objects, fig9_vary_freq, ingest, residency, sdist,
-    sharding, skew, subscriptions, table2_datasets, ExpConfig,
+    serving, sharding, skew, subscriptions, table2_datasets, ExpConfig,
 };
 
 fn main() {
@@ -81,6 +82,7 @@ fn main() {
             "subscriptions",
             "sharding",
             "capacity",
+            "serving",
         ]
         .into_iter()
         .map(String::from)
@@ -128,6 +130,7 @@ fn main() {
             "subscriptions" => vec![("subscriptions".into(), subscriptions::run(&cfg))],
             "sharding" => vec![("sharding".into(), sharding::run(&cfg))],
             "capacity" => vec![("capacity".into(), capacity::run(&cfg))],
+            "serving" => vec![("serving".into(), serving::run(&cfg))],
             other => {
                 eprintln!("unknown experiment `{other}`\n{HELP}");
                 std::process::exit(2);
@@ -154,7 +157,7 @@ fn expect_num(it: &mut std::iter::Peekable<std::slice::Iter<String>>, flag: &str
     }
 }
 
-const HELP: &str = "usage: experiments [table2|fig4a|fig4b|fig4c|fig5|fig6|fig7|fig8|fig9|fig10|ablation|skew|concurrency|residency|sdist|ingest|batch_fusion|subscriptions|sharding|capacity|all]...
+const HELP: &str = "usage: experiments [table2|fig4a|fig4b|fig4c|fig5|fig6|fig7|fig8|fig9|fig10|ablation|skew|concurrency|residency|sdist|ingest|batch_fusion|subscriptions|sharding|capacity|serving|all]...
   --quick           small datasets/fleets for a fast pass
   --scale N         divide real dataset sizes by N (default 500)
   --objects N       number of moving objects (default 10000)

@@ -197,9 +197,14 @@ fn write_bench_json(
         / per_call.counters.modeled_ingest_ns().max(1) as f64;
     let point = |o: &Outcome| {
         let c = &o.counters;
-        let hist: Vec<String> = c.batch_size_hist.iter().map(|n| n.to_string()).collect();
+        let hist: Vec<String> = c
+            .batch_size_hist
+            .nonzero()
+            .iter()
+            .map(|(lo, n)| format!("[{lo}, {n}]"))
+            .collect();
         format!(
-            "{{\"updates\": {}, \"tombstones\": {}, \"batches\": {}, \"batched_updates\": {}, \"tombstones_batched\": {}, \"cell_locks\": {}, \"cell_lock_wait_ns\": {}, \"shard_locks\": {}, \"modeled_ingest_ns\": {}, \"updates_per_sec_modeled\": {:.1}, \"updates_per_sec_measured\": {:.1}, \"parallel_speedup\": {:.3}, \"bucket_allocs\": {}, \"bucket_reuses\": {}, \"ingest_flushes\": {}, \"buffered_messages\": {}, \"buffer_bytes_high_water\": {}, \"snapshot_reuses\": {}, \"batch_size_hist\": [{}]}}",
+            "{{\"updates\": {}, \"tombstones\": {}, \"batches\": {}, \"batched_updates\": {}, \"tombstones_batched\": {}, \"cell_locks\": {}, \"cell_lock_wait_ns\": {}, \"shard_locks\": {}, \"modeled_ingest_ns\": {}, \"updates_per_sec_modeled\": {:.1}, \"updates_per_sec_measured\": {:.1}, \"parallel_speedup\": {:.3}, \"bucket_allocs\": {}, \"bucket_reuses\": {}, \"ingest_flushes\": {}, \"buffered_messages\": {}, \"buffer_bytes_high_water\": {}, \"snapshot_reuses\": {}, \"batch_size_p50\": {}, \"batch_size_p99\": {}, \"batch_size_hist\": [{}]}}",
             c.updates_ingested,
             c.tombstones_written,
             c.ingest_batches,
@@ -218,6 +223,8 @@ fn write_bench_json(
             c.buffered_messages,
             c.buffer_bytes_high_water,
             c.snapshot_reuses,
+            c.batch_size_hist.percentile(50.0),
+            c.batch_size_hist.percentile(99.0),
             hist.join(", "),
         )
     };

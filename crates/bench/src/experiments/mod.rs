@@ -14,6 +14,7 @@ pub mod fig9_vary_freq;
 pub mod ingest;
 pub mod residency;
 pub mod sdist;
+pub mod serving;
 pub mod sharding;
 pub mod skew;
 pub mod subscriptions;

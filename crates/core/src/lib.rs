@@ -52,6 +52,7 @@ pub mod mu;
 pub mod object_table;
 pub mod residency;
 pub mod scratch;
+pub mod serve;
 pub mod server;
 pub mod shard;
 pub mod stats;
@@ -64,6 +65,7 @@ pub mod prelude {
     pub use crate::api::{IndexSize, MovingObjectIndex, SimCosts};
     pub use crate::config::GGridConfig;
     pub use crate::message::{ObjectId, Timestamp};
+    pub use crate::serve::{serve, ServeClient, ServeConfig, ServeOutcome, ServeQueue};
     pub use crate::server::GGridServer;
     pub use crate::subscription::{SubscriptionId, SubscriptionTickReport};
     pub use roadnet::{Distance, EdgePosition};

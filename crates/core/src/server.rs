@@ -937,6 +937,7 @@ impl GGridServer {
         // dirtied so the tick re-validates the subscriptions they touch.
         self.flush_ingest();
         let wall0 = Instant::now();
+        let subs_ns0 = self.counters.subs_modeled_ns();
         let mut dirty: Vec<CellId> = std::mem::take(&mut *self.subs_dirty.lock());
         dirty.sort_unstable();
         dirty.dedup();
@@ -1006,6 +1007,9 @@ impl GGridServer {
         tick_b.cpu_ns = (wall0.elapsed().as_nanos() as u64)
             .saturating_sub(tick_b.emulation_ns.saturating_add(inner));
         self.counters.record_subscription(&tick_b);
+        self.counters
+            .subs_tick_ns_hist
+            .record(self.counters.subs_modeled_ns().saturating_sub(subs_ns0));
         report
     }
 

@@ -272,19 +272,170 @@ impl QueryBreakdown {
     }
 }
 
-/// Number of buckets in the batch-size histogram (see [`batch_hist_bucket`]).
-pub const BATCH_HIST_BUCKETS: usize = 6;
+/// Number of buckets in the log-bucketed [`Hist`]: values 0–3 get exact
+/// buckets, every octave above splits into 4 sub-buckets (HDR-histogram
+/// style, 2 significant bits), up to `u64::MAX`.
+pub const HIST_BUCKETS: usize = 252;
 
-/// Upper bounds (inclusive) of the batch-size histogram buckets; the last
-/// bucket is open-ended.
-pub const BATCH_HIST_BOUNDS: [u64; BATCH_HIST_BUCKETS - 1] = [1, 8, 64, 512, 4096];
+/// Bucket index of `v` in the log-bucketed histogram. Values 0–3 map to
+/// buckets 0–3; larger values map to `(h-1)*4 + sub` where `h` is the
+/// highest set bit and `sub` the next two bits — so each bucket spans at
+/// most 25% of its lower bound and percentile reads stay within that
+/// relative error.
+#[inline]
+pub fn hist_bucket(v: u64) -> usize {
+    if v < 4 {
+        return v as usize;
+    }
+    let h = 63 - v.leading_zeros() as usize;
+    let sub = ((v >> (h - 2)) & 3) as usize;
+    (h - 1) * 4 + sub
+}
 
-/// Histogram bucket index for a batch of `n` updates.
-pub fn batch_hist_bucket(n: usize) -> usize {
-    BATCH_HIST_BOUNDS
-        .iter()
-        .position(|&b| n as u64 <= b)
-        .unwrap_or(BATCH_HIST_BUCKETS - 1)
+/// Inclusive `(lo, hi)` value range of bucket `idx` (inverse of
+/// [`hist_bucket`]).
+pub fn hist_bucket_bounds(idx: usize) -> (u64, u64) {
+    if idx < 4 {
+        return (idx as u64, idx as u64);
+    }
+    let h = idx / 4 + 1;
+    let sub = (idx % 4) as u64;
+    let width = 1u64 << (h - 2);
+    let lo = (1u64 << h) + sub * width;
+    (lo, lo + (width - 1))
+}
+
+/// A reusable log-bucketed histogram for latencies, batch sizes, and other
+/// non-negative counts. Fixed 252-bucket footprint, `Copy`, mergeable —
+/// replaces the ad-hoc fixed-bound `batch_size_hist`-style arrays. Records
+/// are O(1); percentiles are read back with ≤25% relative error (exact
+/// below 4) and clamped to the true observed max.
+#[derive(Clone, Copy, Debug)]
+pub struct Hist {
+    pub counts: [u64; HIST_BUCKETS],
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Self {
+            counts: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Hist {
+    pub fn record(&mut self, v: u64) {
+        self.counts[hist_bucket(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    pub fn merge(&mut self, other: &Hist) {
+        for (d, s) in self.counts.iter_mut().zip(&other.counts) {
+            *d += s;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64
+    }
+
+    /// Nearest-rank percentile (`p` in 0–100): the upper bound of the
+    /// bucket holding the `⌈p/100·count⌉`-th smallest value, clamped to
+    /// the observed max. Returns 0 on an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0 * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return hist_bucket_bounds(idx).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The non-empty buckets as `(lo, count)` pairs, for compact JSON
+    /// emission.
+    pub fn nonzero(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (hist_bucket_bounds(i).0, c))
+            .collect()
+    }
+}
+
+/// Lock-free sibling of [`Hist`] for counter paths that take `&self` from
+/// many threads (the ingest side, the serve queue). All stores are relaxed;
+/// [`Self::snapshot`] folds it into a plain [`Hist`].
+pub struct AtomicHist {
+    counts: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl std::fmt::Debug for AtomicHist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicHist")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .field("sum", &self.sum.load(Ordering::Relaxed))
+            .field("max", &self.max.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for AtomicHist {
+    fn default() -> Self {
+        Self {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl AtomicHist {
+    pub fn record(&self, v: u64) {
+        self.counts[hist_bucket(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> Hist {
+        let mut h = Hist::default();
+        for (d, s) in h.counts.iter_mut().zip(&self.counts) {
+            *d = s.load(Ordering::Relaxed);
+        }
+        h.count = self.count.load(Ordering::Relaxed);
+        h.sum = self.sum.load(Ordering::Relaxed);
+        h.max = self.max.load(Ordering::Relaxed);
+        h
+    }
 }
 
 /// Number of buckets in the subscription guard-radius histogram.
@@ -411,8 +562,8 @@ pub struct ServerCounters {
     /// per batch, accumulated — the modeled batch duration on a host with
     /// `ingest_workers` free cores (see `refine_critical_ns`).
     pub ingest_critical_ns: u64,
-    /// Batch-size histogram; bucket bounds in [`BATCH_HIST_BOUNDS`].
-    pub batch_size_hist: [u64; BATCH_HIST_BUCKETS],
+    /// Ingest batch-size histogram (log-bucketed, see [`Hist`]).
+    pub batch_size_hist: Hist,
     /// Message-list bucket slabs heap-allocated.
     pub bucket_allocs: u64,
     /// Message-list bucket slabs recycled from the cleaning free list
@@ -454,6 +605,9 @@ pub struct ServerCounters {
     /// Guard-radius histogram over every (re)computed guard; bucket bounds
     /// in [`GUARD_HIST_BOUNDS`].
     pub guard_radius_hist: [u64; GUARD_HIST_BUCKETS],
+    /// Modeled nanoseconds per `tick_subscriptions` invocation (hybrid
+    /// clock: measured host + simulated device), log-bucketed.
+    pub subs_tick_ns_hist: Hist,
     /// Measured CPU nanoseconds of the subscription path (initial
     /// evaluations, tick bookkeeping, repairs) — the subscription analogue
     /// of `query_cpu_ns`.
@@ -710,7 +864,7 @@ pub struct IngestCounters {
     pub busy_ns: AtomicU64,
     pub critical_ns: AtomicU64,
     pub cells_dirtied: AtomicU64,
-    pub batch_size_hist: [AtomicU64; BATCH_HIST_BUCKETS],
+    pub batch_size_hist: AtomicHist,
     /// Dirtied-cell events per owning shard (tallied only when
     /// `num_devices > 1` — the rebalancer's load signal).
     pub shard_dirtied: [AtomicU64; crate::shard::MAX_DEVICES],
@@ -720,7 +874,7 @@ impl IngestCounters {
     /// Record one batch of `n` updates in the size histogram.
     pub fn observe_batch(&self, n: usize) {
         self.ingest_batches.fetch_add(1, Ordering::Relaxed);
-        self.batch_size_hist[batch_hist_bucket(n)].fetch_add(1, Ordering::Relaxed);
+        self.batch_size_hist.record(n as u64);
     }
 
     /// Merge a relaxed snapshot of the atomics into `c`.
@@ -737,9 +891,7 @@ impl IngestCounters {
         c.ingest_busy_ns += ld(&self.busy_ns);
         c.ingest_critical_ns += ld(&self.critical_ns);
         c.cells_dirtied += ld(&self.cells_dirtied);
-        for (dst, src) in c.batch_size_hist.iter_mut().zip(&self.batch_size_hist) {
-            *dst += ld(src);
-        }
+        c.batch_size_hist.merge(&self.batch_size_hist.snapshot());
         for (dst, src) in c.shard_dirtied.iter_mut().zip(&self.shard_dirtied) {
             *dst += ld(src);
         }
@@ -947,15 +1099,86 @@ mod tests {
     }
 
     #[test]
-    fn batch_hist_buckets_cover_all_sizes() {
-        assert_eq!(batch_hist_bucket(0), 0);
-        assert_eq!(batch_hist_bucket(1), 0);
-        assert_eq!(batch_hist_bucket(2), 1);
-        assert_eq!(batch_hist_bucket(8), 1);
-        assert_eq!(batch_hist_bucket(64), 2);
-        assert_eq!(batch_hist_bucket(500), 3);
-        assert_eq!(batch_hist_bucket(4096), 4);
-        assert_eq!(batch_hist_bucket(1 << 20), BATCH_HIST_BUCKETS - 1);
+    fn hist_buckets_cover_all_values() {
+        // Exact buckets below 4, then 4 sub-buckets per octave.
+        assert_eq!(hist_bucket(0), 0);
+        assert_eq!(hist_bucket(3), 3);
+        assert_eq!(hist_bucket(4), 4);
+        assert_eq!(hist_bucket(7), 7);
+        assert_eq!(hist_bucket(8), 8);
+        assert_eq!(hist_bucket(9), 8);
+        assert_eq!(hist_bucket(10), 9);
+        assert_eq!(hist_bucket(u64::MAX), HIST_BUCKETS - 1);
+        // Bounds invert the bucket index and tile the line contiguously.
+        let mut expect_lo = 0u64;
+        for idx in 0..HIST_BUCKETS {
+            let (lo, hi) = hist_bucket_bounds(idx);
+            assert_eq!(lo, expect_lo, "bucket {idx} not contiguous");
+            assert!(hi >= lo);
+            assert_eq!(hist_bucket(lo), idx);
+            assert_eq!(hist_bucket(hi), idx);
+            // ≤25% relative width above the exact range.
+            if lo >= 4 {
+                assert!(hi - lo <= lo / 4);
+            }
+            expect_lo = hi.wrapping_add(1);
+        }
+        assert_eq!(expect_lo, 0, "last bucket must end at u64::MAX");
+    }
+
+    #[test]
+    fn hist_percentiles_within_bucket_error() {
+        let mut h = Hist::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count, 1000);
+        assert_eq!(h.max, 1000);
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+        for (p, exact) in [(50.0, 500u64), (99.0, 990), (99.9, 999)] {
+            let got = h.percentile(p);
+            assert!(got >= exact, "p{p} read {got} below exact {exact}");
+            assert!(
+                got as f64 <= exact as f64 * 1.25 + 1.0,
+                "p{p} read {got} exceeds 25% error over {exact}"
+            );
+        }
+        // Percentiles never exceed the observed max.
+        assert_eq!(h.percentile(100.0), 1000);
+        assert_eq!(Hist::default().percentile(99.0), 0);
+    }
+
+    #[test]
+    fn hist_merge_and_nonzero() {
+        let mut a = Hist::default();
+        let mut b = Hist::default();
+        a.record(2);
+        a.record(100);
+        b.record(7000);
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.sum, 7102);
+        assert_eq!(a.max, 7000);
+        let nz = a.nonzero();
+        assert_eq!(nz.len(), 3);
+        assert_eq!(nz[0], (2, 1));
+        assert!(!a.is_empty() && Hist::default().is_empty());
+    }
+
+    #[test]
+    fn atomic_hist_snapshot_matches_plain() {
+        let ah = AtomicHist::default();
+        let mut h = Hist::default();
+        for v in [0u64, 5, 63, 4096, 123_456_789] {
+            ah.record(v);
+            h.record(v);
+        }
+        let snap = ah.snapshot();
+        assert_eq!(snap.count, h.count);
+        assert_eq!(snap.sum, h.sum);
+        assert_eq!(snap.max, h.max);
+        assert_eq!(snap.counts, h.counts);
+        assert!(format!("{ah:?}").contains("count"));
     }
 
     #[test]
@@ -1010,8 +1233,10 @@ mod tests {
         assert_eq!(c.tombstones_written, 3);
         assert_eq!(c.ingest_cell_locks, 7);
         assert_eq!(c.ingest_batches, 2);
-        assert_eq!(c.batch_size_hist[batch_hist_bucket(5)], 1);
-        assert_eq!(c.batch_size_hist[batch_hist_bucket(700)], 1);
+        assert_eq!(c.batch_size_hist.count, 2);
+        assert_eq!(c.batch_size_hist.counts[hist_bucket(5)], 1);
+        assert_eq!(c.batch_size_hist.counts[hist_bucket(700)], 1);
+        assert_eq!(c.batch_size_hist.max, 700);
         // The model charges every counted operation.
         assert_eq!(
             c.modeled_ingest_ns(),

@@ -20,11 +20,13 @@
 
 pub mod hotspot;
 pub mod moto;
+pub mod openloop;
 pub mod queries;
 pub mod scenario;
 
 pub use hotspot::CellWindowSampler;
 pub use moto::{Moto, MotoConfig, UpdateMessage};
+pub use openloop::{poisson_arrivals, split_round_robin, Arrival, OpenLoopConfig};
 pub use queries::{random_position, QueryStream};
 pub use scenario::{
     run_scenario, run_subscription_scenario, ScenarioConfig, ScenarioReport,

@@ -1,0 +1,245 @@
+//! Open-loop Poisson arrivals for the serving-loop benchmarks.
+//!
+//! Closed-loop drivers (issue, wait, issue) can never overload a server —
+//! the arrival rate collapses to the service rate, hiding exactly the
+//! queueing behaviour a p99 figure is about. This module generates an
+//! **open-loop** schedule instead: queries and ingest waves arrive as two
+//! independent Poisson processes on the modeled-nanosecond clock,
+//! regardless of how fast the server drains them. Inter-arrival gaps are
+//! sampled as `-ln(u)/λ` (the shim [`rand`] has no distribution types),
+//! so the schedule is deterministic per seed.
+//!
+//! Query timestamps are quantized to [`OpenLoopConfig::now_quantum_ns`]
+//! so that consecutive arrivals share a [`Timestamp`] and can legally
+//! share a device batch (`knn_batch` takes one `now` per batch); ingest
+//! messages carry the same quantized clock, keeping every event stream
+//! monotone.
+
+use ggrid::message::{ObjectId, Timestamp};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use roadnet::graph::Graph;
+use roadnet::EdgePosition;
+
+use crate::queries::random_position;
+
+/// Knobs of the open-loop arrival schedule.
+#[derive(Clone, Copy, Debug)]
+pub struct OpenLoopConfig {
+    pub seed: u64,
+    /// Queries to generate.
+    pub queries: usize,
+    /// Mean query arrival rate, in arrivals per modeled second.
+    pub query_rate_hz: f64,
+    /// Ingest-wave arrival rate, in waves per modeled second (0 = none).
+    pub ingest_rate_hz: f64,
+    /// Location updates per ingest wave.
+    pub ingest_wave: usize,
+    /// Object-id universe the waves draw from.
+    pub objects: u64,
+    /// k of every generated query.
+    pub k: usize,
+    /// Timestamp quantum: arrivals within one quantum share a `now` (in
+    /// modeled ns; one `Timestamp` unit is one quantum).
+    pub now_quantum_ns: u64,
+    /// Timestamp offset so generated events sort after any seed data.
+    pub base_ms: u64,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x9E37,
+            queries: 256,
+            query_rate_hz: 50_000.0,
+            ingest_rate_hz: 1_000.0,
+            ingest_wave: 32,
+            objects: 1_000,
+            k: 8,
+            now_quantum_ns: 10_000_000,
+            base_ms: 1_000,
+        }
+    }
+}
+
+/// One open-loop arrival on the modeled clock.
+#[derive(Clone, Debug)]
+pub enum Arrival {
+    Query {
+        at_ns: u64,
+        q: EdgePosition,
+        k: usize,
+        now: Timestamp,
+    },
+    Ingest {
+        at_ns: u64,
+        updates: Vec<(ObjectId, EdgePosition, Timestamp)>,
+    },
+}
+
+impl Arrival {
+    pub fn at_ns(&self) -> u64 {
+        match self {
+            Arrival::Query { at_ns, .. } | Arrival::Ingest { at_ns, .. } => *at_ns,
+        }
+    }
+}
+
+/// Exponential inter-arrival gap in ns for rate `hz`, from one uniform
+/// draw (inverse CDF; the draw is clamped away from 0 so `ln` is finite).
+fn exp_gap_ns(rng: &mut SmallRng, hz: f64) -> u64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    ((-u.ln() / hz) * 1e9).round() as u64
+}
+
+/// Generate the merged arrival schedule: `cfg.queries` Poisson query
+/// arrivals interleaved with Poisson ingest waves over the same horizon,
+/// sorted by arrival stamp. Deterministic per `cfg.seed`.
+pub fn poisson_arrivals(graph: &Graph, cfg: &OpenLoopConfig) -> Vec<Arrival> {
+    assert!(cfg.query_rate_hz > 0.0, "query rate must be positive");
+    assert!(cfg.now_quantum_ns > 0, "now quantum must be positive");
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let stamp = |at_ns: u64| Timestamp(cfg.base_ms + at_ns / cfg.now_quantum_ns);
+    let mut out = Vec::with_capacity(cfg.queries * 2);
+
+    let mut t = 0u64;
+    for _ in 0..cfg.queries {
+        t += exp_gap_ns(&mut rng, cfg.query_rate_hz);
+        out.push(Arrival::Query {
+            at_ns: t,
+            q: random_position(graph, &mut rng),
+            k: cfg.k,
+            now: stamp(t),
+        });
+    }
+    let horizon = t;
+
+    if cfg.ingest_rate_hz > 0.0 && cfg.ingest_wave > 0 {
+        let mut t = 0u64;
+        loop {
+            t += exp_gap_ns(&mut rng, cfg.ingest_rate_hz);
+            if t > horizon {
+                break;
+            }
+            let now = stamp(t);
+            let updates = (0..cfg.ingest_wave)
+                .map(|_| {
+                    let o = ObjectId(rng.gen_range(0..cfg.objects.max(1)));
+                    (o, random_position(graph, &mut rng), now)
+                })
+                .collect();
+            out.push(Arrival::Ingest { at_ns: t, updates });
+        }
+    }
+
+    // Merge the two processes into one stamp-ordered schedule. Queries
+    // sort before ingest at equal stamps (stable sort preserves the
+    // generation order within each process).
+    out.sort_by_key(|a| a.at_ns());
+    out
+}
+
+/// Round-robin the schedule across `n` client lanes, preserving each
+/// lane's arrival order — the shape [`ggrid::serve::ServeClient`] expects
+/// (monotone stamps per client).
+pub fn split_round_robin(arrivals: Vec<Arrival>, n: usize) -> Vec<Vec<Arrival>> {
+    assert!(n >= 1);
+    let mut lanes: Vec<Vec<Arrival>> = (0..n).map(|_| Vec::new()).collect();
+    for (i, a) in arrivals.into_iter().enumerate() {
+        lanes[i % n].push(a);
+    }
+    lanes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadnet::gen;
+
+    #[test]
+    fn schedule_is_sorted_and_deterministic() {
+        let g = gen::toy(7);
+        let cfg = OpenLoopConfig {
+            queries: 100,
+            ..Default::default()
+        };
+        let a = poisson_arrivals(&g, &cfg);
+        let b = poisson_arrivals(&g, &cfg);
+        assert_eq!(a.len(), b.len());
+        assert!(a.windows(2).all(|w| w[0].at_ns() <= w[1].at_ns()));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.at_ns(), y.at_ns());
+        }
+        assert_eq!(
+            a.iter()
+                .filter(|x| matches!(x, Arrival::Query { .. }))
+                .count(),
+            100
+        );
+    }
+
+    #[test]
+    fn rate_controls_density() {
+        let g = gen::toy(7);
+        let slow = poisson_arrivals(
+            &g,
+            &OpenLoopConfig {
+                query_rate_hz: 1_000.0,
+                ingest_rate_hz: 0.0,
+                queries: 200,
+                ..Default::default()
+            },
+        );
+        let fast = poisson_arrivals(
+            &g,
+            &OpenLoopConfig {
+                query_rate_hz: 100_000.0,
+                ingest_rate_hz: 0.0,
+                queries: 200,
+                ..Default::default()
+            },
+        );
+        // ~100x rate ratio → ~100x horizon ratio (Poisson noise leaves
+        // plenty of margin at 200 samples).
+        let (hs, hf) = (slow.last().unwrap().at_ns(), fast.last().unwrap().at_ns());
+        assert!(hs > hf * 20, "slow horizon {hs} vs fast {hf}");
+    }
+
+    #[test]
+    fn quantized_timestamps_shared_within_quantum() {
+        let g = gen::toy(7);
+        let cfg = OpenLoopConfig {
+            query_rate_hz: 1e6,
+            ingest_rate_hz: 0.0,
+            queries: 50,
+            now_quantum_ns: u64::MAX,
+            ..Default::default()
+        };
+        let a = poisson_arrivals(&g, &cfg);
+        let nows: Vec<u64> = a
+            .iter()
+            .filter_map(|x| match x {
+                Arrival::Query { now, .. } => Some(now.0),
+                _ => None,
+            })
+            .collect();
+        assert!(nows.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn round_robin_preserves_lane_order() {
+        let g = gen::toy(7);
+        let a = poisson_arrivals(
+            &g,
+            &OpenLoopConfig {
+                queries: 64,
+                ..Default::default()
+            },
+        );
+        let lanes = split_round_robin(a, 5);
+        assert_eq!(lanes.len(), 5);
+        for lane in &lanes {
+            assert!(lane.windows(2).all(|w| w[0].at_ns() <= w[1].at_ns()));
+        }
+    }
+}

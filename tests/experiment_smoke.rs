@@ -76,6 +76,157 @@ fn ablation_smoke() {
     assert_eq!(t.rows.len(), 4);
 }
 
+/// Minimal recursive-descent JSON well-formedness check that also
+/// collects every object key it passes. The bench crate deliberately has
+/// no serde dependency — the BENCH files are hand-formatted — so this
+/// guards against a typo (trailing comma, unbalanced brace, unquoted
+/// key) silently shipping a file downstream tooling can't read.
+mod json {
+    pub fn keys(text: &str) -> Result<Vec<String>, String> {
+        let b = text.as_bytes();
+        let mut keys = Vec::new();
+        let mut i = 0;
+        value(b, &mut i, &mut keys)?;
+        skip_ws(b, &mut i);
+        if i != b.len() {
+            return Err(format!("trailing bytes at offset {i}"));
+        }
+        Ok(keys)
+    }
+
+    fn skip_ws(b: &[u8], i: &mut usize) {
+        while *i < b.len() && b[*i].is_ascii_whitespace() {
+            *i += 1;
+        }
+    }
+
+    fn value(b: &[u8], i: &mut usize, keys: &mut Vec<String>) -> Result<(), String> {
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b'{') => object(b, i, keys),
+            Some(b'[') => array(b, i, keys),
+            Some(b'"') => string(b, i).map(|_| ()),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                while *i < b.len()
+                    && matches!(b[*i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                {
+                    *i += 1;
+                }
+                Ok(())
+            }
+            Some(_) => {
+                for lit in ["true", "false", "null"] {
+                    if b[*i..].starts_with(lit.as_bytes()) {
+                        *i += lit.len();
+                        return Ok(());
+                    }
+                }
+                Err(format!("unexpected byte at offset {i}", i = *i))
+            }
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn object(b: &[u8], i: &mut usize, keys: &mut Vec<String>) -> Result<(), String> {
+        *i += 1; // {
+        skip_ws(b, i);
+        if b.get(*i) == Some(&b'}') {
+            *i += 1;
+            return Ok(());
+        }
+        loop {
+            skip_ws(b, i);
+            keys.push(string(b, i)?);
+            skip_ws(b, i);
+            if b.get(*i) != Some(&b':') {
+                return Err(format!("expected ':' at offset {i}", i = *i));
+            }
+            *i += 1;
+            value(b, i, keys)?;
+            skip_ws(b, i);
+            match b.get(*i) {
+                Some(b',') => *i += 1,
+                Some(b'}') => {
+                    *i += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {i}", i = *i)),
+            }
+        }
+    }
+
+    fn array(b: &[u8], i: &mut usize, keys: &mut Vec<String>) -> Result<(), String> {
+        *i += 1; // [
+        skip_ws(b, i);
+        if b.get(*i) == Some(&b']') {
+            *i += 1;
+            return Ok(());
+        }
+        loop {
+            value(b, i, keys)?;
+            skip_ws(b, i);
+            match b.get(*i) {
+                Some(b',') => *i += 1,
+                Some(b']') => {
+                    *i += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {i}", i = *i)),
+            }
+        }
+    }
+
+    fn string(b: &[u8], i: &mut usize) -> Result<String, String> {
+        if b.get(*i) != Some(&b'"') {
+            return Err(format!("expected '\"' at offset {i}", i = *i));
+        }
+        let start = *i + 1;
+        *i += 1;
+        while *i < b.len() {
+            match b[*i] {
+                b'\\' => *i += 2,
+                b'"' => {
+                    let s = String::from_utf8_lossy(&b[start..*i]).into_owned();
+                    *i += 1;
+                    return Ok(s);
+                }
+                _ => *i += 1,
+            }
+        }
+        Err("unterminated string".into())
+    }
+}
+
+/// Every committed BENCH_*.json must parse and carry modeled-latency
+/// keys — the contract downstream dashboards rely on.
+#[test]
+fn bench_json_files_parse_with_modeled_keys() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+            continue;
+        }
+        seen += 1;
+        let text = std::fs::read_to_string(&path).unwrap();
+        let keys = json::keys(&text).unwrap_or_else(|e| panic!("{name}: malformed JSON: {e}"));
+        assert!(
+            keys.iter().any(|k| k.contains("modeled") || k.ends_with("_ns")),
+            "{name}: no modeled-time key (expected a key containing \"modeled\" or ending \"_ns\"); keys: {keys:?}"
+        );
+        assert!(
+            keys.iter().any(|k| k == "bench"),
+            "{name}: missing \"bench\" identity key"
+        );
+    }
+    assert!(
+        seen >= 8,
+        "expected the committed BENCH files, found {seen}"
+    );
+}
+
 #[test]
 fn sharding_smoke() {
     let cfg = mini();
