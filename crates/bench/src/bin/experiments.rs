@@ -7,7 +7,7 @@
 //! EXPERIMENT ∈ {table2, fig4a, fig4b, fig4c, fig5, fig6, fig7, fig8,
 //!               fig9, fig10, ablation, skew, concurrency, residency,
 //!               sdist, ingest, batch_fusion, subscriptions, sharding,
-//               capacity, serving, all}
+//               sharding2, capacity, serving, all}
 //! (default: all)
 //! ```
 //!
@@ -21,7 +21,7 @@ use ggrid_bench::csvout::ResultTable;
 use ggrid_bench::experiments::{
     ablation, batch_fusion, capacity, concurrency, fig10_scalability, fig4_tuning, fig5_datasets,
     fig6_index_size, fig7_vary_k, fig8_vary_objects, fig9_vary_freq, ingest, residency, sdist,
-    serving, sharding, skew, subscriptions, table2_datasets, ExpConfig,
+    serving, sharding, sharding2, skew, subscriptions, table2_datasets, ExpConfig,
 };
 
 fn main() {
@@ -81,6 +81,7 @@ fn main() {
             "batch_fusion",
             "subscriptions",
             "sharding",
+            "sharding2",
             "capacity",
             "serving",
         ]
@@ -129,6 +130,7 @@ fn main() {
             "batch_fusion" => vec![("batch_fusion".into(), batch_fusion::run(&cfg))],
             "subscriptions" => vec![("subscriptions".into(), subscriptions::run(&cfg))],
             "sharding" => vec![("sharding".into(), sharding::run(&cfg))],
+            "sharding2" => vec![("sharding2".into(), sharding2::run(&cfg))],
             "capacity" => vec![("capacity".into(), capacity::run(&cfg))],
             "serving" => vec![("serving".into(), serving::run(&cfg))],
             other => {
@@ -157,7 +159,7 @@ fn expect_num(it: &mut std::iter::Peekable<std::slice::Iter<String>>, flag: &str
     }
 }
 
-const HELP: &str = "usage: experiments [table2|fig4a|fig4b|fig4c|fig5|fig6|fig7|fig8|fig9|fig10|ablation|skew|concurrency|residency|sdist|ingest|batch_fusion|subscriptions|sharding|capacity|serving|all]...
+const HELP: &str = "usage: experiments [table2|fig4a|fig4b|fig4c|fig5|fig6|fig7|fig8|fig9|fig10|ablation|skew|concurrency|residency|sdist|ingest|batch_fusion|subscriptions|sharding|sharding2|capacity|serving|all]...
   --quick           small datasets/fleets for a fast pass
   --scale N         divide real dataset sizes by N (default 500)
   --objects N       number of moving objects (default 10000)

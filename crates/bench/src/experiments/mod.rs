@@ -16,6 +16,7 @@ pub mod residency;
 pub mod sdist;
 pub mod serving;
 pub mod sharding;
+pub mod sharding2;
 pub mod skew;
 pub mod subscriptions;
 pub mod table2_datasets;

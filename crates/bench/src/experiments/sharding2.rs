@@ -1,0 +1,518 @@
+//! Extension study: cooperative multi-device execution (cross-shard SDist
+//! plus read-hot cell replication) on top of the routed sharding of the
+//! `sharding` experiment.
+//!
+//! Three feature arms replay identical scripted streams at each
+//! `D ∈ {1, 2, 4, 8}` (the busy-time rebalancer runs once per epoch in
+//! every arm, so migration is always available):
+//!
+//! * **baseline** — routed cleaning only: every query's SDist runs whole
+//!   on its primary shard (the previous sharded-serving behaviour);
+//! * **coop** — `cross_shard_sdist`: a query ring spanning several shards
+//!   scatters its relaxation across the owning devices and the round
+//!   costs the *max* over owners instead of their sum;
+//! * **coop_repl** — additionally `replicate_threshold`: read-hot remote
+//!   cells are promoted onto reader devices, folding their relax work
+//!   back into the reader's primary and spreading hot-cell load over the
+//!   readers instead of funnelling it to the one owner.
+//!
+//! Three movement patterns pick the regimes apart:
+//!
+//! * **uniform** — updates and queries network-wide (control);
+//! * **widering** — a sparse, slowly-moving fleet and a pinned query
+//!   window: every query expands a wide candidate ring from the same
+//!   primary shard, the showcase for cooperative SDist (baseline funnels
+//!   all relaxation to that one device);
+//! * **readhot** — the whole fleet lives in a fixed hot window of cells
+//!   and barely moves (a small trickle of in-window updates keeps the
+//!   dirtied-cell stream honest) while queries arrive network-wide: with
+//!   cooperative SDist alone every query ships a scattered leg to the hot
+//!   cells' one owner, and replication is what folds that work back onto
+//!   the reader devices.
+//!
+//! Every run replays the same stream in a cold-topology regime: device
+//! topology caches are flushed once per epoch (the churn regime of the
+//! capacity study), so per-ring staging recurs and is paid by whichever
+//! device runs the relaxation over the staged cells.
+//!
+//! Every run's per-epoch fused-batch answers are asserted byte-identical
+//! to the `D = 1` reference — the cooperative paths move modeled cost,
+//! never answers. Headlines in `BENCH_10.json`:
+//!
+//! * `cross_shard_critical_cut` — fraction of the widering critical path
+//!   `T(4)` that the coop arm cuts off the baseline arm;
+//! * `replication_skew_recovery` — fraction of the readhot skew penalty
+//!   (the busiest device's serving busy beyond the perfect-balance share
+//!   `total/D`, at D = 4 under migration-only coop) that the replication
+//!   arm wins back.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use ggrid::grid::GraphGrid;
+use ggrid::prelude::*;
+use roadnet::EdgeId;
+use workload::CellWindowSampler;
+
+use crate::csvout::{fmt_ns, ResultTable};
+use crate::datasets::{build_dataset, DatasetSpec};
+use crate::experiments::ExpConfig;
+use crate::runner::BenchWorld;
+
+const K: usize = 16;
+const DEVICE_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// (name, cross_shard_sdist, replication)
+const ARMS: [(&str, bool, bool); 3] = [
+    ("baseline", false, false),
+    ("coop", true, false),
+    ("coop_repl", true, true),
+];
+
+type Wave = Vec<(ObjectId, EdgePosition, Timestamp)>;
+type QueryBatch = Vec<(EdgePosition, usize)>;
+type EpochAnswers = Vec<Vec<Vec<(ObjectId, Distance)>>>;
+
+struct RunResult {
+    variant: &'static str,
+    arm: &'static str,
+    devices: usize,
+    /// `T(D)`: Σ over epochs of the busiest shard's busy delta.
+    critical_ns: u64,
+    /// Busy time summed over devices across the serving epochs (the seed
+    /// ingest/clean, identical in every arm, is excluded).
+    total_busy_ns: u64,
+    max_busy_share: f64,
+    /// Imbalance: busiest device's serving busy minus the perfect-balance
+    /// share `total / D` — the busy time a hotspot adds to the critical
+    /// path beyond what the workload costs under even spread.
+    skew_ns: u64,
+    cross_shard_rounds: u64,
+    replica_hits: u64,
+    replica_invalidations: u64,
+    replicas_active: u64,
+    cells_migrated: u64,
+    answers: EpochAnswers,
+}
+
+struct Script {
+    seed_wave: Wave,
+    epochs: Vec<(Wave, QueryBatch)>,
+}
+
+pub fn run(cfg: &ExpConfig) -> ResultTable {
+    let ds = roadnet::gen::Dataset::NY;
+    let world = BenchWorld::new(build_dataset(&DatasetSpec::new(ds, cfg.scale)));
+    let base = cfg.index_params().ggrid;
+    let grid = world.grid(base.cell_capacity, base.vertex_capacity);
+
+    let objects = cfg.objects.max(512);
+    let epochs = if cfg.quick { 4 } else { 8 };
+    let queries = cfg.queries.max(8);
+
+    let mut outcomes: Vec<RunResult> = Vec::new();
+    for &variant in &["uniform", "widering", "readhot"] {
+        // readhot is the read-amplification regime: double the reader batch
+        // so the per-read folding replication buys dominates the fixed
+        // once-per-epoch promotion/invalidation churn it pays for.
+        let q = if variant == "readhot" {
+            queries * 2
+        } else {
+            queries
+        };
+        let script = build_script(&grid, cfg, variant, objects, epochs, q);
+        let mut reference_answers: Option<EpochAnswers> = None;
+        for &d in &DEVICE_COUNTS {
+            for &(arm, cross, repl) in &ARMS {
+                if d == 1 && arm != "baseline" {
+                    continue; // the gates only act when there are shards
+                }
+                let r = run_stream(&grid, &base, variant, arm, d, cross, repl, &script);
+                match &reference_answers {
+                    None => reference_answers = Some(r.answers.clone()),
+                    Some(want) => assert_eq!(
+                        &r.answers, want,
+                        "{variant}: answers diverged from D=1 at D={d} arm={arm}"
+                    ),
+                }
+                outcomes.push(r);
+            }
+        }
+    }
+
+    let mut t = ResultTable::new(
+        &format!(
+            "Extension: cooperative multi-device execution ({}, {} objects, {} epochs, {} queries/epoch, k={K})",
+            ds.name(),
+            objects,
+            epochs,
+            queries
+        ),
+        &[
+            "Movement",
+            "Arm",
+            "D",
+            "T(D)",
+            "Max share",
+            "Skew",
+            "Coop rounds",
+            "Replica hits",
+            "Invalidations",
+            "Migrated",
+        ],
+    );
+    for o in &outcomes {
+        t.row(vec![
+            o.variant.to_string(),
+            o.arm.to_string(),
+            o.devices.to_string(),
+            fmt_ns(o.critical_ns),
+            format!("{:.0}%", 100.0 * o.max_busy_share),
+            fmt_ns(o.skew_ns),
+            o.cross_shard_rounds.to_string(),
+            o.replica_hits.to_string(),
+            o.replica_invalidations.to_string(),
+            o.cells_migrated.to_string(),
+        ]);
+    }
+
+    if let Err(e) = write_bench_json(&cfg.out_dir, cfg, objects, epochs, queries, &outcomes) {
+        eprintln!("warning: failed to write BENCH_10.json: {e}");
+    }
+    t
+}
+
+/// A z-order cell window starting at `lo`, widened until it owns edges.
+fn edge_window(grid: &GraphGrid, lo: u32, start_width: u32) -> std::ops::Range<u32> {
+    let num_cells = grid.num_cells() as u32;
+    let mut w = start_width.max(1);
+    loop {
+        let hi = (lo + w).min(num_cells);
+        let has_edges = (0..grid.graph().num_edges() as u32)
+            .map(EdgeId)
+            .any(|e| (lo..hi).contains(&(grid.cell_of_edge(e).index() as u32)));
+        if has_edges || hi == num_cells {
+            break lo..hi;
+        }
+        w *= 2;
+    }
+}
+
+/// Deterministic per-epoch waves and query batches for one variant.
+fn build_script(
+    grid: &Arc<GraphGrid>,
+    cfg: &ExpConfig,
+    variant: &str,
+    objects: usize,
+    epochs: usize,
+    queries: usize,
+) -> Script {
+    let num_cells = grid.num_cells() as u32;
+    let mut uniform = CellWindowSampler::whole_grid(grid, cfg.seed ^ 0x51A);
+
+    // readhot: a deliberately narrow hot window in the *interior* of one
+    // shard at every swept D (9/16 of the z space avoids the D ∈ {2,4,8}
+    // boundaries) — the whole fleet packs into a few dense cells with one
+    // unambiguous owner. widering: queries come from a window pressed
+    // against the z = 1/2 boundary from below, so every query has a single
+    // primary but its candidate ring immediately spills across the
+    // boundary into the neighbouring shards (z-order locality would keep a
+    // mid-shard window's rings home-owned).
+    let hot = edge_window(grid, num_cells / 16 * 9, (num_cells / 256).max(1));
+    let pinned_w = (num_cells / 32).max(1);
+    let pinned = edge_window(grid, num_cells / 2 - pinned_w.min(num_cells / 2), pinned_w);
+    let mut hot_sampler = CellWindowSampler::new(grid, hot, cfg.seed ^ 0x7D7);
+    let mut pinned_sampler = CellWindowSampler::new(grid, pinned, cfg.seed ^ 0x3B3);
+
+    // readhot queries are stratified over eight equal z-slices (aligned
+    // with the shard boundaries of every swept D), so the reader load is
+    // spread evenly over primaries and the only busy-time imbalance left
+    // is the one the hot cells' owner carries — the signal the skew
+    // headline isolates.
+    let slice = (num_cells / 8).max(1);
+    let mut strata: Vec<CellWindowSampler> = (0..8u32)
+        .map(|i| {
+            let lo = (i * slice).min(num_cells.saturating_sub(1));
+            CellWindowSampler::new(
+                grid,
+                edge_window(grid, lo, slice),
+                cfg.seed ^ (0xA11 + u64::from(i)),
+            )
+        })
+        .collect();
+
+    // widering thins the fleet so candidate rings must expand wide, and
+    // only a sliver of it moves each epoch (wide rings over a mostly
+    // clean index — the regime the cooperative scatter targets). readhot
+    // keeps the fleet write-cold: a small trickle of in-window moves per
+    // epoch dirties a hot cell or two so replica invalidation stays on
+    // the critical path without churning every replica every epoch.
+    let fleet = if variant == "widering" {
+        (objects / 32).max(24)
+    } else {
+        objects
+    };
+    let wave = match variant {
+        "widering" => (fleet / 8).max(4),
+        "readhot" => (fleet / 256).max(4),
+        _ => (fleet / 8).max(64),
+    };
+    let seed_wave: Wave = (0..fleet as u64)
+        .map(|o| {
+            let p = if variant == "readhot" {
+                hot_sampler.position()
+            } else {
+                uniform.position()
+            };
+            (ObjectId(o), p, Timestamp(100))
+        })
+        .collect();
+
+    let epochs = (0..epochs)
+        .map(|e| {
+            let t = Timestamp(1_000 * (e as u64 + 1));
+            let wave_updates: Wave = (0..wave.min(fleet) as u64)
+                .map(|j| {
+                    let o = (e as u64 * wave as u64 + j) % fleet as u64;
+                    let p = if variant == "readhot" {
+                        hot_sampler.position()
+                    } else {
+                        uniform.position()
+                    };
+                    (ObjectId(o), p, t)
+                })
+                .collect();
+            let query_batch: QueryBatch = (0..queries)
+                .map(|j| {
+                    let p = match variant {
+                        "widering" => pinned_sampler.position(),
+                        "readhot" => strata[j % 8].position(),
+                        _ => uniform.position(),
+                    };
+                    (p, K)
+                })
+                .collect();
+            (wave_updates, query_batch)
+        })
+        .collect();
+
+    Script { seed_wave, epochs }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_stream(
+    grid: &Arc<GraphGrid>,
+    base: &GGridConfig,
+    variant: &'static str,
+    arm: &'static str,
+    devices: usize,
+    cross_shard: bool,
+    replication: bool,
+    script: &Script,
+) -> RunResult {
+    let config = GGridConfig {
+        num_devices: devices,
+        cross_shard_sdist: cross_shard,
+        // The default threshold: a handful of reads per epoch (heat halves
+        // at every rebalance) marks a cell read-hot. Ring expansion heats
+        // every swept cell, but promotion only fires for non-empty
+        // consolidated lists and the migration skip only honours cells
+        // with live replicas, so the low threshold stays surgical.
+        replicate_threshold: if replication { 4 } else { 0 },
+        ..base.clone()
+    };
+    let mut server =
+        GGridServer::with_shared_grid(grid.clone(), config, gpu_sim::Device::quadro_p2000());
+    server.ingest_batch(&script.seed_wave);
+    server.clean_all(Timestamp(500));
+
+    let mut prev = server.counters().shard_busy_ns;
+    let mut critical_ns = 0u64;
+    let mut served = vec![0u64; devices];
+    let mut answers = Vec::with_capacity(script.epochs.len());
+    for (wave, queries) in &script.epochs {
+        let t = wave.first().map(|u| u.2).unwrap_or(Timestamp(1_000));
+        server.evict_all_topology();
+        server.ingest_batch(wave);
+        let batch = server.knn_batch(queries, t);
+        answers.push(batch.answers);
+        server.rebalance_shards();
+        let busy = server.counters().shard_busy_ns;
+        critical_ns += (0..devices).map(|i| busy[i] - prev[i]).max().unwrap_or(0);
+        for (acc, d) in served.iter_mut().zip(0..devices) {
+            *acc += busy[d] - prev[d];
+        }
+        prev = busy;
+    }
+
+    let c = server.counters();
+    let total: u64 = served.iter().sum();
+    let max = served.iter().max().copied().unwrap_or(0);
+    RunResult {
+        variant,
+        arm,
+        devices,
+        critical_ns,
+        total_busy_ns: total,
+        max_busy_share: max as f64 / total.max(1) as f64,
+        skew_ns: max.saturating_sub(total / devices.max(1) as u64),
+        cross_shard_rounds: c.cross_shard_rounds,
+        replica_hits: c.replica_hits,
+        replica_invalidations: c.replica_invalidations,
+        replicas_active: c.replicas_active,
+        cells_migrated: c.cells_migrated,
+        answers,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_bench_json(
+    dir: &Path,
+    cfg: &ExpConfig,
+    objects: usize,
+    epochs: usize,
+    queries: usize,
+    outcomes: &[RunResult],
+) -> std::io::Result<()> {
+    let find = |variant: &str, arm: &str, d: usize| -> &RunResult {
+        outcomes
+            .iter()
+            .find(|o| o.variant == variant && o.arm == arm && o.devices == d)
+            .expect("sweep point missing")
+    };
+
+    let rows: Vec<String> = outcomes
+        .iter()
+        .map(|o| {
+            format!(
+                "{{\"variant\": \"{}\", \"arm\": \"{}\", \"devices\": {}, \"critical_ns\": {}, \"total_busy_ns\": {}, \"max_busy_share\": {:.4}, \"skew_ns\": {}, \"cross_shard_rounds\": {}, \"replica_hits\": {}, \"replica_invalidations\": {}, \"replicas_active\": {}, \"cells_migrated\": {}}}",
+                o.variant,
+                o.arm,
+                o.devices,
+                o.critical_ns,
+                o.total_busy_ns,
+                o.max_busy_share,
+                o.skew_ns,
+                o.cross_shard_rounds,
+                o.replica_hits,
+                o.replica_invalidations,
+                o.replicas_active,
+                o.cells_migrated,
+            )
+        })
+        .collect();
+
+    // Headlines at D = 4.
+    let wide_base = find("widering", "baseline", 4).critical_ns as f64;
+    let wide_coop = find("widering", "coop", 4).critical_ns as f64;
+    let cross_shard_critical_cut = if wide_base > 0.0 {
+        1.0 - wide_coop / wide_base
+    } else {
+        0.0
+    };
+
+    // The read-hotspot skew penalty of an arm is the serving busy-time
+    // its busiest device carries beyond the perfect-balance share — under
+    // migration-only cooperative SDist the hot cells' one owner serves
+    // every query's gather and scattered leg, so that excess is exactly
+    // what read-hot replication exists to win back.
+    let p_coop = find("readhot", "coop", 4).skew_ns as f64;
+    let p_repl = find("readhot", "coop_repl", 4).skew_ns as f64;
+    let replication_skew_recovery = if p_coop > 0.0 {
+        (p_coop - p_repl) / p_coop
+    } else {
+        0.0
+    };
+
+    let json = format!(
+        "{{\n  \"bench\": \"sharding2\",\n  \"dataset\": \"NY\",\n  \"scale\": {},\n  \"objects\": {},\n  \"epochs\": {},\n  \"queries_per_epoch\": {},\n  \"k\": {},\n  \"rows\": [\n    {}\n  ],\n  \"cross_shard_critical_cut\": {:.4},\n  \"replication_skew_recovery\": {:.4}\n}}\n",
+        cfg.scale,
+        objects,
+        epochs,
+        queries,
+        K,
+        rows.join(",\n    "),
+        cross_shard_critical_cut,
+        replication_skew_recovery,
+    );
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("BENCH_10.json"), json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpConfig {
+        // Scale 12 (≈22k vertices, 16k cells) is the smallest NY cut where
+        // per-query relaxation dominates the fixed launch/PCIe overheads
+        // enough for the cooperative headline effects to be measurable.
+        ExpConfig {
+            scale: 12,
+            objects: 1000,
+            queries: 8,
+            out_dir: std::env::temp_dir().join("ggrid_sharding2_exp"),
+            ..ExpConfig::quick()
+        }
+    }
+
+    #[test]
+    fn cooperative_floors_hold() {
+        let cfg = tiny();
+        let t = run(&cfg);
+        // 3 variants × (D=1 baseline once + three D>1 points × three arms).
+        assert_eq!(t.rows.len(), 30);
+        let json = std::fs::read_to_string(cfg.out_dir.join("BENCH_10.json")).unwrap();
+        let field = |name: &str| -> f64 {
+            let tail = json.split(&format!("\"{name}\": ")).last().unwrap();
+            tail.split([',', '\n', '}'])
+                .next()
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap()
+        };
+        assert!(
+            field("cross_shard_critical_cut") >= 0.20,
+            "cooperative SDist cut only {:.2} of the wide-ring critical path\n{json}",
+            field("cross_shard_critical_cut")
+        );
+        assert!(
+            field("replication_skew_recovery") >= 0.30,
+            "replication recovered only {:.2} of the read-hotspot skew penalty\n{json}",
+            field("replication_skew_recovery")
+        );
+        // Non-degeneracy: the cooperative paths actually fired.
+        let sub_field = |src: &str, name: &str| -> f64 {
+            src.split(&format!("\"{name}\": "))
+                .nth(1)
+                .unwrap()
+                .split([',', '}'])
+                .next()
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap()
+        };
+        let coop_wide = json
+            .split("\"variant\": \"widering\", \"arm\": \"coop\", \"devices\": 4")
+            .nth(1)
+            .unwrap();
+        assert!(
+            sub_field(coop_wide, "cross_shard_rounds") > 0.0,
+            "widering coop never took a cooperative SDist round\n{json}"
+        );
+        let repl_hot = json
+            .split("\"variant\": \"readhot\", \"arm\": \"coop_repl\", \"devices\": 4")
+            .nth(1)
+            .unwrap();
+        assert!(
+            sub_field(repl_hot, "replica_hits") > 0.0,
+            "readhot coop_repl never served a ring cell from a replica\n{json}"
+        );
+        assert!(
+            sub_field(repl_hot, "replica_invalidations") > 0.0,
+            "readhot writes never invalidated a replica\n{json}"
+        );
+    }
+}

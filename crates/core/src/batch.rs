@@ -311,6 +311,15 @@ pub fn run_knn_batch(
             );
             let device_end = timeline.push(transfer_stream(d, primary), compute_end, copy_back);
             serial_time += gpu;
+            // Cooperative SDist rounds also occupied other shards'
+            // devices; charge those legs on their own device streams so
+            // cross-query contention there is modeled. They ran
+            // concurrently with the primary's round (the breakdown
+            // already carries the max), not after it.
+            for &(shard, t) in &pending.remote_ns {
+                timeline.push(device_stream(d, shard), SimNanos::ZERO, t);
+                serial_time += t;
+            }
 
             if let Some((prev, handle, prev_device_end, prev_primary)) = in_flight.take() {
                 finalize_one(

@@ -23,6 +23,7 @@
 //! never required for correctness.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use gpu_sim::{pipelined_makespan, Device, SimNanos};
 
@@ -111,6 +112,25 @@ pub fn clean_cells(
     config: &GGridConfig,
     now: Timestamp,
 ) -> (CleanedObjects, CleaningReport) {
+    clean_cells_with_heat(device, lists, resident, cells, config, now, None)
+}
+
+/// [`clean_cells`] with an optional per-cell read-heat tally: every cell
+/// served from the clean-skip cache bumps `read_heat[cell]`. This is the
+/// replication signal of the sharded server — a cell that is repeatedly
+/// read while already consolidated is exactly one whose list is worth
+/// promoting onto the reading devices (see `GGridConfig::replicate_threshold`).
+/// The tally never affects the cleaning output.
+#[allow(clippy::too_many_arguments)]
+pub fn clean_cells_with_heat(
+    device: &mut Device,
+    lists: &CellLists,
+    resident: &mut ResidentCellStore,
+    cells: &[CellId],
+    config: &GGridConfig,
+    now: Timestamp,
+    read_heat: Option<&[AtomicU64]>,
+) -> (CleanedObjects, CleaningReport) {
     let horizon = now.saturating_sub_ms(config.t_delta_ms);
     let mut out = CleanedObjects::default();
     let mut rep = CleaningReport::default();
@@ -134,6 +154,9 @@ pub fn clean_cells(
         let mut list = lists.lock(c.index());
         if config.clean_skip && list.is_clean() {
             rep.cells_skipped += 1;
+            if let Some(heat) = read_heat {
+                heat[c.index()].fetch_add(1, Ordering::Relaxed);
+            }
             let cached = list.snapshot_clean(horizon);
             if !cached.is_empty() {
                 out.insert(c, cached);
@@ -851,6 +874,39 @@ mod tests {
             "steady-state clean/append cycles must not hit the heap"
         );
         assert!(reuses > reuses_warm, "cycles must run on pooled slabs");
+    }
+
+    #[test]
+    fn clean_skip_tallies_read_heat() {
+        let (mut dev, lists, mut resident) = setup(2);
+        lists.lock(0).append(msg(1, 100));
+        let cfg = config();
+        let heat: Vec<AtomicU64> = (0..2).map(|_| AtomicU64::new(0)).collect();
+        // First clean is a miss: no heat.
+        clean_cells_with_heat(
+            &mut dev,
+            &lists,
+            &mut resident,
+            &[CellId(0)],
+            &cfg,
+            Timestamp(150),
+            Some(&heat),
+        );
+        assert_eq!(heat[0].load(Ordering::Relaxed), 0);
+        // Two skip-served reads: two heat ticks, only on the read cell.
+        for t in [160, 170] {
+            clean_cells_with_heat(
+                &mut dev,
+                &lists,
+                &mut resident,
+                &[CellId(0)],
+                &cfg,
+                Timestamp(t),
+                Some(&heat),
+            );
+        }
+        assert_eq!(heat[0].load(Ordering::Relaxed), 2);
+        assert_eq!(heat[1].load(Ordering::Relaxed), 0);
     }
 
     #[test]

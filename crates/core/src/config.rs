@@ -114,6 +114,22 @@ pub struct GGridConfig {
     /// buffered footprint exceeds this, the end-of-call flush drains
     /// *every* buffered cell. `0` disables the budget (cap-only flushing).
     pub ingest_buffer_bytes: u64,
+    /// Scatter a query's frontier-SDist round across every shard whose
+    /// cells the expansion ring touches ([`crate::shard::ShardSet`]): each
+    /// owning device is charged its slice of the relax work concurrently on
+    /// the modeled timeline and the host min-merges the per-shard frontiers,
+    /// so the round's modeled critical path is the max over owners instead
+    /// of their sum. Answers are byte-identical either way; only meaningful
+    /// when `num_devices > 1` and `sdist_frontier` is on.
+    pub cross_shard_sdist: bool,
+    /// Clean-skip read-heat threshold above which a remote cell's
+    /// consolidated list + topology slice are replicated onto the reading
+    /// (primary) device, under that device's `device_budget_bytes` LRU.
+    /// Writes to the cell invalidate every replica through the dirtied-cell
+    /// stream before the next read, and `rebalance_shards` prefers keeping
+    /// (replicating) read-hot write-cold cells over migrating them. `0`
+    /// disables replication. Answers are byte-identical either way.
+    pub replicate_threshold: u64,
     /// Byte budget of the shared [`crate::scratch::ScratchPool`]: pooled
     /// dense/Dijkstra scratch beyond this is evicted oldest-first on
     /// release, so a burst of query workers cannot pin O(workers × |V|)
@@ -148,6 +164,8 @@ impl Default for GGridConfig {
             rebalance_threshold: 1.25,
             ingest_buffer_cap: 1024,
             ingest_buffer_bytes: 4 << 20,
+            cross_shard_sdist: true,
+            replicate_threshold: 4,
             scratch_budget_bytes: 32 << 20,
         }
     }
@@ -157,6 +175,13 @@ impl GGridConfig {
     /// Bundle width 2^η.
     pub fn bundle_width(&self) -> usize {
         1usize << self.eta
+    }
+
+    /// Whether read-hot cell replication is in effect: it needs a nonzero
+    /// heat threshold and more than one device (with a single device every
+    /// cell is already local, so a replica would duplicate its own owner).
+    pub fn replication_enabled(&self) -> bool {
+        self.num_devices > 1 && self.replicate_threshold > 0
     }
 
     /// Validate invariants; called by the server constructor.
@@ -233,6 +258,8 @@ mod tests {
         assert!((c.rebalance_threshold - 1.25).abs() < 1e-9);
         assert_eq!(c.ingest_buffer_cap, 1024);
         assert_eq!(c.ingest_buffer_bytes, 4 << 20);
+        assert!(c.cross_shard_sdist);
+        assert_eq!(c.replicate_threshold, 4, "0 would disable replication");
         assert_eq!(c.scratch_budget_bytes, 32 << 20);
         c.validate();
     }

@@ -39,7 +39,7 @@
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
-use gpu_sim::Device;
+use gpu_sim::{Device, OpCounts, SimNanos};
 use roadnet::dijkstra::{DijkstraEngine, SearchBounds};
 use roadnet::graph::{Distance, VertexId, INFINITY};
 use roadnet::EdgePosition;
@@ -79,6 +79,14 @@ pub(crate) struct PendingKnn {
     /// Distance of the k-th candidate (Definition 3).
     pub l: Distance,
     pub unresolved: Vec<(VertexId, Distance)>,
+    /// The query's primary shard (owner of the query's own cell).
+    pub primary: usize,
+    /// Per-device modeled time of the remote legs of cooperative
+    /// (cross-shard) SDist rounds: `(shard, duration)`, one entry per
+    /// remote launch. The primary's share is inside `breakdown` like
+    /// always; the batch scheduler charges these on the remote devices'
+    /// streams so the timeline sees the concurrency.
+    pub remote_ns: Vec<(usize, SimNanos)>,
     pub breakdown: QueryBreakdown,
 }
 
@@ -166,12 +174,18 @@ pub(crate) fn run_knn(
 /// no message landed since — are served from the cache at zero device cost
 /// (counted as skips); everything else falls through to
 /// [`ShardSet::clean_cells`], which routes each cell to its owning device.
+///
+/// Freshly cleaned *remote* cells whose clean-skip read heat crossed
+/// `GGridConfig::replicate_threshold` are promoted as read-replicas onto
+/// the query's `primary` device here — the one place consolidated messages
+/// and their list epoch are both in hand.
 #[allow(clippy::too_many_arguments)]
 fn clean_round(
     shards: &mut ShardSet,
     lists: &CellLists,
     config: &GGridConfig,
     now: Timestamp,
+    primary: usize,
     cells: &[CellId],
     in_set: &mut [bool],
     set: &mut Vec<CellId>,
@@ -179,8 +193,10 @@ fn clean_round(
     breakdown: &mut QueryBreakdown,
     cpu_excluded: &mut Duration,
     cache: Option<&BatchCleanCache>,
+    channels: &mut [bool],
 ) {
     let mut fresh: Vec<CellId> = Vec::with_capacity(cells.len());
+    let mut promote: Vec<(CellId, u64, &[CachedMessage])> = Vec::new();
     for &c in cells {
         if in_set[c.index()] {
             continue;
@@ -191,18 +207,78 @@ fn clean_round(
                 set.push(c);
                 objects.extend_from_slice(msgs);
                 breakdown.cells_skipped += 1;
+                if shards.num_shards() > 1 {
+                    shards.note_read(c);
+                    // A hot remote cell served out of the host batch cache is
+                    // exactly the read the scatter path keeps paying for:
+                    // install a device replica so later frontier rounds fold
+                    // its work onto this primary.
+                    if config.replication_enabled()
+                        && shards.owner_of(c) != primary
+                        && shards.read_heat_of(c) >= config.replicate_threshold
+                        && !msgs.is_empty()
+                    {
+                        if let Some(epoch) = lists.lock(c.index()).cleaned_epoch() {
+                            if !shards.replica_valid(primary, c, Some(epoch)) {
+                                promote.push((c, epoch, msgs));
+                            }
+                        }
+                    }
+                }
                 continue;
             }
         }
         fresh.push(c);
     }
+    if !promote.is_empty() {
+        breakdown.h2d_bytes += shards.promote_replicas_coalesced(primary, &promote);
+    }
     if fresh.is_empty() {
         return;
     }
+    // The cells the routed clean will serve from the clean-skip cache
+    // (the predicate the skip branch itself uses, evaluated pre-clean):
+    // remote-owned ones are read out of their owner's device below.
+    let gather: Vec<CellId> = if shards.num_shards() > 1 && config.clean_skip {
+        fresh
+            .iter()
+            .copied()
+            .filter(|&c| shards.owner_of(c) != primary && lists.lock(c.index()).is_clean())
+            .collect()
+    } else {
+        Vec::new()
+    };
     let t0 = Instant::now();
     let (cleaned, rep) = shards.clean_cells(lists, &fresh, config, now);
     *cpu_excluded += t0.elapsed();
     breakdown.record_cleaning(&rep);
+    if !gather.is_empty() {
+        let (hits, bytes) = shards.gather_remote_lists(primary, &gather, lists, &cleaned, channels);
+        breakdown.replica_hits += hits;
+        breakdown.d2h_bytes += bytes;
+    }
+    if config.replication_enabled() {
+        let mut batch: Vec<(CellId, u64, &[CachedMessage])> = Vec::new();
+        for &c in &fresh {
+            if shards.owner_of(c) == primary || shards.read_heat_of(c) < config.replicate_threshold
+            {
+                continue;
+            }
+            let Some(msgs) = cleaned.get(&c) else {
+                continue;
+            };
+            let Some(epoch) = lists.lock(c.index()).cleaned_epoch() else {
+                continue;
+            };
+            if shards.replica_valid(primary, c, Some(epoch)) {
+                continue; // already hosted and current
+            }
+            batch.push((c, epoch, msgs));
+        }
+        if !batch.is_empty() {
+            breakdown.h2d_bytes += shards.promote_replicas_coalesced(primary, &batch);
+        }
+    }
     for c in fresh {
         in_set[c.index()] = true;
         set.push(c);
@@ -236,6 +312,7 @@ pub(crate) fn knn_device_phase(
     let launches0 = shards.total_launches();
     let cpu_start = Instant::now();
     let mut cpu_excluded = Duration::ZERO; // host time spent emulating kernels
+    let mut channels = [false; crate::shard::MAX_DEVICES]; // per-query gather streams
 
     // ---- Step 1: candidate cells (Algorithm 4 lines 1-4) ----
     let mut in_set = vec![false; grid.num_cells()];
@@ -253,6 +330,7 @@ pub(crate) fn knn_device_phase(
         lists,
         config,
         now,
+        primary,
         &first_round,
         &mut in_set,
         &mut set,
@@ -260,6 +338,7 @@ pub(crate) fn knn_device_phase(
         &mut breakdown,
         &mut cpu_excluded,
         cache,
+        &mut channels,
     );
 
     loop {
@@ -275,6 +354,7 @@ pub(crate) fn knn_device_phase(
             lists,
             config,
             now,
+            primary,
             &frontier,
             &mut in_set,
             &mut set,
@@ -282,6 +362,7 @@ pub(crate) fn knn_device_phase(
             &mut breakdown,
             &mut cpu_excluded,
             cache,
+            &mut channels,
         );
     }
 
@@ -289,12 +370,53 @@ pub(crate) fn knn_device_phase(
     // than k candidates are reachable inside the induced subgraph, keep
     // expanding (degenerate topologies only; normally runs once). ----
     let mut dist = pool.acquire();
+    let mut remote_ns: Vec<(usize, SimNanos)> = Vec::new();
+    let multi = shards.num_shards() > 1;
     let candidates = loop {
         let t0 = Instant::now();
-        let (device, _, topo) = shards.parts(primary);
-        let s = gpu_sdist(
-            device, grid, topo, config, &in_set, &set, q, &graph, &objects, k, &mut dist,
-        );
+        // Effective owner per ring cell: a remote cell with a *valid*
+        // replica on the primary counts as primary-owned (a replica hit) —
+        // its relax work stays local, shrinking the ring's device span.
+        let mut owners: Vec<usize> = Vec::new();
+        let mut span = 1usize;
+        if multi {
+            owners = vec![usize::MAX; grid.num_cells()];
+            let mut seen = [false; crate::shard::MAX_DEVICES];
+            for &c in &set {
+                let own = shards.owner_of(c);
+                let eff = if own != primary
+                    && config.replication_enabled()
+                    && shards.replica_valid(primary, c, lists.lock(c.index()).cleaned_epoch())
+                {
+                    breakdown.replica_hits += 1;
+                    primary
+                } else {
+                    own
+                };
+                owners[c.index()] = eff;
+                seen[eff] = true;
+            }
+            span = seen.iter().filter(|&&s| s).count();
+            breakdown.ring_span = breakdown.ring_span.max(span);
+        }
+        let s = if multi && span > 1 && config.cross_shard_sdist && config.sdist_frontier {
+            // Cooperative round: every owning device relaxes its slice of
+            // the ring concurrently; the modeled critical path is the max
+            // over owners instead of their sum.
+            breakdown.cross_shard_rounds += 1;
+            let (s, legs) = gpu_sdist_frontier_scattered(
+                shards, primary, &owners, grid, config, &in_set, &set, q, &graph, &objects, k,
+                &mut dist,
+            );
+            remote_ns.extend(legs);
+            s
+        } else {
+            let (device, _, topo) = shards.parts(primary);
+            gpu_sdist(
+                device, grid, topo, config, &in_set, &set, q, &graph, &objects, k, &mut dist,
+            )
+        };
+        let device = &mut shards.shard_mut(primary).device;
         let (candidates, firstk_time) = gpu_first_k(device, q, &dist, &objects, &graph);
         cpu_excluded += t0.elapsed();
         breakdown.candidate += s.time + firstk_time;
@@ -324,6 +446,7 @@ pub(crate) fn knn_device_phase(
             lists,
             config,
             now,
+            primary,
             &frontier,
             &mut in_set,
             &mut set,
@@ -331,6 +454,7 @@ pub(crate) fn knn_device_phase(
             &mut breakdown,
             &mut cpu_excluded,
             cache,
+            &mut channels,
         );
     };
     breakdown.candidates = candidates.len();
@@ -386,6 +510,8 @@ pub(crate) fn knn_device_phase(
         positions,
         l,
         unresolved,
+        primary,
+        remote_ns,
         breakdown,
     }
 }
@@ -560,12 +686,15 @@ pub(crate) fn knn_finalize(
         mut positions,
         l: _,
         unresolved,
+        primary,
+        remote_ns: _,
         mut breakdown,
     } = pending;
     let graph = grid.graph();
     let launches0 = shards.total_launches();
     let cpu_start = Instant::now();
     let mut cpu_excluded = Duration::ZERO;
+    let mut channels = [false; crate::shard::MAX_DEVICES]; // per-query gather streams
 
     if !unresolved.is_empty() {
         breakdown.refine_ns = refined.wall_ns;
@@ -582,6 +711,7 @@ pub(crate) fn knn_finalize(
             lists,
             config,
             now,
+            primary,
             &refined.touched_cells,
             &mut in_set,
             &mut set,
@@ -589,6 +719,7 @@ pub(crate) fn knn_finalize(
             &mut breakdown,
             &mut cpu_excluded,
             cache,
+            &mut channels,
         );
         for m in &objects {
             if let Some(p) = m.position {
@@ -899,126 +1030,18 @@ pub fn gpu_sdist_frontier(
 
     let ((rounds, frontier_sum, frontier_max, settled, pruned), report) =
         device.launch(total_vertices.max(1), |ctx| {
-            let mut rounds = 0u64;
-            let mut frontier_sum = 0u64;
-            let mut frontier_max = 0u64;
-            let mut settled = 0u64;
-            let mut pruned = 0u64;
-            // Running k-bound: max-heap of the k smallest evaluated
-            // candidate distances; its top is the bound l_run ≥ l.
-            let mut k_heap = std::collections::BinaryHeap::new();
-
-            if seeded {
-                let d0 = scratch.get(q_dest);
-                let mut cur_threshold = (d0 / delta + 1) * delta;
-                let mut near: Vec<VertexId> = vec![q_dest];
-                let mut far: Vec<VertexId> = Vec::new();
-                loop {
-                    // ---- drain the near pile at this threshold ----
-                    let mut sealed_phase: Vec<VertexId> = Vec::new();
-                    while !near.is_empty() {
-                        rounds += 1;
-                        frontier_sum += near.len() as u64;
-                        frontier_max = frontier_max.max(near.len() as u64);
-                        let mut next_near: Vec<VertexId> = Vec::new();
-                        for &v in &near {
-                            sealed_phase.push(v);
-                            let t = grid.topology(grid.cell_of_vertex(v));
-                            let slot = grid.topo_slot_of(v);
-                            let deg = t.out_degree_of(slot) as u64;
-                            ctx.charge_alu_one(2 + 3 * deg);
-                            ctx.charge_read(8 + 12 * deg);
-                            let dv = scratch.get(v);
-                            for (dest, dest_cell, w) in t.out_edges_of(slot) {
-                                if !in_set[dest_cell as usize] {
-                                    continue; // induced subgraph only
-                                }
-                                let nd = dv.saturating_add(w as Distance);
-                                if nd < scratch.get(dest) {
-                                    scratch.set(dest, nd);
-                                    ctx.charge_write(8);
-                                    if nd < cur_threshold {
-                                        next_near.push(dest);
-                                    } else {
-                                        far.push(dest);
-                                    }
-                                }
-                            }
-                        }
-                        ctx.sync_threads();
-                        next_near.sort_unstable_by_key(|v| v.0);
-                        next_near.dedup();
-                        near = next_near;
-                    }
-
-                    // ---- seal the phase; sealed distances are final, so
-                    // their objects' candidate distances are valid bound
-                    // food. Sealed sets of different phases are disjoint,
-                    // so no object is ever counted twice. ----
-                    sealed_phase.sort_unstable_by_key(|v| v.0);
-                    sealed_phase.dedup();
-                    settled += sealed_phase.len() as u64;
-                    for &v in &sealed_phase {
-                        if let Some(list) = objects_at.get(&v) {
-                            ctx.charge_alu_one(2 * list.len() as u64);
-                            ctx.charge_read(16 * list.len() as u64);
-                            let dv = scratch.get(v);
-                            for &fs in list {
-                                let cd = dv.saturating_add(fs);
-                                if k_heap.len() < k {
-                                    k_heap.push(cd);
-                                } else if let Some(mut worst) = k_heap.peek_mut() {
-                                    if cd < *worst {
-                                        *worst = cd;
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    let l_run = if k > 0 && k_heap.len() >= k {
-                        k_heap.peek().copied().unwrap_or(INFINITY)
-                    } else {
-                        INFINITY
-                    };
-
-                    // ---- compact the far pile: leftovers now below the
-                    // threshold were sealed above and drop out; the rest
-                    // are exactly the touched-but-unsettled vertices. ----
-                    far.sort_unstable_by_key(|v| v.0);
-                    far.dedup();
-                    ctx.charge_alu_one(far.len() as u64);
-                    let (kept, _) = gpu_sim::collective::partition_by(ctx, &far, |&v| {
-                        scratch.get(v) >= cur_threshold
-                    });
-                    far = kept;
-                    if far.is_empty() {
-                        break;
-                    }
-                    let min_far = gpu_sim::collective::reduce(
-                        ctx,
-                        far.iter().map(|&v| scratch.get(v)).collect(),
-                        |a, b: Distance| a.min(b),
-                    )
-                    .unwrap_or(INFINITY);
-
-                    // k-bounded pruning: `min_far` equals the smallest
-                    // *final* distance among unsettled vertices, so once it
-                    // exceeds the k-th candidate bound no remaining vertex
-                    // can host a top-k object.
-                    if min_far > l_run {
-                        pruned += far.len() as u64;
-                        break;
-                    }
-
-                    cur_threshold = (min_far / delta + 1) * delta;
-                    let (n2, f2) = gpu_sim::collective::partition_by(ctx, &far, |&v| {
-                        scratch.get(v) < cur_threshold
-                    });
-                    near = n2;
-                    far = f2;
-                }
-            }
-            (rounds, frontier_sum, frontier_max, settled, pruned)
+            frontier_relax_body(
+                ctx,
+                grid,
+                in_set,
+                q_dest,
+                seeded,
+                delta,
+                &objects_at,
+                k,
+                scratch,
+                &mut |_, _| {},
+            )
         });
     stats.rounds = rounds;
     stats.frontier_sum = frontier_sum;
@@ -1027,6 +1050,334 @@ pub fn gpu_sdist_frontier(
     stats.pruned = pruned;
     stats.time += report.time;
     stats
+}
+
+/// The near–far relaxation shared by [`gpu_sdist_frontier`] and its
+/// cross-shard scattered variant. Every per-vertex charge site reports the
+/// same op slice through `tally`, keyed by the vertex whose owning device
+/// should pay for it; collectives, barriers, and far-pile compaction charge
+/// only `ctx` — they are coordination work, left in the residual the scatter
+/// path bills to the primary device.
+#[allow(clippy::too_many_arguments)]
+fn frontier_relax_body(
+    ctx: &mut gpu_sim::KernelCtx,
+    grid: &GraphGrid,
+    in_set: &[bool],
+    q_dest: VertexId,
+    seeded: bool,
+    delta: u64,
+    objects_at: &HashMap<VertexId, Vec<Distance>, FxBuildHasher>,
+    k: usize,
+    scratch: &mut DenseScratch,
+    tally: &mut dyn FnMut(VertexId, OpCounts),
+) -> (u64, u64, u64, u64, u64) {
+    let mut rounds = 0u64;
+    let mut frontier_sum = 0u64;
+    let mut frontier_max = 0u64;
+    let mut settled = 0u64;
+    let mut pruned = 0u64;
+    // Running k-bound: max-heap of the k smallest evaluated
+    // candidate distances; its top is the bound l_run ≥ l.
+    let mut k_heap = std::collections::BinaryHeap::new();
+
+    if seeded {
+        let d0 = scratch.get(q_dest);
+        let mut cur_threshold = (d0 / delta + 1) * delta;
+        let mut near: Vec<VertexId> = vec![q_dest];
+        let mut far: Vec<VertexId> = Vec::new();
+        loop {
+            // ---- drain the near pile at this threshold ----
+            let mut sealed_phase: Vec<VertexId> = Vec::new();
+            while !near.is_empty() {
+                rounds += 1;
+                frontier_sum += near.len() as u64;
+                frontier_max = frontier_max.max(near.len() as u64);
+                let mut next_near: Vec<VertexId> = Vec::new();
+                for &v in &near {
+                    sealed_phase.push(v);
+                    let t = grid.topology(grid.cell_of_vertex(v));
+                    let slot = grid.topo_slot_of(v);
+                    let deg = t.out_degree_of(slot) as u64;
+                    ctx.charge_alu_one(2 + 3 * deg);
+                    ctx.charge_read(8 + 12 * deg);
+                    tally(
+                        v,
+                        OpCounts {
+                            alu: 2 + 3 * deg,
+                            global_read_bytes: 8 + 12 * deg,
+                            ..Default::default()
+                        },
+                    );
+                    let dv = scratch.get(v);
+                    for (dest, dest_cell, w) in t.out_edges_of(slot) {
+                        if !in_set[dest_cell as usize] {
+                            continue; // induced subgraph only
+                        }
+                        let nd = dv.saturating_add(w as Distance);
+                        if nd < scratch.get(dest) {
+                            scratch.set(dest, nd);
+                            ctx.charge_write(8);
+                            tally(
+                                dest,
+                                OpCounts {
+                                    global_write_bytes: 8,
+                                    ..Default::default()
+                                },
+                            );
+                            if nd < cur_threshold {
+                                next_near.push(dest);
+                            } else {
+                                far.push(dest);
+                            }
+                        }
+                    }
+                }
+                ctx.sync_threads();
+                next_near.sort_unstable_by_key(|v| v.0);
+                next_near.dedup();
+                near = next_near;
+            }
+
+            // ---- seal the phase; sealed distances are final, so
+            // their objects' candidate distances are valid bound
+            // food. Sealed sets of different phases are disjoint,
+            // so no object is ever counted twice. ----
+            sealed_phase.sort_unstable_by_key(|v| v.0);
+            sealed_phase.dedup();
+            settled += sealed_phase.len() as u64;
+            for &v in &sealed_phase {
+                if let Some(list) = objects_at.get(&v) {
+                    ctx.charge_alu_one(2 * list.len() as u64);
+                    ctx.charge_read(16 * list.len() as u64);
+                    tally(
+                        v,
+                        OpCounts {
+                            alu: 2 * list.len() as u64,
+                            global_read_bytes: 16 * list.len() as u64,
+                            ..Default::default()
+                        },
+                    );
+                    let dv = scratch.get(v);
+                    for &fs in list {
+                        let cd = dv.saturating_add(fs);
+                        if k_heap.len() < k {
+                            k_heap.push(cd);
+                        } else if let Some(mut worst) = k_heap.peek_mut() {
+                            if cd < *worst {
+                                *worst = cd;
+                            }
+                        }
+                    }
+                }
+            }
+            let l_run = if k > 0 && k_heap.len() >= k {
+                k_heap.peek().copied().unwrap_or(INFINITY)
+            } else {
+                INFINITY
+            };
+
+            // ---- compact the far pile: leftovers now below the
+            // threshold were sealed above and drop out; the rest
+            // are exactly the touched-but-unsettled vertices. ----
+            far.sort_unstable_by_key(|v| v.0);
+            far.dedup();
+            ctx.charge_alu_one(far.len() as u64);
+            let (kept, _) =
+                gpu_sim::collective::partition_by(ctx, &far, |&v| scratch.get(v) >= cur_threshold);
+            far = kept;
+            if far.is_empty() {
+                break;
+            }
+            let min_far = gpu_sim::collective::reduce(
+                ctx,
+                far.iter().map(|&v| scratch.get(v)).collect(),
+                |a, b: Distance| a.min(b),
+            )
+            .unwrap_or(INFINITY);
+
+            // k-bounded pruning: `min_far` equals the smallest
+            // *final* distance among unsettled vertices, so once it
+            // exceeds the k-th candidate bound no remaining vertex
+            // can host a top-k object.
+            if min_far > l_run {
+                pruned += far.len() as u64;
+                break;
+            }
+
+            cur_threshold = (min_far / delta + 1) * delta;
+            let (n2, f2) =
+                gpu_sim::collective::partition_by(ctx, &far, |&v| scratch.get(v) < cur_threshold);
+            near = n2;
+            far = f2;
+        }
+    }
+    (rounds, frontier_sum, frontier_max, settled, pruned)
+}
+
+/// Cooperative cross-shard `GPU_SDist`: the ring's cells are grouped by
+/// *effective* owner (replica-hosted remote cells count as the primary's),
+/// each owning device stages its own topology slice and is charged exactly
+/// the relaxation work its vertices generate, and the modeled round time is
+/// the **max** over the participating devices instead of their sum.
+///
+/// The relaxation itself runs once, on the shared host-side scratch, under a
+/// detached metering context — so the distances (and therefore the answers)
+/// are byte-identical to the single-device path; only the cost attribution
+/// moves. The primary device pays the metered total minus the carved-out
+/// remote slices: its own vertices' work plus every collective, barrier, and
+/// far-pile compaction (the coordination that in a real deployment rides the
+/// host-side min-merge of the per-shard frontiers).
+#[allow(clippy::too_many_arguments)]
+fn gpu_sdist_frontier_scattered(
+    shards: &mut ShardSet,
+    primary: usize,
+    owners: &[usize],
+    grid: &GraphGrid,
+    config: &GGridConfig,
+    in_set: &[bool],
+    set: &[CellId],
+    q: EdgePosition,
+    graph: &roadnet::Graph,
+    objects: &[CachedMessage],
+    k: usize,
+    scratch: &mut DenseScratch,
+) -> (SdistStats, Vec<(usize, SimNanos)>) {
+    scratch.reset();
+    let mut stats = SdistStats::default();
+    let num_shards = shards.num_shards();
+    let mut device_ns = vec![SimNanos::ZERO; num_shards];
+
+    // Group the ring by effective owner; each owner stages its own slice of
+    // the candidate topology on its own device.
+    let mut groups: Vec<Vec<CellId>> = vec![Vec::new(); num_shards];
+    for &c in set {
+        groups[owners[c.index()]].push(c);
+    }
+    for (d, cells) in groups.iter().enumerate() {
+        if cells.is_empty() {
+            continue;
+        }
+        let (device, _, topo) = shards.parts(d);
+        if config.coalesce_h2d {
+            let staged = topo.stage(device, cells.iter().map(|&c| (c, grid.topology(c).bytes())));
+            stats.topo_hits += staged.hits as usize;
+            stats.topo_misses += staged.misses as usize;
+            stats.h2d_topo_bytes += staged.bytes;
+            stats.h2d_coalesced_saved += staged.transactions_saved;
+            device_ns[d] += staged.time;
+        } else {
+            for &c in cells {
+                let bytes = grid.topology(c).bytes();
+                if topo.ensure(device, c, bytes) {
+                    stats.topo_hits += 1;
+                } else {
+                    stats.topo_misses += 1;
+                    stats.h2d_topo_bytes += bytes;
+                    device_ns[d] += device.h2d(bytes);
+                }
+            }
+        }
+    }
+
+    let total_vertices: usize = set.iter().map(|&c| grid.topology(c).num_vertices()).sum();
+    stats.vertices = total_vertices as u64;
+
+    let delta = if config.sdist_delta > 0 {
+        config.sdist_delta as u64
+    } else {
+        grid.mean_edge_weight()
+    }
+    .max(1);
+
+    let mut objects_at: HashMap<VertexId, Vec<Distance>, FxBuildHasher> =
+        HashMap::with_hasher(FxBuildHasher::default());
+    for m in objects {
+        if let Some(p) = m.position {
+            objects_at
+                .entry(graph.edge(p.edge).source)
+                .or_default()
+                .push(p.from_source());
+        }
+    }
+
+    let q_dest = graph.edge(q.edge).dest;
+    let seeded = in_set[grid.cell_of_vertex(q_dest).index()];
+    if seeded {
+        scratch.set(q_dest, q.to_dest(graph));
+    }
+
+    // Meter the relaxation once, tallying each per-vertex charge site
+    // against the device that owns the vertex's cell.
+    let warp = shards.shard(primary).device.spec().warp_size as usize;
+    let mut ctx = gpu_sim::KernelCtx::detached(warp, total_vertices.max(1));
+    let mut slices = vec![OpCounts::default(); num_shards];
+    let (rounds, frontier_sum, frontier_max, settled, pruned) = frontier_relax_body(
+        &mut ctx,
+        grid,
+        in_set,
+        q_dest,
+        seeded,
+        delta,
+        &objects_at,
+        k,
+        scratch,
+        &mut |v, ops| slices[owners[grid.cell_of_vertex(v).index()]].add(&ops),
+    );
+    stats.rounds = rounds;
+    stats.frontier_sum = frontier_sum;
+    stats.frontier_max = frontier_max;
+    stats.settled = settled;
+    stats.pruned = pruned;
+
+    // Replay the remote slices on their devices. The per-vertex tallies
+    // cover relax and object-bound work; the metered residual (near/far
+    // compaction, reductions, frontier bookkeeping) is data-parallel over
+    // the whole frontier, so the cooperative launch splits it across the
+    // participants in proportion to the vertices each hosts. Barriers are
+    // the exception: every sub-kernel runs the same rounds, so each
+    // participant pays the full sync count.
+    let mut remote_total = OpCounts::default();
+    let mut scatter_groups: Vec<(usize, usize, OpCounts)> = Vec::new();
+    for (d, slice) in slices.iter().enumerate() {
+        if d == primary || !slice.any() {
+            continue;
+        }
+        remote_total.add(slice);
+        let threads: usize = groups[d]
+            .iter()
+            .map(|&c| grid.topology(c).num_vertices())
+            .sum();
+        scatter_groups.push((d, threads.max(1), *slice));
+    }
+    let residual = ctx.ops().saturating_sub(&remote_total);
+    let mut primary_ops = residual;
+    for (_, threads, ops) in &mut scatter_groups {
+        let mut share = residual.scaled(*threads as u64, total_vertices.max(1) as u64);
+        primary_ops = primary_ops.saturating_sub(&share);
+        share.syncs = residual.syncs;
+        ops.add(&share);
+    }
+    primary_ops.syncs = residual.syncs;
+    for (d, t) in shards.launch_scattered(&scatter_groups) {
+        device_ns[d] += t;
+    }
+    let report = shards
+        .shard_mut(primary)
+        .device
+        .launch_ops(total_vertices.max(1), primary_ops);
+    device_ns[primary] += report.time;
+
+    // Remote legs go back to the caller so a batch scheduler can place them
+    // on the remote devices' streams; the round's modeled duration is the
+    // slowest participant.
+    let legs: Vec<(usize, SimNanos)> = device_ns
+        .iter()
+        .enumerate()
+        .filter(|&(d, t)| d != primary && *t > SimNanos::ZERO)
+        .map(|(d, &t)| (d, t))
+        .collect();
+    stats.time += device_ns.iter().copied().max().unwrap_or(SimNanos::ZERO);
+    (stats, legs)
 }
 
 /// Distance from the query to an object position given the induced vertex

@@ -41,6 +41,10 @@ struct ResidentEntry {
     /// data; a real port would keep only the device pointer).
     mirror: Vec<CachedMessage>,
     last_used: u64,
+    /// How the entry's device buffer is tagged: [`BufferTag::General`] for
+    /// the owner's consolidated state, [`BufferTag::Replica`] for a
+    /// read-replica of a cell another shard owns.
+    tag: BufferTag,
 }
 
 impl ResidentEntry {
@@ -169,6 +173,32 @@ impl ResidentCellStore {
         epoch: u64,
         messages: &[CachedMessage],
     ) -> bool {
+        self.install_tagged(device, cell, epoch, messages, BufferTag::General)
+    }
+
+    /// [`Self::install`] for a *read-replica* of a cell another shard owns:
+    /// the device buffer is tagged [`BufferTag::Replica`], so the hosting
+    /// device's ledger charges the bytes to itself (never the owner) and
+    /// releases them on invalidation. Shares the same budget and LRU as the
+    /// owner-state entries.
+    pub fn install_replica(
+        &mut self,
+        device: &mut Device,
+        cell: CellId,
+        epoch: u64,
+        messages: &[CachedMessage],
+    ) -> bool {
+        self.install_tagged(device, cell, epoch, messages, BufferTag::Replica)
+    }
+
+    fn install_tagged(
+        &mut self,
+        device: &mut Device,
+        cell: CellId,
+        epoch: u64,
+        messages: &[CachedMessage],
+        tag: BufferTag,
+    ) -> bool {
         if !self.enabled() || messages.is_empty() {
             self.invalidate(device, cell);
             return false;
@@ -196,7 +226,7 @@ impl ResidentCellStore {
         // Capacity eviction: the card itself may be fuller than the budget
         // assumes (other structures share it).
         let buffer = loop {
-            match device.alloc_buffer(bytes) {
+            match device.alloc_buffer_tagged(bytes, tag) {
                 Ok(b) => break b,
                 Err(_) => {
                     if self.evict_lru(device).is_none() {
@@ -214,9 +244,35 @@ impl ResidentCellStore {
                 epoch,
                 mirror: messages.to_vec(),
                 last_used: self.tick,
+                tag,
             },
         );
         true
+    }
+
+    /// Whether `cell`'s resident entry is a read-replica (installed through
+    /// [`Self::install_replica`]).
+    pub fn is_replica(&self, cell: CellId) -> bool {
+        self.entries
+            .get(&cell)
+            .is_some_and(|e| e.tag == BufferTag::Replica)
+    }
+
+    /// Read-replica entries currently resident.
+    pub fn replica_cells(&self) -> usize {
+        self.entries
+            .values()
+            .filter(|e| e.tag == BufferTag::Replica)
+            .count()
+    }
+
+    /// Bytes currently held by read-replica entries.
+    pub fn replica_bytes(&self) -> u64 {
+        self.entries
+            .values()
+            .filter(|e| e.tag == BufferTag::Replica)
+            .map(|e| e.bytes())
+            .sum()
     }
 
     /// Drop `cell`'s resident state, if any. Returns the bytes freed.
@@ -608,6 +664,59 @@ mod tests {
         s.clear(&mut d);
         assert_eq!(s.resident_cells(), 0);
         assert_eq!(d.residency().live_buffers, 0);
+    }
+
+    #[test]
+    fn replica_install_tags_bytes_on_hosting_device() {
+        let mut d = dev();
+        let mut s = ResidentCellStore::new(1 << 20);
+        let m = msgs(4);
+        assert!(s.install_replica(&mut d, CellId(5), 3, &m));
+        assert!(s.is_replica(CellId(5)));
+        assert_eq!(s.replica_cells(), 1);
+        assert_eq!(s.replica_bytes(), 4 * CachedMessage::WIRE_BYTES);
+        assert_eq!(
+            d.resident_bytes_tagged(gpu_sim::BufferTag::Replica),
+            4 * CachedMessage::WIRE_BYTES,
+            "replica bytes must be charged to the hosting device under the Replica tag"
+        );
+        // Owner-state installs stay untagged and are not replicas.
+        assert!(s.install(&mut d, CellId(1), 1, &msgs(2)));
+        assert!(!s.is_replica(CellId(1)));
+        assert_eq!(s.replica_cells(), 1);
+        // Lookup serves the replica mirror while its epoch holds...
+        assert_eq!(s.lookup(&mut d, CellId(5), Some(3)).unwrap(), &m[..]);
+        // ...and invalidation releases exactly its bytes from the device.
+        let freed = s.invalidate(&mut d, CellId(5));
+        assert_eq!(freed, 4 * CachedMessage::WIRE_BYTES);
+        assert_eq!(d.resident_bytes_tagged(gpu_sim::BufferTag::Replica), 0);
+        assert!(!s.is_replica(CellId(5)));
+        assert_eq!(s.replica_bytes(), 0);
+    }
+
+    #[test]
+    fn replica_shares_budget_with_owner_state() {
+        let mut d = dev();
+        // Budget fits two 4-message entries but not three.
+        let mut s = ResidentCellStore::new(9 * CachedMessage::WIRE_BYTES);
+        assert!(s.install(&mut d, CellId(0), 1, &msgs(4)));
+        assert!(s.install_replica(&mut d, CellId(9), 1, &msgs(4)));
+        // A third entry evicts the LRU regardless of kind.
+        assert!(s.install(&mut d, CellId(1), 1, &msgs(4)));
+        assert!(!s.contains(CellId(0)), "LRU owner entry evicted first");
+        assert!(s.is_replica(CellId(9)));
+    }
+
+    #[test]
+    fn stale_replica_dropped_on_lookup() {
+        let mut d = dev();
+        let mut s = ResidentCellStore::new(1 << 20);
+        s.install_replica(&mut d, CellId(2), 7, &msgs(3));
+        // The owner re-consolidated to epoch 9: the replica must never be
+        // served, and the lookup itself tears it down.
+        assert!(s.lookup(&mut d, CellId(2), Some(9)).is_none());
+        assert!(!s.contains(CellId(2)));
+        assert_eq!(d.resident_bytes_tagged(gpu_sim::BufferTag::Replica), 0);
     }
 
     #[test]

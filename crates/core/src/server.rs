@@ -75,6 +75,15 @@ pub struct GGridServer {
     /// signal [`Self::rebalance_shards`] migrates by. Empty (never tallied)
     /// while `num_devices == 1`, so single-device ingest pays nothing.
     cell_dirt: Vec<AtomicU64>,
+    /// Replica-coherence queue: cells dirtied by the `&self` ingest paths
+    /// while some shard hosted a read-replica of them. Drained by
+    /// [`Self::sync_replicas`] at every `&mut` read entry point (right
+    /// after the ingest flush), which tears the stale replicas down —
+    /// so a dirtied cell's replicas are always invalidated *before* the
+    /// next read could consult them. Only fed while `num_devices > 1` and
+    /// a replica actually exists, so unreplicated ingest pays one
+    /// `has_replicas` scan at most.
+    replica_dirty: Mutex<Vec<CellId>>,
     /// Thread-local ingest buffers (DESIGN.md §5.9): the lock-free fast
     /// path of [`Self::ingest_buffered`], drained into the shared message
     /// lists by [`Self::flush_ingest`] and the implicit barriers on every
@@ -143,6 +152,7 @@ impl GGridServer {
             subs_dirty: Mutex::new(Vec::new()),
             track_dirty: AtomicBool::new(false),
             cell_dirt,
+            replica_dirty: Mutex::new(Vec::new()),
             dispatch,
         }
     }
@@ -201,6 +211,11 @@ impl GGridServer {
         for d in 0..self.shards.num_shards() {
             c.shard_busy_ns[d] = self.shards.shard(d).lifetime_busy_ns();
         }
+        // Replication gauges live on the shard set (promotions happen in
+        // the query pipeline, teardowns in sync/migration paths).
+        c.replicas_active = self.shards.replicas_active();
+        c.replica_invalidations = self.shards.replica_invalidations();
+        c.migrations_skipped_read_hot = self.shards.migrations_skipped_read_hot();
         c
     }
 
@@ -355,6 +370,9 @@ impl GGridServer {
                 let owner = self.shards.owner_of(c);
                 self.ingest.shard_dirtied[owner].fetch_add(1, Ordering::Relaxed);
                 self.cell_dirt[c.index()].fetch_add(1, Ordering::Relaxed);
+                if self.shards.has_replicas(c) {
+                    self.replica_dirty.lock().push(c);
+                }
             }
         }
         self.ingest.updates_ingested.fetch_add(1, Ordering::Relaxed);
@@ -487,6 +505,9 @@ impl GGridServer {
                 let owner = self.shards.owner_of(c);
                 self.ingest.shard_dirtied[owner].fetch_add(1, Ordering::Relaxed);
                 self.cell_dirt[c.index()].fetch_add(1, Ordering::Relaxed);
+                if self.shards.has_replicas(c) {
+                    self.replica_dirty.lock().push(c);
+                }
             }
         }
         self.ingest
@@ -717,6 +738,9 @@ impl GGridServer {
                 let owner = self.shards.owner_of(cell);
                 self.ingest.shard_dirtied[owner].fetch_add(1, Ordering::Relaxed);
                 self.cell_dirt[cell.index()].fetch_add(1, Ordering::Relaxed);
+                if self.shards.has_replicas(cell) {
+                    self.replica_dirty.lock().push(cell);
+                }
             }
             self.dispatch.recycle(run);
         }
@@ -728,6 +752,31 @@ impl GGridServer {
         self.ingest.busy_ns.fetch_add(ns, Ordering::Relaxed);
         self.ingest.critical_ns.fetch_add(ns, Ordering::Relaxed);
         dirty
+    }
+
+    /// The replica-coherence barrier: tear down the read-replicas of every
+    /// cell the ingest stream dirtied since the last sync. Runs at every
+    /// `&mut self` read entry point right after the ingest flush (ingest is
+    /// `&self` and cannot mutate the devices itself), so no stale replica
+    /// survives to the next read. Replicas are never consulted for answer
+    /// bytes — answers come from the host-side consolidated lists — so this
+    /// coherence is about the *modeled machine*: a replica's mirror must
+    /// equal the owner's consolidated state whenever it is counted as a
+    /// hit, and the epoch check in [`ShardSet::replica_valid`] backstops
+    /// this invariant.
+    fn sync_replicas(&mut self) {
+        if self.config.num_devices <= 1 {
+            return;
+        }
+        let mut dirty: Vec<CellId> = std::mem::take(&mut *self.replica_dirty.lock());
+        if dirty.is_empty() {
+            return;
+        }
+        dirty.sort_unstable();
+        dirty.dedup();
+        for c in dirty {
+            self.shards.invalidate_replicas(c);
+        }
     }
 
     /// The one cell-cleaning entry point on the server: the eager-clean
@@ -751,6 +800,7 @@ impl GGridServer {
     /// lazy strategy into the eager one the paper compares against).
     pub fn clean_cell_of_edge(&mut self, edge: roadnet::EdgeId, now: Timestamp) {
         self.flush_ingest();
+        self.sync_replicas();
         let cell = self.grid.cell_of_edge(edge);
         let (_, rep) = self.clean_cells_shared(&[cell], now);
         self.counters.record_cleaning(&rep);
@@ -759,6 +809,7 @@ impl GGridServer {
     /// Eagerly clean every cell (used by tests and ablations).
     pub fn clean_all(&mut self, now: Timestamp) {
         self.flush_ingest();
+        self.sync_replicas();
         let cells: Vec<CellId> = self.grid.cell_ids().collect();
         let (_, rep) = self.clean_cells_shared(&cells, now);
         self.counters.record_cleaning(&rep);
@@ -779,6 +830,7 @@ impl GGridServer {
         now: Timestamp,
     ) -> crate::batch::BatchResult {
         self.flush_ingest();
+        self.sync_replicas();
         let result = crate::batch::run_knn_batch(
             &mut self.shards,
             &self.grid,
@@ -802,6 +854,7 @@ impl GGridServer {
     /// As [`Self::knn`] but returning the full cost breakdown.
     pub fn knn_detailed(&mut self, q: EdgePosition, k: usize, now: Timestamp) -> KnnResult {
         self.flush_ingest();
+        self.sync_replicas();
         let result = self.query_pipeline(q, k, now, None);
         self.counters.record_query(&result.breakdown);
         result
@@ -844,16 +897,24 @@ impl GGridServer {
         if self.config.num_devices <= 1 {
             return None;
         }
-        // Buffered dirt must land in `cell_dirt` before the epoch is read.
+        // Buffered dirt must land in `cell_dirt` before the epoch is read,
+        // and stale replicas must die before the migrator reasons about
+        // which cells replication is already serving.
         self.flush_ingest();
+        self.sync_replicas();
         let dirt: Vec<u64> = self
             .cell_dirt
             .iter()
             .map(|d| d.load(Ordering::Relaxed))
             .collect();
+        let replicate = if self.config.replication_enabled() {
+            self.config.replicate_threshold
+        } else {
+            0
+        };
         let report = self
             .shards
-            .maybe_rebalance(&dirt, self.config.rebalance_threshold);
+            .maybe_rebalance(&dirt, self.config.rebalance_threshold, replicate);
         if let Some(rep) = report {
             self.counters.rebalances += 1;
             self.counters.cells_migrated += rep.cells_moved as u64;
@@ -864,6 +925,9 @@ impl GGridServer {
                 d.store(0, Ordering::Relaxed);
             }
         }
+        // Age the replication signal with the epoch, mirroring the dirt
+        // reset above: recent read traffic decides what stays replicated.
+        self.shards.decay_read_heat();
         report
     }
 }
@@ -889,6 +953,7 @@ impl GGridServer {
         );
         self.track_dirty.store(true, Ordering::Relaxed);
         self.flush_ingest();
+        self.sync_replicas();
         let t0 = Instant::now();
         let mut inner = 0u64;
         let sub = self.evaluate_full(q, k, now, None, &mut inner);
@@ -936,6 +1001,7 @@ impl GGridServer {
         // Barrier before the dirty drain: buffered cells must register as
         // dirtied so the tick re-validates the subscriptions they touch.
         self.flush_ingest();
+        self.sync_replicas();
         let wall0 = Instant::now();
         let subs_ns0 = self.counters.subs_modeled_ns();
         let mut dirty: Vec<CellId> = std::mem::take(&mut *self.subs_dirty.lock());
@@ -1227,7 +1293,10 @@ impl MovingObjectIndex for GGridServer {
             // Every shard device holds a mirror of the graph grid to
             // streamline the computation (Fig 6's "G-Grid (GPU)") plus
             // whatever consolidated cell lists and topology slices are
-            // resident on that shard.
+            // resident on that shard. Read-replicas are counted here too:
+            // each replica's bytes sit in the *hosting* shard's resident
+            // store (tagged `BufferTag::Replica` on its device ledger) and
+            // leave both sums the moment the replica is invalidated.
             gpu_bytes: self.grid.grid_bytes() * self.shards.num_shards() as u64
                 + self.resident_bytes()
                 + self.topology_resident_bytes(),

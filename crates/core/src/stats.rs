@@ -106,6 +106,15 @@ pub struct QueryBreakdown {
     pub refine_relaxed: u64,
     /// Simulated kernel launches this query triggered.
     pub kernel_launches: u64,
+    /// SDist rounds whose frontier work was scattered across several shard
+    /// devices (the cross-shard cooperative path; subset of `sdist_rounds`).
+    pub cross_shard_rounds: u64,
+    /// Remote cells this query served from a local read-replica instead of
+    /// crossing to the owner device.
+    pub replica_hits: u64,
+    /// Largest number of distinct owner devices any one expansion set of
+    /// this query spanned (1 = the whole query stayed on its primary).
+    pub ring_span: usize,
 }
 
 /// Split `total` into `weights.len()` integer shares proportional to
@@ -195,12 +204,13 @@ impl QueryBreakdown {
                cpu_ns, emulation_ns, refine_ns, refine_busy_ns, refine_critical_ns,
                sdist_rounds, sdist_frontier_sum, sdist_settled, sdist_vertices,
                sdist_pruned, h2d_topo_bytes, h2d_coalesced_saved, refine_settled,
-               refine_relaxed, kernel_launches);
+               refine_relaxed, kernel_launches, cross_shard_rounds, replica_hits);
         split!(usize cells_cleaned, cells_skipped, resident_hits, messages_cleaned,
                candidates, unresolved, topo_hits, topo_misses);
         for o in &mut out {
             o.sdist_frontier_max = self.sdist_frontier_max;
             o.refine_workers = self.refine_workers;
+            o.ring_span = self.ring_span;
         }
         out
     }
@@ -233,7 +243,9 @@ impl QueryBreakdown {
             h2d_coalesced_saved,
             refine_settled,
             refine_relaxed,
-            kernel_launches
+            kernel_launches,
+            cross_shard_rounds,
+            replica_hits
         );
         add!(
             cells_cleaned,
@@ -247,6 +259,7 @@ impl QueryBreakdown {
         );
         self.sdist_frontier_max = self.sdist_frontier_max.max(other.sdist_frontier_max);
         self.refine_workers = self.refine_workers.max(other.refine_workers);
+        self.ring_span = self.ring_span.max(other.ring_span);
     }
 
     /// Average refinement concurrency: summed worker-busy time over the
@@ -626,6 +639,24 @@ pub struct ServerCounters {
     pub rebalances: u64,
     /// Boundary cells re-homed across all rebalances.
     pub cells_migrated: u64,
+    /// Read-replicas currently live across all hosting devices (gauge,
+    /// refreshed on [`crate::server::GGridServer::counters`]).
+    pub replicas_active: u64,
+    /// Remote cells served from a local read-replica instead of crossing to
+    /// the owner device.
+    pub replica_hits: u64,
+    /// Replica copies torn down because their cell was written (or its cell
+    /// migrated) — the dirtied-cell stream's coherence work.
+    pub replica_invalidations: u64,
+    /// SDist rounds scattered across several shard devices (the cross-shard
+    /// cooperative path).
+    pub cross_shard_rounds: u64,
+    /// Histogram of each query's widest owner-device span (1 = stayed on
+    /// its primary shard; log-bucketed, see [`Hist`]).
+    pub ring_span_hist: Hist,
+    /// Boundary cells the rebalancer declined to migrate because they were
+    /// read-hot but write-cold (replication serves them better).
+    pub migrations_skipped_read_hot: u64,
 }
 
 impl ServerCounters {
@@ -633,6 +664,9 @@ impl ServerCounters {
         self.record_breakdown(b);
         self.queries += 1;
         self.query_cpu_ns += b.cpu_ns;
+        if b.ring_span > 0 {
+            self.ring_span_hist.record(b.ring_span as u64);
+        }
     }
 
     /// Fold a subscription-path breakdown (initial evaluation, tick
@@ -675,6 +709,8 @@ impl ServerCounters {
         self.h2d_coalesced_saved += b.h2d_coalesced_saved;
         self.refine_settled += b.refine_settled;
         self.refine_relaxed += b.refine_relaxed;
+        self.cross_shard_rounds += b.cross_shard_rounds;
+        self.replica_hits += b.replica_hits;
     }
 
     /// Fold one cleaning round's report into the lifetime counters — used
@@ -1303,6 +1339,39 @@ mod tests {
             ..Default::default()
         };
         assert!((c2.bucket_reuse_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cooperative_counters_accumulate() {
+        let mut c = ServerCounters::default();
+        c.record_query(&QueryBreakdown {
+            cross_shard_rounds: 2,
+            replica_hits: 3,
+            ring_span: 3,
+            ..Default::default()
+        });
+        c.record_query(&QueryBreakdown {
+            ring_span: 1,
+            ..Default::default()
+        });
+        assert_eq!(c.cross_shard_rounds, 2);
+        assert_eq!(c.replica_hits, 3);
+        assert_eq!(c.ring_span_hist.count, 2);
+        assert_eq!(c.ring_span_hist.max, 3);
+        // Shares fold back exactly; ring_span copies like the max fields.
+        let shared = QueryBreakdown {
+            cross_shard_rounds: 5,
+            replica_hits: 7,
+            ring_span: 4,
+            ..Default::default()
+        };
+        let mut folded = QueryBreakdown::default();
+        for s in shared.split_shares(&[3, 1]) {
+            folded.absorb(&s);
+        }
+        assert_eq!(folded.cross_shard_rounds, 5);
+        assert_eq!(folded.replica_hits, 7);
+        assert_eq!(folded.ring_span, 4);
     }
 
     #[test]

@@ -103,13 +103,20 @@ struct Observed {
 }
 
 /// Drive the scripted stream on a `num_devices = d` server and collect
-/// every answer surface after each step.
-fn run_stream(case: &Case, d: usize) -> Observed {
+/// every answer surface after each step. `replication` and `cross_shard`
+/// toggle the cooperative multi-device paths; both only change *where*
+/// modeled work lands, never answers.
+fn run_stream(case: &Case, d: usize, replication: bool, cross_shard: bool) -> Observed {
     let config = GGridConfig {
         eta: case.eta,
         num_devices: d,
         // Low bar so the mid-stream rebalance actually fires when skewed.
         rebalance_threshold: 1.05,
+        // Low bar so repeated clean-skips promote replicas within the
+        // scripted stream (forcing invalidations from the hot-window
+        // writes that follow).
+        replicate_threshold: if replication { 1 } else { 0 },
+        cross_shard_sdist: cross_shard,
         ..Default::default()
     };
     let mut server = GGridServer::new(case.graph.clone(), config);
@@ -181,13 +188,28 @@ fn run_stream(case: &Case, d: usize) -> Observed {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
-    /// Every answer surface is byte-identical across device counts.
+    /// Every answer surface is byte-identical across device counts ×
+    /// replication on/off × cross-shard SDist on/off. The stream's skewed
+    /// hot-window writes land in cells the repeated queries replicate, so
+    /// replica invalidation is exercised, and the mid-stream rebalance
+    /// migrates cells out from under live replicas.
     #[test]
     fn answers_identical_across_device_counts(case in arb_case()) {
-        let reference = run_stream(&case, 1);
+        let reference = run_stream(&case, 1, false, false);
         for d in [2usize, 4, 8] {
-            let got = run_stream(&case, d);
-            prop_assert_eq!(&got, &reference, "answers diverged at D={}", d);
+            for (replication, cross_shard) in
+                [(false, false), (false, true), (true, false), (true, true)]
+            {
+                let got = run_stream(&case, d, replication, cross_shard);
+                prop_assert_eq!(
+                    &got,
+                    &reference,
+                    "answers diverged at D={} replication={} cross_shard={}",
+                    d,
+                    replication,
+                    cross_shard
+                );
+            }
         }
     }
 }
@@ -243,5 +265,183 @@ fn single_shard_query_touches_one_device() {
         touched,
         vec![0],
         "kernels must launch on the owning shard only (launches: {before:?} -> {after:?})"
+    );
+}
+
+/// A query whose candidate ring spans three shards must launch kernels on
+/// exactly those three devices: cleaning routes each ring cell to its
+/// owner, and the cooperative SDist round scatters the relaxation across
+/// the same owners — the fourth device stays idle.
+#[test]
+fn three_shard_ring_launches_on_exactly_three_devices() {
+    let graph = gen::grid_city(&GridCityParams {
+        rows: 8,
+        cols: 8,
+        edge_ratio: 2.5,
+        weight_range: (1, 30),
+        seed: 3,
+    });
+    let mut server = GGridServer::new(
+        graph.clone(),
+        GGridConfig {
+            eta: 3,
+            num_devices: 4,
+            // Keep effective owners = true owners: replicas would fold
+            // remote cells into the primary and shrink the span.
+            replicate_threshold: 0,
+            ..Default::default()
+        },
+    );
+    assert_eq!(server.num_shards(), 4);
+
+    // Objects everywhere, so the first candidate ring already holds ρ·k
+    // of them and the expansion never widens past it.
+    let now = Timestamp(1_000);
+    for (i, e) in (0..graph.num_edges() as u32).step_by(3).enumerate() {
+        server.handle_update(ObjectId(i as u64), EdgePosition::at_source(EdgeId(e)), now);
+    }
+
+    // Find a query edge whose first ring (own cell + neighbours) spans
+    // exactly three shards and is object-dense enough not to expand.
+    let ranges = server.shard_ranges();
+    let owner_of = |cell: usize| {
+        ranges
+            .iter()
+            .position(|r| r.contains(&(cell as u32)))
+            .unwrap()
+    };
+    let pick = (0..graph.num_edges() as u32).map(EdgeId).find(|&e| {
+        let c = server.grid().cell_of_edge(e);
+        let mut ring = vec![c];
+        ring.extend_from_slice(server.grid().neighbors(c));
+        let mut owners: Vec<usize> = ring.iter().map(|&c| owner_of(c.index())).collect();
+        owners.sort_unstable();
+        owners.dedup();
+        let objects_in_ring = (0..graph.num_edges() as u32)
+            .step_by(3)
+            .filter(|&oe| ring.contains(&server.grid().cell_of_edge(EdgeId(oe))))
+            .count();
+        owners.len() == 3 && objects_in_ring >= 8
+    });
+    let q = pick.expect("an 8x8 grid over 4 z-contiguous shards has a 3-shard ring");
+
+    let c = server.grid().cell_of_edge(q);
+    let mut expected: Vec<usize> = std::iter::once(c)
+        .chain(server.grid().neighbors(c).iter().copied())
+        .map(|c| owner_of(c.index()))
+        .collect();
+    expected.sort_unstable();
+    expected.dedup();
+
+    let before = server.device_launches();
+    let got = server.knn(EdgePosition::at_source(q), 3, Timestamp(2_000));
+    assert!(!got.is_empty());
+    let after = server.device_launches();
+
+    let touched: Vec<usize> = (0..4).filter(|&d| after[d] > before[d]).collect();
+    assert_eq!(
+        touched, expected,
+        "kernels must land on exactly the ring's three owners (launches: {before:?} -> {after:?})"
+    );
+    assert_eq!(touched.len(), 3);
+    let b = server.last_breakdown();
+    assert_eq!(b.ring_span, 3, "recorded ring span must match");
+    assert!(
+        b.cross_shard_rounds >= 1,
+        "the wide ring must take the cooperative SDist path"
+    );
+}
+
+/// A replica made stale by a write is torn down before the next read:
+/// answers keep matching the single-device reference, and the invalidation
+/// counter proves the coherence path actually fired.
+#[test]
+fn stale_replica_never_serves_reads() {
+    let graph = gen::grid_city(&GridCityParams {
+        rows: 6,
+        cols: 6,
+        edge_ratio: 2.5,
+        weight_range: (1, 30),
+        seed: 7,
+    });
+    let make = |d: usize| {
+        GGridServer::new(
+            graph.clone(),
+            GGridConfig {
+                eta: 3,
+                num_devices: d,
+                // Promote on the first clean-skip.
+                replicate_threshold: 1,
+                ..Default::default()
+            },
+        )
+    };
+    let mut sharded = make(2);
+    let mut reference = make(1);
+    assert_eq!(sharded.num_shards(), 2);
+
+    let now = Timestamp(1_000);
+    let seed_objects: Vec<(ObjectId, EdgePosition, Timestamp)> = (0..graph.num_edges() as u32)
+        .step_by(2)
+        .enumerate()
+        .map(|(i, e)| (ObjectId(i as u64), EdgePosition::at_source(EdgeId(e)), now))
+        .collect();
+    sharded.ingest_batch(&seed_objects);
+    reference.ingest_batch(&seed_objects);
+
+    // A query on shard 0 whose ring reaches shard 1's cells.
+    let ranges = sharded.shard_ranges();
+    let q = (0..graph.num_edges() as u32)
+        .map(EdgeId)
+        .find(|&e| {
+            let c = sharded.grid().cell_of_edge(e);
+            ranges[0].contains(&(c.index() as u32))
+                && sharded
+                    .grid()
+                    .neighbors(c)
+                    .iter()
+                    .any(|n| ranges[1].contains(&(n.index() as u32)))
+        })
+        .expect("some shard-0 cell borders shard 1");
+    let qp = EdgePosition::at_source(q);
+
+    // Warm up: first query cleans the remote cells, second skips them
+    // (heat crosses the threshold) and promotes replicas onto shard 0.
+    for t in [2_000u64, 2_100] {
+        assert_eq!(
+            sharded.knn(qp, 4, Timestamp(t)),
+            reference.knn(qp, 4, Timestamp(t))
+        );
+    }
+    assert!(
+        sharded.counters().replicas_active > 0,
+        "warm-up must promote at least one replica"
+    );
+
+    // Write into every replicated remote cell: new objects parked right at
+    // the query's ring, each landing a dirtied-cell invalidation.
+    let remote_ring: Vec<EdgeId> = (0..graph.num_edges() as u32)
+        .map(EdgeId)
+        .filter(|&e| {
+            let c = sharded.grid().cell_of_edge(e);
+            ranges[1].contains(&(c.index() as u32))
+        })
+        .collect();
+    for (i, &e) in remote_ring.iter().enumerate().take(6) {
+        let o = ObjectId(10_000 + i as u64);
+        let p = EdgePosition::at_source(e);
+        sharded.handle_update(o, p, Timestamp(3_000));
+        reference.handle_update(o, p, Timestamp(3_000));
+    }
+
+    // The next read must see the writes — the stale replicas are
+    // invalidated before any kernel runs, never served.
+    assert_eq!(
+        sharded.knn(qp, 4, Timestamp(3_500)),
+        reference.knn(qp, 4, Timestamp(3_500))
+    );
+    assert!(
+        sharded.counters().replica_invalidations > 0,
+        "the writes must have torn down the stale replicas"
     );
 }

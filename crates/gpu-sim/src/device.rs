@@ -30,6 +30,18 @@ pub struct KernelCtx {
 }
 
 impl KernelCtx {
+    /// A context not bound to any device, for *metering* a kernel body
+    /// without charging a device's clock. Pair with [`Device::launch_ops`]
+    /// to replay slices of the metered work on the devices that own them
+    /// (the cross-shard scatter path).
+    pub fn detached(warp_size: usize, threads: usize) -> Self {
+        Self {
+            warp_size: warp_size.max(1),
+            threads: threads.max(1),
+            ops: OpCounts::default(),
+        }
+    }
+
     pub fn threads(&self) -> usize {
         self.threads
     }
@@ -206,6 +218,20 @@ impl Device {
         t
     }
 
+    /// Copy `bytes` device→host over an already-open streaming channel: an
+    /// earlier [`Self::d2h`] on the same logical stream paid the PCIe
+    /// handshake, so only wire time is charged. Zero bytes cost nothing.
+    pub fn d2h_streamed(&mut self, bytes: u64) -> SimNanos {
+        if bytes == 0 {
+            return SimNanos::ZERO;
+        }
+        let t = SimNanos::from_secs_f64(bytes as f64 / self.spec.pcie_bandwidth_bytes_per_sec);
+        self.ledger.d2h_bytes += bytes;
+        self.ledger.d2h_time += t;
+        self.ledger.d2h_transfers += 1;
+        t
+    }
+
     /// Launch a kernel of `threads` threads. The body runs on the host and
     /// must charge its work to the [`KernelCtx`]; the returned report holds
     /// the simulated duration.
@@ -231,6 +257,20 @@ impl Device {
                 ops: ctx.ops,
             },
         )
+    }
+
+    /// Charge a pre-metered operation profile as one kernel launch of
+    /// `threads` threads. This is the replay half of the scatter path: the
+    /// body runs once against a [`KernelCtx::detached`] context while the
+    /// caller tallies per-owner op slices, then each owner's slice is
+    /// launched here on its own device — same total work, attributed to the
+    /// devices that own the data it touched.
+    pub fn launch_ops(&mut self, threads: usize, ops: OpCounts) -> LaunchReport {
+        let threads = threads.max(1);
+        let time = self.cost.launch_time(&self.spec, threads, &ops);
+        self.kernel_time += time;
+        self.launches += 1;
+        LaunchReport { time, threads, ops }
     }
 
     /// Transfer ledger since the last [`Self::reset_counters`].
@@ -367,6 +407,28 @@ mod tests {
         });
         assert_eq!(out, vec![1, 0, 3, 2]);
         assert_eq!(report.ops.shuffle, 4);
+    }
+
+    #[test]
+    fn metered_replay_matches_direct_launch() {
+        // Metering with a detached ctx and replaying via launch_ops must
+        // charge the same time as running the body through launch().
+        let mut direct = Device::new(DeviceSpec::test_tiny());
+        let (_, report) = direct.launch(64, |ctx| {
+            ctx.charge_alu_all(10);
+            ctx.charge_read(4096);
+            ctx.sync_threads();
+        });
+        let mut meter = KernelCtx::detached(DeviceSpec::test_tiny().warp_size as usize, 64);
+        meter.charge_alu_all(10);
+        meter.charge_read(4096);
+        meter.sync_threads();
+        let mut replay = Device::new(DeviceSpec::test_tiny());
+        let replayed = replay.launch_ops(64, *meter.ops());
+        assert_eq!(replayed.time, report.time);
+        assert_eq!(replayed.ops, report.ops);
+        assert_eq!(replay.launches(), 1);
+        assert_eq!(replay.kernel_time(), direct.kernel_time());
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod warp;
 pub mod xfer;
 
 pub use collective::{bitonic_sort, partition_by, reduce, top_k_smallest};
-pub use device::{Device, LaunchReport};
+pub use device::{Device, KernelCtx, LaunchReport};
 pub use mem::{BufferId, BufferTag, OutOfDeviceMemory, ResidencyLedger};
 pub use ops::{CostModel, OpCounts};
 pub use spec::DeviceSpec;

@@ -114,6 +114,10 @@ pub enum BufferTag {
     CellState,
     /// Per-cell CSR topology slices (read-only, immutable).
     Topology,
+    /// Read-only replicas of cell state owned by another device (PR 10
+    /// read-hot replication) — split out so replica bytes are visibly
+    /// charged to the hosting device, never the owner.
+    Replica,
 }
 
 /// Occupancy ledger of the handle-based allocator: what is resident right

@@ -38,6 +38,51 @@ impl OpCounts {
     pub fn total_mem_bytes(&self) -> u64 {
         self.global_read_bytes + self.global_write_bytes
     }
+
+    /// Field-wise `self − other`, clamped at zero: the residual left after
+    /// carving attributed slices out of a metered total (the cross-shard
+    /// scatter path charges this residual to the coordinating device).
+    pub fn saturating_sub(&self, other: &OpCounts) -> OpCounts {
+        OpCounts {
+            alu: self.alu.saturating_sub(other.alu),
+            shuffle: self.shuffle.saturating_sub(other.shuffle),
+            cross_warp_shuffle: self
+                .cross_warp_shuffle
+                .saturating_sub(other.cross_warp_shuffle),
+            syncs: self.syncs.saturating_sub(other.syncs),
+            global_read_bytes: self
+                .global_read_bytes
+                .saturating_sub(other.global_read_bytes),
+            global_write_bytes: self
+                .global_write_bytes
+                .saturating_sub(other.global_write_bytes),
+            atomics: self.atomics.saturating_sub(other.atomics),
+        }
+    }
+
+    /// Whether any field is nonzero.
+    pub fn any(&self) -> bool {
+        *self != OpCounts::default()
+    }
+
+    /// Every field scaled by `num / den` (saturating, `den = 0` → zero).
+    /// Used to split a data-parallel cost across cooperating devices in
+    /// proportion to the threads each one hosts.
+    pub fn scaled(&self, num: u64, den: u64) -> OpCounts {
+        if den == 0 {
+            return OpCounts::default();
+        }
+        let part = |x: u64| -> u64 { (u128::from(x) * u128::from(num) / u128::from(den)) as u64 };
+        OpCounts {
+            alu: part(self.alu),
+            shuffle: part(self.shuffle),
+            cross_warp_shuffle: part(self.cross_warp_shuffle),
+            syncs: part(self.syncs),
+            global_read_bytes: part(self.global_read_bytes),
+            global_write_bytes: part(self.global_write_bytes),
+            atomics: part(self.atomics),
+        }
+    }
 }
 
 /// Cycle costs per operation class.
